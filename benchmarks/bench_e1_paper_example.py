@@ -1,0 +1,28 @@
+"""E1 — regenerate the paper's worked example (Figures 2-4, section 3.3).
+
+Paper artefact: the only end-to-end result in the paper — total execution
+time 15 -> 14 and per-processor memory [16, 4, 4] -> [10, 6, 8] on three
+processors, obtained through seven block moves.
+
+The benchmark times the load-balancing heuristic on the example and prints
+the paper-vs-measured table produced by
+:func:`repro.experiments.run_e1_paper_example`.
+"""
+
+from repro.core import CostPolicy, LoadBalancer, LoadBalancerOptions
+from repro.experiments import run_e1_paper_example
+from repro.workloads.paper_example import paper_initial_schedule
+
+
+def test_e1_paper_example(benchmark, capsys):
+    """Reproduce figures 2-4 exactly and time the heuristic on the example."""
+    schedule = paper_initial_schedule()
+    options = LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC)
+
+    benchmark(lambda: LoadBalancer(schedule, options).run())
+
+    result = run_e1_paper_example()
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.passed, "the worked example was not reproduced exactly"

@@ -1,0 +1,28 @@
+"""E2 — regenerate Figure 1: multi-rate data transfer and consumer-side buffering.
+
+Paper artefact: Figure 1 shows that when a consumer's period is ``n`` times
+its producer's period and the two run on different processors, the consumer's
+processor must buffer the ``n`` data items of one consumer window (``n = 4``
+in the figure) — memory reuse is impossible.
+
+The benchmark times the discrete-event simulation of the two-task scenario
+and prints the peak-buffer-vs-ratio table.
+"""
+
+from repro.experiments import MultirateConfig, run_e2_multirate_buffering
+from repro.experiments.runner import _two_task_schedule
+from repro.simulation import SimulationOptions, simulate
+
+
+def test_e2_multirate_buffering(benchmark, capsys):
+    """Peak consumer-side buffer equals n producer samples for ratio n."""
+    config = MultirateConfig.quick()
+    schedule = _two_task_schedule(4, config)  # the Figure-1 ratio
+
+    benchmark(lambda: simulate(schedule, SimulationOptions(hyper_periods=2)))
+
+    result = run_e2_multirate_buffering(config)
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.passed, "measured buffering does not match the Figure-1 semantics"

@@ -1,0 +1,27 @@
+"""E3 — regenerate the complexity study of section 4 (``O(M · N_blocks)``).
+
+Paper artefact: section 4 argues the heuristic performs ``M · N_blocks``
+cost-function evaluations and is therefore fast on large applications.
+
+The benchmark times the heuristic on a mid-size random workload and prints
+the runtime/evaluation-count scaling table over the (N, M) sweep.
+"""
+
+from repro.core import LoadBalancer
+from repro.experiments import ComplexityConfig, run_e3_complexity
+from repro.workloads import WorkloadSpec, scheduled_workload
+
+
+def test_e3_complexity(benchmark, capsys):
+    """The heuristic performs exactly M·N_blocks cost-function evaluations."""
+    spec = WorkloadSpec(task_count=100, processor_count=4, utilization=0.25, seed=1,
+                        base_period=40, label="bench-e3")
+    _workload, schedule = scheduled_workload(spec)
+
+    benchmark(lambda: LoadBalancer(schedule).run())
+
+    result = run_e3_complexity(ComplexityConfig.quick())
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.passed, "evaluation count does not match M·N_blocks"

@@ -1,0 +1,29 @@
+"""E5 — validate Theorem 2 empirically: the memory-only rule is (2 - 1/M)-approximate.
+
+Paper artefact: Theorem 2 (section 5.2) proves that, when only memory is
+considered, the greedy "least loaded memory first" rule stays within
+``2 - 1/M`` of the optimal maximum per-processor memory ``ω_opt``.
+
+The benchmark times the exact branch-and-bound optimum (the expensive part of
+the experiment) and prints the measured worst/mean ratios per processor
+count; the gate is that no exactly-solved instance violates the bound.
+"""
+
+import numpy as np
+
+from repro.analysis import measure_greedy_ratio
+from repro.experiments import Theorem2Config, run_e5_theorem2
+
+
+def test_e5_theorem2_approximation(benchmark, capsys):
+    """Measured ω/ω_opt never exceeds 2 - 1/M."""
+    rng = np.random.default_rng(2008)
+    memories = [round(float(rng.uniform(1.0, 20.0)), 1) for _ in range(12)]
+
+    benchmark(lambda: measure_greedy_ratio(memories, 3))
+
+    result = run_e5_theorem2(Theorem2Config.quick())
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.passed, "a measured ratio exceeded the Theorem-2 bound"

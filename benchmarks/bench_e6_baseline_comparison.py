@@ -1,0 +1,33 @@
+"""E6 — proposed heuristic versus baselines.
+
+Paper artefact: the motivation of sections 1-2 — balancing reduces the total
+execution time and spreads the memory demand, whereas memory-blind balancing
+overflows the limited memories of embedded processors and unconstrained
+(bin-packing / genetic) assignments break the dependence and strict
+periodicity constraints altogether.
+
+The benchmark times the full strategy sweep on one workload and prints the
+averaged comparison table over the seed sweep.
+"""
+
+from repro.experiments import ComparisonConfig, run_e6_baseline_comparison
+from repro.experiments.runner import _strategy_schedules
+from repro.scheduling import PlacementPolicy, SchedulerOptions
+from repro.workloads import scheduled_workload
+
+
+def test_e6_baseline_comparison(benchmark, capsys):
+    """The proposed heuristic balances while keeping the schedule feasible."""
+    config = ComparisonConfig.quick()
+    _workload, schedule = scheduled_workload(
+        config.spec.with_updates(seed=0),
+        SchedulerOptions(policy=PlacementPolicy.LEAST_LOADED),
+    )
+
+    benchmark(lambda: _strategy_schedules(schedule))
+
+    result = run_e6_baseline_comparison(config)
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.passed is not False, "the proposed heuristic lost feasibility too often"

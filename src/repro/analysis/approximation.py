@@ -1,0 +1,139 @@
+"""Empirical validation of Theorem 2 (the ``(2 − 1/M)``-approximation).
+
+Theorem 2 considers the heuristic when only memory matters (cost function
+``λ = Cst / Σm``): every block goes to the processor that has accumulated the
+least memory so far.  It proves that the resulting maximum per-processor
+memory ``ω`` satisfies ``ω / ω_opt <= 2 − 1/M``.
+
+Experiment E5 measures the ratio empirically: the greedy rule (exactly the
+object of the proof) is run on block memory weights and compared with the
+exact optimum computed by branch and bound
+(:mod:`repro.baselines.branch_and_bound`) on instances small enough to solve
+exactly.  The same machinery also evaluates the full schedule-level
+``MEMORY_ONLY`` policy, whose additional feasibility rules can only make its
+ratio different from (usually no better than) the bare greedy rule's.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.baselines.branch_and_bound import optimal_min_max_partition
+from repro.baselines.memory_balancer import greedy_min_memory
+from repro.errors import AnalysisError
+
+__all__ = [
+    "ApproximationSample",
+    "measure_greedy_ratio",
+    "ApproximationCampaign",
+    "approximation_campaign",
+    "theorem2_bound",
+]
+
+_EPS = 1e-9
+
+
+def theorem2_bound(processor_count: int) -> float:
+    """The paper's bound ``2 − 1/M``."""
+    if processor_count < 1:
+        raise AnalysisError("processor_count must be >= 1")
+    return 2.0 - 1.0 / processor_count
+
+
+@dataclass(frozen=True, slots=True)
+class ApproximationSample:
+    """One measured point of experiment E5."""
+
+    processor_count: int
+    block_count: int
+    greedy_max_memory: float
+    optimal_max_memory: float
+    exact: bool
+
+    @property
+    def ratio(self) -> float:
+        """``ω / ω_opt`` (1.0 when the optimum is zero)."""
+        if self.optimal_max_memory <= _EPS:
+            return 1.0
+        return self.greedy_max_memory / self.optimal_max_memory
+
+    @property
+    def bound(self) -> float:
+        """The Theorem-2 bound for this sample's processor count."""
+        return theorem2_bound(self.processor_count)
+
+    @property
+    def within_bound(self) -> bool:
+        """``True`` when the measured ratio respects the bound."""
+        return self.ratio <= self.bound + 1e-6
+
+
+def measure_greedy_ratio(
+    memories: Sequence[float], processor_count: int, *, node_limit: int = 2_000_000
+) -> ApproximationSample:
+    """Measure the greedy-vs-optimal ratio on one list of block memories.
+
+    The greedy rule processes the blocks in the given order (the heuristic
+    processes blocks by start time, not by size), exactly as in the proof of
+    Theorem 2.
+    """
+    if processor_count < 1:
+        raise AnalysisError("processor_count must be >= 1")
+    processors = [f"P{i + 1}" for i in range(processor_count)]
+    assignment = greedy_min_memory(memories, processors)
+    loads = {name: 0.0 for name in processors}
+    for index, weight in enumerate(memories):
+        loads[assignment[index]] += weight
+    greedy_max = max(loads.values(), default=0.0)
+    optimum = optimal_min_max_partition(memories, processor_count, node_limit=node_limit)
+    return ApproximationSample(
+        processor_count=processor_count,
+        block_count=len(memories),
+        greedy_max_memory=greedy_max,
+        optimal_max_memory=optimum.optimum,
+        exact=optimum.exact,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ApproximationCampaign:
+    """Aggregate Theorem-2 statistics (experiment E5)."""
+
+    processor_count: int
+    samples: int
+    worst_ratio: float
+    mean_ratio: float
+    bound: float
+    violations: int
+    inexact_optima: int
+
+    @property
+    def holds(self) -> bool:
+        """``True`` when every exactly-solved sample respects the bound."""
+        return self.violations == 0
+
+
+def approximation_campaign(
+    samples: Iterable[ApproximationSample],
+) -> ApproximationCampaign:
+    """Aggregate measured samples sharing one processor count."""
+    collected = list(samples)
+    if not collected:
+        raise AnalysisError("approximation_campaign needs at least one sample")
+    processor_counts = {sample.processor_count for sample in collected}
+    if len(processor_counts) != 1:
+        raise AnalysisError(
+            f"All samples must share the processor count, got {sorted(processor_counts)}"
+        )
+    processor_count = collected[0].processor_count
+    ratios = [sample.ratio for sample in collected]
+    return ApproximationCampaign(
+        processor_count=processor_count,
+        samples=len(collected),
+        worst_ratio=max(ratios),
+        mean_ratio=sum(ratios) / len(ratios),
+        bound=theorem2_bound(processor_count),
+        violations=sum(1 for sample in collected if sample.exact and not sample.within_bound),
+        inexact_optima=sum(1 for sample in collected if not sample.exact),
+    )

@@ -1,0 +1,123 @@
+"""Empirical validation of Theorem 1 (bounds on the total-execution-time gain).
+
+Theorem 1 states that the gain obtained by the load-balancing heuristic,
+``G_total = L_former − L_new``, satisfies
+
+    0 <= G_total <= γ · (M − 1)!
+
+where ``γ`` is the longest communication time that a block move can suppress
+and ``M`` is the number of processors.  (The paper equates ``(M−1)!`` with
+"the number of distinct processor pairs"; the reproduction also reports the
+tighter pair-count form ``γ · M(M−1)/2`` — see DESIGN.md §2, item A5.)
+
+:func:`check_theorem1` evaluates one load-balancing result against both
+bounds; :func:`theorem1_campaign` aggregates a whole batch of results into
+the table of experiment E4.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.result import LoadBalanceResult
+
+__all__ = ["Theorem1Check", "check_theorem1", "Theorem1Campaign", "theorem1_campaign"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem1Check:
+    """Theorem-1 verdict for one load-balancing run."""
+
+    gain: float
+    gamma: float
+    processors: int
+    factorial_bound: float
+    pair_bound: float
+    lower_ok: bool
+    factorial_ok: bool
+    pair_ok: bool
+
+    @property
+    def holds(self) -> bool:
+        """``True`` when the paper's stated bounds (lower and factorial upper) hold."""
+        return self.lower_ok and self.factorial_ok
+
+
+def _gamma(result: LoadBalanceResult) -> float:
+    """Longest communication time of the initial schedule (the paper's γ).
+
+    When the initial schedule contains no inter-processor communication the
+    heuristic cannot gain anything by suppressing one, so γ is 0.
+    """
+    durations = [op.duration for op in result.initial_schedule.communications]
+    return max(durations, default=0.0)
+
+
+def check_theorem1(result: LoadBalanceResult) -> Theorem1Check:
+    """Evaluate the Theorem-1 bounds on one result."""
+    processors = len(result.initial_schedule.architecture)
+    gamma = _gamma(result)
+    gain = result.total_gain
+    factorial_bound = gamma * math.factorial(max(processors - 1, 0))
+    pair_bound = gamma * processors * (processors - 1) / 2.0
+    return Theorem1Check(
+        gain=gain,
+        gamma=gamma,
+        processors=processors,
+        factorial_bound=factorial_bound,
+        pair_bound=pair_bound,
+        lower_ok=gain >= -_EPS,
+        factorial_ok=gain <= factorial_bound + _EPS,
+        pair_ok=gain <= pair_bound + _EPS,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem1Campaign:
+    """Aggregate Theorem-1 statistics over a batch of runs (experiment E4)."""
+
+    samples: int
+    violations_lower: int
+    violations_factorial: int
+    violations_pair: int
+    mean_gain: float
+    max_gain: float
+    max_gain_over_gamma: float
+    mean_relative_gain: float
+
+    @property
+    def holds(self) -> bool:
+        """``True`` when no run violated the paper's bounds."""
+        return self.violations_lower == 0 and self.violations_factorial == 0
+
+
+def theorem1_campaign(
+    results: Iterable[LoadBalanceResult] | Sequence[LoadBalanceResult],
+) -> Theorem1Campaign:
+    """Aggregate a batch of load-balancing runs for experiment E4."""
+    checks: list[Theorem1Check] = []
+    relative_gains: list[float] = []
+    for result in results:
+        checks.append(check_theorem1(result))
+        before = result.makespan_before
+        relative_gains.append(result.total_gain / before if before > 0 else 0.0)
+    if not checks:
+        return Theorem1Campaign(0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0)
+    gains = [check.gain for check in checks]
+    gain_over_gamma = [
+        check.gain / check.gamma for check in checks if check.gamma > _EPS
+    ]
+    return Theorem1Campaign(
+        samples=len(checks),
+        violations_lower=sum(1 for check in checks if not check.lower_ok),
+        violations_factorial=sum(1 for check in checks if not check.factorial_ok),
+        violations_pair=sum(1 for check in checks if not check.pair_ok),
+        mean_gain=sum(gains) / len(gains),
+        max_gain=max(gains),
+        max_gain_over_gamma=max(gain_over_gamma, default=0.0),
+        mean_relative_gain=sum(relative_gains) / len(relative_gains),
+    )

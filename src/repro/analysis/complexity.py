@@ -1,0 +1,110 @@
+"""Empirical complexity study (section 4 of the paper, experiment E3).
+
+Section 4 argues that the heuristic runs in ``O(M · N_blocks)`` — it
+evaluates every block against every processor once — and that ``N_blocks``
+is small in practice because the number of distinct periods is small.  This
+module measures the heuristic's wall-clock time over workload sweeps and fits
+the measurements against the ``M · N_blocks`` model, reporting the fit
+quality so the claim can be checked quantitatively rather than taken on
+faith.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
+from repro.errors import AnalysisError
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["ComplexitySample", "measure_runtime", "ComplexityFit", "fit_complexity"]
+
+
+@dataclass(frozen=True, slots=True)
+class ComplexitySample:
+    """One timing measurement of the load balancer."""
+
+    tasks: int
+    instances: int
+    processors: int
+    blocks: int
+    seconds: float
+    label: str = ""
+
+    @property
+    def work(self) -> float:
+        """The model's work term ``M · N_blocks``."""
+        return float(self.processors * self.blocks)
+
+
+def measure_runtime(
+    schedule: Schedule,
+    options: LoadBalancerOptions | None = None,
+    *,
+    repetitions: int = 1,
+    label: str = "",
+) -> ComplexitySample:
+    """Time the load balancer on one schedule (best of ``repetitions`` runs)."""
+    if repetitions < 1:
+        raise AnalysisError("repetitions must be >= 1")
+    balancer = LoadBalancer(schedule, options)
+    best = float("inf")
+    result = None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        result = balancer.run()
+        best = min(best, time.perf_counter() - start)
+    assert result is not None
+    return ComplexitySample(
+        tasks=len(schedule.graph),
+        instances=len(schedule),
+        processors=len(schedule.architecture),
+        blocks=len(result.blocks),
+        seconds=best,
+        label=label,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ComplexityFit:
+    """Least-squares fit of runtime against the ``M · N_blocks`` model."""
+
+    #: Fitted seconds per unit of ``M · N_blocks``.
+    slope: float
+    #: Fitted constant overhead in seconds.
+    intercept: float
+    #: Coefficient of determination of the linear fit.
+    r_squared: float
+    samples: int
+
+    @property
+    def is_linear(self) -> bool:
+        """``True`` when the linear model explains at least 80% of the variance."""
+        return self.r_squared >= 0.80
+
+
+def fit_complexity(samples: Iterable[ComplexitySample] | Sequence[ComplexitySample]) -> ComplexityFit:
+    """Fit measured runtimes against ``seconds ≈ slope · (M · N_blocks) + intercept``."""
+    collected = list(samples)
+    if len(collected) < 3:
+        raise AnalysisError("fit_complexity needs at least 3 samples")
+    work = np.array([sample.work for sample in collected], dtype=float)
+    seconds = np.array([sample.seconds for sample in collected], dtype=float)
+    design = np.vstack([work, np.ones_like(work)]).T
+    (slope, intercept), residuals, _rank, _sv = np.linalg.lstsq(design, seconds, rcond=None)
+    predicted = design @ np.array([slope, intercept])
+    total_variance = float(np.sum((seconds - seconds.mean()) ** 2))
+    if total_variance <= 0:
+        r_squared = 1.0
+    else:
+        r_squared = 1.0 - float(np.sum((seconds - predicted) ** 2)) / total_variance
+    return ComplexityFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=r_squared,
+        samples=len(collected),
+    )

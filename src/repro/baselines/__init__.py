@@ -1,0 +1,62 @@
+"""Baseline algorithms the paper's heuristic is compared against.
+
+* :func:`~repro.baselines.no_balancing.no_balancing` — keep the initial schedule;
+* :func:`~repro.baselines.greedy_load.greedy_load_balance` /
+  :func:`~repro.baselines.greedy_load.lpt_assignment` — memory-blind load
+  balancing (within the paper's framework and as a raw LPT list rule);
+* :func:`~repro.baselines.memory_balancer.memory_only_balance` /
+  :func:`~repro.baselines.memory_balancer.greedy_memory_assignment` — the
+  memory-only variant analysed by Theorem 2;
+* :mod:`~repro.baselines.bin_packing` — FFD / best-fit-decreasing packing;
+* :mod:`~repro.baselines.branch_and_bound` — exact min-max partitioning
+  (``ω_opt`` of Theorem 2) for small instances;
+* :mod:`~repro.baselines.genetic` — a Greene-style GA assignment baseline.
+"""
+
+from repro.baselines.base import (
+    AssignmentResult,
+    BlockWeights,
+    assignment_loads,
+    block_weights,
+    materialize_assignment,
+)
+from repro.baselines.bin_packing import (
+    ffd_memory_assignment,
+    first_fit_decreasing_bins,
+    pack_min_max,
+)
+from repro.baselines.branch_and_bound import (
+    PartitionResult,
+    optimal_max_memory,
+    optimal_min_max_partition,
+)
+from repro.baselines.genetic import GeneticOptions, genetic_assignment
+from repro.baselines.greedy_load import greedy_load_balance, lpt_assignment
+from repro.baselines.memory_balancer import (
+    greedy_memory_assignment,
+    greedy_min_memory,
+    memory_only_balance,
+)
+from repro.baselines.no_balancing import no_balancing
+
+__all__ = [
+    "AssignmentResult",
+    "BlockWeights",
+    "GeneticOptions",
+    "PartitionResult",
+    "assignment_loads",
+    "block_weights",
+    "ffd_memory_assignment",
+    "first_fit_decreasing_bins",
+    "genetic_assignment",
+    "greedy_load_balance",
+    "greedy_memory_assignment",
+    "greedy_min_memory",
+    "lpt_assignment",
+    "materialize_assignment",
+    "memory_only_balance",
+    "no_balancing",
+    "optimal_max_memory",
+    "optimal_min_max_partition",
+    "pack_min_max",
+]

@@ -1,0 +1,127 @@
+"""Common infrastructure shared by the baseline algorithms.
+
+Most baselines are *assignment-level* algorithms: they decide which processor
+each block goes to, without reasoning about start times (that is precisely
+what distinguishes them from the paper's heuristic, which preserves
+dependence and strict-periodicity feasibility while balancing).  This module
+provides:
+
+* :func:`block_weights` — the per-block memory and execution weights the
+  baselines operate on;
+* :func:`materialize_assignment` — rebuild a :class:`Schedule` from a block →
+  processor assignment, keeping the original start times (the feasibility
+  checker and the simulator then reveal whether the assignment broke timing
+  constraints, which is part of what experiment E6 measures);
+* :class:`AssignmentResult` — the uniform result object returned by the
+  assignment-level baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.blocks import Block
+from repro.errors import ConfigurationError
+from repro.scheduling.communications import synthesize_communications
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["BlockWeights", "block_weights", "materialize_assignment", "AssignmentResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class BlockWeights:
+    """Memory and execution weight of one block."""
+
+    block_id: int
+    label: str
+    memory: float
+    execution: float
+
+
+def block_weights(blocks: Sequence[Block]) -> list[BlockWeights]:
+    """Weights of every block, in block-id order."""
+    return [
+        BlockWeights(
+            block_id=block.id,
+            label=block.label,
+            memory=block.memory,
+            execution=block.execution_time,
+        )
+        for block in sorted(blocks, key=lambda b: b.id)
+    ]
+
+
+def materialize_assignment(
+    schedule: Schedule,
+    blocks: Sequence[Block],
+    assignment: Mapping[int, str],
+    *,
+    attach_communications: bool = True,
+) -> Schedule:
+    """Rebuild a schedule from a block → processor assignment.
+
+    Start times are kept unchanged: assignment-level baselines do not reason
+    about time, so the honest way to compare them with the paper's heuristic
+    is to keep their timing as-is and let the feasibility checker and the
+    simulator report the dependence/periodicity violations they introduce.
+    """
+    placement: dict[tuple[str, int], str] = {}
+    for block in blocks:
+        try:
+            target = assignment[block.id]
+        except KeyError:
+            raise ConfigurationError(f"Assignment misses block {block.id} ({block.label})") from None
+        if target not in schedule.architecture:
+            raise ConfigurationError(
+                f"Assignment of block {block.label} targets unknown processor {target!r}"
+            )
+        for key in block.member_keys:
+            placement[key] = target
+
+    instances = []
+    for instance in schedule.instances:
+        target = placement.get(instance.key, instance.processor)
+        instances.append(instance.moved(processor=target))
+    new_schedule = Schedule(schedule.graph, schedule.architecture, instances, ())
+    if attach_communications:
+        new_schedule = new_schedule.with_instances(
+            new_schedule.instances, synthesize_communications(new_schedule)
+        )
+    return new_schedule
+
+
+@dataclass(slots=True)
+class AssignmentResult:
+    """Uniform result object of the assignment-level baselines."""
+
+    name: str
+    assignment: dict[int, str]
+    schedule: Schedule
+    #: Maximum per-processor memory of the assignment (the baselines' objective).
+    max_memory: float
+    #: Maximum per-processor execution time of the assignment.
+    max_execution: float
+    #: Algorithm-specific extra information (iterations, nodes explored, ...).
+    info: dict[str, float] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One-line description."""
+        return (
+            f"{self.name}: max memory {self.max_memory:g}, "
+            f"max execution {self.max_execution:g}, "
+            f"{len(set(self.assignment.values()))} processors used"
+        )
+
+
+def assignment_loads(
+    blocks: Sequence[Block], assignment: Mapping[int, str], processors: Sequence[str]
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Per-processor memory and execution sums of an assignment."""
+    memory = {name: 0.0 for name in processors}
+    execution = {name: 0.0 for name in processors}
+    for block in blocks:
+        target = assignment[block.id]
+        memory[target] += block.memory
+        execution[target] += block.execution_time
+    return memory, execution

@@ -1,0 +1,109 @@
+"""Bin-packing style baselines.
+
+The paper notes (section 2, citing Korf [8] and Ekelin & Jonsson [7]) that
+load balancing is closely related to bin packing.  Two classic families are
+provided, both operating on raw item weights (block memory or execution
+amounts):
+
+* **makespan-style packing into a fixed number of bins** — first-fit /
+  best-fit decreasing onto ``M`` processors, minimising the maximum bin
+  weight.  This is what gets compared with the paper's heuristic and the
+  exact optimum in experiments E5/E6;
+* **capacity-style packing into as few bins as possible** — classic first-fit
+  decreasing with a bin capacity, used to estimate how many processors a
+  memory-constrained application minimally needs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.base import AssignmentResult, assignment_loads, materialize_assignment
+from repro.core.blocks import BlockBuildOptions, build_blocks
+from repro.errors import ConfigurationError
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "first_fit_decreasing_bins",
+    "pack_min_max",
+    "ffd_memory_assignment",
+]
+
+
+def first_fit_decreasing_bins(weights: Sequence[float], capacity: float) -> list[list[int]]:
+    """Classic first-fit decreasing bin packing.
+
+    Returns the bins as lists of item indices; the number of bins is an upper
+    bound (within 11/9 OPT + 1) on the minimum number of processors of
+    capacity ``capacity`` needed to hold the items.
+    """
+    if capacity <= 0:
+        raise ConfigurationError("Bin capacity must be positive")
+    for weight in weights:
+        if weight > capacity:
+            raise ConfigurationError(
+                f"Item of weight {weight} cannot fit in any bin of capacity {capacity}"
+            )
+    order = sorted(range(len(weights)), key=lambda i: -weights[i])
+    bins: list[list[int]] = []
+    remaining: list[float] = []
+    for index in order:
+        weight = weights[index]
+        for bin_index, free in enumerate(remaining):
+            if weight <= free + 1e-12:
+                bins[bin_index].append(index)
+                remaining[bin_index] -= weight
+                break
+        else:
+            bins.append([index])
+            remaining.append(capacity - weight)
+    return bins
+
+
+def pack_min_max(
+    weights: Sequence[float], bin_count: int, *, best_fit: bool = True
+) -> tuple[dict[int, int], float]:
+    """Pack items into exactly ``bin_count`` bins, minimising the maximum bin weight.
+
+    Greedy decreasing rule: items are sorted by decreasing weight and each
+    item goes to the currently lightest bin (``best_fit=True``) or to the
+    first bin that keeps the running maximum unchanged (``best_fit=False``,
+    a first-fit flavour).  Returns ``(item -> bin index, max bin weight)``.
+    """
+    if bin_count < 1:
+        raise ConfigurationError("bin_count must be >= 1")
+    loads = [0.0] * bin_count
+    assignment: dict[int, int] = {}
+    for index in sorted(range(len(weights)), key=lambda i: -weights[i]):
+        if best_fit:
+            target = min(range(bin_count), key=lambda b: (loads[b], b))
+        else:
+            current_max = max(loads)
+            target = next(
+                (b for b in range(bin_count) if loads[b] + weights[index] <= current_max + 1e-12),
+                min(range(bin_count), key=lambda b: (loads[b], b)),
+            )
+        assignment[index] = target
+        loads[target] += weights[index]
+    return assignment, max(loads) if loads else 0.0
+
+
+def ffd_memory_assignment(schedule: Schedule) -> AssignmentResult:
+    """Best-fit-decreasing block assignment by memory onto the processors.
+
+    Ignores timing constraints entirely (the schedule keeps its original
+    start times); used as the "pure bin-packing" point of experiment E6.
+    """
+    blocks = build_blocks(schedule, BlockBuildOptions())
+    processors = schedule.architecture.processor_names
+    ordered = sorted(blocks, key=lambda b: b.id)
+    raw, _max_weight = pack_min_max([b.memory for b in ordered], len(processors))
+    assignment = {block.id: processors[raw[i]] for i, block in enumerate(ordered)}
+    memory, execution = assignment_loads(blocks, assignment, processors)
+    return AssignmentResult(
+        name="ffd-memory",
+        assignment=assignment,
+        schedule=materialize_assignment(schedule, blocks, assignment),
+        max_memory=max(memory.values(), default=0.0),
+        max_execution=max(execution.values(), default=0.0),
+    )

@@ -1,0 +1,147 @@
+"""Exact branch-and-bound partitioning (the optimum of Theorem 2).
+
+Theorem 2 compares the memory-only heuristic with ``ω_opt``, "the optimal
+solution": the smallest achievable maximum per-processor memory over all ways
+of distributing the blocks onto the ``M`` processors.  Computing it is
+NP-hard (multiprocessor-scheduling / number partitioning), but small
+instances — a dozen blocks, a handful of processors — are solved exactly by
+the depth-first branch-and-bound implemented here, which is all experiment E5
+needs to measure the empirical approximation ratio.
+
+The same routine doubles as an exact minimiser of the maximum per-processor
+*execution time* (pass the blocks' execution weights instead of their memory
+weights), giving the load-balancing optimum on small instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+__all__ = ["PartitionResult", "optimal_min_max_partition", "optimal_max_memory"]
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionResult:
+    """Outcome of the exact min-max partition search."""
+
+    #: item index -> bin index of one optimal assignment.
+    assignment: dict[int, int]
+    #: Optimal (minimal) maximum bin weight.
+    optimum: float
+    #: Number of search nodes explored (for complexity reporting).
+    nodes: int
+    #: ``True`` when the search completed (always, unless ``node_limit`` hit).
+    exact: bool
+
+
+def optimal_min_max_partition(
+    weights: Sequence[float],
+    bin_count: int,
+    *,
+    node_limit: int = 2_000_000,
+) -> PartitionResult:
+    """Exact minimal maximum bin weight of partitioning ``weights`` into ``bin_count`` bins.
+
+    Depth-first branch and bound with:
+
+    * items sorted by decreasing weight (classic dominance),
+    * symmetry breaking (an item may open at most one new empty bin),
+    * lower bound ``max(largest item, total/bins)``,
+    * pruning on the incumbent.
+
+    Raises
+    ------
+    AnalysisError
+        If ``bin_count < 1`` or a weight is negative.
+    """
+    if bin_count < 1:
+        raise AnalysisError("bin_count must be >= 1")
+    if any(weight < 0 for weight in weights):
+        raise AnalysisError("weights must be non-negative")
+    count = len(weights)
+    if count == 0:
+        return PartitionResult(assignment={}, optimum=0.0, nodes=0, exact=True)
+
+    order = sorted(range(count), key=lambda i: -weights[i])
+    sorted_weights = [weights[i] for i in order]
+    total = sum(sorted_weights)
+    lower_bound = max(sorted_weights[0], total / bin_count)
+
+    # Greedy incumbent (best-fit decreasing) to start with a good upper bound.
+    loads = [0.0] * bin_count
+    greedy_assignment = [0] * count
+    for position, weight in enumerate(sorted_weights):
+        target = min(range(bin_count), key=lambda b: (loads[b], b))
+        greedy_assignment[position] = target
+        loads[target] += weight
+    best_value = max(loads)
+    best_assignment = list(greedy_assignment)
+
+    suffix_total = [0.0] * (count + 1)
+    for position in range(count - 1, -1, -1):
+        suffix_total[position] = suffix_total[position + 1] + sorted_weights[position]
+
+    nodes = 0
+    exact = True
+    current = [0.0] * bin_count
+    assignment = [0] * count
+
+    def search(position: int) -> None:
+        nonlocal nodes, best_value, best_assignment, exact
+        if nodes >= node_limit:
+            exact = False
+            return
+        nodes += 1
+        if best_value <= lower_bound + 1e-12:
+            return
+        if position == count:
+            value = max(current)
+            if value < best_value - 1e-12:
+                best_value = value
+                best_assignment = assignment.copy()
+            return
+        weight = sorted_weights[position]
+        # Remaining-work bound: even a perfect spread of the remaining items
+        # cannot push the final maximum below this value.
+        remaining_bound = max(
+            max(current),
+            (sum(current) + suffix_total[position]) / bin_count,
+        )
+        if remaining_bound >= best_value - 1e-12:
+            return
+        tried_empty = False
+        seen_loads: set[float] = set()
+        for bin_index in range(bin_count):
+            load = current[bin_index]
+            if load == 0.0:
+                if tried_empty:
+                    continue  # symmetry: all empty bins are equivalent
+                tried_empty = True
+            if load in seen_loads:
+                continue  # bins with identical loads are equivalent
+            seen_loads.add(load)
+            if load + weight >= best_value - 1e-12:
+                continue
+            current[bin_index] = load + weight
+            assignment[position] = bin_index
+            search(position + 1)
+            current[bin_index] = load
+            if nodes >= node_limit:
+                return
+
+    search(0)
+
+    final = {order[position]: best_assignment[position] for position in range(count)}
+    return PartitionResult(assignment=final, optimum=best_value, nodes=nodes, exact=exact)
+
+
+def optimal_max_memory(
+    memories: Sequence[float], processor_count: int, *, node_limit: int = 2_000_000
+) -> float:
+    """``ω_opt``: the optimal maximum per-processor memory for the given block memories."""
+    return optimal_min_max_partition(
+        memories, processor_count, node_limit=node_limit
+    ).optimum

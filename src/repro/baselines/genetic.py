@@ -1,0 +1,159 @@
+"""Genetic-algorithm load balancer (Greene-style baseline, reference [9]).
+
+The related-work section of the paper cites genetic algorithms as a popular
+family of sub-optimal load balancers for general-purpose distributed
+applications.  This module implements a compact, deterministic-seeded GA over
+block → processor assignment vectors:
+
+* chromosome: one gene per block holding the processor index;
+* fitness: weighted combination of the maximum per-processor execution time
+  and the maximum per-processor memory (both normalised by the ideal even
+  split), to be *minimised*;
+* operators: tournament selection, uniform crossover, per-gene reset
+  mutation, elitism.
+
+Like the other assignment-level baselines it ignores dependence and strict
+periodicity constraints — which is exactly the gap the paper's heuristic
+fills — so the materialised schedule may be infeasible; experiment E6 reports
+this alongside the memory/load figures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import (
+    AssignmentResult,
+    assignment_loads,
+    materialize_assignment,
+)
+from repro.core.blocks import Block, BlockBuildOptions, build_blocks
+from repro.errors import ConfigurationError
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["GeneticOptions", "genetic_assignment"]
+
+
+@dataclass(frozen=True, slots=True)
+class GeneticOptions:
+    """Hyper-parameters of the GA baseline."""
+
+    population_size: int = 60
+    generations: int = 120
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.05
+    tournament_size: int = 3
+    elite_count: int = 2
+    #: Relative weight of the memory term in the fitness (0 = load only,
+    #: 1 = memory only).
+    memory_weight: float = 0.5
+    seed: int = 2008
+
+    def validate(self) -> None:
+        """Sanity-check the hyper-parameters."""
+        if self.population_size < 2:
+            raise ConfigurationError("population_size must be >= 2")
+        if self.generations < 1:
+            raise ConfigurationError("generations must be >= 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ConfigurationError("crossover_rate must be in [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ConfigurationError("mutation_rate must be in [0, 1]")
+        if not 0.0 <= self.memory_weight <= 1.0:
+            raise ConfigurationError("memory_weight must be in [0, 1]")
+        if self.tournament_size < 1:
+            raise ConfigurationError("tournament_size must be >= 1")
+        if self.elite_count < 0 or self.elite_count >= self.population_size:
+            raise ConfigurationError("elite_count must be in [0, population_size)")
+
+
+def _fitness(
+    population: np.ndarray,
+    memories: np.ndarray,
+    executions: np.ndarray,
+    processor_count: int,
+    memory_weight: float,
+) -> np.ndarray:
+    """Vectorised fitness (to minimise) of a population of assignments."""
+    pop_size = population.shape[0]
+    memory_loads = np.zeros((pop_size, processor_count))
+    execution_loads = np.zeros((pop_size, processor_count))
+    rows = np.arange(pop_size)[:, None]
+    np.add.at(memory_loads, (rows, population), memories[None, :])
+    np.add.at(execution_loads, (rows, population), executions[None, :])
+    ideal_memory = memories.sum() / processor_count or 1.0
+    ideal_execution = executions.sum() / processor_count or 1.0
+    memory_term = memory_loads.max(axis=1) / max(ideal_memory, 1e-12)
+    execution_term = execution_loads.max(axis=1) / max(ideal_execution, 1e-12)
+    return memory_weight * memory_term + (1.0 - memory_weight) * execution_term
+
+
+def genetic_assignment(
+    schedule: Schedule,
+    options: GeneticOptions | None = None,
+    blocks: Sequence[Block] | None = None,
+) -> AssignmentResult:
+    """Evolve a block → processor assignment with a genetic algorithm."""
+    options = options or GeneticOptions()
+    options.validate()
+    blocks = list(blocks) if blocks is not None else list(build_blocks(schedule, BlockBuildOptions()))
+    processors = schedule.architecture.processor_names
+    processor_count = len(processors)
+    block_count = len(blocks)
+    rng = np.random.default_rng(options.seed)
+
+    memories = np.array([b.memory for b in blocks], dtype=float)
+    executions = np.array([b.execution_time for b in blocks], dtype=float)
+
+    population = rng.integers(0, processor_count, size=(options.population_size, block_count))
+    # Seed one individual with the identity assignment so the GA never does
+    # worse than "no balancing".
+    identity = np.array(
+        [processors.index(b.processor) for b in blocks], dtype=population.dtype
+    )
+    population[0] = identity
+
+    best_genome = identity.copy()
+    best_fitness = float("inf")
+    evaluations = 0
+
+    for _generation in range(options.generations):
+        fitness = _fitness(population, memories, executions, processor_count, options.memory_weight)
+        evaluations += len(fitness)
+        order = np.argsort(fitness)
+        if fitness[order[0]] < best_fitness:
+            best_fitness = float(fitness[order[0]])
+            best_genome = population[order[0]].copy()
+
+        next_population = [population[i].copy() for i in order[: options.elite_count]]
+        while len(next_population) < options.population_size:
+            parents = []
+            for _ in range(2):
+                contenders = rng.integers(0, options.population_size, size=options.tournament_size)
+                winner = contenders[np.argmin(fitness[contenders])]
+                parents.append(population[winner])
+            if rng.random() < options.crossover_rate and block_count > 1:
+                mask = rng.random(block_count) < 0.5
+                child = np.where(mask, parents[0], parents[1])
+            else:
+                child = parents[0].copy()
+            mutate = rng.random(block_count) < options.mutation_rate
+            if mutate.any():
+                child = child.copy()
+                child[mutate] = rng.integers(0, processor_count, size=int(mutate.sum()))
+            next_population.append(child)
+        population = np.vstack(next_population)
+
+    assignment = {block.id: processors[int(best_genome[i])] for i, block in enumerate(blocks)}
+    memory, execution = assignment_loads(blocks, assignment, processors)
+    return AssignmentResult(
+        name="genetic",
+        assignment=assignment,
+        schedule=materialize_assignment(schedule, blocks, assignment),
+        max_memory=max(memory.values(), default=0.0),
+        max_execution=max(execution.values(), default=0.0),
+        info={"fitness": best_fitness, "evaluations": float(evaluations)},
+    )

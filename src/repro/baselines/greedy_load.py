@@ -1,0 +1,57 @@
+"""Memory-blind load balancing baselines.
+
+Two flavours are provided:
+
+* :func:`greedy_load_balance` — the paper's own framework (block moves under
+  dependence and strict-periodicity constraints) driven by the ``LOAD_ONLY``
+  cost policy: it maximises the start-time gain and spreads the *execution
+  time*, ignoring memory entirely.  This is the fair "classic load balancing"
+  comparison point: same constraints, no memory term.
+* :func:`lpt_assignment` — the classic Longest-Processing-Time list rule on
+  block execution times, ignoring both memory and timing constraints
+  (an assignment-level baseline in the spirit of the load-balancing
+  literature the paper cites).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import AssignmentResult, assignment_loads, materialize_assignment
+from repro.core.blocks import BlockBuildOptions, build_blocks
+from repro.core.cost import CostPolicy
+from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
+from repro.core.result import LoadBalanceResult
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["greedy_load_balance", "lpt_assignment"]
+
+
+def greedy_load_balance(schedule: Schedule) -> LoadBalanceResult:
+    """Run the block-move heuristic with the memory-blind ``LOAD_ONLY`` policy."""
+    options = LoadBalancerOptions(policy=CostPolicy.LOAD_ONLY)
+    return LoadBalancer(schedule, options).run()
+
+
+def lpt_assignment(schedule: Schedule) -> AssignmentResult:
+    """Longest-Processing-Time block assignment (Graham's list rule).
+
+    Blocks are sorted by decreasing execution time and greedily assigned to
+    the processor with the smallest execution load so far.  Memory and timing
+    constraints are ignored — the resulting schedule keeps the original start
+    times and may therefore violate dependences, which experiment E6 reports.
+    """
+    blocks = build_blocks(schedule, BlockBuildOptions())
+    processors = schedule.architecture.processor_names
+    load = {name: 0.0 for name in processors}
+    assignment: dict[int, str] = {}
+    for block in sorted(blocks, key=lambda b: (-b.execution_time, b.id)):
+        target = min(processors, key=lambda name: (load[name], name))
+        assignment[block.id] = target
+        load[target] += block.execution_time
+    memory, execution = assignment_loads(blocks, assignment, processors)
+    return AssignmentResult(
+        name="lpt-load-only",
+        assignment=assignment,
+        schedule=materialize_assignment(schedule, blocks, assignment),
+        max_memory=max(memory.values(), default=0.0),
+        max_execution=max(execution.values(), default=0.0),
+    )

@@ -1,0 +1,74 @@
+"""Memory-only balancing (the variant analysed by Theorem 2).
+
+Section 5.2 of the paper analyses the heuristic when the cost function keeps
+only its memory term (``λ = Cst / Σ m``): each block goes to the processor
+that has received the least memory so far.  Theorem 2 proves this greedy rule
+is a ``(2 − 1/M)``-approximation of the optimal maximum per-processor memory.
+
+Two entry points are provided:
+
+* :func:`memory_only_balance` — the paper's framework with the
+  ``MEMORY_ONLY`` cost policy (still honouring dependence / periodicity
+  feasibility, eligibility and the LCM condition);
+* :func:`greedy_memory_assignment` — the bare greedy rule of the proof
+  (assignment-level, no timing), which is the object Theorem 2 actually
+  bounds and what experiment E5 compares against the exact optimum.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.baselines.base import (
+    AssignmentResult,
+    assignment_loads,
+    materialize_assignment,
+)
+from repro.core.blocks import Block, BlockBuildOptions, build_blocks
+from repro.core.cost import CostPolicy
+from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
+from repro.core.result import LoadBalanceResult
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["memory_only_balance", "greedy_memory_assignment", "greedy_min_memory"]
+
+
+def memory_only_balance(schedule: Schedule) -> LoadBalanceResult:
+    """Run the block-move heuristic with the ``MEMORY_ONLY`` policy."""
+    options = LoadBalancerOptions(policy=CostPolicy.MEMORY_ONLY)
+    return LoadBalancer(schedule, options).run()
+
+
+def greedy_min_memory(weights: Sequence[float], processors: Sequence[str]) -> dict[int, str]:
+    """The bare greedy rule of Theorem 2 on raw memory weights.
+
+    Items are processed *in the given order* (the heuristic processes blocks
+    in start-time order, not sorted by size) and each item goes to the
+    processor with the smallest memory total so far.
+    """
+    load = {name: 0.0 for name in processors}
+    assignment: dict[int, str] = {}
+    for index, weight in enumerate(weights):
+        target = min(processors, key=lambda name: (load[name], name))
+        assignment[index] = target
+        load[target] += weight
+    return assignment
+
+
+def greedy_memory_assignment(
+    schedule: Schedule, blocks: Sequence[Block] | None = None
+) -> AssignmentResult:
+    """Greedy memory-only block assignment (no timing constraints)."""
+    blocks = list(blocks) if blocks is not None else list(build_blocks(schedule, BlockBuildOptions()))
+    blocks_sorted = sorted(blocks, key=lambda b: (b.start, b.id))
+    processors = schedule.architecture.processor_names
+    raw = greedy_min_memory([b.memory for b in blocks_sorted], processors)
+    assignment = {block.id: raw[i] for i, block in enumerate(blocks_sorted)}
+    memory, execution = assignment_loads(blocks, assignment, processors)
+    return AssignmentResult(
+        name="greedy-memory-only",
+        assignment=assignment,
+        schedule=materialize_assignment(schedule, blocks, assignment),
+        max_memory=max(memory.values(), default=0.0),
+        max_execution=max(execution.values(), default=0.0),
+    )

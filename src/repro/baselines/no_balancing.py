@@ -1,0 +1,32 @@
+"""The "do nothing" baseline: keep the initial schedule as produced.
+
+This is the reference point of every comparison in the paper: the initial
+distributed schedule satisfies dependence and strict periodicity constraints
+but typically concentrates dependent tasks on few processors (the worked
+example puts 16 of the 24 memory units on ``P1``), wasting both time and
+memory headroom.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import AssignmentResult, assignment_loads
+from repro.core.blocks import BlockBuildOptions, build_blocks
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["no_balancing"]
+
+
+def no_balancing(schedule: Schedule) -> AssignmentResult:
+    """Return the identity assignment (every block stays where it is)."""
+    blocks = build_blocks(schedule, BlockBuildOptions())
+    assignment = {block.id: block.processor for block in blocks}
+    memory, execution = assignment_loads(
+        blocks, assignment, schedule.architecture.processor_names
+    )
+    return AssignmentResult(
+        name="no-balancing",
+        assignment=assignment,
+        schedule=schedule,
+        max_memory=max(memory.values(), default=0.0),
+        max_execution=max(execution.values(), default=0.0),
+    )

@@ -1,0 +1,172 @@
+"""Command-line interface (installed as ``repro-lb``).
+
+Three subcommands cover the common workflows:
+
+``repro-lb example``
+    Reproduce the paper's worked example (Figures 2–4) and print the
+    before/after schedules and the step-by-step decisions.
+
+``repro-lb experiment E1 [E2 ...] [--full]``
+    Run one or more of the experiments E1–E8 and print their tables (the same
+    code the benchmarks call).
+
+``repro-lb random --tasks N --processors M [--shape ...] [--seed ...]``
+    Generate a synthetic workload, run the initial scheduler and the load
+    balancer, and print the comparison (optionally simulating both schedules).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro._version import __version__
+from repro.core.cost import CostPolicy
+from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
+from repro.experiments import ALL_EXPERIMENTS
+from repro.metrics.report import ScheduleReport, compare_schedules
+from repro.scheduling.heuristic import PlacementPolicy, SchedulerOptions
+from repro.simulation.engine import SimulationOptions, simulate
+from repro.workloads.generator import scheduled_workload
+from repro.workloads.paper_example import paper_initial_schedule
+from repro.workloads.spec import GraphShape, WorkloadSpec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-lb`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lb",
+        description="Load balancing and efficient memory usage for homogeneous distributed "
+        "real-time embedded systems (Kermia & Sorel, 2008) — reproduction toolkit.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    example = subparsers.add_parser("example", help="reproduce the paper's worked example")
+    example.add_argument(
+        "--policy",
+        choices=[policy.value for policy in CostPolicy],
+        default=CostPolicy.LEXICOGRAPHIC.value,
+        help="cost-function policy (default: lexicographic, which matches the paper's trace)",
+    )
+    example.add_argument(
+        "--steps", action="store_true", help="print the per-block decision trace"
+    )
+
+    experiment = subparsers.add_parser("experiment", help="run experiments E1..E8")
+    experiment.add_argument(
+        "names",
+        nargs="+",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="experiment identifiers (or 'all')",
+    )
+
+    random_cmd = subparsers.add_parser("random", help="balance a synthetic workload")
+    random_cmd.add_argument("--tasks", type=int, default=40)
+    random_cmd.add_argument("--processors", type=int, default=4)
+    random_cmd.add_argument("--utilization", type=float, default=0.3)
+    random_cmd.add_argument(
+        "--shape", choices=[shape.value for shape in GraphShape], default=GraphShape.PIPELINE.value
+    )
+    random_cmd.add_argument("--seed", type=int, default=2008)
+    random_cmd.add_argument(
+        "--initial-policy",
+        choices=[policy.value for policy in PlacementPolicy],
+        default=PlacementPolicy.LEAST_LOADED.value,
+    )
+    random_cmd.add_argument(
+        "--policy",
+        choices=[policy.value for policy in CostPolicy],
+        default=CostPolicy.RATIO.value,
+    )
+    random_cmd.add_argument(
+        "--simulate", action="store_true", help="replay both schedules in the simulator"
+    )
+    return parser
+
+
+def _run_example(args: argparse.Namespace) -> int:
+    schedule = paper_initial_schedule()
+    options = LoadBalancerOptions(policy=CostPolicy(args.policy))
+    result = LoadBalancer(schedule, options).run()
+    print("Initial schedule (Figure 3):")
+    print(schedule.describe())
+    print()
+    if args.steps:
+        for step, decision in enumerate(result.decisions, start=1):
+            print(f"step {step}:")
+            print(decision.describe())
+            print()
+    print("Balanced schedule (Figure 4):")
+    print(result.balanced_schedule.describe())
+    print()
+    print(result.summary())
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    names = sorted(ALL_EXPERIMENTS) if "all" in args.names else args.names
+    failures = 0
+    for name in names:
+        result = ALL_EXPERIMENTS[name]()
+        print(result.render())
+        print()
+        if result.passed is False:
+            failures += 1
+    return 1 if failures else 0
+
+
+def _run_random(args: argparse.Namespace) -> int:
+    spec = WorkloadSpec(
+        task_count=args.tasks,
+        processor_count=args.processors,
+        utilization=args.utilization,
+        shape=GraphShape(args.shape),
+        seed=args.seed,
+        label=f"cli-{args.shape}-{args.seed}",
+    )
+    workload, schedule = scheduled_workload(
+        spec, SchedulerOptions(policy=PlacementPolicy(args.initial_policy))
+    )
+    print(workload.describe())
+    result = LoadBalancer(schedule, LoadBalancerOptions(policy=CostPolicy(args.policy))).run()
+    print(result.summary())
+    print()
+    print(
+        compare_schedules(
+            [
+                ScheduleReport.of("initial", schedule),
+                ScheduleReport.of("balanced", result.balanced_schedule),
+            ]
+        )
+    )
+    if args.simulate:
+        for label, candidate in (
+            ("initial", schedule),
+            ("balanced", result.balanced_schedule),
+        ):
+            print()
+            print(f"simulation of the {label} schedule:")
+            print(simulate(candidate, SimulationOptions(hyper_periods=2)).summary())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-lb`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "example":
+        return _run_example(args)
+    if args.command == "experiment":
+        return _run_experiments(args)
+    if args.command == "random":
+        return _run_random(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's contribution: load balancing with efficient memory usage.
+
+* :mod:`~repro.core.blocks` — block construction and categories;
+* :mod:`~repro.core.cost` — gain (eq. (3)) and cost-function policies (eq. (5));
+* :mod:`~repro.core.conditions` — eligibility pre-filter and Block/LCM
+  condition (eq. (4));
+* :mod:`~repro.core.load_balancer` — Algorithm 3.2;
+* :mod:`~repro.core.result` — decision traces and result objects.
+"""
+
+from repro.core.blocks import Block, BlockBuildOptions, BlockCategory, build_blocks
+from repro.core.conditions import (
+    BalancingState,
+    ProcessorState,
+    is_eligible,
+    satisfies_lcm_condition,
+)
+from repro.core.cost import CostPolicy, MoveEvaluation, evaluate_move, policy_score
+from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions, balance_schedule
+from repro.core.result import CandidateReport, LoadBalanceResult, MoveDecision
+
+__all__ = [
+    "BalancingState",
+    "Block",
+    "BlockBuildOptions",
+    "BlockCategory",
+    "CandidateReport",
+    "CostPolicy",
+    "LoadBalanceResult",
+    "LoadBalancer",
+    "LoadBalancerOptions",
+    "MoveDecision",
+    "MoveEvaluation",
+    "ProcessorState",
+    "balance_schedule",
+    "build_blocks",
+    "evaluate_move",
+    "is_eligible",
+    "policy_score",
+    "satisfies_lcm_condition",
+]

@@ -1,0 +1,189 @@
+"""Gain and cost function of the load-balancing heuristic (eqs. (3) and (5)).
+
+For a block ``A`` currently on processor ``Pi`` and a candidate target
+processor ``Pj`` the heuristic computes:
+
+* the **gain** ``G_{Pi->Pj}(A) = S_old - S_new`` (eq. (3)): the decrease of
+  the block's start time if it were moved to ``Pj``.  The new start time is
+  the earliest time at which every member of the block has received the data
+  of its external producers (current completion time plus one communication
+  time when the producer sits on a different processor than ``Pj``) and the
+  last block already moved to ``Pj`` has completed;
+* the **cost function** ``λ_{Pi->Pj}(A)`` (eq. (5)) combining the gain with
+  the memory already moved to ``Pj``: a larger gain and a smaller memory
+  amount both increase ``λ``.
+
+Category-2 blocks (later instances) cannot change their start time: their
+start is pinned by strict periodicity.  A move of such a block is *feasible*
+only when the pinned start can be honoured on the target (data arrives and
+the processor is free in time); otherwise the candidate is discarded — this
+is what step 6 of the paper's worked example does when it writes ``λ = 0/6``.
+
+Several scoring policies are provided because the paper's eq. (5) and its
+worked example are not perfectly consistent (see ``DESIGN.md``, section 2):
+
+``RATIO``
+    ``λ = (G+1)/Σm`` with ``λ = G+1`` when nothing has been moved to the
+    target yet.  This matches steps 1, 2, 4, 5 and 6 of the example and is
+    the library default.
+``RATIO_STRICT``
+    Literal eq. (5): ``λ = G`` when nothing has been moved to the target yet.
+``LEXICOGRAPHIC``
+    Maximise the gain first, then minimise the moved memory.  This policy
+    reproduces *every decision* of the worked example including the final
+    makespan of 14 (see experiment E1).
+``MEMORY_ONLY``
+    Ignore the gain and minimise the moved memory — the variant analysed by
+    Theorem 2 (the ``(2 - 1/M)``-approximation).
+``LOAD_ONLY``
+    Ignore memory and minimise the execution time already moved to the
+    target — a classic memory-blind load balancer used as a baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.blocks import Block
+from repro.core.conditions import BalancingState, ProcessorState
+from repro.model.architecture import Architecture
+from repro.model.graph import TaskGraph
+from repro.scheduling.unrolling import predecessors_of_instance
+
+__all__ = ["CostPolicy", "MoveEvaluation", "evaluate_move", "policy_score"]
+
+_EPS = 1e-9
+
+
+class CostPolicy(enum.Enum):
+    """Selectable interpretations of the paper's cost function."""
+
+    RATIO = "ratio"
+    RATIO_STRICT = "ratio_strict"
+    LEXICOGRAPHIC = "lexicographic"
+    MEMORY_ONLY = "memory_only"
+    LOAD_ONLY = "load_only"
+
+
+@dataclass(frozen=True, slots=True)
+class MoveEvaluation:
+    """Outcome of evaluating one ``(block, target processor)`` candidate."""
+
+    block_id: int
+    source: str
+    target: str
+    #: ``True`` when the move honours the block's (possibly pinned) start time.
+    feasible: bool
+    #: Start-time gain ``S_old - S_new`` (0 for feasible category-2 moves,
+    #: negative for infeasible candidates — kept for reporting).
+    gain: float
+    #: Start time the block would get on the target.
+    placement_start: float
+    #: Memory already moved to the target before this move.
+    target_memory: float
+    #: Execution time already moved to the target before this move.
+    target_execution: float
+    #: Value of the ratio cost function λ (``None`` for non-ratio policies).
+    lambda_value: float | None = None
+
+    @property
+    def placement_end(self) -> float:
+        """Not meaningful on its own; the balancer adds the block span."""
+        return self.placement_start
+
+
+def evaluate_move(
+    block: Block,
+    target: str,
+    state: BalancingState,
+    graph: TaskGraph,
+    architecture: Architecture,
+) -> MoveEvaluation:
+    """Evaluate moving ``block`` to ``target`` under the current state.
+
+    The block's *current* start time and per-member offsets are taken from
+    ``state.current`` (they may have been decreased by earlier category-1
+    gains); producer completion times are also read from ``state.current`` so
+    that blocks already moved are seen at their new positions and blocks not
+    yet processed at their original ones.
+    """
+    member_keys = set(block.member_keys)
+    positions = {key: state.position(key) for key in member_keys}
+    current_start = min(start for _proc, start in positions.values())
+
+    # Earliest start implied by data arrivals of external producers.
+    data_bound = 0.0
+    for key in member_keys:
+        _proc, member_start = positions[key]
+        offset = member_start - current_start
+        in_edges = state.in_edges.get(key)
+        if in_edges is None:
+            in_edges = predecessors_of_instance(graph, key[0], key[1])
+        for edge in in_edges:
+            if edge.producer in member_keys:
+                continue  # intra-block dependence: moves with the block
+            producer_proc, producer_start = state.position(edge.producer)
+            producer_task = graph.task(edge.producer[0])
+            producer_end = producer_start + producer_task.wcet
+            arrival = producer_end + architecture.comm_time(
+                producer_proc, target, edge.data_size
+            )
+            data_bound = max(data_bound, arrival - offset)
+
+    proc_state = state.processor(target)
+    earliest = max(0.0, data_bound, proc_state.last_end)
+
+    if block.is_first_category:
+        gain = current_start - earliest
+        feasible = gain >= -_EPS
+        placement_start = earliest if feasible else current_start
+        gain = max(gain, 0.0) if feasible else gain
+    else:
+        # Pinned by strict periodicity: the block must start exactly at its
+        # current start time; the move is feasible only if everything is
+        # ready by then.
+        feasible = earliest <= current_start + _EPS
+        placement_start = current_start
+        gain = 0.0 if feasible else current_start - earliest
+
+    return MoveEvaluation(
+        block_id=block.id,
+        source=block.processor,
+        target=target,
+        feasible=feasible,
+        gain=gain,
+        placement_start=placement_start,
+        target_memory=proc_state.moved_memory,
+        target_execution=proc_state.moved_execution,
+        lambda_value=_ratio_lambda(gain, proc_state, strict=False),
+    )
+
+
+def _ratio_lambda(gain: float, proc_state: ProcessorState, *, strict: bool) -> float:
+    """Ratio form of eq. (5) for the given gain and target state."""
+    if proc_state.is_empty or proc_state.moved_memory <= _EPS:
+        return gain if strict else gain + 1.0
+    return (gain + 1.0) / proc_state.moved_memory
+
+
+def policy_score(
+    evaluation: MoveEvaluation, proc_state: ProcessorState, policy: CostPolicy
+) -> tuple[float, ...]:
+    """Comparable score of a candidate under ``policy`` (larger is better).
+
+    The returned tuples are only comparable within a single policy; the load
+    balancer appends its own tie-break keys (current processor first, then
+    processor declaration order).
+    """
+    if policy is CostPolicy.RATIO:
+        return (_ratio_lambda(evaluation.gain, proc_state, strict=False),)
+    if policy is CostPolicy.RATIO_STRICT:
+        return (_ratio_lambda(evaluation.gain, proc_state, strict=True),)
+    if policy is CostPolicy.LEXICOGRAPHIC:
+        return (evaluation.gain, -proc_state.moved_memory)
+    if policy is CostPolicy.MEMORY_ONLY:
+        return (-proc_state.moved_memory,)
+    if policy is CostPolicy.LOAD_ONLY:
+        return (evaluation.gain, -proc_state.moved_execution)
+    raise AssertionError(f"Unhandled cost policy {policy!r}")  # pragma: no cover

@@ -1,0 +1,185 @@
+"""Result objects of the load-balancing heuristic.
+
+The heuristic returns more than a new schedule: every block move is recorded
+as a :class:`MoveDecision` carrying the evaluations of all candidate
+processors, so that the worked example of the paper (section 3.3) can be
+replayed step by step and so that experiments can inspect *why* a block went
+where it went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.blocks import Block
+from repro.core.cost import CostPolicy, MoveEvaluation
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["CandidateReport", "MoveDecision", "LoadBalanceResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateReport:
+    """One candidate processor considered for a block move."""
+
+    evaluation: MoveEvaluation
+    #: ``True`` when the eligibility pre-filter allowed this processor.
+    eligible: bool
+    #: ``True`` when the Block/LCM condition held for this candidate
+    #: (``None`` when it was never checked because the candidate lost earlier).
+    lcm_ok: bool | None
+    #: Score tuple assigned by the active cost policy (larger is better).
+    score: tuple[float, ...]
+
+    @property
+    def target(self) -> str:
+        """Target processor of the candidate."""
+        return self.evaluation.target
+
+
+@dataclass(frozen=True, slots=True)
+class MoveDecision:
+    """The decision taken for one block."""
+
+    block: Block
+    #: The block's start time at decision time (may be smaller than the
+    #: original start if a previous category-1 gain propagated to it).
+    start_before: float
+    chosen_processor: str
+    placement_start: float
+    gain: float
+    candidates: tuple[CandidateReport, ...]
+    #: ``True`` when no candidate satisfied every rule and the block was kept
+    #: on its original processor as a fallback.
+    forced: bool = False
+    #: Blocks (ids) whose start times were decreased as a consequence of this
+    #: move (the paper's "update the start times of the blocks containing
+    #: tasks whose instances are in the moved block").
+    updated_blocks: tuple[int, ...] = ()
+
+    @property
+    def moved_away(self) -> bool:
+        """``True`` when the block changed processor."""
+        return self.chosen_processor != self.block.processor
+
+    def candidate_for(self, processor: str) -> CandidateReport | None:
+        """The candidate report of a given processor, if it was considered."""
+        for candidate in self.candidates:
+            if candidate.target == processor:
+                return candidate
+        return None
+
+    def describe(self) -> str:
+        """One-paragraph human readable description of the decision."""
+        parts = [
+            f"block {self.block.label} (S={self.start_before:g}, "
+            f"E={self.block.execution_time:g}, m={self.block.memory:g}, "
+            f"cat={int(self.block.category)}) from {self.block.processor}"
+        ]
+        for candidate in self.candidates:
+            ev = candidate.evaluation
+            flags = []
+            if not candidate.eligible:
+                flags.append("not eligible")
+            if not ev.feasible:
+                flags.append("infeasible")
+            if candidate.lcm_ok is False:
+                flags.append("LCM violated")
+            flag_text = f" ({', '.join(flags)})" if flags else ""
+            parts.append(
+                f"  -> {ev.target}: G={ev.gain:g}, moved mem={ev.target_memory:g}, "
+                f"lambda={ev.lambda_value if ev.lambda_value is not None else 'n/a'}, "
+                f"score={candidate.score}{flag_text}"
+            )
+        parts.append(
+            f"  chosen: {self.chosen_processor} at S={self.placement_start:g} "
+            f"(gain {self.gain:g}{', forced' if self.forced else ''})"
+        )
+        return "\n".join(parts)
+
+
+@dataclass(slots=True)
+class LoadBalanceResult:
+    """Complete outcome of one load-balancing run."""
+
+    initial_schedule: Schedule
+    balanced_schedule: Schedule
+    decisions: list[MoveDecision]
+    blocks: tuple[Block, ...]
+    policy: CostPolicy
+    #: Free-form warnings (forced placements, skipped checks, ...).
+    warnings: list[str] = field(default_factory=list)
+    #: Number of cost-function evaluations performed (exactly M · N_blocks:
+    #: every block is evaluated against every processor once — the quantity
+    #: the paper's complexity claim of section 4 counts).
+    evaluations: int = 0
+    #: Which rule set produced the accepted result when
+    #: ``retry_until_feasible`` is enabled: ``"paper"`` (the configured
+    #: options), ``"conservative"`` (the protective re-run) or ``"no-op"``
+    #: (balancing abandoned, the initial schedule is returned unchanged).
+    safety_level: str = "paper"
+
+    # -- headline numbers ---------------------------------------------------
+    @property
+    def makespan_before(self) -> float:
+        """Total execution time of the initial schedule (the paper's ``L_former``)."""
+        return self.initial_schedule.makespan
+
+    @property
+    def makespan_after(self) -> float:
+        """Total execution time of the balanced schedule (the paper's ``L_new``)."""
+        return self.balanced_schedule.makespan
+
+    @property
+    def total_gain(self) -> float:
+        """``G_total = L_former - L_new`` (Theorem 1's quantity)."""
+        return self.makespan_before - self.makespan_after
+
+    @property
+    def memory_before(self) -> dict[str, float]:
+        """Per-processor memory of the initial schedule."""
+        return self.initial_schedule.memory_by_processor()
+
+    @property
+    def memory_after(self) -> dict[str, float]:
+        """Per-processor memory of the balanced schedule."""
+        return self.balanced_schedule.memory_by_processor()
+
+    @property
+    def max_memory_before(self) -> float:
+        """``ω`` of the initial schedule (maximum per-processor memory)."""
+        return max(self.memory_before.values(), default=0.0)
+
+    @property
+    def max_memory_after(self) -> float:
+        """``ω`` of the balanced schedule."""
+        return max(self.memory_after.values(), default=0.0)
+
+    @property
+    def moves(self) -> int:
+        """Number of blocks that changed processor."""
+        return sum(1 for decision in self.decisions if decision.moved_away)
+
+    def decision_for(self, block_label: str) -> MoveDecision | None:
+        """Decision of the block with the given label (e.g. ``"[a#1]"``)."""
+        for decision in self.decisions:
+            if decision.block.label == block_label:
+                return decision
+        return None
+
+    def summary(self) -> str:
+        """Multi-line textual summary mirroring the paper's example wrap-up."""
+        before = ", ".join(f"{k}: {v:g}" for k, v in sorted(self.memory_before.items()))
+        after = ", ".join(f"{k}: {v:g}" for k, v in sorted(self.memory_after.items()))
+        lines = [
+            f"Load balancing with policy {self.policy.value!r}: "
+            f"{len(self.blocks)} blocks, {self.moves} moved to another processor",
+            f"  total execution time: {self.makespan_before:g} -> {self.makespan_after:g} "
+            f"(G_total = {self.total_gain:g})",
+            f"  memory before: [{before}]",
+            f"  memory after:  [{after}] (max {self.max_memory_after:g})",
+        ]
+        if self.warnings:
+            lines.append(f"  warnings: {len(self.warnings)}")
+            lines.extend(f"    - {w}" for w in self.warnings)
+        return "\n".join(lines)

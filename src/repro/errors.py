@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch every library-specific failure with a single ``except``
+clause while still being able to distinguish model errors from scheduling
+errors, infeasibility and configuration problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the :mod:`repro` library."""
+
+
+class ModelError(ReproError):
+    """The application or architecture model is malformed.
+
+    Raised for structural problems: duplicate task names, negative periods,
+    dependences referring to unknown tasks, cyclic task graphs, non-harmonic
+    period ratios on a dependence, and so on.
+    """
+
+
+class ArchitectureError(ModelError):
+    """The architecture description is malformed or not homogeneous."""
+
+
+class SchedulingError(ReproError):
+    """The scheduling substrate failed to produce a valid schedule."""
+
+
+class InfeasibleError(SchedulingError):
+    """No feasible schedule (or block placement) exists for the given input.
+
+    The message carries a human readable diagnosis; the optional
+    :attr:`detail` attribute carries a machine readable payload (for example
+    the task that could not be placed).
+    """
+
+    def __init__(self, message: str, detail: object | None = None) -> None:
+        super().__init__(message)
+        self.detail = detail
+
+
+class ValidationError(ReproError):
+    """A schedule violates one of the constraints it is supposed to satisfy.
+
+    Used by :mod:`repro.scheduling.feasibility` when verification of strict
+    periodicity, precedence, non-overlap or memory capacity fails.
+    """
+
+    def __init__(self, message: str, violations: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.violations: list[str] = list(violations or [])
+
+
+class ConfigurationError(ReproError):
+    """An option combination passed to the library does not make sense."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received parameters it cannot honour."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine (bounds, approximation, complexity) failed."""

@@ -1,0 +1,53 @@
+"""Experiment harness regenerating every artefact of the paper (E1–E8)."""
+
+from repro.experiments.configs import (
+    AblationConfig,
+    ComparisonConfig,
+    ComplexityConfig,
+    IdleFractionConfig,
+    MultirateConfig,
+    Theorem1Config,
+    Theorem2Config,
+)
+from repro.experiments.runner import (
+    run_e1_paper_example,
+    run_e2_multirate_buffering,
+    run_e3_complexity,
+    run_e4_theorem1,
+    run_e5_theorem2,
+    run_e6_baseline_comparison,
+    run_e7_ablation,
+    run_e8_idle_fraction,
+)
+from repro.experiments.tables import ExperimentResult, build_table
+
+__all__ = [
+    "AblationConfig",
+    "ComparisonConfig",
+    "ComplexityConfig",
+    "ExperimentResult",
+    "IdleFractionConfig",
+    "MultirateConfig",
+    "Theorem1Config",
+    "Theorem2Config",
+    "build_table",
+    "run_e1_paper_example",
+    "run_e2_multirate_buffering",
+    "run_e3_complexity",
+    "run_e4_theorem1",
+    "run_e5_theorem2",
+    "run_e6_baseline_comparison",
+    "run_e7_ablation",
+    "run_e8_idle_fraction",
+]
+
+ALL_EXPERIMENTS = {
+    "E1": run_e1_paper_example,
+    "E2": run_e2_multirate_buffering,
+    "E3": run_e3_complexity,
+    "E4": run_e4_theorem1,
+    "E5": run_e5_theorem2,
+    "E6": run_e6_baseline_comparison,
+    "E7": run_e7_ablation,
+    "E8": run_e8_idle_fraction,
+}

@@ -1,0 +1,203 @@
+"""Experiment configurations (E1–E8).
+
+Every experiment of ``EXPERIMENTS.md`` is parameterised by a small dataclass
+with two presets: ``quick()`` (seconds — used by the test suite and the
+default benchmark run) and ``full()`` (minutes — closer to a paper-grade
+campaign).  Benchmarks accept either preset so the same code regenerates the
+tables at both scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scheduling.heuristic import PlacementPolicy, SchedulerOptions
+from repro.workloads.spec import GraphShape, WorkloadSpec
+
+__all__ = [
+    "MultirateConfig",
+    "ComplexityConfig",
+    "Theorem1Config",
+    "Theorem2Config",
+    "ComparisonConfig",
+    "AblationConfig",
+    "IdleFractionConfig",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MultirateConfig:
+    """E2 — Figure-1 multi-rate buffering."""
+
+    period_ratios: tuple[int, ...] = (1, 2, 4, 8)
+    producer_period: int = 3
+    data_size: float = 1.0
+    hyper_periods: int = 2
+
+    @classmethod
+    def quick(cls) -> "MultirateConfig":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "MultirateConfig":
+        return cls(period_ratios=(1, 2, 4, 8, 16, 32))
+
+
+@dataclass(frozen=True, slots=True)
+class ComplexityConfig:
+    """E3 — runtime scaling versus ``M · N_blocks``."""
+
+    task_counts: tuple[int, ...] = (50, 100, 200)
+    processor_counts: tuple[int, ...] = (2, 4, 8)
+    seeds: tuple[int, ...] = (1, 2)
+    utilization: float = 0.25
+    base_period: int = 40
+
+    @classmethod
+    def quick(cls) -> "ComplexityConfig":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "ComplexityConfig":
+        return cls(
+            task_counts=(50, 100, 200, 500, 1000, 2000),
+            processor_counts=(2, 4, 8, 16, 32),
+            seeds=(1, 2, 3),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem1Config:
+    """E4 — gain bounds."""
+
+    processor_counts: tuple[int, ...] = (2, 3, 4)
+    seeds: tuple[int, ...] = tuple(range(8))
+    task_count: int = 24
+    utilization: float = 0.3
+    shapes: tuple[GraphShape, ...] = (GraphShape.SENSOR_FUSION, GraphShape.PIPELINE)
+    #: Placement policy of the initial scheduling heuristic.  The naive
+    #: load-spreading policy creates inter-processor communications the
+    #: balancer can then suppress, which is the situation of the paper's
+    #: worked example.
+    initial_policy: PlacementPolicy = PlacementPolicy.LEAST_LOADED
+
+    def scheduler_options(self) -> SchedulerOptions:
+        """Initial-scheduler options implied by the config."""
+        return SchedulerOptions(policy=self.initial_policy)
+
+    @classmethod
+    def quick(cls) -> "Theorem1Config":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "Theorem1Config":
+        return cls(
+            processor_counts=(2, 3, 4, 6, 8),
+            seeds=tuple(range(50)),
+            shapes=tuple(GraphShape),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Theorem2Config:
+    """E5 — memory-only approximation ratio."""
+
+    processor_counts: tuple[int, ...] = (2, 3, 4)
+    block_counts: tuple[int, ...] = (6, 9, 12)
+    seeds: tuple[int, ...] = tuple(range(10))
+    memory_range: tuple[float, float] = (1.0, 20.0)
+
+    @classmethod
+    def quick(cls) -> "Theorem2Config":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "Theorem2Config":
+        return cls(
+            processor_counts=(2, 3, 4, 6),
+            block_counts=(6, 9, 12, 15),
+            seeds=tuple(range(40)),
+        )
+
+
+def _default_comparison_spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=28,
+        processor_count=4,
+        utilization=0.3,
+        shape=GraphShape.PIPELINE,
+        memory_capacity=float("inf"),
+        label="comparison",
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonConfig:
+    """E6 — proposed heuristic versus baselines."""
+
+    spec: WorkloadSpec = field(default_factory=_default_comparison_spec)
+    seeds: tuple[int, ...] = tuple(range(5))
+    #: Per-processor memory capacity used to count overflow violations
+    #: (expressed as a multiple of the ideal per-processor share).
+    capacity_headroom: float = 1.4
+    #: Placement policy of the initial scheduling heuristic.
+    initial_policy: PlacementPolicy = PlacementPolicy.LEAST_LOADED
+
+    def scheduler_options(self) -> SchedulerOptions:
+        """Initial-scheduler options implied by the config."""
+        return SchedulerOptions(policy=self.initial_policy)
+
+    @classmethod
+    def quick(cls) -> "ComparisonConfig":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "ComparisonConfig":
+        return cls(seeds=tuple(range(20)))
+
+
+@dataclass(frozen=True, slots=True)
+class AblationConfig:
+    """E7 — cost-policy and rule ablations."""
+
+    spec: WorkloadSpec = field(default_factory=_default_comparison_spec)
+    seeds: tuple[int, ...] = tuple(range(5))
+    #: Placement policy of the initial scheduling heuristic.
+    initial_policy: PlacementPolicy = PlacementPolicy.LEAST_LOADED
+
+    def scheduler_options(self) -> SchedulerOptions:
+        """Initial-scheduler options implied by the config."""
+        return SchedulerOptions(policy=self.initial_policy)
+
+    @classmethod
+    def quick(cls) -> "AblationConfig":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "AblationConfig":
+        return cls(seeds=tuple(range(20)))
+
+
+@dataclass(frozen=True, slots=True)
+class IdleFractionConfig:
+    """E8 — processor idle fraction before/after balancing."""
+
+    utilizations: tuple[float, ...] = (0.15, 0.3, 0.45)
+    processor_count: int = 4
+    task_count: int = 28
+    seeds: tuple[int, ...] = tuple(range(5))
+    shape: GraphShape = GraphShape.PIPELINE
+    #: Placement policy of the initial scheduling heuristic.
+    initial_policy: PlacementPolicy = PlacementPolicy.LEAST_LOADED
+
+    def scheduler_options(self) -> SchedulerOptions:
+        """Initial-scheduler options implied by the config."""
+        return SchedulerOptions(policy=self.initial_policy)
+
+    @classmethod
+    def quick(cls) -> "IdleFractionConfig":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "IdleFractionConfig":
+        return cls(utilizations=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6), seeds=tuple(range(20)))

@@ -1,0 +1,614 @@
+"""Experiment runners E1–E8.
+
+Each function regenerates one artefact of the paper (or one analysis claim)
+and returns an :class:`~repro.experiments.tables.ExperimentResult` whose
+table is what the corresponding benchmark prints and whose ``data`` is what
+the test suite asserts against.  ``EXPERIMENTS.md`` records the paper-vs-
+measured comparison produced by these runners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.approximation import approximation_campaign, measure_greedy_ratio
+from repro.analysis.bounds import check_theorem1, theorem1_campaign
+from repro.analysis.complexity import fit_complexity, measure_runtime
+from repro.baselines.bin_packing import ffd_memory_assignment
+from repro.baselines.genetic import GeneticOptions, genetic_assignment
+from repro.baselines.greedy_load import lpt_assignment
+from repro.core.cost import CostPolicy
+from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
+from repro.experiments.configs import (
+    AblationConfig,
+    ComparisonConfig,
+    ComplexityConfig,
+    IdleFractionConfig,
+    MultirateConfig,
+    Theorem1Config,
+    Theorem2Config,
+)
+from repro.experiments.tables import ExperimentResult, build_table
+from repro.metrics.balance import load_imbalance
+from repro.metrics.memory import max_memory, memory_imbalance
+from repro.model.architecture import Architecture, CommunicationModel
+from repro.model.graph import TaskGraph
+from repro.scheduling.communications import synthesize_communications
+from repro.scheduling.feasibility import check_schedule
+from repro.scheduling.schedule import Schedule, ScheduledInstance
+from repro.simulation.engine import SimulationOptions, simulate
+from repro.workloads.generator import scheduled_workloads
+from repro.workloads.paper_example import (
+    PAPER_EXPECTATIONS,
+    paper_initial_schedule,
+)
+
+__all__ = [
+    "run_e1_paper_example",
+    "run_e2_multirate_buffering",
+    "run_e3_complexity",
+    "run_e4_theorem1",
+    "run_e5_theorem2",
+    "run_e6_baseline_comparison",
+    "run_e7_ablation",
+    "run_e8_idle_fraction",
+]
+
+
+# ----------------------------------------------------------------------
+# E1 — the worked example (Figures 2-4, section 3.3)
+# ----------------------------------------------------------------------
+def run_e1_paper_example() -> ExperimentResult:
+    """Reproduce the worked example exactly (decisions, makespan, memory)."""
+    schedule = paper_initial_schedule()
+    expectations = PAPER_EXPECTATIONS
+
+    lex = LoadBalancer(
+        schedule, LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC)
+    ).run()
+    ratio = LoadBalancer(schedule, LoadBalancerOptions(policy=CostPolicy.RATIO)).run()
+
+    decisions = [(d.block.label, d.chosen_processor) for d in lex.decisions]
+    expected_decisions = [tuple(step) for step in expectations["decisions"]]
+    memory_after = {k: float(v) for k, v in lex.memory_after.items()}
+
+    checks = {
+        "initial makespan": (expectations["makespan_before"], schedule.makespan),
+        "initial memory": (expectations["memory_before"], schedule.memory_by_processor()),
+        "block count": (expectations["block_count"], len(lex.blocks)),
+        "decisions": (expected_decisions, decisions),
+        "balanced makespan": (expectations["makespan_after"], lex.makespan_after),
+        "balanced memory": (expectations["memory_after"], memory_after),
+    }
+    passed = all(paper == measured for paper, measured in checks.values())
+
+    rows = [
+        [name, str(paper), str(measured), "yes" if paper == measured else "NO"]
+        for name, (paper, measured) in checks.items()
+    ]
+    rows.append(
+        [
+            "ratio-policy makespan (as-written eq. 5)",
+            str(expectations["makespan_after"]),
+            f"{ratio.makespan_after:g}",
+            "n/a",
+        ]
+    )
+    table = build_table(["quantity", "paper", "measured", "match"], rows)
+    notes = [
+        "LEXICOGRAPHIC policy reproduces every decision of section 3.3; the literal "
+        "eq.-(5) ratio policy diverges at step 3 (see DESIGN.md §2, A1/B1).",
+        f"ratio-policy memory after balancing: {ratio.memory_after}",
+    ]
+    return ExperimentResult(
+        experiment="E1",
+        title="Worked example (Figures 2-4, section 3.3)",
+        paper_claim="Total execution time 15 -> 14; memory [16,4,4] -> [10,6,8] on 3 processors",
+        table=table,
+        data={
+            "decisions": decisions,
+            "makespan_after": lex.makespan_after,
+            "memory_after": memory_after,
+            "ratio_makespan_after": ratio.makespan_after,
+        },
+        passed=passed,
+        notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# E2 — Figure 1: multi-rate buffering
+# ----------------------------------------------------------------------
+def _two_task_schedule(ratio: int, config: MultirateConfig) -> Schedule:
+    """Producer on P1, n-times-slower consumer on P2 (the Figure-1 situation)."""
+    graph = TaskGraph(name=f"figure1-ratio-{ratio}")
+    producer_period = config.producer_period
+    graph.create_task(
+        "prod", period=producer_period, wcet=1, memory=1, data_size=config.data_size
+    )
+    graph.create_task("cons", period=producer_period * ratio, wcet=1, memory=1)
+    graph.connect("prod", "cons")
+    architecture = Architecture.homogeneous(2, comm=CommunicationModel(latency=1.0))
+    instances = []
+    for index in range(ratio):
+        instances.append(
+            ScheduledInstance("prod", index, "P1", float(index * producer_period), 1.0, 1.0)
+        )
+    consumer_start = float((ratio - 1) * producer_period + 1 + 1)
+    instances.append(ScheduledInstance("cons", 0, "P2", consumer_start, 1.0, 1.0))
+    schedule = Schedule(graph, architecture, instances, ())
+    return schedule.with_instances(schedule.instances, synthesize_communications(schedule))
+
+
+def run_e2_multirate_buffering(config: MultirateConfig | None = None) -> ExperimentResult:
+    """Measure consumer-side buffering for period ratios n (Figure 1 uses n=4)."""
+    config = config or MultirateConfig()
+    rows = []
+    all_match = True
+    peaks = {}
+    for ratio in config.period_ratios:
+        schedule = _two_task_schedule(ratio, config)
+        result = simulate(
+            schedule, SimulationOptions(hyper_periods=config.hyper_periods)
+        )
+        peak = result.memory.peak_buffer("P2")
+        expected = ratio * config.data_size
+        match = abs(peak - expected) < 1e-9 and result.is_clean
+        all_match = all_match and match
+        peaks[ratio] = peak
+        rows.append([ratio, expected, peak, len(result.violations), "yes" if match else "NO"])
+    table = build_table(
+        ["period ratio n", "expected buffer (n·size)", "measured peak buffer", "violations", "match"],
+        rows,
+    )
+    return ExperimentResult(
+        experiment="E2",
+        title="Multi-rate data transfer buffering (Figure 1)",
+        paper_claim="A consumer n times slower must buffer the n data items of its producer; "
+        "memory reuse is impossible (n=4 in Figure 1)",
+        table=table,
+        data={"peaks": peaks},
+        passed=all_match,
+    )
+
+
+# ----------------------------------------------------------------------
+# E3 — complexity study (section 4)
+# ----------------------------------------------------------------------
+def run_e3_complexity(config: ComplexityConfig | None = None) -> ExperimentResult:
+    """Measure the heuristic's runtime and fit it against the M·N_blocks model."""
+    from repro.workloads.spec import WorkloadSpec
+
+    config = config or ComplexityConfig()
+    samples = []
+    rows = []
+    evaluation_counts_match = True
+    for task_count in config.task_counts:
+        for processor_count in config.processor_counts:
+            for seed in config.seeds:
+                spec = WorkloadSpec(
+                    task_count=task_count,
+                    processor_count=processor_count,
+                    utilization=config.utilization,
+                    base_period=config.base_period,
+                    seed=seed,
+                    label=f"complexity-N{task_count}-M{processor_count}-s{seed}",
+                )
+                pairs = list(scheduled_workloads(spec, [seed]))
+                if not pairs:
+                    continue
+                _workload, schedule = pairs[0]
+                sample = measure_runtime(schedule, label=spec.label)
+                result = LoadBalancer(schedule).run()
+                expected_evaluations = processor_count * len(result.blocks)
+                evaluation_counts_match = (
+                    evaluation_counts_match and result.evaluations == expected_evaluations
+                )
+                samples.append(sample)
+                rows.append(
+                    [
+                        task_count,
+                        processor_count,
+                        sample.instances,
+                        sample.blocks,
+                        sample.work,
+                        result.evaluations,
+                        f"{sample.seconds * 1000:.1f}",
+                    ]
+                )
+    fit = fit_complexity(samples)
+    table = build_table(
+        [
+            "tasks N",
+            "procs M",
+            "instances",
+            "blocks",
+            "M·N_blocks",
+            "λ evaluations",
+            "runtime (ms)",
+        ],
+        rows,
+    )
+    notes = [
+        "The paper's complexity claim counts cost-function evaluations: the heuristic "
+        "performs exactly M·N_blocks of them (column 'λ evaluations').",
+        f"wall-clock linear fit: runtime ≈ {fit.slope * 1000:.4f} ms per unit of M·N_blocks "
+        f"+ {fit.intercept * 1000:.2f} ms, R² = {fit.r_squared:.3f} (bookkeeping around the "
+        "evaluations — pattern checks, schedule rebuild — adds super-linear terms at scale).",
+    ]
+    return ExperimentResult(
+        experiment="E3",
+        title="Complexity study: runtime vs M·N_blocks (section 4)",
+        paper_claim="The heuristic runs in O(M·N_blocks) and is fast because N_blocks is small",
+        table=table,
+        data={"fit": fit, "samples": samples, "evaluations_match": evaluation_counts_match},
+        passed=evaluation_counts_match,
+        notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# E4 — Theorem 1: gain bounds
+# ----------------------------------------------------------------------
+def run_e4_theorem1(config: Theorem1Config | None = None) -> ExperimentResult:
+    """Verify 0 <= G_total <= γ(M-1)! over random workloads."""
+    from repro.workloads.spec import WorkloadSpec
+
+    config = config or Theorem1Config()
+    rows = []
+    lower_bound_holds = True
+    campaigns = {}
+    excluded_total = 0
+    for processor_count in config.processor_counts:
+        results = []
+        excluded = 0
+        for shape in config.shapes:
+            spec = WorkloadSpec(
+                task_count=config.task_count,
+                processor_count=processor_count,
+                utilization=config.utilization,
+                shape=shape,
+                label=f"theorem1-{shape.value}-M{processor_count}",
+            )
+            for _workload, schedule in scheduled_workloads(
+                spec, config.seeds, config.scheduler_options()
+            ):
+                result = LoadBalancer(schedule).run()
+                # Only feasible balanced schedules count: an infeasible one
+                # could fake a gain by starting tasks before their data.
+                if check_schedule(result.balanced_schedule, check_memory=False).is_feasible:
+                    results.append(result)
+                else:
+                    excluded += 1
+        excluded_total += excluded
+        campaign = theorem1_campaign(results)
+        campaigns[processor_count] = campaign
+        lower_bound_holds = lower_bound_holds and campaign.violations_lower == 0
+        sample_check = check_theorem1(results[0]) if results else None
+        factorial_bound = sample_check.factorial_bound if sample_check else float("nan")
+        rows.append(
+            [
+                processor_count,
+                campaign.samples,
+                excluded,
+                campaign.mean_gain,
+                campaign.max_gain,
+                factorial_bound,
+                campaign.violations_lower,
+                campaign.violations_factorial,
+                campaign.violations_pair,
+            ]
+        )
+    table = build_table(
+        [
+            "M",
+            "runs",
+            "excluded",
+            "mean G_total",
+            "max G_total",
+            "γ(M-1)! bound",
+            "viol. lower",
+            "viol. factorial",
+            "viol. pair-count",
+        ],
+        rows,
+    )
+    notes = [
+        "The substantive claim of Theorem 1 — the heuristic never increases the total "
+        "execution time (lower bound 0 <= G_total) — is what this experiment gates on.",
+        "The printed upper bound γ(M-1)! can be exceeded when the initial schedule has "
+        "several suppressible communications along its critical path (e.g. a pipeline spread "
+        "over the processors); the paper's proof implicitly assumes only one communication "
+        "per processor pair matters.  Upper-bound violations are therefore reported as a "
+        "reproduction finding, not as a failure (DESIGN.md §2, A5).",
+        f"{excluded_total} run(s) excluded because the balanced schedule was not feasible "
+        "(the stranded-pinned-consumer limitation, see EXPERIMENTS.md).",
+    ]
+    return ExperimentResult(
+        experiment="E4",
+        title="Theorem 1: 0 <= G_total <= γ(M-1)!",
+        paper_claim="The heuristic never increases the total execution time and its gain is "
+        "bounded by γ times the number of processor pairs",
+        table=table,
+        data={"campaigns": campaigns, "excluded": excluded_total},
+        passed=lower_bound_holds,
+        notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# E5 — Theorem 2: (2 - 1/M)-approximation
+# ----------------------------------------------------------------------
+def run_e5_theorem2(config: Theorem2Config | None = None) -> ExperimentResult:
+    """Measure the memory-only greedy rule against the exact optimum."""
+    config = config or Theorem2Config()
+    rows = []
+    all_hold = True
+    campaigns = {}
+    for processor_count in config.processor_counts:
+        samples = []
+        for block_count in config.block_counts:
+            for seed in config.seeds:
+                rng = np.random.default_rng(seed * 1000 + block_count * 10 + processor_count)
+                memories = [
+                    round(float(rng.uniform(*config.memory_range)), 1)
+                    for _ in range(block_count)
+                ]
+                samples.append(measure_greedy_ratio(memories, processor_count))
+        campaign = approximation_campaign(samples)
+        campaigns[processor_count] = campaign
+        all_hold = all_hold and campaign.holds
+        rows.append(
+            [
+                processor_count,
+                campaign.samples,
+                campaign.mean_ratio,
+                campaign.worst_ratio,
+                campaign.bound,
+                campaign.violations,
+            ]
+        )
+    table = build_table(
+        ["M", "instances", "mean ω/ω_opt", "worst ω/ω_opt", "bound 2-1/M", "violations"], rows
+    )
+    return ExperimentResult(
+        experiment="E5",
+        title="Theorem 2: the memory-only heuristic is (2 - 1/M)-approximate",
+        paper_claim="ω/ω_opt <= 2 - 1/M for the memory-only cost function",
+        table=table,
+        data={"campaigns": campaigns},
+        passed=all_hold,
+    )
+
+
+# ----------------------------------------------------------------------
+# E6 — baseline comparison
+# ----------------------------------------------------------------------
+def _strategy_schedules(schedule: Schedule) -> dict[str, Schedule]:
+    """Produce the schedule of every compared strategy for one initial schedule."""
+    strategies: dict[str, Schedule] = {"initial (no balancing)": schedule}
+    strategies["proposed (ratio)"] = LoadBalancer(
+        schedule, LoadBalancerOptions(policy=CostPolicy.RATIO)
+    ).run().balanced_schedule
+    strategies["proposed (lexicographic)"] = LoadBalancer(
+        schedule, LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC)
+    ).run().balanced_schedule
+    strategies["load-only (memory-blind)"] = LoadBalancer(
+        schedule, LoadBalancerOptions(policy=CostPolicy.LOAD_ONLY)
+    ).run().balanced_schedule
+    strategies["memory-only (Theorem 2)"] = LoadBalancer(
+        schedule, LoadBalancerOptions(policy=CostPolicy.MEMORY_ONLY)
+    ).run().balanced_schedule
+    strategies["proposed (conservative)"] = LoadBalancer(
+        schedule,
+        LoadBalancerOptions(
+            policy=CostPolicy.RATIO, protect_unmoved=True, protect_downstream=True
+        ),
+    ).run().balanced_schedule
+    strategies["LPT assignment"] = lpt_assignment(schedule).schedule
+    strategies["FFD memory packing"] = ffd_memory_assignment(schedule).schedule
+    strategies["genetic assignment"] = genetic_assignment(
+        schedule, GeneticOptions(population_size=30, generations=40)
+    ).schedule
+    return strategies
+
+
+def run_e6_baseline_comparison(config: ComparisonConfig | None = None) -> ExperimentResult:
+    """Compare the proposed heuristic with the baselines over a seed sweep."""
+    config = config or ComparisonConfig()
+    accumulators: dict[str, dict[str, list[float]]] = {}
+    for _workload, schedule in scheduled_workloads(
+        config.spec, config.seeds, config.scheduler_options()
+    ):
+        total_memory = sum(schedule.memory_by_processor().values())
+        capacity = config.capacity_headroom * total_memory / len(schedule.architecture)
+        for name, candidate in _strategy_schedules(schedule).items():
+            bucket = accumulators.setdefault(
+                name,
+                {
+                    "makespan": [],
+                    "gain": [],
+                    "max_memory": [],
+                    "memory_imbalance": [],
+                    "load_imbalance": [],
+                    "feasible": [],
+                    "overflows": [],
+                },
+            )
+            report = check_schedule(candidate, check_memory=False)
+            usage = candidate.memory_by_processor()
+            bucket["makespan"].append(candidate.makespan)
+            bucket["gain"].append(schedule.makespan - candidate.makespan)
+            bucket["max_memory"].append(max_memory(candidate))
+            bucket["memory_imbalance"].append(memory_imbalance(candidate))
+            bucket["load_imbalance"].append(load_imbalance(candidate))
+            bucket["feasible"].append(1.0 if report.is_feasible else 0.0)
+            bucket["overflows"].append(
+                float(sum(1 for amount in usage.values() if amount > capacity + 1e-9))
+            )
+
+    rows = []
+    for name, bucket in accumulators.items():
+        rows.append(
+            [
+                name,
+                float(np.mean(bucket["makespan"])),
+                float(np.mean(bucket["gain"])),
+                float(np.mean(bucket["max_memory"])),
+                float(np.mean(bucket["memory_imbalance"])),
+                float(np.mean(bucket["load_imbalance"])),
+                f"{np.mean(bucket['feasible']):.0%}",
+                float(np.mean(bucket["overflows"])),
+            ]
+        )
+    table = build_table(
+        [
+            "strategy",
+            "makespan",
+            "gain",
+            "max memory ω",
+            "mem imbalance",
+            "load imbalance",
+            "feasible",
+            "overflows/run",
+        ],
+        rows,
+    )
+    proposed_feasible = (
+        float(np.mean(accumulators["proposed (ratio)"]["feasible"])) if accumulators else 0.0
+    )
+    notes = [
+        "Assignment-level baselines (LPT, FFD, genetic) ignore dependence and strict "
+        "periodicity and therefore lose feasibility; the proposed heuristic balances while "
+        "keeping the constraints.",
+        f"capacity for overflow counting = {config.capacity_headroom:.2f} × ideal share",
+    ]
+    return ExperimentResult(
+        experiment="E6",
+        title="Proposed heuristic vs baselines",
+        paper_claim="Balancing reduces the total execution time and spreads memory, unlike "
+        "memory-blind balancing which overflows limited memories",
+        table=table,
+        data={"metrics": accumulators},
+        passed=None if not accumulators else proposed_feasible >= 0.8,
+        notes=notes,
+    )
+
+
+# ----------------------------------------------------------------------
+# E7 — ablation of the cost policy and rules
+# ----------------------------------------------------------------------
+def run_e7_ablation(config: AblationConfig | None = None) -> ExperimentResult:
+    """Ablate the cost-function interpretation and the acceptance rules."""
+    config = config or AblationConfig()
+    variants: dict[str, LoadBalancerOptions] = {
+        "ratio (default)": LoadBalancerOptions(policy=CostPolicy.RATIO),
+        "ratio strict (eq. 5 literal)": LoadBalancerOptions(policy=CostPolicy.RATIO_STRICT),
+        "lexicographic (as exemplified)": LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC),
+        "no LCM condition": LoadBalancerOptions(
+            policy=CostPolicy.RATIO, enforce_lcm_condition=False
+        ),
+        "no steady-state check": LoadBalancerOptions(
+            policy=CostPolicy.RATIO, enforce_steady_state=False
+        ),
+        "safe mode (protect all)": LoadBalancerOptions(
+            policy=CostPolicy.RATIO, protect_unmoved=True, protect_downstream=True
+        ),
+    }
+    accumulators: dict[str, dict[str, list[float]]] = {
+        name: {"gain": [], "max_memory": [], "moves": [], "feasible": []} for name in variants
+    }
+    for _workload, schedule in scheduled_workloads(
+        config.spec, config.seeds, config.scheduler_options()
+    ):
+        for name, options in variants.items():
+            result = LoadBalancer(schedule, options).run()
+            report = check_schedule(result.balanced_schedule, check_memory=False)
+            accumulators[name]["gain"].append(result.total_gain)
+            accumulators[name]["max_memory"].append(result.max_memory_after)
+            accumulators[name]["moves"].append(float(result.moves))
+            accumulators[name]["feasible"].append(1.0 if report.is_feasible else 0.0)
+
+    rows = [
+        [
+            name,
+            float(np.mean(bucket["gain"])),
+            float(np.mean(bucket["max_memory"])),
+            float(np.mean(bucket["moves"])),
+            f"{np.mean(bucket['feasible']):.0%}",
+        ]
+        for name, bucket in accumulators.items()
+    ]
+    table = build_table(
+        ["variant", "mean gain", "mean max memory", "mean moves", "feasible"], rows
+    )
+    return ExperimentResult(
+        experiment="E7",
+        title="Ablation: cost-policy interpretations and acceptance rules",
+        paper_claim="(reproduction-specific) eq. (5) vs worked-example behaviour, and the "
+        "role of the LCM / steady-state / protection rules",
+        table=table,
+        data={"metrics": accumulators},
+        passed=None,
+    )
+
+
+# ----------------------------------------------------------------------
+# E8 — idle fraction
+# ----------------------------------------------------------------------
+def run_e8_idle_fraction(config: IdleFractionConfig | None = None) -> ExperimentResult:
+    """Measure processor idle fractions before and after balancing."""
+    from repro.workloads.spec import WorkloadSpec
+
+    config = config or IdleFractionConfig()
+    rows = []
+    data = {}
+    for utilization in config.utilizations:
+        spec = WorkloadSpec(
+            task_count=config.task_count,
+            processor_count=config.processor_count,
+            utilization=utilization,
+            shape=config.shape,
+            label=f"idle-u{utilization:.2f}",
+        )
+        before_values, after_values, gains = [], [], []
+        for _workload, schedule in scheduled_workloads(
+            spec, config.seeds, config.scheduler_options()
+        ):
+            result = LoadBalancer(schedule).run()
+            before_values.append(schedule.idle_fraction())
+            after_values.append(result.balanced_schedule.idle_fraction())
+            gains.append(result.total_gain)
+        if not before_values:
+            continue
+        rows.append(
+            [
+                f"{utilization:.2f}",
+                len(before_values),
+                f"{np.mean(before_values):.1%}",
+                f"{np.mean(after_values):.1%}",
+                float(np.mean(gains)),
+            ]
+        )
+        data[utilization] = {
+            "before": float(np.mean(before_values)),
+            "after": float(np.mean(after_values)),
+        }
+    table = build_table(
+        ["platform utilisation", "runs", "idle before", "idle after", "mean gain"], rows
+    )
+    notes = [
+        "The paper quotes [3]: 'over 65% of processors are idle at any given time' for "
+        "general-purpose systems, and argues periodicity constraints make the figure larger "
+        "for real-time systems.",
+    ]
+    return ExperimentResult(
+        experiment="E8",
+        title="Processor idle fraction before/after balancing",
+        paper_claim="Real-time strictly periodic workloads leave processors idle most of the "
+        "time; balancing reduces the makespan without increasing idle waste",
+        table=table,
+        data=data,
+        passed=None,
+        notes=notes,
+    )

@@ -1,0 +1,61 @@
+"""Experiment result container and table helpers.
+
+Every experiment runner returns an :class:`ExperimentResult`: a named,
+self-describing object holding the rendered ASCII table (what gets printed by
+benchmarks and the CLI), the raw data rows (what tests assert against) and a
+pass/fail verdict where the experiment has one (theorem bounds, example
+reproduction).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.metrics.report import render_table
+
+__all__ = ["ExperimentResult", "build_table"]
+
+
+@dataclass(slots=True)
+class ExperimentResult:
+    """Outcome of one experiment (E1–E8)."""
+
+    #: Short identifier, e.g. ``"E1"``.
+    experiment: str
+    #: One-line title as used in EXPERIMENTS.md.
+    title: str
+    #: What the paper claims / shows for this artefact.
+    paper_claim: str
+    #: Rendered ASCII table of the measured results.
+    table: str
+    #: Raw data rows backing the table (experiment-specific structure).
+    data: dict[str, Any] = field(default_factory=dict)
+    #: ``True`` when the experiment has a pass/fail criterion and it passed;
+    #: ``None`` for purely descriptive experiments.
+    passed: bool | None = None
+    #: Free-form observations recorded while running.
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full textual report of the experiment."""
+        lines = [f"[{self.experiment}] {self.title}", f"paper: {self.paper_claim}"]
+        if self.passed is not None:
+            lines.append(f"verdict: {'PASS' if self.passed else 'FAIL'}")
+        lines.append(self.table)
+        if self.notes:
+            lines.append("notes:")
+            lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+def build_table(header: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows (any cell type) as an aligned ASCII table."""
+    return render_table(list(header), [[_format(cell) for cell in row] for row in rows])
+
+
+def _format(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}" if abs(cell) < 1000 else f"{cell:.4g}"
+    return str(cell)

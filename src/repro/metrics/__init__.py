@@ -1,0 +1,63 @@
+"""Metrics: makespan, memory, load balance, communications, combined reports."""
+
+from repro.metrics.balance import (
+    LoadSummary,
+    busy_time_by_processor,
+    idle_fraction,
+    idle_fraction_by_processor,
+    load_balance_index,
+    load_imbalance,
+    load_summary,
+)
+from repro.metrics.communication import (
+    CommunicationDelta,
+    communication_count,
+    communication_delta,
+    communication_volume,
+    communications_by_medium,
+)
+from repro.metrics.makespan import (
+    MakespanSummary,
+    critical_path_length,
+    makespan_summary,
+    total_execution_time,
+    total_gain,
+)
+from repro.metrics.memory import (
+    MemorySummary,
+    capacity_violations,
+    max_memory,
+    memory_by_processor,
+    memory_imbalance,
+    memory_summary,
+)
+from repro.metrics.report import ScheduleReport, compare_schedules, render_table
+
+__all__ = [
+    "CommunicationDelta",
+    "LoadSummary",
+    "MakespanSummary",
+    "MemorySummary",
+    "ScheduleReport",
+    "busy_time_by_processor",
+    "capacity_violations",
+    "communication_count",
+    "communication_delta",
+    "communication_volume",
+    "communications_by_medium",
+    "compare_schedules",
+    "critical_path_length",
+    "idle_fraction",
+    "idle_fraction_by_processor",
+    "load_balance_index",
+    "load_imbalance",
+    "load_summary",
+    "makespan_summary",
+    "max_memory",
+    "memory_by_processor",
+    "memory_imbalance",
+    "memory_summary",
+    "render_table",
+    "total_execution_time",
+    "total_gain",
+]

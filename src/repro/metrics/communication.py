@@ -1,0 +1,67 @@
+"""Communication metrics.
+
+The load-balancing heuristic implicitly trades communications: moving a block
+next to its producer suppresses an inter-processor transfer (that is where
+the gain of eq. (3) comes from), while moving it away creates one.  These
+helpers count the transfers and the transferred volume of a schedule and
+compare two schedules edge by edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "communication_count",
+    "communication_volume",
+    "communications_by_medium",
+    "CommunicationDelta",
+    "communication_delta",
+]
+
+
+def communication_count(schedule: Schedule) -> int:
+    """Number of inter-processor transfers in the schedule."""
+    return len(schedule.communications)
+
+
+def communication_volume(schedule: Schedule) -> float:
+    """Total data volume moved between processors."""
+    return sum(op.data_size for op in schedule.communications)
+
+
+def communications_by_medium(schedule: Schedule) -> dict[str, int]:
+    """Number of transfers carried by each medium."""
+    counts: dict[str, int] = {}
+    for op in schedule.communications:
+        counts[op.medium] = counts.get(op.medium, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True, slots=True)
+class CommunicationDelta:
+    """Edge-level comparison of the transfers of two schedules."""
+
+    before_count: int
+    after_count: int
+    suppressed: int
+    created: int
+
+    @property
+    def net_change(self) -> int:
+        """``after - before`` (negative when balancing removed transfers)."""
+        return self.after_count - self.before_count
+
+
+def communication_delta(before: Schedule, after: Schedule) -> CommunicationDelta:
+    """Compare the inter-processor transfers of two schedules of the same graph."""
+    before_edges = {(op.producer_key, op.consumer_key) for op in before.communications}
+    after_edges = {(op.producer_key, op.consumer_key) for op in after.communications}
+    return CommunicationDelta(
+        before_count=len(before_edges),
+        after_count=len(after_edges),
+        suppressed=len(before_edges - after_edges),
+        created=len(after_edges - before_edges),
+    )

@@ -1,0 +1,104 @@
+"""Total-execution-time (makespan) metrics.
+
+The paper's primary performance figure is the *total execution time*: the
+completion time of the last task of the hyper-period (15 units before
+balancing and 14 after in the worked example).  These helpers compute that
+quantity, the gain obtained by a balancing step (the ``G_total`` of Theorem
+1), the critical-path lower bound used to normalise results across workloads,
+and simple schedule-length statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.architecture import Architecture
+from repro.model.graph import TaskGraph
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.unrolling import instance_count, predecessors_of_instance
+
+__all__ = [
+    "total_execution_time",
+    "total_gain",
+    "critical_path_length",
+    "MakespanSummary",
+    "makespan_summary",
+]
+
+
+def total_execution_time(schedule: Schedule) -> float:
+    """Completion time of the last instance (the paper's total execution time)."""
+    return schedule.makespan
+
+
+def total_gain(before: Schedule, after: Schedule) -> float:
+    """``G_total = L_former - L_new`` (Theorem 1's quantity)."""
+    return before.makespan - after.makespan
+
+
+def critical_path_length(graph: TaskGraph, architecture: Architecture | None = None) -> float:
+    """Length of the longest instance-level dependence chain.
+
+    Communication times are ignored (or included with the architecture's
+    fixed latency when one is given), producing a lower bound on the total
+    execution time of *any* schedule of the hyper-period: no heuristic can do
+    better, so experiment tables normalise measured makespans by this value.
+    """
+    comm = architecture.comm.latency if architecture is not None else 0.0
+    finish: dict[tuple[str, int], float] = {}
+
+    def finish_time(key: tuple[str, int]) -> float:
+        if key in finish:
+            return finish[key]
+        task = graph.task(key[0])
+        release = key[1] * task.period
+        ready = float(release)
+        for edge in predecessors_of_instance(graph, key[0], key[1]):
+            # Worst case: the producer is remote, one communication is paid.
+            ready = max(ready, finish_time(edge.producer) + comm)
+        value = ready + task.wcet
+        finish[key] = value
+        return value
+
+    longest = 0.0
+    for name in graph.topological_order():
+        for index in range(instance_count(graph, name)):
+            longest = max(longest, finish_time((name, index)))
+    return longest
+
+
+@dataclass(frozen=True, slots=True)
+class MakespanSummary:
+    """Makespan-related figures of one schedule."""
+
+    makespan: float
+    critical_path: float
+    busy_time_total: float
+    processor_count: int
+
+    @property
+    def normalized(self) -> float:
+        """Makespan divided by the critical-path lower bound (>= 1)."""
+        return self.makespan / self.critical_path if self.critical_path > 0 else float("nan")
+
+    @property
+    def parallel_lower_bound(self) -> float:
+        """``max(critical path, total work / M)`` — the classic makespan bound."""
+        if self.processor_count == 0:
+            return self.critical_path
+        return max(self.critical_path, self.busy_time_total / self.processor_count)
+
+
+def makespan_summary(schedule: Schedule) -> MakespanSummary:
+    """Compute a :class:`MakespanSummary` for ``schedule``.
+
+    The critical path is computed *without* communication times so that it is
+    a true lower bound on any schedule's makespan (paying a communication on
+    every edge would not be: co-locating tasks avoids it).
+    """
+    return MakespanSummary(
+        makespan=schedule.makespan,
+        critical_path=critical_path_length(schedule.graph),
+        busy_time_total=sum(schedule.busy_time_by_processor().values()),
+        processor_count=len(schedule.architecture),
+    )

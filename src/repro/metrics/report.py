@@ -1,0 +1,99 @@
+"""Combined metric reports and ASCII table rendering.
+
+The experiment harness and the benchmarks print small ASCII tables comparing
+schedules (before/after balancing, heuristic vs baselines).  To keep those
+tables consistent everywhere, this module provides a
+:class:`ScheduleReport` gathering every metric of one schedule and a
+:func:`render_table` helper for aligned, dependency-free table output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.metrics.balance import LoadSummary, load_summary
+from repro.metrics.communication import communication_count, communication_volume
+from repro.metrics.makespan import MakespanSummary, makespan_summary
+from repro.metrics.memory import MemorySummary, memory_summary
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["ScheduleReport", "compare_schedules", "render_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleReport:
+    """All the metrics of one schedule, under one label."""
+
+    label: str
+    makespan: MakespanSummary
+    memory: MemorySummary
+    load: LoadSummary
+    communications: int
+    communication_volume: float
+
+    @classmethod
+    def of(cls, label: str, schedule: Schedule, *, include_buffers: bool = False) -> "ScheduleReport":
+        """Build the report of ``schedule``."""
+        return cls(
+            label=label,
+            makespan=makespan_summary(schedule),
+            memory=memory_summary(schedule, include_buffers=include_buffers),
+            load=load_summary(schedule),
+            communications=communication_count(schedule),
+            communication_volume=communication_volume(schedule),
+        )
+
+    def row(self) -> list[str]:
+        """Row of :func:`compare_schedules`' table."""
+        return [
+            self.label,
+            f"{self.makespan.makespan:g}",
+            f"{self.makespan.normalized:.2f}",
+            f"{self.memory.maximum:g}",
+            f"{self.memory.imbalance:.2f}",
+            f"{self.load.imbalance:.2f}",
+            f"{self.load.idle_fraction:.2%}",
+            f"{self.communications}",
+            f"{len(self.memory.violations)}",
+        ]
+
+
+_COMPARE_HEADER = [
+    "schedule",
+    "makespan",
+    "norm.",
+    "max mem",
+    "mem imb.",
+    "load imb.",
+    "idle",
+    "comms",
+    "overflows",
+]
+
+
+def compare_schedules(reports: Iterable[ScheduleReport]) -> str:
+    """ASCII comparison table of several :class:`ScheduleReport` objects."""
+    rows = [report.row() for report in reports]
+    return render_table(_COMPARE_HEADER, rows)
+
+
+def render_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned ASCII table (no external dependency).
+
+    Every cell is converted with ``str``; columns are right-aligned except the
+    first one.
+    """
+    table = [list(map(str, header))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[col]) for row in table) for col in range(len(header))]
+
+    def render_row(row: Sequence[str]) -> str:
+        cells = []
+        for col, cell in enumerate(row):
+            cells.append(cell.ljust(widths[col]) if col == 0 else cell.rjust(widths[col]))
+        return "  ".join(cells)
+
+    separator = "  ".join("-" * width for width in widths)
+    lines = [render_row(table[0]), separator]
+    lines.extend(render_row(row) for row in table[1:])
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Application and architecture model.
+
+This subpackage contains everything needed to *describe* a problem instance:
+
+* :class:`~repro.model.task.Task` and :class:`~repro.model.task.TaskInstance`
+  — strictly periodic non-preemptive tasks and their repetitions;
+* :class:`~repro.model.dependence.Dependence` — multi-rate data-flow edges;
+* :class:`~repro.model.graph.TaskGraph` — the application DAG;
+* :class:`~repro.model.architecture.Architecture`,
+  :class:`~repro.model.architecture.Processor`,
+  :class:`~repro.model.architecture.Medium`,
+  :class:`~repro.model.architecture.CommunicationModel` — the homogeneous
+  distributed platform;
+* :mod:`~repro.model.periods` — hyper-period arithmetic;
+* :mod:`~repro.model.memory` — static and buffer memory accounting;
+* :func:`~repro.model.validation.validate_problem` — necessary-condition
+  checks on a problem instance.
+"""
+
+from repro.model.architecture import Architecture, CommunicationModel, Medium, Processor
+from repro.model.dependence import Dependence
+from repro.model.graph import TaskGraph
+from repro.model.memory import (
+    MemoryBreakdown,
+    buffer_demand_by_processor,
+    edge_buffer_demand,
+    static_memory_by_processor,
+    static_memory_of_tasks,
+)
+from repro.model.periods import (
+    hyper_period,
+    instances_in_hyper_period,
+    is_harmonic_pair,
+    is_harmonic_set,
+    lcm,
+    lcm_many,
+    period_ratio,
+)
+from repro.model.task import Task, TaskInstance, instance_label
+from repro.model.validation import ProblemReport, validate_problem
+
+__all__ = [
+    "Architecture",
+    "CommunicationModel",
+    "Dependence",
+    "Medium",
+    "MemoryBreakdown",
+    "ProblemReport",
+    "Processor",
+    "Task",
+    "TaskGraph",
+    "TaskInstance",
+    "buffer_demand_by_processor",
+    "edge_buffer_demand",
+    "hyper_period",
+    "instance_label",
+    "instances_in_hyper_period",
+    "is_harmonic_pair",
+    "is_harmonic_set",
+    "lcm",
+    "lcm_many",
+    "period_ratio",
+    "static_memory_by_processor",
+    "static_memory_of_tasks",
+    "validate_problem",
+]

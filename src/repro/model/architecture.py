@@ -1,0 +1,324 @@
+"""Homogeneous distributed architecture model.
+
+The paper assumes a *homogeneous* architecture: identical processors with the
+same memory capacity, connected by identical communication media.  The
+library keeps the architecture description explicit so that (a) memory
+capacities can be checked, (b) the discrete-event simulator can serialise
+transfers on shared media, and (c) non-homogeneous descriptions are rejected
+early (the heuristic's correctness arguments rely on homogeneity).
+
+Communication model
+-------------------
+The paper defines the communication time as "the time elapsed between the
+start time of the sending task and the completion time of the receiving
+task" and notes that it "depends on the size of the data to be transferred".
+:class:`CommunicationModel` therefore supports both a fixed latency (the
+worked example uses ``C = 1``) and an affine latency + size/bandwidth model.
+Intra-processor communications take zero time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "Processor",
+    "Medium",
+    "CommunicationModel",
+    "Architecture",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Processor:
+    """A processing element of the homogeneous architecture.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, e.g. ``"P1"``.
+    memory_capacity:
+        Data memory available on this processor, in the same unit as the
+        tasks' ``memory`` attribute.  ``math.inf`` (the default) means the
+        capacity is not checked — the paper's example does not give explicit
+        capacities, only the goal of using memory efficiently.
+    """
+
+    name: str
+    memory_capacity: float = math.inf
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ArchitectureError(f"Processor name must be a non-empty string, got {self.name!r}")
+        if self.memory_capacity <= 0:
+            raise ArchitectureError(
+                f"Processor {self.name!r}: memory capacity must be positive, "
+                f"got {self.memory_capacity}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Medium:
+    """A communication medium connecting two or more processors.
+
+    The worked example of the paper uses a single bus ``Med`` connecting the
+    three processors; Theorem 1 assumes every pair of processors is connected
+    by *some* medium (possibly the same one for several pairs).
+    """
+
+    name: str
+    connects: tuple[str, ...]
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ArchitectureError(f"Medium name must be a non-empty string, got {self.name!r}")
+        if len(self.connects) < 2:
+            raise ArchitectureError(
+                f"Medium {self.name!r} must connect at least two processors, "
+                f"got {self.connects!r}"
+            )
+        if len(set(self.connects)) != len(self.connects):
+            raise ArchitectureError(f"Medium {self.name!r} lists a processor twice")
+
+    def links(self, a: str, b: str) -> bool:
+        """``True`` when the medium connects processors ``a`` and ``b``."""
+        return a in self.connects and b in self.connects
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class CommunicationModel:
+    """Analytic inter-processor communication time model.
+
+    ``time(data_size) = latency + data_size / bandwidth`` for transfers
+    between distinct processors; zero for intra-processor data exchange.
+    With the default ``bandwidth = inf`` the model degenerates to the fixed
+    communication time ``C`` used throughout the paper's example.
+    """
+
+    latency: float = 1.0
+    bandwidth: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ArchitectureError(f"Communication latency must be non-negative, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ArchitectureError(f"Communication bandwidth must be positive, got {self.bandwidth}")
+
+    def time(self, data_size: float = 1.0, *, same_processor: bool = False) -> float:
+        """Communication time for one data item of the given size."""
+        if same_processor:
+            return 0.0
+        if data_size < 0:
+            raise ArchitectureError(f"Data size must be non-negative, got {data_size}")
+        if math.isinf(self.bandwidth):
+            return self.latency
+        return self.latency + data_size / self.bandwidth
+
+    @property
+    def is_fixed(self) -> bool:
+        """``True`` when the model is a pure fixed latency (paper's ``C``)."""
+        return math.isinf(self.bandwidth)
+
+
+class Architecture:
+    """A homogeneous set of processors connected by communication media."""
+
+    def __init__(
+        self,
+        processors: Sequence[Processor] | Sequence[str],
+        media: Sequence[Medium] = (),
+        *,
+        comm: CommunicationModel | None = None,
+        name: str = "architecture",
+    ) -> None:
+        self.name = name
+        self.comm = comm if comm is not None else CommunicationModel()
+        procs: list[Processor] = []
+        for item in processors:
+            procs.append(item if isinstance(item, Processor) else Processor(str(item)))
+        if not procs:
+            raise ArchitectureError("An architecture needs at least one processor")
+        names = [p.name for p in procs]
+        if len(set(names)) != len(names):
+            raise ArchitectureError(f"Duplicate processor names in {names}")
+        self._processors: dict[str, Processor] = {p.name: p for p in procs}
+        self._check_homogeneous()
+
+        media_list = list(media)
+        if not media_list and len(procs) > 1:
+            # Default: one shared bus connecting every processor, as in the
+            # paper's example architecture (Figure 2, medium "Med").
+            media_list = [Medium("Med", tuple(names))]
+        self._media: dict[str, Medium] = {}
+        for medium in media_list:
+            if medium.name in self._media:
+                raise ArchitectureError(f"Duplicate medium name {medium.name!r}")
+            for proc in medium.connects:
+                if proc not in self._processors:
+                    raise ArchitectureError(
+                        f"Medium {medium.name!r} connects unknown processor {proc!r}"
+                    )
+            self._media[medium.name] = medium
+        self._check_connectivity()
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        count: int,
+        *,
+        memory_capacity: float = math.inf,
+        comm: CommunicationModel | None = None,
+        prefix: str = "P",
+        name: str = "architecture",
+    ) -> "Architecture":
+        """Build ``count`` identical processors ``P1..Pcount`` on a single bus."""
+        if count < 1:
+            raise ArchitectureError(f"Processor count must be >= 1, got {count}")
+        processors = [
+            Processor(f"{prefix}{i + 1}", memory_capacity=memory_capacity) for i in range(count)
+        ]
+        return cls(processors, comm=comm, name=name)
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def _check_homogeneous(self) -> None:
+        capacities = {p.memory_capacity for p in self._processors.values()}
+        if len(capacities) > 1:
+            raise ArchitectureError(
+                "The paper's model requires homogeneous processors with identical memory "
+                f"capacity; got capacities {sorted(capacities)}"
+            )
+
+    def _check_connectivity(self) -> None:
+        """Every pair of distinct processors must be reachable through the media."""
+        if len(self._processors) <= 1:
+            return
+        if not self._media:
+            raise ArchitectureError(
+                "A multi-processor architecture needs at least one communication medium"
+            )
+        # Union-find over processors through shared media membership.
+        parent = {name: name for name in self._processors}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        for medium in self._media.values():
+            first = medium.connects[0]
+            for other in medium.connects[1:]:
+                union(first, other)
+        roots = {find(name) for name in self._processors}
+        if len(roots) > 1:
+            raise ArchitectureError(
+                "Architecture is not connected: some processors cannot communicate"
+            )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._processors
+
+    def __iter__(self):
+        return iter(self._processors.values())
+
+    @property
+    def processors(self) -> Mapping[str, Processor]:
+        """Read-only mapping of processors keyed by name."""
+        return dict(self._processors)
+
+    @property
+    def processor_names(self) -> tuple[str, ...]:
+        """Processor names in declaration order."""
+        return tuple(self._processors)
+
+    @property
+    def media(self) -> Mapping[str, Medium]:
+        """Read-only mapping of media keyed by name."""
+        return dict(self._media)
+
+    @property
+    def memory_capacity(self) -> float:
+        """The (common) per-processor memory capacity."""
+        return next(iter(self._processors.values())).memory_capacity
+
+    def processor(self, name: str) -> Processor:
+        """Return the processor called ``name``."""
+        try:
+            return self._processors[name]
+        except KeyError:
+            raise ArchitectureError(f"Unknown processor {name!r}") from None
+
+    def medium_between(self, a: str, b: str) -> Medium:
+        """Return a medium connecting processors ``a`` and ``b``.
+
+        When several media connect the pair the first one in declaration
+        order is returned (deterministic).
+        """
+        self.processor(a)
+        self.processor(b)
+        if a == b:
+            raise ArchitectureError(f"No medium is needed between {a!r} and itself")
+        for medium in self._media.values():
+            if medium.links(a, b):
+                return medium
+        raise ArchitectureError(f"No communication medium connects {a!r} and {b!r}")
+
+    def are_connected(self, a: str, b: str) -> bool:
+        """``True`` when a single medium directly connects ``a`` and ``b``."""
+        if a == b:
+            return True
+        try:
+            self.medium_between(a, b)
+        except ArchitectureError:
+            return False
+        return True
+
+    def comm_time(self, source: str, target: str, data_size: float = 1.0) -> float:
+        """Communication time between two processors for one data item."""
+        return self.comm.time(data_size, same_processor=(source == target))
+
+    def processor_pairs(self) -> tuple[tuple[str, str], ...]:
+        """All unordered pairs of distinct processors."""
+        names = self.processor_names
+        return tuple(
+            (names[i], names[j]) for i in range(len(names)) for j in range(i + 1, len(names))
+        )
+
+    def has_memory_limits(self) -> bool:
+        """``True`` when memory capacities are finite and must be checked."""
+        return not math.isinf(self.memory_capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Architecture(name={self.name!r}, processors={len(self._processors)}, "
+            f"media={len(self._media)}, capacity={self.memory_capacity})"
+        )

@@ -1,0 +1,149 @@
+"""Dependence (data-flow) edges between strictly periodic tasks.
+
+A dependence ``a -> b`` means task ``b`` consumes the data produced by task
+``a``: an instance of ``b`` cannot start before the producer instances it
+needs have completed, plus an inter-processor communication delay when the
+two tasks run on different processors.
+
+Multi-rate semantics (section 3.1 and Figure 1 of the paper)
+-----------------------------------------------------------
+When the consumer's period is ``n`` times the producer's period, each
+consumer instance needs the ``n`` data items produced by the ``n`` producer
+instances falling inside its period window; all ``n`` items must be buffered
+on the consumer's processor until the consumer runs (memory reuse is not
+possible).  When the producer is the slower one (period ``n`` times the
+consumer's), ``n`` consecutive consumer instances re-use the single data item
+of one producer instance.  Equal periods are the trivial 1:1 case.
+
+:func:`Dependence.producer_instances_for` encodes exactly this mapping at the
+instance level; everything else in the library (scheduling, block building,
+gain computation, buffer tracking) is built on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ModelError
+from repro.model.periods import period_ratio
+from repro.model.task import Task
+
+__all__ = ["Dependence"]
+
+
+@dataclass(frozen=True, slots=True)
+class Dependence:
+    """A directed data dependence between two tasks.
+
+    Parameters
+    ----------
+    producer:
+        Name of the task producing the data.
+    consumer:
+        Name of the task consuming the data.
+    data_size:
+        Optional override of the size of each transferred data item.  When
+        ``None`` (the default) the producer task's own ``data_size`` is used.
+    metadata:
+        Free-form user annotations.
+    """
+
+    producer: str
+    consumer: str
+    data_size: float | None = None
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.producer or not self.consumer:
+            raise ModelError(
+                f"Dependence endpoints must be non-empty task names, "
+                f"got {self.producer!r} -> {self.consumer!r}"
+            )
+        if self.producer == self.consumer:
+            raise ModelError(f"Self-dependence on task {self.producer!r} is not allowed")
+        if self.data_size is not None and self.data_size < 0:
+            raise ModelError(
+                f"Dependence {self.producer!r}->{self.consumer!r}: "
+                f"data size must be non-negative, got {self.data_size}"
+            )
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """``(producer, consumer)`` pair identifying the edge."""
+        return (self.producer, self.consumer)
+
+    def effective_data_size(self, producer_task: Task) -> float:
+        """Size of one transferred item, falling back to the producer's ``data_size``."""
+        return self.data_size if self.data_size is not None else producer_task.data_size
+
+    # ------------------------------------------------------------------
+    # Instance-level expansion of the multi-rate semantics
+    # ------------------------------------------------------------------
+    def rate(self, producer_task: Task, consumer_task: Task) -> tuple[int, int]:
+        """Return ``(producer items per consumer execution, consumer executions per item)``.
+
+        ``(n, 1)``  — consumer ``n`` times slower: needs ``n`` fresh items each run.
+        ``(1, n)``  — consumer ``n`` times faster: ``n`` runs share one item.
+        ``(1, 1)``  — same period.
+        """
+        self._check_endpoints(producer_task, consumer_task)
+        return period_ratio(producer_task.period, consumer_task.period)
+
+    def producer_instances_for(
+        self, producer_task: Task, consumer_task: Task, consumer_index: int
+    ) -> tuple[int, ...]:
+        """Indices of the producer instances required by one consumer instance.
+
+        For a consumer ``n`` times slower than the producer, consumer instance
+        ``j`` needs producer instances ``j*n .. j*n + n - 1`` (the ``n``
+        repetitions inside its period window, as in Figure 1 of the paper
+        where ``b`` waits for the four data items of ``a``).  For a consumer
+        ``n`` times faster, consumer instance ``j`` needs the single producer
+        instance ``j // n``.
+        """
+        if consumer_index < 0:
+            raise ModelError(f"Consumer instance index must be non-negative, got {consumer_index}")
+        items_per_exec, execs_per_item = self.rate(producer_task, consumer_task)
+        if items_per_exec >= 1 and execs_per_item == 1:
+            start = consumer_index * items_per_exec
+            return tuple(range(start, start + items_per_exec))
+        return (consumer_index // execs_per_item,)
+
+    def consumer_instances_for(
+        self, producer_task: Task, consumer_task: Task, producer_index: int
+    ) -> tuple[int, ...]:
+        """Indices of the consumer instances that use one producer instance.
+
+        Inverse mapping of :meth:`producer_instances_for`; used by the
+        simulator's buffer tracker to know when a buffered item can be freed.
+        """
+        if producer_index < 0:
+            raise ModelError(f"Producer instance index must be non-negative, got {producer_index}")
+        items_per_exec, execs_per_item = self.rate(producer_task, consumer_task)
+        if items_per_exec >= 1 and execs_per_item == 1:
+            return (producer_index // items_per_exec,)
+        start = producer_index * execs_per_item
+        return tuple(range(start, start + execs_per_item))
+
+    def buffered_items(self, producer_task: Task, consumer_task: Task) -> int:
+        """Number of producer items a consumer instance must have buffered.
+
+        This is exactly the ``n`` of Figure 1: when the consumer is ``n``
+        times slower the consumer's processor must hold ``n`` items at once.
+        """
+        items_per_exec, _ = self.rate(producer_task, consumer_task)
+        return items_per_exec
+
+    def _check_endpoints(self, producer_task: Task, consumer_task: Task) -> None:
+        if producer_task.name != self.producer:
+            raise ModelError(
+                f"Dependence expects producer {self.producer!r}, got task {producer_task.name!r}"
+            )
+        if consumer_task.name != self.consumer:
+            raise ModelError(
+                f"Dependence expects consumer {self.consumer!r}, got task {consumer_task.name!r}"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.producer} -> {self.consumer}"

@@ -1,0 +1,371 @@
+"""Application model: a directed acyclic graph of strictly periodic tasks.
+
+The :class:`TaskGraph` is the main input of both the distributed scheduling
+substrate (:mod:`repro.scheduling.heuristic`) and the load balancing heuristic
+(:mod:`repro.core.load_balancer`).  It stores :class:`~repro.model.task.Task`
+objects and :class:`~repro.model.dependence.Dependence` edges and offers the
+structural queries used throughout the library: predecessor/successor sets,
+topological ordering, hyper-period computation, utilisation, and conversion
+to a :mod:`networkx` digraph for analysis and plotting.
+
+Invariants enforced at construction/mutation time:
+
+* task names are unique;
+* every dependence endpoint refers to a known task;
+* dependent tasks have harmonically related periods (equal or integer
+  multiples), as required by the multi-rate semantics of the paper;
+* the graph is acyclic (checked lazily by :meth:`TaskGraph.validate` and by
+  :meth:`TaskGraph.topological_order`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Any
+
+import networkx as nx
+
+from repro.errors import ModelError
+from repro.model.dependence import Dependence
+from repro.model.periods import hyper_period as _hyper_period
+from repro.model.periods import is_harmonic_pair
+from repro.model.task import Task
+
+__all__ = ["TaskGraph"]
+
+
+class TaskGraph:
+    """A multi-rate application modelled as a DAG of strictly periodic tasks."""
+
+    def __init__(
+        self,
+        tasks: Iterable[Task] = (),
+        dependences: Iterable[Dependence] = (),
+        *,
+        name: str = "application",
+    ) -> None:
+        self.name = name
+        self._tasks: dict[str, Task] = {}
+        self._deps: dict[tuple[str, str], Dependence] = {}
+        self._succ: dict[str, set[str]] = {}
+        self._pred: dict[str, set[str]] = {}
+        for task in tasks:
+            self.add_task(task)
+        for dep in dependences:
+            self.add_dependence(dep)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_task(self, task: Task) -> Task:
+        """Add a task to the graph.
+
+        Raises
+        ------
+        ModelError
+            If a different task with the same name already exists.
+        """
+        existing = self._tasks.get(task.name)
+        if existing is not None:
+            if existing == task:
+                return existing
+            raise ModelError(f"A different task named {task.name!r} is already in the graph")
+        self._tasks[task.name] = task
+        self._succ.setdefault(task.name, set())
+        self._pred.setdefault(task.name, set())
+        return task
+
+    def create_task(
+        self,
+        name: str,
+        period: int,
+        wcet: float,
+        memory: float = 0.0,
+        data_size: float = 1.0,
+        **metadata: Any,
+    ) -> Task:
+        """Convenience constructor: build a :class:`Task` and add it."""
+        task = Task(
+            name=name,
+            period=period,
+            wcet=wcet,
+            memory=memory,
+            data_size=data_size,
+            metadata=dict(metadata),
+        )
+        return self.add_task(task)
+
+    def add_dependence(self, dep: Dependence | tuple[str, str]) -> Dependence:
+        """Add a dependence edge, checking endpoints and period harmonicity."""
+        if isinstance(dep, tuple):
+            dep = Dependence(*dep)
+        for endpoint in dep.key:
+            if endpoint not in self._tasks:
+                raise ModelError(
+                    f"Dependence {dep} refers to unknown task {endpoint!r}; add the task first"
+                )
+        producer = self._tasks[dep.producer]
+        consumer = self._tasks[dep.consumer]
+        if not is_harmonic_pair(producer.period, consumer.period):
+            raise ModelError(
+                f"Dependence {dep}: periods {producer.period} and {consumer.period} are not "
+                "harmonically related (one must divide the other)"
+            )
+        if dep.key in self._deps:
+            return self._deps[dep.key]
+        self._deps[dep.key] = dep
+        self._succ[dep.producer].add(dep.consumer)
+        self._pred[dep.consumer].add(dep.producer)
+        return dep
+
+    def connect(self, producer: str, consumer: str, data_size: float | None = None) -> Dependence:
+        """Convenience wrapper building a :class:`Dependence` and adding it."""
+        return self.add_dependence(Dependence(producer, consumer, data_size=data_size))
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    def task(self, name: str) -> Task:
+        """Return the task called ``name``.
+
+        Raises
+        ------
+        ModelError
+            If no such task exists.
+        """
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise ModelError(f"Unknown task {name!r}") from None
+
+    @property
+    def tasks(self) -> Mapping[str, Task]:
+        """Read-only view of the tasks keyed by name."""
+        return dict(self._tasks)
+
+    @property
+    def task_names(self) -> tuple[str, ...]:
+        """Task names in insertion order."""
+        return tuple(self._tasks)
+
+    @property
+    def dependences(self) -> tuple[Dependence, ...]:
+        """All dependence edges."""
+        return tuple(self._deps.values())
+
+    def dependence(self, producer: str, consumer: str) -> Dependence:
+        """Return the edge ``producer -> consumer``.
+
+        Raises
+        ------
+        ModelError
+            If there is no such edge.
+        """
+        try:
+            return self._deps[(producer, consumer)]
+        except KeyError:
+            raise ModelError(f"No dependence {producer!r} -> {consumer!r}") from None
+
+    def has_dependence(self, producer: str, consumer: str) -> bool:
+        """``True`` when the edge ``producer -> consumer`` exists."""
+        return (producer, consumer) in self._deps
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        """Names of direct consumers of ``name`` (sorted for determinism)."""
+        self.task(name)
+        return tuple(sorted(self._succ[name]))
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        """Names of direct producers feeding ``name`` (sorted for determinism)."""
+        self.task(name)
+        return tuple(sorted(self._pred[name]))
+
+    def in_dependences(self, name: str) -> tuple[Dependence, ...]:
+        """Edges whose consumer is ``name``."""
+        return tuple(self._deps[(p, name)] for p in sorted(self._pred[name]))
+
+    def out_dependences(self, name: str) -> tuple[Dependence, ...]:
+        """Edges whose producer is ``name``."""
+        return tuple(self._deps[(name, s)] for s in sorted(self._succ[name]))
+
+    def sources(self) -> tuple[str, ...]:
+        """Tasks with no predecessor (typically sensors)."""
+        return tuple(sorted(n for n in self._tasks if not self._pred[n]))
+
+    def sinks(self) -> tuple[str, ...]:
+        """Tasks with no successor (typically actuators)."""
+        return tuple(sorted(n for n in self._tasks if not self._succ[n]))
+
+    # ------------------------------------------------------------------
+    # Global properties
+    # ------------------------------------------------------------------
+    @property
+    def hyper_period(self) -> int:
+        """LCM of all task periods; the analysis window of the paper."""
+        if not self._tasks:
+            raise ModelError("Cannot compute the hyper-period of an empty task graph")
+        return _hyper_period(t.period for t in self._tasks.values())
+
+    @property
+    def total_utilization(self) -> float:
+        """Sum of per-task utilisations ``E/T``."""
+        return sum(t.utilization for t in self._tasks.values())
+
+    def total_instances(self) -> int:
+        """Total number of task instances inside one hyper-period."""
+        hp = self.hyper_period
+        return sum(hp // t.period for t in self._tasks.values())
+
+    def total_memory_per_hyper_period(self) -> float:
+        """Sum over all instances of their required memory amount.
+
+        This is the quantity that gets distributed over the processors (the
+        paper's example sums 16 + 4 + 4 = 24 units for its five tasks).
+        """
+        hp = self.hyper_period
+        return sum((hp // t.period) * t.memory for t in self._tasks.values())
+
+    def distinct_periods(self) -> tuple[int, ...]:
+        """Sorted tuple of the distinct periods present in the graph."""
+        return tuple(sorted({t.period for t in self._tasks.values()}))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def topological_order(self) -> tuple[str, ...]:
+        """Task names in a deterministic topological order.
+
+        Kahn's algorithm with a lexicographically smallest-first tie break so
+        that results are reproducible across runs.
+
+        Raises
+        ------
+        ModelError
+            If the dependence graph contains a cycle.
+        """
+        indegree = {name: len(self._pred[name]) for name in self._tasks}
+        ready = deque(sorted(n for n, d in indegree.items() if d == 0))
+        order: list[str] = []
+        while ready:
+            node = ready.popleft()
+            order.append(node)
+            newly_ready = []
+            for succ in self._succ[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    newly_ready.append(succ)
+            for succ in sorted(newly_ready):
+                ready.append(succ)
+            # keep the queue sorted to stay deterministic
+            ready = deque(sorted(ready))
+        if len(order) != len(self._tasks):
+            remaining = sorted(set(self._tasks) - set(order))
+            raise ModelError(f"Task graph contains a dependence cycle involving {remaining}")
+        return tuple(order)
+
+    def is_acyclic(self) -> bool:
+        """``True`` when the dependence graph has no cycle."""
+        try:
+            self.topological_order()
+        except ModelError:
+            return False
+        return True
+
+    def ancestors(self, name: str) -> set[str]:
+        """All transitive producers of ``name``."""
+        self.task(name)
+        seen: set[str] = set()
+        stack = list(self._pred[name])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._pred[node])
+        return seen
+
+    def descendants(self, name: str) -> set[str]:
+        """All transitive consumers of ``name``."""
+        self.task(name)
+        seen: set[str] = set()
+        stack = list(self._succ[name])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._succ[node])
+        return seen
+
+    def connected_components(self) -> tuple[frozenset[str], ...]:
+        """Weakly connected components (ignoring edge direction)."""
+        seen: set[str] = set()
+        components: list[frozenset[str]] = []
+        for start in self._tasks:
+            if start in seen:
+                continue
+            component: set[str] = set()
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                if node in component:
+                    continue
+                component.add(node)
+                stack.extend(self._succ[node])
+                stack.extend(self._pred[node])
+            seen |= component
+            components.append(frozenset(component))
+        return tuple(components)
+
+    def validate(self) -> None:
+        """Run every structural check; raise :class:`ModelError` on failure."""
+        if not self._tasks:
+            raise ModelError("Task graph is empty")
+        self.topological_order()  # acyclicity
+        for dep in self._deps.values():
+            producer = self.task(dep.producer)
+            consumer = self.task(dep.consumer)
+            if not is_harmonic_pair(producer.period, consumer.period):
+                raise ModelError(
+                    f"Dependence {dep}: non harmonic periods "
+                    f"{producer.period} / {consumer.period}"
+                )
+        self.hyper_period  # noqa: B018 - computing it validates periods
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.DiGraph:
+        """Export the graph as a :class:`networkx.DiGraph` with task attributes."""
+        graph = nx.DiGraph(name=self.name)
+        for task in self._tasks.values():
+            graph.add_node(
+                task.name,
+                period=task.period,
+                wcet=task.wcet,
+                memory=task.memory,
+                data_size=task.data_size,
+            )
+        for dep in self._deps.values():
+            graph.add_edge(dep.producer, dep.consumer, data_size=dep.data_size)
+        return graph
+
+    def copy(self) -> "TaskGraph":
+        """Deep-enough copy (tasks/dependences are immutable value objects)."""
+        return TaskGraph(self._tasks.values(), self._deps.values(), name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TaskGraph(name={self.name!r}, tasks={len(self._tasks)}, "
+            f"dependences={len(self._deps)})"
+        )

@@ -1,0 +1,156 @@
+"""Memory accounting helpers.
+
+The paper accounts memory *per task instance*: a task with required memory
+``m`` executed ``q`` times inside the hyper-period contributes ``q * m`` to
+the memory used on its processor (the worked example counts 4 instances of a
+task with ``m = 4`` as 16 units on ``P1``).  On top of that static demand,
+multi-rate inter-processor dependences create *buffer* demand on the
+consumer's processor: when the consumer is ``n`` times slower than the
+producer, the ``n`` data items of one consumer window must all be stored
+until the consumer executes (Figure 1 — memory reuse is not possible).
+
+This module provides the static accounting used by the heuristic and the
+metrics, and the buffer-demand computation used by the simulator's memory
+tracker and by capacity checks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.model.graph import TaskGraph
+
+__all__ = [
+    "instance_memory",
+    "static_memory_of_tasks",
+    "static_memory_by_processor",
+    "edge_buffer_demand",
+    "buffer_demand_by_processor",
+    "MemoryBreakdown",
+]
+
+
+def instance_memory(graph: TaskGraph, task_name: str) -> float:
+    """Memory required by one instance of ``task_name``."""
+    return graph.task(task_name).memory
+
+
+def static_memory_of_tasks(graph: TaskGraph, task_names: Iterable[str]) -> float:
+    """Total per-hyper-period static memory of the given tasks.
+
+    Every instance of every listed task counts once (paper accounting).
+    """
+    hp = graph.hyper_period
+    total = 0.0
+    for name in task_names:
+        task = graph.task(name)
+        total += (hp // task.period) * task.memory
+    return total
+
+
+def static_memory_by_processor(
+    graph: TaskGraph, assignment: Mapping[tuple[str, int], str]
+) -> dict[str, float]:
+    """Static memory per processor for an instance-level assignment.
+
+    Parameters
+    ----------
+    graph:
+        The application.
+    assignment:
+        Mapping from ``(task name, instance index)`` to processor name.
+
+    Returns
+    -------
+    dict[str, float]
+        Memory used on every processor appearing in the assignment.
+    """
+    usage: dict[str, float] = {}
+    for (task_name, _index), processor in assignment.items():
+        task = graph.task(task_name)
+        usage[processor] = usage.get(processor, 0.0) + task.memory
+    return usage
+
+
+def edge_buffer_demand(
+    graph: TaskGraph, producer: str, consumer: str, *, cross_processor: bool = True
+) -> float:
+    """Peak buffer demand of one dependence on the consumer's processor.
+
+    The demand equals ``n * data_size`` where ``n`` is the number of producer
+    samples one consumer execution needs (Figure 1 of the paper with
+    ``n = 4``).  Same-processor dependences are usually served directly from
+    the producer's memory; pass ``cross_processor=False`` to get ``0`` in that
+    case, which is the default behaviour of the capacity checks.
+    """
+    dep = graph.dependence(producer, consumer)
+    producer_task = graph.task(producer)
+    consumer_task = graph.task(consumer)
+    if not cross_processor:
+        return 0.0
+    items = dep.buffered_items(producer_task, consumer_task)
+    return items * dep.effective_data_size(producer_task)
+
+
+def buffer_demand_by_processor(
+    graph: TaskGraph, task_assignment: Mapping[str, str]
+) -> dict[str, float]:
+    """Worst-case buffer demand per processor for a task-level assignment.
+
+    For every dependence whose producer and consumer live on different
+    processors, the consumer's processor must buffer ``n`` producer samples.
+    The per-processor demands of different edges are summed, which is a safe
+    upper bound (simultaneous occupancy); the discrete-event simulator
+    measures the actual peak.
+
+    Parameters
+    ----------
+    graph:
+        The application.
+    task_assignment:
+        Mapping from task name to processor name (all instances of a task are
+        on the same processor once strict periodicity is enforced per task;
+        instance-level refinements use the simulator instead).
+    """
+    demand: dict[str, float] = {}
+    for dep in graph.dependences:
+        try:
+            producer_proc = task_assignment[dep.producer]
+            consumer_proc = task_assignment[dep.consumer]
+        except KeyError as exc:
+            raise ModelError(f"Assignment misses task {exc.args[0]!r}") from None
+        if producer_proc == consumer_proc:
+            continue
+        amount = edge_buffer_demand(graph, dep.producer, dep.consumer)
+        demand[consumer_proc] = demand.get(consumer_proc, 0.0) + amount
+    return demand
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryBreakdown:
+    """Static + buffer memory usage of one processor.
+
+    Attributes
+    ----------
+    processor:
+        Processor name.
+    static:
+        Sum of the per-instance required memory of the instances placed there.
+    buffers:
+        Worst-case buffer demand created by incoming inter-processor edges.
+    """
+
+    processor: str
+    static: float
+    buffers: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Static plus buffer demand."""
+        return self.static + self.buffers
+
+    def fits(self, capacity: float) -> bool:
+        """``True`` when the total demand fits within ``capacity``."""
+        return self.total <= capacity + 1e-9

@@ -1,0 +1,170 @@
+"""Period arithmetic for strictly periodic task sets.
+
+The applications targeted by the paper are multi-periodic: tasks have
+integer periods, dependences only connect tasks whose periods are equal or
+integer multiples of one another, and the behaviour of the whole application
+is fully characterised over one *hyper-period*, i.e. the least common
+multiple (LCM) of every period (the paper cites [13] for this classical
+result).  Because of the *strict periodicity* constraint, once the start time
+of the first instance of a task is fixed, the start time of every later
+instance is fixed as well: instance ``k`` starts exactly ``k`` periods after
+instance ``0``.
+
+This module gathers the small pieces of integer arithmetic used all over the
+library: LCM of a set of periods, number of instances per hyper-period,
+harmonicity checks and period-ratio computation for multi-rate dependences.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.errors import ModelError
+
+__all__ = [
+    "lcm",
+    "lcm_many",
+    "hyper_period",
+    "instances_in_hyper_period",
+    "is_harmonic_pair",
+    "is_harmonic_set",
+    "period_ratio",
+    "validate_period",
+]
+
+
+def validate_period(period: int, *, owner: str | None = None) -> int:
+    """Check that ``period`` is a strictly positive integer and return it.
+
+    Parameters
+    ----------
+    period:
+        Candidate period value.
+    owner:
+        Optional task name used to produce a better error message.
+
+    Raises
+    ------
+    ModelError
+        If the period is not an integer or is not strictly positive.
+    """
+    if isinstance(period, bool) or not isinstance(period, int):
+        raise ModelError(
+            f"Period must be a positive integer, got {period!r}"
+            + (f" for task {owner!r}" if owner else "")
+        )
+    if period <= 0:
+        raise ModelError(
+            f"Period must be strictly positive, got {period}"
+            + (f" for task {owner!r}" if owner else "")
+        )
+    return period
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    if a <= 0 or b <= 0:
+        raise ModelError(f"lcm() arguments must be positive, got {a} and {b}")
+    return a // math.gcd(a, b) * b
+
+
+def lcm_many(values: Iterable[int]) -> int:
+    """Least common multiple of an iterable of positive integers.
+
+    Raises
+    ------
+    ModelError
+        If the iterable is empty or contains a non-positive value.
+    """
+    result = 0
+    for value in values:
+        if value <= 0:
+            raise ModelError(f"lcm_many() received a non-positive period: {value}")
+        result = value if result == 0 else lcm(result, value)
+    if result == 0:
+        raise ModelError("lcm_many() requires at least one period")
+    return result
+
+
+def hyper_period(periods: Iterable[int]) -> int:
+    """Hyper-period (LCM of all task periods) of a task set.
+
+    The hyper-period is the analysis window used throughout the paper: each
+    task ``a`` with period ``Ta`` appears ``LCM / Ta`` times inside it and the
+    schedule of the window repeats indefinitely.
+    """
+    return lcm_many(periods)
+
+
+def instances_in_hyper_period(period: int, hp: int) -> int:
+    """Number of instances of a task of the given ``period`` in hyper-period ``hp``.
+
+    Raises
+    ------
+    ModelError
+        If ``hp`` is not a multiple of ``period`` (which would mean the
+        hyper-period was computed from a different task set).
+    """
+    validate_period(period)
+    if hp % period != 0:
+        raise ModelError(
+            f"Hyper-period {hp} is not a multiple of period {period}; "
+            "the task does not belong to this task set"
+        )
+    return hp // period
+
+
+def is_harmonic_pair(period_a: int, period_b: int) -> bool:
+    """Return ``True`` when one period divides the other.
+
+    Dependences in the paper's model only make sense between tasks whose
+    periods are identical or integer multiples of each other ("the possible
+    dependence between tasks at different periods"), since the consumer needs
+    an integer number of producer samples per execution.
+    """
+    validate_period(period_a)
+    validate_period(period_b)
+    return period_a % period_b == 0 or period_b % period_a == 0
+
+
+def is_harmonic_set(periods: Sequence[int]) -> bool:
+    """Return ``True`` when the periods form a harmonic chain.
+
+    A set is harmonic when, after sorting, every period divides the next one.
+    Harmonic sets are the common case in the control applications motivating
+    the paper (a small number of sensors impose their periods, section 4).
+    This is a stronger property than pairwise harmonicity of dependent tasks
+    and is only used by workload generators and diagnostics.
+    """
+    ordered = sorted(validate_period(p) for p in periods)
+    return all(ordered[i + 1] % ordered[i] == 0 for i in range(len(ordered) - 1))
+
+
+def period_ratio(producer_period: int, consumer_period: int) -> tuple[int, int]:
+    """Ratio of a multi-rate dependence, as ``(per_consumer, per_producer)``.
+
+    Returns
+    -------
+    tuple[int, int]
+        ``(n, 1)`` when the consumer is ``n`` times slower than the producer
+        (the consumer needs ``n`` fresh samples per execution, the situation
+        of Figure 1 of the paper), ``(1, n)`` when the consumer is ``n`` times
+        faster (the same producer sample is consumed by ``n`` consumer
+        instances) and ``(1, 1)`` for equal periods.
+
+    Raises
+    ------
+    ModelError
+        If the two periods are not harmonically related.
+    """
+    validate_period(producer_period)
+    validate_period(consumer_period)
+    if consumer_period % producer_period == 0:
+        return (consumer_period // producer_period, 1)
+    if producer_period % consumer_period == 0:
+        return (1, producer_period // consumer_period)
+    raise ModelError(
+        "Dependent tasks must have harmonically related periods; "
+        f"got producer period {producer_period} and consumer period {consumer_period}"
+    )

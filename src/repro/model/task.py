@@ -1,0 +1,170 @@
+"""Task model: strictly periodic, non-preemptive real-time tasks.
+
+A :class:`Task` is the unit the application designer manipulates: it carries
+a period, a worst-case execution time (WCET), a required memory amount (the
+space needed on the processor that executes it to store its variables and
+input buffers, as defined in section 3.1 of the paper) and the size of the
+data item it produces for its consumers (which drives communication times and
+consumer-side buffering).
+
+A :class:`TaskInstance` is one repetition of a task inside the hyper-period.
+Because of strict periodicity the ``k``-th instance of a task whose first
+instance starts at ``S`` starts exactly at ``S + k * period``; instances are
+therefore identified simply by ``(task name, k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ModelError
+from repro.model.periods import validate_period
+
+__all__ = ["Task", "TaskInstance", "instance_label"]
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A strictly periodic, non-preemptive task.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier of the task inside its :class:`~repro.model.graph.TaskGraph`.
+    period:
+        Strict period ``T`` (positive integer).  Consecutive instances start
+        exactly ``T`` time units apart and the implicit deadline equals the
+        period.
+    wcet:
+        Worst-case execution time ``E`` (non-negative; the paper assumes it is
+        known for every task).  Must not exceed the period.
+    memory:
+        Required memory amount ``m``: the data space the task needs on the
+        processor executing it (one occurrence *per instance*, following the
+        accounting of the paper's example where four instances of a task of
+        memory 4 account for 16 units on their processor).
+    data_size:
+        Size of the data item produced by one instance for each consumer.
+        Used by size-dependent communication models and by the consumer-side
+        buffer tracking of Figure 1.  Defaults to ``1.0``.
+    metadata:
+        Free-form dictionary for user annotations (sensor name, rate group,
+        criticality level, ...).  Not interpreted by the library.
+    """
+
+    name: str
+    period: int
+    wcet: float
+    memory: float = 0.0
+    data_size: float = 1.0
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ModelError(f"Task name must be a non-empty string, got {self.name!r}")
+        validate_period(self.period, owner=self.name)
+        if self.wcet < 0:
+            raise ModelError(f"Task {self.name!r}: WCET must be non-negative, got {self.wcet}")
+        if self.wcet > self.period:
+            raise ModelError(
+                f"Task {self.name!r}: WCET {self.wcet} exceeds its period {self.period}; "
+                "the task can never meet its implicit deadline"
+            )
+        if self.memory < 0:
+            raise ModelError(
+                f"Task {self.name!r}: required memory must be non-negative, got {self.memory}"
+            )
+        if self.data_size < 0:
+            raise ModelError(
+                f"Task {self.name!r}: data size must be non-negative, got {self.data_size}"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """Processor utilisation ``E / T`` of the task."""
+        return self.wcet / self.period
+
+    def instances(self, hyper_period: int) -> int:
+        """Number of instances of this task inside ``hyper_period``."""
+        if hyper_period % self.period != 0:
+            raise ModelError(
+                f"Hyper-period {hyper_period} is not a multiple of task {self.name!r} "
+                f"period {self.period}"
+            )
+        return hyper_period // self.period
+
+    def with_updates(self, **changes: Any) -> "Task":
+        """Return a copy of the task with the given fields replaced."""
+        return replace(self, **changes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Task({self.name}, T={self.period}, E={self.wcet}, "
+            f"m={self.memory}, data={self.data_size})"
+        )
+
+
+def instance_label(task_name: str, index: int) -> str:
+    """Human readable label of an instance, e.g. ``a#2`` for the 3rd instance of ``a``."""
+    return f"{task_name}#{index}"
+
+
+@dataclass(frozen=True, slots=True)
+class TaskInstance:
+    """One repetition of a :class:`Task` inside the hyper-period.
+
+    Instances are value objects: two instances compare equal when they denote
+    the same repetition of the same task.  The instance knows nothing about
+    *where* or *when* it is scheduled — that is the job of
+    :class:`repro.scheduling.schedule.ScheduledInstance`.
+
+    Attributes
+    ----------
+    task:
+        The task this instance belongs to.
+    index:
+        Zero-based repetition index inside the hyper-period
+        (``0 <= index < hyper_period // task.period``).
+    """
+
+    task: Task
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ModelError(
+                f"Instance index must be non-negative, got {self.index} for {self.task.name!r}"
+            )
+
+    @property
+    def name(self) -> str:
+        """Task name of the instance."""
+        return self.task.name
+
+    @property
+    def label(self) -> str:
+        """Readable identifier such as ``a#0``."""
+        return instance_label(self.task.name, self.index)
+
+    @property
+    def is_first(self) -> bool:
+        """``True`` for the first instance of its task (index 0).
+
+        First instances are the ones that matter for the block categories of
+        the paper: a *category 1* block contains only first instances and is
+        the only kind of block whose start time may decrease when moved.
+        """
+        return self.index == 0
+
+    @property
+    def release_offset(self) -> int:
+        """Offset of the instance's period window start, ``index * period``."""
+        return self.index * self.task.period
+
+    def key(self) -> tuple[str, int]:
+        """Hashable ``(task name, index)`` key."""
+        return (self.task.name, self.index)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label

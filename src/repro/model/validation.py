@@ -1,0 +1,146 @@
+"""Structural validation of an application against an architecture.
+
+Before any scheduling or balancing is attempted it is useful to know whether
+the problem instance is *obviously* impossible (total utilisation larger than
+the number of processors, a single task that cannot fit in a processor's
+memory, ...) or merely suspicious (very unbalanced memory demand, many
+non-harmonic period groups, ...).  :func:`validate_problem` gathers these
+checks and returns a :class:`ProblemReport` with errors (definitely
+infeasible) and warnings (heuristics may struggle).
+
+These checks are *necessary* conditions only; passing them does not guarantee
+that the scheduling heuristic will find a feasible schedule (the problem is
+NP-hard), but failing an error-level check guarantees that it cannot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.model.architecture import Architecture
+from repro.model.graph import TaskGraph
+from repro.model.memory import edge_buffer_demand
+
+__all__ = ["ProblemReport", "validate_problem"]
+
+
+@dataclass(slots=True)
+class ProblemReport:
+    """Outcome of :func:`validate_problem`."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def is_feasible(self) -> bool:
+        """``True`` when no error-level problem was found."""
+        return not self.errors
+
+    def raise_if_infeasible(self) -> None:
+        """Raise :class:`~repro.errors.ModelError` summarising the errors, if any."""
+        if self.errors:
+            from repro.errors import ModelError
+
+            raise ModelError(
+                "Problem instance is infeasible: " + "; ".join(self.errors)
+            )
+
+    def summary(self) -> str:
+        """Human readable multi-line summary."""
+        lines = []
+        if not self.errors and not self.warnings:
+            lines.append("No structural problem detected.")
+        for message in self.errors:
+            lines.append(f"ERROR: {message}")
+        for message in self.warnings:
+            lines.append(f"WARNING: {message}")
+        return "\n".join(lines)
+
+
+def validate_problem(graph: TaskGraph, architecture: Architecture) -> ProblemReport:
+    """Run necessary-condition checks on ``(graph, architecture)``.
+
+    Error-level checks
+    ------------------
+    * the graph itself is structurally valid (acyclic, harmonic dependences);
+    * total utilisation does not exceed the number of processors;
+    * no single task has a WCET larger than its period (already enforced by
+      :class:`~repro.model.task.Task`, re-checked defensively);
+    * when memory capacities are finite: no single task instance exceeds the
+      per-processor capacity, and the total memory demand does not exceed the
+      aggregate capacity.
+
+    Warning-level checks
+    --------------------
+    * utilisation above 69 % of the platform (heuristics frequently fail in
+      the high-utilisation regime for non-preemptive strictly periodic sets);
+    * a dependence whose worst-case consumer-side buffer alone uses more than
+      half of a processor's memory;
+    * a number of distinct periods much larger than what the paper assumes
+      ("the number of different periods is small", section 4).
+    """
+    report = ProblemReport()
+
+    try:
+        graph.validate()
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed silently
+        report.errors.append(str(exc))
+        return report
+
+    processor_count = len(architecture)
+    total_util = graph.total_utilization
+    if total_util > processor_count + 1e-9:
+        report.errors.append(
+            f"Total utilisation {total_util:.3f} exceeds the number of processors "
+            f"{processor_count}; no schedule can exist"
+        )
+    elif total_util > 0.69 * processor_count:
+        report.warnings.append(
+            f"Total utilisation {total_util:.3f} is above 69% of the platform capacity "
+            f"({processor_count} processors); non-preemptive strictly periodic scheduling "
+            "may fail"
+        )
+
+    for task in graph:
+        if task.wcet > task.period:  # defensive; Task already rejects this
+            report.errors.append(
+                f"Task {task.name!r}: WCET {task.wcet} exceeds period {task.period}"
+            )
+
+    if architecture.has_memory_limits():
+        capacity = architecture.memory_capacity
+        for task in graph:
+            if task.memory > capacity:
+                report.errors.append(
+                    f"Task {task.name!r} needs {task.memory} memory units but each processor "
+                    f"only has {capacity}"
+                )
+        total_memory = graph.total_memory_per_hyper_period()
+        aggregate = capacity * processor_count
+        if total_memory > aggregate + 1e-9:
+            report.errors.append(
+                f"Total memory demand {total_memory} exceeds the aggregate capacity "
+                f"{aggregate} of the {processor_count} processors"
+            )
+        elif total_memory > 0.9 * aggregate:
+            report.warnings.append(
+                f"Total memory demand {total_memory} uses more than 90% of the aggregate "
+                f"capacity {aggregate}; balancing will be tight"
+            )
+        for dep in graph.dependences:
+            demand = edge_buffer_demand(graph, dep.producer, dep.consumer)
+            if demand > 0.5 * capacity and not math.isinf(capacity):
+                report.warnings.append(
+                    f"Dependence {dep} may buffer {demand} units on the consumer's processor, "
+                    f"more than half of the capacity {capacity}"
+                )
+
+    distinct_periods = len(graph.distinct_periods())
+    if distinct_periods > max(8, len(graph) // 4):
+        report.warnings.append(
+            f"The task set uses {distinct_periods} distinct periods; the paper's block-based "
+            "heuristic assumes a small number of periods (few sensors), so blocks may be tiny"
+        )
+
+    return report

@@ -1,0 +1,60 @@
+"""Distributed scheduling substrate.
+
+This subpackage turns an application model into, and verifies, concrete
+schedules:
+
+* :mod:`~repro.scheduling.schedule` — the :class:`Schedule` data structure
+  (instances, processor timelines, communication operations);
+* :mod:`~repro.scheduling.unrolling` — hyper-period instance expansion and
+  instance-level dependence edges;
+* :mod:`~repro.scheduling.communications` — synthesis of inter-processor
+  transfer operations and data-arrival queries;
+* :mod:`~repro.scheduling.heuristic` — the initial distributed scheduling
+  heuristic (stand-in for the paper's reference [4]);
+* :mod:`~repro.scheduling.feasibility` — constraint verification.
+"""
+
+from repro.scheduling.communications import (
+    attach_communications,
+    edge_arrival_time,
+    synthesize_communications,
+)
+from repro.scheduling.feasibility import FeasibilityReport, assert_feasible, check_schedule
+from repro.scheduling.heuristic import (
+    InitialScheduler,
+    PlacementPolicy,
+    SchedulerOptions,
+    schedule_application,
+)
+from repro.scheduling.schedule import CommOperation, ProcessorTimeline, Schedule, ScheduledInstance
+from repro.scheduling.unrolling import (
+    InstanceEdge,
+    instance_count,
+    instance_edges,
+    predecessors_of_instance,
+    successors_of_instance,
+    unrolled_instances,
+)
+
+__all__ = [
+    "CommOperation",
+    "FeasibilityReport",
+    "InitialScheduler",
+    "InstanceEdge",
+    "PlacementPolicy",
+    "ProcessorTimeline",
+    "Schedule",
+    "ScheduledInstance",
+    "SchedulerOptions",
+    "assert_feasible",
+    "attach_communications",
+    "check_schedule",
+    "edge_arrival_time",
+    "instance_count",
+    "instance_edges",
+    "predecessors_of_instance",
+    "schedule_application",
+    "successors_of_instance",
+    "synthesize_communications",
+    "unrolled_instances",
+]

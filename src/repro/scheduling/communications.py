@@ -1,0 +1,112 @@
+"""Synthesis of inter-processor communication operations.
+
+When a producer instance and a consumer instance are placed on different
+processors, the data transfer becomes an explicit operation: the paper models
+it as a send task on the producer's processor followed by a receive task on
+the consumer's processor, with the *communication time* ``C`` spanning from
+the start of the send to the completion of the receive.  This module derives
+those operations from an instance placement, and provides the data-arrival
+queries used by the scheduling heuristic, the gain computation of the load
+balancer and the feasibility checker.
+"""
+
+from __future__ import annotations
+
+from repro.model.architecture import Architecture
+from repro.model.graph import TaskGraph
+from repro.scheduling.schedule import CommOperation, Schedule
+from repro.scheduling.unrolling import InstanceEdge, instance_edges
+
+__all__ = [
+    "synthesize_communications",
+    "attach_communications",
+    "edge_arrival_time",
+]
+
+
+def edge_arrival_time(
+    producer_end: float,
+    producer_processor: str,
+    consumer_processor: str,
+    architecture: Architecture,
+    data_size: float,
+) -> float:
+    """Time at which the data of one instance edge is available to its consumer.
+
+    Same processor: the data is available as soon as the producer completes.
+    Different processors: the producer's completion is followed by one
+    communication time (latency + size/bandwidth of the architecture's
+    communication model).
+    """
+    return producer_end + architecture.comm_time(
+        producer_processor, consumer_processor, data_size
+    )
+
+
+def synthesize_communications(schedule: Schedule) -> tuple[CommOperation, ...]:
+    """Create the :class:`CommOperation` records implied by a placement.
+
+    One operation is created per instance-level edge whose endpoints are on
+    different processors; the transfer starts when the producer instance
+    completes and lasts one communication time.  (Medium contention is not
+    modelled here — the analytic model of the paper assumes the communication
+    time is a constant; the discrete-event simulator refines this.)
+    """
+    graph: TaskGraph = schedule.graph
+    architecture = schedule.architecture
+    operations: list[CommOperation] = []
+    for edge in instance_edges(graph):
+        producer = schedule.instance(*edge.producer)
+        consumer = schedule.instance(*edge.consumer)
+        if producer.processor == consumer.processor:
+            continue
+        medium = architecture.medium_between(producer.processor, consumer.processor)
+        duration = architecture.comm_time(
+            producer.processor, consumer.processor, edge.data_size
+        )
+        operations.append(
+            CommOperation(
+                producer=edge.producer[0],
+                producer_index=edge.producer[1],
+                consumer=edge.consumer[0],
+                consumer_index=edge.consumer[1],
+                source=producer.processor,
+                target=consumer.processor,
+                medium=medium.name,
+                start=producer.end,
+                duration=duration,
+                data_size=edge.data_size,
+            )
+        )
+    return tuple(
+        sorted(operations, key=lambda op: (op.start, op.source, op.target, op.label))
+    )
+
+
+def attach_communications(schedule: Schedule) -> Schedule:
+    """Return a copy of ``schedule`` with freshly synthesised communications."""
+    return schedule.with_instances(schedule.instances, synthesize_communications(schedule))
+
+
+def arrival_times_for_instance(
+    schedule: Schedule, task: str, index: int
+) -> dict[InstanceEdge, float]:
+    """Arrival time of every input edge of ``(task, index)`` under ``schedule``.
+
+    Used by the feasibility checker: the consumer instance must not start
+    before the latest of these arrival times.
+    """
+    from repro.scheduling.unrolling import predecessors_of_instance
+
+    consumer = schedule.instance(task, index)
+    arrivals: dict[InstanceEdge, float] = {}
+    for edge in predecessors_of_instance(schedule.graph, task, index):
+        producer = schedule.instance(*edge.producer)
+        arrivals[edge] = edge_arrival_time(
+            producer.end,
+            producer.processor,
+            consumer.processor,
+            schedule.architecture,
+            edge.data_size,
+        )
+    return arrivals

@@ -1,0 +1,199 @@
+"""Feasibility checking of schedules.
+
+A schedule is *feasible* for the paper's model when:
+
+1. **completeness** — every instance of every task of the hyper-period is
+   scheduled exactly once;
+2. **strict periodicity** — for every task, the instance starts form an
+   arithmetic progression of step equal to the task's period
+   (``S_k = S_0 + k*T``);
+3. **non-preemptive exclusivity** — instances placed on the same processor
+   never overlap in time;
+4. **precedence** — a consumer instance never starts before the data of each
+   of its producer instances has arrived (producer completion plus one
+   communication time when the producers are on another processor);
+5. **repeatability** — the schedule must be able to repeat every hyper-period
+   forever: on every processor, the steady-state busy patterns of the placed
+   instances (their occupancy *modulo* the hyper-period) must not overlap.
+   This is the exact form of the condition; the paper's Block/LCM condition
+   (eq. (4)) is a sufficient, per-processor approximation of it used inside
+   the heuristic;
+6. **memory capacity** (optional) — on every processor the static memory of
+   the instances placed there (plus, optionally, the worst-case buffer demand
+   of incoming inter-processor edges) fits within the processor's capacity.
+
+:func:`check_schedule` runs all of these and returns a
+:class:`FeasibilityReport` listing every violation; :func:`assert_feasible`
+raises :class:`~repro.errors.ValidationError` when the report is not clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.scheduling.communications import edge_arrival_time
+from repro.scheduling.periodic_intervals import split_wrapping
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.unrolling import instance_count, instance_edges, unrolled_instances
+
+__all__ = ["FeasibilityReport", "check_schedule", "assert_feasible"]
+
+_EPS = 1e-9
+
+
+@dataclass(slots=True)
+class FeasibilityReport:
+    """Violations found by :func:`check_schedule`, grouped by constraint kind."""
+
+    missing_instances: list[str] = field(default_factory=list)
+    periodicity_violations: list[str] = field(default_factory=list)
+    overlap_violations: list[str] = field(default_factory=list)
+    precedence_violations: list[str] = field(default_factory=list)
+    repeatability_violations: list[str] = field(default_factory=list)
+    memory_violations: list[str] = field(default_factory=list)
+
+    @property
+    def all_violations(self) -> list[str]:
+        """Every violation message, in check order."""
+        return (
+            self.missing_instances
+            + self.periodicity_violations
+            + self.overlap_violations
+            + self.precedence_violations
+            + self.repeatability_violations
+            + self.memory_violations
+        )
+
+    @property
+    def is_feasible(self) -> bool:
+        """``True`` when no violation was recorded."""
+        return not self.all_violations
+
+    def summary(self) -> str:
+        """Readable multi-line description of the report."""
+        if self.is_feasible:
+            return "Schedule is feasible (all constraints satisfied)."
+        lines = [f"Schedule violates {len(self.all_violations)} constraint(s):"]
+        lines.extend(f"  - {message}" for message in self.all_violations)
+        return "\n".join(lines)
+
+
+def check_schedule(
+    schedule: Schedule,
+    *,
+    check_memory: bool = True,
+    include_buffers: bool = False,
+    check_repeatability: bool = True,
+) -> FeasibilityReport:
+    """Verify every constraint of the paper's model on ``schedule``.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to verify.
+    check_memory:
+        When ``True`` (default) and the architecture declares finite memory
+        capacities, verify that the per-processor static memory fits.
+    include_buffers:
+        When ``True``, add the worst-case consumer-side buffer demand of
+        incoming inter-processor edges to the static memory before comparing
+        with the capacity.
+    check_repeatability:
+        When ``True`` (default) verify the hyper-period repeatability
+        condition (generalised Block condition).
+    """
+    graph = schedule.graph
+    architecture = schedule.architecture
+    report = FeasibilityReport()
+    hyper_period = graph.hyper_period
+
+    # 1. completeness -------------------------------------------------------
+    for key in unrolled_instances(graph):
+        if key not in schedule:
+            report.missing_instances.append(
+                f"instance {key[0]}#{key[1]} is not scheduled"
+            )
+    if report.missing_instances:
+        # The remaining checks assume a complete schedule; stop here.
+        return report
+
+    # 2. strict periodicity --------------------------------------------------
+    for task in graph:
+        count = instance_count(graph, task.name)
+        first = schedule.instance(task.name, 0).start
+        for index in range(count):
+            expected = first + index * task.period
+            actual = schedule.instance(task.name, index).start
+            if abs(actual - expected) > _EPS:
+                report.periodicity_violations.append(
+                    f"task {task.name!r}: instance {index} starts at {actual:g}, "
+                    f"expected {expected:g} (strict period {task.period})"
+                )
+
+    # 3. non-preemptive exclusivity ------------------------------------------
+    for name, timeline in schedule.timelines().items():
+        for left, right in timeline.overlapping_pairs():
+            report.overlap_violations.append(
+                f"processor {name!r}: {left.label} [{left.start:g},{left.end:g}) overlaps "
+                f"{right.label} [{right.start:g},{right.end:g})"
+            )
+
+    # 4. precedence with communication delays ---------------------------------
+    for edge in instance_edges(graph):
+        producer = schedule.instance(*edge.producer)
+        consumer = schedule.instance(*edge.consumer)
+        arrival = edge_arrival_time(
+            producer.end, producer.processor, consumer.processor, architecture, edge.data_size
+        )
+        if consumer.start < arrival - _EPS:
+            report.precedence_violations.append(
+                f"{edge.label}: consumer starts at {consumer.start:g} before the data "
+                f"arrives at {arrival:g} "
+                f"({producer.processor}->{consumer.processor})"
+            )
+
+    # 5. hyper-period repeatability (steady-state circular non-overlap) --------
+    if check_repeatability:
+        for name, timeline in schedule.timelines().items():
+            if len(timeline) == 0:
+                continue
+            pieces: list[tuple[float, float, str]] = []
+            for instance in timeline.instances:
+                for begin, end in split_wrapping(instance.start, instance.wcet, hyper_period):
+                    pieces.append((begin, end, instance.label))
+            pieces.sort()
+            for (left_begin, left_end, left_label), (right_begin, right_end, right_label) in zip(
+                pieces, pieces[1:]
+            ):
+                if right_begin < left_end - _EPS:
+                    report.repeatability_violations.append(
+                        f"processor {name!r}: the hyper-period repetitions of {left_label} "
+                        f"[{left_begin:g},{left_end:g}) and {right_label} "
+                        f"[{right_begin:g},{right_end:g}) (offsets modulo the hyper-period "
+                        f"{hyper_period}) overlap; the schedule cannot repeat forever"
+                    )
+
+    # 6. memory capacity -------------------------------------------------------
+    if check_memory and architecture.has_memory_limits():
+        capacity = architecture.memory_capacity
+        static = schedule.memory_by_processor()
+        buffers: dict[str, float] = {name: 0.0 for name in architecture.processor_names}
+        if include_buffers:
+            for op in schedule.communications:
+                buffers[op.target] = buffers.get(op.target, 0.0) + op.data_size
+        for name in architecture.processor_names:
+            total = static.get(name, 0.0) + buffers.get(name, 0.0)
+            if total > capacity + _EPS:
+                report.memory_violations.append(
+                    f"processor {name!r}: memory demand {total:g} exceeds capacity {capacity:g}"
+                )
+
+    return report
+
+
+def assert_feasible(schedule: Schedule, **kwargs: bool) -> None:
+    """Raise :class:`ValidationError` when ``schedule`` violates any constraint."""
+    report = check_schedule(schedule, **kwargs)
+    if not report.is_feasible:
+        raise ValidationError(report.summary(), violations=report.all_violations)

@@ -1,0 +1,130 @@
+"""Hyper-period unrolling: from tasks to instances and instance-level edges.
+
+Analysing a strictly periodic application is done over one hyper-period: each
+task ``a`` of period ``Ta`` appears ``LCM / Ta`` times, and every multi-rate
+dependence ``a -> b`` expands into instance-level precedence edges following
+the mapping of :class:`repro.model.dependence.Dependence`
+(:meth:`producer_instances_for`).  The scheduling heuristic, the block
+builder and the simulator all work on this unrolled view.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.model.graph import TaskGraph
+from repro.model.task import instance_label
+
+__all__ = [
+    "InstanceEdge",
+    "unrolled_instances",
+    "instance_count",
+    "instance_edges",
+    "predecessors_of_instance",
+    "successors_of_instance",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceEdge:
+    """A precedence edge between two task instances.
+
+    Attributes
+    ----------
+    producer:
+        ``(task, index)`` of the producing instance.
+    consumer:
+        ``(task, index)`` of the consuming instance.
+    data_size:
+        Size of the transferred data item (already resolved against the
+        producer task's default).
+    """
+
+    producer: tuple[str, int]
+    consumer: tuple[str, int]
+    data_size: float
+
+    @property
+    def label(self) -> str:
+        """Readable identifier such as ``a#1 -> b#0``."""
+        return f"{instance_label(*self.producer)} -> {instance_label(*self.consumer)}"
+
+
+def instance_count(graph: TaskGraph, task: str) -> int:
+    """Number of instances of ``task`` in one hyper-period."""
+    return graph.hyper_period // graph.task(task).period
+
+
+def unrolled_instances(graph: TaskGraph) -> tuple[tuple[str, int], ...]:
+    """Every ``(task, index)`` pair of the hyper-period, grouped by task.
+
+    Tasks appear in insertion order, instances in index order; the result is
+    deterministic for a given graph.
+    """
+    keys: list[tuple[str, int]] = []
+    for name in graph.task_names:
+        for index in range(instance_count(graph, name)):
+            keys.append((name, index))
+    return tuple(keys)
+
+
+def instance_edges(graph: TaskGraph) -> tuple[InstanceEdge, ...]:
+    """Expand every dependence of the graph into instance-level edges.
+
+    For a consumer ``n`` times slower than its producer, each consumer
+    instance receives ``n`` edges (one per required producer sample); for a
+    consumer ``n`` times faster, ``n`` consumer instances each receive one
+    edge from the shared producer instance.
+    """
+    edges: list[InstanceEdge] = []
+    for dep in graph.dependences:
+        producer_task = graph.task(dep.producer)
+        consumer_task = graph.task(dep.consumer)
+        data_size = dep.effective_data_size(producer_task)
+        for consumer_index in range(instance_count(graph, dep.consumer)):
+            for producer_index in dep.producer_instances_for(
+                producer_task, consumer_task, consumer_index
+            ):
+                edges.append(
+                    InstanceEdge(
+                        producer=(dep.producer, producer_index),
+                        consumer=(dep.consumer, consumer_index),
+                        data_size=data_size,
+                    )
+                )
+    return tuple(edges)
+
+
+def predecessors_of_instance(
+    graph: TaskGraph, task: str, index: int
+) -> tuple[InstanceEdge, ...]:
+    """Instance-level edges feeding ``(task, index)``."""
+    consumer_task = graph.task(task)
+    edges: list[InstanceEdge] = []
+    for dep in graph.in_dependences(task):
+        producer_task = graph.task(dep.producer)
+        data_size = dep.effective_data_size(producer_task)
+        for producer_index in dep.producer_instances_for(producer_task, consumer_task, index):
+            edges.append(
+                InstanceEdge(
+                    producer=(dep.producer, producer_index),
+                    consumer=(task, index),
+                    data_size=data_size,
+                )
+            )
+    return tuple(edges)
+
+
+def successors_of_instance(graph: TaskGraph, task: str, index: int) -> Iterator[InstanceEdge]:
+    """Instance-level edges leaving ``(task, index)`` (lazy)."""
+    producer_task = graph.task(task)
+    for dep in graph.out_dependences(task):
+        consumer_task = graph.task(dep.consumer)
+        data_size = dep.effective_data_size(producer_task)
+        for consumer_index in dep.consumer_instances_for(producer_task, consumer_task, index):
+            yield InstanceEdge(
+                producer=(task, index),
+                consumer=(dep.consumer, consumer_index),
+                data_size=data_size,
+            )

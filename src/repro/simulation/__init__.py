@@ -1,0 +1,32 @@
+"""Discrete-event simulation of schedules.
+
+* :mod:`~repro.simulation.engine` — the replay engine (:func:`simulate`);
+* :mod:`~repro.simulation.events` — event and violation records;
+* :mod:`~repro.simulation.processor_sim` / :mod:`~repro.simulation.medium_sim`
+  — resource models;
+* :mod:`~repro.simulation.memory_tracker` — Figure-1 buffer occupancy;
+* :mod:`~repro.simulation.trace` — execution traces and ASCII Gantt charts.
+"""
+
+from repro.simulation.engine import SimulationOptions, SimulationResult, simulate
+from repro.simulation.events import EventKind, SimEvent, Violation, ViolationKind
+from repro.simulation.medium_sim import MediumResource
+from repro.simulation.memory_tracker import MemoryTimeline, MemoryTracker
+from repro.simulation.processor_sim import ProcessorResource
+from repro.simulation.trace import ExecutionRecord, SimulationTrace
+
+__all__ = [
+    "EventKind",
+    "ExecutionRecord",
+    "MediumResource",
+    "MemoryTimeline",
+    "MemoryTracker",
+    "ProcessorResource",
+    "SimEvent",
+    "SimulationOptions",
+    "SimulationResult",
+    "SimulationTrace",
+    "Violation",
+    "ViolationKind",
+    "simulate",
+]

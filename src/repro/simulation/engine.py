@@ -1,0 +1,302 @@
+"""Discrete-event replay of a schedule.
+
+The engine executes a :class:`~repro.scheduling.schedule.Schedule` over one
+or more hyper-periods:
+
+* instances are dispatched at their strictly periodic start times (scheduled
+  start plus ``repetition × hyper-period``);
+* an instance actually starts only once its input data has arrived and its
+  processor is free — any delay beyond the scheduled start is recorded as a
+  violation (the static schedule promised this would never happen);
+* inter-processor transfers start when the producer completes; when medium
+  contention is enabled, transfers sharing a medium are serialised, which can
+  reveal optimism in the analytic fixed-``C`` model of the paper;
+* the :class:`~repro.simulation.memory_tracker.MemoryTracker` follows the
+  consumer-side buffer occupancy (Figure 1) and the per-processor peak memory
+  is checked against the architecture's capacity.
+
+The result object bundles the trace, the per-resource statistics and the
+memory timelines; :func:`simulate` is the single entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.unrolling import predecessors_of_instance, unrolled_instances
+from repro.simulation.events import EventKind, SimEvent, Violation, ViolationKind
+from repro.simulation.medium_sim import MediumResource
+from repro.simulation.memory_tracker import MemoryTracker
+from repro.simulation.processor_sim import ProcessorResource
+from repro.simulation.trace import ExecutionRecord, SimulationTrace
+
+__all__ = ["SimulationOptions", "SimulationResult", "simulate"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationOptions:
+    """Options of :func:`simulate`."""
+
+    #: Number of hyper-periods to replay (the schedule repeats identically, so
+    #: 1 is usually enough; 2+ exercises the repeatability condition).
+    hyper_periods: int = 1
+    #: Serialise transfers sharing a medium (True) or assume infinite medium
+    #: capacity as the paper's analytic model does (False).
+    medium_contention: bool = True
+    #: Track consumer-side buffers for same-processor dependences too.
+    include_local_buffers: bool = False
+    #: Record individual events (disable for large campaigns to save memory).
+    record_events: bool = True
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    schedule: Schedule
+    options: SimulationOptions
+    trace: SimulationTrace
+    processors: dict[str, ProcessorResource]
+    media: dict[str, MediumResource]
+    memory: MemoryTracker
+    horizon: float
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def is_clean(self) -> bool:
+        """``True`` when the replay matched the schedule with no violation."""
+        return not self.violations
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last executed instance."""
+        return self.trace.makespan
+
+    def peak_memory(self) -> dict[str, float]:
+        """Peak (static + buffered) memory observed on each processor."""
+        return self.memory.peak_totals()
+
+    def processor_utilization(self) -> dict[str, float]:
+        """Busy fraction of each processor over the simulated horizon."""
+        return {
+            name: resource.utilization(self.horizon)
+            for name, resource in self.processors.items()
+        }
+
+    def medium_utilization(self) -> dict[str, float]:
+        """Busy fraction of each medium over the simulated horizon."""
+        return {
+            name: resource.utilization(self.horizon) for name, resource in self.media.items()
+        }
+
+    def summary(self) -> str:
+        """Readable multi-line summary of the run."""
+        lines = [self.trace.summary()]
+        peaks = ", ".join(f"{k}: {v:g}" for k, v in sorted(self.peak_memory().items()))
+        lines.append(f"peak memory (static + buffers): [{peaks}]")
+        utils = ", ".join(
+            f"{k}: {v:.0%}" for k, v in sorted(self.processor_utilization().items())
+        )
+        lines.append(f"processor utilisation: [{utils}]")
+        return "\n".join(lines)
+
+
+def simulate(schedule: Schedule, options: SimulationOptions | None = None) -> SimulationResult:
+    """Replay ``schedule`` and return the full simulation result."""
+    options = options or SimulationOptions()
+    if options.hyper_periods < 1:
+        raise ConfigurationError("hyper_periods must be >= 1")
+
+    graph = schedule.graph
+    architecture = schedule.architecture
+    hyper_period = graph.hyper_period
+    keys = unrolled_instances(graph)
+    in_edges = {key: predecessors_of_instance(graph, *key) for key in keys}
+    out_edges: dict[tuple[str, int], list] = {key: [] for key in keys}
+    for key, edges in in_edges.items():
+        for edge in edges:
+            out_edges[edge.producer].append(edge)
+
+    processors = {name: ProcessorResource(name) for name in architecture.processor_names}
+    media = {
+        name: MediumResource(name, contention=options.medium_contention)
+        for name in architecture.media
+    }
+    tracker = MemoryTracker(
+        architecture.processor_names,
+        schedule.memory_by_processor(),
+        include_local=options.include_local_buffers,
+    )
+    trace = SimulationTrace()
+
+    def emit(event: SimEvent) -> None:
+        if options.record_events:
+            trace.add_event(event)
+
+    completion: dict[tuple[tuple[str, int], int], float] = {}
+    arrivals: dict[tuple[tuple[str, int], int], dict[tuple[str, int], float]] = {}
+
+    # All repetitions are simulated together, interleaved by planned start
+    # time: when a schedule spans more than one hyper-period, instances of the
+    # next repetition legitimately execute before late instances of the
+    # previous one, and processing repetitions sequentially would report
+    # spurious processor-busy violations.
+    pending: dict[tuple[tuple[str, int], int], int] = {}
+    for repetition in range(options.hyper_periods):
+        for key in keys:
+            pending[(key, repetition)] = len(in_edges[key])
+
+    def planned_start(item: tuple[tuple[str, int], int]) -> float:
+        key, repetition = item
+        return schedule.instance(*key).start + repetition * hyper_period
+
+    # Ties are broken by repetition then instance key so that, when two
+    # transfers request a contended medium at the same instant, the earlier
+    # repetition's (more urgent) data goes first.
+    ready = sorted(
+        (item for item, count in pending.items() if count == 0),
+        key=lambda item: (planned_start(item), item[1], item[0]),
+    )
+    processed = 0
+    while ready:
+        key, repetition = ready.pop(0)
+        instance = schedule.instance(*key)
+        planned = instance.start + repetition * hyper_period
+
+        # Latest input-data arrival for this instance.
+        data_ready = 0.0
+        for edge in in_edges[key]:
+            arrival = arrivals.get((key, repetition), {}).get(edge.producer, 0.0)
+            data_ready = max(data_ready, arrival)
+
+        resource = processors[instance.processor]
+        processor_free = resource.free_at
+        start, end = resource.execute(
+            max(planned, data_ready), instance.wcet, f"{instance.label}"
+        )
+        completion[(key, repetition)] = end
+        emit(
+            SimEvent(start, EventKind.TASK_START, key[0], key[1], instance.processor, repetition)
+        )
+        emit(SimEvent(end, EventKind.TASK_END, key[0], key[1], instance.processor, repetition))
+        trace.add_record(
+            ExecutionRecord(
+                task=key[0],
+                index=key[1],
+                repetition=repetition,
+                processor=instance.processor,
+                planned_start=planned,
+                actual_start=start,
+                end=end,
+            )
+        )
+        if start > planned + _EPS:
+            if data_ready > planned + _EPS:
+                kind = ViolationKind.DATA_NOT_READY
+            elif processor_free > planned + _EPS:
+                kind = ViolationKind.PROCESSOR_BUSY
+            else:  # pragma: no cover - defensive
+                kind = ViolationKind.LATE_START
+            trace.add_violation(
+                Violation(
+                    kind=kind,
+                    time=start,
+                    task=key[0],
+                    index=key[1],
+                    processor=instance.processor,
+                    repetition=repetition,
+                    amount=start - planned,
+                    detail=f"started {start - planned:g} after its strict start {planned:g}",
+                )
+            )
+        tracker.consumer_finished(end, key, repetition)
+
+        # Emit the data produced by this instance towards its consumers.
+        for edge in out_edges[key]:
+            consumer = schedule.instance(*edge.consumer)
+            if consumer.processor == instance.processor:
+                arrival = end
+                tracker.data_arrived(
+                    consumer.processor, arrival, edge.consumer, repetition, edge.data_size,
+                    local=True,
+                )
+            else:
+                medium = architecture.medium_between(instance.processor, consumer.processor)
+                duration = architecture.comm_time(
+                    instance.processor, consumer.processor, edge.data_size
+                )
+                send_start, arrival = media[medium.name].transfer(
+                    end, duration, edge.label
+                )
+                emit(
+                    SimEvent(
+                        send_start,
+                        EventKind.MESSAGE_SEND,
+                        key[0],
+                        key[1],
+                        instance.processor,
+                        repetition,
+                        detail=f"to {consumer.label} on {consumer.processor}",
+                    )
+                )
+                emit(
+                    SimEvent(
+                        arrival,
+                        EventKind.MESSAGE_ARRIVAL,
+                        key[0],
+                        key[1],
+                        consumer.processor,
+                        repetition,
+                        detail=f"for {consumer.label}",
+                    )
+                )
+                tracker.data_arrived(
+                    consumer.processor, arrival, edge.consumer, repetition, edge.data_size,
+                    local=False,
+                )
+            arrivals.setdefault((edge.consumer, repetition), {})[key] = arrival
+            pending[(edge.consumer, repetition)] -= 1
+            if pending[(edge.consumer, repetition)] == 0:
+                ready.append((edge.consumer, repetition))
+        ready.sort(key=lambda item: (planned_start(item), item[1], item[0]))
+        processed += 1
+    if processed != len(keys) * options.hyper_periods:  # pragma: no cover - defensive
+        raise ConfigurationError(
+            "Simulation dead-locked: the instance dependence graph is not acyclic"
+        )
+
+    horizon = max(trace.makespan, options.hyper_periods * hyper_period)
+    violations = list(trace.violations)
+
+    # Post-run memory-capacity check.
+    if architecture.has_memory_limits():
+        capacity = architecture.memory_capacity
+        for name, peak in tracker.peak_totals().items():
+            if peak > capacity + _EPS:
+                violation = Violation(
+                    kind=ViolationKind.MEMORY_OVERFLOW,
+                    time=horizon,
+                    task="*",
+                    index=0,
+                    processor=name,
+                    repetition=0,
+                    amount=peak - capacity,
+                    detail=f"peak memory {peak:g} exceeds capacity {capacity:g}",
+                )
+                trace.add_violation(violation)
+                violations.append(violation)
+
+    return SimulationResult(
+        schedule=schedule,
+        options=options,
+        trace=trace,
+        processors=processors,
+        media=media,
+        memory=tracker,
+        horizon=horizon,
+        violations=violations,
+    )

@@ -1,0 +1,95 @@
+"""Event records produced by the discrete-event simulator.
+
+The simulator replays a :class:`~repro.scheduling.schedule.Schedule` over one
+or more hyper-periods and emits a flat, time-ordered list of events: task
+starts and completions, message transfers, and constraint violations (a task
+that could not start at its scheduled time because its data or its processor
+was not ready).  The events are consumed by the trace renderer, the memory
+tracker and the experiment harness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["EventKind", "SimEvent", "ViolationKind", "Violation"]
+
+
+class EventKind(enum.Enum):
+    """Kinds of simulation events."""
+
+    TASK_START = "task_start"
+    TASK_END = "task_end"
+    MESSAGE_SEND = "message_send"
+    MESSAGE_ARRIVAL = "message_arrival"
+
+
+@dataclass(frozen=True, slots=True)
+class SimEvent:
+    """One timestamped simulator event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the event.
+    kind:
+        The event kind.
+    task / index:
+        Task instance concerned (producer instance for message events).
+    processor:
+        Processor on which the event happens (target processor for message
+        arrivals, source processor for message sends).
+    repetition:
+        Hyper-period repetition index (0 for the first hyper-period).
+    detail:
+        Free-form human readable complement (e.g. the consumer of a message).
+    """
+
+    time: float
+    kind: EventKind
+    task: str
+    index: int
+    processor: str
+    repetition: int = 0
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = f" ({self.detail})" if self.detail else ""
+        return (
+            f"t={self.time:g} {self.kind.value} {self.task}#{self.index} "
+            f"on {self.processor} rep={self.repetition}{extra}"
+        )
+
+
+class ViolationKind(enum.Enum):
+    """Kinds of runtime constraint violations detected by the simulator."""
+
+    #: The instance started later than its strictly periodic start time.
+    LATE_START = "late_start"
+    #: The data of a producer arrived after the consumer's scheduled start.
+    DATA_NOT_READY = "data_not_ready"
+    #: The processor was still busy at the instance's scheduled start time.
+    PROCESSOR_BUSY = "processor_busy"
+    #: A processor's memory capacity was exceeded at run time.
+    MEMORY_OVERFLOW = "memory_overflow"
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """A constraint violation observed while replaying the schedule."""
+
+    kind: ViolationKind
+    time: float
+    task: str
+    index: int
+    processor: str
+    repetition: int
+    amount: float = 0.0
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.kind.value}: {self.task}#{self.index} on {self.processor} at t={self.time:g} "
+            f"(rep {self.repetition}, amount {self.amount:g}) {self.detail}".rstrip()
+        )

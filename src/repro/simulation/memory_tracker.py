@@ -1,0 +1,122 @@
+"""Consumer-side buffer occupancy tracking (Figure 1 of the paper).
+
+When a producer and a consumer with different periods run on different
+processors, the consumer's processor must hold every sample produced since
+the consumer's last execution: with a period ratio of ``n`` the buffer grows
+to ``n`` samples before the consumer drains it ("the memory used to store the
+data produced by the first instance of ``a`` cannot be reused by the data
+produced by the second, the third and the fourth instances").
+
+:class:`MemoryTracker` records, per processor, a step function of the buffer
+occupancy over simulated time (data arrives → occupancy rises; the consuming
+instance completes → the samples it consumed are freed) plus the constant
+static memory of the instances placed on the processor, and reports the peak
+of the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MemoryTimeline", "MemoryTracker"]
+
+
+@dataclass(slots=True)
+class MemoryTimeline:
+    """Occupancy step-function of one processor."""
+
+    processor: str
+    static: float = 0.0
+    #: (time, buffer occupancy after the change)
+    samples: list[tuple[float, float]] = field(default_factory=list)
+    current: float = 0.0
+    peak: float = 0.0
+
+    def change(self, time: float, delta: float) -> None:
+        """Apply a buffer occupancy change at ``time``."""
+        self.current = max(0.0, self.current + delta)
+        self.peak = max(self.peak, self.current)
+        self.samples.append((time, self.current))
+
+    @property
+    def peak_total(self) -> float:
+        """Peak buffer occupancy plus the static memory of the processor."""
+        return self.peak + self.static
+
+    def occupancy_at(self, time: float) -> float:
+        """Buffer occupancy at ``time`` (step function, right-continuous)."""
+        value = 0.0
+        for sample_time, sample_value in self.samples:
+            if sample_time <= time:
+                value = sample_value
+            else:
+                break
+        return value
+
+
+class MemoryTracker:
+    """Tracks buffer occupancy on every processor during a simulation."""
+
+    def __init__(
+        self,
+        processors: tuple[str, ...],
+        static_memory: dict[str, float] | None = None,
+        *,
+        include_local: bool = False,
+    ) -> None:
+        self._timelines: dict[str, MemoryTimeline] = {
+            name: MemoryTimeline(name, static=(static_memory or {}).get(name, 0.0))
+            for name in processors
+        }
+        #: Track buffers for same-processor dependences too (normally the
+        #: producer's own memory already accounts for them, so the default is
+        #: to track only inter-processor buffering as in Figure 1).
+        self.include_local = include_local
+        #: Pending buffered items: (consumer key, repetition) -> list of sizes.
+        self._pending: dict[tuple[tuple[str, int], int], list[tuple[str, float]]] = {}
+
+    # ------------------------------------------------------------------
+    def data_arrived(
+        self,
+        processor: str,
+        time: float,
+        consumer_key: tuple[str, int],
+        repetition: int,
+        size: float,
+        *,
+        local: bool = False,
+    ) -> None:
+        """Record the arrival of one sample destined to ``consumer_key``."""
+        if local and not self.include_local:
+            return
+        self._timelines[processor].change(time, +size)
+        self._pending.setdefault((consumer_key, repetition), []).append((processor, size))
+
+    def consumer_finished(
+        self, time: float, consumer_key: tuple[str, int], repetition: int
+    ) -> None:
+        """Free every sample buffered for ``consumer_key`` once it completed."""
+        for processor, size in self._pending.pop((consumer_key, repetition), []):
+            self._timelines[processor].change(time, -size)
+
+    # ------------------------------------------------------------------
+    @property
+    def timelines(self) -> dict[str, MemoryTimeline]:
+        """Per-processor occupancy timelines."""
+        return dict(self._timelines)
+
+    def peak_buffer(self, processor: str) -> float:
+        """Peak buffer occupancy of one processor."""
+        return self._timelines[processor].peak
+
+    def peak_buffers(self) -> dict[str, float]:
+        """Peak buffer occupancy of every processor."""
+        return {name: tl.peak for name, tl in self._timelines.items()}
+
+    def peak_totals(self) -> dict[str, float]:
+        """Peak buffer + static memory of every processor."""
+        return {name: tl.peak_total for name, tl in self._timelines.items()}
+
+    def outstanding(self) -> int:
+        """Number of samples still buffered (should be 0 at the end of a run)."""
+        return sum(len(items) for items in self._pending.values())

@@ -1,0 +1,48 @@
+"""Non-preemptive processor resource model used by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ProcessorResource"]
+
+
+@dataclass(slots=True)
+class ProcessorResource:
+    """Availability of one non-preemptive processor during simulation.
+
+    The processor executes at most one task instance at a time; an instance
+    dispatched while the processor is busy waits until the previous one
+    completes (which the engine reports as a ``PROCESSOR_BUSY`` violation if
+    this delays it past its strictly periodic start time).
+    """
+
+    name: str
+    #: Time at which the processor becomes free.
+    free_at: float = 0.0
+    #: Accumulated busy time (for utilisation statistics).
+    busy_time: float = 0.0
+    #: Number of instances executed.
+    executed: int = 0
+    #: Execution intervals (start, end, label) for Gantt rendering.
+    intervals: list[tuple[float, float, str]] = field(default_factory=list)
+
+    def execute(self, ready: float, duration: float, label: str) -> tuple[float, float]:
+        """Run one instance as soon as possible after ``ready``.
+
+        Returns the ``(start, end)`` of the execution and updates the
+        resource state.
+        """
+        start = max(ready, self.free_at)
+        end = start + duration
+        self.free_at = end
+        self.busy_time += duration
+        self.executed += 1
+        self.intervals.append((start, end, label))
+        return start, end
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` the processor spent executing."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)

@@ -1,0 +1,118 @@
+"""Execution traces and ASCII Gantt rendering of simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.events import SimEvent, Violation
+
+__all__ = ["ExecutionRecord", "SimulationTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionRecord:
+    """One executed task instance of a simulation run."""
+
+    task: str
+    index: int
+    repetition: int
+    processor: str
+    planned_start: float
+    actual_start: float
+    end: float
+
+    @property
+    def lateness(self) -> float:
+        """How much later than its strictly periodic start the instance ran."""
+        return max(0.0, self.actual_start - self.planned_start)
+
+    @property
+    def label(self) -> str:
+        """Readable identifier such as ``a#2 (rep 1)``."""
+        suffix = f" (rep {self.repetition})" if self.repetition else ""
+        return f"{self.task}#{self.index}{suffix}"
+
+
+@dataclass(slots=True)
+class SimulationTrace:
+    """Time-ordered record of everything that happened during a simulation."""
+
+    events: list[SimEvent] = field(default_factory=list)
+    records: list[ExecutionRecord] = field(default_factory=list)
+    violations: list[Violation] = field(default_factory=list)
+
+    def add_event(self, event: SimEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def add_record(self, record: ExecutionRecord) -> None:
+        """Append one execution record."""
+        self.records.append(record)
+
+    def add_violation(self, violation: Violation) -> None:
+        """Append one violation."""
+        self.violations.append(violation)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last executed instance."""
+        return max((record.end for record in self.records), default=0.0)
+
+    @property
+    def max_lateness(self) -> float:
+        """Largest observed start lateness."""
+        return max((record.lateness for record in self.records), default=0.0)
+
+    def records_for(self, processor: str) -> list[ExecutionRecord]:
+        """Execution records of one processor, in start order."""
+        return sorted(
+            (record for record in self.records if record.processor == processor),
+            key=lambda record: record.actual_start,
+        )
+
+    def sorted_events(self) -> list[SimEvent]:
+        """Events ordered by time then kind."""
+        return sorted(self.events, key=lambda event: (event.time, event.kind.value, event.task))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def gantt(self, *, width: int = 72, processors: list[str] | None = None) -> str:
+        """ASCII Gantt chart of the executed instances.
+
+        Each processor gets one line; time is scaled so that the whole
+        simulated horizon fits in ``width`` characters.  Busy slots are drawn
+        with ``#`` and annotated below with the instance labels in execution
+        order (the chart is meant for quick inspection, not precise reading).
+        """
+        horizon = self.makespan
+        if horizon <= 0:
+            return "(empty trace)"
+        names = processors or sorted({record.processor for record in self.records})
+        scale = width / horizon
+        lines = [f"time 0 .. {horizon:g} ({width} columns)"]
+        for name in names:
+            row = [" "] * width
+            labels = []
+            for record in self.records_for(name):
+                begin = min(width - 1, int(record.actual_start * scale))
+                finish = min(width, max(begin + 1, int(record.end * scale)))
+                for column in range(begin, finish):
+                    row[column] = "#"
+                labels.append(record.label)
+            lines.append(f"{name:>6} |{''.join(row)}|")
+            lines.append(f"       {', '.join(labels)}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Short textual summary of the run."""
+        lines = [
+            f"simulated {len(self.records)} instance executions, makespan {self.makespan:g}, "
+            f"max lateness {self.max_lateness:g}",
+        ]
+        if self.violations:
+            lines.append(f"{len(self.violations)} violation(s):")
+            lines.extend(f"  - {violation}" for violation in self.violations)
+        else:
+            lines.append("no violations")
+        return "\n".join(lines)

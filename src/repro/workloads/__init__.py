@@ -1,0 +1,52 @@
+"""Workload generators.
+
+* :mod:`~repro.workloads.paper_example` — the exact worked example of the paper;
+* :mod:`~repro.workloads.spec` — :class:`WorkloadSpec` / :class:`Workload`;
+* :mod:`~repro.workloads.random_graphs` — layered random DAGs;
+* :mod:`~repro.workloads.chains` — pipelines, fork-join, sensor fusion;
+* :mod:`~repro.workloads.utilization` / :mod:`~repro.workloads.periods` —
+  UUniFast utilisations and harmonic period ladders;
+* :mod:`~repro.workloads.generator` — high-level entry points.
+"""
+
+from repro.workloads.chains import fork_join, pipeline, sensor_fusion
+from repro.workloads.generator import (
+    generate_many,
+    generate_workload,
+    scheduled_workload,
+    scheduled_workloads,
+)
+from repro.workloads.paper_example import (
+    PAPER_EXPECTATIONS,
+    paper_architecture,
+    paper_initial_schedule,
+    paper_task_graph,
+)
+from repro.workloads.periods import assign_periods, harmonic_ladder, rate_monotonic_layers
+from repro.workloads.random_graphs import layered_dag
+from repro.workloads.spec import GraphShape, Workload, WorkloadSpec
+from repro.workloads.utilization import uunifast, uunifast_discard, wcet_from_utilization
+
+__all__ = [
+    "GraphShape",
+    "PAPER_EXPECTATIONS",
+    "Workload",
+    "WorkloadSpec",
+    "assign_periods",
+    "fork_join",
+    "generate_many",
+    "generate_workload",
+    "harmonic_ladder",
+    "layered_dag",
+    "paper_architecture",
+    "paper_initial_schedule",
+    "paper_task_graph",
+    "pipeline",
+    "rate_monotonic_layers",
+    "scheduled_workload",
+    "scheduled_workloads",
+    "sensor_fusion",
+    "uunifast",
+    "uunifast_discard",
+    "wcet_from_utilization",
+]

@@ -1,0 +1,204 @@
+"""Structured workload generators: pipelines, fork-join and sensor fusion.
+
+These shapes mirror the applications the paper's introduction motivates
+(avionics, automotive, robotics signal-processing and control loops): chains
+of processing stages driven by a few sensors, with slower stages consuming
+several samples of their faster producers (Figure 1's multi-rate pattern).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.model.graph import TaskGraph
+from repro.workloads.periods import rate_monotonic_layers
+from repro.workloads.spec import GraphShape, Workload, WorkloadSpec
+from repro.workloads.utilization import uunifast_discard, wcet_from_utilization
+
+__all__ = ["pipeline", "fork_join", "sensor_fusion"]
+
+
+def _memory(rng: np.random.Generator, spec: WorkloadSpec) -> float:
+    low, high = spec.memory_range
+    return round(float(rng.uniform(low, high)), 1)
+
+
+def _data_size(rng: np.random.Generator, spec: WorkloadSpec) -> float:
+    low, high = spec.data_size_range
+    return round(float(rng.uniform(low, high)), 2)
+
+
+def _utilizations(spec: WorkloadSpec, count: int, rng: np.random.Generator) -> list[float]:
+    return uunifast_discard(count, spec.total_utilization(), rng, max_utilization=0.9)
+
+
+def pipeline(spec: WorkloadSpec, *, chains: int | None = None) -> Workload:
+    """Parallel signal-processing pipelines.
+
+    ``chains`` independent linear chains (default: one per processor) share
+    the task budget; the stages of a chain slow down along the data path
+    following the spec's harmonic ladder, so downstream stages consume several
+    samples of their upstream producers.
+    """
+    spec.validate()
+    rng = spec.rng()
+    chain_count = chains if chains is not None else max(1, spec.processor_count)
+    if chain_count > spec.task_count:
+        raise WorkloadError("More chains than tasks requested")
+    periods = rate_monotonic_layers(spec.period_levels, spec.base_period, ratio=spec.period_ratio)
+    utilizations = _utilizations(spec, spec.task_count, rng)
+
+    graph = TaskGraph(name=spec.label or f"pipeline-{spec.task_count}t-{spec.seed}")
+    lengths = [spec.task_count // chain_count] * chain_count
+    for index in range(spec.task_count % chain_count):
+        lengths[index] += 1
+
+    task_index = 0
+    for chain, length in enumerate(lengths):
+        previous: str | None = None
+        for stage in range(length):
+            name = f"c{chain:02d}s{stage:03d}"
+            level = min(stage * spec.period_levels // max(length, 1), spec.period_levels - 1)
+            period = periods[level]
+            wcet = wcet_from_utilization(utilizations[task_index], period)
+            graph.create_task(
+                name,
+                period=period,
+                wcet=wcet,
+                memory=_memory(rng, spec),
+                data_size=_data_size(rng, spec),
+                chain=chain,
+                stage=stage,
+            )
+            if previous is not None:
+                graph.connect(previous, name)
+            previous = name
+            task_index += 1
+
+    graph.validate()
+    return Workload(graph=graph, architecture=spec.architecture(), spec=spec,
+                    metadata={"chains": chain_count, "periods": periods})
+
+
+def fork_join(spec: WorkloadSpec, *, branches: int | None = None) -> Workload:
+    """Fork-join (scatter/gather) application.
+
+    A fast source scatters work to ``branches`` parallel branch tasks running
+    at the same rate; a join stage running slower gathers their results (so it
+    buffers several samples per branch), followed by a final actuator stage.
+    """
+    spec.validate()
+    rng = spec.rng()
+    branch_count = branches if branches is not None else max(2, spec.processor_count)
+    if spec.task_count < branch_count + 3:
+        raise WorkloadError(
+            f"fork_join needs at least {branch_count + 3} tasks (source, join, sink, branches)"
+        )
+    periods = rate_monotonic_layers(max(2, spec.period_levels), spec.base_period,
+                                    ratio=spec.period_ratio)
+    fast, slow = periods[0], periods[min(1, len(periods) - 1)]
+    utilizations = _utilizations(spec, spec.task_count, rng)
+
+    graph = TaskGraph(name=spec.label or f"forkjoin-{spec.task_count}t-{spec.seed}")
+    graph.create_task("source", period=fast, wcet=wcet_from_utilization(utilizations[0], fast),
+                      memory=_memory(rng, spec), data_size=_data_size(rng, spec))
+    graph.create_task("join", period=slow, wcet=wcet_from_utilization(utilizations[1], slow),
+                      memory=_memory(rng, spec), data_size=_data_size(rng, spec))
+    graph.create_task("sink", period=slow, wcet=wcet_from_utilization(utilizations[2], slow),
+                      memory=_memory(rng, spec), data_size=_data_size(rng, spec))
+    graph.connect("join", "sink")
+
+    # Branch tasks: distribute the remaining budget in branch-length chains.
+    remaining = spec.task_count - 3
+    per_branch = [remaining // branch_count] * branch_count
+    for index in range(remaining % branch_count):
+        per_branch[index] += 1
+    task_index = 3
+    for branch, length in enumerate(per_branch):
+        previous = "source"
+        for stage in range(max(1, length)):
+            if task_index >= spec.task_count:
+                break
+            name = f"b{branch:02d}s{stage:02d}"
+            wcet = wcet_from_utilization(utilizations[task_index], fast)
+            graph.create_task(name, period=fast, wcet=wcet, memory=_memory(rng, spec),
+                              data_size=_data_size(rng, spec), branch=branch)
+            graph.connect(previous, name)
+            previous = name
+            task_index += 1
+        graph.connect(previous, "join")
+
+    graph.validate()
+    return Workload(graph=graph, architecture=spec.architecture(), spec=spec,
+                    metadata={"branches": branch_count, "fast": fast, "slow": slow})
+
+
+def sensor_fusion(spec: WorkloadSpec, *, sensors: int | None = None) -> Workload:
+    """Multi-rate sensor fusion application (the paper's motivating pattern).
+
+    ``sensors`` fast sensor tasks each feed a filter at the same rate; every
+    filter feeds a fusion stage running several times slower (which therefore
+    buffers several samples per filter, as in Figure 1); the fusion stage
+    drives one or more actuators at the slowest rate.
+    """
+    spec.validate()
+    rng = spec.rng()
+    sensor_count = sensors if sensors is not None else max(2, spec.task_count // 4)
+    minimum = 2 * sensor_count + 2
+    if spec.task_count < minimum:
+        raise WorkloadError(f"sensor_fusion needs at least {minimum} tasks for {sensor_count} sensors")
+    periods = rate_monotonic_layers(max(3, spec.period_levels), spec.base_period,
+                                    ratio=spec.period_ratio)
+    fast, mid, slow = periods[0], periods[1], periods[2]
+    utilizations = _utilizations(spec, spec.task_count, rng)
+
+    graph = TaskGraph(name=spec.label or f"fusion-{spec.task_count}t-{spec.seed}")
+    task_index = 0
+
+    def new_task(name: str, period: int, **metadata: object) -> str:
+        nonlocal task_index
+        wcet = wcet_from_utilization(utilizations[task_index], period)
+        graph.create_task(name, period=period, wcet=wcet, memory=_memory(rng, spec),
+                          data_size=_data_size(rng, spec), **metadata)
+        task_index += 1
+        return name
+
+    fusion = None
+    filters = []
+    for sensor in range(sensor_count):
+        sensor_name = new_task(f"sensor{sensor:02d}", fast, role="sensor")
+        filter_name = new_task(f"filter{sensor:02d}", fast, role="filter")
+        graph.connect(sensor_name, filter_name)
+        filters.append(filter_name)
+    fusion = new_task("fusion", mid, role="fusion")
+    for filter_name in filters:
+        graph.connect(filter_name, fusion)
+
+    actuator_budget = spec.task_count - task_index
+    previous = fusion
+    for actuator in range(max(1, actuator_budget)):
+        if task_index >= spec.task_count:
+            break
+        name = new_task(f"actuator{actuator:02d}", slow, role="actuator")
+        graph.connect(previous, name)
+        previous = name
+
+    graph.validate()
+    return Workload(graph=graph, architecture=spec.architecture(), spec=spec,
+                    metadata={"sensors": sensor_count, "rates": (fast, mid, slow)})
+
+
+def by_shape(spec: WorkloadSpec) -> Workload:
+    """Dispatch on ``spec.shape`` (used by :func:`repro.workloads.generator.generate_workload`)."""
+    from repro.workloads.random_graphs import layered_dag
+
+    if spec.shape is GraphShape.LAYERED:
+        return layered_dag(spec)
+    if spec.shape is GraphShape.PIPELINE:
+        return pipeline(spec)
+    if spec.shape is GraphShape.FORK_JOIN:
+        return fork_join(spec)
+    if spec.shape is GraphShape.SENSOR_FUSION:
+        return sensor_fusion(spec)
+    raise WorkloadError(f"Unknown graph shape {spec.shape!r}")  # pragma: no cover

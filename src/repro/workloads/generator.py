@@ -1,0 +1,68 @@
+"""High-level workload generation entry points.
+
+:func:`generate_workload` dispatches a :class:`~repro.workloads.spec.WorkloadSpec`
+to the right shape generator; :func:`generate_many` produces seed sweeps for
+statistical experiments; :func:`scheduled_workload` additionally runs the
+initial scheduling heuristic so experiments can start straight from a
+schedule (skipping unschedulable draws when requested).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import InfeasibleError
+from repro.scheduling.heuristic import SchedulerOptions, schedule_application
+from repro.scheduling.schedule import Schedule
+from repro.workloads.chains import by_shape
+from repro.workloads.spec import Workload, WorkloadSpec
+
+__all__ = ["generate_workload", "generate_many", "scheduled_workload", "scheduled_workloads"]
+
+
+def generate_workload(spec: WorkloadSpec) -> Workload:
+    """Generate one workload according to ``spec``."""
+    return by_shape(spec)
+
+
+def generate_many(spec: WorkloadSpec, seeds: Iterable[int]) -> list[Workload]:
+    """Generate one workload per seed, sharing every other parameter."""
+    return [generate_workload(spec.with_updates(seed=int(seed))) for seed in seeds]
+
+
+def scheduled_workload(
+    spec: WorkloadSpec, options: SchedulerOptions | None = None
+) -> tuple[Workload, Schedule]:
+    """Generate a workload and its initial schedule.
+
+    Raises
+    ------
+    InfeasibleError
+        When the initial scheduling heuristic cannot place the tasks (high
+        utilisation draws can be unschedulable non-preemptively).
+    """
+    workload = generate_workload(spec)
+    schedule = schedule_application(workload.graph, workload.architecture, options)
+    return workload, schedule
+
+
+def scheduled_workloads(
+    spec: WorkloadSpec,
+    seeds: Iterable[int],
+    options: SchedulerOptions | None = None,
+    *,
+    skip_infeasible: bool = True,
+) -> Iterator[tuple[Workload, Schedule]]:
+    """Yield ``(workload, initial schedule)`` pairs for a seed sweep.
+
+    Unschedulable draws are skipped (with the default ``skip_infeasible``) so
+    experiment campaigns keep their sample size predictable; pass ``False`` to
+    surface the :class:`~repro.errors.InfeasibleError` instead.
+    """
+    for seed in seeds:
+        candidate = spec.with_updates(seed=int(seed))
+        try:
+            yield scheduled_workload(candidate, options)
+        except InfeasibleError:
+            if not skip_infeasible:
+                raise

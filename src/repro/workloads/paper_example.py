@@ -1,0 +1,138 @@
+"""The paper's worked example (Figures 2-4, section 3.3), encoded exactly.
+
+The application has five tasks ``a..e`` with periods {3, 6, 6, 12, 12}, unit
+WCETs, memory requirements {4, 1, 1, 2, 2} and a three-processor architecture
+connected by a single medium with communication time ``C = 1``.
+
+The dependence structure of Figure 2 is not fully legible in the archived
+text, so it is reconstructed here as the unique simple chain/diamond that is
+consistent with every number printed in the paper (the Figure-3 start times,
+the total execution time of 15, the per-step gains and the per-step memory
+sums of section 3.3, and the final result of Figure 4):
+
+    a -> b,  b -> c,  b -> d,  c -> e,  d -> e
+
+with ``a`` twice as fast as ``b``/``c`` and four times as fast as ``d``/``e``
+(so ``b`` consumes two samples of ``a`` per execution and ``d`` consumes two
+samples of ``b``, the multi-rate situation of Figure 1).
+
+:func:`paper_initial_schedule` returns the *exact* schedule of Figure 3 (all
+instances of ``a`` on ``P1``, ``b``/``c`` on ``P2``, ``d``/``e`` on ``P3``,
+total execution time 15, memory [16, 4, 4]); it is hand-encoded rather than
+produced by :mod:`repro.scheduling.heuristic` so that experiment E1 does not
+depend on the initial-scheduler stand-in.
+"""
+
+from __future__ import annotations
+
+from repro.model.architecture import Architecture, CommunicationModel, Medium, Processor
+from repro.model.graph import TaskGraph
+from repro.scheduling.communications import synthesize_communications
+from repro.scheduling.schedule import Schedule, ScheduledInstance
+
+__all__ = [
+    "paper_task_graph",
+    "paper_architecture",
+    "paper_initial_schedule",
+    "PAPER_EXPECTATIONS",
+]
+
+
+#: Every number the paper states about the worked example, used by tests and
+#: by experiment E1 to compare "paper" vs "measured".
+PAPER_EXPECTATIONS: dict[str, object] = {
+    "makespan_before": 15.0,
+    "makespan_after": 14.0,
+    "memory_before": {"P1": 16.0, "P2": 4.0, "P3": 4.0},
+    "memory_after": {"P1": 10.0, "P2": 6.0, "P3": 8.0},
+    "block_count": 7,
+    # (block label, chosen processor) in processing order — the 7 steps of
+    # section 3.3.
+    "decisions": [
+        ("[a#0]", "P1"),
+        ("[a#1]", "P2"),
+        ("[b#0-c#0]", "P2"),
+        ("[a#2]", "P3"),
+        ("[a#3]", "P1"),
+        ("[b#1-c#1]", "P1"),
+        ("[d#0-e#0]", "P3"),
+    ],
+    # The start-time update of step 3: [b2-c2] decreases from 11 to 10.
+    "updated_block_start": {"[b#1-c#1]": 10.0},
+    "total_gain": 1.0,
+}
+
+
+def paper_task_graph() -> TaskGraph:
+    """Figure-2 application: five tasks, multi-rate dependences."""
+    graph = TaskGraph(name="kermia-sorel-2008-example")
+    graph.create_task("a", period=3, wcet=1, memory=4, data_size=1.0)
+    graph.create_task("b", period=6, wcet=1, memory=1, data_size=1.0)
+    graph.create_task("c", period=6, wcet=1, memory=1, data_size=1.0)
+    graph.create_task("d", period=12, wcet=1, memory=2, data_size=1.0)
+    graph.create_task("e", period=12, wcet=1, memory=2, data_size=1.0)
+    graph.connect("a", "b")
+    graph.connect("b", "c")
+    graph.connect("b", "d")
+    graph.connect("c", "e")
+    graph.connect("d", "e")
+    graph.validate()
+    return graph
+
+
+def paper_architecture(memory_capacity: float = float("inf")) -> Architecture:
+    """Figure-2 architecture: three identical processors on one medium, C = 1."""
+    processors = [Processor(name, memory_capacity=memory_capacity) for name in ("P1", "P2", "P3")]
+    media = [Medium("Med", ("P1", "P2", "P3"))]
+    return Architecture(
+        processors,
+        media,
+        comm=CommunicationModel(latency=1.0),
+        name="kermia-sorel-2008-architecture",
+    )
+
+
+def paper_initial_schedule(
+    graph: TaskGraph | None = None, architecture: Architecture | None = None
+) -> Schedule:
+    """The Figure-3 schedule produced by the authors' reference-[4] heuristic.
+
+    ==========  =========  ==========================
+    processor   tasks      start times
+    ==========  =========  ==========================
+    P1          a#0..a#3   0, 3, 6, 9
+    P2          b#0, c#0   5, 6
+    P2          b#1, c#1   11, 12
+    P3          d#0, e#0   13, 14
+    ==========  =========  ==========================
+
+    Total execution time 15; memory [P1: 16, P2: 4, P3: 4].
+    """
+    graph = graph or paper_task_graph()
+    architecture = architecture or paper_architecture()
+
+    def si(task: str, index: int, processor: str, start: float) -> ScheduledInstance:
+        spec = graph.task(task)
+        return ScheduledInstance(
+            task=task,
+            index=index,
+            processor=processor,
+            start=start,
+            wcet=spec.wcet,
+            memory=spec.memory,
+        )
+
+    instances = [
+        si("a", 0, "P1", 0.0),
+        si("a", 1, "P1", 3.0),
+        si("a", 2, "P1", 6.0),
+        si("a", 3, "P1", 9.0),
+        si("b", 0, "P2", 5.0),
+        si("c", 0, "P2", 6.0),
+        si("b", 1, "P2", 11.0),
+        si("c", 1, "P2", 12.0),
+        si("d", 0, "P3", 13.0),
+        si("e", 0, "P3", 14.0),
+    ]
+    schedule = Schedule(graph, architecture, instances, ())
+    return schedule.with_instances(schedule.instances, synthesize_communications(schedule))

@@ -1,0 +1,79 @@
+"""Period assignment for synthetic multi-periodic applications.
+
+The paper's target applications (automatic control, signal processing) have a
+*small* number of distinct periods imposed by a few sensors and actuators
+(section 4 relies on this to argue the number of blocks is small), and
+dependent tasks must have harmonically related periods.  The generators here
+therefore draw periods from a small harmonic ladder ``base · ratio^k`` and
+assign them either uniformly or per pipeline stage.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.model.periods import lcm_many
+
+__all__ = ["harmonic_ladder", "assign_periods", "rate_monotonic_layers"]
+
+
+def harmonic_ladder(base: int, levels: int, *, ratio: int = 2) -> list[int]:
+    """Periods ``base, base·ratio, base·ratio², ...`` (a harmonic chain).
+
+    Raises
+    ------
+    WorkloadError
+        If the parameters are not positive integers or ``ratio < 2``.
+    """
+    if base <= 0 or levels <= 0:
+        raise WorkloadError("base and levels must be positive")
+    if ratio < 2:
+        raise WorkloadError("ratio must be >= 2 to produce distinct harmonic periods")
+    return [base * ratio**level for level in range(levels)]
+
+
+def assign_periods(
+    count: int,
+    periods: Sequence[int],
+    rng: np.random.Generator,
+    *,
+    weights: Sequence[float] | None = None,
+) -> list[int]:
+    """Draw one period per task from ``periods`` (optionally weighted).
+
+    The default weighting favours the faster periods slightly, mimicking the
+    sensor-heavy applications the paper targets.
+    """
+    if count <= 0:
+        raise WorkloadError("count must be positive")
+    if not periods:
+        raise WorkloadError("periods must not be empty")
+    if weights is None:
+        raw = np.array([1.0 / (index + 1) for index in range(len(periods))])
+    else:
+        if len(weights) != len(periods):
+            raise WorkloadError("weights must match periods in length")
+        raw = np.array(weights, dtype=float)
+    if raw.sum() <= 0:
+        raise WorkloadError("weights must sum to a positive value")
+    probabilities = raw / raw.sum()
+    drawn = rng.choice(len(periods), size=count, p=probabilities)
+    return [int(periods[index]) for index in drawn]
+
+
+def rate_monotonic_layers(layer_count: int, base: int, *, ratio: int = 2) -> list[int]:
+    """One period per pipeline layer, slower as data flows downstream.
+
+    Typical of sensor → filter → fusion → actuator chains: the sensor layer
+    runs at the base rate and each subsequent processing layer runs ``ratio``
+    times slower (consuming ``ratio`` samples per execution, the situation of
+    Figure 1).  The hyper-period of the result is the last layer's period.
+    """
+    ladder = harmonic_ladder(base, layer_count, ratio=ratio)
+    # Sanity: a harmonic ladder's LCM is its largest element.
+    if lcm_many(ladder) != ladder[-1]:  # pragma: no cover - defensive
+        raise WorkloadError("harmonic ladder construction is inconsistent")
+    return ladder

@@ -1,0 +1,148 @@
+"""Workload specification and the generated-problem container.
+
+A :class:`WorkloadSpec` captures every knob of the synthetic workload
+generators (task count, processor count, utilisation, period ladder, memory
+range, graph shape, random seed); :class:`Workload` bundles the generated
+:class:`~repro.model.graph.TaskGraph` and
+:class:`~repro.model.architecture.Architecture` together with the spec that
+produced them, so experiment tables can always state their parameters.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.model.architecture import Architecture, CommunicationModel
+from repro.model.graph import TaskGraph
+
+__all__ = ["GraphShape", "WorkloadSpec", "Workload"]
+
+
+class GraphShape(enum.Enum):
+    """Shape families of the synthetic task graphs."""
+
+    #: Random layered DAG (general case).
+    LAYERED = "layered"
+    #: Linear pipelines (signal-processing chains).
+    PIPELINE = "pipeline"
+    #: Fork-join (scatter/gather) applications.
+    FORK_JOIN = "fork_join"
+    #: Multi-rate sensor fusion (many fast sensors feeding a slow fusion stage).
+    SENSOR_FUSION = "sensor_fusion"
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadSpec:
+    """Parameters of a synthetic workload."""
+
+    #: Number of tasks.
+    task_count: int = 40
+    #: Number of identical processors.
+    processor_count: int = 4
+    #: Total utilisation as a fraction of the platform (0.3 means 30% of
+    #: ``processor_count``); kept modest because non-preemptive strictly
+    #: periodic scheduling fails quickly at high utilisation.
+    utilization: float = 0.30
+    #: Base period and number of harmonic levels of the period ladder.
+    base_period: int = 20
+    period_levels: int = 3
+    period_ratio: int = 2
+    #: Uniform range of the per-task required memory amount.
+    memory_range: tuple[float, float] = (1.0, 10.0)
+    #: Uniform range of the per-task produced data size.
+    data_size_range: tuple[float, float] = (0.5, 2.0)
+    #: Probability of an edge between a task and a candidate predecessor
+    #: (layered shape only).
+    edge_probability: float = 0.35
+    #: Number of layers of the layered shape (``None`` = sqrt of task count).
+    layer_count: int | None = None
+    #: Graph shape family.
+    shape: GraphShape = GraphShape.LAYERED
+    #: Per-processor memory capacity (``inf`` = unconstrained).
+    memory_capacity: float = math.inf
+    #: Fixed communication latency of the architecture.
+    comm_latency: float = 1.0
+    #: Random seed.
+    seed: int = 2008
+    #: Free-form label used in experiment tables.
+    label: str = ""
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` when the parameters are inconsistent."""
+        if self.task_count < 1:
+            raise WorkloadError("task_count must be >= 1")
+        if self.processor_count < 1:
+            raise WorkloadError("processor_count must be >= 1")
+        if not 0.0 < self.utilization <= 1.0:
+            raise WorkloadError("utilization must be in (0, 1] (fraction of the platform)")
+        if self.base_period <= 0 or self.period_levels <= 0:
+            raise WorkloadError("base_period and period_levels must be positive")
+        if self.period_ratio < 2:
+            raise WorkloadError("period_ratio must be >= 2")
+        if self.memory_range[0] < 0 or self.memory_range[1] < self.memory_range[0]:
+            raise WorkloadError("memory_range must be a non-negative, ordered pair")
+        if self.data_size_range[0] < 0 or self.data_size_range[1] < self.data_size_range[0]:
+            raise WorkloadError("data_size_range must be a non-negative, ordered pair")
+        if not 0.0 <= self.edge_probability <= 1.0:
+            raise WorkloadError("edge_probability must be in [0, 1]")
+        if self.layer_count is not None and self.layer_count < 1:
+            raise WorkloadError("layer_count must be >= 1 when given")
+        if self.memory_capacity <= 0:
+            raise WorkloadError("memory_capacity must be positive")
+        if self.comm_latency < 0:
+            raise WorkloadError("comm_latency must be non-negative")
+
+    def with_updates(self, **changes: Any) -> "WorkloadSpec":
+        """Copy of the spec with the given fields replaced."""
+        return replace(self, **changes)
+
+    def rng(self) -> np.random.Generator:
+        """Seeded random generator for this spec."""
+        return np.random.default_rng(self.seed)
+
+    def total_utilization(self) -> float:
+        """Absolute total utilisation (``utilization × processor_count``)."""
+        return self.utilization * self.processor_count
+
+    def architecture(self) -> Architecture:
+        """Build the homogeneous architecture described by the spec."""
+        return Architecture.homogeneous(
+            self.processor_count,
+            memory_capacity=self.memory_capacity,
+            comm=CommunicationModel(latency=self.comm_latency),
+            name=self.label or "synthetic-architecture",
+        )
+
+
+@dataclass(slots=True)
+class Workload:
+    """A generated problem instance: application + architecture + provenance."""
+
+    graph: TaskGraph
+    architecture: Architecture
+    spec: WorkloadSpec
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        """Display label (spec label, falling back to a synthesised one)."""
+        if self.spec.label:
+            return self.spec.label
+        return (
+            f"{self.spec.shape.value}-N{self.spec.task_count}"
+            f"-M{self.spec.processor_count}-s{self.spec.seed}"
+        )
+
+    def describe(self) -> str:
+        """One-line description used in experiment tables."""
+        return (
+            f"{self.label}: {len(self.graph)} tasks, {len(self.graph.dependences)} edges, "
+            f"{len(self.architecture)} processors, hyper-period {self.graph.hyper_period}, "
+            f"utilisation {self.graph.total_utilization:.2f}"
+        )

@@ -1,0 +1,90 @@
+"""Utilisation generators (UUniFast and friends).
+
+Synthetic real-time task sets are traditionally parameterised by their total
+processor utilisation.  The UUniFast algorithm (Bini & Buttazzo) draws ``n``
+per-task utilisations summing exactly to a target value with a uniform
+distribution over the valid simplex; the discard variant keeps re-drawing
+until every individual utilisation stays below a cap (needed here because a
+non-preemptive strictly periodic task must have ``WCET <= period``, i.e.
+utilisation below 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+__all__ = ["uunifast", "uunifast_discard", "wcet_from_utilization"]
+
+
+def uunifast(count: int, total: float, rng: np.random.Generator) -> list[float]:
+    """Draw ``count`` utilisations summing to ``total`` (UUniFast).
+
+    Raises
+    ------
+    WorkloadError
+        If ``count`` is not positive or ``total`` is negative.
+    """
+    if count <= 0:
+        raise WorkloadError(f"count must be positive, got {count}")
+    if total < 0:
+        raise WorkloadError(f"total utilisation must be non-negative, got {total}")
+    utilizations: list[float] = []
+    remaining = total
+    for position in range(1, count):
+        next_remaining = remaining * rng.random() ** (1.0 / (count - position))
+        utilizations.append(remaining - next_remaining)
+        remaining = next_remaining
+    utilizations.append(remaining)
+    return utilizations
+
+
+def uunifast_discard(
+    count: int,
+    total: float,
+    rng: np.random.Generator,
+    *,
+    max_utilization: float = 0.95,
+    max_attempts: int = 1000,
+) -> list[float]:
+    """UUniFast with per-task cap: re-draw until no utilisation exceeds the cap.
+
+    Raises
+    ------
+    WorkloadError
+        If the cap is impossible (``total > count * max_utilization``) or the
+        attempt limit is exceeded.
+    """
+    if total > count * max_utilization + 1e-12:
+        raise WorkloadError(
+            f"Cannot split utilisation {total} over {count} tasks with a per-task cap "
+            f"of {max_utilization}"
+        )
+    for _attempt in range(max_attempts):
+        drawn = uunifast(count, total, rng)
+        if max(drawn) <= max_utilization:
+            return drawn
+    raise WorkloadError(
+        f"uunifast_discard failed to satisfy the per-task cap {max_utilization} after "
+        f"{max_attempts} attempts (total {total}, count {count})"
+    )
+
+
+def wcet_from_utilization(
+    utilization: float, period: int, *, minimum: float = 0.05, decimals: int | None = 2
+) -> float:
+    """WCET implied by a utilisation and a period, clamped to ``[minimum, period]``.
+
+    ``decimals=None`` keeps the full floating-point value; the default rounds
+    to 2 decimals which keeps schedules readable without materially changing
+    utilisations.
+    """
+    if period <= 0:
+        raise WorkloadError(f"period must be positive, got {period}")
+    wcet = max(minimum, utilization * period)
+    wcet = min(wcet, float(period))
+    if decimals is not None:
+        wcet = round(wcet, decimals)
+        wcet = min(max(wcet, minimum), float(period))
+    return wcet

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model import Architecture, CommunicationModel, TaskGraph
+from repro.scheduling import schedule_application
+from repro.workloads.paper_example import (
+    paper_architecture,
+    paper_initial_schedule,
+    paper_task_graph,
+)
+
+
+@pytest.fixture()
+def paper_graph() -> TaskGraph:
+    """The task graph of the paper's worked example (Figure 2)."""
+    return paper_task_graph()
+
+
+@pytest.fixture()
+def paper_arch() -> Architecture:
+    """The 3-processor architecture of the worked example."""
+    return paper_architecture()
+
+
+@pytest.fixture()
+def paper_schedule(paper_graph, paper_arch):
+    """The Figure-3 initial schedule of the worked example."""
+    return paper_initial_schedule(paper_graph, paper_arch)
+
+
+@pytest.fixture()
+def small_graph() -> TaskGraph:
+    """A tiny two-rate producer/consumer chain used across unit tests."""
+    graph = TaskGraph(name="small")
+    graph.create_task("src", period=4, wcet=1.0, memory=2.0, data_size=1.0)
+    graph.create_task("mid", period=4, wcet=1.0, memory=1.0, data_size=1.0)
+    graph.create_task("sink", period=8, wcet=2.0, memory=3.0)
+    graph.connect("src", "mid")
+    graph.connect("mid", "sink")
+    return graph
+
+
+@pytest.fixture()
+def small_arch() -> Architecture:
+    """Two identical processors on a single bus with unit latency."""
+    return Architecture.homogeneous(2, comm=CommunicationModel(latency=1.0))
+
+
+@pytest.fixture()
+def small_schedule(small_graph, small_arch):
+    """A feasible initial schedule of the small chain."""
+    return schedule_application(small_graph, small_arch)

@@ -1,0 +1,111 @@
+"""Tests of repro.analysis (Theorem 1, Theorem 2, complexity)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    approximation_campaign,
+    check_theorem1,
+    fit_complexity,
+    measure_greedy_ratio,
+    measure_runtime,
+    theorem1_campaign,
+    theorem2_bound,
+)
+from repro.analysis.complexity import ComplexitySample
+from repro.core import balance_schedule
+from repro.errors import AnalysisError
+
+
+class TestTheorem1:
+    def test_paper_example_check(self, paper_schedule):
+        result = balance_schedule(paper_schedule)
+        check = check_theorem1(result)
+        assert check.gain == pytest.approx(result.total_gain)
+        assert check.gamma == pytest.approx(1.0)
+        assert check.lower_ok
+        assert check.factorial_bound == pytest.approx(2.0)  # gamma * (3-1)!
+        assert check.pair_bound == pytest.approx(3.0)
+        assert check.holds
+
+    def test_campaign_aggregation(self, paper_schedule):
+        results = [balance_schedule(paper_schedule) for _ in range(3)]
+        campaign = theorem1_campaign(results)
+        assert campaign.samples == 3
+        assert campaign.violations_lower == 0
+        assert campaign.holds
+
+    def test_empty_campaign(self):
+        campaign = theorem1_campaign([])
+        assert campaign.samples == 0
+
+
+class TestTheorem2:
+    def test_bound_values(self):
+        assert theorem2_bound(1) == pytest.approx(1.0)
+        assert theorem2_bound(2) == pytest.approx(1.5)
+        assert theorem2_bound(4) == pytest.approx(1.75)
+        with pytest.raises(AnalysisError):
+            theorem2_bound(0)
+
+    def test_measure_greedy_ratio_small_case(self):
+        sample = measure_greedy_ratio([4.0, 3.0, 3.0, 2.0], 2)
+        assert sample.optimal_max_memory == pytest.approx(6.0)
+        assert sample.ratio >= 1.0
+        assert sample.within_bound
+
+    def test_campaign_requires_same_processor_count(self):
+        a = measure_greedy_ratio([1.0, 2.0], 2)
+        b = measure_greedy_ratio([1.0, 2.0], 3)
+        with pytest.raises(AnalysisError):
+            approximation_campaign([a, b])
+        campaign = approximation_campaign([a, a])
+        assert campaign.samples == 2
+        assert campaign.holds
+
+    @given(
+        st.lists(st.floats(0.5, 20.0), min_size=1, max_size=10),
+        st.integers(2, 4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_theorem2_bound_always_holds(self, memories, processors):
+        """Property: the greedy rule never exceeds 2 - 1/M times the optimum."""
+        sample = measure_greedy_ratio(memories, processors)
+        assert sample.exact
+        assert sample.ratio <= theorem2_bound(processors) + 1e-6
+
+
+class TestComplexity:
+    def test_measure_runtime(self, paper_schedule):
+        sample = measure_runtime(paper_schedule, label="paper")
+        assert sample.blocks == 7
+        assert sample.processors == 3
+        assert sample.seconds > 0
+        assert sample.work == 21.0
+
+    def test_measure_runtime_rejects_bad_repetitions(self, paper_schedule):
+        with pytest.raises(AnalysisError):
+            measure_runtime(paper_schedule, repetitions=0)
+
+    def test_fit_complexity_on_synthetic_linear_data(self):
+        rng = np.random.default_rng(0)
+        samples = [
+            ComplexitySample(
+                tasks=10 * i,
+                instances=20 * i,
+                processors=2,
+                blocks=10 * i,
+                seconds=0.001 * (2 * 10 * i) + 0.002 + rng.normal(0, 1e-4),
+            )
+            for i in range(1, 10)
+        ]
+        fit = fit_complexity(samples)
+        assert fit.r_squared > 0.95
+        assert fit.slope == pytest.approx(0.001, rel=0.2)
+        assert fit.is_linear
+
+    def test_fit_complexity_needs_three_samples(self):
+        with pytest.raises(AnalysisError):
+            fit_complexity([ComplexitySample(1, 1, 1, 1, 0.1)])

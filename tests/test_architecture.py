@@ -1,0 +1,116 @@
+"""Tests of repro.model.architecture."""
+
+import math
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.model.architecture import Architecture, CommunicationModel, Medium, Processor
+
+
+class TestProcessorAndMedium:
+    def test_processor_defaults(self):
+        processor = Processor("P1")
+        assert math.isinf(processor.memory_capacity)
+
+    def test_processor_rejects_bad_capacity(self):
+        with pytest.raises(ArchitectureError):
+            Processor("P1", memory_capacity=0)
+
+    def test_processor_rejects_empty_name(self):
+        with pytest.raises(ArchitectureError):
+            Processor("")
+
+    def test_medium_links(self):
+        medium = Medium("bus", ("P1", "P2", "P3"))
+        assert medium.links("P1", "P3")
+        assert not medium.links("P1", "P4")
+
+    def test_medium_needs_two_endpoints(self):
+        with pytest.raises(ArchitectureError):
+            Medium("bus", ("P1",))
+
+    def test_medium_rejects_duplicates(self):
+        with pytest.raises(ArchitectureError):
+            Medium("bus", ("P1", "P1"))
+
+
+class TestCommunicationModel:
+    def test_fixed_latency(self):
+        comm = CommunicationModel(latency=1.0)
+        assert comm.time(1000.0) == 1.0
+        assert comm.is_fixed
+
+    def test_bandwidth_model(self):
+        comm = CommunicationModel(latency=1.0, bandwidth=2.0)
+        assert comm.time(4.0) == pytest.approx(3.0)
+        assert not comm.is_fixed
+
+    def test_same_processor_is_free(self):
+        comm = CommunicationModel(latency=5.0)
+        assert comm.time(10.0, same_processor=True) == 0.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ArchitectureError):
+            CommunicationModel(latency=-1.0)
+
+    def test_rejects_negative_data_size(self):
+        with pytest.raises(ArchitectureError):
+            CommunicationModel().time(-1.0)
+
+
+class TestArchitecture:
+    def test_homogeneous_factory(self):
+        arch = Architecture.homogeneous(3, memory_capacity=32.0)
+        assert arch.processor_names == ("P1", "P2", "P3")
+        assert arch.memory_capacity == 32.0
+        assert arch.has_memory_limits()
+        assert len(arch.media) == 1  # implicit shared bus
+
+    def test_default_has_no_memory_limit(self):
+        arch = Architecture.homogeneous(2)
+        assert not arch.has_memory_limits()
+
+    def test_rejects_heterogeneous_memory(self):
+        with pytest.raises(ArchitectureError):
+            Architecture([Processor("P1", memory_capacity=8), Processor("P2", memory_capacity=16)])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ArchitectureError):
+            Architecture([Processor("P1"), Processor("P1")])
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture(
+                [Processor("P1"), Processor("P2"), Processor("P3")],
+                [Medium("m", ("P1", "P2"))],
+            )
+
+    def test_single_processor_needs_no_medium(self):
+        arch = Architecture(["P1"])
+        assert len(arch.media) == 0
+
+    def test_medium_between(self):
+        arch = Architecture.homogeneous(3)
+        assert arch.medium_between("P1", "P3").name == "Med"
+        with pytest.raises(ArchitectureError):
+            arch.medium_between("P1", "P1")
+
+    def test_comm_time(self):
+        arch = Architecture.homogeneous(2, comm=CommunicationModel(latency=2.0))
+        assert arch.comm_time("P1", "P2") == 2.0
+        assert arch.comm_time("P1", "P1") == 0.0
+
+    def test_processor_pairs(self):
+        arch = Architecture.homogeneous(3)
+        assert len(arch.processor_pairs()) == 3
+
+    def test_unknown_processor(self):
+        arch = Architecture.homogeneous(2)
+        with pytest.raises(ArchitectureError):
+            arch.processor("P9")
+
+    def test_paper_architecture(self, paper_arch):
+        assert len(paper_arch) == 3
+        assert paper_arch.comm.latency == 1.0
+        assert paper_arch.are_connected("P1", "P3")

@@ -1,0 +1,183 @@
+"""Tests of repro.baselines (assignment baselines, packing, exact optimum, GA)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    GeneticOptions,
+    block_weights,
+    ffd_memory_assignment,
+    first_fit_decreasing_bins,
+    genetic_assignment,
+    greedy_load_balance,
+    greedy_memory_assignment,
+    greedy_min_memory,
+    lpt_assignment,
+    materialize_assignment,
+    memory_only_balance,
+    no_balancing,
+    optimal_max_memory,
+    optimal_min_max_partition,
+    pack_min_max,
+)
+from repro.core.blocks import build_blocks
+from repro.errors import AnalysisError, ConfigurationError
+
+
+class TestNoBalancing:
+    def test_identity_assignment(self, paper_schedule):
+        result = no_balancing(paper_schedule)
+        assert result.max_memory == pytest.approx(16.0)
+        assert result.schedule is paper_schedule
+        assert "no-balancing" in result.summary()
+
+
+class TestBlockLevelBaselines:
+    def test_lpt_balances_execution(self, paper_schedule):
+        result = lpt_assignment(paper_schedule)
+        assert result.max_execution <= 4.0  # total execution is 10 over 3 processors
+
+    def test_greedy_memory_assignment_reduces_max_memory(self, paper_schedule):
+        result = greedy_memory_assignment(paper_schedule)
+        assert result.max_memory <= 16.0
+        assert result.max_memory >= 8.0  # cannot beat the ideal split of 24/3
+
+    def test_ffd_memory_assignment(self, paper_schedule):
+        result = ffd_memory_assignment(paper_schedule)
+        assert result.max_memory <= 16.0
+
+    def test_materialize_assignment_keeps_start_times(self, paper_schedule):
+        blocks = build_blocks(paper_schedule)
+        assignment = {block.id: "P1" for block in blocks}
+        schedule = materialize_assignment(paper_schedule, blocks, assignment)
+        assert schedule.memory_by_processor()["P1"] == pytest.approx(24.0)
+        for instance in schedule.instances:
+            assert instance.start == paper_schedule.instance(*instance.key).start
+
+    def test_materialize_rejects_unknown_processor(self, paper_schedule):
+        blocks = build_blocks(paper_schedule)
+        assignment = {block.id: "P9" for block in blocks}
+        with pytest.raises(ConfigurationError):
+            materialize_assignment(paper_schedule, blocks, assignment)
+
+    def test_materialize_rejects_missing_block(self, paper_schedule):
+        blocks = build_blocks(paper_schedule)
+        with pytest.raises(ConfigurationError):
+            materialize_assignment(paper_schedule, blocks, {})
+
+    def test_block_weights(self, paper_schedule):
+        weights = block_weights(build_blocks(paper_schedule))
+        assert len(weights) == 7
+        assert sum(w.memory for w in weights) == pytest.approx(24.0)
+
+
+class TestSchedulingBaselines:
+    def test_load_only_balance_feasible(self, paper_schedule):
+        result = greedy_load_balance(paper_schedule)
+        assert result.makespan_after <= result.makespan_before
+
+    def test_memory_only_balance_reduces_max_memory(self, paper_schedule):
+        result = memory_only_balance(paper_schedule)
+        assert result.max_memory_after <= result.max_memory_before
+
+
+class TestBinPacking:
+    def test_ffd_bins_respects_capacity(self):
+        bins = first_fit_decreasing_bins([4, 3, 3, 2, 2, 2], capacity=6)
+        for bin_items in bins:
+            assert sum([4, 3, 3, 2, 2, 2][i] for i in bin_items) <= 6
+        assert len(bins) == 3
+
+    def test_ffd_bins_rejects_oversized_item(self):
+        with pytest.raises(ConfigurationError):
+            first_fit_decreasing_bins([7], capacity=6)
+
+    def test_pack_min_max(self):
+        assignment, worst = pack_min_max([5, 4, 3, 2], 2)
+        assert worst == pytest.approx(7.0)
+        assert set(assignment.values()) == {0, 1}
+
+    def test_pack_min_max_single_bin(self):
+        _assignment, worst = pack_min_max([1, 2, 3], 1)
+        assert worst == 6.0
+
+    @given(st.lists(st.floats(0.5, 10), min_size=1, max_size=12), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_pack_min_max_is_complete(self, weights, bins):
+        assignment, worst = pack_min_max(weights, bins)
+        assert len(assignment) == len(weights)
+        loads = [0.0] * bins
+        for item, target in assignment.items():
+            loads[target] += weights[item]
+        assert max(loads) == pytest.approx(worst)
+
+
+class TestBranchAndBound:
+    def test_trivial_cases(self):
+        assert optimal_max_memory([], 3) == 0.0
+        assert optimal_max_memory([5.0], 2) == 5.0
+
+    def test_known_optimum(self):
+        # 4+3+3+2 over 2 bins: optimum is 6 (4+2 / 3+3).
+        assert optimal_max_memory([4, 3, 3, 2], 2) == pytest.approx(6.0)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(AnalysisError):
+            optimal_min_max_partition([1.0], 0)
+        with pytest.raises(AnalysisError):
+            optimal_min_max_partition([-1.0], 2)
+
+    def test_assignment_is_consistent_with_optimum(self):
+        result = optimal_min_max_partition([4, 3, 3, 2, 1], 2)
+        loads = [0.0, 0.0]
+        for item, target in result.assignment.items():
+            loads[target] += [4, 3, 3, 2, 1][item]
+        assert max(loads) == pytest.approx(result.optimum)
+        assert result.exact
+
+    @given(st.lists(st.integers(1, 9), min_size=1, max_size=9), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_optimum_bounds(self, weights, bins):
+        """The exact optimum is between the trivial lower bounds and the greedy value."""
+        result = optimal_min_max_partition(weights, bins)
+        lower = max(max(weights), sum(weights) / bins)
+        _greedy_assignment, greedy_value = pack_min_max(weights, bins)
+        assert result.optimum >= lower - 1e-9
+        assert result.optimum <= greedy_value + 1e-9
+
+
+class TestGreedyMemoryRule:
+    def test_order_sensitivity(self):
+        """The Theorem-2 rule processes items in order (not sorted), so it can
+        end at 7 on [5,1,1,5] where sorted packing would reach the optimum 6."""
+        processors = ["P1", "P2"]
+        assignment = greedy_min_memory([5, 1, 1, 5], processors)
+        loads = {"P1": 0.0, "P2": 0.0}
+        for index, weight in enumerate([5, 1, 1, 5]):
+            loads[assignment[index]] += weight
+        assert max(loads.values()) == pytest.approx(7.0)
+        assert max(loads.values()) / 6.0 <= 2 - 1 / 2  # still within Theorem 2's bound
+
+
+class TestGenetic:
+    def test_genetic_improves_on_identity(self, paper_schedule):
+        result = genetic_assignment(
+            paper_schedule, GeneticOptions(population_size=20, generations=30, seed=1)
+        )
+        assert result.max_memory <= 16.0
+        assert result.info["evaluations"] > 0
+
+    def test_genetic_is_deterministic_for_a_seed(self, paper_schedule):
+        options = GeneticOptions(population_size=16, generations=10, seed=7)
+        first = genetic_assignment(paper_schedule, options)
+        second = genetic_assignment(paper_schedule, options)
+        assert first.assignment == second.assignment
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneticOptions(population_size=1).validate()
+        with pytest.raises(ConfigurationError):
+            GeneticOptions(mutation_rate=2.0).validate()
+        with pytest.raises(ConfigurationError):
+            GeneticOptions(memory_weight=1.5).validate()

@@ -1,0 +1,91 @@
+"""Tests of repro.core.blocks (block construction and categories)."""
+
+import pytest
+
+from repro.core.blocks import Block, BlockBuildOptions, BlockCategory, blocks_by_processor, build_blocks
+from repro.errors import SchedulingError
+from repro.scheduling.schedule import ScheduledInstance
+
+
+class TestPaperExampleBlocks:
+    def test_seven_blocks(self, paper_schedule):
+        blocks = build_blocks(paper_schedule)
+        assert len(blocks) == 7
+
+    def test_labels_and_order(self, paper_schedule):
+        blocks = build_blocks(paper_schedule)
+        assert [b.label for b in blocks] == [
+            "[a#0]",
+            "[a#1]",
+            "[b#0-c#0]",
+            "[a#2]",
+            "[a#3]",
+            "[b#1-c#1]",
+            "[d#0-e#0]",
+        ]
+
+    def test_categories(self, paper_schedule):
+        blocks = {b.label: b for b in build_blocks(paper_schedule)}
+        assert blocks["[a#0]"].category is BlockCategory.FIRST_INSTANCES
+        assert blocks["[a#1]"].category is BlockCategory.LATER_INSTANCES
+        assert blocks["[b#0-c#0]"].category is BlockCategory.FIRST_INSTANCES
+        assert blocks["[b#1-c#1]"].category is BlockCategory.LATER_INSTANCES
+        assert blocks["[d#0-e#0]"].category is BlockCategory.FIRST_INSTANCES
+
+    def test_aggregate_attributes(self, paper_schedule):
+        blocks = {b.label: b for b in build_blocks(paper_schedule)}
+        bc = blocks["[b#0-c#0]"]
+        assert bc.execution_time == pytest.approx(2.0)
+        assert bc.memory == pytest.approx(2.0)
+        assert bc.start == pytest.approx(5.0)
+        assert bc.end == pytest.approx(7.0)
+        assert bc.span == pytest.approx(2.0)
+        assert bc.tasks == ("b", "c")
+        assert bc.first_instance_tasks == ("b", "c")
+        assert bc.offsets()[("c", 0)] == pytest.approx(1.0)
+
+    def test_blocks_by_processor(self, paper_schedule):
+        grouped = blocks_by_processor(build_blocks(paper_schedule))
+        assert len(grouped["P1"]) == 4
+        assert len(grouped["P2"]) == 2
+        assert len(grouped["P3"]) == 1
+
+    def test_every_instance_in_exactly_one_block(self, paper_schedule):
+        blocks = build_blocks(paper_schedule)
+        keys = [key for block in blocks for key in block.member_keys]
+        assert len(keys) == len(set(keys)) == len(paper_schedule)
+
+
+class TestBuildOptions:
+    def test_without_dependence_requirement_groups_contiguous_runs(self, paper_schedule):
+        loose = build_blocks(paper_schedule, BlockBuildOptions(require_dependence=False))
+        # The grouping can only get coarser or equal.
+        assert len(loose) <= len(build_blocks(paper_schedule))
+
+    def test_gap_tolerance_merges_nearby_instances(self, paper_schedule):
+        coarse = build_blocks(paper_schedule, BlockBuildOptions(gap_tolerance=10.0))
+        strict = build_blocks(paper_schedule)
+        assert len(coarse) <= len(strict)
+
+    def test_negative_gap_rejected(self, paper_schedule):
+        with pytest.raises(SchedulingError):
+            build_blocks(paper_schedule, BlockBuildOptions(gap_tolerance=-1.0))
+
+
+class TestBlockValidation:
+    def test_block_requires_members(self):
+        with pytest.raises(SchedulingError):
+            Block(id=0, processor="P1", members=(), category=BlockCategory.FIRST_INSTANCES)
+
+    def test_block_rejects_mixed_processors(self):
+        members = (
+            ScheduledInstance("a", 0, "P1", 0.0, 1.0),
+            ScheduledInstance("b", 0, "P2", 1.0, 1.0),
+        )
+        with pytest.raises(SchedulingError):
+            Block(id=0, processor="P1", members=members, category=BlockCategory.FIRST_INSTANCES)
+
+    def test_contains(self, paper_schedule):
+        block = build_blocks(paper_schedule)[2]
+        assert block.contains(("b", 0))
+        assert not block.contains(("a", 0))

@@ -1,0 +1,56 @@
+"""Tests of repro.scheduling.communications."""
+
+import pytest
+
+from repro.scheduling.communications import (
+    arrival_times_for_instance,
+    edge_arrival_time,
+    synthesize_communications,
+)
+from repro.scheduling.schedule import Schedule
+
+
+class TestEdgeArrivalTime:
+    def test_remote_adds_latency(self, paper_arch):
+        assert edge_arrival_time(4.0, "P1", "P2", paper_arch, 1.0) == pytest.approx(5.0)
+
+    def test_local_is_immediate(self, paper_arch):
+        assert edge_arrival_time(4.0, "P1", "P1", paper_arch, 1.0) == pytest.approx(4.0)
+
+
+class TestSynthesize:
+    def test_paper_schedule_transfers(self, paper_schedule):
+        operations = synthesize_communications(paper_schedule)
+        # Cross-processor edges of Figure 3: 4 (a->b, P1->P2), 2 (b->d, P2->P3),
+        # 2 (c->e, P2->P3); b->c and d->e are local.
+        assert len(operations) == 8
+        targets = {op.target for op in operations}
+        assert targets == {"P2", "P3"}
+        for op in operations:
+            producer = paper_schedule.instance(op.producer, op.producer_index)
+            assert op.start == pytest.approx(producer.end)
+            assert op.duration == pytest.approx(1.0)
+
+    def test_no_transfers_when_colocated(self, paper_graph, paper_arch, paper_schedule):
+        moved = {si.key: ("P1", si.start) for si in paper_schedule.instances}
+        colocated = paper_schedule.moved(moved)
+        assert synthesize_communications(colocated) == ()
+
+    def test_arrival_times_for_instance(self, paper_schedule):
+        arrivals = arrival_times_for_instance(paper_schedule, "b", 0)
+        assert len(arrivals) == 2
+        assert max(arrivals.values()) == pytest.approx(5.0)
+
+    def test_operations_sorted_by_start(self, paper_schedule):
+        operations = synthesize_communications(paper_schedule)
+        starts = [op.start for op in operations]
+        assert starts == sorted(starts)
+
+    def test_schedule_roundtrip_keeps_instances(self, paper_schedule):
+        rebuilt = Schedule(
+            paper_schedule.graph,
+            paper_schedule.architecture,
+            paper_schedule.instances,
+            synthesize_communications(paper_schedule),
+        )
+        assert len(rebuilt) == len(paper_schedule)

@@ -1,0 +1,159 @@
+"""Tests of repro.core.conditions and repro.core.cost."""
+
+import pytest
+
+from repro.core.blocks import build_blocks
+from repro.core.conditions import (
+    BalancingState,
+    ProcessorState,
+    is_eligible,
+    satisfies_lcm_condition,
+    steady_state_compatible,
+)
+from repro.core.cost import CostPolicy, evaluate_move, policy_score
+
+
+@pytest.fixture()
+def paper_state(paper_schedule):
+    state = BalancingState(hyper_period=paper_schedule.graph.hyper_period)
+    state.current = {
+        si.key: (si.processor, si.start) for si in paper_schedule.instances
+    }
+    for name in paper_schedule.architecture.processor_names:
+        state.processor(name)
+        state.moved_patterns[name] = []
+    return state
+
+
+class TestProcessorState:
+    def test_register_accumulates(self, paper_schedule):
+        blocks = build_blocks(paper_schedule)
+        proc = ProcessorState("P1")
+        assert proc.is_empty
+        proc.register(blocks[0], 0.0)
+        proc.register(blocks[3], 6.0)
+        assert not proc.is_empty
+        assert proc.moved_blocks == 2
+        assert proc.moved_memory == pytest.approx(8.0)
+        assert proc.first_start == 0.0
+        assert proc.last_end == pytest.approx(7.0)
+
+    def test_register_with_explicit_end(self, paper_schedule):
+        blocks = build_blocks(paper_schedule)
+        proc = ProcessorState("P1")
+        proc.register(blocks[0], 0.0, end=2.5)
+        assert proc.last_end == 2.5
+
+
+class TestEligibilityAndLcm:
+    def test_empty_processor_always_eligible(self, paper_schedule):
+        block = build_blocks(paper_schedule)[2]
+        assert is_eligible(block, 5.0, ProcessorState("P3"))
+
+    def test_busy_processor_ineligible(self, paper_schedule):
+        block = build_blocks(paper_schedule)[2]
+        proc = ProcessorState("P1", moved_blocks=1, last_end=9.0)
+        assert not is_eligible(block, 5.0, proc)
+
+    def test_lcm_condition(self, paper_schedule):
+        blocks = {b.label: b for b in build_blocks(paper_schedule)}
+        de = blocks["[d#0-e#0]"]
+        early = ProcessorState("P1", moved_blocks=1, first_start=0.0)
+        late = ProcessorState("P3", moved_blocks=1, first_start=6.0)
+        # Placing d-e at 12 (exec 2) violates 0+12 but satisfies 6+12.
+        assert not satisfies_lcm_condition(de, 12.0, early, 12)
+        assert satisfies_lcm_condition(de, 12.0, late, 12)
+
+    def test_lcm_condition_empty_processor(self, paper_schedule):
+        block = build_blocks(paper_schedule)[0]
+        assert satisfies_lcm_condition(block, 100.0, ProcessorState("P2"), 12)
+
+    def test_steady_state_compatible(self):
+        assert steady_state_compatible([(0.0, 1.0)], [(2.0, 1.0)], 12)
+        assert not steady_state_compatible([(0.0, 2.0)], [(1.0, 1.0)], 12)
+        # Wrap-around conflict: offset 11 length 2 wraps onto [0, 1).
+        assert not steady_state_compatible([(11.0, 2.0)], [(0.5, 1.0)], 12)
+
+
+class TestEvaluateMove:
+    def test_step3_gain_on_p2(self, paper_schedule, paper_state):
+        """Reproduces step 3 of section 3.3: moving [b#0-c#0] to P2 gains 1."""
+        blocks = {b.label: b for b in build_blocks(paper_schedule)}
+        graph, arch = paper_schedule.graph, paper_schedule.architecture
+        # Steps 1 and 2 already applied: a#0 kept on P1, a#1 moved to P2.
+        paper_state.processor("P1").register(blocks["[a#0]"], 0.0)
+        paper_state.moved_patterns["P1"].append((0.0, 1.0))
+        paper_state.processor("P2").register(blocks["[a#1]"], 3.0)
+        paper_state.moved_patterns["P2"].append((3.0, 1.0))
+        paper_state.current[("a", 1)] = ("P2", 3.0)
+
+        bc = blocks["[b#0-c#0]"]
+        to_p2 = evaluate_move(bc, "P2", paper_state, graph, arch)
+        to_p1 = evaluate_move(bc, "P1", paper_state, graph, arch)
+        to_p3 = evaluate_move(bc, "P3", paper_state, graph, arch)
+        assert to_p2.feasible and to_p2.gain == pytest.approx(1.0)
+        assert to_p2.placement_start == pytest.approx(4.0)
+        assert to_p1.gain == pytest.approx(0.0)
+        assert to_p3.gain == pytest.approx(0.0)
+
+    def test_pinned_block_infeasible_when_data_late(self, paper_schedule, paper_state):
+        """A category-2 block cannot move where its data would arrive too late."""
+        blocks = {b.label: b for b in build_blocks(paper_schedule)}
+        graph, arch = paper_schedule.graph, paper_schedule.architecture
+        a3 = blocks["[a#3]"]
+        evaluation = evaluate_move(a3, "P2", paper_state, graph, arch)
+        # a#3 is pinned at 9 and has no producers: the move is feasible with gain 0.
+        assert evaluation.feasible and evaluation.gain == 0.0
+
+        # b#1-c#1 pinned at 11; if a#3 stays on P1 completing at 10, moving the
+        # block to P3 means a#3's data arrives at 11 <= 11: feasible; but if we
+        # pretend a#3 completes at 10.5 the arrival becomes 11.5 > 11: infeasible.
+        paper_state.current[("a", 3)] = ("P1", 9.5)
+        bc2 = blocks["[b#1-c#1]"]
+        late = evaluate_move(bc2, "P3", paper_state, graph, arch)
+        assert not late.feasible
+        assert late.gain < 0
+
+
+class TestPolicyScores:
+    def test_ratio_matches_paper_step2(self):
+        proc_with_memory = ProcessorState("P1", moved_blocks=1, moved_memory=4.0)
+        empty = ProcessorState("P2")
+        from repro.core.cost import MoveEvaluation
+
+        evaluation = MoveEvaluation(0, "P1", "P1", True, 0.0, 3.0, 4.0, 0.0)
+        assert policy_score(evaluation, proc_with_memory, CostPolicy.RATIO)[0] == pytest.approx(0.25)
+        assert policy_score(evaluation, empty, CostPolicy.RATIO)[0] == pytest.approx(1.0)
+        assert policy_score(evaluation, empty, CostPolicy.RATIO_STRICT)[0] == pytest.approx(0.0)
+
+    def test_lexicographic_prefers_gain_then_memory(self):
+        from repro.core.cost import MoveEvaluation
+
+        gain_move = MoveEvaluation(0, "P1", "P2", True, 1.0, 4.0, 8.0, 0.0)
+        no_gain = MoveEvaluation(0, "P1", "P3", True, 0.0, 5.0, 0.0, 0.0)
+        busy = ProcessorState("P2", moved_blocks=2, moved_memory=8.0)
+        empty = ProcessorState("P3")
+        assert policy_score(gain_move, busy, CostPolicy.LEXICOGRAPHIC) > policy_score(
+            no_gain, empty, CostPolicy.LEXICOGRAPHIC
+        )
+
+    def test_memory_only_ignores_gain(self):
+        from repro.core.cost import MoveEvaluation
+
+        big_gain = MoveEvaluation(0, "P1", "P2", True, 10.0, 4.0, 8.0, 0.0)
+        small_gain = MoveEvaluation(0, "P1", "P3", True, 0.0, 5.0, 2.0, 0.0)
+        busy = ProcessorState("P2", moved_blocks=2, moved_memory=8.0)
+        lighter = ProcessorState("P3", moved_blocks=1, moved_memory=2.0)
+        assert policy_score(small_gain, lighter, CostPolicy.MEMORY_ONLY) > policy_score(
+            big_gain, busy, CostPolicy.MEMORY_ONLY
+        )
+
+    def test_load_only_uses_execution(self):
+        from repro.core.cost import MoveEvaluation
+
+        evaluation = MoveEvaluation(0, "P1", "P2", True, 0.0, 4.0, 0.0, 6.0)
+        busy = ProcessorState("P2", moved_blocks=1, moved_execution=6.0)
+        idle = ProcessorState("P3")
+        assert policy_score(evaluation, idle, CostPolicy.LOAD_ONLY) > policy_score(
+            evaluation, busy, CostPolicy.LOAD_ONLY
+        )

@@ -1,0 +1,102 @@
+"""Tests of repro.model.dependence (multi-rate edge semantics)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model.dependence import Dependence
+from repro.model.task import Task
+
+
+def make_pair(producer_period: int, consumer_period: int) -> tuple[Task, Task, Dependence]:
+    producer = Task("p", period=producer_period, wcet=1.0, data_size=2.0)
+    consumer = Task("c", period=consumer_period, wcet=1.0)
+    return producer, consumer, Dependence("p", "c")
+
+
+class TestConstruction:
+    def test_rejects_self_dependence(self):
+        with pytest.raises(ModelError):
+            Dependence("a", "a")
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(ModelError):
+            Dependence("", "b")
+
+    def test_rejects_negative_data_size(self):
+        with pytest.raises(ModelError):
+            Dependence("a", "b", data_size=-1.0)
+
+    def test_effective_data_size_falls_back_to_producer(self):
+        producer, _consumer, dep = make_pair(3, 6)
+        assert dep.effective_data_size(producer) == 2.0
+
+    def test_effective_data_size_override(self):
+        producer = Task("p", period=3, wcet=1.0, data_size=2.0)
+        dep = Dependence("p", "c", data_size=5.0)
+        assert dep.effective_data_size(producer) == 5.0
+
+    def test_endpoint_check(self):
+        producer, consumer, dep = make_pair(3, 6)
+        wrong = Task("x", period=3, wcet=1.0)
+        with pytest.raises(ModelError):
+            dep.rate(wrong, consumer)
+        with pytest.raises(ModelError):
+            dep.rate(producer, wrong)
+
+
+class TestMultiRateMapping:
+    def test_consumer_slower_needs_n_samples(self):
+        producer, consumer, dep = make_pair(3, 12)
+        assert dep.rate(producer, consumer) == (4, 1)
+        assert dep.producer_instances_for(producer, consumer, 0) == (0, 1, 2, 3)
+        assert dep.producer_instances_for(producer, consumer, 1) == (4, 5, 6, 7)
+
+    def test_consumer_faster_shares_one_sample(self):
+        producer, consumer, dep = make_pair(12, 3)
+        assert dep.rate(producer, consumer) == (1, 4)
+        assert dep.producer_instances_for(producer, consumer, 0) == (0,)
+        assert dep.producer_instances_for(producer, consumer, 5) == (1,)
+
+    def test_equal_periods(self):
+        producer, consumer, dep = make_pair(6, 6)
+        assert dep.producer_instances_for(producer, consumer, 2) == (2,)
+
+    def test_consumer_instances_inverse_slower(self):
+        producer, consumer, dep = make_pair(3, 12)
+        assert dep.consumer_instances_for(producer, consumer, 5) == (1,)
+
+    def test_consumer_instances_inverse_faster(self):
+        producer, consumer, dep = make_pair(12, 3)
+        assert dep.consumer_instances_for(producer, consumer, 1) == (4, 5, 6, 7)
+
+    def test_buffered_items_matches_figure_1(self):
+        producer, consumer, dep = make_pair(3, 12)
+        assert dep.buffered_items(producer, consumer) == 4
+
+    def test_rejects_negative_indices(self):
+        producer, consumer, dep = make_pair(3, 6)
+        with pytest.raises(ModelError):
+            dep.producer_instances_for(producer, consumer, -1)
+        with pytest.raises(ModelError):
+            dep.consumer_instances_for(producer, consumer, -1)
+
+    @given(st.integers(1, 12), st.integers(1, 6), st.integers(0, 20))
+    def test_mapping_is_consistent_both_ways(self, base, factor, consumer_index):
+        """Every producer instance required by a consumer maps back to that consumer."""
+        producer = Task("p", period=base, wcet=0.5)
+        consumer = Task("c", period=base * factor, wcet=0.5)
+        dep = Dependence("p", "c")
+        for producer_index in dep.producer_instances_for(producer, consumer, consumer_index):
+            back = dep.consumer_instances_for(producer, consumer, producer_index)
+            assert consumer_index in back
+
+    @given(st.integers(1, 12), st.integers(1, 6), st.integers(0, 10))
+    def test_slower_consumer_gets_disjoint_windows(self, base, factor, consumer_index):
+        producer = Task("p", period=base, wcet=0.5)
+        consumer = Task("c", period=base * factor, wcet=0.5)
+        dep = Dependence("p", "c")
+        first = set(dep.producer_instances_for(producer, consumer, consumer_index))
+        second = set(dep.producer_instances_for(producer, consumer, consumer_index + 1))
+        assert first.isdisjoint(second)

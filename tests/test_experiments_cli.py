@@ -1,0 +1,119 @@
+"""Tests of the experiment harness (E1-E8) and the command-line interface.
+
+The experiment runners are exercised with reduced configurations so the whole
+file stays fast; the full-size campaigns are what the benchmarks run.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ComparisonConfig,
+    ComplexityConfig,
+    IdleFractionConfig,
+    MultirateConfig,
+    Theorem1Config,
+    Theorem2Config,
+    build_table,
+    run_e1_paper_example,
+    run_e2_multirate_buffering,
+    run_e3_complexity,
+    run_e4_theorem1,
+    run_e5_theorem2,
+    run_e6_baseline_comparison,
+    run_e7_ablation,
+    run_e8_idle_fraction,
+)
+from repro.experiments.configs import AblationConfig
+from repro.workloads import GraphShape, WorkloadSpec
+
+
+class TestExperimentE1E2:
+    def test_e1_reproduces_the_paper(self):
+        result = run_e1_paper_example()
+        assert result.passed
+        assert result.data["makespan_after"] == 14.0
+        assert result.data["memory_after"] == {"P1": 10.0, "P2": 6.0, "P3": 8.0}
+        assert "paper" in result.render()
+
+    def test_e2_buffering(self):
+        result = run_e2_multirate_buffering(MultirateConfig(period_ratios=(1, 3)))
+        assert result.passed
+        assert result.data["peaks"][3] == pytest.approx(3.0)
+
+
+class TestExperimentAnalysis:
+    def test_e3_small(self):
+        config = ComplexityConfig(task_counts=(20, 40), processor_counts=(2, 3), seeds=(1,))
+        result = run_e3_complexity(config)
+        assert result.passed
+        assert result.data["evaluations_match"]
+
+    def test_e4_small(self):
+        config = Theorem1Config(
+            processor_counts=(2, 3), seeds=(0, 1), task_count=16,
+            shapes=(GraphShape.PIPELINE,),
+        )
+        result = run_e4_theorem1(config)
+        assert result.passed  # the lower bound must always hold
+
+    def test_e5_small(self):
+        config = Theorem2Config(processor_counts=(2, 3), block_counts=(5, 8), seeds=(0, 1, 2))
+        result = run_e5_theorem2(config)
+        assert result.passed
+
+    def test_e6_small(self):
+        spec = WorkloadSpec(task_count=16, processor_count=3, utilization=0.3,
+                            shape=GraphShape.PIPELINE, label="e6-test")
+        result = run_e6_baseline_comparison(ComparisonConfig(spec=spec, seeds=(0, 1)))
+        assert result.passed is not False
+        assert "initial (no balancing)" in result.table
+
+    def test_e7_small(self):
+        spec = WorkloadSpec(task_count=16, processor_count=3, utilization=0.3,
+                            shape=GraphShape.PIPELINE, label="e7-test")
+        result = run_e7_ablation(AblationConfig(spec=spec, seeds=(0,)))
+        assert "ratio (default)" in result.table
+
+    def test_e8_small(self):
+        config = IdleFractionConfig(utilizations=(0.2,), seeds=(0, 1), task_count=16)
+        result = run_e8_idle_fraction(config)
+        assert result.data
+
+    def test_registry_is_complete(self):
+        assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 9)}
+
+    def test_build_table_formats_floats(self):
+        table = build_table(["x"], [[1.23456], ["text"]])
+        assert "1.23" in table and "text" in table
+
+
+class TestCli:
+    def test_parser_version(self):
+        parser = build_parser()
+        assert parser.prog == "repro-lb"
+
+    def test_example_command(self, capsys):
+        assert main(["example", "--steps"]) == 0
+        output = capsys.readouterr().out
+        assert "Balanced schedule" in output
+        assert "step 7" in output
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "E1"]) == 0
+        assert "E1" in capsys.readouterr().out
+
+    def test_random_command(self, capsys):
+        code = main([
+            "random", "--tasks", "16", "--processors", "3",
+            "--shape", "pipeline", "--seed", "3", "--simulate",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "balanced" in output
+        assert "simulation" in output
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "E99"])

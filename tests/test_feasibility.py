@@ -1,0 +1,73 @@
+"""Tests of repro.scheduling.feasibility (constraint checking)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.scheduling.feasibility import assert_feasible, check_schedule
+from repro.workloads.paper_example import paper_architecture, paper_initial_schedule
+
+
+class TestCleanSchedule:
+    def test_paper_schedule_is_feasible(self, paper_schedule):
+        report = check_schedule(paper_schedule)
+        assert report.is_feasible
+        assert "feasible" in report.summary()
+        assert_feasible(paper_schedule)
+
+
+class TestViolationDetection:
+    def test_missing_instance(self, paper_schedule):
+        partial = paper_schedule.with_instances(list(paper_schedule.instances)[:-1], ())
+        report = check_schedule(partial)
+        assert report.missing_instances
+        assert not report.is_feasible
+
+    def test_strict_periodicity_violation(self, paper_schedule):
+        broken = paper_schedule.moved({("a", 2): ("P1", 6.5)})
+        report = check_schedule(broken)
+        assert report.periodicity_violations
+
+    def test_overlap_violation(self, paper_schedule):
+        broken = paper_schedule.moved({("b", 0), }.__class__())  # no-op guard
+        broken = paper_schedule.moved({("b", 0): ("P1", 3.2)})
+        report = check_schedule(broken)
+        assert report.overlap_violations or report.precedence_violations
+
+    def test_precedence_violation(self, paper_schedule):
+        # Start d before b's data can possibly arrive.
+        broken = paper_schedule.moved({("d", 0): ("P3", 2.0)})
+        report = check_schedule(broken)
+        assert report.precedence_violations
+
+    def test_repeatability_violation(self, paper_graph, paper_arch):
+        schedule = paper_initial_schedule(paper_graph, paper_arch)
+        # Push e to an offset that collides, modulo the hyper-period (12),
+        # with a#0's slot at [0, 1): 24.5 mod 12 = 0.5.
+        broken = schedule.moved({("e", 0): ("P1", 24.5)})
+        report = check_schedule(broken, check_repeatability=True)
+        assert report.repeatability_violations
+
+    def test_repeatability_can_be_disabled(self, paper_schedule):
+        broken = paper_schedule.moved({("e", 0): ("P1", 24.5)})
+        report = check_schedule(broken, check_repeatability=False)
+        assert not report.repeatability_violations
+
+    def test_memory_capacity_violation(self, paper_graph):
+        arch = paper_architecture(memory_capacity=10.0)
+        schedule = paper_initial_schedule(paper_graph, arch)
+        report = check_schedule(schedule)  # P1 holds 16 > 10
+        assert report.memory_violations
+        clean = check_schedule(schedule, check_memory=False)
+        assert not clean.memory_violations
+
+    def test_buffer_demand_can_be_included(self, paper_graph):
+        arch = paper_architecture(memory_capacity=16.0)
+        schedule = paper_initial_schedule(paper_graph, arch)
+        without = check_schedule(schedule, include_buffers=False)
+        with_buffers = check_schedule(schedule, include_buffers=True)
+        assert len(with_buffers.memory_violations) >= len(without.memory_violations)
+
+    def test_assert_feasible_raises(self, paper_schedule):
+        broken = paper_schedule.moved({("d", 0): ("P3", 2.0)})
+        with pytest.raises(ValidationError):
+            assert_feasible(broken)

@@ -1,0 +1,145 @@
+"""Tests of repro.model.graph (TaskGraph)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import ModelError
+from repro.model.dependence import Dependence
+from repro.model.graph import TaskGraph
+from repro.model.task import Task
+
+
+@pytest.fixture()
+def diamond() -> TaskGraph:
+    graph = TaskGraph(name="diamond")
+    graph.create_task("a", period=2, wcet=0.5, memory=1.0)
+    graph.create_task("b", period=4, wcet=1.0, memory=2.0)
+    graph.create_task("c", period=4, wcet=1.0, memory=2.0)
+    graph.create_task("d", period=8, wcet=1.0, memory=3.0)
+    graph.connect("a", "b")
+    graph.connect("a", "c")
+    graph.connect("b", "d")
+    graph.connect("c", "d")
+    return graph
+
+
+class TestConstruction:
+    def test_len_and_contains(self, diamond):
+        assert len(diamond) == 4
+        assert "a" in diamond and "z" not in diamond
+
+    def test_duplicate_identical_task_is_idempotent(self, diamond):
+        diamond.add_task(Task("a", period=2, wcet=0.5, memory=1.0))
+        assert len(diamond) == 4
+
+    def test_duplicate_conflicting_task_rejected(self, diamond):
+        with pytest.raises(ModelError):
+            diamond.add_task(Task("a", period=4, wcet=0.5))
+
+    def test_dependence_unknown_task_rejected(self, diamond):
+        with pytest.raises(ModelError):
+            diamond.connect("a", "nope")
+
+    def test_dependence_non_harmonic_rejected(self):
+        graph = TaskGraph()
+        graph.create_task("x", period=4, wcet=1.0)
+        graph.create_task("y", period=6, wcet=1.0)
+        with pytest.raises(ModelError):
+            graph.connect("x", "y")
+
+    def test_duplicate_dependence_is_idempotent(self, diamond):
+        before = len(diamond.dependences)
+        diamond.connect("a", "b")
+        assert len(diamond.dependences) == before
+
+    def test_add_dependence_from_tuple(self, diamond):
+        dep = diamond.add_dependence(("b", "c"))
+        assert isinstance(dep, Dependence)
+
+    def test_unknown_task_lookup(self, diamond):
+        with pytest.raises(ModelError):
+            diamond.task("zz")
+
+    def test_unknown_dependence_lookup(self, diamond):
+        with pytest.raises(ModelError):
+            diamond.dependence("a", "d")
+
+
+class TestStructure:
+    def test_successors_predecessors(self, diamond):
+        assert diamond.successors("a") == ("b", "c")
+        assert diamond.predecessors("d") == ("b", "c")
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.sources() == ("a",)
+        assert diamond.sinks() == ("d",)
+
+    def test_topological_order_is_valid(self, diamond):
+        order = diamond.topological_order()
+        position = {name: i for i, name in enumerate(order)}
+        for dep in diamond.dependences:
+            assert position[dep.producer] < position[dep.consumer]
+
+    def test_cycle_detection(self):
+        graph = TaskGraph()
+        graph.create_task("a", period=2, wcet=0.5)
+        graph.create_task("b", period=2, wcet=0.5)
+        graph.connect("a", "b")
+        graph.connect("b", "a")
+        with pytest.raises(ModelError):
+            graph.topological_order()
+        assert not graph.is_acyclic()
+
+    def test_ancestors_descendants(self, diamond):
+        assert diamond.ancestors("d") == {"a", "b", "c"}
+        assert diamond.descendants("a") == {"b", "c", "d"}
+
+    def test_connected_components(self, diamond):
+        diamond.create_task("lonely", period=8, wcet=1.0)
+        components = diamond.connected_components()
+        assert frozenset({"lonely"}) in components
+        assert len(components) == 2
+
+    def test_validate_ok(self, diamond):
+        diamond.validate()
+
+    def test_validate_empty_graph(self):
+        with pytest.raises(ModelError):
+            TaskGraph().validate()
+
+
+class TestGlobalProperties:
+    def test_hyper_period(self, diamond):
+        assert diamond.hyper_period == 8
+
+    def test_total_instances(self, diamond):
+        # a: 4, b: 2, c: 2, d: 1
+        assert diamond.total_instances() == 9
+
+    def test_total_memory_per_hyper_period(self, diamond):
+        assert diamond.total_memory_per_hyper_period() == pytest.approx(4 * 1 + 2 * 2 + 2 * 2 + 3)
+
+    def test_distinct_periods(self, diamond):
+        assert diamond.distinct_periods() == (2, 4, 8)
+
+    def test_total_utilization(self, diamond):
+        assert diamond.total_utilization == pytest.approx(0.5 / 2 + 1 / 4 + 1 / 4 + 1 / 8)
+
+    def test_paper_graph_properties(self, paper_graph):
+        assert paper_graph.hyper_period == 12
+        assert paper_graph.total_instances() == 10
+        assert paper_graph.total_memory_per_hyper_period() == pytest.approx(24.0)
+
+
+class TestExport:
+    def test_to_networkx(self, diamond):
+        exported = diamond.to_networkx()
+        assert isinstance(exported, nx.DiGraph)
+        assert set(exported.nodes) == {"a", "b", "c", "d"}
+        assert exported.nodes["a"]["period"] == 2
+        assert exported.has_edge("a", "b")
+
+    def test_copy_is_independent(self, diamond):
+        clone = diamond.copy()
+        clone.create_task("extra", period=8, wcet=1.0)
+        assert "extra" not in diamond

@@ -1,0 +1,98 @@
+"""Tests of repro.model.memory and repro.model.validation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import Architecture, TaskGraph
+from repro.model.memory import (
+    MemoryBreakdown,
+    buffer_demand_by_processor,
+    edge_buffer_demand,
+    static_memory_by_processor,
+    static_memory_of_tasks,
+)
+from repro.model.validation import validate_problem
+
+
+class TestStaticMemory:
+    def test_per_instance_accounting(self, paper_graph):
+        # Task a has 4 instances of memory 4 -> 16 units (the paper's P1 figure).
+        assert static_memory_of_tasks(paper_graph, ["a"]) == pytest.approx(16.0)
+        assert static_memory_of_tasks(paper_graph, ["b", "c"]) == pytest.approx(4.0)
+
+    def test_assignment_accounting(self, paper_graph):
+        assignment = {("a", 0): "P1", ("a", 1): "P2", ("b", 0): "P2"}
+        usage = static_memory_by_processor(paper_graph, assignment)
+        assert usage == {"P1": 4.0, "P2": 5.0}
+
+
+class TestBufferDemand:
+    def test_edge_buffer_matches_rate(self, paper_graph):
+        # b (period 6) consumes 2 samples of a (period 3).
+        assert edge_buffer_demand(paper_graph, "a", "b") == pytest.approx(2.0)
+
+    def test_local_edges_free(self, paper_graph):
+        assert edge_buffer_demand(paper_graph, "a", "b", cross_processor=False) == 0.0
+
+    def test_by_processor(self, paper_graph):
+        assignment = {"a": "P1", "b": "P2", "c": "P2", "d": "P3", "e": "P3"}
+        demand = buffer_demand_by_processor(paper_graph, assignment)
+        # b buffers 2 samples of a on P2; d buffers 2 samples of b on P3;
+        # e buffers 2 samples of c on P3 (d->e is local).
+        assert demand["P2"] == pytest.approx(2.0)
+        assert demand["P3"] == pytest.approx(4.0)
+
+    def test_missing_assignment_rejected(self, paper_graph):
+        with pytest.raises(ModelError):
+            buffer_demand_by_processor(paper_graph, {"a": "P1"})
+
+
+class TestMemoryBreakdown:
+    def test_total_and_fits(self):
+        breakdown = MemoryBreakdown("P1", static=10.0, buffers=4.0)
+        assert breakdown.total == 14.0
+        assert breakdown.fits(14.0)
+        assert not breakdown.fits(13.0)
+
+
+class TestValidateProblem:
+    def test_paper_problem_is_clean(self, paper_graph, paper_arch):
+        report = validate_problem(paper_graph, paper_arch)
+        assert report.is_feasible
+        report.raise_if_infeasible()
+
+    def test_overload_detected(self):
+        graph = TaskGraph()
+        graph.create_task("t1", period=2, wcet=2.0)
+        graph.create_task("t2", period=2, wcet=2.0)
+        graph.create_task("t3", period=2, wcet=2.0)
+        report = validate_problem(graph, Architecture.homogeneous(2))
+        assert not report.is_feasible
+        with pytest.raises(ModelError):
+            report.raise_if_infeasible()
+
+    def test_memory_overflow_detected(self):
+        graph = TaskGraph()
+        graph.create_task("big", period=4, wcet=1.0, memory=100.0)
+        report = validate_problem(graph, Architecture.homogeneous(2, memory_capacity=10.0))
+        assert not report.is_feasible
+
+    def test_aggregate_memory_overflow_detected(self):
+        graph = TaskGraph()
+        for index in range(4):
+            graph.create_task(f"t{index}", period=4, wcet=0.5, memory=9.0)
+        report = validate_problem(graph, Architecture.homogeneous(2, memory_capacity=10.0))
+        assert not report.is_feasible
+
+    def test_high_utilization_is_a_warning(self):
+        graph = TaskGraph()
+        graph.create_task("t1", period=2, wcet=1.8)
+        report = validate_problem(graph, Architecture.homogeneous(1))
+        assert report.is_feasible
+        assert report.warnings
+
+    def test_summary_mentions_errors(self):
+        graph = TaskGraph()
+        graph.create_task("big", period=4, wcet=1.0, memory=100.0)
+        report = validate_problem(graph, Architecture.homogeneous(1, memory_capacity=1.0))
+        assert "ERROR" in report.summary()

@@ -1,0 +1,105 @@
+"""Tests of repro.metrics."""
+
+import pytest
+
+from repro.core import balance_schedule
+from repro.metrics import (
+    ScheduleReport,
+    communication_count,
+    communication_delta,
+    communications_by_medium,
+    compare_schedules,
+    critical_path_length,
+    idle_fraction_by_processor,
+    load_balance_index,
+    load_imbalance,
+    makespan_summary,
+    max_memory,
+    memory_imbalance,
+    memory_summary,
+    render_table,
+    total_execution_time,
+    total_gain,
+)
+from repro.workloads.paper_example import paper_architecture, paper_initial_schedule
+
+
+class TestMakespanMetrics:
+    def test_total_execution_time(self, paper_schedule):
+        assert total_execution_time(paper_schedule) == pytest.approx(15.0)
+
+    def test_total_gain(self, paper_schedule):
+        balanced = balance_schedule(paper_schedule).balanced_schedule
+        assert total_gain(paper_schedule, balanced) >= 0.0
+
+    def test_critical_path_is_a_lower_bound(self, paper_schedule):
+        lower = critical_path_length(paper_schedule.graph)
+        assert lower <= paper_schedule.makespan
+        with_comm = critical_path_length(paper_schedule.graph, paper_schedule.architecture)
+        assert with_comm >= lower
+
+    def test_makespan_summary(self, paper_schedule):
+        summary = makespan_summary(paper_schedule)
+        assert summary.normalized >= 1.0
+        assert summary.parallel_lower_bound <= summary.makespan
+
+
+class TestMemoryMetrics:
+    def test_max_memory_and_imbalance(self, paper_schedule):
+        assert max_memory(paper_schedule) == pytest.approx(16.0)
+        assert memory_imbalance(paper_schedule) == pytest.approx(2.0)
+
+    def test_memory_summary(self, paper_schedule):
+        summary = memory_summary(paper_schedule)
+        assert summary.maximum == pytest.approx(16.0)
+        assert not summary.balanced
+        assert summary.fits  # no capacity declared
+
+    def test_capacity_violations(self, paper_graph):
+        schedule = paper_initial_schedule(paper_graph, paper_architecture(memory_capacity=10.0))
+        summary = memory_summary(schedule)
+        assert "P1" in summary.violations
+        assert not summary.fits
+
+    def test_balancing_reduces_memory_imbalance(self, paper_schedule):
+        balanced = balance_schedule(paper_schedule).balanced_schedule
+        assert memory_imbalance(balanced) < memory_imbalance(paper_schedule)
+
+
+class TestLoadMetrics:
+    def test_load_imbalance_and_fairness(self, paper_schedule):
+        assert load_imbalance(paper_schedule) >= 1.0
+        assert 1.0 / 3 <= load_balance_index(paper_schedule) <= 1.0
+
+    def test_idle_fraction_by_processor(self, paper_schedule):
+        fractions = idle_fraction_by_processor(paper_schedule)
+        assert set(fractions) == {"P1", "P2", "P3"}
+        assert all(0.0 <= value <= 1.0 for value in fractions.values())
+
+
+class TestCommunicationMetrics:
+    def test_counts(self, paper_schedule):
+        assert communication_count(paper_schedule) == 8
+        assert communications_by_medium(paper_schedule) == {"Med": 8}
+
+    def test_delta_after_balancing(self, paper_schedule):
+        balanced = balance_schedule(paper_schedule).balanced_schedule
+        delta = communication_delta(paper_schedule, balanced)
+        assert delta.before_count == 8
+        assert delta.suppressed >= 0 and delta.created >= 0
+
+
+class TestReports:
+    def test_schedule_report_and_table(self, paper_schedule):
+        balanced = balance_schedule(paper_schedule).balanced_schedule
+        table = compare_schedules(
+            [ScheduleReport.of("before", paper_schedule), ScheduleReport.of("after", balanced)]
+        )
+        assert "before" in table and "after" in table
+        assert "makespan" in table
+
+    def test_render_table_alignment(self):
+        table = render_table(["name", "value"], [["a", "1"], ["bb", "22"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # aligned columns

@@ -1,0 +1,92 @@
+"""End-to-end reproduction tests of the paper's worked example (section 3.3).
+
+These are the tests that gate experiment E1: the LEXICOGRAPHIC policy must
+replay every numbered step of the paper and land on the exact final figures.
+"""
+
+import pytest
+
+from repro.core import CostPolicy, LoadBalancer, LoadBalancerOptions
+from repro.scheduling import check_schedule
+from repro.workloads.paper_example import PAPER_EXPECTATIONS, paper_initial_schedule
+
+
+@pytest.fixture(scope="module")
+def lex_result():
+    schedule = paper_initial_schedule()
+    return LoadBalancer(schedule, LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC)).run()
+
+
+class TestInitialSchedule:
+    def test_figure3_metrics(self, paper_schedule):
+        assert paper_schedule.makespan == PAPER_EXPECTATIONS["makespan_before"]
+        assert paper_schedule.memory_by_processor() == PAPER_EXPECTATIONS["memory_before"]
+
+    def test_figure3_is_feasible(self, paper_schedule):
+        assert check_schedule(paper_schedule).is_feasible
+
+
+class TestWorkedExample:
+    def test_every_decision_matches_the_paper(self, lex_result):
+        decisions = [(d.block.label, d.chosen_processor) for d in lex_result.decisions]
+        assert decisions == [tuple(step) for step in PAPER_EXPECTATIONS["decisions"]]
+
+    def test_step3_gain_and_update(self, lex_result):
+        step3 = lex_result.decisions[2]
+        assert step3.block.label == "[b#0-c#0]"
+        assert step3.gain == pytest.approx(1.0)
+        assert step3.updated_blocks, "the start-time update of [b#1-c#1] was not propagated"
+
+    def test_step6_only_p1_feasible(self, lex_result):
+        step6 = lex_result.decisions[5]
+        assert step6.block.label == "[b#1-c#1]"
+        assert step6.start_before == pytest.approx(PAPER_EXPECTATIONS["updated_block_start"]["[b#1-c#1]"])
+        feasible_targets = {
+            c.target for c in step6.candidates if c.evaluation.feasible
+        }
+        assert feasible_targets == {"P1"}
+
+    def test_step7_lcm_condition_excludes_p1(self, lex_result):
+        from repro.core.conditions import ProcessorState, satisfies_lcm_condition
+
+        step7 = lex_result.decisions[6]
+        assert step7.block.label == "[d#0-e#0]"
+        p1 = step7.candidate_for("P1")
+        assert p1 is not None and p1.evaluation.feasible
+        # Placing the block at its P1 start (12, execution 2) violates eq. (4)
+        # because the first block moved to P1 starts at 0 and the LCM is 12 —
+        # exactly the reason the paper gives for not using P1 in step 7.
+        first_on_p1 = ProcessorState("P1", moved_blocks=1, first_start=0.0)
+        assert not satisfies_lcm_condition(
+            step7.block, p1.evaluation.placement_start, first_on_p1, 12
+        )
+        # The ranking tries P3 first (it passes), so P1's LCM flag may remain
+        # unevaluated — but P1 must never be the chosen processor.
+        assert p1.lcm_ok in (False, None)
+        assert step7.chosen_processor == "P3"
+
+    def test_final_makespan(self, lex_result):
+        assert lex_result.makespan_after == PAPER_EXPECTATIONS["makespan_after"]
+        assert lex_result.total_gain == PAPER_EXPECTATIONS["total_gain"]
+
+    def test_final_memory_distribution(self, lex_result):
+        assert lex_result.memory_after == PAPER_EXPECTATIONS["memory_after"]
+
+    def test_final_schedule_feasible(self, lex_result):
+        assert check_schedule(lex_result.balanced_schedule).is_feasible
+
+    def test_no_forced_placements(self, lex_result):
+        assert not any(decision.forced for decision in lex_result.decisions)
+
+    def test_block_count(self, lex_result):
+        assert len(lex_result.blocks) == PAPER_EXPECTATIONS["block_count"]
+
+
+class TestRatioPolicyOnExample:
+    def test_ratio_policy_never_worse_than_initial(self, paper_schedule):
+        result = LoadBalancer(paper_schedule, LoadBalancerOptions(policy=CostPolicy.RATIO)).run()
+        assert result.makespan_after <= result.makespan_before
+        assert check_schedule(result.balanced_schedule).is_feasible
+        # The literal eq.-(5) interpretation spreads memory but misses the
+        # gain of step 3 (documented divergence, DESIGN.md §2 A1/B1).
+        assert result.max_memory_after <= 10.0 + 1e-9

@@ -1,0 +1,121 @@
+"""Tests of repro.scheduling.periodic_intervals (circular interval arithmetic)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.scheduling.periodic_intervals import (
+    circular_overlap,
+    clearing_shift,
+    pattern_offsets,
+    patterns_conflict,
+    split_wrapping,
+)
+
+
+class TestCircularOverlap:
+    def test_plain_overlap(self):
+        assert circular_overlap(0, 2, 1, 2, 10)
+
+    def test_plain_disjoint(self):
+        assert not circular_overlap(0, 2, 5, 2, 10)
+
+    def test_wraparound_overlap(self):
+        # [9, 11) wraps to [9,10)+[0,1); it overlaps [0, 0.5).
+        assert circular_overlap(9, 2, 0, 0.5, 10)
+
+    def test_wraparound_disjoint(self):
+        assert not circular_overlap(9, 1, 0, 0.5, 10)
+
+    def test_zero_length_never_overlaps(self):
+        assert not circular_overlap(0, 0, 0, 5, 10)
+
+    def test_full_period_overlaps_everything(self):
+        assert circular_overlap(0, 10, 3, 1, 10)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(SchedulingError):
+            circular_overlap(0, 1, 0, 1, 0)
+
+    @given(
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0.1, 5),
+        st.floats(0, 100, allow_nan=False),
+        st.floats(0.1, 5),
+    )
+    def test_symmetry(self, a, la, b, lb):
+        period = 20
+        assert circular_overlap(a, la, b, lb, period) == circular_overlap(b, lb, a, la, period)
+
+
+class TestClearingShift:
+    def test_no_overlap_means_zero(self):
+        assert clearing_shift(0, 1, 5, 1, 10) == 0.0
+
+    def test_shift_clears_conflict(self):
+        shift = clearing_shift(0, 2, 1, 2, 10)
+        assert shift > 0
+        assert not circular_overlap(0 + shift, 2, 1, 2, 10)
+
+    def test_impossible_separation_rejected(self):
+        with pytest.raises(SchedulingError):
+            clearing_shift(0, 6, 1, 6, 10)
+
+    @given(
+        st.floats(0, 30, allow_nan=False),
+        st.floats(0.1, 4),
+        st.floats(0, 30, allow_nan=False),
+        st.floats(0.1, 4),
+    )
+    def test_shift_always_clears(self, a, la, b, lb):
+        period = 12
+        shift = clearing_shift(a, la, b, lb, period)
+        assert shift >= 0
+        assert not circular_overlap(a + shift, la, b, lb, period)
+
+
+class TestPatternsAndSplitting:
+    def test_pattern_offsets_strict_periodicity(self):
+        # Period 3, 4 instances, hyper-period 12: offsets 5, 8, 11, 2.
+        offsets = pattern_offsets(5.0, 3, 4, 12)
+        assert offsets == [5.0, 8.0, 11.0, 2.0]
+
+    def test_pattern_offsets_rejects_bad_args(self):
+        with pytest.raises(SchedulingError):
+            pattern_offsets(0, 0, 2, 12)
+        with pytest.raises(SchedulingError):
+            pattern_offsets(0, 3, -1, 12)
+
+    def test_split_non_wrapping(self):
+        assert split_wrapping(2, 3, 10) == [(2.0, 5.0)]
+
+    def test_split_wrapping(self):
+        pieces = split_wrapping(9, 2, 10)
+        assert pieces == [(9.0, 10.0), (0.0, 1.0)]
+
+    def test_split_zero_length(self):
+        assert split_wrapping(3, 0, 10) == []
+
+    def test_split_full_period(self):
+        assert split_wrapping(3, 10, 10) == [(0.0, 10.0)]
+
+    def test_patterns_conflict(self):
+        assert patterns_conflict([(0, 2)], [(1, 2)], 10)
+        assert not patterns_conflict([(0, 2)], [(5, 2)], 10)
+
+    @given(st.integers(1, 6), st.integers(0, 40))
+    def test_strictly_periodic_task_never_self_conflicts(self, period_factor, start_times_ten):
+        """The instances of one strictly periodic task never collide modulo the hyper-period."""
+        period = 2 * period_factor
+        hyper_period = 24
+        if hyper_period % period:
+            return
+        count = hyper_period // period
+        start = start_times_ten / 10.0
+        wcet = min(1.0, period)
+        offsets = pattern_offsets(start, period, count, hyper_period)
+        pattern = [(offset, wcet) for offset in offsets]
+        for i, (a, la) in enumerate(pattern):
+            for b, lb in pattern[i + 1 :]:
+                assert not circular_overlap(a, la, b, lb, hyper_period)

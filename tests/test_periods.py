@@ -1,0 +1,125 @@
+"""Tests of repro.model.periods (hyper-period arithmetic)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.model.periods import (
+    hyper_period,
+    instances_in_hyper_period,
+    is_harmonic_pair,
+    is_harmonic_set,
+    lcm,
+    lcm_many,
+    period_ratio,
+    validate_period,
+)
+
+
+class TestValidatePeriod:
+    def test_accepts_positive_integer(self):
+        assert validate_period(7) == 7
+
+    def test_rejects_zero(self):
+        with pytest.raises(ModelError):
+            validate_period(0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelError):
+            validate_period(-3)
+
+    def test_rejects_float(self):
+        with pytest.raises(ModelError):
+            validate_period(2.5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ModelError):
+            validate_period(True)
+
+    def test_error_mentions_owner(self):
+        with pytest.raises(ModelError, match="sensor"):
+            validate_period(-1, owner="sensor")
+
+
+class TestLcm:
+    def test_pair(self):
+        assert lcm(4, 6) == 12
+
+    def test_coprime(self):
+        assert lcm(3, 7) == 21
+
+    def test_identity(self):
+        assert lcm(5, 5) == 5
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ModelError):
+            lcm(0, 3)
+
+    def test_many(self):
+        assert lcm_many([3, 6, 12]) == 12
+
+    def test_many_empty_rejected(self):
+        with pytest.raises(ModelError):
+            lcm_many([])
+
+    def test_many_with_non_positive(self):
+        with pytest.raises(ModelError):
+            lcm_many([3, -6])
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=6))
+    def test_lcm_many_is_multiple_of_every_period(self, periods):
+        value = lcm_many(periods)
+        assert all(value % period == 0 for period in periods)
+
+    @given(
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=100),
+    )
+    def test_lcm_commutative(self, a, b):
+        assert lcm(a, b) == lcm(b, a)
+
+
+class TestHyperPeriod:
+    def test_paper_example_periods(self):
+        assert hyper_period([3, 6, 6, 12, 12]) == 12
+
+    def test_instance_count(self):
+        assert instances_in_hyper_period(3, 12) == 4
+        assert instances_in_hyper_period(12, 12) == 1
+
+    def test_instance_count_rejects_non_divisor(self):
+        with pytest.raises(ModelError):
+            instances_in_hyper_period(5, 12)
+
+
+class TestHarmonic:
+    def test_harmonic_pair(self):
+        assert is_harmonic_pair(3, 6)
+        assert is_harmonic_pair(6, 3)
+        assert is_harmonic_pair(4, 4)
+
+    def test_non_harmonic_pair(self):
+        assert not is_harmonic_pair(4, 6)
+
+    def test_harmonic_set(self):
+        assert is_harmonic_set([3, 6, 12, 24])
+        assert not is_harmonic_set([3, 6, 8])
+
+    def test_ratio_consumer_slower(self):
+        assert period_ratio(3, 12) == (4, 1)
+
+    def test_ratio_consumer_faster(self):
+        assert period_ratio(12, 3) == (1, 4)
+
+    def test_ratio_equal(self):
+        assert period_ratio(6, 6) == (1, 1)
+
+    def test_ratio_rejects_non_harmonic(self):
+        with pytest.raises(ModelError):
+            period_ratio(4, 6)
+
+    @given(st.integers(1, 20), st.integers(1, 8))
+    def test_ratio_round_trip(self, base, factor):
+        items, reuse = period_ratio(base, base * factor)
+        assert items == factor and reuse == 1

@@ -1,0 +1,114 @@
+"""Cross-cutting property-based tests (hypothesis) on the whole pipeline.
+
+These tests generate random strictly periodic applications end to end and
+assert the library's global invariants:
+
+* the initial scheduler only produces feasible schedules (or raises);
+* the load balancer never increases the total execution time, never loses an
+  instance, and (with the retry ladder) never returns an infeasible schedule;
+* the simulator replays feasible schedules without violations and conserves
+  buffered samples.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import CostPolicy, LoadBalancer, LoadBalancerOptions
+from repro.errors import InfeasibleError
+from repro.model import Architecture, CommunicationModel, TaskGraph
+from repro.scheduling import check_schedule, schedule_application
+from repro.scheduling.heuristic import PlacementPolicy, SchedulerOptions
+from repro.simulation import SimulationOptions, simulate
+
+
+@st.composite
+def small_applications(draw) -> TaskGraph:
+    """Random small multi-rate chains/trees with harmonic periods."""
+    base = draw(st.sampled_from([2, 3, 4]))
+    levels = [base, base * 2, base * 4]
+    task_count = draw(st.integers(min_value=2, max_value=7))
+    graph = TaskGraph(name="hypothesis-app")
+    names: list[str] = []
+    for index in range(task_count):
+        period = levels[min(index * len(levels) // task_count, len(levels) - 1)]
+        wcet = draw(
+            st.floats(min_value=0.1, max_value=period / 2, allow_nan=False, allow_infinity=False)
+        )
+        memory = draw(st.floats(min_value=0.0, max_value=8.0, allow_nan=False))
+        name = f"t{index}"
+        graph.create_task(name, period=period, wcet=round(wcet, 2), memory=round(memory, 1))
+        names.append(name)
+    # Chain/tree edges: each non-first task depends on one earlier task.
+    for index in range(1, task_count):
+        producer = names[draw(st.integers(min_value=0, max_value=index - 1))]
+        graph.connect(producer, names[index])
+    return graph
+
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+@given(graph=small_applications(), processors=st.integers(2, 3), seed=st.integers(0, 3))
+@_settings
+def test_pipeline_invariants(graph: TaskGraph, processors: int, seed: int) -> None:
+    """Scheduler feasibility, balancer monotonicity, simulator cleanliness."""
+    architecture = Architecture.homogeneous(
+        processors, comm=CommunicationModel(latency=0.5)
+    )
+    policy = list(PlacementPolicy)[seed % len(PlacementPolicy)]
+    try:
+        initial = schedule_application(graph, architecture, SchedulerOptions(policy=policy))
+    except InfeasibleError:
+        return  # an unschedulable draw is not a failure of the library
+
+    initial_report = check_schedule(initial)
+    assert initial_report.is_feasible, initial_report.summary()
+    assert len(initial) == graph.total_instances()
+
+    balancer_policy = list(CostPolicy)[seed % len(CostPolicy)]
+    result = LoadBalancer(initial, LoadBalancerOptions(policy=balancer_policy)).run()
+
+    # Never worse, never loses instances, always returns a feasible schedule.
+    assert result.makespan_after <= result.makespan_before + 1e-9
+    assert len(result.balanced_schedule) == len(initial)
+    balanced_report = check_schedule(result.balanced_schedule, check_memory=False)
+    assert balanced_report.is_feasible, balanced_report.summary()
+
+    # Total memory is conserved: balancing moves memory, it does not create it.
+    assert math.isclose(
+        sum(result.memory_after.values()), sum(result.memory_before.values()), rel_tol=1e-9
+    )
+
+    # The simulator replays the balanced schedule without violations under the
+    # paper's analytic communication assumption (no medium contention — with
+    # contention a shared bus may legitimately delay transfers, which is one of
+    # the fidelity gaps the simulator exists to expose), and frees every
+    # buffered sample.
+    simulation = simulate(
+        result.balanced_schedule,
+        SimulationOptions(hyper_periods=2, medium_contention=False),
+    )
+    assert simulation.is_clean, simulation.trace.summary()
+    assert simulation.memory.outstanding() == 0
+
+
+@given(graph=small_applications())
+@_settings
+def test_single_processor_balancing_is_identity_in_time(graph: TaskGraph) -> None:
+    """On one processor there is nothing to win: the makespan never changes."""
+    architecture = Architecture.homogeneous(1)
+    try:
+        initial = schedule_application(graph, architecture)
+    except InfeasibleError:
+        return
+    result = LoadBalancer(initial).run()
+    assert result.makespan_after == result.makespan_before
+    assert result.max_memory_after == result.max_memory_before

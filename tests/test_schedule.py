@@ -1,0 +1,132 @@
+"""Tests of repro.scheduling.schedule (Schedule and friends)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.scheduling.schedule import CommOperation, ProcessorTimeline, Schedule, ScheduledInstance
+
+
+class TestScheduledInstance:
+    def test_end_and_key(self):
+        instance = ScheduledInstance("a", 1, "P1", 3.0, 1.5, 4.0)
+        assert instance.end == 4.5
+        assert instance.key == ("a", 1)
+        assert instance.label == "a#1"
+        assert not instance.is_first
+
+    def test_moved(self):
+        instance = ScheduledInstance("a", 0, "P1", 3.0, 1.0)
+        moved = instance.moved(processor="P2", start=5.0)
+        assert (moved.processor, moved.start) == ("P2", 5.0)
+        assert (instance.processor, instance.start) == ("P1", 3.0)
+
+    def test_overlaps(self):
+        first = ScheduledInstance("a", 0, "P1", 0.0, 2.0)
+        second = ScheduledInstance("b", 0, "P1", 1.0, 2.0)
+        third = ScheduledInstance("c", 0, "P1", 2.0, 1.0)
+        assert first.overlaps(second)
+        assert not first.overlaps(third)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(SchedulingError):
+            ScheduledInstance("a", 0, "P1", -1.0, 1.0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(SchedulingError):
+            ScheduledInstance("a", -1, "P1", 0.0, 1.0)
+
+
+class TestCommOperation:
+    def test_arrival(self):
+        op = CommOperation("a", 0, "b", 0, "P1", "P2", "Med", 4.0, 1.0)
+        assert op.arrival == 5.0
+        assert op.producer_key == ("a", 0)
+        assert "a#0" in op.label
+
+    def test_rejects_same_processor(self):
+        with pytest.raises(SchedulingError):
+            CommOperation("a", 0, "b", 0, "P1", "P1", "Med", 4.0, 1.0)
+
+
+class TestProcessorTimeline:
+    def test_sorted_and_stats(self):
+        timeline = ProcessorTimeline(
+            "P1",
+            [
+                ScheduledInstance("b", 0, "P1", 5.0, 1.0, 2.0),
+                ScheduledInstance("a", 0, "P1", 0.0, 1.0, 4.0),
+            ],
+        )
+        assert [si.task for si in timeline] == ["a", "b"]
+        assert timeline.busy_time == 2.0
+        assert timeline.static_memory == 6.0
+        assert timeline.start == 0.0 and timeline.end == 6.0
+        assert timeline.idle_time() == pytest.approx(4.0)
+        assert timeline.is_free(2.0, 4.0)
+        assert not timeline.is_free(0.5, 1.5)
+
+    def test_rejects_foreign_instance(self):
+        with pytest.raises(SchedulingError):
+            ProcessorTimeline("P1", [ScheduledInstance("a", 0, "P2", 0.0, 1.0)])
+
+    def test_overlapping_pairs(self):
+        timeline = ProcessorTimeline(
+            "P1",
+            [
+                ScheduledInstance("a", 0, "P1", 0.0, 2.0),
+                ScheduledInstance("b", 0, "P1", 1.0, 2.0),
+            ],
+        )
+        assert len(timeline.overlapping_pairs()) == 1
+
+
+class TestSchedule:
+    def test_paper_schedule_metrics(self, paper_schedule):
+        assert paper_schedule.makespan == pytest.approx(15.0)
+        assert paper_schedule.memory_by_processor() == {"P1": 16.0, "P2": 4.0, "P3": 4.0}
+        assert paper_schedule.busy_time_by_processor() == {"P1": 4.0, "P2": 4.0, "P3": 2.0}
+        assert paper_schedule.first_start("b") == 5.0
+        assert len(paper_schedule) == 10
+
+    def test_instances_of(self, paper_schedule):
+        instances = paper_schedule.instances_of("a")
+        assert [si.index for si in instances] == [0, 1, 2, 3]
+
+    def test_task_assignment_consistent(self, paper_schedule):
+        assignment = paper_schedule.task_assignment()
+        assert assignment is not None
+        assert assignment["a"] == "P1"
+
+    def test_task_assignment_none_when_split(self, paper_schedule):
+        split = paper_schedule.moved({("a", 1): ("P2", 3.0)})
+        assert split.task_assignment() is None
+        assert split.instance_assignment()[("a", 1)] == "P2"
+
+    def test_duplicate_instance_rejected(self, paper_graph, paper_arch):
+        instance = ScheduledInstance("a", 0, "P1", 0.0, 1.0)
+        with pytest.raises(SchedulingError):
+            Schedule(paper_graph, paper_arch, [instance, instance])
+
+    def test_unknown_processor_rejected(self, paper_graph, paper_arch):
+        with pytest.raises(SchedulingError):
+            Schedule(paper_graph, paper_arch, [ScheduledInstance("a", 0, "P9", 0.0, 1.0)])
+
+    def test_unknown_task_rejected(self, paper_graph, paper_arch):
+        with pytest.raises(SchedulingError):
+            Schedule(paper_graph, paper_arch, [ScheduledInstance("zz", 0, "P1", 0.0, 1.0)])
+
+    def test_missing_instance_lookup(self, paper_schedule):
+        with pytest.raises(SchedulingError):
+            paper_schedule.instance("a", 9)
+
+    def test_communications_present(self, paper_schedule):
+        assert paper_schedule.communications_count() > 0
+        assert paper_schedule.communication_volume() > 0
+
+    def test_idle_fraction_between_zero_and_one(self, paper_schedule):
+        fraction = paper_schedule.idle_fraction()
+        assert 0.0 <= fraction <= 1.0
+
+    def test_describe_mentions_processors(self, paper_schedule):
+        text = paper_schedule.describe()
+        assert "P1" in text and "a#0" in text

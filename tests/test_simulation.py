@@ -1,0 +1,105 @@
+"""Tests of repro.simulation (discrete-event replay, buffers, traces)."""
+
+import pytest
+
+from repro.core import balance_schedule
+from repro.errors import ConfigurationError
+from repro.simulation import (
+    MediumResource,
+    ProcessorResource,
+    SimulationOptions,
+    ViolationKind,
+    simulate,
+)
+from repro.workloads.paper_example import paper_architecture, paper_initial_schedule
+
+
+class TestResources:
+    def test_processor_resource_serialises(self):
+        resource = ProcessorResource("P1")
+        first = resource.execute(0.0, 2.0, "a")
+        second = resource.execute(1.0, 2.0, "b")
+        assert first == (0.0, 2.0)
+        assert second == (2.0, 4.0)
+        assert resource.busy_time == 4.0
+        assert resource.utilization(8.0) == pytest.approx(0.5)
+
+    def test_medium_contention(self):
+        medium = MediumResource("bus", contention=True)
+        assert medium.transfer(0.0, 1.0, "m1") == (0.0, 1.0)
+        assert medium.transfer(0.5, 1.0, "m2") == (1.0, 2.0)
+
+    def test_medium_without_contention(self):
+        medium = MediumResource("bus", contention=False)
+        assert medium.transfer(0.0, 1.0, "m1") == (0.0, 1.0)
+        assert medium.transfer(0.5, 1.0, "m2") == (0.5, 1.5)
+
+
+class TestPaperExampleSimulation:
+    def test_clean_replay(self, paper_schedule):
+        result = simulate(paper_schedule, SimulationOptions(hyper_periods=2))
+        assert result.is_clean
+        assert result.makespan == pytest.approx(15.0 + 12.0)
+        assert len(result.trace.records) == 20
+
+    def test_buffer_peaks_match_multirate_semantics(self, paper_schedule):
+        result = simulate(paper_schedule)
+        peaks = result.memory.peak_buffers()
+        # P2 buffers the 2 samples of a needed by b; P3 buffers 2 samples of b
+        # (for d) plus 2 samples of c (for e).
+        assert peaks["P2"] == pytest.approx(2.0)
+        assert peaks["P3"] == pytest.approx(4.0)
+        assert peaks["P1"] == pytest.approx(0.0)
+        assert result.memory.outstanding() == 0
+
+    def test_peak_memory_includes_static(self, paper_schedule):
+        result = simulate(paper_schedule)
+        assert result.peak_memory()["P1"] == pytest.approx(16.0)
+        assert result.peak_memory()["P3"] == pytest.approx(8.0)
+
+    def test_balanced_schedule_also_clean(self, paper_schedule):
+        balanced = balance_schedule(paper_schedule).balanced_schedule
+        result = simulate(balanced, SimulationOptions(hyper_periods=2))
+        assert result.is_clean
+
+    def test_utilisation_and_summary(self, paper_schedule):
+        result = simulate(paper_schedule)
+        assert 0.0 < result.processor_utilization()["P1"] <= 1.0
+        assert "peak memory" in result.summary()
+
+    def test_gantt_rendering(self, paper_schedule):
+        result = simulate(paper_schedule)
+        chart = result.trace.gantt(width=40)
+        assert "P1" in chart and "#" in chart
+
+    def test_events_recorded_and_ordered(self, paper_schedule):
+        result = simulate(paper_schedule)
+        events = result.trace.sorted_events()
+        assert events, "no events recorded"
+        times = [event.time for event in events]
+        assert times == sorted(times)
+
+    def test_events_can_be_disabled(self, paper_schedule):
+        result = simulate(paper_schedule, SimulationOptions(record_events=False))
+        assert result.trace.events == []
+        assert result.trace.records  # execution records are always kept
+
+
+class TestViolationDetection:
+    def test_infeasible_schedule_reports_violations(self, paper_schedule):
+        broken = paper_schedule.moved({("d", 0): ("P3", 2.0)})
+        result = simulate(broken)
+        assert not result.is_clean
+        kinds = {violation.kind for violation in result.violations}
+        assert ViolationKind.DATA_NOT_READY in kinds
+
+    def test_memory_overflow_detected(self, paper_graph):
+        arch = paper_architecture(memory_capacity=10.0)
+        schedule = paper_initial_schedule(paper_graph, arch)
+        result = simulate(schedule)
+        kinds = {violation.kind for violation in result.violations}
+        assert ViolationKind.MEMORY_OVERFLOW in kinds
+
+    def test_invalid_options_rejected(self, paper_schedule):
+        with pytest.raises(ConfigurationError):
+            simulate(paper_schedule, SimulationOptions(hyper_periods=0))

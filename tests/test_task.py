@@ -1,0 +1,84 @@
+"""Tests of repro.model.task (Task / TaskInstance)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.task import Task, TaskInstance, instance_label
+
+
+class TestTask:
+    def test_basic_construction(self):
+        task = Task("a", period=3, wcet=1.0, memory=4.0)
+        assert task.period == 3
+        assert task.utilization == pytest.approx(1 / 3)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelError):
+            Task("", period=3, wcet=1.0)
+
+    def test_rejects_negative_wcet(self):
+        with pytest.raises(ModelError):
+            Task("a", period=3, wcet=-1.0)
+
+    def test_rejects_wcet_larger_than_period(self):
+        with pytest.raises(ModelError):
+            Task("a", period=3, wcet=4.0)
+
+    def test_rejects_negative_memory(self):
+        with pytest.raises(ModelError):
+            Task("a", period=3, wcet=1.0, memory=-1.0)
+
+    def test_rejects_negative_data_size(self):
+        with pytest.raises(ModelError):
+            Task("a", period=3, wcet=1.0, data_size=-1.0)
+
+    def test_rejects_non_integer_period(self):
+        with pytest.raises(ModelError):
+            Task("a", period=2.5, wcet=1.0)
+
+    def test_instances_in_hyper_period(self):
+        task = Task("a", period=3, wcet=1.0)
+        assert task.instances(12) == 4
+
+    def test_instances_rejects_non_multiple(self):
+        task = Task("a", period=5, wcet=1.0)
+        with pytest.raises(ModelError):
+            task.instances(12)
+
+    def test_with_updates(self):
+        task = Task("a", period=3, wcet=1.0, memory=4.0)
+        changed = task.with_updates(memory=8.0)
+        assert changed.memory == 8.0 and changed.name == "a"
+        assert task.memory == 4.0  # original untouched
+
+    def test_metadata_not_part_of_equality(self):
+        assert Task("a", 3, 1.0, metadata={"x": 1}) == Task("a", 3, 1.0, metadata={"y": 2})
+
+    def test_wcet_equal_to_period_is_allowed(self):
+        Task("a", period=3, wcet=3.0)
+
+
+class TestTaskInstance:
+    def test_labels(self):
+        task = Task("a", period=3, wcet=1.0)
+        instance = TaskInstance(task, 2)
+        assert instance.label == "a#2"
+        assert instance_label("a", 2) == "a#2"
+
+    def test_first_instance_flag(self):
+        task = Task("a", period=3, wcet=1.0)
+        assert TaskInstance(task, 0).is_first
+        assert not TaskInstance(task, 1).is_first
+
+    def test_release_offset(self):
+        task = Task("a", period=3, wcet=1.0)
+        assert TaskInstance(task, 2).release_offset == 6
+
+    def test_key(self):
+        task = Task("a", period=3, wcet=1.0)
+        assert TaskInstance(task, 1).key() == ("a", 1)
+
+    def test_rejects_negative_index(self):
+        task = Task("a", period=3, wcet=1.0)
+        with pytest.raises(ModelError):
+            TaskInstance(task, -1)

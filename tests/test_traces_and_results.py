@@ -1,0 +1,133 @@
+"""Tests of the result/trace/memory-tracker detail objects.
+
+Covers the pieces not exercised end-to-end elsewhere: move-decision
+introspection, simulation trace rendering, memory-timeline queries and the
+error hierarchy.
+"""
+
+import pytest
+
+import repro
+from repro.core import CostPolicy, LoadBalancer, LoadBalancerOptions
+from repro.errors import (
+    AnalysisError,
+    ArchitectureError,
+    InfeasibleError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+    ValidationError,
+    WorkloadError,
+)
+from repro.simulation import SimulationOptions, simulate
+from repro.simulation.memory_tracker import MemoryTimeline, MemoryTracker
+from repro.simulation.trace import ExecutionRecord, SimulationTrace
+
+
+class TestErrorsAndPackage:
+    def test_every_error_derives_from_repro_error(self):
+        for exc_type in (
+            ModelError,
+            ArchitectureError,
+            SchedulingError,
+            InfeasibleError,
+            ValidationError,
+            WorkloadError,
+            AnalysisError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_infeasible_error_carries_detail(self):
+        error = InfeasibleError("nope", detail="task-x")
+        assert error.detail == "task-x"
+
+    def test_validation_error_carries_violations(self):
+        error = ValidationError("bad", violations=["v1", "v2"])
+        assert error.violations == ["v1", "v2"]
+
+    def test_package_exports_version_and_api(self):
+        assert isinstance(repro.__version__, str)
+        assert hasattr(repro, "balance_schedule")
+        assert hasattr(repro, "TaskGraph")
+
+
+class TestMoveDecisionIntrospection:
+    @pytest.fixture()
+    def result(self, paper_schedule):
+        return LoadBalancer(
+            paper_schedule, LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC)
+        ).run()
+
+    def test_candidate_reports_cover_all_processors(self, result):
+        for decision in result.decisions:
+            assert {candidate.target for candidate in decision.candidates} == {"P1", "P2", "P3"}
+
+    def test_moved_away_flag(self, result):
+        by_label = {d.block.label: d for d in result.decisions}
+        assert not by_label["[a#0]"].moved_away
+        assert by_label["[a#1]"].moved_away
+
+    def test_describe_contains_scores_and_flags(self, result):
+        text = result.decisions[2].describe()
+        assert "G=" in text and "lambda=" in text and "chosen" in text
+
+    def test_result_moves_count(self, result):
+        assert result.moves == sum(1 for d in result.decisions if d.moved_away)
+
+    def test_summary_lists_warnings_when_present(self, result):
+        result.warnings.append("synthetic warning")
+        assert "synthetic warning" in result.summary()
+
+
+class TestSimulationTraceDetails:
+    def test_execution_record_lateness(self):
+        record = ExecutionRecord("a", 0, 1, "P1", planned_start=4.0, actual_start=5.5, end=6.5)
+        assert record.lateness == pytest.approx(1.5)
+        assert "rep 1" in record.label
+
+    def test_empty_trace_rendering(self):
+        trace = SimulationTrace()
+        assert trace.gantt() == "(empty trace)"
+        assert trace.makespan == 0.0
+        assert "no violations" in trace.summary()
+
+    def test_records_for_processor(self, paper_schedule):
+        result = simulate(paper_schedule, SimulationOptions(hyper_periods=1))
+        records = result.trace.records_for("P1")
+        assert [record.task for record in records] == ["a", "a", "a", "a"]
+        assert records == sorted(records, key=lambda r: r.actual_start)
+
+    def test_medium_utilization_reported(self, paper_schedule):
+        result = simulate(paper_schedule)
+        assert 0.0 < result.medium_utilization()["Med"] <= 1.0
+
+
+class TestMemoryTracker:
+    def test_timeline_peak_and_occupancy(self):
+        timeline = MemoryTimeline("P1", static=3.0)
+        timeline.change(1.0, +2.0)
+        timeline.change(2.0, +1.0)
+        timeline.change(4.0, -2.0)
+        assert timeline.peak == pytest.approx(3.0)
+        assert timeline.peak_total == pytest.approx(6.0)
+        assert timeline.occupancy_at(0.5) == 0.0
+        assert timeline.occupancy_at(2.5) == pytest.approx(3.0)
+        assert timeline.occupancy_at(5.0) == pytest.approx(1.0)
+
+    def test_tracker_local_buffers_opt_in(self):
+        local_off = MemoryTracker(("P1",), include_local=False)
+        local_off.data_arrived("P1", 1.0, ("c", 0), 0, 2.0, local=True)
+        assert local_off.peak_buffer("P1") == 0.0
+
+        local_on = MemoryTracker(("P1",), include_local=True)
+        local_on.data_arrived("P1", 1.0, ("c", 0), 0, 2.0, local=True)
+        assert local_on.peak_buffer("P1") == pytest.approx(2.0)
+        local_on.consumer_finished(2.0, ("c", 0), 0)
+        assert local_on.outstanding() == 0
+
+    def test_tracker_peaks_per_processor(self):
+        tracker = MemoryTracker(("P1", "P2"), {"P1": 5.0})
+        tracker.data_arrived("P2", 1.0, ("c", 0), 0, 3.0)
+        tracker.data_arrived("P2", 2.0, ("c", 0), 0, 3.0)
+        assert tracker.peak_buffers() == {"P1": 0.0, "P2": 6.0}
+        assert tracker.peak_totals()["P1"] == pytest.approx(5.0)

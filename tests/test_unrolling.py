@@ -1,0 +1,61 @@
+"""Tests of repro.scheduling.unrolling (instance expansion)."""
+
+from repro.scheduling.unrolling import (
+    instance_count,
+    instance_edges,
+    predecessors_of_instance,
+    successors_of_instance,
+    unrolled_instances,
+)
+
+
+class TestUnrolledInstances:
+    def test_counts(self, paper_graph):
+        assert instance_count(paper_graph, "a") == 4
+        assert instance_count(paper_graph, "d") == 1
+
+    def test_all_instances(self, paper_graph):
+        keys = unrolled_instances(paper_graph)
+        assert len(keys) == 10
+        assert ("a", 3) in keys and ("e", 0) in keys
+
+    def test_deterministic_order(self, paper_graph):
+        assert unrolled_instances(paper_graph) == unrolled_instances(paper_graph)
+
+
+class TestInstanceEdges:
+    def test_multirate_expansion(self, paper_graph):
+        edges = instance_edges(paper_graph)
+        # a->b: b has 2 instances needing 2 samples each = 4 edges
+        ab = [e for e in edges if e.producer[0] == "a" and e.consumer[0] == "b"]
+        assert len(ab) == 4
+        assert {e.producer for e in ab} == {("a", 0), ("a", 1), ("a", 2), ("a", 3)}
+
+    def test_same_period_edges(self, paper_graph):
+        bc = [e for e in instance_edges(paper_graph) if e.producer[0] == "b" and e.consumer[0] == "c"]
+        assert len(bc) == 2
+        assert all(e.producer[1] == e.consumer[1] for e in bc)
+
+    def test_predecessors_of_instance(self, paper_graph):
+        edges = predecessors_of_instance(paper_graph, "b", 1)
+        assert {e.producer for e in edges} == {("a", 2), ("a", 3)}
+
+    def test_predecessors_of_source_is_empty(self, paper_graph):
+        assert predecessors_of_instance(paper_graph, "a", 0) == ()
+
+    def test_successors_of_instance(self, paper_graph):
+        consumers = {e.consumer for e in successors_of_instance(paper_graph, "a", 0)}
+        assert consumers == {("b", 0)}
+
+    def test_edge_labels(self, paper_graph):
+        edge = predecessors_of_instance(paper_graph, "b", 0)[0]
+        assert "->" in edge.label
+
+    def test_edges_and_predecessors_agree(self, paper_graph):
+        edges = instance_edges(paper_graph)
+        by_consumer = {}
+        for edge in edges:
+            by_consumer.setdefault(edge.consumer, set()).add(edge.producer)
+        for (task, index), producers in by_consumer.items():
+            direct = {e.producer for e in predecessors_of_instance(paper_graph, task, index)}
+            assert direct == producers

@@ -1,0 +1,184 @@
+"""Tests of repro.workloads (generators, spec, utilisation, periods)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.model.periods import is_harmonic_pair
+from repro.workloads import (
+    GraphShape,
+    WorkloadSpec,
+    fork_join,
+    generate_many,
+    generate_workload,
+    harmonic_ladder,
+    layered_dag,
+    pipeline,
+    rate_monotonic_layers,
+    scheduled_workload,
+    sensor_fusion,
+    uunifast,
+    uunifast_discard,
+    wcet_from_utilization,
+)
+from repro.workloads.periods import assign_periods
+
+
+class TestUtilization:
+    @given(st.integers(1, 20), st.floats(0.1, 4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_uunifast_sums_to_total(self, count, total):
+        rng = np.random.default_rng(0)
+        values = uunifast(count, total, rng)
+        assert len(values) == count
+        assert sum(values) == pytest.approx(total)
+        assert all(value >= 0 for value in values)
+
+    def test_uunifast_discard_caps_each_task(self):
+        rng = np.random.default_rng(1)
+        values = uunifast_discard(10, 3.0, rng, max_utilization=0.5)
+        assert max(values) <= 0.5
+
+    def test_uunifast_discard_impossible(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(WorkloadError):
+            uunifast_discard(2, 3.0, rng, max_utilization=0.5)
+
+    def test_uunifast_rejects_bad_args(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(WorkloadError):
+            uunifast(0, 1.0, rng)
+
+    def test_wcet_from_utilization_clamped(self):
+        assert wcet_from_utilization(2.0, 10) == 10.0
+        assert wcet_from_utilization(0.0, 10) == pytest.approx(0.05)
+        assert wcet_from_utilization(0.333333, 10, decimals=2) == pytest.approx(3.33)
+
+
+class TestPeriods:
+    def test_harmonic_ladder(self):
+        assert harmonic_ladder(5, 3) == [5, 10, 20]
+        assert harmonic_ladder(3, 2, ratio=4) == [3, 12]
+
+    def test_harmonic_ladder_rejects_bad_args(self):
+        with pytest.raises(WorkloadError):
+            harmonic_ladder(0, 3)
+        with pytest.raises(WorkloadError):
+            harmonic_ladder(5, 3, ratio=1)
+
+    def test_rate_monotonic_layers(self):
+        assert rate_monotonic_layers(3, 10) == [10, 20, 40]
+
+    def test_assign_periods_draws_from_the_ladder(self):
+        rng = np.random.default_rng(0)
+        periods = assign_periods(50, [5, 10, 20], rng)
+        assert set(periods) <= {5, 10, 20}
+        assert len(periods) == 50
+
+    def test_assign_periods_rejects_bad_weights(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(WorkloadError):
+            assign_periods(5, [5, 10], rng, weights=[1.0])
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        WorkloadSpec().validate()
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(task_count=0).validate()
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(utilization=0.0).validate()
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(memory_range=(5.0, 1.0)).validate()
+
+    def test_architecture_from_spec(self):
+        spec = WorkloadSpec(processor_count=3, memory_capacity=64.0, comm_latency=0.5)
+        arch = spec.architecture()
+        assert len(arch) == 3
+        assert arch.memory_capacity == 64.0
+        assert arch.comm.latency == 0.5
+
+    def test_with_updates_and_label(self):
+        spec = WorkloadSpec(seed=1).with_updates(seed=9)
+        assert spec.seed == 9
+
+
+@pytest.mark.parametrize("shape", list(GraphShape))
+class TestGenerators:
+    def test_generated_graph_is_valid(self, shape):
+        spec = WorkloadSpec(task_count=24, processor_count=3, utilization=0.3, shape=shape, seed=5)
+        workload = generate_workload(spec)
+        graph = workload.graph
+        graph.validate()
+        assert len(graph) == 24
+        # The per-task minimum WCET and rounding can push the total slightly
+        # above the requested target, but never anywhere near the platform size.
+        assert graph.total_utilization <= 0.3 * 3 * 1.2 + 0.2
+        for dep in graph.dependences:
+            assert is_harmonic_pair(graph.task(dep.producer).period, graph.task(dep.consumer).period)
+
+    def test_generation_is_deterministic(self, shape):
+        spec = WorkloadSpec(task_count=20, processor_count=2, shape=shape, seed=3)
+        first = generate_workload(spec)
+        second = generate_workload(spec)
+        assert first.graph.task_names == second.graph.task_names
+        assert [d.key for d in first.graph.dependences] == [d.key for d in second.graph.dependences]
+
+    def test_describe(self, shape):
+        spec = WorkloadSpec(task_count=20, processor_count=2, shape=shape, seed=3)
+        workload = generate_workload(spec)
+        assert "tasks" in workload.describe()
+        assert workload.label
+
+
+class TestSpecificShapes:
+    def test_layered_every_non_source_has_a_producer(self):
+        workload = layered_dag(WorkloadSpec(task_count=30, shape=GraphShape.LAYERED, seed=2))
+        graph = workload.graph
+        sources = set(graph.sources())
+        for name in graph.task_names:
+            if name not in sources:
+                assert graph.predecessors(name)
+
+    def test_pipeline_is_a_set_of_chains(self):
+        workload = pipeline(WorkloadSpec(task_count=20, processor_count=4, seed=2), chains=4)
+        graph = workload.graph
+        assert all(len(graph.predecessors(n)) <= 1 for n in graph.task_names)
+
+    def test_fork_join_structure(self):
+        workload = fork_join(WorkloadSpec(task_count=16, processor_count=4, seed=2))
+        graph = workload.graph
+        assert "source" in graph and "join" in graph and "sink" in graph
+        assert graph.predecessors("sink") == ("join",)
+
+    def test_fork_join_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            fork_join(WorkloadSpec(task_count=4, processor_count=4, seed=2))
+
+    def test_sensor_fusion_structure(self):
+        workload = sensor_fusion(WorkloadSpec(task_count=20, processor_count=4, seed=2), sensors=4)
+        graph = workload.graph
+        assert len(graph.predecessors("fusion")) == 4
+        fusion_period = graph.task("fusion").period
+        assert all(graph.task(f).period < fusion_period for f in graph.predecessors("fusion"))
+
+    def test_sensor_fusion_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            sensor_fusion(WorkloadSpec(task_count=5, seed=2), sensors=4)
+
+
+class TestHighLevelGeneration:
+    def test_generate_many_uses_seeds(self):
+        spec = WorkloadSpec(task_count=16, processor_count=2, shape=GraphShape.PIPELINE)
+        workloads = generate_many(spec, [1, 2, 3])
+        assert len(workloads) == 3
+        assert {w.spec.seed for w in workloads} == {1, 2, 3}
+
+    def test_scheduled_workload_returns_feasible_schedule(self):
+        from repro.scheduling import check_schedule
+
+        spec = WorkloadSpec(task_count=18, processor_count=3, shape=GraphShape.PIPELINE, seed=4)
+        _workload, schedule = scheduled_workload(spec)
+        assert check_schedule(schedule).is_feasible
