@@ -26,3 +26,21 @@ def test_e1_paper_example(benchmark, capsys):
         print()
         print(result.render())
     assert result.passed, "the worked example was not reproduced exactly"
+
+
+def run(preset: str = "quick"):
+    """Regenerate the E1 artefact; the preset is accepted for CLI uniformity but ignored (the worked example has a single fixed configuration)."""
+    return run_e1_paper_example()
+
+
+def main(argv=None) -> int:
+    """Entry point: ``python benchmarks/bench_e1_paper_example.py [--preset tiny|quick|full]``."""
+    from repro.experiments.configs import preset_cli
+
+    return preset_cli(run, "regenerate the paper's worked example (E1; preset is ignored)", argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -26,3 +26,21 @@ def test_e2_multirate_buffering(benchmark, capsys):
         print()
         print(result.render())
     assert result.passed, "measured buffering does not match the Figure-1 semantics"
+
+
+def run(preset: str = "quick"):
+    """Regenerate the E2 artefact at the given preset ("tiny", "quick" or "full")."""
+    return run_e2_multirate_buffering(MultirateConfig.from_preset(preset))
+
+
+def main(argv=None) -> int:
+    """Entry point: ``python benchmarks/bench_e2_multirate_buffering.py [--preset tiny|quick|full]``."""
+    from repro.experiments.configs import preset_cli
+
+    return preset_cli(run, "regenerate the Figure-1 buffering study (E2)", argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

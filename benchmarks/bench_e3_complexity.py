@@ -25,3 +25,21 @@ def test_e3_complexity(benchmark, capsys):
         print()
         print(result.render())
     assert result.passed, "evaluation count does not match M·N_blocks"
+
+
+def run(preset: str = "quick"):
+    """Regenerate the E3 artefact at the given preset ("tiny", "quick" or "full")."""
+    return run_e3_complexity(ComplexityConfig.from_preset(preset))
+
+
+def main(argv=None) -> int:
+    """Entry point: ``python benchmarks/bench_e3_complexity.py [--preset tiny|quick|full]``."""
+    from repro.experiments.configs import preset_cli
+
+    return preset_cli(run, "regenerate the complexity study (E3)", argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

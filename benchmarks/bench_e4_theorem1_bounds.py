@@ -29,3 +29,21 @@ def test_e4_theorem1_bounds(benchmark, capsys):
         print()
         print(result.render())
     assert result.passed, "a balancing run increased the total execution time"
+
+
+def run(preset: str = "quick"):
+    """Regenerate the E4 artefact at the given preset ("tiny", "quick" or "full")."""
+    return run_e4_theorem1(Theorem1Config.from_preset(preset))
+
+
+def main(argv=None) -> int:
+    """Entry point: ``python benchmarks/bench_e4_theorem1_bounds.py [--preset tiny|quick|full]``."""
+    from repro.experiments.configs import preset_cli
+
+    return preset_cli(run, "validate Theorem 1 bounds (E4)", argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

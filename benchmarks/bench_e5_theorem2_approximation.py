@@ -27,3 +27,21 @@ def test_e5_theorem2_approximation(benchmark, capsys):
         print()
         print(result.render())
     assert result.passed, "a measured ratio exceeded the Theorem-2 bound"
+
+
+def run(preset: str = "quick"):
+    """Regenerate the E5 artefact at the given preset ("tiny", "quick" or "full")."""
+    return run_e5_theorem2(Theorem2Config.from_preset(preset))
+
+
+def main(argv=None) -> int:
+    """Entry point: ``python benchmarks/bench_e5_theorem2_approximation.py [--preset tiny|quick|full]``."""
+    from repro.experiments.configs import preset_cli
+
+    return preset_cli(run, "validate the Theorem-2 approximation (E5)", argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

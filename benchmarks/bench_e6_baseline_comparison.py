@@ -31,3 +31,21 @@ def test_e6_baseline_comparison(benchmark, capsys):
         print()
         print(result.render())
     assert result.passed is not False, "the proposed heuristic lost feasibility too often"
+
+
+def run(preset: str = "quick"):
+    """Regenerate the E6 artefact at the given preset ("tiny", "quick" or "full")."""
+    return run_e6_baseline_comparison(ComparisonConfig.from_preset(preset))
+
+
+def main(argv=None) -> int:
+    """Entry point: ``python benchmarks/bench_e6_baseline_comparison.py [--preset tiny|quick|full]``."""
+    from repro.experiments.configs import preset_cli
+
+    return preset_cli(run, "compare against the baselines (E6)", argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

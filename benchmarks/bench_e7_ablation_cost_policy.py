@@ -33,3 +33,21 @@ def test_e7_ablation_cost_policy(benchmark, capsys):
         print()
         print(result.render())
     assert result.data["metrics"], "the ablation produced no data"
+
+
+def run(preset: str = "quick"):
+    """Regenerate the E7 artefact at the given preset ("tiny", "quick" or "full")."""
+    return run_e7_ablation(AblationConfig.from_preset(preset))
+
+
+def main(argv=None) -> int:
+    """Entry point: ``python benchmarks/bench_e7_ablation_cost_policy.py [--preset tiny|quick|full]``."""
+    from repro.experiments.configs import preset_cli
+
+    return preset_cli(run, "ablate cost policies and rules (E7)", argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -31,3 +31,21 @@ def test_e8_idle_fraction(benchmark, capsys):
         print()
         print(result.render())
     assert result.data, "no idle-fraction data was produced"
+
+
+def run(preset: str = "quick"):
+    """Regenerate the E8 artefact at the given preset ("tiny", "quick" or "full")."""
+    return run_e8_idle_fraction(IdleFractionConfig.from_preset(preset))
+
+
+def main(argv=None) -> int:
+    """Entry point: ``python benchmarks/bench_e8_idle_fraction.py [--preset tiny|quick|full]``."""
+    from repro.experiments.configs import preset_cli
+
+    return preset_cli(run, "measure idle fractions (E8)", argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -13,6 +13,10 @@ Three subcommands cover the common workflows:
 ``repro-lb random --tasks N --processors M [--shape ...] [--seed ...]``
     Generate a synthetic workload, run the initial scheduler and the load
     balancer, and print the comparison (optionally simulating both schedules).
+
+``repro-lb campaign E3 E6 [--preset ...] [--jobs N] [--output DIR] [--resume]``
+    Fan one or more experiment sweeps out over a process pool, writing
+    per-run JSON manifests and a campaign summary artifact (resumable).
 """
 
 from __future__ import annotations
@@ -23,8 +27,9 @@ from collections.abc import Sequence
 
 from repro._version import __version__
 from repro.core.cost import CostPolicy
+from repro.errors import ConfigurationError
 from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import ALL_EXPERIMENTS, PRESET_NAMES, run_campaign
 from repro.metrics.report import ScheduleReport, compare_schedules
 from repro.scheduling.heuristic import PlacementPolicy, SchedulerOptions
 from repro.simulation.engine import SimulationOptions, simulate
@@ -62,6 +67,43 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         choices=sorted(ALL_EXPERIMENTS) + ["all"],
         help="experiment identifiers (or 'all')",
+    )
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run a parallel, resumable experiment campaign"
+    )
+    campaign.add_argument(
+        "names",
+        nargs="+",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="experiment identifiers (or 'all')",
+    )
+    campaign.add_argument(
+        "--preset",
+        choices=PRESET_NAMES,
+        default="quick",
+        help="config preset of every run (default: quick)",
+    )
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool width (default: one worker per CPU; 1 runs inline)",
+    )
+    campaign.add_argument(
+        "--output",
+        default="campaign-results",
+        help="directory receiving run manifests and campaign.json",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip runs whose manifest already records a successful outcome",
+    )
+    campaign.add_argument(
+        "--no-split-seeds",
+        action="store_true",
+        help="keep each experiment's seed sweep in a single run",
     )
 
     random_cmd = subparsers.add_parser("random", help="balance a synthetic workload")
@@ -119,6 +161,29 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _run_campaign(args: argparse.Namespace) -> int:
+    names = sorted(ALL_EXPERIMENTS) if "all" in args.names else args.names
+    try:
+        summary = run_campaign(
+            names,
+            args.preset,
+            output_dir=args.output,
+            jobs=args.jobs,
+            resume=args.resume,
+            split_seeds=not args.no_split_seeds,
+        )
+    except ConfigurationError as error:
+        print(f"repro-lb campaign: error: {error}", file=sys.stderr)
+        return 2
+    print(summary.render())
+    print()
+    print(
+        f"campaign: {len(summary.records)} runs in {summary.seconds:.1f}s, "
+        f"{len(summary.failures)} failure(s); summary written to {summary.summary_path}"
+    )
+    return 0 if summary.ok else 1
+
+
 def _run_random(args: argparse.Namespace) -> int:
     spec = WorkloadSpec(
         task_count=args.tasks,
@@ -162,6 +227,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_example(args)
     if args.command == "experiment":
         return _run_experiments(args)
+    if args.command == "campaign":
+        return _run_campaign(args)
     if args.command == "random":
         return _run_random(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -4,6 +4,7 @@
 * :mod:`~repro.core.cost` — gain (eq. (3)) and cost-function policies (eq. (5));
 * :mod:`~repro.core.conditions` — eligibility pre-filter and Block/LCM
   condition (eq. (4));
+* :mod:`~repro.core.occupancy` — incremental steady-state conflict engine;
 * :mod:`~repro.core.load_balancer` — Algorithm 3.2;
 * :mod:`~repro.core.result` — decision traces and result objects.
 """
@@ -17,6 +18,7 @@ from repro.core.conditions import (
 )
 from repro.core.cost import CostPolicy, MoveEvaluation, evaluate_move, policy_score
 from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions, balance_schedule
+from repro.core.occupancy import ConflictEngine, OccupancyTimeline
 from repro.core.result import CandidateReport, LoadBalanceResult, MoveDecision
 
 __all__ = [
@@ -25,7 +27,9 @@ __all__ = [
     "BlockBuildOptions",
     "BlockCategory",
     "CandidateReport",
+    "ConflictEngine",
     "CostPolicy",
+    "OccupancyTimeline",
     "LoadBalanceResult",
     "LoadBalancer",
     "LoadBalancerOptions",

@@ -151,6 +151,32 @@ class Block:
         base = self.start
         return {m.key: m.start - base for m in self.members}
 
+    def circular_pattern(
+        self,
+        placement_start: float,
+        hyper_period: int,
+        positions: "dict[tuple[str, int], tuple[str, float]] | None" = None,
+    ) -> list[tuple[float, float]]:
+        """Steady-state busy pattern if the block were placed at ``placement_start``.
+
+        Returns circular ``(offset, wcet)`` pairs modulo ``hyper_period``, one
+        per member, preserving the members' current relative offsets.
+        ``positions`` supplies the members' *current* ``(processor, start)``
+        placements (the balancer's running state, where earlier category-1
+        gains may have shifted them); when omitted the scheduled positions the
+        block was built from are used.
+        """
+        members = sorted(self.members, key=lambda m: m.start)
+        if positions is None:
+            current = {m.key: m.start for m in members}
+        else:
+            current = {m.key: positions[m.key][1] for m in members}
+        base = min(current.values())
+        return [
+            (float((placement_start + current[m.key] - base) % hyper_period), m.wcet)
+            for m in members
+        ]
+
     def __len__(self) -> int:
         return len(self.members)
 

@@ -24,6 +24,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.core.blocks import Block
+from repro.core.occupancy import ConflictEngine
 from repro.scheduling.periodic_intervals import circular_overlap
 from repro.scheduling.unrolling import InstanceEdge
 
@@ -91,8 +92,18 @@ class BalancingState:
     #: dependences for every (block, processor) evaluation.
     in_edges: dict[tuple[str, int], tuple[InstanceEdge, ...]] = field(default_factory=dict)
     #: Steady-state busy patterns (circular ``(offset, length)`` pairs modulo
-    #: the hyper-period) of the blocks already moved to each processor.
+    #: the hyper-period) of the blocks already moved to each processor.  Kept
+    #: as the from-scratch differential oracle of the conflict engine (see
+    #: ``LoadBalancerOptions.cross_check``).
     moved_patterns: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    #: Incremental occupancy index answering steady-state queries in
+    #: ``O(log n)``; attached by :meth:`attach_engine` before balancing.
+    engine: ConflictEngine | None = None
+
+    def attach_engine(self, processors: Iterable[str]) -> ConflictEngine:
+        """Create (and own) the incremental conflict engine for this run."""
+        self.engine = ConflictEngine(self.hyper_period, processors)
+        return self.engine
 
     def processor(self, name: str) -> ProcessorState:
         """State of one processor (created on first access)."""
@@ -150,8 +161,11 @@ def steady_state_compatible(
     block's busy pattern, taken modulo the hyper-period, does not intersect
     the patterns already reserved on the target processor (blocks moved there
     plus, optionally, the original slots of blocks not yet processed).  The
-    load balancer uses this as an additional acceptance test so that balanced
-    schedules never lose the strict-periodicity repetition property.
+    load balancer uses this acceptance test so that balanced schedules never
+    lose the strict-periodicity repetition property; its hot path answers it
+    through the incremental :class:`~repro.core.occupancy.ConflictEngine`,
+    and this brute-force pairwise form is kept as the differential oracle
+    (``LoadBalancerOptions.cross_check``).
     """
     reserved = list(reserved_patterns)
     for offset, length in candidate_pattern:

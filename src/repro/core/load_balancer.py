@@ -60,11 +60,11 @@ from repro.core.conditions import (
 )
 from repro.core.cost import CostPolicy, MoveEvaluation, evaluate_move, policy_score
 from repro.core.result import CandidateReport, LoadBalanceResult, MoveDecision
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.scheduling.communications import synthesize_communications
 from repro.scheduling.feasibility import check_schedule
 from repro.scheduling.schedule import Schedule, ScheduledInstance
-from repro.scheduling.unrolling import instance_edges, predecessors_of_instance
+from repro.scheduling.unrolling import instance_edges
 
 __all__ = ["LoadBalancerOptions", "LoadBalancer", "balance_schedule"]
 
@@ -106,6 +106,31 @@ class LoadBalancerOptions:
     #: schedule unchanged.  Guarantees the result is never worse than doing
     #: nothing; the chosen rung is reported in ``LoadBalanceResult.safety_level``.
     retry_until_feasible: bool = True
+    #: Differential-oracle mode: answer every steady-state query with the
+    #: incremental conflict engine *and* the from-scratch reserved-pattern
+    #: computation, raising :class:`~repro.errors.SchedulingError` on any
+    #: divergence.  Slow; meant for the property-test layer.
+    cross_check: bool = False
+
+    def __post_init__(self) -> None:
+        """Reject contradictory flag combinations outright.
+
+        These combinations used to be silently ineffective (the dependent
+        switch simply never fired), which hid configuration mistakes in
+        experiment sweeps; they now raise :class:`ConfigurationError`.
+        """
+        if self.protect_unmoved and not self.enforce_steady_state:
+            raise ConfigurationError(
+                "protect_unmoved requires enforce_steady_state: original-slot "
+                "protection is applied through the steady-state acceptance test, "
+                "so disabling the test silently disables the protection"
+            )
+        if self.retry_until_feasible and not self.verify_result:
+            raise ConfigurationError(
+                "retry_until_feasible requires verify_result: without the final "
+                "feasibility check the retry ladder can never trigger; pass "
+                "retry_until_feasible=False explicitly if verification is unwanted"
+            )
 
 
 class LoadBalancer:
@@ -144,8 +169,14 @@ class LoadBalancer:
         if not already_conservative:
             from dataclasses import replace
 
+            # The conservative rung enables every protection, including the
+            # steady-state test the protections are implemented through (an
+            # ablated run may have switched it off).
             self.options = replace(
-                original_options, protect_unmoved=True, protect_downstream=True
+                original_options,
+                protect_unmoved=True,
+                protect_downstream=True,
+                enforce_steady_state=True,
             )
             try:
                 conservative = self._execute()
@@ -188,16 +219,25 @@ class LoadBalancer:
         for name in self.architecture.processor_names:
             state.processor(name)
             state.moved_patterns[name] = []
-        for key in state.current:
-            state.in_edges[key] = predecessors_of_instance(self.graph, key[0], key[1])
+        # Both instance-edge directions come from the shared (cached) unrolled
+        # expansion — per-instance re-expansion used to dominate large runs.
+        in_edges: dict[tuple[str, int], list] = {key: [] for key in state.current}
         self._out_edges: dict[tuple[str, int], list] = {key: [] for key in state.current}
         for edge in instance_edges(self.graph):
+            in_edges[edge.consumer].append(edge)
             self._out_edges[edge.producer].append(edge)
+        state.in_edges = {key: tuple(edges) for key, edges in in_edges.items()}
         self._wcet = {name: task.wcet for name, task in self.graph.tasks.items()}
         self._block_of_instance: dict[tuple[str, int], int] = {}
+        engine = state.attach_engine(self.architecture.processor_names)
+        hyper_period = state.hyper_period
         for block in blocks:
             for key in block.member_keys:
                 self._block_of_instance[key] = block.id
+                _proc, start = state.position(key)
+                engine.reside(
+                    block.processor, start % hyper_period, self._wcet[key[0]], key[0]
+                )
 
         decisions: list[MoveDecision] = []
         warnings: list[str] = []
@@ -216,6 +256,11 @@ class LoadBalancer:
         for block in sorted(blocks, key=lambda b: (b.start, b.id)):
             del unprocessed[block.id]
             unprocessed_by_origin[block.processor].discard(block.id)
+            for key in block.member_keys:
+                _proc, start = state.position(key)
+                engine.release(
+                    block.processor, start % hyper_period, self._wcet[key[0]], key[0]
+                )
             decision = self._process_block(
                 block, state, unprocessed, unprocessed_by_origin, warnings
             )
@@ -247,16 +292,49 @@ class LoadBalancer:
         self, block: Block, placement_start: float, state: BalancingState
     ) -> list[tuple[float, float]]:
         """Circular busy pattern of ``block`` if placed at ``placement_start``."""
-        hyper_period = state.hyper_period
-        current_start = self._current_start(block, state)
-        pattern = []
-        for key in block.member_keys:
-            _proc, member_start = state.position(key)
-            offset = member_start - current_start
-            pattern.append(
-                (float((placement_start + offset) % hyper_period), self._wcet[key[0]])
+        return block.circular_pattern(placement_start, state.hyper_period, state.current)
+
+    def _steady_ok(
+        self,
+        target: str,
+        pattern: list[tuple[float, float]],
+        state: BalancingState,
+        unprocessed: dict[int, Block],
+        unprocessed_by_origin: dict[str, set[int]],
+        *,
+        include_unmoved: bool,
+        exclude_tasks: frozenset[str] = frozenset(),
+    ) -> bool:
+        """Steady-state acceptance through the incremental conflict engine.
+
+        With ``cross_check`` enabled the from-scratch reserved-pattern
+        computation is evaluated as well and any divergence raises — the
+        differential oracle the property-test layer runs move-for-move.
+        """
+        assert state.engine is not None
+        verdict = state.engine.compatible(
+            target, pattern, include_resident=include_unmoved, exclude=exclude_tasks
+        )
+        if self.options.cross_check:
+            oracle = steady_state_compatible(
+                pattern,
+                self._reserved_patterns(
+                    target,
+                    state,
+                    unprocessed,
+                    unprocessed_by_origin,
+                    include_unmoved=include_unmoved,
+                    exclude_tasks=exclude_tasks,
+                ),
+                state.hyper_period,
             )
-        return pattern
+            if oracle != verdict:
+                raise SchedulingError(
+                    f"conflict-engine divergence on {target!r}: engine={verdict}, "
+                    f"from-scratch oracle={oracle}, pattern={pattern}, "
+                    f"include_unmoved={include_unmoved}, exclude={sorted(exclude_tasks)}"
+                )
+        return verdict
 
     def _reserved_patterns(
         self,
@@ -270,12 +348,14 @@ class LoadBalancer:
     ) -> list[tuple[float, float]]:
         """Patterns a candidate placement on ``target`` must not collide with.
 
-        ``include_unmoved`` adds the current slots of the blocks that still
-        sit, unprocessed, on ``target`` (used by the conservative
-        ``protect_unmoved`` mode and by the safe fallback).  ``exclude_tasks``
-        removes the slots of instances that are about to be shifted together
-        with the candidate (their relative position is preserved, so checking
-        them would be spurious).
+        This is the *from-scratch* computation, kept as the differential
+        oracle of the incremental conflict engine (``cross_check``); the hot
+        path queries ``state.engine`` instead.  ``include_unmoved`` adds the
+        current slots of the blocks that still sit, unprocessed, on ``target``
+        (used by the conservative ``protect_unmoved`` mode and by the safe
+        fallback).  ``exclude_tasks`` removes the slots of instances that are
+        about to be shifted together with the candidate (their relative
+        position is preserved, so checking them would be spurious).
         """
         reserved = list(state.moved_patterns[target])
         if include_unmoved:
@@ -321,17 +401,19 @@ class LoadBalancer:
                     continue
                 proc, start = state.position(key)
                 shifted = ((start - gain) % hyper_period, self._wcet[key[0]])
-                reserved = self._reserved_patterns(
+                if not self._steady_ok(
                     proc,
+                    [shifted],
                     state,
                     unprocessed,
                     unprocessed_by_origin,
                     include_unmoved=True,
                     exclude_tasks=moved_tasks,
-                )
-                if proc == target:
-                    reserved = reserved + candidate_pattern
-                if not steady_state_compatible([shifted], reserved, hyper_period):
+                ):
+                    return False
+                if proc == target and not steady_state_compatible(
+                    [shifted], candidate_pattern, hyper_period
+                ):
                     return False
         return True
 
@@ -364,14 +446,14 @@ class LoadBalancer:
         ]
         passing: list[str] = []
         for name in ordered:
-            reserved = self._reserved_patterns(
+            if self._steady_ok(
                 name,
+                pattern,
                 state,
                 unprocessed,
                 unprocessed_by_origin,
                 include_unmoved=True,
-            )
-            if steady_state_compatible(pattern, reserved, state.hyper_period):
+            ):
                 passing.append(name)
         for name in passing:
             if evaluations[name].feasible:
@@ -473,16 +555,13 @@ class LoadBalancer:
                 if not ok:
                     continue
             if options.enforce_steady_state:
-                if not steady_state_compatible(
+                if not self._steady_ok(
+                    name,
                     self._block_pattern(block, placement, state),
-                    self._reserved_patterns(
-                        name,
-                        state,
-                        unprocessed,
-                        unprocessed_by_origin,
-                        include_unmoved=options.protect_unmoved,
-                    ),
-                    state.hyper_period,
+                    state,
+                    unprocessed,
+                    unprocessed_by_origin,
+                    include_unmoved=options.protect_unmoved,
                 ):
                     continue
                 gain_here = (
@@ -557,6 +636,8 @@ class LoadBalancer:
         """Update the running state after a block move; return updated block ids."""
         current_start = self._current_start(block, state)
         hyper_period = state.hyper_period
+        engine = state.engine
+        assert engine is not None
         # Relocate every member, preserving its offset relative to the block.
         new_end = placement_start
         for key in block.member_keys:
@@ -564,10 +645,11 @@ class LoadBalancer:
             offset = member_start - current_start
             new_member_start = placement_start + offset
             state.current[key] = (target, new_member_start)
-            state.moved_patterns[target].append(
-                (float(new_member_start % hyper_period), self._wcet[key[0]])
-            )
-            new_end = max(new_end, new_member_start + self._wcet[key[0]])
+            wcet = self._wcet[key[0]]
+            pattern_offset = float(new_member_start % hyper_period)
+            state.moved_patterns[target].append((pattern_offset, wcet))
+            engine.occupy(target, pattern_offset, wcet, key[0])
+            new_end = max(new_end, new_member_start + wcet)
         state.processor(target).register(block, placement_start, new_end)
 
         # Propagate a positive category-1 gain to the blocks holding later
@@ -581,6 +663,13 @@ class LoadBalancer:
                     if key[0] in moved_tasks and not block.contains(key):
                         proc, start = state.position(key)
                         state.current[key] = (proc, start - gain)
+                        engine.shift(
+                            proc,
+                            start % hyper_period,
+                            (start - gain) % hyper_period,
+                            self._wcet[key[0]],
+                            key[0],
+                        )
                         shifted = True
                 if shifted:
                     updated.append(other.id)

@@ -1,6 +1,14 @@
 """Experiment harness regenerating every artefact of the paper (E1–E8)."""
 
+from repro.experiments.campaign import (
+    CampaignRun,
+    CampaignSummary,
+    execute_run,
+    plan_campaign,
+    run_campaign,
+)
 from repro.experiments.configs import (
+    PRESET_NAMES,
     AblationConfig,
     ComparisonConfig,
     ComplexityConfig,
@@ -22,7 +30,10 @@ from repro.experiments.runner import (
 from repro.experiments.tables import ExperimentResult, build_table
 
 __all__ = [
+    "PRESET_NAMES",
     "AblationConfig",
+    "CampaignRun",
+    "CampaignSummary",
     "ComparisonConfig",
     "ComplexityConfig",
     "ExperimentResult",
@@ -31,6 +42,9 @@ __all__ = [
     "Theorem1Config",
     "Theorem2Config",
     "build_table",
+    "execute_run",
+    "plan_campaign",
+    "run_campaign",
     "run_e1_paper_example",
     "run_e2_multirate_buffering",
     "run_e3_complexity",

@@ -1,0 +1,364 @@
+"""Parallel, resumable experiment campaigns over the E1–E8 runners.
+
+The per-experiment runners of :mod:`repro.experiments.runner` regenerate one
+artefact each; a *campaign* turns them into one orchestrated layer:
+
+* the requested experiments are **planned** into independent runs — seed
+  sweeps (E3, E4, E6, E7, …) are split into one run per seed so a workload
+  sweep fans out instead of executing serially;
+* runs execute on a **process pool** (``jobs`` workers; ``jobs=1`` stays
+  in-process for deterministic debugging);
+* every run writes a **JSON manifest** under ``<output>/runs/`` carrying the
+  rendered table, verdict, notes, wall-time and a JSON-coerced copy of the
+  raw data, and the campaign writes a ``campaign.json`` summary artifact;
+* a campaign is **resumable**: with ``resume=True`` runs whose manifest
+  already records a successful outcome are skipped and reported as cached.
+
+The manifest schema is documented in ``DESIGN.md`` §4; the CLI front-end is
+``repro-lb campaign`` (see ``EXPERIMENTS.md``, "Rerunning a campaign").
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, is_dataclass, replace
+from dataclasses import asdict as dataclass_asdict
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import (
+    AblationConfig,
+    ComparisonConfig,
+    ComplexityConfig,
+    IdleFractionConfig,
+    MultirateConfig,
+    PRESET_NAMES,
+    Theorem1Config,
+    Theorem2Config,
+)
+from repro.experiments.runner import (
+    run_e1_paper_example,
+    run_e2_multirate_buffering,
+    run_e3_complexity,
+    run_e4_theorem1,
+    run_e5_theorem2,
+    run_e6_baseline_comparison,
+    run_e7_ablation,
+    run_e8_idle_fraction,
+)
+from repro.experiments.tables import ExperimentResult, build_table
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "CampaignRun",
+    "CampaignSummary",
+    "plan_campaign",
+    "execute_run",
+    "run_campaign",
+]
+
+#: Version tag stamped into every manifest so downstream tooling can detect
+#: incompatible layout changes.
+MANIFEST_SCHEMA = "repro-campaign/1"
+
+#: Experiment id -> (runner, config class or ``None`` for config-less runners).
+_EXPERIMENTS: dict[str, tuple[object, type | None]] = {
+    "E1": (run_e1_paper_example, None),
+    "E2": (run_e2_multirate_buffering, MultirateConfig),
+    "E3": (run_e3_complexity, ComplexityConfig),
+    "E4": (run_e4_theorem1, Theorem1Config),
+    "E5": (run_e5_theorem2, Theorem2Config),
+    "E6": (run_e6_baseline_comparison, ComparisonConfig),
+    "E7": (run_e7_ablation, AblationConfig),
+    "E8": (run_e8_idle_fraction, IdleFractionConfig),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignRun:
+    """One independently executable unit of a campaign."""
+
+    run_id: str
+    experiment: str
+    preset: str
+    #: Seed subset this run covers (``None`` keeps the preset's own seeds,
+    #: for experiments without a seed sweep or with seed splitting disabled).
+    seeds: tuple[int, ...] | None = None
+
+
+def _build_config(experiment: str, preset: str, seeds: tuple[int, ...] | None):
+    """Config object of one run (``None`` for config-less experiments)."""
+    try:
+        _runner, config_cls = _EXPERIMENTS[experiment]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown experiment {experiment!r}; expected one of {sorted(_EXPERIMENTS)}"
+        ) from None
+    if config_cls is None:
+        return None
+    config = config_cls.from_preset(preset)
+    if seeds is not None:
+        config = replace(config, seeds=tuple(seeds))
+    return config
+
+
+def plan_campaign(
+    experiments: Iterable[str], preset: str = "quick", *, split_seeds: bool = True
+) -> tuple[CampaignRun, ...]:
+    """Expand experiment names into independent runs.
+
+    Seed sweeps are split into one run per seed (the fan-out unit of the
+    process pool); experiments without a ``seeds`` axis map to a single run.
+    """
+    if preset not in PRESET_NAMES:
+        raise ConfigurationError(
+            f"Unknown campaign preset {preset!r}; expected one of {PRESET_NAMES}"
+        )
+    runs: list[CampaignRun] = []
+    for name in experiments:
+        config = _build_config(name, preset, None)
+        seeds = getattr(config, "seeds", None) if split_seeds else None
+        if seeds:
+            runs.extend(
+                CampaignRun(f"{name}-{preset}-s{seed}", name, preset, (int(seed),))
+                for seed in seeds
+            )
+        else:
+            runs.append(CampaignRun(f"{name}-{preset}", name, preset, None))
+    return tuple(runs)
+
+
+def _jsonable(value):
+    """Best-effort coercion of experiment data into JSON-compatible values."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return float(value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclass_asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    # numpy scalars expose item(); anything else degrades to its repr.
+    item = getattr(value, "item", None)
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except (TypeError, ValueError):
+            pass
+    return repr(value)
+
+
+def execute_run(run: CampaignRun) -> dict:
+    """Execute one run and return its manifest dictionary (never raises)."""
+    started = time.perf_counter()
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "run_id": run.run_id,
+        "experiment": run.experiment,
+        "preset": run.preset,
+        "seeds": list(run.seeds) if run.seeds is not None else None,
+    }
+    try:
+        runner, _config_cls = _EXPERIMENTS[run.experiment]
+        config = _build_config(run.experiment, run.preset, run.seeds)
+        result: ExperimentResult = runner(config) if config is not None else runner()
+        manifest.update(
+            status="ok",
+            title=result.title,
+            paper_claim=result.paper_claim,
+            passed=result.passed,
+            table=result.table,
+            notes=list(result.notes),
+            data=_jsonable(result.data),
+        )
+    except Exception as error:  # noqa: BLE001 - a failed run must not kill the pool
+        manifest.update(
+            status="failed",
+            error=f"{type(error).__name__}: {error}",
+            traceback=traceback.format_exc(),
+            passed=False,
+        )
+    manifest["seconds"] = time.perf_counter() - started
+    return manifest
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Pickle-friendly pool entry point (reconstructs the run from primitives)."""
+    seeds = payload["seeds"]
+    run = CampaignRun(
+        run_id=payload["run_id"],
+        experiment=payload["experiment"],
+        preset=payload["preset"],
+        seeds=tuple(seeds) if seeds is not None else None,
+    )
+    return execute_run(run)
+
+
+@dataclass(slots=True)
+class CampaignSummary:
+    """Outcome of one campaign: per-run records plus the summary artifact."""
+
+    directory: Path
+    preset: str
+    records: list[dict] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no run failed (a ``passed=False`` verdict also fails)."""
+        return all(
+            record["status"] in ("ok", "cached") and record.get("passed") is not False
+            for record in self.records
+        )
+
+    @property
+    def failures(self) -> list[dict]:
+        """Records of the runs that failed or whose experiment verdict is FAIL."""
+        return [
+            record
+            for record in self.records
+            if record["status"] == "failed" or record.get("passed") is False
+        ]
+
+    @property
+    def summary_path(self) -> Path:
+        """Location of the ``campaign.json`` artifact."""
+        return self.directory / "campaign.json"
+
+    def render(self) -> str:
+        """Aligned per-run status table (what the CLI prints)."""
+        rows = [
+            [
+                record["run_id"],
+                record["experiment"],
+                record["status"],
+                "n/a" if record.get("passed") is None else str(record.get("passed")),
+                f"{record.get('seconds', 0.0):.2f}",
+            ]
+            for record in self.records
+        ]
+        return build_table(["run", "experiment", "status", "passed", "seconds"], rows)
+
+
+def run_campaign(
+    experiments: Sequence[str],
+    preset: str = "quick",
+    *,
+    output_dir: str | Path = "campaign-results",
+    jobs: int | None = None,
+    resume: bool = False,
+    split_seeds: bool = True,
+) -> CampaignSummary:
+    """Plan, execute (in parallel) and persist a campaign.
+
+    Parameters
+    ----------
+    experiments:
+        Experiment ids (``"E1"``..``"E8"``), in execution order.
+    preset:
+        Config preset every run uses (``tiny``/``quick``/``full``).
+    output_dir:
+        Directory receiving ``runs/<run_id>.json`` manifests and the
+        ``campaign.json`` summary.
+    jobs:
+        Process-pool width; ``None`` lets the pool pick, ``1`` executes
+        inline (no subprocesses).
+    resume:
+        Skip runs whose manifest already records a successful outcome.
+    split_seeds:
+        Fan seed sweeps out into one run per seed (the default).
+    """
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1 (got {jobs}); use 1 to run inline")
+    started = time.perf_counter()
+    runs = plan_campaign(experiments, preset, split_seeds=split_seeds)
+    directory = Path(output_dir)
+    runs_dir = directory / "runs"
+    runs_dir.mkdir(parents=True, exist_ok=True)
+
+    summary = CampaignSummary(directory=directory, preset=preset)
+    pending: list[CampaignRun] = []
+    for run in runs:
+        manifest_path = runs_dir / f"{run.run_id}.json"
+        cached = None
+        if resume and manifest_path.exists():
+            try:
+                cached = json.loads(manifest_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                cached = None
+        # Only a successful outcome is reusable: a run that completed with a
+        # FAIL verdict (passed False) must re-execute on resume, otherwise a
+        # fixed experiment would keep reporting the stale failure forever.
+        if (
+            cached is not None
+            and cached.get("status") == "ok"
+            and cached.get("passed") is not False
+        ):
+            summary.records.append(
+                {
+                    "run_id": run.run_id,
+                    "experiment": run.experiment,
+                    "status": "cached",
+                    "passed": cached.get("passed"),
+                    "seconds": 0.0,
+                    "manifest": str(manifest_path),
+                }
+            )
+        else:
+            pending.append(run)
+
+    payloads = [
+        {
+            "run_id": run.run_id,
+            "experiment": run.experiment,
+            "preset": run.preset,
+            "seeds": list(run.seeds) if run.seeds is not None else None,
+        }
+        for run in pending
+    ]
+    if jobs == 1 or not payloads:
+        manifests = [_execute_payload(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            manifests = list(pool.map(_execute_payload, payloads))
+
+    for run, manifest in zip(pending, manifests):
+        manifest_path = runs_dir / f"{run.run_id}.json"
+        manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        summary.records.append(
+            {
+                "run_id": run.run_id,
+                "experiment": run.experiment,
+                "status": manifest["status"],
+                "passed": manifest.get("passed"),
+                "seconds": manifest["seconds"],
+                "manifest": str(manifest_path),
+            }
+        )
+
+    # Keep the records in plan order so re-runs and resumes render identically.
+    order = {run.run_id: index for index, run in enumerate(runs)}
+    summary.records.sort(key=lambda record: order[record["run_id"]])
+    summary.seconds = time.perf_counter() - started
+    summary.summary_path.write_text(
+        json.dumps(
+            {
+                "schema": MANIFEST_SCHEMA,
+                "preset": preset,
+                "experiments": list(experiments),
+                "split_seeds": split_seeds,
+                "runs": summary.records,
+                "seconds": summary.seconds,
+                "ok": summary.ok,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    )
+    return summary

@@ -1,20 +1,26 @@
 """Experiment configurations (E1–E8).
 
 Every experiment of ``EXPERIMENTS.md`` is parameterised by a small dataclass
-with two presets: ``quick()`` (seconds — used by the test suite and the
-default benchmark run) and ``full()`` (minutes — closer to a paper-grade
-campaign).  Benchmarks accept either preset so the same code regenerates the
-tables at both scales.
+with three presets: ``tiny()`` (sub-second — smoke tests and campaign dry
+runs), ``quick()`` (seconds — used by the test suite and the default
+benchmark run) and ``full()`` (minutes — closer to a paper-grade campaign).
+Benchmarks and the campaign runner accept any preset by name through
+:meth:`PresetConfig.from_preset`, so the same code regenerates the tables at
+every scale.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.scheduling.heuristic import PlacementPolicy, SchedulerOptions
 from repro.workloads.spec import GraphShape, WorkloadSpec
 
 __all__ = [
+    "PRESET_NAMES",
+    "PresetConfig",
+    "preset_cli",
     "MultirateConfig",
     "ComplexityConfig",
     "Theorem1Config",
@@ -24,15 +30,52 @@ __all__ = [
     "IdleFractionConfig",
 ]
 
+#: Recognised preset names, in increasing cost order.
+PRESET_NAMES = ("tiny", "quick", "full")
+
+
+class PresetConfig:
+    """Mixin resolving a preset name (``tiny``/``quick``/``full``) to a config."""
+
+    @classmethod
+    def from_preset(cls, name: str):
+        """Build the config for ``name``; raise :class:`ConfigurationError` otherwise."""
+        if name not in PRESET_NAMES:
+            raise ConfigurationError(
+                f"Unknown experiment preset {name!r}; expected one of {PRESET_NAMES}"
+            )
+        return getattr(cls, name)()
+
+
+def preset_cli(run, description: str, argv=None) -> int:
+    """Shared ``--preset`` CLI glue of the ``benchmarks/bench_e*.py`` entry points.
+
+    ``run`` is the benchmark's ``run(preset) -> ExperimentResult`` function;
+    the rendered report goes to stdout and the exit code is non-zero when the
+    experiment's verdict is FAIL.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument("--preset", choices=PRESET_NAMES, default="quick")
+    args = parser.parse_args(argv)
+    result = run(args.preset)
+    print(result.render())
+    return 0 if result.passed is not False else 1
+
 
 @dataclass(frozen=True, slots=True)
-class MultirateConfig:
+class MultirateConfig(PresetConfig):
     """E2 — Figure-1 multi-rate buffering."""
 
     period_ratios: tuple[int, ...] = (1, 2, 4, 8)
     producer_period: int = 3
     data_size: float = 1.0
     hyper_periods: int = 2
+
+    @classmethod
+    def tiny(cls) -> "MultirateConfig":
+        return cls(period_ratios=(1, 2), hyper_periods=1)
 
     @classmethod
     def quick(cls) -> "MultirateConfig":
@@ -44,7 +87,7 @@ class MultirateConfig:
 
 
 @dataclass(frozen=True, slots=True)
-class ComplexityConfig:
+class ComplexityConfig(PresetConfig):
     """E3 — runtime scaling versus ``M · N_blocks``."""
 
     task_counts: tuple[int, ...] = (50, 100, 200)
@@ -52,6 +95,10 @@ class ComplexityConfig:
     seeds: tuple[int, ...] = (1, 2)
     utilization: float = 0.25
     base_period: int = 40
+
+    @classmethod
+    def tiny(cls) -> "ComplexityConfig":
+        return cls(task_counts=(10, 14, 18), processor_counts=(2,), seeds=(1,))
 
     @classmethod
     def quick(cls) -> "ComplexityConfig":
@@ -67,7 +114,7 @@ class ComplexityConfig:
 
 
 @dataclass(frozen=True, slots=True)
-class Theorem1Config:
+class Theorem1Config(PresetConfig):
     """E4 — gain bounds."""
 
     processor_counts: tuple[int, ...] = (2, 3, 4)
@@ -86,6 +133,15 @@ class Theorem1Config:
         return SchedulerOptions(policy=self.initial_policy)
 
     @classmethod
+    def tiny(cls) -> "Theorem1Config":
+        return cls(
+            processor_counts=(2,),
+            seeds=(0, 1),
+            task_count=10,
+            shapes=(GraphShape.PIPELINE,),
+        )
+
+    @classmethod
     def quick(cls) -> "Theorem1Config":
         return cls()
 
@@ -99,13 +155,17 @@ class Theorem1Config:
 
 
 @dataclass(frozen=True, slots=True)
-class Theorem2Config:
+class Theorem2Config(PresetConfig):
     """E5 — memory-only approximation ratio."""
 
     processor_counts: tuple[int, ...] = (2, 3, 4)
     block_counts: tuple[int, ...] = (6, 9, 12)
     seeds: tuple[int, ...] = tuple(range(10))
     memory_range: tuple[float, float] = (1.0, 20.0)
+
+    @classmethod
+    def tiny(cls) -> "Theorem2Config":
+        return cls(processor_counts=(2,), block_counts=(6,), seeds=(0, 1))
 
     @classmethod
     def quick(cls) -> "Theorem2Config":
@@ -132,7 +192,7 @@ def _default_comparison_spec() -> WorkloadSpec:
 
 
 @dataclass(frozen=True, slots=True)
-class ComparisonConfig:
+class ComparisonConfig(PresetConfig):
     """E6 — proposed heuristic versus baselines."""
 
     spec: WorkloadSpec = field(default_factory=_default_comparison_spec)
@@ -148,6 +208,13 @@ class ComparisonConfig:
         return SchedulerOptions(policy=self.initial_policy)
 
     @classmethod
+    def tiny(cls) -> "ComparisonConfig":
+        return cls(
+            spec=_default_comparison_spec().with_updates(task_count=12),
+            seeds=(1,),
+        )
+
+    @classmethod
     def quick(cls) -> "ComparisonConfig":
         return cls()
 
@@ -157,7 +224,7 @@ class ComparisonConfig:
 
 
 @dataclass(frozen=True, slots=True)
-class AblationConfig:
+class AblationConfig(PresetConfig):
     """E7 — cost-policy and rule ablations."""
 
     spec: WorkloadSpec = field(default_factory=_default_comparison_spec)
@@ -170,6 +237,13 @@ class AblationConfig:
         return SchedulerOptions(policy=self.initial_policy)
 
     @classmethod
+    def tiny(cls) -> "AblationConfig":
+        return cls(
+            spec=_default_comparison_spec().with_updates(task_count=12),
+            seeds=(1,),
+        )
+
+    @classmethod
     def quick(cls) -> "AblationConfig":
         return cls()
 
@@ -179,7 +253,7 @@ class AblationConfig:
 
 
 @dataclass(frozen=True, slots=True)
-class IdleFractionConfig:
+class IdleFractionConfig(PresetConfig):
     """E8 — processor idle fraction before/after balancing."""
 
     utilizations: tuple[float, ...] = (0.15, 0.3, 0.45)
@@ -193,6 +267,10 @@ class IdleFractionConfig:
     def scheduler_options(self) -> SchedulerOptions:
         """Initial-scheduler options implied by the config."""
         return SchedulerOptions(policy=self.initial_policy)
+
+    @classmethod
+    def tiny(cls) -> "IdleFractionConfig":
+        return cls(utilizations=(0.3,), task_count=12, seeds=(0,))
 
     @classmethod
     def quick(cls) -> "IdleFractionConfig":

@@ -50,6 +50,11 @@ class TaskGraph:
         self._deps: dict[tuple[str, str], Dependence] = {}
         self._succ: dict[str, set[str]] = {}
         self._pred: dict[str, set[str]] = {}
+        #: Mutation counter; bumped on every structural change so derived
+        #: caches (hyper-period, instance-level edge expansion) can detect
+        #: staleness cheaply.
+        self._version = 0
+        self._hyper_period: int | None = None
         for task in tasks:
             self.add_task(task)
         for dep in dependences:
@@ -74,6 +79,8 @@ class TaskGraph:
         self._tasks[task.name] = task
         self._succ.setdefault(task.name, set())
         self._pred.setdefault(task.name, set())
+        self._version += 1
+        self._hyper_period = None
         return task
 
     def create_task(
@@ -117,6 +124,7 @@ class TaskGraph:
         self._deps[dep.key] = dep
         self._succ[dep.producer].add(dep.consumer)
         self._pred[dep.consumer].add(dep.producer)
+        self._version += 1
         return dep
 
     def connect(self, producer: str, consumer: str, data_size: float | None = None) -> Dependence:
@@ -210,11 +218,28 @@ class TaskGraph:
     # Global properties
     # ------------------------------------------------------------------
     @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by every structural change).
+
+        Derived views (instance unrolling, conflict-engine seeds) key their
+        caches on ``(graph, version)`` so a mutated graph is never served a
+        stale expansion.
+        """
+        return self._version
+
+    @property
     def hyper_period(self) -> int:
-        """LCM of all task periods; the analysis window of the paper."""
+        """LCM of all task periods; the analysis window of the paper.
+
+        Cached until the task set changes: the heuristic's hot path queries
+        the hyper-period once per instance-level expansion and the LCM fold
+        over hundreds of tasks used to dominate large balancing runs.
+        """
         if not self._tasks:
             raise ModelError("Cannot compute the hyper-period of an empty task graph")
-        return _hyper_period(t.period for t in self._tasks.values())
+        if self._hyper_period is None:
+            self._hyper_period = _hyper_period(t.period for t in self._tasks.values())
+        return self._hyper_period
 
     @property
     def total_utilization(self) -> float:

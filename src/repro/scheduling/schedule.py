@@ -334,6 +334,24 @@ class Schedule:
             usage[instance.processor] += instance.wcet
         return usage
 
+    def steady_patterns(self) -> dict[str, list[tuple[float, float]]]:
+        """Per-processor circular busy patterns modulo the hyper-period.
+
+        Each instance contributes one ``(start % H, wcet)`` pair; a schedule
+        repeats forever exactly when, per processor, no two pairs overlap on
+        the circle of circumference ``H``.  This is the raw material of the
+        conflict engine and of the non-overlap property tests.
+        """
+        hyper_period = self.graph.hyper_period
+        patterns: dict[str, list[tuple[float, float]]] = {
+            name: [] for name in self.architecture.processor_names
+        }
+        for instance in self._instances.values():
+            patterns[instance.processor].append(
+                (float(instance.start % hyper_period), instance.wcet)
+            )
+        return patterns
+
     def instance_assignment(self) -> dict[tuple[str, int], str]:
         """Mapping ``(task, index) -> processor``."""
         return {key: si.processor for key, si in self._instances.items()}

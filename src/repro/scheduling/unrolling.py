@@ -10,6 +10,7 @@ builder and the simulator all work on this unrolled view.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -69,6 +70,13 @@ def unrolled_instances(graph: TaskGraph) -> tuple[tuple[str, int], ...]:
     return tuple(keys)
 
 
+# Expansion cache keyed by graph identity; entries hold the graph version at
+# expansion time so mutations invalidate lazily and dead graphs are collected.
+_EDGE_CACHE: "weakref.WeakKeyDictionary[TaskGraph, tuple[int, tuple[InstanceEdge, ...]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def instance_edges(graph: TaskGraph) -> tuple[InstanceEdge, ...]:
     """Expand every dependence of the graph into instance-level edges.
 
@@ -76,7 +84,14 @@ def instance_edges(graph: TaskGraph) -> tuple[InstanceEdge, ...]:
     instance receives ``n`` edges (one per required producer sample); for a
     consumer ``n`` times faster, ``n`` consumer instances each receive one
     edge from the shared producer instance.
+
+    The expansion is cached per ``(graph, graph.version)``: the block
+    builder, the load balancer, the communication synthesiser and the
+    feasibility checker all need it for the same graph within one run.
     """
+    cached = _EDGE_CACHE.get(graph)
+    if cached is not None and cached[0] == graph.version:
+        return cached[1]
     edges: list[InstanceEdge] = []
     for dep in graph.dependences:
         producer_task = graph.task(dep.producer)
@@ -93,7 +108,9 @@ def instance_edges(graph: TaskGraph) -> tuple[InstanceEdge, ...]:
                         data_size=data_size,
                     )
                 )
-    return tuple(edges)
+    expanded = tuple(edges)
+    _EDGE_CACHE[graph] = (graph.version, expanded)
+    return expanded
 
 
 def predecessors_of_instance(

@@ -1,0 +1,52 @@
+"""Smoke tests of the benchmark entry points.
+
+Every ``benchmarks/bench_e*.py`` exposes ``run(preset)`` (returning the
+experiment's :class:`~repro.experiments.tables.ExperimentResult`) and a
+``main()`` CLI.  These tests load each file the way ``python benchmarks/...``
+would and execute it on the ``tiny`` preset, asserting a table comes out —
+so a benchmark can never rot into an un-runnable state between campaigns.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.tables import ExperimentResult
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_FILES = sorted(BENCH_DIR.glob("bench_e*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_benchmarks_discovered() -> None:
+    """One benchmark per experiment E1..E8."""
+    assert len(BENCH_FILES) == 8
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_benchmark_entry_point_produces_table(path: Path) -> None:
+    module = _load(path)
+    assert hasattr(module, "run"), f"{path.name} lacks a run(preset) entry point"
+    result = module.run("tiny")
+    assert isinstance(result, ExperimentResult)
+    assert result.table.strip(), f"{path.name} produced an empty table"
+    assert result.passed is not False, f"{path.name} failed on the tiny preset"
+    # The rendered report must be printable (what main() writes to stdout).
+    assert result.experiment in result.render()
+
+
+@pytest.mark.parametrize("path", BENCH_FILES, ids=lambda p: p.stem)
+def test_benchmark_main_exits_cleanly(path: Path, capsys) -> None:
+    module = _load(path)
+    assert module.main(["--preset", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} main() printed nothing"

@@ -1,0 +1,149 @@
+"""Tests of the parallel campaign runner and its CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import (
+    MANIFEST_SCHEMA,
+    CampaignRun,
+    execute_run,
+    plan_campaign,
+    run_campaign,
+)
+
+
+class TestPlanning:
+    def test_seed_sweeps_fan_out(self):
+        runs = plan_campaign(["E3"], "quick")
+        # ComplexityConfig.quick() carries two seeds -> two runs.
+        assert [run.seeds for run in runs] == [(1,), (2,)]
+        assert all(run.experiment == "E3" for run in runs)
+        assert len({run.run_id for run in runs}) == len(runs)
+
+    def test_seedless_experiments_stay_single_runs(self):
+        runs = plan_campaign(["E1", "E2"], "tiny")
+        assert [(run.experiment, run.seeds) for run in runs] == [
+            ("E1", None),
+            ("E2", None),
+        ]
+
+    def test_split_can_be_disabled(self):
+        runs = plan_campaign(["E3"], "quick", split_seeds=False)
+        assert len(runs) == 1
+        assert runs[0].seeds is None
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_campaign(["E9"], "quick")
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_campaign(["E3"], "huge")
+
+
+class TestExecution:
+    def test_execute_run_produces_manifest(self):
+        manifest = execute_run(CampaignRun("E2-tiny", "E2", "tiny", None))
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["status"] == "ok"
+        assert manifest["passed"] is True
+        assert manifest["table"].strip()
+        json.dumps(manifest)  # must be JSON-serialisable as written
+
+    def test_failed_run_is_contained(self):
+        # A bogus preset never reaches the pool: execute_run reports it.
+        manifest = execute_run(CampaignRun("bad", "E3", "huge", None))
+        assert manifest["status"] == "failed"
+        assert "ConfigurationError" in manifest["error"]
+
+    def test_campaign_writes_manifests_and_summary(self, tmp_path):
+        summary = run_campaign(
+            ["E2", "E3"], "tiny", output_dir=tmp_path / "camp", jobs=1
+        )
+        assert summary.ok
+        assert len(summary.records) == 2  # E2 single + E3 tiny single seed
+        for record in summary.records:
+            manifest = json.loads(open(record["manifest"]).read())
+            assert manifest["schema"] == MANIFEST_SCHEMA
+            assert manifest["status"] == "ok"
+        written = json.loads(summary.summary_path.read_text())
+        assert written["ok"] is True
+        assert written["preset"] == "tiny"
+
+    def test_campaign_resume_skips_completed_runs(self, tmp_path):
+        out = tmp_path / "camp"
+        first = run_campaign(["E2"], "tiny", output_dir=out, jobs=1)
+        assert first.records[0]["status"] == "ok"
+        second = run_campaign(["E2"], "tiny", output_dir=out, jobs=1, resume=True)
+        assert second.records[0]["status"] == "cached"
+
+    def test_campaign_resume_retries_failed_verdicts(self, tmp_path):
+        # A manifest whose experiment completed but FAILED (passed False) is
+        # not a successful outcome: resume must re-execute it.
+        out = tmp_path / "camp"
+        first = run_campaign(["E2"], "tiny", output_dir=out, jobs=1)
+        manifest_path = out / "runs" / "E2-tiny.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["passed"] = False
+        manifest_path.write_text(json.dumps(manifest))
+        second = run_campaign(["E2"], "tiny", output_dir=out, jobs=1, resume=True)
+        assert second.records[0]["status"] == "ok"
+        assert second.records[0]["passed"] is True
+        assert first.ok and second.ok
+
+    def test_invalid_jobs_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            run_campaign(["E2"], "tiny", output_dir=tmp_path, jobs=0)
+
+    def test_campaign_on_process_pool(self, tmp_path):
+        summary = run_campaign(
+            ["E3"], "tiny", output_dir=tmp_path / "pool", jobs=2
+        )
+        assert summary.ok
+        assert [record["status"] for record in summary.records] == ["ok"]
+
+
+class TestCli:
+    def test_campaign_subcommand(self, tmp_path, capsys):
+        rc = main(
+            [
+                "campaign",
+                "E2",
+                "--preset",
+                "tiny",
+                "--jobs",
+                "1",
+                "--output",
+                str(tmp_path / "cli-camp"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "campaign:" in out
+        assert (tmp_path / "cli-camp" / "campaign.json").exists()
+
+    def test_campaign_resume_via_cli(self, tmp_path, capsys):
+        target = str(tmp_path / "cli-resume")
+        assert main(["campaign", "E2", "--preset", "tiny", "--jobs", "1", "--output", target]) == 0
+        assert (
+            main(
+                [
+                    "campaign",
+                    "E2",
+                    "--preset",
+                    "tiny",
+                    "--jobs",
+                    "1",
+                    "--output",
+                    target,
+                    "--resume",
+                ]
+            )
+            == 0
+        )
+        assert "cached" in capsys.readouterr().out

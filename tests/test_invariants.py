@@ -1,0 +1,149 @@
+"""Property-test layer hardening the incremental conflict engine.
+
+Across 200+ seeded random workloads (deterministic, not hypothesis-driven,
+so every seed is re-runnable in isolation) the suite asserts the three
+end-to-end invariants of the balancing pipeline:
+
+(a) **non-overlap** — a balanced schedule never overlaps two instances on
+    any processor anywhere over the (infinite) steady state: the circular
+    busy patterns modulo the hyper-period are pairwise disjoint;
+(b) **Theorem 1's lower bound** — balancing never increases the total
+    execution time (``makespan_after <= makespan_before``);
+(c) **differential oracle** — the incremental conflict engine and the
+    existing from-scratch reserved-pattern computation agree *move for
+    move*: every run executes with ``cross_check=True``, which evaluates
+    both paths on every steady-state query and raises on any divergence.
+
+A direct unit-level differential test additionally compares
+:class:`~repro.core.occupancy.OccupancyTimeline` queries against the
+brute-force :func:`~repro.core.conditions.steady_state_compatible` oracle on
+randomly generated circular interval sets (including wrapping intervals).
+
+The module is marked ``slow``: CI always runs it, locally it can be skipped
+with ``pytest -m "not slow"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LoadBalancer, LoadBalancerOptions
+from repro.core.conditions import steady_state_compatible
+from repro.core.cost import CostPolicy
+from repro.core.occupancy import OccupancyTimeline
+from repro.errors import InfeasibleError
+from repro.workloads.generator import scheduled_workload
+from repro.workloads.spec import GraphShape, WorkloadSpec
+
+pytestmark = pytest.mark.slow
+
+#: 220 seeded workloads (a few draws are unschedulable and skip, keeping the
+#: balanced-run count above the 200 the invariant layer promises).
+SEEDS = tuple(range(220))
+_SHAPES = (GraphShape.PIPELINE, GraphShape.SENSOR_FUSION)
+
+
+def _spec(seed: int) -> WorkloadSpec:
+    """Deterministic workload family: small graphs over 2-4 processors."""
+    return WorkloadSpec(
+        task_count=8 + (seed % 5) * 2,
+        processor_count=2 + seed % 3,
+        utilization=0.2 + (seed % 4) * 0.05,
+        shape=_SHAPES[seed % len(_SHAPES)],
+        seed=seed,
+        label=f"invariants-{seed}",
+    )
+
+
+def _policy(seed: int) -> CostPolicy:
+    policies = list(CostPolicy)
+    return policies[seed % len(policies)]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_balancing_invariants(seed: int) -> None:
+    """(a) no steady-state overlap, (b) Theorem 1 lower bound, (c) oracle agreement."""
+    try:
+        _workload, schedule = scheduled_workload(_spec(seed))
+    except InfeasibleError:
+        pytest.skip("unschedulable draw (not a library failure)")
+
+    # (c) cross_check compares the incremental engine against the
+    # from-scratch computation on every steady-state query; a divergence
+    # raises SchedulingError and fails the test.
+    result = LoadBalancer(
+        schedule, LoadBalancerOptions(policy=_policy(seed), cross_check=True)
+    ).run()
+
+    # (b) Theorem 1: the heuristic never increases the total execution time.
+    assert result.makespan_after <= result.makespan_before + 1e-9, (
+        f"seed {seed}: makespan increased "
+        f"{result.makespan_before} -> {result.makespan_after}"
+    )
+
+    # (a) pairwise-disjoint circular busy patterns on every processor.
+    balanced = result.balanced_schedule
+    hyper_period = balanced.graph.hyper_period
+    for processor, pattern in balanced.steady_patterns().items():
+        timeline = OccupancyTimeline(hyper_period)
+        for offset, length in pattern:
+            assert not timeline.overlaps(offset, length), (
+                f"seed {seed}: steady-state overlap on {processor} at "
+                f"offset {offset:g} (length {length:g}); "
+                f"safety level {result.safety_level!r}"
+            )
+            timeline.add(offset, length)
+
+    # The balanced schedule holds exactly the instances of the initial one.
+    assert len(balanced) == len(schedule)
+
+
+@pytest.mark.parametrize("trial", range(50))
+def test_occupancy_matches_bruteforce_oracle(trial: int) -> None:
+    """OccupancyTimeline.overlaps agrees with steady_state_compatible exactly.
+
+    Random circular interval sets (wrapping included) are loaded into a
+    timeline; random candidate patterns are then answered by both the
+    engine's indexed query and the brute-force pairwise oracle.
+    """
+    rng = np.random.default_rng(20080000 + trial)
+    period = int(rng.integers(8, 48))
+    timeline = OccupancyTimeline(period)
+    reserved: list[tuple[float, float]] = []
+    for _ in range(int(rng.integers(0, 14))):
+        offset = round(float(rng.uniform(0.0, period)), 2)
+        length = round(float(rng.uniform(0.0, period / 2)), 2)
+        timeline.add(offset, length)
+        reserved.append((offset, length))
+
+    for _ in range(40):
+        offset = round(float(rng.uniform(-period, 2 * period)), 2)
+        length = round(float(rng.uniform(0.0, period)), 2)
+        engine_free = not timeline.overlaps(offset, length)
+        oracle_free = steady_state_compatible([(offset, length)], reserved, period)
+        assert engine_free == oracle_free, (
+            f"trial {trial}: engine={engine_free} oracle={oracle_free} for "
+            f"candidate ({offset}, {length}) against {reserved} mod {period}"
+        )
+
+
+def test_occupancy_incremental_removal_matches_rebuild() -> None:
+    """remove() leaves the timeline identical to one rebuilt from scratch."""
+    rng = np.random.default_rng(42)
+    period = 24
+    entries = [
+        (round(float(rng.uniform(0, period)), 2), round(float(rng.uniform(0.1, 6.0)), 2), f"t{i}")
+        for i in range(20)
+    ]
+    timeline = OccupancyTimeline(period)
+    for offset, length, owner in entries:
+        timeline.add(offset, length, owner)
+    keep = entries[::2]
+    for offset, length, owner in entries[1::2]:
+        timeline.remove(offset, length, owner)
+
+    rebuilt = OccupancyTimeline(period)
+    for offset, length, owner in keep:
+        rebuilt.add(offset, length, owner)
+    assert timeline.intervals() == rebuilt.intervals()

@@ -90,6 +90,38 @@ class TestOptions:
         assert result.balanced_schedule.communications == ()
 
 
+class TestOptionValidation:
+    """Contradictory flag combinations are rejected at construction time."""
+
+    def test_protect_unmoved_without_steady_state_rejected(self):
+        # Original-slot protection is implemented through the steady-state
+        # acceptance test; disabling the test would silently disable it.
+        with pytest.raises(ConfigurationError, match="protect_unmoved"):
+            LoadBalancerOptions(protect_unmoved=True, enforce_steady_state=False)
+
+    def test_retry_without_verification_rejected(self):
+        # The retry ladder triggers off the final feasibility check; without
+        # verify_result it could never fire.
+        with pytest.raises(ConfigurationError, match="retry_until_feasible"):
+            LoadBalancerOptions(verify_result=False)
+
+    def test_explicitly_unverified_single_pass_allowed(self):
+        options = LoadBalancerOptions(verify_result=False, retry_until_feasible=False)
+        assert not options.verify_result
+
+    def test_protect_unmoved_with_steady_state_allowed(self):
+        options = LoadBalancerOptions(protect_unmoved=True)
+        assert options.enforce_steady_state
+
+    def test_cross_check_matches_default_run(self, paper_schedule):
+        plain = balance_schedule(paper_schedule)
+        checked = balance_schedule(paper_schedule, LoadBalancerOptions(cross_check=True))
+        assert [d.chosen_processor for d in checked.decisions] == [
+            d.chosen_processor for d in plain.decisions
+        ]
+        assert checked.makespan_after == plain.makespan_after
+
+
 class TestOnGeneratedWorkloads:
     @pytest.mark.parametrize("shape", [GraphShape.PIPELINE, GraphShape.SENSOR_FUSION])
     def test_balancing_preserves_feasibility(self, shape):
