@@ -11,7 +11,7 @@ averaged comparison table over the seed sweep.
 """
 
 from repro.experiments import ComparisonConfig, run_e6_baseline_comparison
-from repro.experiments.runner import _strategy_schedules
+from repro.experiments.runner import _strategy_outcomes
 from repro.scheduling import PlacementPolicy, SchedulerOptions
 from repro.workloads import scheduled_workload
 
@@ -24,7 +24,7 @@ def test_e6_baseline_comparison(benchmark, capsys):
         SchedulerOptions(policy=PlacementPolicy.LEAST_LOADED),
     )
 
-    benchmark(lambda: _strategy_schedules(schedule))
+    benchmark(lambda: _strategy_outcomes(schedule))
 
     result = run_e6_baseline_comparison(config)
     with capsys.disabled():

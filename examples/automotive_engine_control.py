@@ -17,16 +17,8 @@ then shows what each strategy does to the memory hot-spot:
 Run it with ``python examples/automotive_engine_control.py``.
 """
 
-from repro import (
-    Architecture,
-    CommunicationModel,
-    LoadBalancer,
-    LoadBalancerOptions,
-    TaskGraph,
-    check_schedule,
-    schedule_application,
-)
-from repro.core import CostPolicy
+from repro import Architecture, CommunicationModel, TaskGraph, schedule_application
+from repro.api import balance
 from repro.metrics import ScheduleReport, capacity_violations, compare_schedules
 from repro.scheduling import PlacementPolicy, SchedulerOptions
 
@@ -82,26 +74,30 @@ def main() -> None:
     initial = schedule_application(
         graph, architecture, SchedulerOptions(policy=PlacementPolicy.GROUP_WITH_PREDECESSORS)
     )
-    strategies = {"initial": initial}
-    for label, policy in (
-        ("proposed", CostPolicy.RATIO),
-        ("load-only (memory-blind)", CostPolicy.LOAD_ONLY),
-        ("memory-only", CostPolicy.MEMORY_ONLY),
-    ):
-        strategies[label] = LoadBalancer(
-            initial, LoadBalancerOptions(policy=policy)
-        ).run().balanced_schedule
+    # The registry runs the heuristic under every compared cost policy; each
+    # outcome carries its own feasibility verdict and per-ECU memory map.
+    outcomes = {
+        label: balance(initial, "paper", policy=policy)
+        for label, policy in (
+            ("proposed", "ratio"),
+            ("load-only (memory-blind)", "load_only"),
+            ("memory-only", "memory_only"),
+        )
+    }
+    outcomes = {"initial": balance(initial, "no_balancing"), **outcomes}
 
     print()
     print(compare_schedules(
-        [ScheduleReport.of(label, schedule) for label, schedule in strategies.items()]
+        [ScheduleReport.of(label, outcome.schedule) for label, outcome in outcomes.items()]
     ))
     print("\nper-ECU memory and capacity overflows:")
-    for label, schedule in strategies.items():
-        usage = ", ".join(f"{k}: {v:g}" for k, v in sorted(schedule.memory_by_processor().items()))
-        overflow = capacity_violations(schedule)
-        feasible = check_schedule(schedule, check_memory=False).is_feasible
-        print(f"  {label:26s} [{usage}]  overflows={overflow or 'none'}  feasible={feasible}")
+    for label, outcome in outcomes.items():
+        usage = ", ".join(f"{k}: {v:g}" for k, v in sorted(outcome.memory_by_processor.items()))
+        overflow = capacity_violations(outcome.schedule)
+        print(
+            f"  {label:26s} [{usage}]  overflows={overflow or 'none'}  "
+            f"feasible={outcome.feasible}"
+        )
 
 
 if __name__ == "__main__":

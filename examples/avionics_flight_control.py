@@ -13,19 +13,9 @@ are respected before and after balancing.
 Run it with ``python examples/avionics_flight_control.py``.
 """
 
-from repro import (
-    Architecture,
-    CommunicationModel,
-    LoadBalancer,
-    LoadBalancerOptions,
-    TaskGraph,
-    check_schedule,
-    schedule_application,
-    validate_problem,
-)
-from repro.core import CostPolicy
-from repro.metrics import ScheduleReport, compare_schedules, capacity_violations
-from repro.scheduling import PlacementPolicy, SchedulerOptions
+from repro import Architecture, CommunicationModel, TaskGraph, validate_problem
+from repro.api import Pipeline, PipelineConfig
+from repro.metrics import capacity_violations
 from repro.simulation import SimulationOptions, simulate
 
 
@@ -77,30 +67,31 @@ def main() -> None:
         f"hyper-period {graph.hyper_period} ms, utilisation {graph.total_utilization:.2f}"
     )
 
-    # A naive load-spreading initial schedule: feasible, but memory-oblivious.
-    initial = schedule_application(
-        graph, architecture, SchedulerOptions(policy=PlacementPolicy.LEAST_LOADED)
-    )
-    result = LoadBalancer(initial, LoadBalancerOptions(policy=CostPolicy.RATIO)).run()
+    # One declarative pipeline: naive load-spreading initial schedule
+    # (feasible, but memory-oblivious), the paper heuristic, verification
+    # including the per-FCC memory capacities, and the comparison report.
+    config = PipelineConfig.from_dict({
+        "schema": "repro-pipeline/1",
+        "label": "flight-control",
+        "workload": {"kind": "provided"},
+        "schedule": {"policy": "least_loaded"},
+        "balance": {"balancer": "paper", "params": {"policy": "ratio"}},
+        "verify": {"enabled": True, "check_memory": True},
+        "report": {"describe_workload": False, "compare": True},
+    })
+    result = Pipeline(config, graph=graph, architecture=architecture).run()
 
-    print("\n" + result.summary())
+    print("\n" + result.report)
     print(
         "\nmemory-capacity violations before balancing:",
-        capacity_violations(initial) or "none",
+        capacity_violations(result.initial_schedule) or "none",
     )
     print(
         "memory-capacity violations after balancing: ",
         capacity_violations(result.balanced_schedule) or "none",
     )
-    print("\n" + compare_schedules(
-        [
-            ScheduleReport.of("initial", initial),
-            ScheduleReport.of("balanced", result.balanced_schedule),
-        ]
-    ))
 
-    feasibility = check_schedule(result.balanced_schedule)
-    print(f"\nbalanced schedule feasible: {feasibility.is_feasible}")
+    print(f"\nbalanced schedule feasible: {result.feasible}")
 
     simulation = simulate(result.balanced_schedule, SimulationOptions(hyper_periods=2))
     print("\nsimulated peak memory (static + multi-rate buffers):")

@@ -1,29 +1,25 @@
 #!/usr/bin/env python3
-"""Quickstart: model a small multi-rate application, schedule it and balance it.
+"""Quickstart: model a small multi-rate application and run it through the
+unified ``repro.api`` pipeline.
 
 This example walks through the whole public API in ~60 lines:
 
 1. describe a strictly periodic multi-rate task graph and a homogeneous
    architecture;
-2. run the initial distributed scheduling heuristic (the stand-in for the
-   paper's reference [4]);
-3. run the load-balancing heuristic with efficient memory usage (the paper's
-   contribution);
-4. verify the result and replay it in the discrete-event simulator.
+2. declare a :class:`~repro.api.PipelineConfig` — initial scheduling,
+   balancing strategy, verification and reporting as plain data (the same
+   schema ``repro-lb run --config`` executes from JSON);
+3. run the :class:`~repro.api.Pipeline` and read the structured
+   :class:`~repro.api.RunResult` (metrics, trace, timings, rendered report);
+4. replay the balanced schedule in the discrete-event simulator.
 
 Run it with ``python examples/quickstart.py``.
 """
 
-from repro import (
-    Architecture,
-    CommunicationModel,
-    LoadBalancer,
-    LoadBalancerOptions,
-    TaskGraph,
-    check_schedule,
-    schedule_application,
-)
-from repro.metrics import ScheduleReport, compare_schedules
+import json
+
+from repro import Architecture, CommunicationModel, TaskGraph
+from repro.api import Pipeline, PipelineConfig
 from repro.simulation import SimulationOptions, simulate
 
 
@@ -56,30 +52,32 @@ def main() -> None:
     print(f"application: {len(graph)} tasks, hyper-period {graph.hyper_period}, "
           f"utilisation {graph.total_utilization:.2f}")
 
-    # 1. initial schedule (feasibility only, no balancing)
-    initial = schedule_application(graph, architecture)
-    print("\ninitial schedule:")
-    print(initial.describe())
+    # 1. one declarative config covers scheduling, balancing, verification and
+    #    reporting; dump it to see the exact JSON `repro-lb run` accepts.
+    config = PipelineConfig.from_dict({
+        "schema": "repro-pipeline/1",
+        "label": "quickstart",
+        "workload": {"kind": "provided"},
+        "schedule": {"policy": "least_loaded"},
+        "balance": {"balancer": "paper", "params": {"policy": "ratio"}},
+        "verify": {"enabled": True},
+        "report": {"show_schedules": True, "compare": True},
+    })
+    print("\npipeline config:")
+    print(json.dumps(config.to_dict(), indent=2))
 
-    # 2. load balancing with efficient memory usage
-    result = LoadBalancer(initial, LoadBalancerOptions()).run()
-    print("\nload balancing:")
-    print(result.summary())
-    print("\nbalanced schedule:")
-    print(result.balanced_schedule.describe())
-
-    # 3. verification + side-by-side metrics
-    report = check_schedule(result.balanced_schedule)
-    print(f"\nbalanced schedule feasible: {report.is_feasible}")
+    # 2. run the pipeline on the in-memory problem
+    result = Pipeline(config, graph=graph, architecture=architecture).run()
     print()
-    print(
-        compare_schedules(
-            [
-                ScheduleReport.of("initial", initial),
-                ScheduleReport.of("balanced", result.balanced_schedule),
-            ]
-        )
-    )
+    print(result.report)
+
+    # 3. the same run as a structured artifact
+    print(f"\nfeasible: {result.feasible}")
+    print(f"metrics: makespan {result.metrics['makespan_before']:g} -> "
+          f"{result.metrics['makespan_after']:g}, "
+          f"max memory {result.metrics['max_memory_after']:g}, "
+          f"{result.metrics['moves']} block move(s)")
+    print(f"stages timed: {sorted(result.timings)}")
 
     # 4. replay in the discrete-event simulator (two hyper-periods)
     simulation = simulate(result.balanced_schedule, SimulationOptions(hyper_periods=2))

@@ -12,10 +12,9 @@ the simulator.
 Run it with ``python examples/signal_processing_pipeline.py``.
 """
 
-from repro.baselines import ffd_memory_assignment, lpt_assignment
-from repro.core import CostPolicy, LoadBalancer, LoadBalancerOptions
+from repro.api import balance
 from repro.metrics import ScheduleReport, compare_schedules
-from repro.scheduling import PlacementPolicy, SchedulerOptions, check_schedule
+from repro.scheduling import PlacementPolicy, SchedulerOptions
 from repro.simulation import SimulationOptions, simulate
 from repro.workloads import GraphShape, WorkloadSpec, scheduled_workload
 
@@ -37,30 +36,33 @@ def main() -> None:
     )
     print(workload.describe())
 
-    strategies = {"initial": initial}
-    for name, policy in (
-        ("proposed (ratio)", CostPolicy.RATIO),
-        ("load-only", CostPolicy.LOAD_ONLY),
-        ("memory-only", CostPolicy.MEMORY_ONLY),
-    ):
-        strategies[name] = LoadBalancer(
-            initial, LoadBalancerOptions(policy=policy)
-        ).run().balanced_schedule
-    strategies["LPT assignment"] = lpt_assignment(initial).schedule
-    strategies["FFD memory packing"] = ffd_memory_assignment(initial).schedule
+    # Every strategy — the paper heuristic under several cost policies and the
+    # assignment-level baselines — runs through the one registry entry point.
+    outcomes = {
+        name: balance(initial, key, **params)
+        for name, key, params in (
+            ("initial", "no_balancing", {}),
+            ("proposed (ratio)", "paper", {"policy": "ratio"}),
+            ("load-only", "paper", {"policy": "load_only"}),
+            ("memory-only", "paper", {"policy": "memory_only"}),
+            ("LPT assignment", "greedy_load", {}),
+            ("FFD memory packing", "bin_packing", {}),
+        )
+    }
 
     print()
     print(compare_schedules(
-        [ScheduleReport.of(name, schedule) for name, schedule in strategies.items()]
+        [ScheduleReport.of(name, outcome.schedule) for name, outcome in outcomes.items()]
     ))
 
     print("\nconstraint check (the assignment-level baselines ignore timing):")
-    for name, schedule in strategies.items():
-        report = check_schedule(schedule, check_memory=False)
-        status = "feasible" if report.is_feasible else f"{len(report.all_violations)} violations"
+    for name, outcome in outcomes.items():
+        # Every outcome carries the same uniform verdict — no per-strategy
+        # re-verification needed.
+        status = "feasible" if outcome.feasible else f"{len(outcome.violations)} violations"
         print(f"  {name:22s} {status}")
 
-    balanced = strategies["proposed (ratio)"]
+    balanced = outcomes["proposed (ratio)"].schedule
     simulation = simulate(balanced, SimulationOptions(hyper_periods=2))
     print("\nmulti-rate buffer peaks on the balanced schedule (Figure-1 effect):")
     for name, peak in sorted(simulation.memory.peak_buffers().items()):

@@ -25,6 +25,15 @@ True
 """
 
 from repro._version import __version__
+from repro.api import (
+    BalanceOutcome,
+    Pipeline,
+    PipelineConfig,
+    RunResult,
+    available_balancers,
+    balance,
+    run_pipeline,
+)
 from repro.core import (
     Block,
     BlockBuildOptions,
@@ -72,6 +81,7 @@ __all__ = [
     "AnalysisError",
     "Architecture",
     "ArchitectureError",
+    "BalanceOutcome",
     "Block",
     "BlockBuildOptions",
     "BlockCategory",
@@ -86,9 +96,12 @@ __all__ = [
     "LoadBalancerOptions",
     "Medium",
     "ModelError",
+    "Pipeline",
+    "PipelineConfig",
     "PlacementPolicy",
     "Processor",
     "ReproError",
+    "RunResult",
     "Schedule",
     "ScheduledInstance",
     "SchedulerOptions",
@@ -99,9 +112,12 @@ __all__ = [
     "WorkloadError",
     "__version__",
     "assert_feasible",
+    "available_balancers",
+    "balance",
     "balance_schedule",
     "build_blocks",
     "check_schedule",
+    "run_pipeline",
     "schedule_application",
     "validate_problem",
 ]

@@ -1,0 +1,55 @@
+"""Unified pipeline API: one Balancer protocol, a registry, structured runs.
+
+This package is the composable surface every front-end builds on:
+
+* :mod:`repro.api.balancers` — the :class:`Balancer` protocol, the
+  string-keyed registry adapting the paper heuristic and all six baselines,
+  and the uniform :class:`BalanceOutcome`;
+* :mod:`repro.api.config` — the declarative, versioned
+  :class:`PipelineConfig` (schema ``repro-pipeline/1``);
+* :mod:`repro.api.pipeline` — the :class:`Pipeline` facade and the
+  serialisable :class:`RunResult` artifact (schema ``repro-run/1``).
+"""
+
+from repro.api.balancers import (
+    BalanceOutcome,
+    Balancer,
+    BalancerSpec,
+    available_balancers,
+    balance,
+    balancer_info,
+    get_balancer,
+    register_balancer,
+)
+from repro.api.config import (
+    PIPELINE_SCHEMA,
+    BalanceStage,
+    PipelineConfig,
+    ReportStage,
+    ScheduleStage,
+    VerifyStage,
+    WorkloadStage,
+)
+from repro.api.pipeline import RUN_SCHEMA, Pipeline, RunResult, run_pipeline
+
+__all__ = [
+    "PIPELINE_SCHEMA",
+    "RUN_SCHEMA",
+    "BalanceOutcome",
+    "BalanceStage",
+    "Balancer",
+    "BalancerSpec",
+    "Pipeline",
+    "PipelineConfig",
+    "ReportStage",
+    "RunResult",
+    "ScheduleStage",
+    "VerifyStage",
+    "WorkloadStage",
+    "available_balancers",
+    "balance",
+    "balancer_info",
+    "get_balancer",
+    "register_balancer",
+    "run_pipeline",
+]

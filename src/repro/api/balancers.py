@@ -1,0 +1,430 @@
+"""One ``Balancer`` protocol and a string-keyed registry over every strategy.
+
+Before this module existed, the paper heuristic and the six baselines exposed
+incompatible call signatures (``LoadBalancer(schedule, opts).run()`` versus
+free functions returning :class:`~repro.baselines.base.AssignmentResult`),
+so every consumer — the CLI, the E6/E7 runners, the examples — hand-wired
+its own glue.  The registry adapts all of them behind one interface::
+
+    from repro.api import balance, available_balancers
+
+    outcome = balance(schedule, "paper", policy="lexicographic")
+    outcome = balance(schedule, "genetic", generations=40)
+
+Every strategy returns a :class:`BalanceOutcome` carrying the balanced
+schedule, a uniform decision trace, the per-processor memory and the
+feasibility verdict — computed once, the same way for every strategy, so
+consumers never re-run :func:`~repro.scheduling.feasibility.check_schedule`
+themselves.
+
+Registered strategies
+---------------------
+``paper``
+    Algorithm 3.2 (the paper's contribution).  Accepts every
+    :class:`~repro.core.load_balancer.LoadBalancerOptions` field as a keyword
+    parameter, with ``policy`` given as a string — which makes all
+    :class:`~repro.core.cost.CostPolicy` interpretations (``ratio``,
+    ``ratio_strict``, ``lexicographic``, plus the ``memory_only`` /
+    ``load_only`` ablations) reachable through one key.
+``no_balancing``
+    Identity assignment (the paper's reference point).
+``greedy_load``
+    Longest-Processing-Time list rule on block execution times (memory-blind,
+    assignment-level).
+``bin_packing``
+    Best-fit-decreasing packing of block memories onto the processors.
+``memory_balancer``
+    The bare greedy memory-only rule bounded by Theorem 2.
+``genetic``
+    The Greene-style GA baseline; accepts every
+    :class:`~repro.baselines.genetic.GeneticOptions` field.
+``branch_and_bound``
+    Exact min-max-memory partitioning (``ω_opt``) for small instances;
+    accepts ``node_limit``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Protocol, runtime_checkable
+
+from repro.baselines.base import AssignmentResult
+from repro.baselines.bin_packing import ffd_memory_assignment
+from repro.baselines.branch_and_bound import optimal_memory_assignment
+from repro.baselines.genetic import GeneticOptions, genetic_assignment
+from repro.baselines.greedy_load import lpt_assignment
+from repro.baselines.memory_balancer import greedy_memory_assignment
+from repro.baselines.no_balancing import no_balancing
+from repro.core.blocks import BlockBuildOptions, build_blocks
+from repro.core.cost import CostPolicy
+from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
+from repro.core.result import LoadBalanceResult
+from repro.errors import ConfigurationError
+from repro.metrics.balance import busy_time_by_processor
+from repro.scheduling.feasibility import check_schedule
+from repro.scheduling.schedule import Schedule
+
+__all__ = [
+    "Balancer",
+    "BalanceOutcome",
+    "BalancerSpec",
+    "available_balancers",
+    "balancer_info",
+    "balance",
+    "get_balancer",
+    "register_balancer",
+]
+
+
+@dataclass(slots=True)
+class BalanceOutcome:
+    """Uniform outcome of any registered balancing strategy."""
+
+    #: Registry key of the strategy that produced the outcome.
+    balancer: str
+    initial_schedule: Schedule
+    #: The (re)balanced schedule.
+    schedule: Schedule
+    #: Feasibility verdict of the balanced schedule (dependences, strict
+    #: periodicity, overlaps — memory capacity is a metrics concern), computed
+    #: once with the same checker for every strategy.
+    feasible: bool
+    #: Constraint violations behind a negative verdict.
+    violations: list[str] = field(default_factory=list)
+    #: Strategy warnings (forced placements, retry-ladder notes, ...).
+    warnings: list[str] = field(default_factory=list)
+    #: Uniform per-block decision trace: ``{"block", "from", "to", "moved"}``
+    #: entries, extended with ``start``/``gain``/``forced`` for the paper
+    #: heuristic whose moves carry timing decisions.
+    trace: list[dict[str, Any]] = field(default_factory=list)
+    #: Which rule set produced the result (``"paper"``/``"conservative"``/
+    #: ``"no-op"`` for the heuristic's retry ladder, ``"assignment"`` for the
+    #: timing-blind baselines).
+    safety_level: str = "assignment"
+    #: Algorithm-specific extras (GA fitness, branch-and-bound nodes, λ
+    #: evaluation count, ...).
+    info: dict[str, float] = field(default_factory=dict)
+    #: Underlying result object (:class:`LoadBalanceResult` or
+    #: :class:`AssignmentResult`) for consumers needing full detail.
+    raw: object | None = None
+
+    # -- headline numbers ---------------------------------------------------
+    @property
+    def makespan_before(self) -> float:
+        """Total execution time of the initial schedule."""
+        return self.initial_schedule.makespan
+
+    @property
+    def makespan_after(self) -> float:
+        """Total execution time of the balanced schedule."""
+        return self.schedule.makespan
+
+    @property
+    def total_gain(self) -> float:
+        """``G_total = L_former - L_new``."""
+        return self.makespan_before - self.makespan_after
+
+    @property
+    def memory_by_processor(self) -> dict[str, float]:
+        """Per-processor memory of the balanced schedule."""
+        return self.schedule.memory_by_processor()
+
+    @property
+    def max_memory(self) -> float:
+        """``ω``: the largest per-processor memory after balancing."""
+        return max(self.memory_by_processor.values(), default=0.0)
+
+    @property
+    def max_execution(self) -> float:
+        """Largest per-processor busy time after balancing."""
+        return max(busy_time_by_processor(self.schedule).values(), default=0.0)
+
+    @property
+    def moves(self) -> int:
+        """Number of blocks that changed processor."""
+        return sum(1 for entry in self.trace if entry.get("moved"))
+
+    def summary(self) -> str:
+        """Human-readable wrap-up (delegates to the underlying result)."""
+        raw_summary = getattr(self.raw, "summary", None)
+        if callable(raw_summary):
+            return raw_summary()
+        return (
+            f"{self.balancer}: makespan {self.makespan_before:g} -> "
+            f"{self.makespan_after:g}, max memory {self.max_memory:g}, "
+            f"{self.moves} block move(s), feasible={self.feasible}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe summary of the outcome (no schedule objects)."""
+        return {
+            "balancer": self.balancer,
+            "feasible": self.feasible,
+            "violations": list(self.violations),
+            "warnings": list(self.warnings),
+            "safety_level": self.safety_level,
+            "makespan_before": float(self.makespan_before),
+            "makespan_after": float(self.makespan_after),
+            "total_gain": float(self.total_gain),
+            "memory_by_processor": {
+                name: float(amount)
+                for name, amount in sorted(self.memory_by_processor.items())
+            },
+            "max_memory": float(self.max_memory),
+            "max_execution": float(self.max_execution),
+            "moves": self.moves,
+            "trace": [dict(entry) for entry in self.trace],
+            "info": {key: float(value) for key, value in self.info.items()},
+        }
+
+
+@runtime_checkable
+class Balancer(Protocol):
+    """What every registered strategy exposes: one ``balance`` entry point."""
+
+    name: str
+    description: str
+
+    def balance(self, schedule: Schedule, **params: Any) -> BalanceOutcome:
+        """Run the strategy on ``schedule`` and return its uniform outcome."""
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass(frozen=True, slots=True)
+class BalancerSpec:
+    """One registry entry (implements the :class:`Balancer` protocol)."""
+
+    name: str
+    description: str
+    #: Parameter names the strategy accepts (documentation for ``repro-lb list``).
+    params: tuple[str, ...]
+    runner: Callable[..., BalanceOutcome]
+
+    def balance(self, schedule: Schedule, **params: Any) -> BalanceOutcome:
+        """Run the strategy (rejecting unknown parameters up front)."""
+        unknown = sorted(set(params) - set(self.params))
+        if unknown:
+            raise ConfigurationError(
+                f"Balancer {self.name!r} does not accept parameter(s) {unknown}; "
+                f"supported: {sorted(self.params)}"
+            )
+        return self.runner(schedule, **params)
+
+
+_REGISTRY: dict[str, BalancerSpec] = {}
+
+
+def register_balancer(
+    name: str, description: str, params: tuple[str, ...] = ()
+) -> Callable[[Callable[..., BalanceOutcome]], Callable[..., BalanceOutcome]]:
+    """Register ``runner`` under ``name`` (decorator form)."""
+
+    def decorator(runner: Callable[..., BalanceOutcome]) -> Callable[..., BalanceOutcome]:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"Balancer {name!r} is already registered")
+        _REGISTRY[name] = BalancerSpec(
+            name=name, description=description, params=params, runner=runner
+        )
+        return runner
+
+    return decorator
+
+
+def available_balancers() -> tuple[str, ...]:
+    """Registered balancer names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def balancer_info(name: str) -> BalancerSpec:
+    """Registry entry of ``name`` (raises :class:`ConfigurationError` if absent)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown balancer {name!r}; registered: {list(available_balancers())}"
+        ) from None
+
+
+def get_balancer(name: str) -> Balancer:
+    """The :class:`Balancer` registered under ``name``."""
+    return balancer_info(name)
+
+
+def balance(
+    schedule: Schedule,
+    balancer: str | Mapping[str, Any] = "paper",
+    **params: Any,
+) -> BalanceOutcome:
+    """Run any registered strategy: ``balance(schedule, config) -> BalanceOutcome``.
+
+    ``balancer`` is either a registry key (keyword parameters passed
+    directly) or a config mapping ``{"balancer": name, "params": {...}}`` —
+    the exact shape :class:`~repro.api.config.BalanceStage` serialises to.
+    """
+    if isinstance(balancer, Mapping):
+        if params:
+            raise ConfigurationError(
+                "Pass parameters either inside the config mapping or as keywords, not both"
+            )
+        name = balancer.get("balancer", "paper")
+        params = dict(balancer.get("params") or {})
+    else:
+        name = balancer
+    return get_balancer(name).balance(schedule, **params)
+
+
+# ----------------------------------------------------------------------
+# Adapters
+# ----------------------------------------------------------------------
+def _verdict(schedule: Schedule) -> tuple[bool, list[str]]:
+    report = check_schedule(schedule, check_memory=False)
+    return report.is_feasible, report.all_violations
+
+
+def _heuristic_outcome(name: str, result: LoadBalanceResult) -> BalanceOutcome:
+    trace = [
+        {
+            "block": decision.block.label,
+            "from": decision.block.processor,
+            "to": decision.chosen_processor,
+            "moved": decision.moved_away,
+            "start": float(decision.placement_start),
+            "gain": float(decision.gain),
+            "forced": decision.forced,
+            "updated_blocks": list(decision.updated_blocks),
+        }
+        for decision in result.decisions
+    ]
+    feasible, violations = _verdict(result.balanced_schedule)
+    return BalanceOutcome(
+        balancer=name,
+        initial_schedule=result.initial_schedule,
+        schedule=result.balanced_schedule,
+        feasible=feasible,
+        violations=violations,
+        warnings=list(result.warnings),
+        trace=trace,
+        safety_level=result.safety_level,
+        info={"evaluations": float(result.evaluations)},
+        raw=result,
+    )
+
+
+def _assignment_outcome(
+    name: str, initial: Schedule, result: AssignmentResult
+) -> BalanceOutcome:
+    # Block labels/origins are recorded by AssignmentResult.build; rebuilding
+    # the blocks here is only needed for hand-rolled results.
+    origin = result.block_origins or {
+        block.id: (block.label, block.processor)
+        for block in build_blocks(initial, BlockBuildOptions())
+    }
+    trace = [
+        {
+            "block": origin[block_id][0],
+            "from": origin[block_id][1],
+            "to": target,
+            "moved": target != origin[block_id][1],
+        }
+        for block_id, target in sorted(result.assignment.items())
+    ]
+    return BalanceOutcome(
+        balancer=name,
+        initial_schedule=initial,
+        schedule=result.schedule,
+        feasible=result.feasible,
+        violations=list(result.violations),
+        trace=trace,
+        safety_level="assignment",
+        info=dict(result.info),
+        raw=result,
+    )
+
+
+def _coerce_options(params: dict[str, Any]) -> LoadBalancerOptions:
+    """Build :class:`LoadBalancerOptions` from JSON-friendly parameters."""
+    if "policy" in params:
+        policy = params["policy"]
+        if isinstance(policy, str):
+            try:
+                params["policy"] = CostPolicy(policy)
+            except ValueError:
+                raise ConfigurationError(
+                    f"Unknown cost policy {policy!r}; expected one of "
+                    f"{[p.value for p in CostPolicy]}"
+                ) from None
+    return LoadBalancerOptions(**params)
+
+
+_PAPER_PARAMS = tuple(
+    f.name for f in dataclass_fields(LoadBalancerOptions) if f.name != "block_options"
+)
+
+_GENETIC_PARAMS = tuple(f.name for f in dataclass_fields(GeneticOptions))
+
+
+@register_balancer(
+    "paper",
+    "Algorithm 3.2 — block moves under dependence/periodicity constraints "
+    "(policy: ratio | ratio_strict | lexicographic | memory_only | load_only)",
+    params=_PAPER_PARAMS,
+)
+def _paper(schedule: Schedule, **params: Any) -> BalanceOutcome:
+    result = LoadBalancer(schedule, _coerce_options(params)).run()
+    return _heuristic_outcome("paper", result)
+
+
+@register_balancer(
+    "no_balancing", "identity assignment — keep the initial schedule (reference point)"
+)
+def _no_balancing(schedule: Schedule) -> BalanceOutcome:
+    return _assignment_outcome("no_balancing", schedule, no_balancing(schedule))
+
+
+@register_balancer(
+    "greedy_load",
+    "LPT list rule on block execution times (memory- and timing-blind)",
+)
+def _greedy_load(schedule: Schedule) -> BalanceOutcome:
+    return _assignment_outcome("greedy_load", schedule, lpt_assignment(schedule))
+
+
+@register_balancer(
+    "bin_packing", "best-fit-decreasing packing of block memories onto the processors"
+)
+def _bin_packing(schedule: Schedule) -> BalanceOutcome:
+    return _assignment_outcome("bin_packing", schedule, ffd_memory_assignment(schedule))
+
+
+@register_balancer(
+    "memory_balancer",
+    "greedy memory-only rule (the (2 - 1/M)-approximation of Theorem 2)",
+)
+def _memory_balancer(schedule: Schedule) -> BalanceOutcome:
+    return _assignment_outcome(
+        "memory_balancer", schedule, greedy_memory_assignment(schedule)
+    )
+
+
+@register_balancer(
+    "genetic",
+    "Greene-style genetic-algorithm assignment baseline",
+    params=_GENETIC_PARAMS,
+)
+def _genetic(schedule: Schedule, **params: Any) -> BalanceOutcome:
+    options = GeneticOptions(**params) if params else None
+    return _assignment_outcome(
+        "genetic", schedule, genetic_assignment(schedule, options)
+    )
+
+
+@register_balancer(
+    "branch_and_bound",
+    "exact min-max-memory partitioning (ω_opt) — small instances only",
+    params=("node_limit",),
+)
+def _branch_and_bound(schedule: Schedule, **params: Any) -> BalanceOutcome:
+    return _assignment_outcome(
+        "branch_and_bound", schedule, optimal_memory_assignment(schedule, **params)
+    )

@@ -1,0 +1,330 @@
+"""Declarative pipeline configuration (schema ``repro-pipeline/1``).
+
+A :class:`PipelineConfig` describes one end-to-end run — workload, initial
+schedule, balancing strategy, verification and reporting — as plain data, so
+campaign manifests, CLI flags and tests all speak one schema::
+
+    {
+      "schema": "repro-pipeline/1",
+      "label": "quickstart",
+      "workload": {"kind": "spec", "spec": {"task_count": 40, ...}},
+      "schedule": {"policy": "least_loaded"},
+      "balance": {"balancer": "paper", "params": {"policy": "ratio"}},
+      "verify": {"enabled": true, "check_memory": false},
+      "report": {"enabled": true, "steps": false, "compare": true, ...}
+    }
+
+``PipelineConfig.from_dict(cfg.to_dict()) == cfg`` holds for every config
+(the round trip is property-tested); unknown keys and schema mismatches are
+rejected so stale manifests fail loudly instead of silently degrading.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.workloads.spec import GraphShape, WorkloadSpec
+
+__all__ = [
+    "PIPELINE_SCHEMA",
+    "WorkloadStage",
+    "ScheduleStage",
+    "BalanceStage",
+    "VerifyStage",
+    "ReportStage",
+    "PipelineConfig",
+]
+
+#: Version tag stamped into every serialised config.
+PIPELINE_SCHEMA = "repro-pipeline/1"
+
+#: Recognised workload kinds.
+_WORKLOAD_KINDS = ("spec", "paper_example", "provided")
+
+
+def _spec_to_dict(spec: WorkloadSpec) -> dict[str, Any]:
+    data = dataclasses.asdict(spec)
+    data["shape"] = spec.shape.value
+    data["memory_range"] = list(spec.memory_range)
+    data["data_size_range"] = list(spec.data_size_range)
+    return data
+
+
+def _spec_from_dict(data: Mapping[str, Any]) -> WorkloadSpec:
+    known = {f.name for f in dataclasses.fields(WorkloadSpec)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ConfigurationError(f"Unknown workload-spec key(s) {unknown}")
+    kwargs = dict(data)
+    if "shape" in kwargs:
+        try:
+            kwargs["shape"] = GraphShape(kwargs["shape"])
+        except ValueError:
+            raise ConfigurationError(
+                f"Unknown graph shape {kwargs['shape']!r}; expected one of "
+                f"{[s.value for s in GraphShape]}"
+            ) from None
+    for key in ("memory_range", "data_size_range"):
+        if key in kwargs:
+            kwargs[key] = tuple(kwargs[key])
+    return WorkloadSpec(**kwargs)
+
+
+def _check_keys(data: Mapping[str, Any], allowed: tuple[str, ...], stage: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"Unknown {stage} key(s) {unknown}; supported: {sorted(allowed)}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadStage:
+    """Where the problem instance comes from.
+
+    ``spec``
+        Synthetic workload described by a :class:`WorkloadSpec` (fully
+        declarative, serialisable).
+    ``paper_example``
+        The worked example of the paper (Figures 2–3), including its fixed
+        initial schedule.
+    ``provided``
+        The graph and architecture are supplied in memory to
+        :class:`~repro.api.pipeline.Pipeline` (the examples do this); such a
+        config still serialises, but running it requires the objects.
+    """
+
+    kind: str = "spec"
+    spec: WorkloadSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WORKLOAD_KINDS:
+            raise ConfigurationError(
+                f"Unknown workload kind {self.kind!r}; expected one of {_WORKLOAD_KINDS}"
+            )
+        if self.kind == "spec" and self.spec is None:
+            raise ConfigurationError('workload kind "spec" requires a workload spec')
+        if self.kind != "spec" and self.spec is not None:
+            raise ConfigurationError(
+                f'workload kind {self.kind!r} does not take a spec'
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"kind": self.kind}
+        if self.spec is not None:
+            data["spec"] = _spec_to_dict(self.spec)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadStage":
+        _check_keys(data, ("kind", "spec"), "workload stage")
+        spec = data.get("spec")
+        return cls(
+            kind=data.get("kind", "spec"),
+            spec=_spec_from_dict(spec) if spec is not None else None,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleStage:
+    """Initial distributed scheduling (ignored for ``paper_example``, whose
+    Figure-3 schedule is fixed)."""
+
+    #: :class:`~repro.scheduling.heuristic.PlacementPolicy` value.
+    policy: str = "least_loaded"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"policy": self.policy}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScheduleStage":
+        _check_keys(data, ("policy",), "schedule stage")
+        return cls(policy=data.get("policy", "least_loaded"))
+
+
+@dataclass(frozen=True, slots=True)
+class BalanceStage:
+    """Which registered balancer runs, with which parameters."""
+
+    balancer: str = "paper"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"balancer": self.balancer, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BalanceStage":
+        _check_keys(data, ("balancer", "params"), "balance stage")
+        return cls(
+            balancer=data.get("balancer", "paper"),
+            params=dict(data.get("params") or {}),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class VerifyStage:
+    """Feasibility verification of the balanced schedule."""
+
+    enabled: bool = True
+    #: Also check per-processor memory capacities.
+    check_memory: bool = False
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"enabled": self.enabled, "check_memory": self.check_memory}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VerifyStage":
+        _check_keys(data, ("enabled", "check_memory"), "verify stage")
+        return cls(
+            enabled=bool(data.get("enabled", True)),
+            check_memory=bool(data.get("check_memory", False)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ReportStage:
+    """What the rendered report of the run contains."""
+
+    enabled: bool = True
+    #: Lead with the workload description line.
+    describe_workload: bool = True
+    #: Print the initial and balanced schedules in full.
+    show_schedules: bool = False
+    #: Print the per-block decision trace.
+    steps: bool = False
+    #: Append the before/after metric comparison table.
+    compare: bool = True
+    #: Replay both schedules in the discrete-event simulator.
+    simulate: bool = False
+    #: Hyper-periods the simulation replays.
+    simulate_hyper_periods: int = 2
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "describe_workload": self.describe_workload,
+            "show_schedules": self.show_schedules,
+            "steps": self.steps,
+            "compare": self.compare,
+            "simulate": self.simulate,
+            "simulate_hyper_periods": self.simulate_hyper_periods,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReportStage":
+        _check_keys(
+            data,
+            (
+                "enabled",
+                "describe_workload",
+                "show_schedules",
+                "steps",
+                "compare",
+                "simulate",
+                "simulate_hyper_periods",
+            ),
+            "report stage",
+        )
+        defaults = cls()
+        return cls(
+            enabled=bool(data.get("enabled", defaults.enabled)),
+            describe_workload=bool(
+                data.get("describe_workload", defaults.describe_workload)
+            ),
+            show_schedules=bool(data.get("show_schedules", defaults.show_schedules)),
+            steps=bool(data.get("steps", defaults.steps)),
+            compare=bool(data.get("compare", defaults.compare)),
+            simulate=bool(data.get("simulate", defaults.simulate)),
+            simulate_hyper_periods=int(
+                data.get("simulate_hyper_periods", defaults.simulate_hyper_periods)
+            ),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PipelineConfig:
+    """One declarative end-to-end run (see the module docstring)."""
+
+    workload: WorkloadStage
+    schedule: ScheduleStage = field(default_factory=ScheduleStage)
+    balance: BalanceStage = field(default_factory=BalanceStage)
+    verify: VerifyStage = field(default_factory=VerifyStage)
+    report: ReportStage = field(default_factory=ReportStage)
+    label: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the config (round-trippable through :meth:`from_dict`)."""
+        return {
+            "schema": PIPELINE_SCHEMA,
+            "label": self.label,
+            "workload": self.workload.to_dict(),
+            "schedule": self.schedule.to_dict(),
+            "balance": self.balance.to_dict(),
+            "verify": self.verify.to_dict(),
+            "report": self.report.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineConfig":
+        """Rebuild a config from its serialised form (strict: version-checked)."""
+        schema = data.get("schema", PIPELINE_SCHEMA)
+        if schema != PIPELINE_SCHEMA:
+            raise ConfigurationError(
+                f"Unsupported pipeline schema {schema!r}; this build reads "
+                f"{PIPELINE_SCHEMA!r}"
+            )
+        _check_keys(
+            data,
+            ("schema", "label", "workload", "schedule", "balance", "verify", "report"),
+            "pipeline config",
+        )
+        if "workload" not in data:
+            raise ConfigurationError("Pipeline config requires a workload stage")
+        return cls(
+            workload=WorkloadStage.from_dict(data["workload"]),
+            schedule=ScheduleStage.from_dict(data.get("schedule") or {}),
+            balance=BalanceStage.from_dict(data.get("balance") or {}),
+            verify=VerifyStage.from_dict(data.get("verify") or {}),
+            report=ReportStage.from_dict(data.get("report") or {}),
+            label=str(data.get("label", "")),
+        )
+
+    # -- front-end constructors --------------------------------------------
+    @classmethod
+    def paper_example(
+        cls, *, policy: str = "lexicographic", steps: bool = False
+    ) -> "PipelineConfig":
+        """The worked example of the paper, as the CLI ``example`` command runs it."""
+        return cls(
+            workload=WorkloadStage(kind="paper_example"),
+            balance=BalanceStage(balancer="paper", params={"policy": policy}),
+            report=ReportStage(
+                describe_workload=False,
+                show_schedules=True,
+                steps=steps,
+                compare=False,
+            ),
+            label="paper-example",
+        )
+
+    @classmethod
+    def synthetic(
+        cls,
+        spec: WorkloadSpec,
+        *,
+        initial_policy: str = "least_loaded",
+        balancer: str = "paper",
+        params: Mapping[str, Any] | None = None,
+        simulate: bool = False,
+    ) -> "PipelineConfig":
+        """A synthetic-workload run, as the CLI ``random`` command runs it."""
+        return cls(
+            workload=WorkloadStage(kind="spec", spec=spec),
+            schedule=ScheduleStage(policy=initial_policy),
+            balance=BalanceStage(balancer=balancer, params=dict(params or {})),
+            report=ReportStage(simulate=simulate),
+            label=spec.label or "synthetic",
+        )

@@ -1,0 +1,349 @@
+"""The ``Pipeline`` facade and the structured ``RunResult`` artifact.
+
+A :class:`Pipeline` executes one :class:`~repro.api.config.PipelineConfig`
+through its declarative stages — workload, initial schedule, balancing (any
+registered balancer), verification, reporting — and returns a
+:class:`RunResult`: metrics, decision trace, per-stage timings, a config
+echo and the rendered report, all serialisable through ``to_dict()`` /
+``from_dict()`` (schema ``repro-run/1``).  The CLI prints
+``RunResult.report`` verbatim; the campaign runner stores
+``RunResult.to_dict()`` verbatim in its manifests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.api.balancers import BalanceOutcome, balance
+from repro.api.config import PipelineConfig
+from repro.core.result import LoadBalanceResult
+from repro.errors import ConfigurationError
+from repro.metrics.report import ScheduleReport, compare_schedules
+from repro.model.architecture import Architecture
+from repro.model.graph import TaskGraph
+from repro.scheduling.feasibility import check_schedule
+from repro.scheduling.heuristic import PlacementPolicy, SchedulerOptions, schedule_application
+from repro.scheduling.schedule import Schedule
+from repro.workloads.generator import generate_workload
+from repro.workloads.paper_example import paper_initial_schedule
+
+__all__ = ["RUN_SCHEMA", "RunResult", "Pipeline", "run_pipeline"]
+
+#: Version tag stamped into every serialised run result.
+RUN_SCHEMA = "repro-run/1"
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Structured artifact of one pipeline run."""
+
+    label: str
+    #: Echo of the config that produced the run (``PipelineConfig.to_dict()``).
+    config: dict[str, Any]
+    #: Registry key of the balancer that ran.
+    balancer: str
+    #: Verification verdict (``None`` when the verify stage was disabled and
+    #: the balancer's own verdict is reported instead — see ``metrics``).
+    feasible: bool | None
+    violations: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    safety_level: str = "paper"
+    #: Headline metrics plus full before/after schedule reports.
+    metrics: dict[str, Any] = field(default_factory=dict)
+    #: Uniform per-block decision trace (see :class:`BalanceOutcome`).
+    trace: list[dict[str, Any]] = field(default_factory=list)
+    #: Wall-clock seconds per executed stage.
+    timings: dict[str, float] = field(default_factory=dict)
+    #: One-line workload description ("" for the paper example).
+    workload_description: str = ""
+    #: Rendered textual report (what the CLI prints).
+    report: str = ""
+    schema: str = RUN_SCHEMA
+    #: Runtime handles, not serialised.
+    initial_schedule: Schedule | None = None
+    balanced_schedule: Schedule | None = None
+    outcome: BalanceOutcome | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe serialisation (schedules and outcome handles excluded)."""
+        return {
+            "schema": self.schema,
+            "label": self.label,
+            "config": dict(self.config),
+            "balancer": self.balancer,
+            "feasible": self.feasible,
+            "violations": list(self.violations),
+            "warnings": list(self.warnings),
+            "safety_level": self.safety_level,
+            "metrics": dict(self.metrics),
+            "trace": [dict(entry) for entry in self.trace],
+            "timings": {name: float(value) for name, value in self.timings.items()},
+            "workload_description": self.workload_description,
+            "report": self.report,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a (schedule-less) run result from its serialised form."""
+        schema = data.get("schema", RUN_SCHEMA)
+        if schema != RUN_SCHEMA:
+            raise ConfigurationError(
+                f"Unsupported run-result schema {schema!r}; this build reads {RUN_SCHEMA!r}"
+            )
+        return cls(
+            label=str(data.get("label", "")),
+            config=dict(data.get("config") or {}),
+            balancer=str(data.get("balancer", "")),
+            feasible=data.get("feasible"),
+            violations=list(data.get("violations") or []),
+            warnings=list(data.get("warnings") or []),
+            safety_level=str(data.get("safety_level", "paper")),
+            metrics=dict(data.get("metrics") or {}),
+            trace=[dict(entry) for entry in data.get("trace") or []],
+            timings={k: float(v) for k, v in (data.get("timings") or {}).items()},
+            workload_description=str(data.get("workload_description", "")),
+            report=str(data.get("report", "")),
+            schema=schema,
+        )
+
+
+class Pipeline:
+    """Executes one :class:`PipelineConfig` end to end.
+
+    For the ``provided`` workload kind, pass the in-memory problem: either a
+    ready ``initial_schedule`` (the schedule stage is skipped) or a ``graph``
+    plus ``architecture`` (the configured initial scheduler runs on them).
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        *,
+        graph: TaskGraph | None = None,
+        architecture: Architecture | None = None,
+        initial_schedule: Schedule | None = None,
+    ) -> None:
+        if not isinstance(config, PipelineConfig):
+            raise ConfigurationError(
+                "Pipeline expects a PipelineConfig; build one with "
+                "PipelineConfig.from_dict(...) or the front-end constructors"
+            )
+        if config.workload.kind == "provided":
+            if initial_schedule is None and (graph is None or architecture is None):
+                raise ConfigurationError(
+                    'workload kind "provided" requires an initial_schedule or a '
+                    "graph and an architecture"
+                )
+        elif graph is not None or architecture is not None or initial_schedule is not None:
+            raise ConfigurationError(
+                f"workload kind {config.workload.kind!r} is declarative; in-memory "
+                'objects are only accepted with kind "provided"'
+            )
+        self.config = config
+        self._graph = graph
+        self._architecture = architecture
+        self._initial_schedule = initial_schedule
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute every configured stage and assemble the artifact."""
+        config = self.config
+        timings: dict[str, float] = {}
+        workload_description = ""
+
+        # -- workload + initial schedule -----------------------------------
+        started = time.perf_counter()
+        if config.workload.kind == "paper_example":
+            timings["workload"] = time.perf_counter() - started
+            started = time.perf_counter()
+            initial = paper_initial_schedule()
+            timings["schedule"] = time.perf_counter() - started
+        elif config.workload.kind == "spec":
+            workload = generate_workload(config.workload.spec)
+            workload_description = workload.describe()
+            timings["workload"] = time.perf_counter() - started
+            started = time.perf_counter()
+            initial = schedule_application(
+                workload.graph, workload.architecture, self._scheduler_options()
+            )
+            timings["schedule"] = time.perf_counter() - started
+        else:  # provided
+            timings["workload"] = time.perf_counter() - started
+            started = time.perf_counter()
+            if self._initial_schedule is not None:
+                initial = self._initial_schedule
+            else:
+                initial = schedule_application(
+                    self._graph, self._architecture, self._scheduler_options()
+                )
+            workload_description = (
+                f"{initial.graph.name or 'provided'}: {len(initial.graph)} tasks, "
+                f"{len(initial.architecture)} processors, "
+                f"hyper-period {initial.graph.hyper_period:g}"
+            )
+            timings["schedule"] = time.perf_counter() - started
+
+        # -- balance --------------------------------------------------------
+        started = time.perf_counter()
+        outcome = balance(initial, config.balance.to_dict())
+        timings["balance"] = time.perf_counter() - started
+
+        # -- verify ---------------------------------------------------------
+        feasible: bool | None
+        violations: list[str]
+        if config.verify.enabled:
+            started = time.perf_counter()
+            if config.verify.check_memory:
+                verdict = check_schedule(outcome.schedule, check_memory=True)
+                feasible = verdict.is_feasible
+                violations = verdict.all_violations
+            else:
+                # The outcome already carries this exact verdict (every
+                # balancer computes it once, with check_memory=False) —
+                # re-running the checker would only duplicate the work.
+                feasible = outcome.feasible
+                violations = list(outcome.violations)
+            timings["verify"] = time.perf_counter() - started
+        else:
+            feasible = None
+            violations = []
+
+        # -- report ---------------------------------------------------------
+        report_text = ""
+        if config.report.enabled:
+            started = time.perf_counter()
+            report_text = self._render_report(workload_description, initial, outcome)
+            timings["report"] = time.perf_counter() - started
+
+        metrics = {
+            "makespan_before": float(outcome.makespan_before),
+            "makespan_after": float(outcome.makespan_after),
+            "total_gain": float(outcome.total_gain),
+            "memory_before": {
+                k: float(v) for k, v in sorted(initial.memory_by_processor().items())
+            },
+            "memory_after": {
+                k: float(v) for k, v in sorted(outcome.memory_by_processor.items())
+            },
+            "max_memory_after": float(outcome.max_memory),
+            "max_execution_after": float(outcome.max_execution),
+            "moves": outcome.moves,
+            "balancer_feasible": outcome.feasible,
+            "initial_report": ScheduleReport.of("initial", initial).to_dict(),
+            "balanced_report": ScheduleReport.of("balanced", outcome.schedule).to_dict(),
+        }
+        metrics["info"] = {k: float(v) for k, v in outcome.info.items()}
+
+        return RunResult(
+            label=config.label,
+            config=config.to_dict(),
+            balancer=config.balance.balancer,
+            feasible=feasible,
+            violations=violations,
+            warnings=list(outcome.warnings),
+            safety_level=outcome.safety_level,
+            metrics=metrics,
+            trace=[dict(entry) for entry in outcome.trace],
+            timings=timings,
+            workload_description=workload_description,
+            report=report_text,
+            initial_schedule=initial,
+            balanced_schedule=outcome.schedule,
+            outcome=outcome,
+        )
+
+    # ------------------------------------------------------------------
+    def _scheduler_options(self) -> SchedulerOptions:
+        try:
+            policy = PlacementPolicy(self.config.schedule.policy)
+        except ValueError:
+            raise ConfigurationError(
+                f"Unknown placement policy {self.config.schedule.policy!r}; expected "
+                f"one of {[p.value for p in PlacementPolicy]}"
+            ) from None
+        return SchedulerOptions(policy=policy)
+
+    def _render_report(
+        self, workload_description: str, initial: Schedule, outcome: BalanceOutcome
+    ) -> str:
+        """Render the textual report the CLI prints (section order is part of
+        the CLI's golden output — see ``tests/test_api.py``)."""
+        report = self.config.report
+        paper = self.config.workload.kind == "paper_example"
+        lines: list[str] = []
+        if report.describe_workload and workload_description:
+            lines.append(workload_description)
+        if report.show_schedules:
+            lines.append("Initial schedule (Figure 3):" if paper else "Initial schedule:")
+            lines.append(initial.describe())
+            lines.append("")
+            if report.steps:
+                lines.extend(self._step_lines(outcome))
+            lines.append("Balanced schedule (Figure 4):" if paper else "Balanced schedule:")
+            lines.append(outcome.schedule.describe())
+            lines.append("")
+        elif report.steps:
+            lines.extend(self._step_lines(outcome))
+        lines.append(outcome.summary())
+        if report.compare:
+            lines.append("")
+            lines.append(
+                compare_schedules(
+                    [
+                        ScheduleReport.of("initial", initial),
+                        ScheduleReport.of("balanced", outcome.schedule),
+                    ]
+                )
+            )
+        if report.simulate:
+            from repro.simulation.engine import SimulationOptions, simulate
+
+            for label, candidate in (("initial", initial), ("balanced", outcome.schedule)):
+                lines.append("")
+                lines.append(f"simulation of the {label} schedule:")
+                lines.append(
+                    simulate(
+                        candidate,
+                        SimulationOptions(hyper_periods=report.simulate_hyper_periods),
+                    ).summary()
+                )
+        return "\n".join(lines)
+
+    @staticmethod
+    def _step_lines(outcome: BalanceOutcome) -> list[str]:
+        """Per-decision trace section (full detail for the paper heuristic)."""
+        lines: list[str] = []
+        if isinstance(outcome.raw, LoadBalanceResult):
+            for step, decision in enumerate(outcome.raw.decisions, start=1):
+                lines.append(f"step {step}:")
+                lines.append(decision.describe())
+                lines.append("")
+        else:
+            for step, entry in enumerate(outcome.trace, start=1):
+                arrow = "->" if entry.get("moved") else "stays on"
+                lines.append(
+                    f"step {step}: {entry['block']} {entry['from']} {arrow} {entry['to']}"
+                )
+            if lines:
+                lines.append("")
+        return lines
+
+
+def run_pipeline(
+    config: PipelineConfig | Mapping[str, Any],
+    *,
+    graph: TaskGraph | None = None,
+    architecture: Architecture | None = None,
+    initial_schedule: Schedule | None = None,
+) -> RunResult:
+    """Convenience: accept a config (or its dict form) and run it."""
+    if not isinstance(config, PipelineConfig):
+        config = PipelineConfig.from_dict(config)
+    return Pipeline(
+        config,
+        graph=graph,
+        architecture=architecture,
+        initial_schedule=initial_schedule,
+    ).run()

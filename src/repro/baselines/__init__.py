@@ -28,6 +28,7 @@ from repro.baselines.bin_packing import (
 from repro.baselines.branch_and_bound import (
     PartitionResult,
     optimal_max_memory,
+    optimal_memory_assignment,
     optimal_min_max_partition,
 )
 from repro.baselines.genetic import GeneticOptions, genetic_assignment
@@ -57,6 +58,7 @@ __all__ = [
     "memory_only_balance",
     "no_balancing",
     "optimal_max_memory",
+    "optimal_memory_assignment",
     "optimal_min_max_partition",
     "pack_min_max",
 ]

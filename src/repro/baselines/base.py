@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.core.blocks import Block
 from repro.errors import ConfigurationError
 from repro.scheduling.communications import synthesize_communications
+from repro.scheduling.feasibility import check_schedule
 from repro.scheduling.schedule import Schedule
 
 __all__ = ["BlockWeights", "block_weights", "materialize_assignment", "AssignmentResult"]
@@ -102,8 +103,52 @@ class AssignmentResult:
     max_memory: float
     #: Maximum per-processor execution time of the assignment.
     max_execution: float
+    #: Feasibility verdict of the materialised schedule — the same field the
+    #: paper heuristic reports through, so consumers (E6, the ``repro.api``
+    #: registry) never have to re-run :func:`check_schedule` themselves.
+    #: Required: a verdict must be computed (use :meth:`build`), never assumed.
+    feasible: bool
+    #: Constraint violations behind a negative verdict.
+    violations: list[str] = field(default_factory=list)
     #: Algorithm-specific extra information (iterations, nodes explored, ...).
     info: dict[str, float] = field(default_factory=dict)
+    #: Block id -> (label, original processor), recorded at build time so
+    #: consumers can describe the assignment without re-building the blocks.
+    block_origins: dict[int, tuple[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        blocks: Sequence[Block],
+        assignment: Mapping[int, str],
+        schedule: Schedule,
+        info: dict[str, float] | None = None,
+    ) -> "AssignmentResult":
+        """Assemble the result of a baseline: loads, schedule and verdict.
+
+        The feasibility verdict is computed once here (dependences, strict
+        periodicity, overlaps — memory capacities are reported separately by
+        the metrics layer), exactly as the paper heuristic's
+        ``verify_result`` step does.
+        """
+        memory, execution = assignment_loads(
+            blocks, assignment, schedule.architecture.processor_names
+        )
+        report = check_schedule(schedule, check_memory=False)
+        return cls(
+            name=name,
+            assignment=dict(assignment),
+            schedule=schedule,
+            max_memory=max(memory.values(), default=0.0),
+            max_execution=max(execution.values(), default=0.0),
+            feasible=report.is_feasible,
+            violations=report.all_violations,
+            info=dict(info) if info else {},
+            block_origins={
+                block.id: (block.label, block.processor) for block in blocks
+            },
+        )
 
     def summary(self) -> str:
         """One-line description."""
@@ -111,6 +156,7 @@ class AssignmentResult:
             f"{self.name}: max memory {self.max_memory:g}, "
             f"max execution {self.max_execution:g}, "
             f"{len(set(self.assignment.values()))} processors used"
+            f"{'' if self.feasible else f', {len(self.violations)} constraint violation(s)'}"
         )
 
 

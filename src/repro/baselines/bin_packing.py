@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.baselines.base import AssignmentResult, assignment_loads, materialize_assignment
+from repro.baselines.base import AssignmentResult, materialize_assignment
 from repro.core.blocks import BlockBuildOptions, build_blocks
 from repro.errors import ConfigurationError
 from repro.scheduling.schedule import Schedule
@@ -99,11 +99,9 @@ def ffd_memory_assignment(schedule: Schedule) -> AssignmentResult:
     ordered = sorted(blocks, key=lambda b: b.id)
     raw, _max_weight = pack_min_max([b.memory for b in ordered], len(processors))
     assignment = {block.id: processors[raw[i]] for i, block in enumerate(ordered)}
-    memory, execution = assignment_loads(blocks, assignment, processors)
-    return AssignmentResult(
-        name="ffd-memory",
-        assignment=assignment,
-        schedule=materialize_assignment(schedule, blocks, assignment),
-        max_memory=max(memory.values(), default=0.0),
-        max_execution=max(execution.values(), default=0.0),
+    return AssignmentResult.build(
+        "ffd-memory",
+        blocks,
+        assignment,
+        materialize_assignment(schedule, blocks, assignment),
     )

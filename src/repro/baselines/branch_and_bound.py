@@ -20,7 +20,12 @@ from dataclasses import dataclass
 
 from repro.errors import AnalysisError
 
-__all__ = ["PartitionResult", "optimal_min_max_partition", "optimal_max_memory"]
+__all__ = [
+    "PartitionResult",
+    "optimal_min_max_partition",
+    "optimal_max_memory",
+    "optimal_memory_assignment",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -145,3 +150,39 @@ def optimal_max_memory(
     return optimal_min_max_partition(
         memories, processor_count, node_limit=node_limit
     ).optimum
+
+
+def optimal_memory_assignment(schedule, *, node_limit: int = 2_000_000):
+    """Exact min-max-memory block assignment as an assignment-level baseline.
+
+    Runs the branch-and-bound partitioner on the block memory weights and
+    materialises the optimal assignment onto the schedule's processors,
+    returning the same :class:`~repro.baselines.base.AssignmentResult` the
+    other assignment-level baselines produce (timing constraints are ignored,
+    the feasibility verdict reports the damage).  Only meant for small
+    instances — the search is exponential; ``info["exact"]`` is 0.0 when the
+    ``node_limit`` truncated it.
+    """
+    from repro.baselines.base import AssignmentResult, materialize_assignment
+    from repro.core.blocks import BlockBuildOptions, build_blocks
+
+    blocks = build_blocks(schedule, BlockBuildOptions())
+    ordered = sorted(blocks, key=lambda b: b.id)
+    processors = schedule.architecture.processor_names
+    partition = optimal_min_max_partition(
+        [b.memory for b in ordered], len(processors), node_limit=node_limit
+    )
+    assignment = {
+        block.id: processors[partition.assignment[i]] for i, block in enumerate(ordered)
+    }
+    return AssignmentResult.build(
+        "branch-and-bound",
+        blocks,
+        assignment,
+        materialize_assignment(schedule, blocks, assignment),
+        info={
+            "optimum": partition.optimum,
+            "nodes": float(partition.nodes),
+            "exact": 1.0 if partition.exact else 0.0,
+        },
+    )

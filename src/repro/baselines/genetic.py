@@ -25,11 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.base import (
-    AssignmentResult,
-    assignment_loads,
-    materialize_assignment,
-)
+from repro.baselines.base import AssignmentResult, materialize_assignment
 from repro.core.blocks import Block, BlockBuildOptions, build_blocks
 from repro.errors import ConfigurationError
 from repro.scheduling.schedule import Schedule
@@ -148,12 +144,10 @@ def genetic_assignment(
         population = np.vstack(next_population)
 
     assignment = {block.id: processors[int(best_genome[i])] for i, block in enumerate(blocks)}
-    memory, execution = assignment_loads(blocks, assignment, processors)
-    return AssignmentResult(
-        name="genetic",
-        assignment=assignment,
-        schedule=materialize_assignment(schedule, blocks, assignment),
-        max_memory=max(memory.values(), default=0.0),
-        max_execution=max(execution.values(), default=0.0),
+    return AssignmentResult.build(
+        "genetic",
+        blocks,
+        assignment,
+        materialize_assignment(schedule, blocks, assignment),
         info={"fitness": best_fitness, "evaluations": float(evaluations)},
     )

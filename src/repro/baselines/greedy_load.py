@@ -15,7 +15,7 @@ Two flavours are provided:
 
 from __future__ import annotations
 
-from repro.baselines.base import AssignmentResult, assignment_loads, materialize_assignment
+from repro.baselines.base import AssignmentResult, materialize_assignment
 from repro.core.blocks import BlockBuildOptions, build_blocks
 from repro.core.cost import CostPolicy
 from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
@@ -47,11 +47,9 @@ def lpt_assignment(schedule: Schedule) -> AssignmentResult:
         target = min(processors, key=lambda name: (load[name], name))
         assignment[block.id] = target
         load[target] += block.execution_time
-    memory, execution = assignment_loads(blocks, assignment, processors)
-    return AssignmentResult(
-        name="lpt-load-only",
-        assignment=assignment,
-        schedule=materialize_assignment(schedule, blocks, assignment),
-        max_memory=max(memory.values(), default=0.0),
-        max_execution=max(execution.values(), default=0.0),
+    return AssignmentResult.build(
+        "lpt-load-only",
+        blocks,
+        assignment,
+        materialize_assignment(schedule, blocks, assignment),
     )

@@ -19,11 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.baselines.base import (
-    AssignmentResult,
-    assignment_loads,
-    materialize_assignment,
-)
+from repro.baselines.base import AssignmentResult, materialize_assignment
 from repro.core.blocks import Block, BlockBuildOptions, build_blocks
 from repro.core.cost import CostPolicy
 from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
@@ -64,11 +60,9 @@ def greedy_memory_assignment(
     processors = schedule.architecture.processor_names
     raw = greedy_min_memory([b.memory for b in blocks_sorted], processors)
     assignment = {block.id: raw[i] for i, block in enumerate(blocks_sorted)}
-    memory, execution = assignment_loads(blocks, assignment, processors)
-    return AssignmentResult(
-        name="greedy-memory-only",
-        assignment=assignment,
-        schedule=materialize_assignment(schedule, blocks, assignment),
-        max_memory=max(memory.values(), default=0.0),
-        max_execution=max(execution.values(), default=0.0),
+    return AssignmentResult.build(
+        "greedy-memory-only",
+        blocks,
+        assignment,
+        materialize_assignment(schedule, blocks, assignment),
     )

@@ -9,7 +9,7 @@ memory headroom.
 
 from __future__ import annotations
 
-from repro.baselines.base import AssignmentResult, assignment_loads
+from repro.baselines.base import AssignmentResult
 from repro.core.blocks import BlockBuildOptions, build_blocks
 from repro.scheduling.schedule import Schedule
 
@@ -20,13 +20,4 @@ def no_balancing(schedule: Schedule) -> AssignmentResult:
     """Return the identity assignment (every block stays where it is)."""
     blocks = build_blocks(schedule, BlockBuildOptions())
     assignment = {block.id: block.processor for block in blocks}
-    memory, execution = assignment_loads(
-        blocks, assignment, schedule.architecture.processor_names
-    )
-    return AssignmentResult(
-        name="no-balancing",
-        assignment=assignment,
-        schedule=schedule,
-        max_memory=max(memory.values(), default=0.0),
-        max_execution=max(execution.values(), default=0.0),
-    )
+    return AssignmentResult.build("no-balancing", blocks, assignment, schedule)

@@ -1,40 +1,50 @@
 """Command-line interface (installed as ``repro-lb``).
 
-Three subcommands cover the common workflows:
+Every workflow is a thin front-end over the unified :mod:`repro.api`
+pipeline — the CLI builds a :class:`~repro.api.PipelineConfig`, runs it and
+prints the :class:`~repro.api.RunResult` report (or its JSON form):
 
 ``repro-lb example``
     Reproduce the paper's worked example (Figures 2–4) and print the
     before/after schedules and the step-by-step decisions.
 
-``repro-lb experiment E1 [E2 ...] [--full]``
+``repro-lb run --config file.json``
+    Execute any serialised pipeline config (schema ``repro-pipeline/1``).
+
+``repro-lb random --tasks N --processors M [--balancer NAME] [...]``
+    Generate a synthetic workload and run any registered balancer on it.
+
+``repro-lb experiment E1 [E2 ...]``
     Run one or more of the experiments E1–E8 and print their tables (the same
     code the benchmarks call).
-
-``repro-lb random --tasks N --processors M [--shape ...] [--seed ...]``
-    Generate a synthetic workload, run the initial scheduler and the load
-    balancer, and print the comparison (optionally simulating both schedules).
 
 ``repro-lb campaign E3 E6 [--preset ...] [--jobs N] [--output DIR] [--resume]``
     Fan one or more experiment sweeps out over a process pool, writing
     per-run JSON manifests and a campaign summary artifact (resumable).
+
+``repro-lb list``
+    Print the registered balancers, cost policies, experiments and campaign
+    presets.
+
+``example``, ``random``, ``run`` and ``experiment`` accept ``--json`` to emit
+machine-readable output instead of the ASCII report.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro._version import __version__
+from repro.api import Pipeline, PipelineConfig, available_balancers, balancer_info
 from repro.core.cost import CostPolicy
-from repro.errors import ConfigurationError
-from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments import ALL_EXPERIMENTS, PRESET_NAMES, run_campaign
-from repro.metrics.report import ScheduleReport, compare_schedules
-from repro.scheduling.heuristic import PlacementPolicy, SchedulerOptions
-from repro.simulation.engine import SimulationOptions, simulate
-from repro.workloads.generator import scheduled_workload
-from repro.workloads.paper_example import paper_initial_schedule
+from repro.experiments.campaign import experiment_result_dict
+from repro.scheduling.heuristic import PlacementPolicy
 from repro.workloads.spec import GraphShape, WorkloadSpec
 
 __all__ = ["main", "build_parser"]
@@ -60,6 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
     example.add_argument(
         "--steps", action="store_true", help="print the per-block decision trace"
     )
+    example.add_argument(
+        "--json", action="store_true", help="emit the structured RunResult as JSON"
+    )
+
+    run_cmd = subparsers.add_parser(
+        "run", help="execute a serialised pipeline config (repro-pipeline/1)"
+    )
+    run_cmd.add_argument(
+        "--config", required=True, help="path of the pipeline-config JSON file"
+    )
+    run_cmd.add_argument(
+        "--json", action="store_true", help="emit the structured RunResult as JSON"
+    )
 
     experiment = subparsers.add_parser("experiment", help="run experiments E1..E8")
     experiment.add_argument(
@@ -67,6 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         choices=sorted(ALL_EXPERIMENTS) + ["all"],
         help="experiment identifiers (or 'all')",
+    )
+    experiment.add_argument(
+        "--json", action="store_true", help="emit the experiment results as JSON"
     )
 
     campaign = subparsers.add_parser(
@@ -120,44 +146,74 @@ def build_parser() -> argparse.ArgumentParser:
         default=PlacementPolicy.LEAST_LOADED.value,
     )
     random_cmd.add_argument(
+        "--balancer",
+        choices=list(available_balancers()),
+        default="paper",
+        help="registered balancing strategy (default: the paper heuristic)",
+    )
+    random_cmd.add_argument(
         "--policy",
         choices=[policy.value for policy in CostPolicy],
         default=CostPolicy.RATIO.value,
+        help="cost policy of the paper heuristic (ignored by the other balancers)",
     )
     random_cmd.add_argument(
         "--simulate", action="store_true", help="replay both schedules in the simulator"
     )
+    random_cmd.add_argument(
+        "--json", action="store_true", help="emit the structured RunResult as JSON"
+    )
+
+    subparsers.add_parser(
+        "list", help="list registered balancers, policies, experiments and presets"
+    )
     return parser
 
 
+def _emit(result, as_json: bool) -> int:
+    """Print a pipeline run (report or JSON); exit code reflects feasibility."""
+    if as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.report)
+    return 0 if result.feasible is not False else 1
+
+
 def _run_example(args: argparse.Namespace) -> int:
-    schedule = paper_initial_schedule()
-    options = LoadBalancerOptions(policy=CostPolicy(args.policy))
-    result = LoadBalancer(schedule, options).run()
-    print("Initial schedule (Figure 3):")
-    print(schedule.describe())
-    print()
-    if args.steps:
-        for step, decision in enumerate(result.decisions, start=1):
-            print(f"step {step}:")
-            print(decision.describe())
-            print()
-    print("Balanced schedule (Figure 4):")
-    print(result.balanced_schedule.describe())
-    print()
-    print(result.summary())
-    return 0
+    config = PipelineConfig.paper_example(policy=args.policy, steps=args.steps)
+    return _emit(Pipeline(config).run(), args.json)
+
+
+def _run_config(args: argparse.Namespace) -> int:
+    path = Path(args.config)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        print(f"repro-lb run: error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"repro-lb run: error: {path} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    config = PipelineConfig.from_dict(data)
+    result = Pipeline(config).run()
+    return _emit(result, args.json)
 
 
 def _run_experiments(args: argparse.Namespace) -> int:
     names = sorted(ALL_EXPERIMENTS) if "all" in args.names else args.names
     failures = 0
+    payloads = []
     for name in names:
         result = ALL_EXPERIMENTS[name]()
-        print(result.render())
-        print()
+        if args.json:
+            payloads.append(experiment_result_dict(result))
+        else:
+            print(result.render())
+            print()
         if result.passed is False:
             failures += 1
+    if args.json:
+        print(json.dumps(payloads, indent=2, sort_keys=True))
     return 1 if failures else 0
 
 
@@ -193,29 +249,38 @@ def _run_random(args: argparse.Namespace) -> int:
         seed=args.seed,
         label=f"cli-{args.shape}-{args.seed}",
     )
-    workload, schedule = scheduled_workload(
-        spec, SchedulerOptions(policy=PlacementPolicy(args.initial_policy))
+    params = {"policy": args.policy} if args.balancer == "paper" else {}
+    config = PipelineConfig.synthetic(
+        spec,
+        initial_policy=args.initial_policy,
+        balancer=args.balancer,
+        params=params,
+        simulate=args.simulate,
     )
-    print(workload.describe())
-    result = LoadBalancer(schedule, LoadBalancerOptions(policy=CostPolicy(args.policy))).run()
-    print(result.summary())
+    return _emit(Pipeline(config).run(), args.json)
+
+
+def _run_list(_args: argparse.Namespace) -> int:
+    print("balancers:")
+    for name in available_balancers():
+        spec = balancer_info(name)
+        print(f"  {name:<18} {spec.description}")
+        if spec.params:
+            print(f"  {'':<18} params: {', '.join(spec.params)}")
     print()
-    print(
-        compare_schedules(
-            [
-                ScheduleReport.of("initial", schedule),
-                ScheduleReport.of("balanced", result.balanced_schedule),
-            ]
-        )
-    )
-    if args.simulate:
-        for label, candidate in (
-            ("initial", schedule),
-            ("balanced", result.balanced_schedule),
-        ):
-            print()
-            print(f"simulation of the {label} schedule:")
-            print(simulate(candidate, SimulationOptions(hyper_periods=2)).summary())
+    print("cost policies (paper balancer):")
+    print("  " + ", ".join(policy.value for policy in CostPolicy))
+    print()
+    print("initial placement policies:")
+    print("  " + ", ".join(policy.value for policy in PlacementPolicy))
+    print()
+    print("experiments:")
+    for name in sorted(ALL_EXPERIMENTS):
+        doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()
+        print(f"  {name:<4} {doc[0] if doc else ''}")
+    print()
+    print("campaign presets:")
+    print("  " + ", ".join(PRESET_NAMES))
     return 0
 
 
@@ -223,16 +288,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro-lb`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "example":
-        return _run_example(args)
-    if args.command == "experiment":
-        return _run_experiments(args)
-    if args.command == "campaign":
-        return _run_campaign(args)
-    if args.command == "random":
-        return _run_random(args)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    handlers = {
+        "example": _run_example,
+        "run": _run_config,
+        "experiment": _run_experiments,
+        "campaign": _run_campaign,
+        "random": _run_random,
+        "list": _run_list,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:  # pragma: no cover
+        parser.error(f"unknown command {args.command!r}")
+        return 2
+    try:
+        return handler(args)
+    except ReproError as error:
+        print(f"repro-lb {args.command}: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,8 +4,11 @@ from repro.experiments.campaign import (
     CampaignRun,
     CampaignSummary,
     execute_run,
+    experiment_result_dict,
     plan_campaign,
+    plan_pipeline_campaign,
     run_campaign,
+    run_pipeline_campaign,
 )
 from repro.experiments.configs import (
     PRESET_NAMES,
@@ -43,8 +46,11 @@ __all__ = [
     "Theorem2Config",
     "build_table",
     "execute_run",
+    "experiment_result_dict",
     "plan_campaign",
+    "plan_pipeline_campaign",
     "run_campaign",
+    "run_pipeline_campaign",
     "run_e1_paper_example",
     "run_e2_multirate_buffering",
     "run_e3_complexity",

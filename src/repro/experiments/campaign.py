@@ -14,6 +14,11 @@ artefact each; a *campaign* turns them into one orchestrated layer:
 * a campaign is **resumable**: with ``resume=True`` runs whose manifest
   already records a successful outcome are skipped and reported as cached.
 
+Campaigns also fan out **pipeline runs**: :func:`run_pipeline_campaign`
+executes a batch of serialised :class:`~repro.api.PipelineConfig` objects on
+the same pool, and each manifest stores the structured
+:class:`~repro.api.RunResult` artifact verbatim under ``run_result``.
+
 The manifest schema is documented in ``DESIGN.md`` §4; the CLI front-end is
 ``repro-lb campaign`` (see ``EXPERIMENTS.md``, "Rerunning a campaign").
 """
@@ -56,9 +61,12 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "CampaignRun",
     "CampaignSummary",
+    "experiment_result_dict",
     "plan_campaign",
+    "plan_pipeline_campaign",
     "execute_run",
     "run_campaign",
+    "run_pipeline_campaign",
 ]
 
 #: Version tag stamped into every manifest so downstream tooling can detect
@@ -88,6 +96,10 @@ class CampaignRun:
     #: Seed subset this run covers (``None`` keeps the preset's own seeds,
     #: for experiments without a seed sweep or with seed splitting disabled).
     seeds: tuple[int, ...] | None = None
+    #: Serialised :class:`~repro.api.PipelineConfig` for pipeline runs
+    #: (``None`` for classic experiment runs).  Kept as a plain dict so the
+    #: run pickles cheaply across the process pool.
+    pipeline: dict | None = None
 
 
 def _build_config(experiment: str, preset: str, seeds: tuple[int, ...] | None):
@@ -154,6 +166,19 @@ def _jsonable(value):
     return repr(value)
 
 
+def experiment_result_dict(result: ExperimentResult) -> dict:
+    """JSON-safe form of an :class:`ExperimentResult` (manifest / ``--json``)."""
+    return {
+        "experiment": result.experiment,
+        "title": result.title,
+        "paper_claim": result.paper_claim,
+        "passed": result.passed,
+        "table": result.table,
+        "notes": list(result.notes),
+        "data": _jsonable(result.data),
+    }
+
+
 def execute_run(run: CampaignRun) -> dict:
     """Execute one run and return its manifest dictionary (never raises)."""
     started = time.perf_counter()
@@ -165,18 +190,25 @@ def execute_run(run: CampaignRun) -> dict:
         "seeds": list(run.seeds) if run.seeds is not None else None,
     }
     try:
-        runner, _config_cls = _EXPERIMENTS[run.experiment]
-        config = _build_config(run.experiment, run.preset, run.seeds)
-        result: ExperimentResult = runner(config) if config is not None else runner()
-        manifest.update(
-            status="ok",
-            title=result.title,
-            paper_claim=result.paper_claim,
-            passed=result.passed,
-            table=result.table,
-            notes=list(result.notes),
-            data=_jsonable(result.data),
-        )
+        if run.pipeline is not None:
+            from repro.api import Pipeline, PipelineConfig
+
+            config = PipelineConfig.from_dict(run.pipeline)
+            result = Pipeline(config).run()
+            # The structured artifact is stored verbatim: `run_result` is
+            # exactly `RunResult.to_dict()`, round-trippable through
+            # `RunResult.from_dict`.
+            manifest.update(
+                status="ok",
+                title=config.label or run.run_id,
+                passed=result.feasible,
+                run_result=result.to_dict(),
+            )
+        else:
+            runner, _config_cls = _EXPERIMENTS[run.experiment]
+            config = _build_config(run.experiment, run.preset, run.seeds)
+            result = runner(config) if config is not None else runner()
+            manifest.update(status="ok", **experiment_result_dict(result))
     except Exception as error:  # noqa: BLE001 - a failed run must not kill the pool
         manifest.update(
             status="failed",
@@ -196,6 +228,7 @@ def _execute_payload(payload: dict) -> dict:
         experiment=payload["experiment"],
         preset=payload["preset"],
         seeds=tuple(seeds) if seeds is not None else None,
+        pipeline=payload.get("pipeline"),
     )
     return execute_run(run)
 
@@ -274,10 +307,80 @@ def run_campaign(
     split_seeds:
         Fan seed sweeps out into one run per seed (the default).
     """
-    if jobs is not None and jobs < 1:
-        raise ConfigurationError(f"jobs must be >= 1 (got {jobs}); use 1 to run inline")
     started = time.perf_counter()
     runs = plan_campaign(experiments, preset, split_seeds=split_seeds)
+    summary = _execute_campaign(runs, preset, output_dir=output_dir, jobs=jobs, resume=resume)
+    summary.seconds = time.perf_counter() - started
+    _write_summary(
+        summary, {"experiments": list(experiments), "split_seeds": split_seeds}
+    )
+    return summary
+
+
+def plan_pipeline_campaign(
+    configs: Sequence[object], *, label: str = "pipeline"
+) -> tuple[CampaignRun, ...]:
+    """Expand serialisable pipeline configs into independent campaign runs.
+
+    Each config may be a :class:`~repro.api.PipelineConfig` or its dict form;
+    run ids combine the batch index with the config label so a batch with
+    repeated labels stays unambiguous.
+    """
+    from repro.api import PipelineConfig
+
+    runs: list[CampaignRun] = []
+    for index, config in enumerate(configs):
+        if not isinstance(config, PipelineConfig):
+            config = PipelineConfig.from_dict(config)
+        raw_name = config.label or config.balance.balancer
+        # Run ids become manifest filenames: keep them filesystem-safe
+        # whatever the config label contains.
+        name = "".join(c if c.isalnum() or c in "-_." else "-" for c in raw_name)
+        runs.append(
+            CampaignRun(
+                run_id=f"{label}-{index:03d}-{name}",
+                experiment="pipeline",
+                preset=label,
+                seeds=None,
+                pipeline=config.to_dict(),
+            )
+        )
+    return tuple(runs)
+
+
+def run_pipeline_campaign(
+    configs: Sequence[object],
+    *,
+    output_dir: str | Path = "campaign-results",
+    jobs: int | None = None,
+    resume: bool = False,
+    label: str = "pipeline",
+) -> CampaignSummary:
+    """Fan a batch of pipeline configs out over the campaign pool.
+
+    Every manifest stores the structured :class:`~repro.api.RunResult`
+    verbatim under ``run_result`` (schema ``repro-run/1``), so downstream
+    tooling reads the same artifact the ``repro-lb run --json`` flag emits.
+    """
+    started = time.perf_counter()
+    runs = plan_pipeline_campaign(configs, label=label)
+    summary = _execute_campaign(runs, label, output_dir=output_dir, jobs=jobs, resume=resume)
+    summary.seconds = time.perf_counter() - started
+    _write_summary(summary, {"pipelines": len(runs)})
+    return summary
+
+
+def _execute_campaign(
+    runs: Sequence[CampaignRun],
+    preset: str,
+    *,
+    output_dir: str | Path,
+    jobs: int | None,
+    resume: bool,
+) -> CampaignSummary:
+    """Shared campaign body: resume filtering, pool execution, persistence."""
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1 (got {jobs}); use 1 to run inline")
     directory = Path(output_dir)
     runs_dir = directory / "runs"
     runs_dir.mkdir(parents=True, exist_ok=True)
@@ -319,6 +422,7 @@ def run_campaign(
             "experiment": run.experiment,
             "preset": run.preset,
             "seeds": list(run.seeds) if run.seeds is not None else None,
+            "pipeline": run.pipeline,
         }
         for run in pending
     ]
@@ -345,14 +449,17 @@ def run_campaign(
     # Keep the records in plan order so re-runs and resumes render identically.
     order = {run.run_id: index for index, run in enumerate(runs)}
     summary.records.sort(key=lambda record: order[record["run_id"]])
-    summary.seconds = time.perf_counter() - started
+    return summary
+
+
+def _write_summary(summary: CampaignSummary, extra: dict) -> None:
+    """Persist the ``campaign.json`` artifact."""
     summary.summary_path.write_text(
         json.dumps(
             {
                 "schema": MANIFEST_SCHEMA,
-                "preset": preset,
-                "experiments": list(experiments),
-                "split_seeds": split_seeds,
+                "preset": summary.preset,
+                **extra,
                 "runs": summary.records,
                 "seconds": summary.seconds,
                 "ok": summary.ok,
@@ -361,4 +468,3 @@ def run_campaign(
             sort_keys=True,
         )
     )
-    return summary

@@ -14,11 +14,8 @@ import numpy as np
 from repro.analysis.approximation import approximation_campaign, measure_greedy_ratio
 from repro.analysis.bounds import check_theorem1, theorem1_campaign
 from repro.analysis.complexity import fit_complexity, measure_runtime
-from repro.baselines.bin_packing import ffd_memory_assignment
-from repro.baselines.genetic import GeneticOptions, genetic_assignment
-from repro.baselines.greedy_load import lpt_assignment
-from repro.core.cost import CostPolicy
-from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions
+from repro.api.balancers import BalanceOutcome, balance
+from repro.core.load_balancer import LoadBalancer
 from repro.experiments.configs import (
     AblationConfig,
     ComparisonConfig,
@@ -63,10 +60,8 @@ def run_e1_paper_example() -> ExperimentResult:
     schedule = paper_initial_schedule()
     expectations = PAPER_EXPECTATIONS
 
-    lex = LoadBalancer(
-        schedule, LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC)
-    ).run()
-    ratio = LoadBalancer(schedule, LoadBalancerOptions(policy=CostPolicy.RATIO)).run()
+    lex = balance(schedule, "paper", policy="lexicographic").raw
+    ratio = balance(schedule, "paper", policy="ratio").raw
 
     decisions = [(d.block.label, d.chosen_processor) for d in lex.decisions]
     expected_decisions = [tuple(step) for step in expectations["decisions"]]
@@ -384,33 +379,31 @@ def run_e5_theorem2(config: Theorem2Config | None = None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # E6 — baseline comparison
 # ----------------------------------------------------------------------
-def _strategy_schedules(schedule: Schedule) -> dict[str, Schedule]:
-    """Produce the schedule of every compared strategy for one initial schedule."""
-    strategies: dict[str, Schedule] = {"initial (no balancing)": schedule}
-    strategies["proposed (ratio)"] = LoadBalancer(
-        schedule, LoadBalancerOptions(policy=CostPolicy.RATIO)
-    ).run().balanced_schedule
-    strategies["proposed (lexicographic)"] = LoadBalancer(
-        schedule, LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC)
-    ).run().balanced_schedule
-    strategies["load-only (memory-blind)"] = LoadBalancer(
-        schedule, LoadBalancerOptions(policy=CostPolicy.LOAD_ONLY)
-    ).run().balanced_schedule
-    strategies["memory-only (Theorem 2)"] = LoadBalancer(
-        schedule, LoadBalancerOptions(policy=CostPolicy.MEMORY_ONLY)
-    ).run().balanced_schedule
-    strategies["proposed (conservative)"] = LoadBalancer(
-        schedule,
-        LoadBalancerOptions(
-            policy=CostPolicy.RATIO, protect_unmoved=True, protect_downstream=True
-        ),
-    ).run().balanced_schedule
-    strategies["LPT assignment"] = lpt_assignment(schedule).schedule
-    strategies["FFD memory packing"] = ffd_memory_assignment(schedule).schedule
-    strategies["genetic assignment"] = genetic_assignment(
-        schedule, GeneticOptions(population_size=30, generations=40)
-    ).schedule
-    return strategies
+#: Display name -> (registry key, balancer parameters).  Every compared
+#: strategy — the paper heuristic under several cost policies and all the
+#: assignment-level baselines — goes through the same ``repro.api`` registry.
+_E6_STRATEGIES: tuple[tuple[str, str, dict], ...] = (
+    ("initial (no balancing)", "no_balancing", {}),
+    ("proposed (ratio)", "paper", {"policy": "ratio"}),
+    ("proposed (lexicographic)", "paper", {"policy": "lexicographic"}),
+    ("load-only (memory-blind)", "paper", {"policy": "load_only"}),
+    ("memory-only (Theorem 2)", "paper", {"policy": "memory_only"}),
+    (
+        "proposed (conservative)",
+        "paper",
+        {"policy": "ratio", "protect_unmoved": True, "protect_downstream": True},
+    ),
+    ("LPT assignment", "greedy_load", {}),
+    ("FFD memory packing", "bin_packing", {}),
+    ("genetic assignment", "genetic", {"population_size": 30, "generations": 40}),
+)
+
+
+def _strategy_outcomes(schedule: Schedule) -> dict[str, BalanceOutcome]:
+    """Run every compared strategy on one initial schedule via the registry."""
+    return {
+        name: balance(schedule, key, **params) for name, key, params in _E6_STRATEGIES
+    }
 
 
 def run_e6_baseline_comparison(config: ComparisonConfig | None = None) -> ExperimentResult:
@@ -422,7 +415,7 @@ def run_e6_baseline_comparison(config: ComparisonConfig | None = None) -> Experi
     ):
         total_memory = sum(schedule.memory_by_processor().values())
         capacity = config.capacity_headroom * total_memory / len(schedule.architecture)
-        for name, candidate in _strategy_schedules(schedule).items():
+        for name, outcome in _strategy_outcomes(schedule).items():
             bucket = accumulators.setdefault(
                 name,
                 {
@@ -435,14 +428,16 @@ def run_e6_baseline_comparison(config: ComparisonConfig | None = None) -> Experi
                     "overflows": [],
                 },
             )
-            report = check_schedule(candidate, check_memory=False)
+            candidate = outcome.schedule
             usage = candidate.memory_by_processor()
             bucket["makespan"].append(candidate.makespan)
             bucket["gain"].append(schedule.makespan - candidate.makespan)
             bucket["max_memory"].append(max_memory(candidate))
             bucket["memory_imbalance"].append(memory_imbalance(candidate))
             bucket["load_imbalance"].append(load_imbalance(candidate))
-            bucket["feasible"].append(1.0 if report.is_feasible else 0.0)
+            # The outcome's uniform verdict replaces the per-consumer
+            # check_schedule re-runs E6 used to do.
+            bucket["feasible"].append(1.0 if outcome.feasible else 0.0)
             bucket["overflows"].append(
                 float(sum(1 for amount in usage.values() if amount > capacity + 1e-9))
             )
@@ -501,19 +496,19 @@ def run_e6_baseline_comparison(config: ComparisonConfig | None = None) -> Experi
 def run_e7_ablation(config: AblationConfig | None = None) -> ExperimentResult:
     """Ablate the cost-function interpretation and the acceptance rules."""
     config = config or AblationConfig()
-    variants: dict[str, LoadBalancerOptions] = {
-        "ratio (default)": LoadBalancerOptions(policy=CostPolicy.RATIO),
-        "ratio strict (eq. 5 literal)": LoadBalancerOptions(policy=CostPolicy.RATIO_STRICT),
-        "lexicographic (as exemplified)": LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC),
-        "no LCM condition": LoadBalancerOptions(
-            policy=CostPolicy.RATIO, enforce_lcm_condition=False
-        ),
-        "no steady-state check": LoadBalancerOptions(
-            policy=CostPolicy.RATIO, enforce_steady_state=False
-        ),
-        "safe mode (protect all)": LoadBalancerOptions(
-            policy=CostPolicy.RATIO, protect_unmoved=True, protect_downstream=True
-        ),
+    # Variant name -> parameters of the registered "paper" balancer: the
+    # ablation sweep is plain data over the one unified entry point.
+    variants: dict[str, dict] = {
+        "ratio (default)": {"policy": "ratio"},
+        "ratio strict (eq. 5 literal)": {"policy": "ratio_strict"},
+        "lexicographic (as exemplified)": {"policy": "lexicographic"},
+        "no LCM condition": {"policy": "ratio", "enforce_lcm_condition": False},
+        "no steady-state check": {"policy": "ratio", "enforce_steady_state": False},
+        "safe mode (protect all)": {
+            "policy": "ratio",
+            "protect_unmoved": True,
+            "protect_downstream": True,
+        },
     }
     accumulators: dict[str, dict[str, list[float]]] = {
         name: {"gain": [], "max_memory": [], "moves": [], "feasible": []} for name in variants
@@ -521,13 +516,12 @@ def run_e7_ablation(config: AblationConfig | None = None) -> ExperimentResult:
     for _workload, schedule in scheduled_workloads(
         config.spec, config.seeds, config.scheduler_options()
     ):
-        for name, options in variants.items():
-            result = LoadBalancer(schedule, options).run()
-            report = check_schedule(result.balanced_schedule, check_memory=False)
-            accumulators[name]["gain"].append(result.total_gain)
-            accumulators[name]["max_memory"].append(result.max_memory_after)
-            accumulators[name]["moves"].append(float(result.moves))
-            accumulators[name]["feasible"].append(1.0 if report.is_feasible else 0.0)
+        for name, params in variants.items():
+            outcome = balance(schedule, "paper", **params)
+            accumulators[name]["gain"].append(outcome.total_gain)
+            accumulators[name]["max_memory"].append(outcome.max_memory)
+            accumulators[name]["moves"].append(float(outcome.moves))
+            accumulators[name]["feasible"].append(1.0 if outcome.feasible else 0.0)
 
     rows = [
         [

@@ -10,7 +10,7 @@ tables consistent everywhere, this module provides a
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.metrics.balance import LoadSummary, load_summary
 from repro.metrics.communication import communication_count, communication_volume
@@ -43,6 +43,22 @@ class ScheduleReport:
             communications=communication_count(schedule),
             communication_volume=communication_volume(schedule),
         )
+
+    def to_dict(self) -> dict:
+        """JSON-safe dictionary of every metric (the machine-readable twin of
+        the ASCII table row — the CLI ``--json`` flag and the ``RunResult``
+        artifact are built from this)."""
+        makespan = asdict(self.makespan)
+        makespan["normalized"] = self.makespan.normalized
+        makespan["parallel_lower_bound"] = self.makespan.parallel_lower_bound
+        return {
+            "label": self.label,
+            "makespan": makespan,
+            "memory": asdict(self.memory),
+            "load": asdict(self.load),
+            "communications": self.communications,
+            "communication_volume": self.communication_volume,
+        }
 
     def row(self) -> list[str]:
         """Row of :func:`compare_schedules`' table."""
