@@ -4,41 +4,15 @@ Paper artefact: the only end-to-end result in the paper — total execution
 time 15 -> 14 and per-processor memory [16, 4, 4] -> [10, 6, 8] on three
 processors, obtained through seven block moves.
 
-The benchmark times the load-balancing heuristic on the example and prints
-the paper-vs-measured table produced by
-:func:`repro.experiments.run_e1_paper_example`.
+``run(preset)`` regenerates the artefact (the preset is accepted for CLI
+uniformity but ignored: the worked example has a single fixed
+configuration); timing, repeats and ``BENCH_*.json`` artifacts live in the
+shared harness (``repro-lb bench run``).
 """
 
-from repro.core import CostPolicy, LoadBalancer, LoadBalancerOptions
-from repro.experiments import run_e1_paper_example
-from repro.workloads.paper_example import paper_initial_schedule
+from repro.bench import bench_script
 
-
-def test_e1_paper_example(benchmark, capsys):
-    """Reproduce figures 2-4 exactly and time the heuristic on the example."""
-    schedule = paper_initial_schedule()
-    options = LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC)
-
-    benchmark(lambda: LoadBalancer(schedule, options).run())
-
-    result = run_e1_paper_example()
-    with capsys.disabled():
-        print()
-        print(result.render())
-    assert result.passed, "the worked example was not reproduced exactly"
-
-
-def run(preset: str = "quick"):
-    """Regenerate the E1 artefact; the preset is accepted for CLI uniformity but ignored (the worked example has a single fixed configuration)."""
-    return run_e1_paper_example()
-
-
-def main(argv=None) -> int:
-    """Entry point: ``python benchmarks/bench_e1_paper_example.py [--preset tiny|quick|full]``."""
-    from repro.experiments.configs import preset_cli
-
-    return preset_cli(run, "regenerate the paper's worked example (E1; preset is ignored)", argv)
-
+run, main = bench_script("E1")
 
 if __name__ == "__main__":
     import sys

@@ -5,40 +5,14 @@ its producer's period and the two run on different processors, the consumer's
 processor must buffer the ``n`` data items of one consumer window (``n = 4``
 in the figure) — memory reuse is impossible.
 
-The benchmark times the discrete-event simulation of the two-task scenario
-and prints the peak-buffer-vs-ratio table.
+``run(preset)`` regenerates the artefact at an experiment preset; timing,
+repeats and ``BENCH_*.json`` artifacts live in the shared harness
+(``repro-lb bench run``).
 """
 
-from repro.experiments import MultirateConfig, run_e2_multirate_buffering
-from repro.experiments.runner import _two_task_schedule
-from repro.simulation import SimulationOptions, simulate
+from repro.bench import bench_script
 
-
-def test_e2_multirate_buffering(benchmark, capsys):
-    """Peak consumer-side buffer equals n producer samples for ratio n."""
-    config = MultirateConfig.quick()
-    schedule = _two_task_schedule(4, config)  # the Figure-1 ratio
-
-    benchmark(lambda: simulate(schedule, SimulationOptions(hyper_periods=2)))
-
-    result = run_e2_multirate_buffering(config)
-    with capsys.disabled():
-        print()
-        print(result.render())
-    assert result.passed, "measured buffering does not match the Figure-1 semantics"
-
-
-def run(preset: str = "quick"):
-    """Regenerate the E2 artefact at the given preset ("tiny", "quick" or "full")."""
-    return run_e2_multirate_buffering(MultirateConfig.from_preset(preset))
-
-
-def main(argv=None) -> int:
-    """Entry point: ``python benchmarks/bench_e2_multirate_buffering.py [--preset tiny|quick|full]``."""
-    from repro.experiments.configs import preset_cli
-
-    return preset_cli(run, "regenerate the Figure-1 buffering study (E2)", argv)
-
+run, main = bench_script("E2")
 
 if __name__ == "__main__":
     import sys

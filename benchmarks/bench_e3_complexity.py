@@ -3,41 +3,15 @@
 Paper artefact: section 4 argues the heuristic performs ``M · N_blocks``
 cost-function evaluations and is therefore fast on large applications.
 
-The benchmark times the heuristic on a mid-size random workload and prints
-the runtime/evaluation-count scaling table over the (N, M) sweep.
+``run(preset)`` regenerates the artefact at an experiment preset; timing,
+repeats and ``BENCH_*.json`` artifacts live in the shared harness
+(``repro-lb bench run``).  This is the benchmark the CI perf gate watches
+most closely: the candidate-move evaluation loop dominates its wall time.
 """
 
-from repro.core import LoadBalancer
-from repro.experiments import ComplexityConfig, run_e3_complexity
-from repro.workloads import WorkloadSpec, scheduled_workload
+from repro.bench import bench_script
 
-
-def test_e3_complexity(benchmark, capsys):
-    """The heuristic performs exactly M·N_blocks cost-function evaluations."""
-    spec = WorkloadSpec(task_count=100, processor_count=4, utilization=0.25, seed=1,
-                        base_period=40, label="bench-e3")
-    _workload, schedule = scheduled_workload(spec)
-
-    benchmark(lambda: LoadBalancer(schedule).run())
-
-    result = run_e3_complexity(ComplexityConfig.quick())
-    with capsys.disabled():
-        print()
-        print(result.render())
-    assert result.passed, "evaluation count does not match M·N_blocks"
-
-
-def run(preset: str = "quick"):
-    """Regenerate the E3 artefact at the given preset ("tiny", "quick" or "full")."""
-    return run_e3_complexity(ComplexityConfig.from_preset(preset))
-
-
-def main(argv=None) -> int:
-    """Entry point: ``python benchmarks/bench_e3_complexity.py [--preset tiny|quick|full]``."""
-    from repro.experiments.configs import preset_cli
-
-    return preset_cli(run, "regenerate the complexity study (E3)", argv)
-
+run, main = bench_script("E3")
 
 if __name__ == "__main__":
     import sys

@@ -1,47 +1,18 @@
 """E4 — validate Theorem 1 empirically: ``0 <= G_total <= γ(M-1)!``.
 
 Paper artefact: Theorem 1 (section 5.1) bounds the total-execution-time gain
-of the heuristic.  The benchmark times one balancing run of the campaign's
-workload and prints the per-M gain statistics and bound checks; the gating
-criterion is the theorem's substantive claim (the gain is never negative),
-while upper-bound violations are reported as a reproduction finding (see
-DESIGN.md §2, A5).
+of the heuristic.  The gating criterion is the theorem's substantive claim
+(the gain is never negative), while upper-bound violations are reported as a
+reproduction finding (see DESIGN.md §2, A5).
+
+``run(preset)`` regenerates the artefact at an experiment preset; timing,
+repeats and ``BENCH_*.json`` artifacts live in the shared harness
+(``repro-lb bench run``).
 """
 
-from repro.core import LoadBalancer
-from repro.experiments import Theorem1Config, run_e4_theorem1
-from repro.workloads import GraphShape, WorkloadSpec, scheduled_workload
-from repro.scheduling import PlacementPolicy, SchedulerOptions
+from repro.bench import bench_script
 
-
-def test_e4_theorem1_bounds(benchmark, capsys):
-    """G_total is never negative over the random-workload campaign."""
-    spec = WorkloadSpec(task_count=24, processor_count=3, utilization=0.3,
-                        shape=GraphShape.PIPELINE, seed=1, label="bench-e4")
-    _workload, schedule = scheduled_workload(
-        spec, SchedulerOptions(policy=PlacementPolicy.LEAST_LOADED)
-    )
-
-    benchmark(lambda: LoadBalancer(schedule).run())
-
-    result = run_e4_theorem1(Theorem1Config.quick())
-    with capsys.disabled():
-        print()
-        print(result.render())
-    assert result.passed, "a balancing run increased the total execution time"
-
-
-def run(preset: str = "quick"):
-    """Regenerate the E4 artefact at the given preset ("tiny", "quick" or "full")."""
-    return run_e4_theorem1(Theorem1Config.from_preset(preset))
-
-
-def main(argv=None) -> int:
-    """Entry point: ``python benchmarks/bench_e4_theorem1_bounds.py [--preset tiny|quick|full]``."""
-    from repro.experiments.configs import preset_cli
-
-    return preset_cli(run, "validate Theorem 1 bounds (E4)", argv)
-
+run, main = bench_script("E4")
 
 if __name__ == "__main__":
     import sys

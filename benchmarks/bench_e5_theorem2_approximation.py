@@ -4,42 +4,14 @@ Paper artefact: Theorem 2 (section 5.2) proves that, when only memory is
 considered, the greedy "least loaded memory first" rule stays within
 ``2 - 1/M`` of the optimal maximum per-processor memory ``ω_opt``.
 
-The benchmark times the exact branch-and-bound optimum (the expensive part of
-the experiment) and prints the measured worst/mean ratios per processor
-count; the gate is that no exactly-solved instance violates the bound.
+``run(preset)`` regenerates the artefact at an experiment preset; timing,
+repeats and ``BENCH_*.json`` artifacts live in the shared harness
+(``repro-lb bench run``).
 """
 
-import numpy as np
+from repro.bench import bench_script
 
-from repro.analysis import measure_greedy_ratio
-from repro.experiments import Theorem2Config, run_e5_theorem2
-
-
-def test_e5_theorem2_approximation(benchmark, capsys):
-    """Measured ω/ω_opt never exceeds 2 - 1/M."""
-    rng = np.random.default_rng(2008)
-    memories = [round(float(rng.uniform(1.0, 20.0)), 1) for _ in range(12)]
-
-    benchmark(lambda: measure_greedy_ratio(memories, 3))
-
-    result = run_e5_theorem2(Theorem2Config.quick())
-    with capsys.disabled():
-        print()
-        print(result.render())
-    assert result.passed, "a measured ratio exceeded the Theorem-2 bound"
-
-
-def run(preset: str = "quick"):
-    """Regenerate the E5 artefact at the given preset ("tiny", "quick" or "full")."""
-    return run_e5_theorem2(Theorem2Config.from_preset(preset))
-
-
-def main(argv=None) -> int:
-    """Entry point: ``python benchmarks/bench_e5_theorem2_approximation.py [--preset tiny|quick|full]``."""
-    from repro.experiments.configs import preset_cli
-
-    return preset_cli(run, "validate the Theorem-2 approximation (E5)", argv)
-
+run, main = bench_script("E5")
 
 if __name__ == "__main__":
     import sys

@@ -6,44 +6,14 @@ overflows the limited memories of embedded processors and unconstrained
 (bin-packing / genetic) assignments break the dependence and strict
 periodicity constraints altogether.
 
-The benchmark times the full strategy sweep on one workload and prints the
-averaged comparison table over the seed sweep.
+``run(preset)`` regenerates the artefact at an experiment preset; timing,
+repeats and ``BENCH_*.json`` artifacts live in the shared harness
+(``repro-lb bench run``).
 """
 
-from repro.experiments import ComparisonConfig, run_e6_baseline_comparison
-from repro.experiments.runner import _strategy_outcomes
-from repro.scheduling import PlacementPolicy, SchedulerOptions
-from repro.workloads import scheduled_workload
+from repro.bench import bench_script
 
-
-def test_e6_baseline_comparison(benchmark, capsys):
-    """The proposed heuristic balances while keeping the schedule feasible."""
-    config = ComparisonConfig.quick()
-    _workload, schedule = scheduled_workload(
-        config.spec.with_updates(seed=0),
-        SchedulerOptions(policy=PlacementPolicy.LEAST_LOADED),
-    )
-
-    benchmark(lambda: _strategy_outcomes(schedule))
-
-    result = run_e6_baseline_comparison(config)
-    with capsys.disabled():
-        print()
-        print(result.render())
-    assert result.passed is not False, "the proposed heuristic lost feasibility too often"
-
-
-def run(preset: str = "quick"):
-    """Regenerate the E6 artefact at the given preset ("tiny", "quick" or "full")."""
-    return run_e6_baseline_comparison(ComparisonConfig.from_preset(preset))
-
-
-def main(argv=None) -> int:
-    """Entry point: ``python benchmarks/bench_e6_baseline_comparison.py [--preset tiny|quick|full]``."""
-    from repro.experiments.configs import preset_cli
-
-    return preset_cli(run, "compare against the baselines (E6)", argv)
-
+run, main = bench_script("E6")
 
 if __name__ == "__main__":
     import sys

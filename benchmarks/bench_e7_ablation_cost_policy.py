@@ -4,48 +4,14 @@ Paper artefact: equation (5) versus the behaviour exemplified in section 3.3
 (DESIGN.md §2, items A1/B1), plus the role of the Block/LCM condition and of
 the reproduction's additional steady-state / protection rules.
 
-The benchmark times one balancing run under the default options and prints
-the averaged ablation table (gain, memory, moves, feasibility per variant).
+``run(preset)`` regenerates the artefact at an experiment preset; timing,
+repeats and ``BENCH_*.json`` artifacts live in the shared harness
+(``repro-lb bench run``).
 """
 
-from repro.core import CostPolicy, LoadBalancer, LoadBalancerOptions
-from repro.experiments import AblationConfig, run_e7_ablation
-from repro.scheduling import PlacementPolicy, SchedulerOptions
-from repro.workloads import scheduled_workload
+from repro.bench import bench_script
 
-
-def test_e7_ablation_cost_policy(benchmark, capsys):
-    """Compare eq.-(5) interpretations and rule ablations."""
-    config = AblationConfig.quick()
-    _workload, schedule = scheduled_workload(
-        config.spec.with_updates(seed=0),
-        SchedulerOptions(policy=PlacementPolicy.LEAST_LOADED),
-    )
-
-    benchmark(
-        lambda: LoadBalancer(
-            schedule, LoadBalancerOptions(policy=CostPolicy.LEXICOGRAPHIC)
-        ).run()
-    )
-
-    result = run_e7_ablation(config)
-    with capsys.disabled():
-        print()
-        print(result.render())
-    assert result.data["metrics"], "the ablation produced no data"
-
-
-def run(preset: str = "quick"):
-    """Regenerate the E7 artefact at the given preset ("tiny", "quick" or "full")."""
-    return run_e7_ablation(AblationConfig.from_preset(preset))
-
-
-def main(argv=None) -> int:
-    """Entry point: ``python benchmarks/bench_e7_ablation_cost_policy.py [--preset tiny|quick|full]``."""
-    from repro.experiments.configs import preset_cli
-
-    return preset_cli(run, "ablate cost policies and rules (E7)", argv)
-
+run, main = bench_script("E7")
 
 if __name__ == "__main__":
     import sys

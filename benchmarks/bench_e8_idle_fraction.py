@@ -5,45 +5,14 @@ Paper artefact: the introduction quotes a study ([3]) observing that "over
 systems and argues strict periodicity makes the figure larger for real-time
 systems; load balancing is motivated by reclaiming part of that waste.
 
-The benchmark times the idle-fraction computation on one balanced schedule
-and prints the measured idle fractions over the utilisation sweep.
+``run(preset)`` regenerates the artefact at an experiment preset; timing,
+repeats and ``BENCH_*.json`` artifacts live in the shared harness
+(``repro-lb bench run``).
 """
 
-from repro.core import LoadBalancer
-from repro.experiments import IdleFractionConfig, run_e8_idle_fraction
-from repro.scheduling import PlacementPolicy, SchedulerOptions
-from repro.workloads import GraphShape, WorkloadSpec, scheduled_workload
+from repro.bench import bench_script
 
-
-def test_e8_idle_fraction(benchmark, capsys):
-    """Idle fractions stay above the paper's 65% figure for these workloads."""
-    spec = WorkloadSpec(task_count=28, processor_count=4, utilization=0.3,
-                        shape=GraphShape.PIPELINE, seed=0, label="bench-e8")
-    _workload, schedule = scheduled_workload(
-        spec, SchedulerOptions(policy=PlacementPolicy.LEAST_LOADED)
-    )
-    balanced = LoadBalancer(schedule).run().balanced_schedule
-
-    benchmark(lambda: balanced.idle_fraction())
-
-    result = run_e8_idle_fraction(IdleFractionConfig.quick())
-    with capsys.disabled():
-        print()
-        print(result.render())
-    assert result.data, "no idle-fraction data was produced"
-
-
-def run(preset: str = "quick"):
-    """Regenerate the E8 artefact at the given preset ("tiny", "quick" or "full")."""
-    return run_e8_idle_fraction(IdleFractionConfig.from_preset(preset))
-
-
-def main(argv=None) -> int:
-    """Entry point: ``python benchmarks/bench_e8_idle_fraction.py [--preset tiny|quick|full]``."""
-    from repro.experiments.configs import preset_cli
-
-    return preset_cli(run, "measure idle fractions (E8)", argv)
-
+run, main = bench_script("E8")
 
 if __name__ == "__main__":
     import sys

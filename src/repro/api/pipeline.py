@@ -12,7 +12,6 @@ echo and the rendered report, all serialisable through ``to_dict()`` /
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -26,6 +25,7 @@ from repro.model.graph import TaskGraph
 from repro.scheduling.feasibility import check_schedule
 from repro.scheduling.heuristic import PlacementPolicy, SchedulerOptions, schedule_application
 from repro.scheduling.schedule import Schedule
+from repro.timing import StageTimer
 from repro.workloads.generator import generate_workload
 from repro.workloads.paper_example import paper_initial_schedule
 
@@ -150,62 +150,58 @@ class Pipeline:
     def run(self) -> RunResult:
         """Execute every configured stage and assemble the artifact."""
         config = self.config
-        timings: dict[str, float] = {}
+        timer = StageTimer()
         workload_description = ""
 
         # -- workload + initial schedule -----------------------------------
-        started = time.perf_counter()
         if config.workload.kind == "paper_example":
-            timings["workload"] = time.perf_counter() - started
-            started = time.perf_counter()
-            initial = paper_initial_schedule()
-            timings["schedule"] = time.perf_counter() - started
+            with timer.stage("workload"):
+                pass
+            with timer.stage("schedule"):
+                initial = paper_initial_schedule()
         elif config.workload.kind == "spec":
-            workload = generate_workload(config.workload.spec)
-            workload_description = workload.describe()
-            timings["workload"] = time.perf_counter() - started
-            started = time.perf_counter()
-            initial = schedule_application(
-                workload.graph, workload.architecture, self._scheduler_options()
-            )
-            timings["schedule"] = time.perf_counter() - started
-        else:  # provided
-            timings["workload"] = time.perf_counter() - started
-            started = time.perf_counter()
-            if self._initial_schedule is not None:
-                initial = self._initial_schedule
-            else:
+            with timer.stage("workload"):
+                workload = generate_workload(config.workload.spec)
+                workload_description = workload.describe()
+            with timer.stage("schedule"):
                 initial = schedule_application(
-                    self._graph, self._architecture, self._scheduler_options()
+                    workload.graph, workload.architecture, self._scheduler_options()
                 )
-            workload_description = (
-                f"{initial.graph.name or 'provided'}: {len(initial.graph)} tasks, "
-                f"{len(initial.architecture)} processors, "
-                f"hyper-period {initial.graph.hyper_period:g}"
-            )
-            timings["schedule"] = time.perf_counter() - started
+        else:  # provided
+            with timer.stage("workload"):
+                pass
+            with timer.stage("schedule"):
+                if self._initial_schedule is not None:
+                    initial = self._initial_schedule
+                else:
+                    initial = schedule_application(
+                        self._graph, self._architecture, self._scheduler_options()
+                    )
+                workload_description = (
+                    f"{initial.graph.name or 'provided'}: {len(initial.graph)} tasks, "
+                    f"{len(initial.architecture)} processors, "
+                    f"hyper-period {initial.graph.hyper_period:g}"
+                )
 
         # -- balance --------------------------------------------------------
-        started = time.perf_counter()
-        outcome = balance(initial, config.balance.to_dict())
-        timings["balance"] = time.perf_counter() - started
+        with timer.stage("balance"):
+            outcome = balance(initial, config.balance.to_dict())
 
         # -- verify ---------------------------------------------------------
         feasible: bool | None
         violations: list[str]
         if config.verify.enabled:
-            started = time.perf_counter()
-            if config.verify.check_memory:
-                verdict = check_schedule(outcome.schedule, check_memory=True)
-                feasible = verdict.is_feasible
-                violations = verdict.all_violations
-            else:
-                # The outcome already carries this exact verdict (every
-                # balancer computes it once, with check_memory=False) —
-                # re-running the checker would only duplicate the work.
-                feasible = outcome.feasible
-                violations = list(outcome.violations)
-            timings["verify"] = time.perf_counter() - started
+            with timer.stage("verify"):
+                if config.verify.check_memory:
+                    verdict = check_schedule(outcome.schedule, check_memory=True)
+                    feasible = verdict.is_feasible
+                    violations = verdict.all_violations
+                else:
+                    # The outcome already carries this exact verdict (every
+                    # balancer computes it once, with check_memory=False) —
+                    # re-running the checker would only duplicate the work.
+                    feasible = outcome.feasible
+                    violations = list(outcome.violations)
         else:
             feasible = None
             violations = []
@@ -213,9 +209,9 @@ class Pipeline:
         # -- report ---------------------------------------------------------
         report_text = ""
         if config.report.enabled:
-            started = time.perf_counter()
-            report_text = self._render_report(workload_description, initial, outcome)
-            timings["report"] = time.perf_counter() - started
+            with timer.stage("report"):
+                report_text = self._render_report(workload_description, initial, outcome)
+        timings = timer.timings
 
         metrics = {
             "makespan_before": float(outcome.makespan_before),

@@ -1,0 +1,44 @@
+"""Unified performance-measurement subsystem (``repro-lb bench``).
+
+* :mod:`~repro.bench.registry` — string-keyed registry of the E1–E8
+  benchmarks (same pattern as :mod:`repro.api.balancers`);
+* :mod:`~repro.bench.harness` — presets (``tiny``/``paper``/``stress``),
+  warmup + repeat control, artifact assembly;
+* :mod:`~repro.bench.artifact` — the versioned ``BENCH_*.json`` artifact
+  (schema ``repro-bench/1``);
+* :mod:`~repro.bench.compare` — baseline comparison returning structured
+  regressions (what the CI perf gate exits non-zero on).
+"""
+
+from repro.bench.artifact import (
+    BENCH_SCHEMA,
+    BenchArtifact,
+    BenchmarkRecord,
+    environment_fingerprint,
+)
+from repro.bench.compare import ComparisonReport, RegressionEntry, compare
+from repro.bench.harness import BENCH_PRESETS, run_benchmarks
+from repro.bench.registry import (
+    BenchmarkSpec,
+    available_benchmarks,
+    bench_script,
+    benchmark_info,
+    register_benchmark,
+)
+
+__all__ = [
+    "BENCH_PRESETS",
+    "BENCH_SCHEMA",
+    "BenchArtifact",
+    "BenchmarkRecord",
+    "BenchmarkSpec",
+    "ComparisonReport",
+    "RegressionEntry",
+    "available_benchmarks",
+    "bench_script",
+    "benchmark_info",
+    "compare",
+    "environment_fingerprint",
+    "register_benchmark",
+    "run_benchmarks",
+]

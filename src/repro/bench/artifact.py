@@ -1,0 +1,218 @@
+"""The versioned ``BENCH_*.json`` performance artifact (schema ``repro-bench/1``).
+
+One :class:`BenchArtifact` records one harness invocation: which preset ran,
+every benchmark's wall times (one per measured repeat) and key metrics, an
+environment fingerprint (interpreter, platform, dependency versions) and an
+echo of the harness configuration.  The artifact round-trips through
+``to_dict()`` / ``from_dict()`` exactly like ``repro-run/1`` and
+``repro-pipeline/1`` do, and :meth:`BenchArtifact.save` writes the
+conventional ``BENCH_<timestamp>.json`` file the CI perf gate uploads and
+:func:`repro.bench.compare.compare` reads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+
+__all__ = ["BENCH_SCHEMA", "BenchmarkRecord", "BenchArtifact", "environment_fingerprint"]
+
+#: Version tag stamped into every serialised bench artifact.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Where the numbers came from: interpreter, platform, dependency versions.
+
+    Baseline comparisons are only meaningful within a comparable environment;
+    the fingerprint lets ``compare`` (and a human reading the artifact) see at
+    a glance when two artifacts were produced on different interpreters or
+    library versions.
+    """
+    versions: dict[str, str] = {"repro": __version__}
+    for module_name in ("numpy", "networkx"):
+        try:
+            module = __import__(module_name)
+            versions[module_name] = str(getattr(module, "__version__", "unknown"))
+        except ImportError:  # pragma: no cover - both are hard dependencies
+            versions[module_name] = "absent"
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "executable": sys.executable,
+        "versions": versions,
+    }
+
+
+@dataclass(slots=True)
+class BenchmarkRecord:
+    """Measured outcome of one benchmark inside one harness run."""
+
+    #: Registry key, e.g. ``"E3"``.
+    name: str
+    title: str
+    #: Seconds of each *measured* repeat (warmup calls are not recorded).
+    wall_times: list[float]
+    #: Key metrics extracted from the benchmark's experiment result.
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: The experiment's own verdict (``None`` for descriptive experiments).
+    passed: bool | None = None
+    #: Warmup calls executed before the measured repeats.
+    warmup: int = 0
+
+    @property
+    def best(self) -> float:
+        """Fastest measured repeat — the noise-robust comparison basis."""
+        return min(self.wall_times)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the measured repeats."""
+        return sum(self.wall_times) / len(self.wall_times)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "wall_times": [float(value) for value in self.wall_times],
+            "best": float(self.best),
+            "mean": float(self.mean),
+            "metrics": {key: float(value) for key, value in self.metrics.items()},
+            "passed": self.passed,
+            "warmup": int(self.warmup),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchmarkRecord":
+        wall_times = [float(value) for value in data.get("wall_times") or []]
+        if not wall_times:
+            raise ConfigurationError(
+                f"Benchmark record {data.get('name')!r} has no wall times"
+            )
+        return cls(
+            name=str(data.get("name", "")),
+            title=str(data.get("title", "")),
+            wall_times=wall_times,
+            metrics={k: float(v) for k, v in (data.get("metrics") or {}).items()},
+            passed=data.get("passed"),
+            warmup=int(data.get("warmup", 0)),
+        )
+
+
+@dataclass(slots=True)
+class BenchArtifact:
+    """One serialisable harness invocation (schema ``repro-bench/1``)."""
+
+    #: Bench preset that ran (``tiny`` / ``paper`` / ``stress``).
+    preset: str
+    #: UTC creation time, ISO-8601.
+    created: str
+    #: See :func:`environment_fingerprint`.
+    environment: dict[str, Any] = field(default_factory=environment_fingerprint)
+    #: Echo of the harness configuration (warmup, repeats, benchmark names,
+    #: the experiment preset the bench preset mapped to).
+    config: dict[str, Any] = field(default_factory=dict)
+    records: list[BenchmarkRecord] = field(default_factory=list)
+    #: Free-form provenance notes (e.g. the measured before/after numbers of
+    #: the optimization a baseline pins down).
+    notes: list[str] = field(default_factory=list)
+    schema: str = BENCH_SCHEMA
+
+    @classmethod
+    def now(cls, preset: str, **kwargs: Any) -> "BenchArtifact":
+        """Artifact stamped with the current UTC time."""
+        created = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+        return cls(preset=preset, created=created, **kwargs)
+
+    def record(self, name: str) -> BenchmarkRecord | None:
+        """The record of benchmark ``name`` (``None`` when it did not run)."""
+        for entry in self.records:
+            if entry.name == name:
+                return entry
+        return None
+
+    @property
+    def benchmark_names(self) -> tuple[str, ...]:
+        """Names of the benchmarks the artifact covers, in run order."""
+        return tuple(entry.name for entry in self.records)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "preset": self.preset,
+            "created": self.created,
+            "environment": dict(self.environment),
+            "config": dict(self.config),
+            "results": [entry.to_dict() for entry in self.records],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchArtifact":
+        schema = data.get("schema", BENCH_SCHEMA)
+        if schema != BENCH_SCHEMA:
+            raise ConfigurationError(
+                f"Unsupported bench-artifact schema {schema!r}; this build reads "
+                f"{BENCH_SCHEMA!r}"
+            )
+        return cls(
+            preset=str(data.get("preset", "")),
+            created=str(data.get("created", "")),
+            environment=dict(data.get("environment") or {}),
+            config=dict(data.get("config") or {}),
+            records=[BenchmarkRecord.from_dict(entry) for entry in data.get("results") or []],
+            notes=list(data.get("notes") or []),
+            schema=schema,
+        )
+
+    def dumps(self) -> str:
+        """Deterministic JSON form (sorted keys, trailing newline)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def save(self, target: str | Path) -> Path:
+        """Write the artifact to ``target``.
+
+        A directory target receives the conventional ``BENCH_<timestamp>.json``
+        name (directories are created as needed); any other target is treated
+        as the exact file path.
+        """
+        target = Path(target)
+        try:
+            if target.is_dir() or not target.suffix:
+                target.mkdir(parents=True, exist_ok=True)
+                stamp = self.created.replace("-", "").replace(":", "")
+                target = target / f"BENCH_{stamp}.json"
+            else:
+                target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(self.dumps())
+        except OSError as error:
+            raise ConfigurationError(
+                f"Cannot write bench artifact to {target}: {error}"
+            ) from None
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchArtifact":
+        """Read an artifact back from disk."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as error:
+            raise ConfigurationError(f"Cannot read bench artifact {path}: {error}") from None
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"Bench artifact {path} is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(data)

@@ -1,0 +1,228 @@
+"""Baseline comparison: structured regressions between two bench artifacts.
+
+``compare(baseline, current, tolerance)`` matches benchmarks by name and
+classifies each one:
+
+``pass``
+    ``current_best / baseline_best`` at or below ``tolerance · warn_fraction``.
+``warn``
+    Above the warn threshold but within ``tolerance`` — noise territory worth
+    a look, not a failure.
+``fail``
+    Above ``tolerance``, or the benchmark's own verdict flipped from passing
+    to failing — a perf *or* correctness regression.
+``missing``
+    In the baseline but not in the current artifact (treated as a failure:
+    a benchmark silently dropping out must not look like a speedup).
+``new``
+    In the current artifact only (never a failure).
+
+Wall times are compared on the *best* (minimum) measured repeat — the
+noise-robust basis — and the tolerance is deliberately generous on CI
+runners (the perf gate ships 2.5×): the gate exists to catch a 3× slowdown
+in the heuristic, not 10% jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.bench.artifact import BenchArtifact
+from repro.errors import ConfigurationError
+from repro.metrics.report import render_table
+
+__all__ = ["RegressionEntry", "ComparisonReport", "compare"]
+
+
+@dataclass(frozen=True, slots=True)
+class RegressionEntry:
+    """Verdict for one benchmark of the comparison."""
+
+    name: str
+    #: ``pass`` / ``warn`` / ``fail`` / ``missing`` / ``new``.
+    status: str
+    baseline_best: float | None = None
+    current_best: float | None = None
+    #: ``current_best / baseline_best`` (``None`` for missing/new entries).
+    ratio: float | None = None
+    detail: str = ""
+
+    @property
+    def is_regression(self) -> bool:
+        """``True`` when the entry should fail a gate."""
+        return self.status in ("fail", "missing")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "baseline_best": self.baseline_best,
+            "current_best": self.current_best,
+            "ratio": self.ratio,
+            "detail": self.detail,
+        }
+
+
+@dataclass(slots=True)
+class ComparisonReport:
+    """Structured outcome of one baseline comparison."""
+
+    tolerance: float
+    warn_fraction: float
+    min_delta: float = 0.05
+    entries: list[RegressionEntry] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[RegressionEntry]:
+        """Entries that fail the gate (``fail`` and ``missing``)."""
+        return [entry for entry in self.entries if entry.is_regression]
+
+    @property
+    def warnings(self) -> list[RegressionEntry]:
+        """Entries in the warn band."""
+        return [entry for entry in self.entries if entry.status == "warn"]
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no entry is a regression."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """ASCII report (what ``repro-lb bench compare`` prints)."""
+        rows = []
+        for entry in self.entries:
+            rows.append(
+                [
+                    entry.name,
+                    "-" if entry.baseline_best is None else f"{entry.baseline_best:.4f}",
+                    "-" if entry.current_best is None else f"{entry.current_best:.4f}",
+                    "-" if entry.ratio is None else f"{entry.ratio:.2f}x",
+                    entry.status.upper(),
+                    entry.detail,
+                ]
+            )
+        table = render_table(
+            ["benchmark", "baseline best (s)", "current best (s)", "ratio", "status", "detail"],
+            rows,
+        )
+        verdict = "OK" if self.ok else f"REGRESSION ({len(self.regressions)} benchmark(s))"
+        return (
+            f"bench compare: tolerance {self.tolerance:g}x "
+            f"(warn above {self.tolerance * self.warn_fraction:g}x, "
+            f"noise floor {self.min_delta:g}s)\n"
+            f"{table}\nverdict: {verdict}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tolerance": float(self.tolerance),
+            "warn_fraction": float(self.warn_fraction),
+            "min_delta": float(self.min_delta),
+            "ok": self.ok,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+
+def _coerce(artifact: BenchArtifact | Mapping[str, Any], role: str) -> BenchArtifact:
+    if isinstance(artifact, BenchArtifact):
+        return artifact
+    if isinstance(artifact, Mapping):
+        return BenchArtifact.from_dict(artifact)
+    raise ConfigurationError(
+        f"compare() expects a BenchArtifact or its dict form as the {role}, "
+        f"got {type(artifact).__name__}"
+    )
+
+
+def compare(
+    baseline: BenchArtifact | Mapping[str, Any],
+    current: BenchArtifact | Mapping[str, Any],
+    tolerance: float = 2.5,
+    *,
+    warn_fraction: float = 0.8,
+    min_delta: float = 0.05,
+) -> ComparisonReport:
+    """Classify every benchmark of ``current`` against ``baseline``.
+
+    ``tolerance`` is the slowdown ratio above which a benchmark fails
+    (strictly greater; a ratio exactly at the tolerance passes as ``warn``).
+    ``warn_fraction`` places the warn threshold at
+    ``tolerance * warn_fraction``.  ``min_delta`` (seconds) is an absolute
+    noise floor: a benchmark whose best time grew by less than this never
+    fails or warns on the ratio, however large — sub-millisecond tiny-preset
+    benchmarks would otherwise turn scheduler jitter into gate failures.
+    Verdict regressions (PASS flipping to FAIL) are exempt from the floor.
+    Pass ``min_delta=0`` for strict ratio semantics.
+    """
+    if tolerance <= 1.0:
+        raise ConfigurationError(f"tolerance must exceed 1.0, got {tolerance}")
+    if not 0.0 < warn_fraction <= 1.0:
+        raise ConfigurationError(
+            f"warn_fraction must be in (0, 1], got {warn_fraction}"
+        )
+    if min_delta < 0:
+        raise ConfigurationError(f"min_delta must be non-negative, got {min_delta}")
+    baseline = _coerce(baseline, "baseline")
+    current = _coerce(current, "current artifact")
+    if baseline.preset != current.preset:
+        raise ConfigurationError(
+            f"Preset mismatch: baseline ran {baseline.preset!r} but the current "
+            f"artifact ran {current.preset!r}; wall times are not comparable"
+        )
+
+    entries: list[RegressionEntry] = []
+    for base_record in baseline.records:
+        record = current.record(base_record.name)
+        if record is None:
+            entries.append(
+                RegressionEntry(
+                    name=base_record.name,
+                    status="missing",
+                    baseline_best=base_record.best,
+                    detail="benchmark absent from the current artifact",
+                )
+            )
+            continue
+        baseline_best = base_record.best
+        current_best = record.best
+        ratio = current_best / baseline_best if baseline_best > 0 else float("inf")
+        below_floor = (current_best - baseline_best) < min_delta
+        if record.passed is False and base_record.passed is not False:
+            status, detail = "fail", "experiment verdict regressed to FAIL"
+        elif below_floor:
+            status, detail = "pass", "" if ratio <= 1.0 else "below the min-delta noise floor"
+        elif ratio > tolerance:
+            status, detail = "fail", f"slower than {tolerance:g}x the baseline"
+        elif ratio > tolerance * warn_fraction:
+            status, detail = "warn", "within tolerance but above the warn threshold"
+        else:
+            status, detail = "pass", ""
+        entries.append(
+            RegressionEntry(
+                name=base_record.name,
+                status=status,
+                baseline_best=baseline_best,
+                current_best=current_best,
+                ratio=ratio,
+                detail=detail,
+            )
+        )
+    for record in current.records:
+        if record.name not in {entry.name for entry in entries}:
+            entries.append(
+                RegressionEntry(
+                    name=record.name,
+                    status="new",
+                    current_best=record.best,
+                    detail="no baseline entry",
+                )
+            )
+    # Keep a stable, readable order regardless of artifact ordering.
+    entries.sort(key=lambda entry: entry.name)
+    return ComparisonReport(
+        tolerance=float(tolerance),
+        warn_fraction=float(warn_fraction),
+        min_delta=float(min_delta),
+        entries=entries,
+    )

@@ -1,0 +1,101 @@
+"""The benchmark harness: presets, warmup/repeat control, artifact assembly.
+
+``run_benchmarks(preset="tiny")`` runs every registered benchmark (or a
+subset) under one of the bench presets, timing each artefact regeneration
+with :func:`repro.timing.measure` — the same instrumentation the pipeline's
+stage timings use — and returns the :class:`~repro.bench.artifact.BenchArtifact`
+ready to print, save or compare.
+
+Bench presets name *intents* and map onto the experiment presets of
+:mod:`repro.experiments.configs`:
+
+========  =================  =======================================
+bench     experiment preset  meaning
+========  =================  =======================================
+tiny      tiny               sub-second; CI perf gate and smoke runs
+paper     quick              the scale EXPERIMENTS.md tables use
+stress    full               minutes; paper-grade campaign scale
+========  =================  =======================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bench.artifact import BenchArtifact, BenchmarkRecord
+from repro.bench.registry import available_benchmarks, benchmark_info
+from repro.errors import ConfigurationError
+from repro.timing import measure
+
+__all__ = ["BENCH_PRESETS", "run_benchmarks"]
+
+#: Bench preset name -> experiment preset name.
+BENCH_PRESETS: dict[str, str] = {"tiny": "tiny", "paper": "quick", "stress": "full"}
+
+
+def _resolve_preset(preset: str) -> str:
+    try:
+        return BENCH_PRESETS[preset]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown bench preset {preset!r}; expected one of {sorted(BENCH_PRESETS)}"
+        ) from None
+
+
+def run_benchmarks(
+    names: Sequence[str] | None = None,
+    *,
+    preset: str = "tiny",
+    warmup: int = 1,
+    repeats: int = 3,
+    notes: Sequence[str] = (),
+) -> BenchArtifact:
+    """Run benchmarks under ``preset`` and return the artifact.
+
+    ``names`` defaults to every registered benchmark.  Each benchmark's
+    experiment runner is called ``warmup`` times unmeasured (imports, caches)
+    and then ``repeats`` times measured; the artifact stores every measured
+    wall time plus the key metrics and verdict of the last repeat.
+    """
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be non-negative, got {warmup}")
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be at least 1, got {repeats}")
+    experiment_preset = _resolve_preset(preset)
+    selected = tuple(names) if names else available_benchmarks()
+    # Resolve every name before running anything: an unknown benchmark must
+    # fail fast, not after minutes of earlier benchmarks whose measurements
+    # would be discarded.
+    specs = [benchmark_info(name) for name in selected]
+
+    records: list[BenchmarkRecord] = []
+    for name, spec in zip(selected, specs):
+        for _ in range(warmup):
+            spec.run(experiment_preset)
+        wall_times: list[float] = []
+        result = None
+        for _ in range(repeats):
+            elapsed, result = measure(lambda: spec.run(experiment_preset))
+            wall_times.append(elapsed)
+        records.append(
+            BenchmarkRecord(
+                name=name,
+                title=spec.title,
+                wall_times=wall_times,
+                metrics=spec.metrics(result),
+                passed=result.passed,
+                warmup=warmup,
+            )
+        )
+
+    return BenchArtifact.now(
+        preset=preset,
+        config={
+            "names": list(selected),
+            "experiment_preset": experiment_preset,
+            "warmup": warmup,
+            "repeats": repeats,
+        },
+        records=records,
+        notes=list(notes),
+    )

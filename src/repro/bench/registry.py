@@ -1,0 +1,278 @@
+"""String-keyed registry of the E1–E8 benchmarks.
+
+Mirrors :mod:`repro.api.balancers`: every benchmark registers one
+:class:`BenchmarkSpec` — the experiment runner to time (accepting an
+experiment preset name) plus a key-metric extractor turning the experiment's
+:class:`~repro.experiments.tables.ExperimentResult` into the flat float
+mapping the ``repro-bench/1`` artifact stores.  The ``benchmarks/bench_e*.py``
+scripts are thin shells over :func:`bench_script`, so adding a benchmark
+means adding one registry entry, not a new script worth of boilerplate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    AblationConfig,
+    ComparisonConfig,
+    ComplexityConfig,
+    IdleFractionConfig,
+    MultirateConfig,
+    Theorem1Config,
+    Theorem2Config,
+    run_e1_paper_example,
+    run_e2_multirate_buffering,
+    run_e3_complexity,
+    run_e4_theorem1,
+    run_e5_theorem2,
+    run_e6_baseline_comparison,
+    run_e7_ablation,
+    run_e8_idle_fraction,
+)
+from repro.experiments.tables import ExperimentResult
+
+__all__ = [
+    "BenchmarkSpec",
+    "available_benchmarks",
+    "bench_script",
+    "benchmark_info",
+    "register_benchmark",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BenchmarkSpec:
+    """One registry entry: what to run and which metrics to keep."""
+
+    #: Registry key (``"E1"`` .. ``"E8"``).
+    name: str
+    #: One-line title shown by ``repro-lb bench list``.
+    title: str
+    description: str
+    #: Regenerate the experiment at an *experiment* preset (``tiny`` /
+    #: ``quick`` / ``full``) — this call is what the harness times.
+    runner: Callable[[str], ExperimentResult]
+    #: Extract the artifact's key metrics from the experiment result.
+    metrics: Callable[[ExperimentResult], dict[str, float]]
+
+    def run(self, experiment_preset: str) -> ExperimentResult:
+        """Regenerate the artefact once (the harness's timed unit)."""
+        return self.runner(experiment_preset)
+
+
+_REGISTRY: dict[str, BenchmarkSpec] = {}
+
+
+def register_benchmark(spec: BenchmarkSpec) -> BenchmarkSpec:
+    """Add ``spec`` to the registry (duplicate names are configuration errors)."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"Benchmark {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def available_benchmarks() -> tuple[str, ...]:
+    """Registered benchmark names, sorted (``E1`` .. ``E8``)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def benchmark_info(name: str) -> BenchmarkSpec:
+    """Registry entry of ``name`` (raises :class:`ConfigurationError` if absent)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown benchmark {name!r}; registered: {list(available_benchmarks())}"
+        ) from None
+
+
+def bench_script(name: str):
+    """``(run, main)`` entry points for a ``benchmarks/bench_e*.py`` shell.
+
+    ``run(preset)`` regenerates the experiment's artefact at an experiment
+    preset and returns the :class:`ExperimentResult`; ``main(argv)`` is the
+    ``--preset`` CLI the scripts always had.  Timing, repeats and artifact IO
+    live in :mod:`repro.bench.harness`, not in the scripts.
+    """
+    spec = benchmark_info(name)
+
+    def run(preset: str = "quick") -> ExperimentResult:
+        return spec.run(preset)
+
+    run.__doc__ = f"Regenerate the {name} artefact at the given experiment preset."
+
+    def main(argv=None) -> int:
+        from repro.experiments.configs import preset_cli
+
+        return preset_cli(run, spec.description, argv)
+
+    main.__doc__ = f"Entry point: ``python benchmarks/bench_* [--preset tiny|quick|full]`` ({name})."
+    return run, main
+
+
+# ----------------------------------------------------------------------
+# Key-metric extractors (what lands in the artifact next to the wall times)
+# ----------------------------------------------------------------------
+def _mean(values) -> float:
+    values = [float(value) for value in values]
+    return sum(values) / len(values) if values else 0.0
+
+
+def _e1_metrics(result: ExperimentResult) -> dict[str, float]:
+    data = result.data
+    return {
+        "makespan_after": float(data["makespan_after"]),
+        "ratio_makespan_after": float(data["ratio_makespan_after"]),
+        "max_memory_after": max(float(v) for v in data["memory_after"].values()),
+        "decisions": float(len(data["decisions"])),
+    }
+
+
+def _e2_metrics(result: ExperimentResult) -> dict[str, float]:
+    peaks = result.data["peaks"]
+    return {
+        "ratios": float(len(peaks)),
+        "max_peak_buffer": max((float(v) for v in peaks.values()), default=0.0),
+    }
+
+
+def _e3_metrics(result: ExperimentResult) -> dict[str, float]:
+    data = result.data
+    fit = data["fit"]
+    samples = data["samples"]
+    return {
+        "samples": float(len(samples)),
+        "balancer_seconds_total": float(sum(sample.seconds for sample in samples)),
+        "work_total": float(sum(sample.work for sample in samples)),
+        "fit_slope_ms": float(fit.slope * 1000.0),
+        "fit_r_squared": float(fit.r_squared),
+        "evaluations_match": 1.0 if data["evaluations_match"] else 0.0,
+    }
+
+
+def _e4_metrics(result: ExperimentResult) -> dict[str, float]:
+    campaigns = result.data["campaigns"].values()
+    return {
+        "runs": float(sum(c.samples for c in campaigns)),
+        "excluded": float(result.data["excluded"]),
+        "max_gain": max((float(c.max_gain) for c in campaigns), default=0.0),
+        "violations_lower": float(sum(c.violations_lower for c in campaigns)),
+    }
+
+
+def _e5_metrics(result: ExperimentResult) -> dict[str, float]:
+    campaigns = result.data["campaigns"].values()
+    return {
+        "instances": float(sum(c.samples for c in campaigns)),
+        "worst_ratio": max((float(c.worst_ratio) for c in campaigns), default=0.0),
+        "violations": float(sum(c.violations for c in campaigns)),
+    }
+
+
+def _e6_metrics(result: ExperimentResult) -> dict[str, float]:
+    proposed = result.data["metrics"].get("proposed (ratio)", {})
+    return {
+        "strategies": float(len(result.data["metrics"])),
+        "proposed_mean_gain": _mean(proposed.get("gain", [])),
+        "proposed_mean_max_memory": _mean(proposed.get("max_memory", [])),
+        "proposed_feasible": _mean(proposed.get("feasible", [])),
+    }
+
+
+def _e7_metrics(result: ExperimentResult) -> dict[str, float]:
+    default = result.data["metrics"].get("ratio (default)", {})
+    return {
+        "variants": float(len(result.data["metrics"])),
+        "default_mean_gain": _mean(default.get("gain", [])),
+        "default_mean_moves": _mean(default.get("moves", [])),
+        "default_feasible": _mean(default.get("feasible", [])),
+    }
+
+
+def _e8_metrics(result: ExperimentResult) -> dict[str, float]:
+    points = result.data.values()
+    return {
+        "utilizations": float(len(result.data)),
+        "mean_idle_before": _mean(point["before"] for point in points),
+        "mean_idle_after": _mean(point["after"] for point in points),
+    }
+
+
+# ----------------------------------------------------------------------
+# Registrations (one per experiment, E1..E8)
+# ----------------------------------------------------------------------
+register_benchmark(
+    BenchmarkSpec(
+        name="E1",
+        title="worked example (Figures 2-4)",
+        description="regenerate the paper's worked example (E1; preset is ignored)",
+        runner=lambda preset: run_e1_paper_example(),
+        metrics=_e1_metrics,
+    )
+)
+register_benchmark(
+    BenchmarkSpec(
+        name="E2",
+        title="multi-rate buffering (Figure 1)",
+        description="regenerate the Figure-1 buffering study (E2)",
+        runner=lambda preset: run_e2_multirate_buffering(MultirateConfig.from_preset(preset)),
+        metrics=_e2_metrics,
+    )
+)
+register_benchmark(
+    BenchmarkSpec(
+        name="E3",
+        title="complexity study (section 4)",
+        description="regenerate the complexity study (E3)",
+        runner=lambda preset: run_e3_complexity(ComplexityConfig.from_preset(preset)),
+        metrics=_e3_metrics,
+    )
+)
+register_benchmark(
+    BenchmarkSpec(
+        name="E4",
+        title="Theorem 1 gain bounds",
+        description="validate Theorem 1 bounds (E4)",
+        runner=lambda preset: run_e4_theorem1(Theorem1Config.from_preset(preset)),
+        metrics=_e4_metrics,
+    )
+)
+register_benchmark(
+    BenchmarkSpec(
+        name="E5",
+        title="Theorem 2 approximation",
+        description="validate the Theorem-2 approximation (E5)",
+        runner=lambda preset: run_e5_theorem2(Theorem2Config.from_preset(preset)),
+        metrics=_e5_metrics,
+    )
+)
+register_benchmark(
+    BenchmarkSpec(
+        name="E6",
+        title="heuristic vs baselines",
+        description="compare against the baselines (E6)",
+        runner=lambda preset: run_e6_baseline_comparison(ComparisonConfig.from_preset(preset)),
+        metrics=_e6_metrics,
+    )
+)
+register_benchmark(
+    BenchmarkSpec(
+        name="E7",
+        title="cost-policy / rule ablation",
+        description="ablate cost policies and rules (E7)",
+        runner=lambda preset: run_e7_ablation(AblationConfig.from_preset(preset)),
+        metrics=_e7_metrics,
+    )
+)
+register_benchmark(
+    BenchmarkSpec(
+        name="E8",
+        title="idle fraction before/after",
+        description="measure idle fractions (E8)",
+        runner=lambda preset: run_e8_idle_fraction(IdleFractionConfig.from_preset(preset)),
+        metrics=_e8_metrics,
+    )
+)

@@ -22,6 +22,12 @@ prints the :class:`~repro.api.RunResult` report (or its JSON form):
     Fan one or more experiment sweeps out over a process pool, writing
     per-run JSON manifests and a campaign summary artifact (resumable).
 
+``repro-lb bench list | run | compare``
+    The unified benchmark harness: list the registered benchmarks, run them
+    under a bench preset (``tiny``/``paper``/``stress``) emitting a
+    ``repro-bench/1`` artifact, or compare two artifacts against a slowdown
+    tolerance (non-zero exit on regression — the CI perf gate).
+
 ``repro-lb list``
     Print the registered balancers, cost policies, experiments and campaign
     presets.
@@ -40,6 +46,14 @@ from pathlib import Path
 
 from repro._version import __version__
 from repro.api import Pipeline, PipelineConfig, available_balancers, balancer_info
+from repro.bench import (
+    BENCH_PRESETS,
+    BenchArtifact,
+    available_benchmarks,
+    benchmark_info,
+    compare as compare_artifacts,
+    run_benchmarks,
+)
 from repro.core.cost import CostPolicy
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments import ALL_EXPERIMENTS, PRESET_NAMES, run_campaign
@@ -164,6 +178,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the structured RunResult as JSON"
     )
 
+    bench = subparsers.add_parser(
+        "bench", help="unified benchmark harness (repro-bench/1 artifacts)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_sub.add_parser("list", help="list the registered benchmarks")
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run benchmarks and emit a BENCH_*.json artifact"
+    )
+    bench_run.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="benchmark names (default: all registered benchmarks)",
+    )
+    bench_run.add_argument(
+        "--preset",
+        choices=sorted(BENCH_PRESETS),
+        default="tiny",
+        help="bench preset (default: tiny; paper ~ EXPERIMENTS.md scale, stress ~ full)",
+    )
+    bench_run.add_argument(
+        "--warmup", type=int, default=1, help="unmeasured calls per benchmark (default: 1)"
+    )
+    bench_run.add_argument(
+        "--repeats", type=int, default=3, help="measured calls per benchmark (default: 3)"
+    )
+    bench_run.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the artifact here (a directory gets BENCH_<timestamp>.json)",
+    )
+    bench_run.add_argument(
+        "--json", action="store_true", help="print the artifact JSON to stdout"
+    )
+
+    bench_compare = bench_sub.add_parser(
+        "compare", help="compare a current artifact against a baseline"
+    )
+    bench_compare.add_argument("baseline", help="path of the baseline BENCH_*.json")
+    bench_compare.add_argument("current", help="path of the current BENCH_*.json")
+    bench_compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.5,
+        help="slowdown ratio above which a benchmark fails (default: 2.5)",
+    )
+    bench_compare.add_argument(
+        "--min-delta",
+        type=float,
+        default=0.05,
+        help="absolute noise floor in seconds (default: 0.05; 0 disables it)",
+    )
+    bench_compare.add_argument(
+        "--json", action="store_true", help="print the comparison report as JSON"
+    )
+
     subparsers.add_parser(
         "list", help="list registered balancers, policies, experiments and presets"
     )
@@ -260,6 +332,62 @@ def _run_random(args: argparse.Namespace) -> int:
     return _emit(Pipeline(config).run(), args.json)
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    if args.bench_command == "list":
+        print("benchmarks:")
+        for name in available_benchmarks():
+            spec = benchmark_info(name)
+            print(f"  {name:<4} {spec.title}")
+        print()
+        print("bench presets (bench -> experiment preset):")
+        for bench_preset, experiment_preset in BENCH_PRESETS.items():
+            print(f"  {bench_preset:<8} {experiment_preset}")
+        return 0
+
+    if args.bench_command == "run":
+        artifact = run_benchmarks(
+            args.names or None,
+            preset=args.preset,
+            warmup=args.warmup,
+            repeats=args.repeats,
+        )
+        written = None
+        if args.output:
+            written = artifact.save(args.output)
+        if args.json:
+            print(json.dumps(artifact.to_dict(), indent=2, sort_keys=True))
+        else:
+            rows = []
+            for record in artifact.records:
+                verdict = "-" if record.passed is None else ("PASS" if record.passed else "FAIL")
+                rows.append(
+                    f"  {record.name:<4} best {record.best:8.4f}s  "
+                    f"mean {record.mean:8.4f}s  ({len(record.wall_times)} repeat(s))  {verdict}"
+                )
+            print(f"bench run: preset {artifact.preset} ({artifact.created})")
+            print("\n".join(rows))
+            if written is not None:
+                print(f"artifact written to {written}")
+        failed = [record.name for record in artifact.records if record.passed is False]
+        if failed:
+            print(f"repro-lb bench: FAIL verdict in {failed}", file=sys.stderr)
+            return 1
+        return 0
+
+    # compare
+    report = compare_artifacts(
+        BenchArtifact.load(args.baseline),
+        BenchArtifact.load(args.current),
+        args.tolerance,
+        min_delta=args.min_delta,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _run_list(_args: argparse.Namespace) -> int:
     print("balancers:")
     for name in available_balancers():
@@ -281,6 +409,9 @@ def _run_list(_args: argparse.Namespace) -> int:
     print()
     print("campaign presets:")
     print("  " + ", ".join(PRESET_NAMES))
+    print()
+    print("benchmarks (see 'repro-lb bench list'):")
+    print("  " + ", ".join(available_benchmarks()))
     return 0
 
 
@@ -294,6 +425,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _run_experiments,
         "campaign": _run_campaign,
         "random": _run_random,
+        "bench": _run_bench,
         "list": _run_list,
     }
     handler = handlers.get(args.command)

@@ -16,7 +16,14 @@ from repro.core.conditions import (
     is_eligible,
     satisfies_lcm_condition,
 )
-from repro.core.cost import CostPolicy, MoveEvaluation, evaluate_move, policy_score
+from repro.core.cost import (
+    CostPolicy,
+    MoveContext,
+    MoveEvaluation,
+    evaluate_move,
+    policy_score,
+    prepare_move_context,
+)
 from repro.core.load_balancer import LoadBalancer, LoadBalancerOptions, balance_schedule
 from repro.core.occupancy import ConflictEngine, OccupancyTimeline
 from repro.core.result import CandidateReport, LoadBalanceResult, MoveDecision
@@ -33,6 +40,7 @@ __all__ = [
     "LoadBalanceResult",
     "LoadBalancer",
     "LoadBalancerOptions",
+    "MoveContext",
     "MoveDecision",
     "MoveEvaluation",
     "ProcessorState",
@@ -41,5 +49,6 @@ __all__ = [
     "evaluate_move",
     "is_eligible",
     "policy_score",
+    "prepare_move_context",
     "satisfies_lcm_condition",
 ]

@@ -51,7 +51,14 @@ from repro.model.architecture import Architecture
 from repro.model.graph import TaskGraph
 from repro.scheduling.unrolling import predecessors_of_instance
 
-__all__ = ["CostPolicy", "MoveEvaluation", "evaluate_move", "policy_score"]
+__all__ = [
+    "CostPolicy",
+    "MoveContext",
+    "MoveEvaluation",
+    "evaluate_move",
+    "policy_score",
+    "prepare_move_context",
+]
 
 _EPS = 1e-9
 
@@ -93,14 +100,39 @@ class MoveEvaluation:
         return self.placement_start
 
 
-def evaluate_move(
+@dataclass(frozen=True, slots=True)
+class MoveContext:
+    """Target-independent part of every ``(block, processor)`` evaluation.
+
+    Evaluating one block against ``M`` candidate processors repeats the same
+    walk over the block's members and external input edges ``M`` times; only
+    the communication term of each arrival depends on the target — and, the
+    architecture being homogeneous, it takes exactly two values per edge:
+    zero when the target *is* the producer's processor and one fixed
+    cross-processor time otherwise.  The context therefore keeps, per
+    producer processor, the maximum arrival bound for both cases; a
+    per-target evaluation reduces to one pass over those maxima.
+
+    Built once per block by :func:`prepare_move_context` (the load balancer's
+    candidate loop does this) and valid as long as ``state.current`` does not
+    change — i.e. until the block's move is applied.
+    """
+
+    block_id: int
+    current_start: float
+    #: ``(producer processor, local bound, remote bound)`` triples where the
+    #: bounds are maxima of ``producer_end [+ comm] - member_offset`` over the
+    #: external input edges produced on that processor.
+    bounds: tuple[tuple[str, float, float], ...]
+
+
+def prepare_move_context(
     block: Block,
-    target: str,
     state: BalancingState,
     graph: TaskGraph,
     architecture: Architecture,
-) -> MoveEvaluation:
-    """Evaluate moving ``block`` to ``target`` under the current state.
+) -> MoveContext:
+    """Precompute the target-independent arrival bounds of ``block``.
 
     The block's *current* start time and per-member offsets are taken from
     ``state.current`` (they may have been decreased by earlier category-1
@@ -112,8 +144,9 @@ def evaluate_move(
     positions = {key: state.position(key) for key in member_keys}
     current_start = min(start for _proc, start in positions.values())
 
-    # Earliest start implied by data arrivals of external producers.
-    data_bound = 0.0
+    comm = architecture.comm
+    local: dict[str, float] = {}
+    remote: dict[str, float] = {}
     for key in member_keys:
         _proc, member_start = positions[key]
         offset = member_start - current_start
@@ -126,10 +159,48 @@ def evaluate_move(
             producer_proc, producer_start = state.position(edge.producer)
             producer_task = graph.task(edge.producer[0])
             producer_end = producer_start + producer_task.wcet
-            arrival = producer_end + architecture.comm_time(
-                producer_proc, target, edge.data_size
-            )
-            data_bound = max(data_bound, arrival - offset)
+            # Same operation order as the unbatched evaluation
+            # ((producer_end + comm) - offset) so the cached bounds are
+            # bit-identical to what per-target evaluation used to compute.
+            local_val = (producer_end + 0.0) - offset
+            remote_val = (producer_end + comm.time(edge.data_size)) - offset
+            if producer_proc not in local or local_val > local[producer_proc]:
+                local[producer_proc] = local_val
+            if producer_proc not in remote or remote_val > remote[producer_proc]:
+                remote[producer_proc] = remote_val
+
+    return MoveContext(
+        block_id=block.id,
+        current_start=current_start,
+        bounds=tuple((proc, local[proc], remote[proc]) for proc in local),
+    )
+
+
+def evaluate_move(
+    block: Block,
+    target: str,
+    state: BalancingState,
+    graph: TaskGraph,
+    architecture: Architecture,
+    context: MoveContext | None = None,
+) -> MoveEvaluation:
+    """Evaluate moving ``block`` to ``target`` under the current state.
+
+    ``context`` carries the precomputed target-independent arrival bounds
+    (see :class:`MoveContext`); when omitted — or stale, i.e. built for a
+    different block — it is rebuilt from ``state.current``, which reproduces
+    the original from-scratch evaluation.
+    """
+    if context is None or context.block_id != block.id:
+        context = prepare_move_context(block, state, graph, architecture)
+    current_start = context.current_start
+
+    # Earliest start implied by data arrivals of external producers.
+    data_bound = 0.0
+    for producer_proc, local_val, remote_val in context.bounds:
+        bound = local_val if producer_proc == target else remote_val
+        if bound > data_bound:
+            data_bound = bound
 
     proc_state = state.processor(target)
     earliest = max(0.0, data_bound, proc_state.last_end)

@@ -58,7 +58,13 @@ from repro.core.conditions import (
     satisfies_lcm_condition,
     steady_state_compatible,
 )
-from repro.core.cost import CostPolicy, MoveEvaluation, evaluate_move, policy_score
+from repro.core.cost import (
+    CostPolicy,
+    MoveEvaluation,
+    evaluate_move,
+    policy_score,
+    prepare_move_context,
+)
 from repro.core.result import CandidateReport, LoadBalanceResult, MoveDecision
 from repro.errors import ConfigurationError, SchedulingError
 from repro.scheduling.communications import synthesize_communications
@@ -143,6 +149,9 @@ class LoadBalancer:
         self.graph = schedule.graph
         self.architecture = schedule.architecture
         self.options = options or LoadBalancerOptions()
+        #: ``(block id, sorted (current start, wcet) pairs, base offset)`` of
+        #: the block being processed (see :meth:`_cache_block_pattern`).
+        self._pattern_cache: tuple[int, list[tuple[float, float]], float] | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -242,6 +251,7 @@ class LoadBalancer:
         decisions: list[MoveDecision] = []
         warnings: list[str] = []
         self._evaluations = 0
+        self._pattern_cache: tuple[int, list[tuple[float, float]], float] | None = None
         unprocessed: dict[int, Block] = {block.id: block for block in blocks}
         unprocessed_by_origin: dict[str, set[int]] = {
             name: set() for name in self.architecture.processor_names
@@ -288,10 +298,47 @@ class LoadBalancer:
     def _current_start(self, block: Block, state: BalancingState) -> float:
         return min(state.position(key)[1] for key in block.member_keys)
 
+    def _cache_block_pattern(self, block: Block, state: BalancingState) -> None:
+        """Snapshot the member positions backing ``_block_pattern``.
+
+        The candidate loop asks for the same block's pattern at many
+        placement starts; the members' current positions are fixed until the
+        move is applied, so their sorted ``(current start, wcet)`` pairs and
+        the base offset are computed once per block instead of once per
+        query (this mirrors :class:`~repro.core.cost.MoveContext` for the
+        steady-state side of the evaluation).
+        """
+        members = sorted(block.members, key=lambda m: m.start)
+        current = {m.key: state.current[m.key][1] for m in members}
+        base = min(current.values())
+        self._pattern_cache = (
+            block.id,
+            [(current[m.key], m.wcet) for m in members],
+            base,
+        )
+
     def _block_pattern(
         self, block: Block, placement_start: float, state: BalancingState
     ) -> list[tuple[float, float]]:
         """Circular busy pattern of ``block`` if placed at ``placement_start``."""
+        cache = self._pattern_cache
+        if cache is not None and cache[0] == block.id:
+            _block_id, members, base = cache
+            hyper_period = state.hyper_period
+            pattern = [
+                (float((placement_start + current - base) % hyper_period), wcet)
+                for current, wcet in members
+            ]
+            if self.options.cross_check:
+                fresh = block.circular_pattern(
+                    placement_start, state.hyper_period, state.current
+                )
+                if fresh != pattern:
+                    raise SchedulingError(
+                        f"pattern-cache divergence on block {block.label}: "
+                        f"cached={pattern}, from-scratch={fresh}"
+                    )
+            return pattern
         return block.circular_pattern(placement_start, state.hyper_period, state.current)
 
     def _steady_ok(
@@ -508,6 +555,11 @@ class LoadBalancer:
         proc_names = self.architecture.processor_names
         proc_index = {name: i for i, name in enumerate(proc_names)}
 
+        # Target-independent work factored out of the M-way candidate loop:
+        # the arrival bounds (MoveContext) and the circular-pattern snapshot.
+        context = prepare_move_context(block, state, self.graph, self.architecture)
+        self._cache_block_pattern(block, state)
+
         evaluations: dict[str, MoveEvaluation] = {}
         eligibility: dict[str, bool] = {}
         scores: dict[str, tuple[float, ...]] = {}
@@ -518,7 +570,18 @@ class LoadBalancer:
                 if options.enforce_eligibility
                 else True
             )
-            evaluation = evaluate_move(block, name, state, self.graph, self.architecture)
+            evaluation = evaluate_move(
+                block, name, state, self.graph, self.architecture, context=context
+            )
+            if options.cross_check:
+                # The differential oracle also covers the cached-evaluation
+                # path: a context-free evaluation must agree field-for-field.
+                fresh = evaluate_move(block, name, state, self.graph, self.architecture)
+                if fresh != evaluation:
+                    raise SchedulingError(
+                        f"move-context divergence on block {block.label} -> {name}: "
+                        f"cached={evaluation}, from-scratch={fresh}"
+                    )
             self._evaluations += 1
             evaluations[name] = evaluation
             eligibility[name] = eligible
@@ -673,6 +736,10 @@ class LoadBalancer:
                         shifted = True
                 if shifted:
                     updated.append(other.id)
+        # The block's members just moved: the pattern snapshot taken at the
+        # top of _process_block no longer reflects state.current, so drop it
+        # rather than rely on nobody asking for this block's pattern again.
+        self._pattern_cache = None
         return updated
 
     # ------------------------------------------------------------------

@@ -144,16 +144,31 @@ class OccupancyTimeline:
         """
         if length <= _EPS or not self._starts:
             return False
-        for query_start, query_end in split_wrapping(offset, length, self.period):
-            index = bisect_left(self._starts, query_end) - 1
+        # Inline split_wrapping for the dominant non-wrapping case: the query
+        # loop runs once per steady-state candidate and the intermediate list
+        # allocation is measurable at E3 scale.  Semantics are identical.
+        period = self.period
+        if length >= period - _EPS:
+            pieces: tuple[tuple[float, float], ...] = ((0.0, period),)
+        else:
+            begin = offset % period
+            end = begin + length
+            if end <= period + _EPS:
+                pieces = ((begin, min(end, period)),)
+            else:
+                pieces = ((begin, period), (0.0, end - period))
+        starts = self._starts
+        ends = self._ends
+        owners = self._owners
+        prefix_max = self._prefix_max
+        for query_start, query_end in pieces:
+            index = bisect_left(starts, query_end) - 1
+            low = query_start + _EPS
+            high = query_end - _EPS
             while index >= 0:
-                if self._prefix_max[index] <= query_start + _EPS:
+                if prefix_max[index] <= low:
                     break
-                if (
-                    self._ends[index] > query_start + _EPS
-                    and self._starts[index] < query_end - _EPS
-                    and self._owners[index] not in exclude
-                ):
+                if ends[index] > low and starts[index] < high and owners[index] not in exclude:
                     return True
                 index -= 1
         return False

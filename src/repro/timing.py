@@ -1,0 +1,66 @@
+"""Shared wall-clock instrumentation.
+
+Both the :mod:`repro.api` pipeline (per-stage timings of a run) and the
+:mod:`repro.bench` harness (per-benchmark wall times) need the same
+``time.perf_counter()`` bracketing.  :class:`StageTimer` centralises it: one
+mutable mapping of stage name to elapsed seconds, filled by ``with
+timer.stage("balance"): ...`` blocks, so call sites carry no start/stop
+bookkeeping of their own.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["StageTimer", "measure"]
+
+
+class StageTimer:
+    """Accumulates wall-clock durations of named stages.
+
+    >>> timer = StageTimer()
+    >>> with timer.stage("work"):
+    ...     pass
+    >>> sorted(timer.timings)
+    ['work']
+
+    Re-entering a stage name *accumulates* (the bench harness times repeated
+    calls under one name); read the mapping through :attr:`timings`.
+    """
+
+    __slots__ = ("_timings",)
+
+    def __init__(self) -> None:
+        self._timings: dict[str, float] = {}
+
+    @property
+    def timings(self) -> dict[str, float]:
+        """Stage name to elapsed seconds (a live reference, not a copy)."""
+        return self._timings
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and add it to ``timings[name]``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._timings[name] = self._timings.get(name, 0.0) + elapsed
+
+    def elapsed(self, name: str) -> float:
+        """Seconds accumulated under ``name`` (0.0 when the stage never ran)."""
+        return self._timings.get(name, 0.0)
+
+
+def measure(fn) -> tuple[float, object]:
+    """Run ``fn()`` and return ``(elapsed_seconds, result)``.
+
+    The bench harness's repeat loop uses this directly; it is the smallest
+    useful unit of the timing boilerplate the stage timer replaces.
+    """
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result

@@ -1,0 +1,261 @@
+"""Tests of the unified benchmark harness (``repro.bench``).
+
+Covers the three contracts the subsystem makes:
+
+* **registry completeness** — every experiment E1..E8 is registered and the
+  ``benchmarks/bench_e*.py`` shells resolve against the registry;
+* **artifact schema** — ``repro-bench/1`` round-trips through dict and disk
+  and rejects foreign schemas;
+* **compare semantics** — pass/warn/fail at the tolerance boundary, the
+  min-delta noise floor, verdict regressions, missing/new benchmarks, and
+  the CLI exit codes the CI perf gate relies on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_PRESETS,
+    BENCH_SCHEMA,
+    BenchArtifact,
+    BenchmarkRecord,
+    available_benchmarks,
+    bench_script,
+    benchmark_info,
+    compare,
+    environment_fingerprint,
+    run_benchmarks,
+)
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.tables import ExperimentResult
+
+
+# ----------------------------------------------------------------------
+# Registry completeness
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_eight_experiments_registered(self) -> None:
+        assert available_benchmarks() == ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8")
+
+    def test_registry_matches_experiment_registry(self) -> None:
+        assert set(available_benchmarks()) == set(ALL_EXPERIMENTS)
+
+    def test_specs_are_complete(self) -> None:
+        for name in available_benchmarks():
+            spec = benchmark_info(name)
+            assert spec.name == name
+            assert spec.title
+            assert spec.description
+            assert callable(spec.runner)
+            assert callable(spec.metrics)
+
+    def test_unknown_benchmark_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="Unknown benchmark"):
+            benchmark_info("E99")
+
+    def test_bench_script_runs_and_extracts_metrics(self) -> None:
+        run, main = bench_script("E2")
+        result = run("tiny")
+        assert isinstance(result, ExperimentResult)
+        metrics = benchmark_info("E2").metrics(result)
+        assert metrics and all(isinstance(v, float) for v in metrics.values())
+
+    def test_presets_map_onto_experiment_presets(self) -> None:
+        assert BENCH_PRESETS == {"tiny": "tiny", "paper": "quick", "stress": "full"}
+
+
+# ----------------------------------------------------------------------
+# Harness + artifact schema
+# ----------------------------------------------------------------------
+class TestArtifact:
+    @pytest.fixture(scope="class")
+    def artifact(self) -> BenchArtifact:
+        # Two fast benchmarks keep the suite quick; the full sweep is
+        # exercised by the CI perf gate and the smoke tests.
+        return run_benchmarks(["E2", "E5"], preset="tiny", warmup=0, repeats=2)
+
+    def test_run_records_every_repeat(self, artifact: BenchArtifact) -> None:
+        assert artifact.benchmark_names == ("E2", "E5")
+        for record in artifact.records:
+            assert len(record.wall_times) == 2
+            assert record.best <= record.mean
+            assert record.metrics
+
+    def test_dict_round_trip(self, artifact: BenchArtifact) -> None:
+        clone = BenchArtifact.from_dict(artifact.to_dict())
+        assert clone.to_dict() == artifact.to_dict()
+        assert clone.schema == BENCH_SCHEMA
+
+    def test_file_round_trip(self, artifact: BenchArtifact, tmp_path) -> None:
+        explicit = artifact.save(tmp_path / "baseline.json")
+        assert explicit.name == "baseline.json"
+        assert BenchArtifact.load(explicit).to_dict() == artifact.to_dict()
+
+    def test_directory_target_gets_conventional_name(self, artifact, tmp_path) -> None:
+        written = artifact.save(tmp_path / "out")
+        assert written.name.startswith("BENCH_") and written.suffix == ".json"
+        assert BenchArtifact.load(written).to_dict() == artifact.to_dict()
+
+    def test_foreign_schema_rejected(self, artifact: BenchArtifact) -> None:
+        data = artifact.to_dict()
+        data["schema"] = "repro-bench/999"
+        with pytest.raises(ConfigurationError, match="schema"):
+            BenchArtifact.from_dict(data)
+
+    def test_unwritable_target_raises_configuration_error(self, artifact, tmp_path) -> None:
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        # A suffix-less target is treated as a directory; an existing regular
+        # file there must fail with the library's error type, not an OSError.
+        with pytest.raises(ConfigurationError, match="Cannot write"):
+            artifact.save(blocker)
+
+    def test_record_without_wall_times_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="wall times"):
+            BenchmarkRecord.from_dict({"name": "E1", "wall_times": []})
+
+    def test_environment_fingerprint_keys(self, artifact: BenchArtifact) -> None:
+        for env in (artifact.environment, environment_fingerprint()):
+            assert {"python", "platform", "machine", "cpu_count", "versions"} <= set(env)
+            assert "repro" in env["versions"]
+
+    def test_unknown_preset_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="bench preset"):
+            run_benchmarks(["E2"], preset="huge")
+
+    def test_bad_repeat_counts_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="repeats"):
+            run_benchmarks(["E2"], preset="tiny", repeats=0)
+        with pytest.raises(ConfigurationError, match="warmup"):
+            run_benchmarks(["E2"], preset="tiny", warmup=-1)
+
+
+# ----------------------------------------------------------------------
+# Compare semantics
+# ----------------------------------------------------------------------
+def _artifact(times: dict[str, float], passed: dict[str, bool | None] | None = None):
+    passed = passed or {}
+    return BenchArtifact.now(
+        preset="tiny",
+        records=[
+            BenchmarkRecord(
+                name=name, title=name, wall_times=[value], passed=passed.get(name)
+            )
+            for name, value in times.items()
+        ],
+    )
+
+
+class TestCompare:
+    def test_at_the_tolerance_boundary(self) -> None:
+        baseline = _artifact({"E3": 1.0})
+        # Exactly at tolerance: warn, not fail (fail is strictly greater).
+        report = compare(baseline, _artifact({"E3": 2.5}), 2.5, min_delta=0.0)
+        assert [e.status for e in report.entries] == ["warn"]
+        assert report.ok
+        # Just above: fail.
+        report = compare(baseline, _artifact({"E3": 2.5000001}), 2.5, min_delta=0.0)
+        assert [e.status for e in report.entries] == ["fail"]
+        assert not report.ok and report.regressions[0].name == "E3"
+
+    def test_warn_band_and_pass(self) -> None:
+        baseline = _artifact({"E3": 1.0})
+        # warn threshold = tolerance * warn_fraction = 2.0
+        assert compare(baseline, _artifact({"E3": 2.1}), 2.5, min_delta=0.0).entries[0].status == "warn"
+        assert compare(baseline, _artifact({"E3": 1.9}), 2.5, min_delta=0.0).entries[0].status == "pass"
+        assert compare(baseline, _artifact({"E3": 0.5}), 2.5, min_delta=0.0).entries[0].status == "pass"
+
+    def test_min_delta_noise_floor(self) -> None:
+        baseline = _artifact({"E2": 0.001})
+        # 10x slower but only +9 ms: suppressed by the default floor...
+        report = compare(baseline, _artifact({"E2": 0.010}), 2.5)
+        assert report.entries[0].status == "pass"
+        assert "noise floor" in report.entries[0].detail
+        # ...and failing again once the floor is disabled.
+        assert compare(baseline, _artifact({"E2": 0.010}), 2.5, min_delta=0.0).entries[0].status == "fail"
+
+    def test_verdict_regression_beats_the_floor(self) -> None:
+        baseline = _artifact({"E1": 0.001}, passed={"E1": True})
+        current = _artifact({"E1": 0.001}, passed={"E1": False})
+        report = compare(baseline, current, 2.5)
+        assert report.entries[0].status == "fail"
+        assert "verdict" in report.entries[0].detail
+
+    def test_missing_benchmark_is_a_regression(self) -> None:
+        report = compare(_artifact({"E1": 1.0, "E2": 1.0}), _artifact({"E1": 1.0}), 2.5)
+        by_name = {entry.name: entry for entry in report.entries}
+        assert by_name["E2"].status == "missing"
+        assert not report.ok
+
+    def test_new_benchmark_passes(self) -> None:
+        report = compare(_artifact({"E1": 1.0}), _artifact({"E1": 1.0, "E9": 1.0}), 2.5)
+        by_name = {entry.name: entry for entry in report.entries}
+        assert by_name["E9"].status == "new"
+        assert report.ok
+
+    def test_preset_mismatch_rejected(self) -> None:
+        baseline = _artifact({"E1": 1.0})
+        current = _artifact({"E1": 1.0})
+        current.preset = "paper"
+        with pytest.raises(ConfigurationError, match="Preset mismatch"):
+            compare(baseline, current, 2.5)
+
+    def test_bad_parameters_rejected(self) -> None:
+        artifact = _artifact({"E1": 1.0})
+        with pytest.raises(ConfigurationError, match="tolerance"):
+            compare(artifact, artifact, 1.0)
+        with pytest.raises(ConfigurationError, match="warn_fraction"):
+            compare(artifact, artifact, 2.5, warn_fraction=0.0)
+        with pytest.raises(ConfigurationError, match="min_delta"):
+            compare(artifact, artifact, 2.5, min_delta=-1.0)
+
+    def test_dict_inputs_and_report_serialisation(self) -> None:
+        baseline = _artifact({"E1": 1.0})
+        report = compare(baseline.to_dict(), baseline.to_dict(), 2.5)
+        data = report.to_dict()
+        assert data["ok"] is True and data["tolerance"] == 2.5
+        assert "verdict: OK" in report.render()
+
+
+# ----------------------------------------------------------------------
+# CLI (`repro-lb bench ...`)
+# ----------------------------------------------------------------------
+class TestBenchCli:
+    def test_bench_list(self, capsys) -> None:
+        assert cli_main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "stress" in out
+
+    def test_bench_run_emits_valid_artifact(self, capsys, tmp_path) -> None:
+        target = tmp_path / "artifact.json"
+        code = cli_main(
+            ["bench", "run", "E2", "E5", "--preset", "tiny", "--warmup", "0",
+             "--repeats", "1", "--json", "--output", str(target)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert [entry["name"] for entry in payload["results"]] == ["E2", "E5"]
+        assert BenchArtifact.load(target).benchmark_names == ("E2", "E5")
+
+    def test_bench_compare_exit_codes(self, capsys, tmp_path) -> None:
+        baseline = _artifact({"E3": 0.1})
+        slow = _artifact({"E3": 1.0})
+        base_path = baseline.save(tmp_path / "baseline.json")
+        slow_path = slow.save(tmp_path / "slow.json")
+        assert cli_main(["bench", "compare", str(base_path), str(base_path)]) == 0
+        capsys.readouterr()
+        code = cli_main(
+            ["bench", "compare", str(base_path), str(slow_path), "--min-delta", "0.0"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_run_unknown_name_is_an_error(self, capsys) -> None:
+        assert cli_main(["bench", "run", "E99", "--repeats", "1", "--warmup", "0"]) == 2
+        assert "Unknown benchmark" in capsys.readouterr().err

@@ -10,7 +10,12 @@ from repro.core.conditions import (
     satisfies_lcm_condition,
     steady_state_compatible,
 )
-from repro.core.cost import CostPolicy, evaluate_move, policy_score
+from repro.core.cost import (
+    CostPolicy,
+    evaluate_move,
+    policy_score,
+    prepare_move_context,
+)
 
 
 @pytest.fixture()
@@ -113,6 +118,36 @@ class TestEvaluateMove:
         late = evaluate_move(bc2, "P3", paper_state, graph, arch)
         assert not late.feasible
         assert late.gain < 0
+
+
+class TestMoveContext:
+    def test_cached_evaluation_equals_from_scratch(self, paper_schedule, paper_state):
+        """The per-block MoveContext must not change a single evaluation field.
+
+        ``evaluate_move`` with a shared context is the balancer's hot path;
+        the context-free call rebuilds everything from ``state.current``.
+        Field-for-field equality over every (block, processor) pair of the
+        worked example is the direct equivalence check backing the
+        ``cross_check`` differential oracle.
+        """
+        graph, arch = paper_schedule.graph, paper_schedule.architecture
+        for block in build_blocks(paper_schedule):
+            context = prepare_move_context(block, paper_state, graph, arch)
+            assert context.block_id == block.id
+            for name in arch.processor_names:
+                cached = evaluate_move(block, name, paper_state, graph, arch, context=context)
+                fresh = evaluate_move(block, name, paper_state, graph, arch)
+                assert cached == fresh
+
+    def test_stale_context_is_rebuilt(self, paper_schedule, paper_state):
+        """A context built for another block must be ignored, not misused."""
+        graph, arch = paper_schedule.graph, paper_schedule.architecture
+        blocks = build_blocks(paper_schedule)
+        wrong = prepare_move_context(blocks[0], paper_state, graph, arch)
+        for name in arch.processor_names:
+            with_stale = evaluate_move(blocks[2], name, paper_state, graph, arch, context=wrong)
+            fresh = evaluate_move(blocks[2], name, paper_state, graph, arch)
+            assert with_stale == fresh
 
 
 class TestPolicyScores:
