@@ -22,6 +22,7 @@ rejected so stale manifests fail loudly instead of silently degrading.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -50,6 +51,10 @@ def _spec_to_dict(spec: WorkloadSpec) -> dict[str, Any]:
     data["shape"] = spec.shape.value
     data["memory_range"] = list(spec.memory_range)
     data["data_size_range"] = list(spec.data_size_range)
+    # Strict JSON has no Infinity token: the unconstrained capacity (the
+    # default) serialises as null and round-trips back to inf below.
+    if math.isinf(spec.memory_capacity):
+        data["memory_capacity"] = None
     return data
 
 
@@ -70,6 +75,8 @@ def _spec_from_dict(data: Mapping[str, Any]) -> WorkloadSpec:
     for key in ("memory_range", "data_size_range"):
         if key in kwargs:
             kwargs[key] = tuple(kwargs[key])
+    if kwargs.get("memory_capacity", ...) is None:
+        kwargs["memory_capacity"] = math.inf
     return WorkloadSpec(**kwargs)
 
 

@@ -21,6 +21,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro import jsonio
 from repro._version import __version__
 from repro.errors import ConfigurationError
 
@@ -178,8 +179,12 @@ class BenchArtifact:
         )
 
     def dumps(self) -> str:
-        """Deterministic JSON form (sorted keys, trailing newline)."""
-        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        """Deterministic strict-JSON form (sorted keys, trailing newline).
+
+        Non-finite metric values serialise as ``null`` — the per-benchmark
+        verdict lives in the explicit ``passed`` field, never in the number.
+        """
+        return jsonio.dumps(self.to_dict()) + "\n"
 
     def save(self, target: str | Path) -> Path:
         """Write the artifact to ``target``.
@@ -196,7 +201,7 @@ class BenchArtifact:
                 target = target / f"BENCH_{stamp}.json"
             else:
                 target.parent.mkdir(parents=True, exist_ok=True)
-            target.write_text(self.dumps())
+            jsonio.write_text_atomic(target, self.dumps())
         except OSError as error:
             raise ConfigurationError(
                 f"Cannot write bench artifact to {target}: {error}"

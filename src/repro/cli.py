@@ -28,9 +28,15 @@ prints the :class:`~repro.api.RunResult` report (or its JSON form):
     ``repro-bench/1`` artifact, or compare two artifacts against a slowdown
     tolerance (non-zero exit on regression — the CI perf gate).
 
+``repro-lb sweep [--preset ...] [--scenarios ...] [--balancers ...]``
+    The differential sweep: run every registered balancer over the scenario
+    x seed grid, cross-check invariants on every run, and emit a
+    ``repro-sweep/1`` artifact (non-zero exit on any finding — the CI
+    scenario gate).
+
 ``repro-lb list``
-    Print the registered balancers, cost policies, experiments and campaign
-    presets.
+    Print the registered balancers, cost policies, scenarios, experiments
+    and campaign presets.
 
 ``example``, ``random``, ``run`` and ``experiment`` accept ``--json`` to emit
 machine-readable output instead of the ASCII report.
@@ -44,6 +50,7 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from repro import jsonio
 from repro._version import __version__
 from repro.api import Pipeline, PipelineConfig, available_balancers, balancer_info
 from repro.bench import (
@@ -58,6 +65,12 @@ from repro.core.cost import CostPolicy
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments import ALL_EXPERIMENTS, PRESET_NAMES, run_campaign
 from repro.experiments.campaign import experiment_result_dict
+from repro.scenarios import (
+    SCENARIO_PRESETS,
+    available_scenarios,
+    run_sweep,
+    scenario_info,
+)
 from repro.scheduling.heuristic import PlacementPolicy
 from repro.workloads.spec import GraphShape, WorkloadSpec
 
@@ -236,8 +249,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the comparison report as JSON"
     )
 
+    sweep = subparsers.add_parser(
+        "sweep", help="differential scenario sweep (repro-sweep/1 artifacts)"
+    )
+    sweep.add_argument(
+        "--preset",
+        choices=sorted(SCENARIO_PRESETS),
+        default="tiny",
+        help="scenario grid scale (default: tiny)",
+    )
+    sweep.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="NAME",
+        choices=list(available_scenarios()),
+        help="scenario families to sweep (default: every registered family)",
+    )
+    sweep.add_argument(
+        "--balancers",
+        nargs="+",
+        metavar="NAME",
+        choices=list(available_balancers()),
+        help="balancers to run (default: every registered balancer)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool width (default: one worker per CPU; 1 runs inline)",
+    )
+    sweep.add_argument(
+        "--oracle-stride",
+        type=int,
+        default=3,
+        help="run every Nth paper cell in conflict-engine oracle mode "
+        "(default: 3; 0 disables)",
+    )
+    sweep.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the artifact here (a directory gets SWEEP_<timestamp>.json)",
+    )
+    sweep.add_argument(
+        "--json", action="store_true", help="print the artifact JSON to stdout"
+    )
+
     subparsers.add_parser(
-        "list", help="list registered balancers, policies, experiments and presets"
+        "list",
+        help="list registered balancers, policies, scenarios, experiments and presets",
     )
     return parser
 
@@ -245,7 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _emit(result, as_json: bool) -> int:
     """Print a pipeline run (report or JSON); exit code reflects feasibility."""
     if as_json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        print(jsonio.dumps(result.to_dict()))
     else:
         print(result.report)
     return 0 if result.feasible is not False else 1
@@ -285,7 +344,7 @@ def _run_experiments(args: argparse.Namespace) -> int:
         if result.passed is False:
             failures += 1
     if args.json:
-        print(json.dumps(payloads, indent=2, sort_keys=True))
+        print(jsonio.dumps(payloads))
     return 1 if failures else 0
 
 
@@ -355,7 +414,7 @@ def _run_bench(args: argparse.Namespace) -> int:
         if args.output:
             written = artifact.save(args.output)
         if args.json:
-            print(json.dumps(artifact.to_dict(), indent=2, sort_keys=True))
+            print(jsonio.dumps(artifact.to_dict()))
         else:
             rows = []
             for record in artifact.records:
@@ -382,10 +441,44 @@ def _run_bench(args: argparse.Namespace) -> int:
         min_delta=args.min_delta,
     )
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        print(jsonio.dumps(report.to_dict()))
     else:
         print(report.render())
     return 0 if report.ok else 1
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    artifact = run_sweep(
+        args.preset,
+        tuple(args.scenarios) if args.scenarios else None,
+        tuple(args.balancers) if args.balancers else None,
+        jobs=args.jobs,
+        oracle_stride=args.oracle_stride,
+    )
+    written = None
+    if args.output:
+        written = artifact.save(args.output)
+    if args.json:
+        print(jsonio.dumps(artifact.to_dict()))
+    else:
+        counts = artifact.counts
+        print(f"sweep: preset {artifact.preset} ({artifact.created})")
+        print(artifact.render())
+        print()
+        print(
+            f"{counts['cells']} cell(s): {counts['ok']} ok, "
+            f"{counts['unschedulable']} unschedulable, {counts['error']} error(s), "
+            f"{counts['findings']} finding(s)"
+        )
+        if written is not None:
+            print(f"artifact written to {written}")
+    if not artifact.ok:
+        print(
+            f"repro-lb sweep: {len(artifact.findings)} invariant finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _run_list(_args: argparse.Namespace) -> int:
@@ -401,6 +494,10 @@ def _run_list(_args: argparse.Namespace) -> int:
     print()
     print("initial placement policies:")
     print("  " + ", ".join(policy.value for policy in PlacementPolicy))
+    print()
+    print("scenarios (see 'repro-lb sweep'):")
+    for name in available_scenarios():
+        print(f"  {name:<20} {scenario_info(name).title}")
     print()
     print("experiments:")
     for name in sorted(ALL_EXPERIMENTS):
@@ -426,6 +523,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "campaign": _run_campaign,
         "random": _run_random,
         "bench": _run_bench,
+        "sweep": _run_sweep,
         "list": _run_list,
     }
     handler = handlers.get(args.command)

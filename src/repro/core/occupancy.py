@@ -35,11 +35,10 @@ from bisect import bisect_left
 from collections.abc import Iterable
 
 from repro.errors import SchedulingError
+from repro.scheduling.periodic_intervals import EPSILON as _EPS
 from repro.scheduling.periodic_intervals import split_wrapping
 
 __all__ = ["OccupancyTimeline", "ConflictEngine"]
-
-_EPS = 1e-9
 
 
 class OccupancyTimeline:

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, is_dataclass, replace
 from dataclasses import asdict as dataclass_asdict
 from pathlib import Path
 
+from repro import jsonio
 from repro.errors import ConfigurationError
 from repro.experiments.configs import (
     AblationConfig,
@@ -434,7 +435,10 @@ def _execute_campaign(
 
     for run, manifest in zip(pending, manifests):
         manifest_path = runs_dir / f"{run.run_id}.json"
-        manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        # Atomic + strict: a worker killed mid-write must never leave a
+        # truncated manifest behind (it would poison --resume), and a manifest
+        # with non-finite metrics must stay parseable by standard JSON readers.
+        jsonio.write_json_atomic(manifest_path, manifest)
         summary.records.append(
             {
                 "run_id": run.run_id,
@@ -453,18 +457,15 @@ def _execute_campaign(
 
 
 def _write_summary(summary: CampaignSummary, extra: dict) -> None:
-    """Persist the ``campaign.json`` artifact."""
-    summary.summary_path.write_text(
-        json.dumps(
-            {
-                "schema": MANIFEST_SCHEMA,
-                "preset": summary.preset,
-                **extra,
-                "runs": summary.records,
-                "seconds": summary.seconds,
-                "ok": summary.ok,
-            },
-            indent=2,
-            sort_keys=True,
-        )
+    """Persist the ``campaign.json`` artifact (atomically, as strict JSON)."""
+    jsonio.write_json_atomic(
+        summary.summary_path,
+        {
+            "schema": MANIFEST_SCHEMA,
+            "preset": summary.preset,
+            **extra,
+            "runs": summary.records,
+            "seconds": summary.seconds,
+            "ok": summary.ok,
+        },
     )

@@ -1,0 +1,83 @@
+"""Strict JSON emission and atomic artifact writes.
+
+Every artifact this project persists (``repro-run/1`` results, campaign
+manifests, ``repro-bench/1`` baselines, ``repro-sweep/1`` sweeps) must be
+readable by *standard* JSON parsers and must never be observed half-written.
+Two historical bugs motivated centralising that here:
+
+* ``json.dumps`` defaults to ``allow_nan=True``, so an infeasible run whose
+  metrics carry ``float("inf")`` / ``float("nan")`` silently wrote the
+  non-standard ``Infinity`` / ``NaN`` tokens — valid for Python's own
+  ``json.loads`` but rejected by strict parsers (``jq``, browsers, most other
+  languages).  :func:`dumps` sanitises non-finite floats to ``null`` first and
+  passes ``allow_nan=False`` so any non-finite value that escapes the
+  sanitiser fails loudly instead of corrupting the artifact.  Verdicts are
+  never encoded *as* the non-finite number — artifacts carry explicit fields
+  (``feasible``, ``status``, ...) next to the nulled metric.
+* ``Path.write_text`` is not atomic: a campaign worker killed mid-write left
+  a truncated manifest that broke ``--resume``.  :func:`write_text_atomic`
+  writes to a temporary file in the same directory and ``os.replace``\\ s it
+  into place, so readers only ever observe the old or the new content.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["sanitize", "dumps", "write_text_atomic", "write_json_atomic"]
+
+
+def sanitize(value: Any) -> Any:
+    """Copy of ``value`` with every non-finite float replaced by ``None``.
+
+    Recurses through dicts, lists and tuples; every other type is returned
+    unchanged (``json.dumps`` rejects what it cannot encode).
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(item) for item in value]
+    return value
+
+
+def dumps(payload: Any, *, indent: int | None = 2, sort_keys: bool = True) -> str:
+    """Serialise ``payload`` as strict JSON (non-finite floats become ``null``)."""
+    return json.dumps(sanitize(payload), indent=indent, sort_keys=sort_keys, allow_nan=False)
+
+
+def write_text_atomic(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        # mkstemp creates 0600 files; artifacts must stay as readable as the
+        # plain writes they replace, so re-apply the process umask.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.fchmod(fd, 0o666 & ~umask)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def write_json_atomic(
+    path: str | Path, payload: Any, *, indent: int | None = 2, sort_keys: bool = True
+) -> Path:
+    """Atomically write ``payload`` as strict JSON (with a trailing newline)."""
+    return write_text_atomic(path, dumps(payload, indent=indent, sort_keys=sort_keys) + "\n")

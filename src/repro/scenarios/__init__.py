@@ -1,0 +1,54 @@
+"""Scenario-matrix subsystem: registered workload families + differential sweep.
+
+* :mod:`~repro.scenarios.registry` — the string-keyed scenario registry
+  (:class:`ScenarioSpec`, :data:`SCENARIO_PRESETS`, grid fingerprinting);
+* :mod:`~repro.scenarios.families` — the registered families (importing this
+  package registers them);
+* :mod:`~repro.scenarios.sweep` — the differential sweep harness and its
+  ``repro-sweep/1`` artifact (CLI front-end: ``repro-lb sweep``).
+"""
+
+from repro.scenarios import families as _families  # noqa: F401 - registers the families
+from repro.scenarios.registry import (
+    SCENARIO_PRESETS,
+    ScenarioScale,
+    ScenarioSpec,
+    available_scenarios,
+    grid_fingerprint,
+    grid_specs,
+    register_scenario,
+    scenario_info,
+    scenario_scale,
+    workload_digest,
+)
+from repro.scenarios.sweep import (
+    NEVER_WORSE_BALANCERS,
+    SWEEP_SCHEMA,
+    SweepArtifact,
+    SweepCell,
+    execute_cell,
+    plan_sweep,
+    run_sweep,
+    sweep_pipeline_configs,
+)
+
+__all__ = [
+    "NEVER_WORSE_BALANCERS",
+    "SCENARIO_PRESETS",
+    "SWEEP_SCHEMA",
+    "ScenarioScale",
+    "ScenarioSpec",
+    "SweepArtifact",
+    "SweepCell",
+    "available_scenarios",
+    "execute_cell",
+    "grid_fingerprint",
+    "grid_specs",
+    "plan_sweep",
+    "register_scenario",
+    "run_sweep",
+    "scenario_info",
+    "scenario_scale",
+    "sweep_pipeline_configs",
+    "workload_digest",
+]

@@ -1,0 +1,245 @@
+"""The registered workload scenario families.
+
+Each family stakes out one region of the input space the ROADMAP's "as many
+scenarios as you can imagine" goal demands and the E1–E8 configs never
+exercised: graph-shape extremes (wide/deep layered DAGs, fork–join fan-out,
+sensor-fusion fan-in), period-structure extremes (deep harmonic ladders,
+co-prime ``(base, ratio)`` ladders, hyper-period-straining rate spreads),
+pressure ramps (utilisation, memory) and degenerate platforms (a single
+processor, a zero-cost interconnect).
+
+A family builder maps a :class:`~repro.scenarios.registry.ScenarioScale` to
+a seed-less :class:`~repro.workloads.spec.WorkloadSpec`; the registry stamps
+the per-cell derived seed and label on top (see
+:meth:`~repro.scenarios.registry.ScenarioSpec.workload_spec`).  Keep every
+family feasible under the ``tiny`` scale — the registry-completeness test
+generates, schedules and balances every cell there.
+
+The model constrains dependent tasks to harmonically related periods, so
+"co-prime period mixes" appear as ladders whose base and ratio are co-prime
+primes: the periods stay pairwise harmonic, but the hyper-period divides
+into the maximum number of fast-task instances the ladder allows — the
+dimension that actually strains the steady-state machinery.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.registry import ScenarioScale, register_scenario
+from repro.workloads.spec import GraphShape, WorkloadSpec
+
+__all__: list[str] = []
+
+
+@register_scenario(
+    "layered_baseline",
+    "random layered DAG at the default knobs",
+    "the E-config region of the space, kept as the sweep's reference family",
+    tags=("layered", "baseline"),
+)
+def _layered_baseline(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.LAYERED,
+    )
+
+
+@register_scenario(
+    "layered_wide",
+    "wide, shallow layered DAG (2 layers, dense edges)",
+    "maximal per-layer parallelism and fan-in; stresses block construction",
+    tags=("layered", "shape-extreme"),
+)
+def _layered_wide(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.LAYERED,
+        layer_count=2,
+        edge_probability=0.5,
+    )
+
+
+@register_scenario(
+    "layered_deep",
+    "deep, narrow layered DAG (sparse edges)",
+    "long dependence chains; stresses precedence windows and idle insertion",
+    tags=("layered", "shape-extreme"),
+)
+def _layered_deep(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.LAYERED,
+        layer_count=max(4, scale.task_count // 3),
+        edge_probability=0.15,
+    )
+
+
+@register_scenario(
+    "pipeline_multirate",
+    "parallel multi-rate signal-processing pipelines",
+    "per-chain harmonic slow-down along the data path (the paper's Figure-1 "
+    "consumption pattern)",
+    tags=("pipeline", "multi-rate"),
+)
+def _pipeline_multirate(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.PIPELINE,
+        period_levels=3,
+    )
+
+
+@register_scenario(
+    "fork_join_scatter",
+    "fork-join scatter/gather application",
+    "a fast source scattering to parallel branches gathered by a slower join; "
+    "stresses fan-out placement and cross-processor gathers",
+    tags=("fork-join", "multi-rate"),
+)
+def _fork_join_scatter(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.FORK_JOIN,
+    )
+
+
+@register_scenario(
+    "sensor_fusion_fanin",
+    "multi-rate sensor fusion (many fast producers, one slow consumer)",
+    "the paper's motivating buffering pattern: a fusion stage consuming "
+    "several samples of each of its fast producers",
+    tags=("sensor-fusion", "multi-rate"),
+)
+def _sensor_fusion_fanin(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.SENSOR_FUSION,
+    )
+
+
+@register_scenario(
+    "harmonic_tall",
+    "deep harmonic period ladder (4 levels, ratio 2)",
+    "many distinct rates with small pairwise ratios; the harmonic side of "
+    "the harmonic-versus-co-prime period axis",
+    tags=("layered", "periods"),
+)
+def _harmonic_tall(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.LAYERED,
+        base_period=10,
+        period_levels=4,
+        period_ratio=2,
+    )
+
+
+@register_scenario(
+    "prime_ladder",
+    "co-prime (base, ratio) period ladder (base 7, ratio 3)",
+    "periods 7 and 21 — co-prime base and ratio keep the rates harmonic (as "
+    "the model requires) while the fast rate divides the hyper-period into "
+    "the most instances the ladder allows",
+    tags=("layered", "periods", "adversarial"),
+)
+def _prime_ladder(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.LAYERED,
+        base_period=7,
+        period_ratio=3,
+        period_levels=2,
+    )
+
+
+@register_scenario(
+    "hyper_strain",
+    "hyper-period-straining rate spread (base 4, ratio 5, 3 levels)",
+    "a 25x spread between the fastest and slowest rate: fast tasks repeat 25 "
+    "times per hyper-period, stressing instance unrolling and the circular "
+    "occupancy machinery (utilisation is kept low — the spread, not the "
+    "load, is the point, and non-preemptive chains across it fail fast)",
+    tags=("layered", "periods", "adversarial"),
+)
+def _hyper_strain(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.LAYERED,
+        base_period=4,
+        period_ratio=5,
+        period_levels=3,
+        utilization=0.08,
+    )
+
+
+@register_scenario(
+    "utilization_ramp",
+    "high-pressure utilisation (45% of the platform)",
+    "the upper end of what non-preemptive strict periodicity tolerates; "
+    "unschedulable draws are expected and recorded, not errors",
+    tags=("layered", "pressure"),
+)
+def _utilization_ramp(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.LAYERED,
+        utilization=0.45,
+    )
+
+
+@register_scenario(
+    "memory_pressure",
+    "heavy, high-variance per-task memory demands",
+    "memory range 20-120 versus the default 1-10; stresses the memory side "
+    "of every balancing policy without touching the timing problem",
+    tags=("pipeline", "pressure"),
+)
+def _memory_pressure(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.PIPELINE,
+        memory_range=(20.0, 120.0),
+    )
+
+
+@register_scenario(
+    "single_processor",
+    "degenerate single-processor platform",
+    "no placement freedom at all: every balancer must degrade to a no-op "
+    "without crashing or making the schedule worse",
+    tags=("degenerate",),
+)
+def _single_processor(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=1,
+        shape=GraphShape.LAYERED,
+        utilization=0.5,
+    )
+
+
+@register_scenario(
+    "zero_communication",
+    "zero-cost interconnect (latency 0, empty payloads)",
+    "degenerate communication model: migration is free, so balancing "
+    "decisions are driven purely by load/memory terms",
+    tags=("degenerate",),
+)
+def _zero_communication(scale: ScenarioScale) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        shape=GraphShape.LAYERED,
+        comm_latency=0.0,
+        data_size_range=(0.0, 0.0),
+    )

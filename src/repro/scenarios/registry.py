@@ -1,0 +1,196 @@
+"""String-keyed registry of parameterised workload scenario families.
+
+Mirrors :mod:`repro.api.balancers` and :mod:`repro.bench.registry`: a
+*scenario* is one named, parameterised region of the workload input space —
+fork–join fan-out, multi-rate pipelines, co-prime period ladders, degenerate
+single-processor platforms, ... — registered as a :class:`ScenarioSpec`.
+Each spec turns a sweep preset (``tiny``/``quick``/``full``) and a seed index
+into a concrete :class:`~repro.workloads.spec.WorkloadSpec`:
+
+* the **scale** (task count, processor count, seeds per family) comes from
+  :data:`SCENARIO_PRESETS`, so every family sweeps the same grid;
+* the **seed** is derived from ``(family root seed, index)`` through
+  :func:`~repro.workloads.seeding.derive_seed`, so cell ``(family, index)``
+  is one pure function of its coordinates — reproducible whatever worker
+  count or execution order generates the grid;
+* the family **root seed** is itself a stable hash of the family name, so
+  two families never share a stream even at equal indices.
+
+The differential sweep harness (:mod:`repro.scenarios.sweep`) enumerates
+this registry; :func:`grid_fingerprint` condenses an entire scenario grid
+into one digest the test suite pins as a golden value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import generate_workload
+from repro.workloads.seeding import derive_seed
+from repro.workloads.spec import Workload, WorkloadSpec
+
+__all__ = [
+    "SCENARIO_PRESETS",
+    "ScenarioScale",
+    "ScenarioSpec",
+    "available_scenarios",
+    "grid_fingerprint",
+    "grid_specs",
+    "register_scenario",
+    "scenario_info",
+    "scenario_scale",
+    "workload_digest",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioScale:
+    """Grid scale of one sweep preset (shared by every scenario family)."""
+
+    #: Task count of every generated workload (families may shrink it, e.g.
+    #: the degenerate single-processor platform, but never grow it).
+    task_count: int
+    #: Processor count of the platform.
+    processor_count: int
+    #: Seed indices swept per family (``0 .. seeds-1``).
+    seeds: int
+
+
+#: Sweep presets, in increasing cost order (mirrors the experiment presets).
+SCENARIO_PRESETS: dict[str, ScenarioScale] = {
+    "tiny": ScenarioScale(task_count=12, processor_count=2, seeds=2),
+    "quick": ScenarioScale(task_count=40, processor_count=4, seeds=3),
+    "full": ScenarioScale(task_count=96, processor_count=8, seeds=5),
+}
+
+
+def scenario_scale(preset: str) -> ScenarioScale:
+    """Scale of ``preset`` (raises :class:`ConfigurationError` if unknown)."""
+    try:
+        return SCENARIO_PRESETS[preset]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown scenario preset {preset!r}; expected one of "
+            f"{sorted(SCENARIO_PRESETS)}"
+        ) from None
+
+
+def _root_seed(name: str) -> int:
+    """Stable per-family root seed (a hash of the family name, not ``hash()``)."""
+    return int.from_bytes(hashlib.sha256(name.encode()).digest()[:4], "big")
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """One registered workload family."""
+
+    #: Registry key (filesystem- and label-safe).
+    name: str
+    #: One-line title shown by ``repro-lb list``.
+    title: str
+    description: str
+    #: Free-form classification (``"degenerate"``, ``"multi-rate"``, ...).
+    tags: tuple[str, ...]
+    #: Family body: turn a grid scale into the family's (seed-less) spec.
+    builder: Callable[[ScenarioScale], WorkloadSpec]
+
+    def workload_spec(self, preset: str, index: int) -> WorkloadSpec:
+        """Concrete workload spec of grid cell ``(self, preset, index)``."""
+        if index < 0:
+            raise ConfigurationError(f"Seed index must be non-negative, got {index}")
+        scale = scenario_scale(preset)
+        seed = derive_seed(_root_seed(self.name), index)
+        return self.builder(scale).with_updates(
+            seed=seed, label=f"{self.name}-{preset}-i{index}"
+        )
+
+    def workload(self, preset: str, index: int) -> Workload:
+        """Generate the workload of grid cell ``(self, preset, index)``."""
+        return generate_workload(self.workload_spec(preset, index))
+
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    name: str, title: str, description: str, tags: tuple[str, ...] = ()
+) -> Callable[[Callable[[ScenarioScale], WorkloadSpec]], Callable[[ScenarioScale], WorkloadSpec]]:
+    """Register a scenario family under ``name`` (decorator form)."""
+
+    def decorator(
+        builder: Callable[[ScenarioScale], WorkloadSpec],
+    ) -> Callable[[ScenarioScale], WorkloadSpec]:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"Scenario {name!r} is already registered")
+        _REGISTRY[name] = ScenarioSpec(
+            name=name, title=title, description=description, tags=tags, builder=builder
+        )
+        return builder
+
+    return decorator
+
+
+def available_scenarios() -> tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def scenario_info(name: str) -> ScenarioSpec:
+    """Registry entry of ``name`` (raises :class:`ConfigurationError` if absent)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown scenario {name!r}; registered: {list(available_scenarios())}"
+        ) from None
+
+
+def grid_specs(
+    preset: str, scenarios: tuple[str, ...] | None = None
+) -> Iterator[tuple[ScenarioSpec, int, WorkloadSpec]]:
+    """Enumerate the ``scenario x seed-index`` grid of ``preset``, in name order."""
+    scale = scenario_scale(preset)
+    names = available_scenarios() if scenarios is None else scenarios
+    for name in names:
+        spec = scenario_info(name)
+        for index in range(scale.seeds):
+            yield spec, index, spec.workload_spec(preset, index)
+
+
+def workload_digest(workload: Workload) -> str:
+    """Short structural digest of a generated workload.
+
+    Covers everything the schedulers consume — tasks (period, WCET, memory,
+    data size), dependence edges and the platform — so two workloads share a
+    digest exactly when they are the same problem instance.
+    """
+    graph = workload.graph
+    hasher = hashlib.sha256()
+    for task in sorted(graph, key=lambda t: t.name):
+        hasher.update(
+            f"{task.name}|{task.period}|{task.wcet}|{task.memory}|{task.data_size}\n".encode()
+        )
+    for dependence in sorted(
+        graph.dependences, key=lambda d: (d.producer, d.consumer)
+    ):
+        hasher.update(f"{dependence.producer}->{dependence.consumer}\n".encode())
+    architecture = workload.architecture
+    hasher.update(
+        f"M={len(architecture)}|cap={architecture.memory_capacity}"
+        f"|lat={architecture.comm.latency}\n".encode()
+    )
+    return hasher.hexdigest()[:16]
+
+
+def grid_fingerprint(preset: str, scenarios: tuple[str, ...] | None = None) -> str:
+    """One digest over every workload of the ``preset`` grid (golden-pinnable)."""
+    hasher = hashlib.sha256()
+    for spec, index, workload_spec in grid_specs(preset, scenarios):
+        workload = generate_workload(workload_spec)
+        hasher.update(
+            f"{spec.name}#{index}:{workload_spec.seed}:{workload_digest(workload)}\n".encode()
+        )
+    return hasher.hexdigest()[:16]

@@ -1,0 +1,497 @@
+"""Differential sweep over the scenario x seed x balancer grid.
+
+The sweep is the layer that turns scenario diversity into a *gate*: it runs
+every registered balancer over every registered scenario family (at one
+:data:`~repro.scenarios.registry.SCENARIO_PRESETS` scale) through the
+unified :mod:`repro.api` pipeline, cross-checks a set of invariants on every
+run, and collects violations as structured **findings** instead of crashing
+on the first anomaly.  A clean sweep exits zero; any finding fails the build
+(the CI job runs ``repro-lb sweep --preset tiny``).
+
+Invariants checked per successful run
+-------------------------------------
+``verdict_consistency``
+    The feasibility verdict the pipeline reports must match a from-scratch
+    :func:`~repro.scheduling.feasibility.check_schedule` of the balanced
+    schedule, and must agree with the violation list being empty.
+``paper_feasible``
+    The paper heuristic's retry ladder guarantees a feasible result whenever
+    the initial schedule was feasible (its last rung returns the initial
+    schedule unchanged) — an infeasible paper outcome is a bug, not a datum.
+``never_worse``
+    Strategies carrying the never-worse-than-initial guarantee (the paper
+    heuristic's safety ladder, and ``no_balancing`` by definition) must not
+    increase the makespan.
+``oracle``
+    On sampled paper cells the balancer runs with ``cross_check=True``: every
+    steady-state query is answered by the incremental conflict engine *and*
+    the from-scratch reserved-pattern oracle, and any divergence raises —
+    which the sweep records as an ``oracle`` finding.
+``artifact_roundtrip``
+    The run's ``repro-run/1`` artifact must survive strict JSON
+    (``allow_nan=False``) and :meth:`~repro.api.pipeline.RunResult.from_dict`.
+
+Cells whose *initial* scheduling is infeasible (expected for the
+high-utilisation families) are recorded with status ``unschedulable`` — an
+explicit datum, not a finding.  Any other exception becomes an ``exception``
+finding carrying the traceback, so nothing is silently lost.
+
+The result is a versioned ``repro-sweep/1`` artifact (:class:`SweepArtifact`)
+mirroring ``repro-bench/1``: grid echo, per-cell records, aggregated
+findings, environment fingerprint.  :func:`sweep_pipeline_configs` exposes
+the same grid as serialised pipeline configs so
+:func:`~repro.experiments.campaign.run_pipeline_campaign` can fan a sweep
+out over the campaign process pool.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro import jsonio
+from repro.api.config import (
+    BalanceStage,
+    PipelineConfig,
+    ReportStage,
+    VerifyStage,
+    WorkloadStage,
+)
+from repro.api.pipeline import Pipeline, RunResult
+from repro.bench.artifact import environment_fingerprint
+from repro.errors import ConfigurationError, InfeasibleError, SchedulingError
+from repro.scheduling.feasibility import check_schedule
+from repro.scheduling.periodic_intervals import EPSILON
+
+__all__ = [
+    "SWEEP_SCHEMA",
+    "NEVER_WORSE_BALANCERS",
+    "SweepCell",
+    "SweepArtifact",
+    "plan_sweep",
+    "execute_cell",
+    "run_sweep",
+    "sweep_pipeline_configs",
+]
+
+#: Version tag stamped into every serialised sweep artifact.
+SWEEP_SCHEMA = "repro-sweep/1"
+
+#: Strategies guaranteed never to produce a worse makespan than the initial
+#: schedule: the paper heuristic (its retry ladder falls back to a no-op) and
+#: the identity assignment.  The timing-blind baselines carry no such
+#: guarantee — holding them to it would manufacture findings by design.
+NEVER_WORSE_BALANCERS = frozenset({"paper", "no_balancing"})
+
+#: Makespan comparisons share the scheduling substrate's resolution.
+_EPS = EPSILON
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCell:
+    """One grid cell: a scenario seed index run under one balancer."""
+
+    scenario: str
+    #: Seed index within the scenario family (the actual seed is derived).
+    index: int
+    balancer: str
+    preset: str
+    #: Run the paper heuristic in differential-oracle mode (``cross_check``).
+    oracle: bool = False
+
+
+def plan_sweep(
+    preset: str = "tiny",
+    scenarios: tuple[str, ...] | None = None,
+    balancers: tuple[str, ...] | None = None,
+    *,
+    oracle_stride: int = 3,
+) -> tuple[SweepCell, ...]:
+    """Expand the grid into cells, in deterministic (scenario, index, balancer) order.
+
+    Every ``oracle_stride``-th paper cell runs in differential-oracle mode
+    (``0`` disables oracle sampling).  Scenario and balancer names are
+    validated up front so a typo fails before any cell runs.
+    """
+    from repro.api.balancers import available_balancers, balancer_info
+    from repro.scenarios.registry import available_scenarios, scenario_info, scenario_scale
+
+    scale = scenario_scale(preset)
+    scenario_names = available_scenarios() if scenarios is None else tuple(scenarios)
+    balancer_names = available_balancers() if balancers is None else tuple(balancers)
+    for name in scenario_names:
+        scenario_info(name)
+    for name in balancer_names:
+        balancer_info(name)
+    if oracle_stride < 0:
+        raise ConfigurationError(f"oracle_stride must be >= 0, got {oracle_stride}")
+
+    cells: list[SweepCell] = []
+    paper_cells = 0
+    for scenario in scenario_names:
+        for index in range(scale.seeds):
+            for balancer in balancer_names:
+                oracle = False
+                if balancer == "paper" and oracle_stride:
+                    oracle = paper_cells % oracle_stride == 0
+                    paper_cells += 1
+                cells.append(SweepCell(scenario, index, balancer, preset, oracle))
+    return tuple(cells)
+
+
+def _cell_config(cell: SweepCell) -> PipelineConfig:
+    """Declarative pipeline config of one cell (reports disabled: the sweep
+    reads metrics, not prose)."""
+    from repro.scenarios.registry import scenario_info
+
+    workload_spec = scenario_info(cell.scenario).workload_spec(cell.preset, cell.index)
+    params: dict[str, Any] = {}
+    if cell.balancer == "paper":
+        params["policy"] = "ratio"
+        if cell.oracle:
+            params["cross_check"] = True
+    return PipelineConfig(
+        workload=WorkloadStage(kind="spec", spec=workload_spec),
+        balance=BalanceStage(balancer=cell.balancer, params=params),
+        verify=VerifyStage(enabled=True, check_memory=False),
+        report=ReportStage(enabled=False),
+        label=f"{workload_spec.label}-{cell.balancer}",
+    )
+
+
+def _check_invariants(cell: SweepCell, result: RunResult) -> list[dict[str, str]]:
+    """Cross-check every invariant on one successful run."""
+    findings: list[dict[str, str]] = []
+
+    def finding(invariant: str, detail: str) -> None:
+        findings.append({"invariant": invariant, "detail": detail})
+
+    # -- verdict consistency ------------------------------------------------
+    independent = check_schedule(result.balanced_schedule, check_memory=False)
+    if independent.is_feasible != result.feasible:
+        finding(
+            "verdict_consistency",
+            f"pipeline verdict feasible={result.feasible} but a from-scratch "
+            f"check says {independent.is_feasible} "
+            f"({len(independent.all_violations)} violation(s))",
+        )
+    if result.feasible != (not result.violations):
+        finding(
+            "verdict_consistency",
+            f"feasible={result.feasible} disagrees with the violation list "
+            f"({len(result.violations)} entr(y/ies))",
+        )
+
+    # -- guarantees of specific strategies ----------------------------------
+    if cell.balancer == "paper" and result.feasible is False:
+        finding(
+            "paper_feasible",
+            "the paper heuristic returned an infeasible schedule despite its "
+            f"retry ladder (safety_level={result.safety_level!r})",
+        )
+    if cell.balancer in NEVER_WORSE_BALANCERS:
+        before = float(result.metrics["makespan_before"])
+        after = float(result.metrics["makespan_after"])
+        if after > before + _EPS:
+            finding(
+                "never_worse",
+                f"makespan increased {before:g} -> {after:g} under "
+                f"{cell.balancer!r}",
+            )
+        if cell.balancer == "no_balancing" and abs(after - before) > _EPS:
+            finding(
+                "never_worse",
+                f"identity assignment changed the makespan {before:g} -> {after:g}",
+            )
+
+    # -- artifact round trip -------------------------------------------------
+    try:
+        payload = json.loads(jsonio.dumps(result.to_dict()))
+        RunResult.from_dict(payload)
+    except Exception as error:  # noqa: BLE001 - any failure here is the finding
+        finding(
+            "artifact_roundtrip",
+            f"RunResult does not survive strict JSON: {type(error).__name__}: {error}",
+        )
+    return findings
+
+
+def execute_cell(cell: SweepCell) -> dict[str, Any]:
+    """Run one cell and return its record (never raises)."""
+    from repro.scenarios.registry import scenario_info
+
+    started = time.perf_counter()
+    record: dict[str, Any] = {
+        "scenario": cell.scenario,
+        "index": cell.index,
+        "balancer": cell.balancer,
+        "preset": cell.preset,
+        "oracle": cell.oracle,
+        "status": "ok",
+        "findings": [],
+    }
+    try:
+        record["seed"] = scenario_info(cell.scenario).workload_spec(
+            cell.preset, cell.index
+        ).seed
+        result = Pipeline(_cell_config(cell)).run()
+    except InfeasibleError as error:
+        # The initial scheduler is the only stage that raises this: the
+        # balancers either guarantee feasibility (paper ladder) or report
+        # verdicts.  An unschedulable draw is a datum, not a finding.
+        record["status"] = "unschedulable"
+        record["detail"] = str(error)
+    except Exception as error:  # noqa: BLE001 - a crashed cell must not kill the sweep
+        record["status"] = "error"
+        # Only a cross-check divergence is an oracle finding; any other crash
+        # in an oracle-mode cell is an ordinary exception (misattributing it
+        # would send triage after the conflict engine for unrelated bugs).
+        divergence = (
+            cell.oracle
+            and isinstance(error, SchedulingError)
+            and "divergence" in str(error)
+        )
+        record["findings"].append(
+            {
+                "invariant": "oracle" if divergence else "exception",
+                "detail": f"{type(error).__name__}: {error}",
+            }
+        )
+        record["traceback"] = traceback.format_exc()
+    else:
+        record["feasible"] = result.feasible
+        record["makespan_before"] = float(result.metrics["makespan_before"])
+        record["makespan_after"] = float(result.metrics["makespan_after"])
+        record["moves"] = int(result.metrics["moves"])
+        record["findings"] = _check_invariants(cell, result)
+    record["seconds"] = time.perf_counter() - started
+    return record
+
+
+def _execute_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Pickle-friendly pool entry point (mirrors the campaign runner)."""
+    return execute_cell(SweepCell(**payload))
+
+
+@dataclass(slots=True)
+class SweepArtifact:
+    """One serialisable sweep invocation (schema ``repro-sweep/1``)."""
+
+    preset: str
+    #: UTC creation time, ISO-8601.
+    created: str
+    scenarios: list[str] = field(default_factory=list)
+    balancers: list[str] = field(default_factory=list)
+    #: Per-cell records, in plan order.
+    cells: list[dict[str, Any]] = field(default_factory=list)
+    #: Aggregated invariant findings (each carries its cell coordinates).
+    findings: list[dict[str, Any]] = field(default_factory=list)
+    environment: dict[str, Any] = field(default_factory=environment_fingerprint)
+    schema: str = SWEEP_SCHEMA
+
+    @classmethod
+    def now(cls, preset: str, **kwargs: Any) -> "SweepArtifact":
+        """Artifact stamped with the current UTC time."""
+        created = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+        return cls(preset=preset, created=created, **kwargs)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the sweep produced no finding (the CI gate)."""
+        return not self.findings
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Cell totals by status, plus the finding count."""
+        by_status = {"ok": 0, "unschedulable": 0, "error": 0}
+        for cell in self.cells:
+            by_status[cell["status"]] = by_status.get(cell["status"], 0) + 1
+        return {"cells": len(self.cells), **by_status, "findings": len(self.findings)}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "preset": self.preset,
+            "created": self.created,
+            "scenarios": list(self.scenarios),
+            "balancers": list(self.balancers),
+            "counts": self.counts,
+            "cells": [dict(cell) for cell in self.cells],
+            "findings": [dict(entry) for entry in self.findings],
+            "environment": dict(self.environment),
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepArtifact":
+        schema = data.get("schema", SWEEP_SCHEMA)
+        if schema != SWEEP_SCHEMA:
+            raise ConfigurationError(
+                f"Unsupported sweep-artifact schema {schema!r}; this build reads "
+                f"{SWEEP_SCHEMA!r}"
+            )
+        return cls(
+            preset=str(data.get("preset", "")),
+            created=str(data.get("created", "")),
+            scenarios=list(data.get("scenarios") or []),
+            balancers=list(data.get("balancers") or []),
+            cells=[dict(entry) for entry in data.get("cells") or []],
+            findings=[dict(entry) for entry in data.get("findings") or []],
+            environment=dict(data.get("environment") or {}),
+            schema=schema,
+        )
+
+    def save(self, target: str | Path) -> Path:
+        """Write the artifact (atomically, as strict JSON).
+
+        A directory target receives the conventional ``SWEEP_<timestamp>.json``
+        name; any other target is treated as the exact file path.
+        """
+        target = Path(target)
+        try:
+            if target.is_dir() or not target.suffix:
+                target.mkdir(parents=True, exist_ok=True)
+                stamp = self.created.replace("-", "").replace(":", "")
+                target = target / f"SWEEP_{stamp}.json"
+            else:
+                target.parent.mkdir(parents=True, exist_ok=True)
+            jsonio.write_json_atomic(target, self.to_dict())
+        except OSError as error:
+            raise ConfigurationError(
+                f"Cannot write sweep artifact to {target}: {error}"
+            ) from None
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepArtifact":
+        """Read an artifact back from disk."""
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text())
+        except OSError as error:
+            raise ConfigurationError(f"Cannot read sweep artifact {path}: {error}") from None
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"Sweep artifact {path} is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(data)
+
+    def render(self) -> str:
+        """Per-scenario summary table plus the findings (what the CLI prints)."""
+        from repro.experiments.tables import build_table
+
+        by_scenario: dict[str, dict[str, int]] = {}
+        for cell in self.cells:
+            stats = by_scenario.setdefault(
+                cell["scenario"],
+                {"cells": 0, "ok": 0, "unschedulable": 0, "error": 0, "findings": 0},
+            )
+            stats["cells"] += 1
+            stats[cell["status"]] = stats.get(cell["status"], 0) + 1
+            stats["findings"] += len(cell.get("findings") or [])
+        rows = [
+            [
+                name,
+                str(stats["cells"]),
+                str(stats["ok"]),
+                str(stats["unschedulable"]),
+                str(stats["error"]),
+                str(stats["findings"]),
+            ]
+            for name, stats in sorted(by_scenario.items())
+        ]
+        lines = [
+            build_table(
+                ["scenario", "cells", "ok", "unschedulable", "error", "findings"], rows
+            )
+        ]
+        if self.findings:
+            lines.append("")
+            lines.append("findings:")
+            for entry in self.findings:
+                lines.append(
+                    f"  {entry['scenario']}#{entry['index']}/{entry['balancer']}: "
+                    f"[{entry['invariant']}] {entry['detail']}"
+                )
+        return "\n".join(lines)
+
+
+def run_sweep(
+    preset: str = "tiny",
+    scenarios: tuple[str, ...] | None = None,
+    balancers: tuple[str, ...] | None = None,
+    *,
+    jobs: int | None = 1,
+    oracle_stride: int = 3,
+) -> SweepArtifact:
+    """Plan and execute the differential sweep, returning its artifact.
+
+    ``jobs=1`` (the default) executes inline; ``None`` lets a process pool
+    pick its width; any other value fixes the pool width.
+    """
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1 (got {jobs}); use 1 to run inline")
+    cells = plan_sweep(
+        preset, scenarios, balancers, oracle_stride=oracle_stride
+    )
+    if jobs == 1 or not cells:
+        records = [execute_cell(cell) for cell in cells]
+    else:
+        payloads = [
+            {
+                "scenario": cell.scenario,
+                "index": cell.index,
+                "balancer": cell.balancer,
+                "preset": cell.preset,
+                "oracle": cell.oracle,
+            }
+            for cell in cells
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            records = list(pool.map(_execute_payload, payloads))
+
+    findings = [
+        {
+            "scenario": record["scenario"],
+            "index": record["index"],
+            "balancer": record["balancer"],
+            **entry,
+        }
+        for record in records
+        for entry in record.get("findings") or []
+    ]
+    from repro.api.balancers import available_balancers
+    from repro.scenarios.registry import available_scenarios
+
+    return SweepArtifact.now(
+        preset=preset,
+        scenarios=list(scenarios if scenarios is not None else available_scenarios()),
+        balancers=list(balancers if balancers is not None else available_balancers()),
+        cells=records,
+        findings=findings,
+    )
+
+
+def sweep_pipeline_configs(
+    preset: str = "tiny",
+    scenarios: tuple[str, ...] | None = None,
+    balancers: tuple[str, ...] | None = None,
+) -> list[PipelineConfig]:
+    """The sweep grid as serialisable pipeline configs.
+
+    Feed the result to :func:`~repro.experiments.campaign.run_pipeline_campaign`
+    to fan the same grid out over the campaign process pool, with every run's
+    ``repro-run/1`` artifact stored verbatim in a resumable campaign manifest
+    (invariant cross-checks are the sweep harness's job; the campaign route
+    is for bulk artifact collection).
+    """
+    return [
+        _cell_config(cell)
+        for cell in plan_sweep(preset, scenarios, balancers, oracle_stride=0)
+    ]

@@ -33,13 +33,12 @@ from dataclasses import dataclass, field
 
 from repro.errors import ValidationError
 from repro.scheduling.communications import edge_arrival_time
+from repro.scheduling.periodic_intervals import EPSILON as _EPS
 from repro.scheduling.periodic_intervals import split_wrapping
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.unrolling import instance_count, instance_edges, unrolled_instances
 
 __all__ = ["FeasibilityReport", "check_schedule", "assert_feasible"]
-
-_EPS = 1e-9
 
 
 @dataclass(slots=True)

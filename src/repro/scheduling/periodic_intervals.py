@@ -28,6 +28,7 @@ from collections.abc import Iterable
 from repro.errors import SchedulingError
 
 __all__ = [
+    "EPSILON",
     "circular_overlap",
     "clearing_shift",
     "pattern_offsets",
@@ -35,7 +36,15 @@ __all__ = [
     "patterns_conflict",
 ]
 
-_EPS = 1e-9
+#: Resolution of the circular arithmetic: intervals shorter than this are
+#: treated as empty *everywhere* — :func:`circular_overlap` never reports a
+#: sub-epsilon intersection and :func:`split_wrapping` never emits a
+#: sub-epsilon piece.  The conflict engine and the feasibility checker import
+#: this same constant, so the clamp/wrap decision at the period boundary and
+#: the overlap tests always apply one rule.
+EPSILON = 1e-9
+
+_EPS = EPSILON
 
 
 def _check(period: float) -> None:
@@ -95,7 +104,17 @@ def pattern_offsets(
 
 
 def split_wrapping(start: float, length: float, period: float) -> list[tuple[float, float]]:
-    """Normalise a circular interval into 1 or 2 linear ``[start, end)`` pieces in ``[0, period)``."""
+    """Normalise a circular interval into 1 or 2 linear ``[start, end)`` pieces in ``[0, period)``.
+
+    Boundary rule (shared with :func:`circular_overlap` through
+    :data:`EPSILON`): an interval crossing the period boundary always wraps,
+    and any resulting piece shorter than :data:`EPSILON` is dropped — the
+    overlap tests are blind to sub-epsilon intervals, so emitting them would
+    only create clamp-versus-wrap asymmetry at the boundary.  Previously an
+    interval ending within ``EPSILON`` *past* the period was clamped while
+    one ending just beyond wrapped, so the two sides of that knife edge were
+    normalised by different rules.
+    """
     _check(period)
     if length <= _EPS:
         return []
@@ -103,9 +122,12 @@ def split_wrapping(start: float, length: float, period: float) -> list[tuple[flo
         return [(0.0, float(period))]
     begin = start % period
     end = begin + length
-    if end <= period + _EPS:
-        return [(begin, min(end, float(period)))]
-    return [(begin, float(period)), (0.0, end - period)]
+    if end > period:
+        pieces = [(begin, float(period)), (0.0, end - period)]
+    else:
+        pieces = [(begin, end)]
+    return [(piece_begin, piece_end) for piece_begin, piece_end in pieces
+            if piece_end - piece_begin > _EPS]
 
 
 def patterns_conflict(

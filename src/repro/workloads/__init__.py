@@ -24,6 +24,7 @@ from repro.workloads.paper_example import (
 )
 from repro.workloads.periods import assign_periods, harmonic_ladder, rate_monotonic_layers
 from repro.workloads.random_graphs import layered_dag
+from repro.workloads.seeding import derive_seed, spawn_seeds
 from repro.workloads.spec import GraphShape, Workload, WorkloadSpec
 from repro.workloads.utilization import uunifast, uunifast_discard, wcet_from_utilization
 
@@ -33,8 +34,10 @@ __all__ = [
     "Workload",
     "WorkloadSpec",
     "assign_periods",
+    "derive_seed",
     "fork_join",
     "generate_many",
+    "spawn_seeds",
     "generate_workload",
     "harmonic_ladder",
     "layered_dag",

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
-from repro.errors import InfeasibleError
+from repro.errors import InfeasibleError, WorkloadError
 from repro.scheduling.heuristic import SchedulerOptions, schedule_application
 from repro.scheduling.schedule import Schedule
 from repro.workloads.chains import by_shape
+from repro.workloads.seeding import spawn_seeds
 from repro.workloads.spec import Workload, WorkloadSpec
 
 __all__ = ["generate_workload", "generate_many", "scheduled_workload", "scheduled_workloads"]
@@ -25,8 +26,27 @@ def generate_workload(spec: WorkloadSpec) -> Workload:
     return by_shape(spec)
 
 
-def generate_many(spec: WorkloadSpec, seeds: Iterable[int]) -> list[Workload]:
-    """Generate one workload per seed, sharing every other parameter."""
+def generate_many(
+    spec: WorkloadSpec,
+    seeds: Iterable[int] | None = None,
+    *,
+    count: int | None = None,
+) -> list[Workload]:
+    """Generate a grid of workloads sharing every parameter but the seed.
+
+    With explicit ``seeds`` each workload uses that seed verbatim (the
+    historical E-experiment convention).  With ``count`` the per-workload
+    seeds are instead derived from ``(spec.seed, index)`` through
+    :func:`~repro.workloads.seeding.derive_seed`, giving every grid cell an
+    independent random stream that is reproducible regardless of worker
+    count or execution order.
+    """
+    if (seeds is None) == (count is None):
+        raise WorkloadError("generate_many takes exactly one of 'seeds' or 'count'")
+    if count is not None:
+        if count < 0:
+            raise WorkloadError("count must be non-negative")
+        seeds = spawn_seeds(spec.seed, count)
     return [generate_workload(spec.with_updates(seed=int(seed))) for seed in seeds]
 
 

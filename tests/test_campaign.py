@@ -96,6 +96,49 @@ class TestExecution:
         assert second.records[0]["passed"] is True
         assert first.ok and second.ok
 
+    def test_campaign_resume_survives_corrupted_manifest(self, tmp_path):
+        # A worker killed mid-write used to leave a truncated manifest that
+        # broke resume; manifests are now written atomically, and a corrupted
+        # one left by older builds (or a hard crash) simply re-executes.
+        out = tmp_path / "camp"
+        run_campaign(["E2"], "tiny", output_dir=out, jobs=1)
+        manifest_path = out / "runs" / "E2-tiny.json"
+        full = manifest_path.read_text()
+        manifest_path.write_text(full[: len(full) // 2])  # truncated mid-object
+        second = run_campaign(["E2"], "tiny", output_dir=out, jobs=1, resume=True)
+        assert second.records[0]["status"] == "ok"
+        assert second.ok
+        # The re-executed run rewrote a complete, valid manifest.
+        assert json.loads(manifest_path.read_text())["status"] == "ok"
+
+    def test_manifests_are_strict_json_with_no_temp_litter(self, tmp_path):
+        out = tmp_path / "camp"
+        run_campaign(["E2"], "tiny", output_dir=out, jobs=1)
+        files = sorted(p.name for p in (out / "runs").iterdir())
+        assert files == ["E2-tiny.json"]
+        assert not any(name.endswith(".tmp") for name in files)
+        for path in [out / "runs" / "E2-tiny.json", out / "campaign.json"]:
+            json.loads(path.read_text(), parse_constant=pytest.fail)
+
+    def test_pipeline_manifest_run_result_is_strict_json(self, tmp_path):
+        # The config echo of every pipeline run used to carry
+        # memory_capacity=Infinity (a non-standard token); the manifest must
+        # now parse under a strict reader and round-trip the RunResult.
+        from repro.api import PipelineConfig, RunResult
+        from repro.experiments.campaign import run_pipeline_campaign
+        from repro.workloads.spec import WorkloadSpec
+
+        config = PipelineConfig.synthetic(WorkloadSpec(task_count=6, label="strict"))
+        summary = run_pipeline_campaign(
+            [config], output_dir=tmp_path / "camp", jobs=1
+        )
+        assert summary.ok
+        manifest = json.loads(
+            open(summary.records[0]["manifest"]).read(), parse_constant=pytest.fail
+        )
+        rebuilt = RunResult.from_dict(manifest["run_result"])
+        assert PipelineConfig.from_dict(rebuilt.config) == config
+
     def test_invalid_jobs_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError, match="jobs"):
             run_campaign(["E2"], "tiny", output_dir=tmp_path, jobs=0)

@@ -1,0 +1,126 @@
+"""Tests of strict-JSON emission and atomic artifact writes (repro.jsonio)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import jsonio
+from repro.api import PipelineConfig, RunResult
+from repro.api.config import _spec_from_dict, _spec_to_dict
+from repro.workloads.spec import WorkloadSpec
+
+
+class TestSanitize:
+    def test_non_finite_floats_become_null(self):
+        payload = {
+            "inf": math.inf,
+            "ninf": -math.inf,
+            "nan": math.nan,
+            "fine": 1.5,
+            "nested": [math.inf, {"deep": math.nan}],
+            "ints": 7,
+            "text": "x",
+        }
+        clean = jsonio.sanitize(payload)
+        assert clean["inf"] is None
+        assert clean["ninf"] is None
+        assert clean["nan"] is None
+        assert clean["fine"] == 1.5
+        assert clean["nested"] == [None, {"deep": None}]
+        assert clean["ints"] == 7 and clean["text"] == "x"
+
+    def test_dumps_is_strict(self):
+        text = jsonio.dumps({"m": math.inf})
+        # parse_constant fires only on Infinity/-Infinity/NaN tokens: strict
+        # output must never contain them.
+        parsed = json.loads(text, parse_constant=pytest.fail)
+        assert parsed == {"m": None}
+
+    def test_tuples_serialise_as_lists(self):
+        assert json.loads(jsonio.dumps({"t": (1, 2)})) == {"t": [1, 2]}
+
+
+class TestAtomicWrite:
+    def test_write_and_replace(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        jsonio.write_json_atomic(target, {"v": 1})
+        jsonio.write_json_atomic(target, {"v": 2})
+        assert json.loads(target.read_text()) == {"v": 2}
+        # No temp litter left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+
+    def test_mode_matches_plain_writes(self, tmp_path):
+        # mkstemp's 0600 must not leak through: artifacts stay as readable
+        # as the Path.write_text files they replaced (umask-relative).
+        import os
+
+        umask = os.umask(0)
+        os.umask(umask)
+        target = jsonio.write_json_atomic(tmp_path / "artifact.json", {"v": 1})
+        assert (target.stat().st_mode & 0o777) == 0o666 & ~umask
+
+    def test_failed_write_leaves_no_temp_file(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        with pytest.raises(TypeError):
+            jsonio.write_json_atomic(target, {"bad": object()})
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestInfeasibleRunResultRoundTrip:
+    def _infeasible_result(self) -> RunResult:
+        # An infeasible run whose metrics carry the non-finite values the old
+        # allow_nan=True emission wrote as Infinity/NaN tokens.
+        return RunResult(
+            label="infeasible",
+            config=PipelineConfig.synthetic(WorkloadSpec(task_count=4)).to_dict(),
+            balancer="paper",
+            feasible=False,
+            violations=["processor 'P1': overlap"],
+            metrics={
+                "makespan_before": 10.0,
+                "makespan_after": math.inf,
+                "total_gain": -math.inf,
+                "fit_error": math.nan,
+            },
+        )
+
+    def test_round_trip_through_strict_json(self):
+        result = self._infeasible_result()
+        text = jsonio.dumps(result.to_dict())
+        payload = json.loads(text, parse_constant=pytest.fail)
+        rebuilt = RunResult.from_dict(payload)
+        # The verdict lives in the explicit fields, not in the numbers.
+        assert rebuilt.feasible is False
+        assert rebuilt.violations == result.violations
+        assert rebuilt.metrics["makespan_after"] is None
+        assert rebuilt.metrics["fit_error"] is None
+        assert rebuilt.metrics["makespan_before"] == 10.0
+
+    def test_plain_dumps_would_have_emitted_non_standard_tokens(self):
+        # Documents the bug being fixed: the default emission is non-standard.
+        text = json.dumps(self._infeasible_result().to_dict())
+        assert "Infinity" in text
+
+
+class TestSpecCapacityRoundTrip:
+    def test_unbounded_capacity_serialises_as_null(self):
+        spec = WorkloadSpec()
+        data = _spec_to_dict(spec)
+        assert data["memory_capacity"] is None
+        assert json.loads(jsonio.dumps(data), parse_constant=pytest.fail)
+        assert _spec_from_dict(data) == spec
+
+    def test_finite_capacity_is_preserved(self):
+        spec = WorkloadSpec(memory_capacity=42.0)
+        data = _spec_to_dict(spec)
+        assert data["memory_capacity"] == 42.0
+        assert _spec_from_dict(data) == spec
+
+    def test_pipeline_config_echo_is_strict_json(self):
+        config = PipelineConfig.synthetic(WorkloadSpec(task_count=4))
+        text = jsonio.dumps(config.to_dict())
+        rebuilt = PipelineConfig.from_dict(json.loads(text, parse_constant=pytest.fail))
+        assert rebuilt == config

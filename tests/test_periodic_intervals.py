@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import SchedulingError
 from repro.scheduling.periodic_intervals import (
+    EPSILON,
     circular_overlap,
     clearing_shift,
     pattern_offsets,
@@ -103,6 +104,61 @@ class TestPatternsAndSplitting:
     def test_patterns_conflict(self):
         assert patterns_conflict([(0, 2)], [(1, 2)], 10)
         assert not patterns_conflict([(0, 2)], [(5, 2)], 10)
+
+
+class TestSplitWrappingBoundary:
+    """Regression tests of the shared clamp/wrap rule at the period boundary.
+
+    The rule (shared with circular_overlap via EPSILON): an interval crossing
+    the boundary always wraps, and no emitted piece is shorter than EPSILON.
+    Previously an interval ending within EPSILON *past* the period was
+    clamped while one ending just beyond wrapped — two different rules within
+    one epsilon of each other.
+    """
+
+    def test_end_within_epsilon_past_period_clamps(self):
+        # The wrap sliver (length EPSILON/2) is below the resolution of the
+        # overlap tests, so it is dropped, not emitted.
+        pieces = split_wrapping(8.0, 2.0 + EPSILON / 2, 10.0)
+        assert pieces == [(8.0, 10.0)]
+
+    def test_end_beyond_epsilon_past_period_wraps(self):
+        pieces = split_wrapping(8.0, 2.0 + 3 * EPSILON, 10.0)
+        assert len(pieces) == 2
+        assert pieces[0] == (8.0, 10.0)
+        begin, end = pieces[1]
+        assert begin == 0.0
+        assert end == pytest.approx(3 * EPSILON)
+
+    def test_sub_epsilon_head_piece_is_dropped_too(self):
+        # Same rule on the other side of the boundary: a head piece shorter
+        # than EPSILON never appears.
+        pieces = split_wrapping(10.0 - EPSILON / 2, 3.0, 10.0)
+        assert len(pieces) == 1
+        begin, end = pieces[0]
+        assert begin == 0.0
+        assert end == pytest.approx(3.0 - EPSILON / 2)
+
+    def test_exact_boundary_end_stays_single_piece(self):
+        assert split_wrapping(8.0, 2.0, 10.0) == [(8.0, 10.0)]
+
+    @given(
+        st.floats(0, 30, allow_nan=False),
+        st.floats(0, 12, allow_nan=False),
+    )
+    def test_pieces_follow_the_shared_rule(self, start, length):
+        period = 10.0
+        pieces = split_wrapping(start, length, period)
+        # Every emitted piece is linear, inside [0, period], and longer than
+        # EPSILON; the total measure matches the interval (capped at one
+        # period) up to the sub-epsilon residue the rule may drop.
+        total = 0.0
+        for begin, end in pieces:
+            assert 0.0 <= begin < end <= period
+            assert end - begin > EPSILON
+            total += end - begin
+        expected = min(length, period) if length > EPSILON else 0.0
+        assert total == pytest.approx(expected, abs=3 * EPSILON)
 
     @given(st.integers(1, 6), st.integers(0, 40))
     def test_strictly_periodic_task_never_self_conflicts(self, period_factor, start_times_ten):

@@ -1,0 +1,235 @@
+"""Tests of the scenario registry and the differential sweep harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import PipelineConfig, balance
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    SCENARIO_PRESETS,
+    SWEEP_SCHEMA,
+    SweepArtifact,
+    SweepCell,
+    available_scenarios,
+    execute_cell,
+    grid_fingerprint,
+    plan_sweep,
+    run_sweep,
+    scenario_info,
+    scenario_scale,
+    sweep_pipeline_configs,
+    workload_digest,
+)
+from repro.workloads.generator import scheduled_workload
+
+#: Structural digest of the entire tiny scenario grid.  This value changing
+#: means the generated workloads changed — deliberate generator/scenario
+#: edits must re-pin it; anything else is a determinism regression (seed
+#: derivation, RNG consumption order, dict ordering, ...).
+GOLDEN_TINY_FINGERPRINT = "4ced4a0386a3bae4"
+
+#: A cheap scenario/balancer subset used where the full grid would be slow.
+FAST_BALANCERS = ("paper", "no_balancing", "greedy_load")
+
+
+class TestRegistry:
+    def test_families_are_registered(self):
+        names = available_scenarios()
+        assert len(names) >= 8
+        assert names == tuple(sorted(names))
+
+    def test_every_scenario_generates_schedules_and_balances_tiny(self):
+        # Completeness gate: every registered family must produce a workload
+        # that the initial scheduler places and the paper heuristic balances
+        # at the tiny scale (seed index 0).
+        for name in available_scenarios():
+            spec = scenario_info(name).workload_spec("tiny", 0)
+            spec.validate()
+            workload, schedule = scheduled_workload(spec)
+            assert len(workload.graph) >= 1, name
+            outcome = balance(schedule, "paper")
+            assert outcome.feasible, (name, outcome.violations)
+
+    def test_per_seed_determinism(self):
+        spec = scenario_info("fork_join_scatter")
+        first = spec.workload("tiny", 1)
+        second = spec.workload("tiny", 1)
+        assert workload_digest(first) == workload_digest(second)
+        assert first.spec == second.spec
+
+    def test_indices_and_families_get_distinct_streams(self):
+        fork = scenario_info("fork_join_scatter")
+        assert fork.workload_spec("tiny", 0).seed != fork.workload_spec("tiny", 1).seed
+        other = scenario_info("sensor_fusion_fanin")
+        assert fork.workload_spec("tiny", 0).seed != other.workload_spec("tiny", 0).seed
+
+    def test_scale_is_applied(self):
+        for preset, scale in SCENARIO_PRESETS.items():
+            spec = scenario_info("layered_baseline").workload_spec(preset, 0)
+            assert spec.task_count == scale.task_count
+            assert spec.processor_count == scale.processor_count
+        assert scenario_scale("tiny").seeds >= 2
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scenario_info("nope")
+        with pytest.raises(ConfigurationError):
+            scenario_scale("huge")
+        with pytest.raises(ConfigurationError):
+            scenario_info("layered_baseline").workload_spec("tiny", -1)
+
+    def test_golden_grid_fingerprint(self):
+        assert grid_fingerprint("tiny") == GOLDEN_TINY_FINGERPRINT
+
+
+class TestPlanning:
+    def test_grid_covers_every_cell(self):
+        cells = plan_sweep("tiny")
+        scale = scenario_scale("tiny")
+        from repro.api import available_balancers
+
+        expected = len(available_scenarios()) * scale.seeds * len(available_balancers())
+        assert len(cells) == expected
+        assert len(set(cells)) == len(cells)
+
+    def test_oracle_sampling_hits_paper_cells_only(self):
+        cells = plan_sweep("tiny", balancers=("paper", "greedy_load"), oracle_stride=2)
+        paper = [cell for cell in cells if cell.balancer == "paper"]
+        assert [cell.oracle for cell in paper] == [
+            index % 2 == 0 for index in range(len(paper))
+        ]
+        assert not any(cell.oracle for cell in cells if cell.balancer != "paper")
+
+    def test_plan_validates_names_up_front(self):
+        with pytest.raises(ConfigurationError):
+            plan_sweep("tiny", scenarios=("nope",))
+        with pytest.raises(ConfigurationError):
+            plan_sweep("tiny", balancers=("nope",))
+        with pytest.raises(ConfigurationError):
+            plan_sweep("tiny", oracle_stride=-1)
+
+
+class TestSweep:
+    def test_cell_record_shape(self):
+        record = execute_cell(SweepCell("prime_ladder", 0, "paper", "tiny", True))
+        assert record["status"] == "ok"
+        assert record["findings"] == []
+        assert record["feasible"] is True
+        assert record["seed"] == scenario_info("prime_ladder").workload_spec("tiny", 0).seed
+        assert record["makespan_after"] <= record["makespan_before"] + 1e-9
+
+    def test_differential_sweep_snapshot(self, tmp_path):
+        # Golden end-to-end snapshot on a cheap sub-grid: every cell ok, zero
+        # findings, and the artifact survives strict JSON + a disk round trip.
+        artifact = run_sweep(
+            "tiny",
+            scenarios=("prime_ladder", "single_processor"),
+            balancers=FAST_BALANCERS,
+        )
+        assert artifact.ok
+        counts = artifact.counts
+        assert counts["cells"] == 2 * scenario_scale("tiny").seeds * len(FAST_BALANCERS)
+        assert counts["ok"] == counts["cells"]
+        assert counts["findings"] == 0
+
+        path = artifact.save(tmp_path / "sweep.json")
+        parsed = json.loads(path.read_text(), parse_constant=pytest.fail)
+        assert parsed["schema"] == SWEEP_SCHEMA
+        reloaded = SweepArtifact.load(path)
+        assert reloaded.counts == counts
+        assert reloaded.cells == artifact.cells
+
+    def test_sweep_is_deterministic_modulo_timing(self):
+        def stripped(artifact):
+            return [
+                {k: v for k, v in cell.items() if k != "seconds"}
+                for cell in artifact.cells
+            ]
+
+        first = run_sweep("tiny", scenarios=("prime_ladder",), balancers=("paper",))
+        second = run_sweep("tiny", scenarios=("prime_ladder",), balancers=("paper",))
+        assert stripped(first) == stripped(second)
+
+    def test_findings_fail_the_artifact(self):
+        artifact = SweepArtifact.now("tiny")
+        assert artifact.ok
+        artifact.findings.append(
+            {"scenario": "x", "index": 0, "balancer": "paper", "invariant": "never_worse", "detail": "d"}
+        )
+        assert not artifact.ok
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepArtifact.from_dict({"schema": "repro-sweep/2"})
+
+
+class TestCampaignIntegration:
+    def test_sweep_pipeline_configs_round_trip(self):
+        configs = sweep_pipeline_configs(
+            "tiny", scenarios=("prime_ladder",), balancers=("paper", "no_balancing")
+        )
+        assert len(configs) == scenario_scale("tiny").seeds * 2
+        for config in configs:
+            rebuilt = PipelineConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+            assert rebuilt == config
+
+    def test_sweep_grid_runs_through_the_campaign_pool(self, tmp_path):
+        from repro.experiments.campaign import run_pipeline_campaign
+
+        configs = sweep_pipeline_configs(
+            "tiny", scenarios=("single_processor",), balancers=("no_balancing",)
+        )
+        summary = run_pipeline_campaign(
+            configs, output_dir=tmp_path / "camp", jobs=1, label="sweep"
+        )
+        assert summary.ok
+        assert len(summary.records) == len(configs)
+        manifest = json.loads(open(summary.records[0]["manifest"]).read())
+        assert manifest["run_result"]["schema"] == "repro-run/1"
+
+
+class TestCli:
+    def test_sweep_clean_exit_and_artifact(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "--preset",
+                "tiny",
+                "--scenarios",
+                "prime_ladder",
+                "--balancers",
+                "paper",
+                "no_balancing",
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "finding(s)" in captured.out
+        parsed = json.loads(out.read_text(), parse_constant=pytest.fail)
+        assert parsed["ok"] is True
+
+    def test_sweep_json_output_is_strict(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--scenarios",
+                "single_processor",
+                "--balancers",
+                "no_balancing",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out, parse_constant=pytest.fail)
+        assert payload["schema"] == SWEEP_SCHEMA
+
+    def test_list_mentions_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        assert "prime_ladder" in capsys.readouterr().out
