@@ -108,6 +108,11 @@ class BalanceOutcome:
     #: Underlying result object (:class:`LoadBalanceResult` or
     #: :class:`AssignmentResult`) for consumers needing full detail.
     raw: object | None = None
+    #: The :class:`~repro.scheduling.feasibility.FeasibilityReport` behind
+    #: ``feasible``/``violations`` (``check_memory=False`` semantics).  A
+    #: runtime handle like ``raw``: consumers such as the conformance oracle
+    #: reuse it instead of re-running the checker.
+    feasibility_report: object | None = None
 
     # -- headline numbers ---------------------------------------------------
     @property
@@ -277,9 +282,9 @@ def balance(
 # ----------------------------------------------------------------------
 # Adapters
 # ----------------------------------------------------------------------
-def _verdict(schedule: Schedule) -> tuple[bool, list[str]]:
+def _verdict(schedule: Schedule):
     report = check_schedule(schedule, check_memory=False)
-    return report.is_feasible, report.all_violations
+    return report.is_feasible, report.all_violations, report
 
 
 def _heuristic_outcome(name: str, result: LoadBalanceResult) -> BalanceOutcome:
@@ -296,13 +301,14 @@ def _heuristic_outcome(name: str, result: LoadBalanceResult) -> BalanceOutcome:
         }
         for decision in result.decisions
     ]
-    feasible, violations = _verdict(result.balanced_schedule)
+    feasible, violations, report = _verdict(result.balanced_schedule)
     return BalanceOutcome(
         balancer=name,
         initial_schedule=result.initial_schedule,
         schedule=result.balanced_schedule,
         feasible=feasible,
         violations=violations,
+        feasibility_report=report,
         warnings=list(result.warnings),
         trace=trace,
         safety_level=result.safety_level,
@@ -339,6 +345,7 @@ def _assignment_outcome(
         safety_level="assignment",
         info=dict(result.info),
         raw=result,
+        feasibility_report=result.feasibility_report,
     )
 
 

@@ -178,16 +178,42 @@ class VerifyStage:
     enabled: bool = True
     #: Also check per-processor memory capacities.
     check_memory: bool = False
+    #: Replay the balanced schedule in the discrete-event simulator and diff
+    #: the trace against the analytical model (the ``repro-conformance/1``
+    #: report lands in ``RunResult.conformance``).  Runs independently of
+    #: ``enabled`` — the oracle computes its own feasibility verdict.
+    conformance: bool = False
+    #: Hyper-periods the conformance replay covers (≥ 2 exercises the
+    #: repeatability condition).
+    conformance_hyper_periods: int = 2
+
+    def __post_init__(self) -> None:
+        if self.conformance_hyper_periods < 1:
+            raise ConfigurationError(
+                f"conformance_hyper_periods must be >= 1, got "
+                f"{self.conformance_hyper_periods}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
-        return {"enabled": self.enabled, "check_memory": self.check_memory}
+        return {
+            "enabled": self.enabled,
+            "check_memory": self.check_memory,
+            "conformance": self.conformance,
+            "conformance_hyper_periods": self.conformance_hyper_periods,
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "VerifyStage":
-        _check_keys(data, ("enabled", "check_memory"), "verify stage")
+        _check_keys(
+            data,
+            ("enabled", "check_memory", "conformance", "conformance_hyper_periods"),
+            "verify stage",
+        )
         return cls(
             enabled=bool(data.get("enabled", True)),
             check_memory=bool(data.get("check_memory", False)),
+            conformance=bool(data.get("conformance", False)),
+            conformance_hyper_periods=int(data.get("conformance_hyper_periods", 2)),
         )
 
 
@@ -298,6 +324,23 @@ class PipelineConfig:
             report=ReportStage.from_dict(data.get("report") or {}),
             label=str(data.get("label", "")),
         )
+
+    def with_conformance(self, *, hyper_periods: int | None = None) -> "PipelineConfig":
+        """Copy of the config with the conformance oracle forced on.
+
+        The ``repro-lb conform`` verb uses this to re-run any serialised
+        config under the oracle without editing the file.
+        """
+        verify = dataclasses.replace(
+            self.verify,
+            conformance=True,
+            conformance_hyper_periods=(
+                self.verify.conformance_hyper_periods
+                if hyper_periods is None
+                else hyper_periods
+            ),
+        )
+        return dataclasses.replace(self, verify=verify)
 
     # -- front-end constructors --------------------------------------------
     @classmethod

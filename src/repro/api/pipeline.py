@@ -60,6 +60,9 @@ class RunResult:
     workload_description: str = ""
     #: Rendered textual report (what the CLI prints).
     report: str = ""
+    #: ``repro-conformance/1`` report of the balanced schedule (``None`` when
+    #: the conformance oracle was not enabled).
+    conformance: dict[str, Any] | None = None
     schema: str = RUN_SCHEMA
     #: Runtime handles, not serialised.
     initial_schedule: Schedule | None = None
@@ -68,7 +71,7 @@ class RunResult:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe serialisation (schedules and outcome handles excluded)."""
-        return {
+        data = {
             "schema": self.schema,
             "label": self.label,
             "config": dict(self.config),
@@ -83,6 +86,9 @@ class RunResult:
             "workload_description": self.workload_description,
             "report": self.report,
         }
+        if self.conformance is not None:
+            data["conformance"] = dict(self.conformance)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
@@ -105,6 +111,9 @@ class RunResult:
             timings={k: float(v) for k, v in (data.get("timings") or {}).items()},
             workload_description=str(data.get("workload_description", "")),
             report=str(data.get("report", "")),
+            conformance=(
+                dict(data["conformance"]) if data.get("conformance") is not None else None
+            ),
             schema=schema,
         )
 
@@ -206,6 +215,28 @@ class Pipeline:
             feasible = None
             violations = []
 
+        # -- conformance ----------------------------------------------------
+        conformance: dict[str, Any] | None = None
+        if config.verify.conformance:
+            from repro.conformance import ConformanceOptions, check_conformance
+
+            from repro.scheduling.feasibility import FeasibilityReport
+
+            with timer.stage("conformance"):
+                precomputed = outcome.feasibility_report
+                conformance = check_conformance(
+                    outcome.schedule,
+                    ConformanceOptions(
+                        hyper_periods=config.verify.conformance_hyper_periods
+                    ),
+                    label=config.label or config.balance.balancer,
+                    feasibility=(
+                        precomputed
+                        if isinstance(precomputed, FeasibilityReport)
+                        else None
+                    ),
+                ).to_dict()
+
         # -- report ---------------------------------------------------------
         report_text = ""
         if config.report.enabled:
@@ -245,6 +276,7 @@ class Pipeline:
             timings=timings,
             workload_description=workload_description,
             report=report_text,
+            conformance=conformance,
             initial_schedule=initial,
             balanced_schedule=outcome.schedule,
             outcome=outcome,

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.core.blocks import Block
 from repro.errors import ConfigurationError
 from repro.scheduling.communications import synthesize_communications
-from repro.scheduling.feasibility import check_schedule
+from repro.scheduling.feasibility import FeasibilityReport, check_schedule
 from repro.scheduling.schedule import Schedule
 
 __all__ = ["BlockWeights", "block_weights", "materialize_assignment", "AssignmentResult"]
@@ -115,6 +115,9 @@ class AssignmentResult:
     #: Block id -> (label, original processor), recorded at build time so
     #: consumers can describe the assignment without re-building the blocks.
     block_origins: dict[int, tuple[str, str]] = field(default_factory=dict)
+    #: Full report behind the verdict (kept so downstream consumers — e.g.
+    #: the conformance oracle — never re-run the checker).
+    feasibility_report: FeasibilityReport | None = None
 
     @classmethod
     def build(
@@ -148,6 +151,7 @@ class AssignmentResult:
             block_origins={
                 block.id: (block.label, block.processor) for block in blocks
             },
+            feasibility_report=report,
         )
 
     def summary(self) -> str:

@@ -34,6 +34,15 @@ prints the :class:`~repro.api.RunResult` report (or its JSON form):
     ``repro-sweep/1`` artifact (non-zero exit on any finding — the CI
     scenario gate).
 
+``repro-lb conform [--paper | --config file.json | grid flags]``
+    The simulation-conformance oracle: replay schedules in the
+    discrete-event simulator and structurally diff the traces against the
+    analytical model (``repro-conformance/1`` reports).  Single-run mode
+    (``--paper``/``--config``) exits non-zero when the replay diverges from
+    the schedule; grid mode replays every cell of the scenario grid and
+    exits non-zero on any simulator/model contradiction (the CI
+    conformance gate).
+
 ``repro-lb list``
     Print the registered balancers, cost policies, scenarios, experiments
     and campaign presets.
@@ -286,6 +295,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: 3; 0 disables)",
     )
     sweep.add_argument(
+        "--conformance-stride",
+        type=int,
+        default=0,
+        help="replay every Nth cell in the simulation-conformance oracle "
+        "(default: 0 = off; see 'repro-lb conform' for the full-grid gate)",
+    )
+    sweep.add_argument(
         "--output",
         metavar="PATH",
         help="write the artifact here (a directory gets SWEEP_<timestamp>.json)",
@@ -294,11 +310,87 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the artifact JSON to stdout"
     )
 
+    conform = subparsers.add_parser(
+        "conform",
+        help="simulation-conformance oracle (repro-conformance/1 reports)",
+        description="Replay schedules in the discrete-event simulator and "
+        "cross-check the traces against the analytical model.  With --config "
+        "or --paper, one pipeline run is conformance-checked and the exit "
+        "code reflects its 'conforms' verdict; otherwise the whole scenario "
+        "grid is swept with the deep tier on every cell and any "
+        "simulator/model contradiction exits non-zero.",
+    )
+    conform.add_argument(
+        "--config",
+        metavar="PATH",
+        help="conformance-check one serialised pipeline config (repro-pipeline/1)",
+    )
+    conform.add_argument(
+        "--paper",
+        action="store_true",
+        help="conformance-check the paper's worked example",
+    )
+    conform.add_argument(
+        "--preset",
+        choices=sorted(SCENARIO_PRESETS),
+        default="tiny",
+        help="scenario grid scale for grid mode (default: tiny)",
+    )
+    conform.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="NAME",
+        choices=list(available_scenarios()),
+        help="scenario families to check (default: every registered family)",
+    )
+    conform.add_argument(
+        "--balancers",
+        nargs="+",
+        metavar="NAME",
+        choices=list(available_balancers()),
+        help="balancers to run (default: every registered balancer)",
+    )
+    conform.add_argument(
+        "--hyper-periods",
+        type=int,
+        default=2,
+        help="hyper-periods each conformance replay covers (default: 2)",
+    )
+    conform.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool width for grid mode (default: one worker per CPU; "
+        "1 runs inline)",
+    )
+    conform.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the grid-mode sweep artifact here "
+        "(a directory gets SWEEP_<timestamp>.json)",
+    )
+    conform.add_argument(
+        "--json", action="store_true", help="emit machine-readable output"
+    )
+
     subparsers.add_parser(
         "list",
         help="list registered balancers, policies, scenarios, experiments and presets",
     )
     return parser
+
+
+def _load_pipeline_config(path: Path, verb: str) -> PipelineConfig | int:
+    """Load a serialised pipeline config, or return the error exit code."""
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        print(f"repro-lb {verb}: error: cannot read {path}: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"repro-lb {verb}: error: {path} is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    return PipelineConfig.from_dict(data)
 
 
 def _emit(result, as_json: bool) -> int:
@@ -316,16 +408,9 @@ def _run_example(args: argparse.Namespace) -> int:
 
 
 def _run_config(args: argparse.Namespace) -> int:
-    path = Path(args.config)
-    try:
-        data = json.loads(path.read_text())
-    except OSError as error:
-        print(f"repro-lb run: error: cannot read {path}: {error}", file=sys.stderr)
-        return 2
-    except json.JSONDecodeError as error:
-        print(f"repro-lb run: error: {path} is not valid JSON: {error}", file=sys.stderr)
-        return 2
-    config = PipelineConfig.from_dict(data)
+    config = _load_pipeline_config(Path(args.config), "run")
+    if isinstance(config, int):
+        return config
     result = Pipeline(config).run()
     return _emit(result, args.json)
 
@@ -447,6 +532,80 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_conform(args: argparse.Namespace) -> int:
+    if args.config and args.paper:
+        print(
+            "repro-lb conform: error: --config and --paper are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.config or args.paper:
+        # Single-run mode: the exit code reflects the strict 'conforms'
+        # verdict — did the replay match the schedule's own promises?
+        from repro.conformance import ConformanceReport
+
+        if args.paper:
+            config = PipelineConfig.paper_example()
+        else:
+            config = _load_pipeline_config(Path(args.config), "conform")
+            if isinstance(config, int):
+                return config
+        config = config.with_conformance(hyper_periods=args.hyper_periods)
+        result = Pipeline(config).run()
+        report = ConformanceReport.from_dict(result.conformance)
+        if args.json:
+            print(jsonio.dumps(result.conformance))
+        else:
+            print(report.render())
+        if not report.conforms:
+            print(
+                f"repro-lb conform: {report.divergences} divergence(s) between the "
+                "schedule and its replay",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    # Grid mode: every cell of the scenario grid runs the deep tier; the
+    # exit code reflects simulator/model agreement across the whole grid.
+    artifact = run_sweep(
+        args.preset,
+        tuple(args.scenarios) if args.scenarios else None,
+        tuple(args.balancers) if args.balancers else None,
+        jobs=args.jobs,
+        oracle_stride=0,
+        conformance_stride=1,
+        conformance_hyper_periods=args.hyper_periods,
+    )
+    written = artifact.save(args.output) if args.output else None
+    if args.json:
+        print(jsonio.dumps(artifact.to_dict()))
+    else:
+        counts = artifact.counts
+        # Only ok cells carry a report dict; unschedulable/errored ones keep
+        # the boolean request flag and were never replayed.
+        checked = sum(
+            1 for cell in artifact.cells if isinstance(cell.get("conformance"), dict)
+        )
+        print(f"conform: preset {artifact.preset} ({artifact.created})")
+        print(artifact.render())
+        print()
+        print(
+            f"{counts['cells']} cell(s): {counts['ok']} ok, "
+            f"{counts['unschedulable']} unschedulable, {counts['error']} error(s); "
+            f"{checked} conformance replay(s), {counts['findings']} finding(s)"
+        )
+        if written is not None:
+            print(f"artifact written to {written}")
+    if not artifact.ok:
+        print(
+            f"repro-lb conform: {len(artifact.findings)} finding(s)", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     artifact = run_sweep(
         args.preset,
@@ -454,6 +613,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         tuple(args.balancers) if args.balancers else None,
         jobs=args.jobs,
         oracle_stride=args.oracle_stride,
+        conformance_stride=args.conformance_stride,
     )
     written = None
     if args.output:
@@ -524,6 +684,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "random": _run_random,
         "bench": _run_bench,
         "sweep": _run_sweep,
+        "conform": _run_conform,
         "list": _run_list,
     }
     handler = handlers.get(args.command)

@@ -1,0 +1,32 @@
+"""Simulation-conformance oracle.
+
+The discrete-event simulator is an *independent* executable semantics for the
+very same schedules the analytical model reasons about.  This package promotes
+it to a first-class oracle: :func:`check_conformance` replays a schedule under
+the paper's analytic assumptions and structurally diffs the simulated trace
+against the model — start times, busy intervals, steady occupancy (through the
+conflict engine's own :class:`~repro.core.occupancy.OccupancyTimeline`),
+communications, dependence order and peak memory — producing a versioned
+``repro-conformance/1`` :class:`ConformanceReport` with per-check verdicts and
+first-divergence pinpointing.
+
+Entry points into the rest of the system:
+
+* ``PipelineConfig.verify.conformance`` surfaces the report inside every
+  :class:`~repro.api.pipeline.RunResult`;
+* the differential sweep's ``conformance_stride`` runs the oracle as a deep
+  tier over sampled grid cells;
+* the ``repro-lb conform`` CLI verb gates single runs on ``conforms`` and the
+  scenario grid on ``consistent`` (non-zero exit on divergence).
+"""
+
+from repro.conformance.oracle import ConformanceOptions, check_conformance
+from repro.conformance.report import CONFORMANCE_SCHEMA, CheckResult, ConformanceReport
+
+__all__ = [
+    "CONFORMANCE_SCHEMA",
+    "CheckResult",
+    "ConformanceOptions",
+    "ConformanceReport",
+    "check_conformance",
+]

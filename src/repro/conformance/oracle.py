@@ -1,0 +1,600 @@
+"""The simulation-conformance oracle.
+
+:func:`check_conformance` replays a :class:`~repro.scheduling.schedule.Schedule`
+through the discrete-event engine under the paper's analytic assumptions
+(:func:`repro.simulation.engine.replay`: fixed communication times, no medium
+contention) and structurally diffs the simulated trace against what the
+analytical model promises:
+
+``verdict_agreement``
+    The feasibility checker and the replay must tell the same story: a
+    feasible schedule replays with no violation, and an infeasible one (for
+    the violation classes a replay can observe — overlaps, precedence,
+    repeatability over ≥ 2 hyper-periods) must *not* replay cleanly.
+``clean_replay``
+    Every timing violation the replay recorded, with its simulated time —
+    the per-event refinement of ``verdict_agreement``.
+``instance_coverage``
+    Every ``(task, index, repetition)`` executes exactly once.
+``start_times``
+    Each instance starts at its strictly periodic time
+    (``start + repetition × H``) and runs for exactly its WCET.
+``busy_intervals``
+    Per-processor executed intervals equal the unrolled schedule
+    (:meth:`~repro.scheduling.schedule.Schedule.busy_intervals`).
+``steady_occupancy``
+    The circular busy pieces of the first simulated hyper-period, pushed
+    through an :class:`~repro.core.occupancy.OccupancyTimeline`, equal the
+    pieces of the schedule's steady patterns — the conflict engine's own
+    normalisation is the comparator, so the oracle shares its interval
+    semantics with the balancer it audits.
+``communications``
+    Simulated transfers match the schedule's
+    :class:`~repro.scheduling.schedule.CommOperation` records one-for-one
+    (missing, unmodelled, or time-shifted transfers all diverge).
+``dependence_order``
+    The simulated trace itself never contradicts the instance dependence
+    graph: producers complete (and cross-processor data arrives) before
+    their consumers start.
+``memory``
+    The simulated peak (static + buffers) stays within the analytic
+    worst-case bound (:func:`repro.metrics.memory.buffered_memory_bound`,
+    scaled by the number of concurrently live hyper-periods) and no buffered
+    sample leaks; only checked on clean replays, where the analytic bound's
+    premises hold.
+
+Two verdicts come out of the diff (both serialised in the report):
+
+* ``conforms`` — the replay matched the schedule's own promises exactly.  A
+  corrupted schedule never conforms; ``repro-lb conform --config`` gates on
+  this.
+* ``consistent`` — the simulator and the analytical model agree: either the
+  schedule is feasible and conforms, or it is infeasible and the replay
+  diverged exactly as predicted.  The sweep's deep tier and the grid-mode
+  ``repro-lb conform`` gate on this (a timing-blind baseline producing an
+  infeasible schedule is a datum; the simulator *disagreeing* with the
+  checker about it would be a bug).
+
+Every mismatch carries the simulated time at which it bites; the earliest
+one is pinned as the report's ``first_divergence``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.conformance.report import CheckResult, ConformanceReport
+from repro.core.occupancy import OccupancyTimeline
+from repro.errors import ConfigurationError
+from repro.metrics.memory import buffered_memory_bound
+from repro.scheduling.communications import synthesize_communications
+from repro.scheduling.feasibility import FeasibilityReport, check_schedule
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.unrolling import instance_edges, unrolled_instances
+from repro.simulation.engine import SimulationResult, replay
+from repro.simulation.events import ViolationKind
+
+__all__ = ["ConformanceOptions", "check_conformance"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConformanceOptions:
+    """Options of :func:`check_conformance`."""
+
+    #: Hyper-periods to replay (≥ 2 exercises the repeatability condition).
+    hyper_periods: int = 2
+    #: Numeric tolerance of every time/size comparison (the scheduling
+    #: substrate's own resolution).
+    tolerance: float = 1e-9
+    #: Mismatches kept per check in the serialised report (the full count is
+    #: always recorded in ``mismatch_count``).
+    max_mismatches: int = 20
+
+
+#: Analytic violation classes a replay can actually observe.  Strict
+#: periodicity is a model-level property of the start-time table — the replay
+#: dispatches whatever table it is given and cannot see it.
+_REPLAY_VISIBLE = ("overlap", "precedence", "repeatability")
+
+
+class _Collector:
+    """Accumulates one check's mismatches (full count, bounded detail).
+
+    The earliest mismatch is tracked separately from the bounded list so the
+    report's first-divergence pinpointing survives truncation.
+    """
+
+    def __init__(self, name: str, options: ConformanceOptions) -> None:
+        self.name = name
+        self.compared = 0
+        self.first: dict[str, object] | None = None
+        self.skip_reason: str | None = None
+        self.detail = ""
+        self._mismatches: list[dict[str, object]] = []
+        self._limit = options.max_mismatches
+        self._count = 0
+
+    def mismatch(self, time: float, where: str, detail: str) -> None:
+        self._count += 1
+        entry = {"time": time, "where": where, "detail": detail}
+        if self.first is None or time < float(self.first["time"]):
+            self.first = entry
+        if len(self._mismatches) < self._limit:
+            self._mismatches.append(entry)
+
+    def result(self) -> CheckResult:
+        if self.skip_reason is not None:
+            return CheckResult(name=self.name, status="skipped", detail=self.skip_reason)
+        return CheckResult(
+            name=self.name,
+            status="fail" if self._count else "pass",
+            compared=self.compared,
+            mismatch_count=self._count,
+            mismatches=self._mismatches,
+            detail=self.detail,
+        )
+
+
+def _timing_violations(result: SimulationResult) -> list:
+    """Replay violations that concern timing (memory overflow is a capacity
+    concern the analytic model accounts for separately)."""
+    return [
+        violation
+        for violation in result.violations
+        if violation.kind is not ViolationKind.MEMORY_OVERFLOW
+    ]
+
+
+def _check_verdict_agreement(
+    options: ConformanceOptions,
+    feasibility: FeasibilityReport,
+    result: SimulationResult,
+    clean: bool,
+) -> _Collector:
+    check = _Collector("verdict_agreement", options)
+    check.compared = 1
+    if feasibility.is_feasible:
+        if not clean:
+            first = _timing_violations(result)[0]
+            check.mismatch(
+                first.time,
+                f"{first.task}#{first.index} on {first.processor}",
+                "the analytical model claims feasibility but the replay recorded "
+                f"{len(_timing_violations(result))} timing violation(s); first: {first}",
+            )
+        check.detail = "analytically feasible"
+        return check
+    visible = [
+        kind
+        for kind, messages in (
+            ("overlap", feasibility.overlap_violations),
+            ("precedence", feasibility.precedence_violations),
+            ("repeatability", feasibility.repeatability_violations),
+        )
+        if messages and (kind != "repeatability" or options.hyper_periods >= 2)
+    ]
+    if visible and clean:
+        check.mismatch(
+            0.0,
+            "verdict",
+            "the analytical model reports "
+            + ", ".join(f"{kind} violations" for kind in visible)
+            + " but the replay executed cleanly",
+        )
+        check.detail = "analytically infeasible"
+        return check
+    check.detail = (
+        "analytically infeasible; replay diverged as predicted"
+        if visible
+        else "analytically infeasible for model-level constraints only "
+        "(invisible to a replay)"
+    )
+    return check
+
+
+def _check_clean_replay(
+    options: ConformanceOptions, result: SimulationResult
+) -> _Collector:
+    check = _Collector("clean_replay", options)
+    violations = _timing_violations(result)
+    check.compared = len(result.trace.records)
+    for violation in violations:
+        check.mismatch(
+            violation.time,
+            f"{violation.task}#{violation.index} on {violation.processor} "
+            f"(rep {violation.repetition})",
+            f"{violation.kind.value}: {violation.detail}",
+        )
+    return check
+
+
+def _check_instance_coverage(
+    options: ConformanceOptions, schedule: Schedule, result: SimulationResult
+) -> _Collector:
+    check = _Collector("instance_coverage", options)
+    hyper_period = schedule.graph.hyper_period
+    grouped = result.trace.records_by_key()
+    expected = {
+        (task, index, repetition)
+        for task, index in unrolled_instances(schedule.graph)
+        for repetition in range(result.options.hyper_periods)
+    }
+    check.compared = len(expected)
+    for task, index, repetition in sorted(expected):
+        planned = schedule.instance(task, index).start + repetition * hyper_period
+        records = grouped.get((task, index, repetition), [])
+        if len(records) != 1:
+            check.mismatch(
+                planned,
+                f"{task}#{index} (rep {repetition})",
+                f"executed {len(records)} time(s), expected exactly once",
+            )
+    for key in sorted(set(grouped) - expected):
+        records = grouped[key]
+        check.mismatch(
+            records[0].actual_start,
+            f"{key[0]}#{key[1]} (rep {key[2]})",
+            "executed but not part of the unrolled schedule",
+        )
+    return check
+
+
+def _check_start_times(
+    options: ConformanceOptions, schedule: Schedule, result: SimulationResult
+) -> _Collector:
+    check = _Collector("start_times", options)
+    tol = options.tolerance
+    hyper_period = schedule.graph.hyper_period
+    for record in result.trace.records:
+        check.compared += 1
+        instance = schedule.instance(record.task, record.index)
+        planned = instance.start + record.repetition * hyper_period
+        if abs(record.actual_start - planned) > tol:
+            check.mismatch(
+                planned,
+                record.label,
+                f"started at {record.actual_start:g}, scheduled at {planned:g} "
+                f"(drift {record.actual_start - planned:+g})",
+            )
+        duration = record.end - record.actual_start
+        if abs(duration - instance.wcet) > tol:
+            check.mismatch(
+                record.actual_start,
+                record.label,
+                f"ran for {duration:g}, WCET is {instance.wcet:g}",
+            )
+        if record.processor != instance.processor:
+            check.mismatch(
+                planned,
+                record.label,
+                f"executed on {record.processor!r}, placed on {instance.processor!r}",
+            )
+    return check
+
+
+def _check_busy_intervals(
+    options: ConformanceOptions, schedule: Schedule, result: SimulationResult
+) -> _Collector:
+    check = _Collector("busy_intervals", options)
+    tol = options.tolerance
+    planned = schedule.busy_intervals(result.options.hyper_periods)
+    simulated = result.trace.busy_intervals()
+    for name in sorted(set(planned) | set(simulated)):
+        want = planned.get(name, [])
+        got = simulated.get(name, [])
+        check.compared += max(len(want), len(got))
+        for index in range(max(len(want), len(got))):
+            if index >= len(want):
+                start, end, label = got[index]
+                check.mismatch(
+                    start, f"{name}: {label}", f"extra busy interval [{start:g},{end:g})"
+                )
+            elif index >= len(got):
+                start, end, label = want[index]
+                check.mismatch(
+                    start, f"{name}: {label}", f"missing busy interval [{start:g},{end:g})"
+                )
+            else:
+                want_start, want_end, label = want[index]
+                got_start, got_end, _ = got[index]
+                if abs(want_start - got_start) > tol or abs(want_end - got_end) > tol:
+                    check.mismatch(
+                        want_start,
+                        f"{name}: {label}",
+                        f"planned [{want_start:g},{want_end:g}), "
+                        f"simulated [{got_start:g},{got_end:g})",
+                    )
+    return check
+
+
+def _check_steady_occupancy(
+    options: ConformanceOptions, schedule: Schedule, result: SimulationResult
+) -> _Collector:
+    check = _Collector("steady_occupancy", options)
+    tol = options.tolerance
+    hyper_period = schedule.graph.hyper_period
+    patterns = schedule.steady_patterns()
+    for name in sorted(schedule.architecture.processor_names):
+        analytic = OccupancyTimeline(hyper_period)
+        for offset, length in patterns.get(name, []):
+            analytic.add(offset, length)
+        simulated = OccupancyTimeline(hyper_period)
+        for record in result.trace.records_for(name):
+            if record.repetition:
+                continue
+            simulated.add(record.actual_start % hyper_period, record.end - record.actual_start)
+        want = analytic.intervals()
+        got = simulated.intervals()
+        check.compared += max(len(want), len(got))
+        for index in range(max(len(want), len(got))):
+            if index >= len(want):
+                begin, end, _ = got[index]
+                check.mismatch(
+                    begin, name, f"extra steady piece [{begin:g},{end:g}) mod {hyper_period:g}"
+                )
+            elif index >= len(got):
+                begin, end, _ = want[index]
+                check.mismatch(
+                    begin, name, f"missing steady piece [{begin:g},{end:g}) mod {hyper_period:g}"
+                )
+            else:
+                want_begin, want_end, _ = want[index]
+                got_begin, got_end, _ = got[index]
+                if abs(want_begin - got_begin) > tol or abs(want_end - got_end) > tol:
+                    check.mismatch(
+                        want_begin,
+                        name,
+                        f"steady piece planned [{want_begin:g},{want_end:g}), "
+                        f"simulated [{got_begin:g},{got_end:g}) mod {hyper_period:g}",
+                    )
+    return check
+
+
+def _model_communications(schedule: Schedule):
+    """The analytic transfer set: the schedule's own records, or a fresh
+    synthesis when none are attached (``Schedule.moved`` drops them)."""
+    if schedule.communications:
+        return schedule.communications, False
+    operations = synthesize_communications(schedule)
+    return operations, bool(operations)
+
+
+def _check_communications(
+    options: ConformanceOptions, schedule: Schedule, result: SimulationResult
+) -> _Collector:
+    check = _Collector("communications", options)
+    tol = options.tolerance
+    hyper_period = schedule.graph.hyper_period
+    operations, synthesised = _model_communications(schedule)
+    model: dict[tuple, list] = {}
+    for op in operations:
+        for repetition in range(result.options.hyper_periods):
+            model.setdefault(
+                (op.producer, op.producer_index, op.consumer, op.consumer_index, repetition),
+                [],
+            ).append(op)
+    simulated: dict[tuple, list] = {}
+    for transfer in result.trace.transfers:
+        simulated.setdefault(
+            (
+                transfer.producer,
+                transfer.producer_index,
+                transfer.consumer,
+                transfer.consumer_index,
+                transfer.repetition,
+            ),
+            [],
+        ).append(transfer)
+    for key in sorted(set(model) | set(simulated)):
+        ops = sorted(model.get(key, []), key=lambda op: op.start)
+        transfers = sorted(simulated.get(key, []), key=lambda tr: tr.start)
+        repetition = key[4]
+        shift = repetition * hyper_period
+        check.compared += max(len(ops), len(transfers))
+        label = f"{key[0]}#{key[1]} -> {key[2]}#{key[3]} (rep {repetition})"
+        for index in range(max(len(ops), len(transfers))):
+            if index >= len(ops):
+                transfer = transfers[index]
+                check.mismatch(
+                    transfer.start,
+                    label,
+                    f"transfer simulated on {transfer.medium!r} "
+                    f"[{transfer.start:g},{transfer.arrival:g}) but absent from the model",
+                )
+            elif index >= len(transfers):
+                op = ops[index]
+                check.mismatch(
+                    op.start + shift,
+                    label,
+                    f"modelled transfer on {op.medium!r} "
+                    f"[{op.start + shift:g},{op.arrival + shift:g}) was never simulated",
+                )
+            else:
+                op, transfer = ops[index], transfers[index]
+                want_start, want_arrival = op.start + shift, op.arrival + shift
+                if (
+                    abs(transfer.start - want_start) > tol
+                    or abs(transfer.arrival - want_arrival) > tol
+                ):
+                    check.mismatch(
+                        want_start,
+                        label,
+                        f"modelled [{want_start:g},{want_arrival:g}), "
+                        f"simulated [{transfer.start:g},{transfer.arrival:g})",
+                    )
+                elif transfer.medium != op.medium:
+                    check.mismatch(
+                        want_start,
+                        label,
+                        f"modelled on {op.medium!r}, simulated on {transfer.medium!r}",
+                    )
+                elif abs(transfer.data_size - op.data_size) > tol:
+                    check.mismatch(
+                        want_start,
+                        label,
+                        f"modelled size {op.data_size:g}, simulated {transfer.data_size:g}",
+                    )
+    if synthesised:
+        check.detail = "model transfers re-synthesised (schedule carried none)"
+    return check
+
+
+def _check_dependence_order(
+    options: ConformanceOptions, schedule: Schedule, result: SimulationResult
+) -> _Collector:
+    check = _Collector("dependence_order", options)
+    tol = options.tolerance
+    grouped = result.trace.records_by_key()
+    arrivals: dict[tuple, float] = {}
+    for transfer in result.trace.transfers:
+        arrivals[
+            (transfer.producer_key, transfer.consumer_key, transfer.repetition)
+        ] = transfer.arrival
+    for edge in instance_edges(schedule.graph):
+        for repetition in range(result.options.hyper_periods):
+            producer = grouped.get((*edge.producer, repetition), [])
+            consumer = grouped.get((*edge.consumer, repetition), [])
+            if len(producer) != 1 or len(consumer) != 1:
+                continue  # instance_coverage already reports this
+            check.compared += 1
+            ready = producer[0].end
+            arrival = arrivals.get((edge.producer, edge.consumer, repetition))
+            if arrival is not None:
+                if arrival < ready - tol:
+                    check.mismatch(
+                        arrival,
+                        f"{edge.label} (rep {repetition})",
+                        f"data arrived at {arrival:g} before its producer "
+                        f"completed at {ready:g}",
+                    )
+                ready = max(ready, arrival)
+            if consumer[0].actual_start < ready - tol:
+                check.mismatch(
+                    consumer[0].actual_start,
+                    f"{edge.label} (rep {repetition})",
+                    f"consumer started at {consumer[0].actual_start:g} before its "
+                    f"input was ready at {ready:g}",
+                )
+    return check
+
+
+def _check_memory(
+    options: ConformanceOptions,
+    schedule: Schedule,
+    result: SimulationResult,
+    clean: bool,
+) -> _Collector:
+    check = _Collector("memory", options)
+    if not clean:
+        check.skip_reason = (
+            "replay diverged from the schedule; the analytic bound's "
+            "premises do not hold"
+        )
+        return check
+    tol = options.tolerance
+    hyper_period = schedule.graph.hyper_period
+    static = schedule.memory_by_processor()
+    single_rep = buffered_memory_bound(schedule)
+    # Samples of repetition r live within [rH, makespan + rH): at most
+    # ceil(makespan / H) repetitions ever buffer concurrently.
+    live = max(1, math.ceil((schedule.makespan - tol) / hyper_period))
+    live = min(live, result.options.hyper_periods)
+    for name in sorted(schedule.architecture.processor_names):
+        check.compared += 1
+        peak = result.memory.peak_totals().get(name, 0.0)
+        floor = static.get(name, 0.0)
+        bound = floor + live * (single_rep.get(name, 0.0) - floor)
+        timeline = result.memory.timelines[name]
+        if peak > bound + tol:
+            over = next(
+                (
+                    time
+                    for time, occupancy in timeline.samples
+                    if occupancy + timeline.static > bound + tol
+                ),
+                result.horizon,
+            )
+            check.mismatch(
+                over,
+                name,
+                f"simulated peak {peak:g} exceeds the analytic bound {bound:g} "
+                f"(static {floor:g} + {live} live repetition(s) of buffers)",
+            )
+        if peak < floor - tol:
+            check.mismatch(
+                0.0,
+                name,
+                f"simulated peak {peak:g} below the static memory {floor:g}",
+            )
+    outstanding = result.memory.outstanding()
+    check.compared += 1
+    if outstanding:
+        check.mismatch(
+            result.horizon,
+            "buffers",
+            f"{outstanding} buffered sample(s) never consumed",
+        )
+    return check
+
+
+def check_conformance(
+    schedule: Schedule,
+    options: ConformanceOptions | None = None,
+    *,
+    label: str = "",
+    feasibility: FeasibilityReport | None = None,
+) -> ConformanceReport:
+    """Replay ``schedule`` and diff the trace against the analytical model.
+
+    ``feasibility`` may carry a precomputed ``check_memory=False`` report of
+    ``schedule`` (every balancer produces one — ``BalanceOutcome.
+    feasibility_report``) so the checker is not re-run; when omitted, the
+    oracle computes its own.
+    """
+    options = options or ConformanceOptions()
+    if options.hyper_periods < 1:
+        raise ConfigurationError("hyper_periods must be >= 1")
+    if options.tolerance < 0:
+        raise ConfigurationError("tolerance must be >= 0")
+    if options.max_mismatches < 1:
+        raise ConfigurationError("max_mismatches must be >= 1")
+
+    if feasibility is None:
+        feasibility = check_schedule(schedule, check_memory=False)
+    result = replay(schedule, hyper_periods=options.hyper_periods)
+    clean = not _timing_violations(result)
+
+    collectors = [
+        _check_verdict_agreement(options, feasibility, result, clean),
+        _check_clean_replay(options, result),
+        _check_instance_coverage(options, schedule, result),
+        _check_start_times(options, schedule, result),
+        _check_busy_intervals(options, schedule, result),
+        _check_steady_occupancy(options, schedule, result),
+        _check_communications(options, schedule, result),
+        _check_dependence_order(options, schedule, result),
+        _check_memory(options, schedule, result, clean),
+    ]
+
+    first: dict[str, object] | None = None
+    for collector in collectors:
+        if collector.first is None:
+            continue
+        if first is None or float(collector.first["time"]) < float(first["time"]):
+            first = {
+                "time": collector.first["time"],
+                "check": collector.name,
+                "where": collector.first["where"],
+                "detail": collector.first["detail"],
+            }
+
+    return ConformanceReport(
+        label=label,
+        hyper_periods=options.hyper_periods,
+        tolerance=options.tolerance,
+        analytical_feasible=feasibility.is_feasible,
+        simulation_clean=clean,
+        checks=[collector.result() for collector in collectors],
+        first_divergence=first,
+    )

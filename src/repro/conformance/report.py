@@ -1,0 +1,209 @@
+"""The ``repro-conformance/1`` report artifact.
+
+A :class:`ConformanceReport` is the structured outcome of one
+simulation-conformance check (:func:`repro.conformance.oracle.check_conformance`):
+per-check verdicts with bounded mismatch lists, the analytical/simulated
+verdict pair, and the *first divergence* — the earliest simulated instant at
+which the discrete-event replay and the analytical model disagree.  Reports
+are pure data: no wall-clock, no environment fingerprint, so the report of a
+given schedule is deterministic and can be pinned as a golden value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CONFORMANCE_SCHEMA", "CheckResult", "ConformanceReport"]
+
+#: Version tag stamped into every serialised conformance report.
+CONFORMANCE_SCHEMA = "repro-conformance/1"
+
+#: Allowed per-check statuses.
+_STATUSES = ("pass", "fail", "skipped")
+
+
+@dataclass(slots=True)
+class CheckResult:
+    """Verdict of one conformance check.
+
+    ``compared`` counts the individual comparisons the check performed (0 for
+    a skipped check); ``mismatches`` carries up to
+    :attr:`~repro.conformance.oracle.ConformanceOptions.max_mismatches`
+    structured divergences (``time``/``where``/``detail``), with
+    ``mismatch_count`` recording the true total so truncation is explicit.
+    """
+
+    name: str
+    status: str
+    compared: int = 0
+    mismatch_count: int = 0
+    mismatches: list[dict[str, Any]] = field(default_factory=list)
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUSES:
+            raise ConfigurationError(
+                f"Unknown check status {self.status!r}; expected one of {_STATUSES}"
+            )
+
+    @property
+    def failed(self) -> bool:
+        """``True`` when the check found at least one divergence."""
+        return self.status == "fail"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "compared": self.compared,
+            "mismatch_count": self.mismatch_count,
+            "mismatches": [dict(entry) for entry in self.mismatches],
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CheckResult":
+        return cls(
+            name=str(data.get("name", "")),
+            status=str(data.get("status", "skipped")),
+            compared=int(data.get("compared", 0)),
+            mismatch_count=int(data.get("mismatch_count", 0)),
+            mismatches=[dict(entry) for entry in data.get("mismatches") or []],
+            detail=str(data.get("detail", "")),
+        )
+
+
+@dataclass(slots=True)
+class ConformanceReport:
+    """Outcome of cross-checking one schedule's replay against the model."""
+
+    label: str
+    hyper_periods: int
+    tolerance: float
+    #: Verdict of the analytical feasibility checker (timing constraints).
+    analytical_feasible: bool
+    #: ``True`` when the replay ran with no timing violation.
+    simulation_clean: bool
+    checks: list[CheckResult] = field(default_factory=list)
+    #: Earliest divergence (``time``/``check``/``where``/``detail``), or
+    #: ``None`` when the replay conforms.
+    first_divergence: dict[str, Any] | None = None
+    schema: str = CONFORMANCE_SCHEMA
+
+    @property
+    def conforms(self) -> bool:
+        """``True`` when no check failed — the replay matched every promise of
+        the schedule exactly."""
+        return not any(check.failed for check in self.checks)
+
+    @property
+    def consistent(self) -> bool:
+        """``True`` when the simulator and the analytical model agree.
+
+        A feasible schedule must conform outright.  An *infeasible* one is
+        expected to diverge (the replay repairs what the model already calls
+        broken), so only the ``verdict_agreement`` check is binding — an
+        infeasible baseline schedule is a datum, not a simulator bug.  The
+        sweep deep tier and the grid-mode ``repro-lb conform`` gate on this.
+        """
+        if self.analytical_feasible:
+            return self.conforms
+        for check in self.checks:
+            if check.name == "verdict_agreement":
+                return not check.failed
+        return self.conforms
+
+    @property
+    def divergences(self) -> int:
+        """Total number of mismatches across all checks (pre-truncation)."""
+        return sum(check.mismatch_count for check in self.checks)
+
+    def check(self, name: str) -> CheckResult:
+        """The named check result.
+
+        Raises
+        ------
+        ConfigurationError
+            When the report holds no check of that name.
+        """
+        for entry in self.checks:
+            if entry.name == name:
+                return entry
+        raise ConfigurationError(
+            f"Report has no check {name!r}; available: {[c.name for c in self.checks]}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe serialisation (round-trippable through :meth:`from_dict`)."""
+        return {
+            "schema": self.schema,
+            "label": self.label,
+            "hyper_periods": self.hyper_periods,
+            "tolerance": self.tolerance,
+            "analytical_feasible": self.analytical_feasible,
+            "simulation_clean": self.simulation_clean,
+            "conforms": self.conforms,
+            "consistent": self.consistent,
+            "divergences": self.divergences,
+            "checks": [check.to_dict() for check in self.checks],
+            "first_divergence": (
+                dict(self.first_divergence) if self.first_divergence is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConformanceReport":
+        """Rebuild a report from its serialised form (strict: version-checked)."""
+        schema = data.get("schema", CONFORMANCE_SCHEMA)
+        if schema != CONFORMANCE_SCHEMA:
+            raise ConfigurationError(
+                f"Unsupported conformance schema {schema!r}; this build reads "
+                f"{CONFORMANCE_SCHEMA!r}"
+            )
+        first = data.get("first_divergence")
+        return cls(
+            label=str(data.get("label", "")),
+            hyper_periods=int(data.get("hyper_periods", 1)),
+            tolerance=float(data.get("tolerance", 0.0)),
+            analytical_feasible=bool(data.get("analytical_feasible", False)),
+            simulation_clean=bool(data.get("simulation_clean", False)),
+            checks=[CheckResult.from_dict(entry) for entry in data.get("checks") or []],
+            first_divergence=dict(first) if first is not None else None,
+            schema=schema,
+        )
+
+    def render(self) -> str:
+        """Readable multi-line report (what the CLI prints)."""
+        label = f" of {self.label!r}" if self.label else ""
+        lines = [
+            f"conformance{label}: "
+            f"{'CONFORMS' if self.conforms else f'{self.divergences} divergence(s)'} "
+            f"(analytical feasible={self.analytical_feasible}, "
+            f"replay clean={self.simulation_clean}, "
+            f"{self.hyper_periods} hyper-period(s))"
+        ]
+        for check in self.checks:
+            verdict = check.status.upper()
+            suffix = f" — {check.detail}" if check.detail else ""
+            lines.append(f"  {check.name:<20} {verdict:<7} ({check.compared} compared){suffix}")
+            for entry in check.mismatches:
+                lines.append(
+                    f"    t={entry.get('time', 0.0):g} {entry.get('where', '')}: "
+                    f"{entry.get('detail', '')}"
+                )
+            if check.mismatch_count > len(check.mismatches):
+                lines.append(
+                    f"    ... {check.mismatch_count - len(check.mismatches)} further "
+                    f"mismatch(es) truncated"
+                )
+        if self.first_divergence is not None:
+            lines.append(
+                f"first divergence: t={self.first_divergence.get('time', 0.0):g} "
+                f"[{self.first_divergence.get('check', '')}] "
+                f"{self.first_divergence.get('where', '')}: "
+                f"{self.first_divergence.get('detail', '')}"
+            )
+        return "\n".join(lines)

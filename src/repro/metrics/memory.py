@@ -18,6 +18,7 @@ __all__ = [
     "max_memory",
     "memory_imbalance",
     "capacity_violations",
+    "buffered_memory_bound",
     "MemorySummary",
     "memory_summary",
 ]
@@ -46,6 +47,22 @@ def memory_imbalance(schedule: Schedule) -> float:
     if mean <= 0:
         return 1.0
     return max(usage) / mean
+
+
+def buffered_memory_bound(schedule: Schedule) -> dict[str, float]:
+    """Analytic worst-case memory per processor: static + incoming buffers.
+
+    Every inter-processor communication of the schedule may, in the worst
+    case, be buffered on its target processor at the same time (Figure 1:
+    samples accumulate until the consumer drains them).  The sum of the
+    static memory and of all incoming transfer sizes is therefore a sound
+    upper bound on the peak occupancy any replay of one hyper-period can
+    observe — the conformance oracle checks the simulated peak against it.
+    """
+    usage = schedule.memory_by_processor()
+    for op in schedule.communications:
+        usage[op.target] = usage.get(op.target, 0.0) + op.data_size
+    return usage
 
 
 def capacity_violations(schedule: Schedule, *, include_buffers: bool = False) -> dict[str, float]:

@@ -27,6 +27,14 @@ Invariants checked per successful run
     steady-state query is answered by the incremental conflict engine *and*
     the from-scratch reserved-pattern oracle, and any divergence raises —
     which the sweep records as an ``oracle`` finding.
+``conformance``
+    On cells sampled by ``conformance_stride`` (the opt-in deep tier;
+    ``repro-lb conform`` runs it on every cell) the balanced schedule is
+    replayed in the discrete-event simulator and the trace is structurally
+    diffed against the analytical model (:mod:`repro.conformance`); a
+    replay/model contradiction (``consistent`` false in the
+    ``repro-conformance/1`` report) is a finding carrying the first
+    divergence.
 ``artifact_roundtrip``
     The run's ``repro-run/1`` artifact must survive strict JSON
     (``allow_nan=False``) and :meth:`~repro.api.pipeline.RunResult.from_dict`.
@@ -104,6 +112,11 @@ class SweepCell:
     preset: str
     #: Run the paper heuristic in differential-oracle mode (``cross_check``).
     oracle: bool = False
+    #: Run the cell's balanced schedule through the simulation-conformance
+    #: oracle (the sweep's opt-in deep tier).
+    conformance: bool = False
+    #: Hyper-periods each conformance replay covers.
+    conformance_hyper_periods: int = 2
 
 
 def plan_sweep(
@@ -112,12 +125,17 @@ def plan_sweep(
     balancers: tuple[str, ...] | None = None,
     *,
     oracle_stride: int = 3,
+    conformance_stride: int = 0,
+    conformance_hyper_periods: int = 2,
 ) -> tuple[SweepCell, ...]:
     """Expand the grid into cells, in deterministic (scenario, index, balancer) order.
 
     Every ``oracle_stride``-th paper cell runs in differential-oracle mode
-    (``0`` disables oracle sampling).  Scenario and balancer names are
-    validated up front so a typo fails before any cell runs.
+    (``0`` disables oracle sampling).  Every ``conformance_stride``-th cell —
+    whatever its balancer — additionally replays its balanced schedule in the
+    simulation-conformance oracle (``0``, the default, keeps the deep tier
+    off; ``1`` is what ``repro-lb conform`` uses).  Scenario and balancer
+    names are validated up front so a typo fails before any cell runs.
     """
     from repro.api.balancers import available_balancers, balancer_info
     from repro.scenarios.registry import available_scenarios, scenario_info, scenario_scale
@@ -131,6 +149,14 @@ def plan_sweep(
         balancer_info(name)
     if oracle_stride < 0:
         raise ConfigurationError(f"oracle_stride must be >= 0, got {oracle_stride}")
+    if conformance_stride < 0:
+        raise ConfigurationError(
+            f"conformance_stride must be >= 0, got {conformance_stride}"
+        )
+    if conformance_hyper_periods < 1:
+        raise ConfigurationError(
+            f"conformance_hyper_periods must be >= 1, got {conformance_hyper_periods}"
+        )
 
     cells: list[SweepCell] = []
     paper_cells = 0
@@ -141,7 +167,20 @@ def plan_sweep(
                 if balancer == "paper" and oracle_stride:
                     oracle = paper_cells % oracle_stride == 0
                     paper_cells += 1
-                cells.append(SweepCell(scenario, index, balancer, preset, oracle))
+                conformance = bool(
+                    conformance_stride and len(cells) % conformance_stride == 0
+                )
+                cells.append(
+                    SweepCell(
+                        scenario,
+                        index,
+                        balancer,
+                        preset,
+                        oracle,
+                        conformance,
+                        conformance_hyper_periods,
+                    )
+                )
     return tuple(cells)
 
 
@@ -159,7 +198,12 @@ def _cell_config(cell: SweepCell) -> PipelineConfig:
     return PipelineConfig(
         workload=WorkloadStage(kind="spec", spec=workload_spec),
         balance=BalanceStage(balancer=cell.balancer, params=params),
-        verify=VerifyStage(enabled=True, check_memory=False),
+        verify=VerifyStage(
+            enabled=True,
+            check_memory=False,
+            conformance=cell.conformance,
+            conformance_hyper_periods=cell.conformance_hyper_periods,
+        ),
         report=ReportStage(enabled=False),
         label=f"{workload_spec.label}-{cell.balancer}",
     )
@@ -210,6 +254,26 @@ def _check_invariants(cell: SweepCell, result: RunResult) -> list[dict[str, str]
                 f"identity assignment changed the makespan {before:g} -> {after:g}",
             )
 
+    # -- simulation conformance (the opt-in deep tier) ----------------------
+    if cell.conformance:
+        report = result.conformance or {}
+        if not report.get("consistent", False):
+            first = report.get("first_divergence") or {}
+            where = (
+                f" first divergence at t={first.get('time', 0.0):g} "
+                f"[{first.get('check', '?')}] {first.get('where', '')}: "
+                f"{first.get('detail', '')}"
+                if first
+                else ""
+            )
+            finding(
+                "conformance",
+                "the discrete-event replay contradicts the analytical model "
+                f"({report.get('divergences', '?')} divergence(s), "
+                f"analytical feasible={report.get('analytical_feasible')}, "
+                f"replay clean={report.get('simulation_clean')});{where}",
+            )
+
     # -- artifact round trip -------------------------------------------------
     try:
         payload = json.loads(jsonio.dumps(result.to_dict()))
@@ -233,6 +297,7 @@ def execute_cell(cell: SweepCell) -> dict[str, Any]:
         "balancer": cell.balancer,
         "preset": cell.preset,
         "oracle": cell.oracle,
+        "conformance": cell.conformance,
         "status": "ok",
         "findings": [],
     }
@@ -269,6 +334,12 @@ def execute_cell(cell: SweepCell) -> dict[str, Any]:
         record["makespan_before"] = float(result.metrics["makespan_before"])
         record["makespan_after"] = float(result.metrics["makespan_after"])
         record["moves"] = int(result.metrics["moves"])
+        if result.conformance is not None:
+            record["conformance"] = {
+                "conforms": bool(result.conformance.get("conforms")),
+                "consistent": bool(result.conformance.get("consistent")),
+                "divergences": int(result.conformance.get("divergences", 0)),
+            }
         record["findings"] = _check_invariants(cell, result)
     record["seconds"] = time.perf_counter() - started
     return record
@@ -429,16 +500,25 @@ def run_sweep(
     *,
     jobs: int | None = 1,
     oracle_stride: int = 3,
+    conformance_stride: int = 0,
+    conformance_hyper_periods: int = 2,
 ) -> SweepArtifact:
     """Plan and execute the differential sweep, returning its artifact.
 
     ``jobs=1`` (the default) executes inline; ``None`` lets a process pool
     pick its width; any other value fixes the pool width.
+    ``conformance_stride`` enables the simulation-conformance deep tier on
+    every Nth cell (0 keeps it off).
     """
     if jobs is not None and jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1 (got {jobs}); use 1 to run inline")
     cells = plan_sweep(
-        preset, scenarios, balancers, oracle_stride=oracle_stride
+        preset,
+        scenarios,
+        balancers,
+        oracle_stride=oracle_stride,
+        conformance_stride=conformance_stride,
+        conformance_hyper_periods=conformance_hyper_periods,
     )
     if jobs == 1 or not cells:
         records = [execute_cell(cell) for cell in cells]
@@ -450,6 +530,8 @@ def run_sweep(
                 "balancer": cell.balancer,
                 "preset": cell.preset,
                 "oracle": cell.oracle,
+                "conformance": cell.conformance,
+                "conformance_hyper_periods": cell.conformance_hyper_periods,
             }
             for cell in cells
         ]

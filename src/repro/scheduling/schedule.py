@@ -334,6 +334,29 @@ class Schedule:
             usage[instance.processor] += instance.wcet
         return usage
 
+    def busy_intervals(self, repetitions: int = 1) -> dict[str, list[tuple[float, float, str]]]:
+        """Per-processor planned ``(start, end, label)`` intervals over ``repetitions`` hyper-periods.
+
+        Repetition ``r`` shifts every instance by ``r × H`` (strict
+        periodicity).  This is the analytic counterpart of the simulated
+        :meth:`~repro.simulation.trace.SimulationTrace.busy_intervals`; the
+        conformance oracle diffs the two.
+        """
+        if repetitions < 1:
+            raise SchedulingError(f"repetitions must be >= 1, got {repetitions}")
+        hyper_period = self.graph.hyper_period
+        intervals: dict[str, list[tuple[float, float, str]]] = {}
+        for instance in self._instances.values():
+            for repetition in range(repetitions):
+                shift = repetition * hyper_period
+                suffix = f" (rep {repetition})" if repetition else ""
+                intervals.setdefault(instance.processor, []).append(
+                    (instance.start + shift, instance.end + shift, f"{instance.label}{suffix}")
+                )
+        for pieces in intervals.values():
+            pieces.sort()
+        return intervals
+
     def steady_patterns(self) -> dict[str, list[tuple[float, float]]]:
         """Per-processor circular busy patterns modulo the hyper-period.
 

@@ -8,12 +8,12 @@
 * :mod:`~repro.simulation.trace` — execution traces and ASCII Gantt charts.
 """
 
-from repro.simulation.engine import SimulationOptions, SimulationResult, simulate
+from repro.simulation.engine import SimulationOptions, SimulationResult, replay, simulate
 from repro.simulation.events import EventKind, SimEvent, Violation, ViolationKind
 from repro.simulation.medium_sim import MediumResource
 from repro.simulation.memory_tracker import MemoryTimeline, MemoryTracker
 from repro.simulation.processor_sim import ProcessorResource
-from repro.simulation.trace import ExecutionRecord, SimulationTrace
+from repro.simulation.trace import ExecutionRecord, SimulationTrace, TransferRecord
 
 __all__ = [
     "EventKind",
@@ -26,7 +26,9 @@ __all__ = [
     "SimulationOptions",
     "SimulationResult",
     "SimulationTrace",
+    "TransferRecord",
     "Violation",
     "ViolationKind",
+    "replay",
     "simulate",
 ]

@@ -21,7 +21,9 @@ memory timelines; :func:`simulate` is the single entry point.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import ConfigurationError
 from repro.scheduling.schedule import Schedule
@@ -30,9 +32,9 @@ from repro.simulation.events import EventKind, SimEvent, Violation, ViolationKin
 from repro.simulation.medium_sim import MediumResource
 from repro.simulation.memory_tracker import MemoryTracker
 from repro.simulation.processor_sim import ProcessorResource
-from repro.simulation.trace import ExecutionRecord, SimulationTrace
+from repro.simulation.trace import ExecutionRecord, SimulationTrace, TransferRecord
 
-__all__ = ["SimulationOptions", "SimulationResult", "simulate"]
+__all__ = ["SimulationOptions", "SimulationResult", "simulate", "replay"]
 
 _EPS = 1e-9
 
@@ -51,6 +53,12 @@ class SimulationOptions:
     include_local_buffers: bool = False
     #: Record individual events (disable for large campaigns to save memory).
     record_events: bool = True
+
+
+#: Shared default options: one immutable instance instead of a fresh object
+#: per call, so every default-option ``simulate`` observes the exact same
+#: configuration and the determinism contract has a single anchor.
+_DEFAULT_OPTIONS = SimulationOptions()
 
 
 @dataclass(slots=True)
@@ -104,10 +112,51 @@ class SimulationResult:
         lines.append(f"processor utilisation: [{utils}]")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe serialisation of everything the run observed.
+
+        Used by the determinism regression test: two replays of the same
+        schedule under the same options must serialise byte-identically.
+        """
+        return {
+            "options": {
+                "hyper_periods": self.options.hyper_periods,
+                "medium_contention": self.options.medium_contention,
+                "include_local_buffers": self.options.include_local_buffers,
+                "record_events": self.options.record_events,
+            },
+            "horizon": self.horizon,
+            "trace": self.trace.to_dict(),
+            "processors": {
+                name: {
+                    "busy_time": resource.busy_time,
+                    "executed": resource.executed,
+                    "intervals": [list(entry) for entry in resource.intervals],
+                }
+                for name, resource in sorted(self.processors.items())
+            },
+            "media": {
+                name: {
+                    "busy_time": resource.busy_time,
+                    "transfers": resource.transfers,
+                    "intervals": [list(entry) for entry in resource.intervals],
+                }
+                for name, resource in sorted(self.media.items())
+            },
+            "memory": {
+                name: {
+                    "static": timeline.static,
+                    "peak": timeline.peak,
+                    "samples": [list(sample) for sample in timeline.samples],
+                }
+                for name, timeline in sorted(self.memory.timelines.items())
+            },
+        }
+
 
 def simulate(schedule: Schedule, options: SimulationOptions | None = None) -> SimulationResult:
     """Replay ``schedule`` and return the full simulation result."""
-    options = options or SimulationOptions()
+    options = options or _DEFAULT_OPTIONS
     if options.hyper_periods < 1:
         raise ConfigurationError("hyper_periods must be >= 1")
 
@@ -156,14 +205,18 @@ def simulate(schedule: Schedule, options: SimulationOptions | None = None) -> Si
 
     # Ties are broken by repetition then instance key so that, when two
     # transfers request a contended medium at the same instant, the earlier
-    # repetition's (more urgent) data goes first.
-    ready = sorted(
-        (item for item, count in pending.items() if count == 0),
-        key=lambda item: (planned_start(item), item[1], item[0]),
-    )
+    # repetition's (more urgent) data goes first.  The ready queue is a heap
+    # keyed by that exact triple: the pop order is a pure function of the
+    # schedule, so two replays of the same schedule are bit-identical.
+    ready: list[tuple[float, int, tuple[str, int]]] = [
+        (planned_start(item), item[1], item[0])
+        for item, count in pending.items()
+        if count == 0
+    ]
+    heapq.heapify(ready)
     processed = 0
     while ready:
-        key, repetition = ready.pop(0)
+        _, repetition, key = heapq.heappop(ready)
         instance = schedule.instance(*key)
         planned = instance.start + repetition * hyper_period
 
@@ -254,6 +307,21 @@ def simulate(schedule: Schedule, options: SimulationOptions | None = None) -> Si
                         detail=f"for {consumer.label}",
                     )
                 )
+                trace.add_transfer(
+                    TransferRecord(
+                        producer=key[0],
+                        producer_index=key[1],
+                        consumer=edge.consumer[0],
+                        consumer_index=edge.consumer[1],
+                        repetition=repetition,
+                        source=instance.processor,
+                        target=consumer.processor,
+                        medium=medium.name,
+                        start=send_start,
+                        arrival=arrival,
+                        data_size=edge.data_size,
+                    )
+                )
                 tracker.data_arrived(
                     consumer.processor, arrival, edge.consumer, repetition, edge.data_size,
                     local=False,
@@ -261,8 +329,8 @@ def simulate(schedule: Schedule, options: SimulationOptions | None = None) -> Si
             arrivals.setdefault((edge.consumer, repetition), {})[key] = arrival
             pending[(edge.consumer, repetition)] -= 1
             if pending[(edge.consumer, repetition)] == 0:
-                ready.append((edge.consumer, repetition))
-        ready.sort(key=lambda item: (planned_start(item), item[1], item[0]))
+                item = (edge.consumer, repetition)
+                heapq.heappush(ready, (planned_start(item), repetition, edge.consumer))
         processed += 1
     if processed != len(keys) * options.hyper_periods:  # pragma: no cover - defensive
         raise ConfigurationError(
@@ -299,4 +367,29 @@ def simulate(schedule: Schedule, options: SimulationOptions | None = None) -> Si
         memory=tracker,
         horizon=horizon,
         violations=violations,
+    )
+
+
+def replay(
+    schedule: Schedule,
+    *,
+    hyper_periods: int = 2,
+    include_local_buffers: bool = False,
+) -> SimulationResult:
+    """Replay ``schedule`` under the *analytic* assumptions of the paper.
+
+    This is the conformance oracle's entry point: medium contention is
+    disabled (the analytic model charges a fixed communication time ``C`` and
+    assumes infinite medium capacity), events are recorded, and two
+    hyper-periods are replayed by default so the repeatability condition is
+    exercised.  The result is a pure function of ``(schedule, arguments)``.
+    """
+    return simulate(
+        schedule,
+        SimulationOptions(
+            hyper_periods=hyper_periods,
+            medium_contention=False,
+            include_local_buffers=include_local_buffers,
+            record_events=True,
+        ),
     )

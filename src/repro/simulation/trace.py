@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.simulation.events import SimEvent, Violation
 
-__all__ = ["ExecutionRecord", "SimulationTrace"]
+__all__ = ["ExecutionRecord", "TransferRecord", "SimulationTrace"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,10 +28,85 @@ class ExecutionRecord:
         return max(0.0, self.actual_start - self.planned_start)
 
     @property
+    def key(self) -> tuple[str, int]:
+        """``(task, index)`` identifier (repetition excluded)."""
+        return (self.task, self.index)
+
+    @property
     def label(self) -> str:
         """Readable identifier such as ``a#2 (rep 1)``."""
         suffix = f" (rep {self.repetition})" if self.repetition else ""
         return f"{self.task}#{self.index}{suffix}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form (consumed by the conformance oracle and tests)."""
+        return {
+            "task": self.task,
+            "index": self.index,
+            "repetition": self.repetition,
+            "processor": self.processor,
+            "planned_start": self.planned_start,
+            "actual_start": self.actual_start,
+            "end": self.end,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class TransferRecord:
+    """One inter-processor data transfer carried during a simulation run.
+
+    This is the simulated counterpart of the analytic
+    :class:`~repro.scheduling.schedule.CommOperation`: the conformance oracle
+    matches the two sets by ``(producer, consumer)`` instance keys and
+    compares the start/arrival times, so records are always captured (they
+    are not gated by ``SimulationOptions.record_events``).
+    """
+
+    producer: str
+    producer_index: int
+    consumer: str
+    consumer_index: int
+    repetition: int
+    source: str
+    target: str
+    medium: str
+    #: Time the medium actually started carrying the message.
+    start: float
+    #: Time the data became available on the target processor.
+    arrival: float
+    data_size: float
+
+    @property
+    def producer_key(self) -> tuple[str, int]:
+        """``(task, index)`` of the producing instance."""
+        return (self.producer, self.producer_index)
+
+    @property
+    def consumer_key(self) -> tuple[str, int]:
+        """``(task, index)`` of the consuming instance."""
+        return (self.consumer, self.consumer_index)
+
+    @property
+    def label(self) -> str:
+        """Readable identifier such as ``a#1 -> b#0 (rep 1)``."""
+        suffix = f" (rep {self.repetition})" if self.repetition else ""
+        return f"{self.producer}#{self.producer_index} -> {self.consumer}#{self.consumer_index}{suffix}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe form (consumed by the conformance oracle and tests)."""
+        return {
+            "producer": self.producer,
+            "producer_index": self.producer_index,
+            "consumer": self.consumer,
+            "consumer_index": self.consumer_index,
+            "repetition": self.repetition,
+            "source": self.source,
+            "target": self.target,
+            "medium": self.medium,
+            "start": self.start,
+            "arrival": self.arrival,
+            "data_size": self.data_size,
+        }
 
 
 @dataclass(slots=True)
@@ -39,6 +115,7 @@ class SimulationTrace:
 
     events: list[SimEvent] = field(default_factory=list)
     records: list[ExecutionRecord] = field(default_factory=list)
+    transfers: list[TransferRecord] = field(default_factory=list)
     violations: list[Violation] = field(default_factory=list)
 
     def add_event(self, event: SimEvent) -> None:
@@ -48,6 +125,10 @@ class SimulationTrace:
     def add_record(self, record: ExecutionRecord) -> None:
         """Append one execution record."""
         self.records.append(record)
+
+    def add_transfer(self, transfer: TransferRecord) -> None:
+        """Append one inter-processor transfer record."""
+        self.transfers.append(transfer)
 
     def add_violation(self, violation: Violation) -> None:
         """Append one violation."""
@@ -70,9 +151,73 @@ class SimulationTrace:
             key=lambda record: record.actual_start,
         )
 
+    def records_by_key(self) -> dict[tuple[str, int, int], list[ExecutionRecord]]:
+        """Execution records grouped by ``(task, index, repetition)``.
+
+        A correct replay holds exactly one record per key; the conformance
+        oracle uses the list form to detect duplicated or missing executions
+        instead of assuming them away.
+        """
+        grouped: dict[tuple[str, int, int], list[ExecutionRecord]] = {}
+        for record in self.records:
+            grouped.setdefault((record.task, record.index, record.repetition), []).append(record)
+        return grouped
+
+    def busy_intervals(self) -> dict[str, list[tuple[float, float, str]]]:
+        """Per-processor executed ``(start, end, label)`` intervals, in time order.
+
+        This is the simulated counterpart of the analytic
+        :meth:`~repro.scheduling.schedule.Schedule.busy_intervals`.
+        """
+        intervals: dict[str, list[tuple[float, float, str]]] = {}
+        for record in self.records:
+            intervals.setdefault(record.processor, []).append(
+                (record.actual_start, record.end, record.label)
+            )
+        for pieces in intervals.values():
+            pieces.sort()
+        return intervals
+
     def sorted_events(self) -> list[SimEvent]:
         """Events ordered by time then kind."""
         return sorted(self.events, key=lambda event: (event.time, event.kind.value, event.task))
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe serialisation of the full trace.
+
+        Two replays of the same schedule under the same options must produce
+        byte-identical serialisations — the determinism contract of
+        :func:`~repro.simulation.engine.simulate`, pinned by the test suite.
+        """
+        return {
+            "records": [record.to_dict() for record in self.records],
+            "transfers": [transfer.to_dict() for transfer in self.transfers],
+            "events": [
+                {
+                    "time": event.time,
+                    "kind": event.kind.value,
+                    "task": event.task,
+                    "index": event.index,
+                    "processor": event.processor,
+                    "repetition": event.repetition,
+                    "detail": event.detail,
+                }
+                for event in self.events
+            ],
+            "violations": [
+                {
+                    "kind": violation.kind.value,
+                    "time": violation.time,
+                    "task": violation.task,
+                    "index": violation.index,
+                    "processor": violation.processor,
+                    "repetition": violation.repetition,
+                    "amount": violation.amount,
+                    "detail": violation.detail,
+                }
+                for violation in self.violations
+            ],
+        }
 
     # ------------------------------------------------------------------
     # Rendering

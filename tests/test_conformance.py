@@ -1,0 +1,520 @@
+"""Tests of the simulation-conformance oracle (repro.conformance).
+
+The oracle's whole value is that it *fails* when the schedule and its
+discrete-event replay disagree, so half of this module injects deliberately
+corrupted schedules — shifted start times, dropped or forged communication
+records — and asserts that the oracle localises the first divergence and
+that the ``repro-lb conform`` CLI exits non-zero on it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli, jsonio
+from repro.api import PipelineConfig, Pipeline, VerifyStage
+from repro.conformance import (
+    CONFORMANCE_SCHEMA,
+    ConformanceOptions,
+    ConformanceReport,
+    check_conformance,
+)
+from repro.core import balance_schedule
+from repro.errors import ConfigurationError
+from repro.scheduling.schedule import CommOperation
+
+
+# ---------------------------------------------------------------------------
+# Corruption helpers
+# ---------------------------------------------------------------------------
+def shift_instance(schedule, task, index, processor, start):
+    """Corrupted copy of ``schedule`` with one instance moved in time/space."""
+    return schedule.moved({(task, index): (processor, start)})
+
+
+def drop_communication(schedule, position=0):
+    """Corrupted copy of ``schedule`` with one CommOperation silently removed."""
+    operations = list(schedule.communications)
+    assert operations, "schedule carries no communications to drop"
+    del operations[position]
+    return schedule.with_instances(schedule.instances, operations)
+
+
+# ---------------------------------------------------------------------------
+# Conforming schedules
+# ---------------------------------------------------------------------------
+class TestConformingSchedules:
+    def test_paper_initial_schedule_conforms(self, paper_schedule):
+        report = check_conformance(paper_schedule, label="paper")
+        assert report.conforms
+        assert report.consistent
+        assert report.analytical_feasible
+        assert report.simulation_clean
+        assert report.first_divergence is None
+        assert report.divergences == 0
+        assert {check.status for check in report.checks} == {"pass"}
+
+    def test_paper_balanced_schedule_conforms(self, paper_schedule):
+        balanced = balance_schedule(paper_schedule).balanced_schedule
+        report = check_conformance(balanced)
+        assert report.conforms and report.consistent
+
+    def test_small_schedule_conforms(self, small_schedule):
+        report = check_conformance(small_schedule)
+        assert report.conforms
+
+    def test_single_hyper_period(self, paper_schedule):
+        report = check_conformance(paper_schedule, ConformanceOptions(hyper_periods=1))
+        assert report.conforms
+        assert report.hyper_periods == 1
+
+    def test_report_is_deterministic(self, paper_schedule):
+        first = check_conformance(paper_schedule, label="pin").to_dict()
+        second = check_conformance(paper_schedule, label="pin").to_dict()
+        assert first == second
+
+    def test_every_check_present_and_counted(self, paper_schedule):
+        report = check_conformance(paper_schedule)
+        names = [check.name for check in report.checks]
+        assert names == [
+            "verdict_agreement",
+            "clean_replay",
+            "instance_coverage",
+            "start_times",
+            "busy_intervals",
+            "steady_occupancy",
+            "communications",
+            "dependence_order",
+            "memory",
+        ]
+        # 10 instances x 2 hyper-periods compared everywhere relevant.
+        assert report.check("start_times").compared == 20
+        assert report.check("communications").compared > 0
+
+    def test_invalid_options_rejected(self, paper_schedule):
+        with pytest.raises(ConfigurationError):
+            check_conformance(paper_schedule, ConformanceOptions(hyper_periods=0))
+        with pytest.raises(ConfigurationError):
+            check_conformance(paper_schedule, ConformanceOptions(tolerance=-1.0))
+        with pytest.raises(ConfigurationError):
+            check_conformance(paper_schedule, ConformanceOptions(max_mismatches=0))
+
+
+# ---------------------------------------------------------------------------
+# Divergence reporting
+# ---------------------------------------------------------------------------
+class TestDivergenceReporting:
+    def test_shifted_start_localises_first_divergence(self, paper_schedule):
+        # d#0 is pulled to t=2, long before its input data can arrive: the
+        # replay must start it late and the oracle must point at d#0.
+        broken = shift_instance(paper_schedule, "d", 0, "P3", 2.0)
+        report = check_conformance(broken, label="shifted")
+        assert not report.conforms
+        assert not report.analytical_feasible
+        assert not report.simulation_clean
+        # Both models agree the schedule is broken — no simulator/model
+        # contradiction, only a non-conforming schedule.
+        assert report.consistent
+        first = report.first_divergence
+        assert first is not None
+        assert first["time"] == pytest.approx(2.0)
+        assert "d#0" in first["where"]
+        assert report.check("start_times").failed
+        assert report.check("clean_replay").failed
+        assert report.check("memory").status == "skipped"
+
+    def test_dropped_communication_detected(self, paper_schedule):
+        # The schedule is still analytically feasible (the checker recomputes
+        # arrivals from the placement), but its communication *record* lies:
+        # the replay carries a transfer the model does not declare.
+        broken = drop_communication(paper_schedule, position=0)
+        report = check_conformance(broken, label="dropped-comm")
+        assert report.analytical_feasible
+        assert not report.conforms
+        # A feasible schedule that does not conform IS a model contradiction.
+        assert not report.consistent
+        comm = report.check("communications")
+        assert comm.failed
+        assert any("absent from the model" in m["detail"] for m in comm.mismatches)
+        assert report.first_divergence is not None
+        assert report.first_divergence["check"] == "communications"
+
+    def test_forged_communication_detected(self, paper_schedule):
+        operations = list(paper_schedule.communications)
+        op = operations[0]
+        forged = CommOperation(
+            producer=op.producer,
+            producer_index=op.producer_index,
+            consumer=op.consumer,
+            consumer_index=op.consumer_index,
+            source=op.source,
+            target=op.target,
+            medium=op.medium,
+            start=op.start + 1.5,
+            duration=op.duration,
+            data_size=op.data_size,
+        )
+        broken = paper_schedule.with_instances(
+            paper_schedule.instances, operations[1:] + [forged]
+        )
+        report = check_conformance(broken)
+        comm = report.check("communications")
+        assert comm.failed
+        assert any("modelled [" in m["detail"] for m in comm.mismatches)
+
+    def test_overlap_corruption_is_consistent_divergence(self, paper_schedule):
+        # a#1 lands on P1 at t=0 on top of a#0: analytically infeasible
+        # (overlap), and the replay must diverge — the two agree.
+        broken = shift_instance(paper_schedule, "a", 1, "P1", 0.0)
+        report = check_conformance(broken)
+        assert not report.analytical_feasible
+        assert not report.conforms
+        assert not report.simulation_clean
+        assert report.consistent
+
+    def test_mismatch_truncation_keeps_global_first(self, paper_schedule):
+        broken = shift_instance(paper_schedule, "d", 0, "P3", 2.0)
+        report = check_conformance(broken, ConformanceOptions(max_mismatches=1))
+        start_times = report.check("start_times")
+        assert start_times.mismatch_count >= 2
+        assert len(start_times.mismatches) == 1
+        assert report.first_divergence["time"] == pytest.approx(2.0)
+
+    def test_divergences_counts_all_mismatches(self, paper_schedule):
+        broken = shift_instance(paper_schedule, "d", 0, "P3", 2.0)
+        full = check_conformance(broken)
+        truncated = check_conformance(broken, ConformanceOptions(max_mismatches=1))
+        assert truncated.divergences == full.divergences > 0
+
+
+# ---------------------------------------------------------------------------
+# Report artifact
+# ---------------------------------------------------------------------------
+class TestReportArtifact:
+    def test_round_trip_through_strict_json(self, paper_schedule):
+        broken = shift_instance(paper_schedule, "d", 0, "P3", 2.0)
+        report = check_conformance(broken, label="roundtrip")
+        payload = json.loads(jsonio.dumps(report.to_dict()))
+        rebuilt = ConformanceReport.from_dict(payload)
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.conforms == report.conforms
+        assert rebuilt.consistent == report.consistent
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConformanceReport.from_dict({"schema": "repro-conformance/999"})
+
+    def test_schema_tag(self, paper_schedule):
+        report = check_conformance(paper_schedule)
+        assert report.to_dict()["schema"] == CONFORMANCE_SCHEMA == "repro-conformance/1"
+
+    def test_unknown_check_name_rejected(self, paper_schedule):
+        report = check_conformance(paper_schedule)
+        with pytest.raises(ConfigurationError):
+            report.check("no_such_check")
+
+    def test_render_mentions_first_divergence(self, paper_schedule):
+        broken = shift_instance(paper_schedule, "d", 0, "P3", 2.0)
+        rendered = check_conformance(broken).render()
+        assert "first divergence" in rendered
+        assert "d#0" in rendered
+
+
+# ---------------------------------------------------------------------------
+# Pipeline + sweep integration
+# ---------------------------------------------------------------------------
+class TestPipelineIntegration:
+    def test_verify_stage_round_trip(self):
+        stage = VerifyStage(conformance=True, conformance_hyper_periods=3)
+        assert VerifyStage.from_dict(stage.to_dict()) == stage
+
+    def test_verify_stage_rejects_bad_hyper_periods(self):
+        with pytest.raises(ConfigurationError):
+            VerifyStage(conformance_hyper_periods=0)
+
+    def test_pipeline_surfaces_conformance_report(self):
+        config = PipelineConfig.paper_example().with_conformance()
+        result = Pipeline(config).run()
+        assert result.conformance is not None
+        assert result.conformance["schema"] == CONFORMANCE_SCHEMA
+        assert result.conformance["conforms"] is True
+        assert "conformance" in result.timings
+        # and it survives the repro-run/1 round trip
+        rebuilt = type(result).from_dict(json.loads(jsonio.dumps(result.to_dict())))
+        assert rebuilt.conformance == result.conformance
+
+    def test_pipeline_without_flag_has_no_report(self):
+        result = Pipeline(PipelineConfig.paper_example()).run()
+        assert result.conformance is None
+        assert "conformance" not in result.to_dict()
+
+    def test_oracle_reuses_the_balancer_feasibility_report(self, paper_schedule):
+        """Every balancer already computed a check_memory=False report; the
+        oracle accepts it instead of re-running the checker."""
+        from repro.api.balancers import balance
+
+        outcome = balance(paper_schedule, "paper")
+        assert outcome.feasibility_report is not None
+        assert outcome.feasibility_report.is_feasible == outcome.feasible
+        reused = check_conformance(
+            outcome.schedule, feasibility=outcome.feasibility_report
+        )
+        fresh = check_conformance(outcome.schedule)
+        assert reused.to_dict() == fresh.to_dict()
+
+    def test_with_conformance_preserves_other_stages(self):
+        config = PipelineConfig.paper_example()
+        forced = config.with_conformance(hyper_periods=4)
+        assert forced.verify.conformance
+        assert forced.verify.conformance_hyper_periods == 4
+        assert forced.balance == config.balance
+        assert forced.workload == config.workload
+        assert not config.verify.conformance  # original untouched
+
+
+class TestSweepIntegration:
+    def test_plan_sweep_conformance_stride(self):
+        from repro.scenarios.sweep import plan_sweep
+
+        cells = plan_sweep("tiny", ("layered_baseline",), ("paper", "no_balancing"))
+        assert not any(cell.conformance for cell in cells)
+        cells = plan_sweep(
+            "tiny",
+            ("layered_baseline",),
+            ("paper", "no_balancing"),
+            conformance_stride=2,
+        )
+        flags = [cell.conformance for cell in cells]
+        assert flags == [index % 2 == 0 for index in range(len(cells))]
+
+    def test_negative_stride_rejected(self):
+        from repro.scenarios.sweep import plan_sweep
+
+        with pytest.raises(ConfigurationError):
+            plan_sweep("tiny", conformance_stride=-1)
+
+    def test_sweep_slice_runs_conformance_cleanly(self):
+        from repro.scenarios.sweep import run_sweep
+
+        artifact = run_sweep(
+            "tiny",
+            ("layered_baseline",),
+            ("paper", "no_balancing"),
+            oracle_stride=0,
+            conformance_stride=1,
+        )
+        assert artifact.ok
+        checked = [cell for cell in artifact.cells if cell["conformance"]]
+        assert checked
+        for cell in checked:
+            assert cell.get("conformance") or cell["status"] != "ok"
+
+    def test_inconsistent_report_becomes_finding(self, paper_schedule, monkeypatch):
+        """A simulator/model contradiction must surface as a 'conformance'
+        finding carrying the first divergence."""
+        from repro.scenarios import sweep as sweep_module
+        from repro.scenarios.sweep import SweepCell, execute_cell
+
+        original = Pipeline.run
+
+        def corrupting_run(self):
+            result = original(self)
+            if result.conformance is not None:
+                broken = drop_communication(paper_schedule)
+                result.conformance = check_conformance(broken).to_dict()
+            return result
+
+        monkeypatch.setattr(sweep_module.Pipeline, "run", corrupting_run)
+        record = execute_cell(
+            SweepCell("layered_baseline", 0, "paper", "tiny", conformance=True)
+        )
+        findings = [f for f in record["findings"] if f["invariant"] == "conformance"]
+        assert findings
+        assert "first divergence" in findings[0]["detail"]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestConformCli:
+    def test_paper_mode_exits_zero(self, capsys):
+        assert cli.main(["conform", "--paper"]) == 0
+        out = capsys.readouterr().out
+        assert "CONFORMS" in out
+
+    def test_paper_mode_json(self, capsys):
+        assert cli.main(["conform", "--paper", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == CONFORMANCE_SCHEMA
+        assert payload["conforms"] is True
+
+    def test_config_mode(self, tmp_path, capsys):
+        config = PipelineConfig.paper_example()
+        path = tmp_path / "pipeline.json"
+        path.write_text(json.dumps(config.to_dict()))
+        assert cli.main(["conform", "--config", str(path)]) == 0
+        assert "CONFORMS" in capsys.readouterr().out
+
+    def test_config_and_paper_mutually_exclusive(self, capsys):
+        assert cli.main(["conform", "--paper", "--config", "x.json"]) == 2
+
+    def test_missing_config_file(self, capsys):
+        assert cli.main(["conform", "--config", "/nonexistent/nope.json"]) == 2
+
+    @staticmethod
+    def _corrupt_balance_outcome(monkeypatch, corrupt):
+        """Make every pipeline balance stage hand a corrupted schedule to the
+        oracle (the balancers themselves would repair schedule-level
+        corruption, so the injection happens on their outcome)."""
+        import repro.api.pipeline as pipeline_module
+
+        original = pipeline_module.balance
+
+        def corrupting_balance(initial, params):
+            outcome = original(initial, params)
+            outcome.schedule = corrupt(outcome.schedule)
+            return outcome
+
+        monkeypatch.setattr(pipeline_module, "balance", corrupting_balance)
+
+    def test_corrupted_schedule_fails_via_cli(self, monkeypatch, capsys):
+        """Satellite: a corrupted schedule must make the CLI exit non-zero
+        with the first divergence localised in the rendered report."""
+        self._corrupt_balance_outcome(
+            monkeypatch, lambda schedule: shift_instance(schedule, "d", 0, "P3", 2.0)
+        )
+        code = cli.main(["conform", "--paper"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "first divergence" in captured.out
+        assert "d#0" in captured.out
+        assert "divergence(s)" in captured.err
+
+    def test_dropped_communication_fails_via_cli(self, monkeypatch, capsys):
+        self._corrupt_balance_outcome(monkeypatch, drop_communication)
+        code = cli.main(["conform", "--paper"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "absent from the model" in captured.out
+
+    def test_grid_mode_slice(self, capsys):
+        code = cli.main(
+            [
+                "conform",
+                "--preset",
+                "tiny",
+                "--scenarios",
+                "zero_communication",
+                "--balancers",
+                "paper",
+                "no_balancing",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conformance replay(s)" in out
+
+    def test_grid_mode_writes_artifact(self, tmp_path, capsys):
+        target = tmp_path / "conform.json"
+        code = cli.main(
+            [
+                "conform",
+                "--scenarios",
+                "single_processor",
+                "--balancers",
+                "no_balancing",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "repro-sweep/1"
+        assert all(cell["conformance"] for cell in payload["cells"])
+
+    def test_grid_mode_threads_hyper_periods_into_cell_configs(self):
+        """--hyper-periods must reach every grid cell's verify stage, not be
+        silently dropped in grid mode."""
+        from repro.scenarios.sweep import _cell_config, plan_sweep
+
+        cells = plan_sweep(
+            "tiny",
+            ("single_processor",),
+            ("no_balancing",),
+            conformance_stride=1,
+            conformance_hyper_periods=3,
+        )
+        assert all(cell.conformance_hyper_periods == 3 for cell in cells)
+        config = _cell_config(cells[0])
+        assert config.verify.conformance
+        assert config.verify.conformance_hyper_periods == 3
+
+    def test_grid_hyper_periods_reach_the_report(self):
+        # End-to-end: the report inside a cell run carries the requested depth.
+        from repro.scenarios.sweep import SweepCell, _cell_config, execute_cell
+
+        cell = SweepCell(
+            "single_processor", 0, "no_balancing", "tiny",
+            conformance=True, conformance_hyper_periods=3,
+        )
+        result = Pipeline(_cell_config(cell)).run()
+        assert result.conformance["hyper_periods"] == 3
+        record = execute_cell(cell)
+        assert record["status"] == "ok"
+
+    def test_grid_replay_count_excludes_unreplayed_cells(self, monkeypatch, capsys):
+        """Unschedulable cells keep the boolean request flag and must not be
+        counted as conformance replays in the grid summary."""
+        from repro.scenarios import sweep as sweep_module
+
+        original = sweep_module.execute_cell
+
+        def mostly_unschedulable(cell):
+            record = original(cell)
+            if cell.index > 0:
+                record["status"] = "unschedulable"
+                record["conformance"] = cell.conformance
+                record["findings"] = []
+            return record
+
+        monkeypatch.setattr(sweep_module, "execute_cell", mostly_unschedulable)
+        code = cli.main(
+            [
+                "conform",
+                "--scenarios",
+                "single_processor",
+                "--balancers",
+                "no_balancing",
+                "--jobs",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 conformance replay(s)" in out
+
+    def test_single_run_hyper_periods_forwarded(self, capsys):
+        assert cli.main(["conform", "--paper", "--hyper-periods", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hyper_periods"] == 3
+
+    def test_sweep_conformance_stride_flag(self, capsys):
+        code = cli.main(
+            [
+                "sweep",
+                "--scenarios",
+                "single_processor",
+                "--balancers",
+                "no_balancing",
+                "--oracle-stride",
+                "0",
+                "--conformance-stride",
+                "1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(cell["conformance"] for cell in payload["cells"])

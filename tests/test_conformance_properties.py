@@ -1,0 +1,119 @@
+"""Differential property tests: simulator vs analytical model (hypothesis).
+
+For hypothesis-drawn workloads out of the scenario registry, the
+discrete-event replay must agree with the analytical model without either
+side knowing the other's code:
+
+* the simulated instance *completion order* never contradicts the instance
+  dependence graph (a producer always completes no later than any of its
+  consumers starts receiving, and strictly before the consumer completes);
+* the simulated peak memory (static + consumer-side buffers) never exceeds
+  the analytical worst-case bound of
+  :func:`repro.metrics.memory.buffered_memory_bound`;
+* the full conformance oracle agrees: a schedule the analytical model calls
+  feasible replays in exact conformance.
+
+Unschedulable draws are skipped via ``assume`` — the high-utilisation
+scenario families legitimately produce them.
+
+The module is marked ``slow`` like the rest of the property layer: CI always
+runs it, locally it can be skipped with ``pytest -m "not slow"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.conformance import check_conformance
+from repro.errors import InfeasibleError
+from repro.metrics.memory import buffered_memory_bound
+from repro.scenarios.registry import available_scenarios, scenario_info
+from repro.scheduling import schedule_application
+from repro.scheduling.unrolling import instance_edges
+from repro.simulation import replay
+from repro.workloads.generator import generate_workload
+
+pytestmark = pytest.mark.slow
+
+_TOL = 1e-9
+
+_CELLS = st.tuples(
+    st.sampled_from(sorted(available_scenarios())),
+    st.integers(min_value=0, max_value=11),
+)
+
+
+def _scheduled_cell(scenario: str, index: int):
+    """Generate and schedule one scenario cell, skipping unschedulable draws."""
+    spec = scenario_info(scenario).workload_spec("tiny", index)
+    workload = generate_workload(spec)
+    try:
+        return schedule_application(workload.graph, workload.architecture)
+    except InfeasibleError:
+        assume(False)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(cell=_CELLS)
+def test_completion_order_respects_dependence_graph(cell):
+    schedule = _scheduled_cell(*cell)
+    result = replay(schedule, hyper_periods=2)
+    records = {
+        (record.task, record.index, record.repetition): record
+        for record in result.trace.records
+    }
+    arrivals = {
+        (tr.producer_key, tr.consumer_key, tr.repetition): tr.arrival
+        for tr in result.trace.transfers
+    }
+    for edge in instance_edges(schedule.graph):
+        for repetition in range(2):
+            producer = records[(*edge.producer, repetition)]
+            consumer = records[(*edge.consumer, repetition)]
+            # The consumer can never complete before its producer.
+            assert producer.end <= consumer.end + _TOL
+            # Its input must be ready (produced, and transferred when the
+            # endpoints sit on different processors) before it starts.
+            ready = producer.end
+            arrival = arrivals.get((edge.producer, edge.consumer, repetition))
+            if arrival is not None:
+                assert arrival >= ready - _TOL
+                ready = arrival
+            assert consumer.actual_start >= ready - _TOL
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(cell=_CELLS)
+def test_simulated_peak_memory_within_analytical_bound(cell):
+    schedule = _scheduled_cell(*cell)
+    result = replay(schedule, hyper_periods=1)
+    bound = buffered_memory_bound(schedule)
+    static = schedule.memory_by_processor()
+    for name, peak in result.peak_memory().items():
+        assert peak <= bound.get(name, 0.0) + _TOL
+        assert peak >= static.get(name, 0.0) - _TOL
+    assert result.memory.outstanding() == 0
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(cell=_CELLS)
+def test_feasible_schedules_replay_in_exact_conformance(cell):
+    schedule = _scheduled_cell(*cell)
+    report = check_conformance(schedule)
+    assert report.analytical_feasible  # schedule_application guarantees it
+    assert report.conforms, report.render()
+    assert report.consistent

@@ -9,9 +9,14 @@ from repro.simulation import (
     ProcessorResource,
     SimulationOptions,
     ViolationKind,
+    replay,
     simulate,
 )
-from repro.workloads.paper_example import paper_architecture, paper_initial_schedule
+from repro.workloads.paper_example import (
+    paper_architecture,
+    paper_initial_schedule,
+    paper_task_graph,
+)
 
 
 class TestResources:
@@ -83,6 +88,88 @@ class TestPaperExampleSimulation:
         result = simulate(paper_schedule, SimulationOptions(record_events=False))
         assert result.trace.events == []
         assert result.trace.records  # execution records are always kept
+
+
+class TestTransferRecords:
+    def test_transfers_match_schedule_communications(self, paper_schedule):
+        # Contention-free replay: the analytic fixed-C model holds exactly.
+        result = replay(paper_schedule, hyper_periods=1)
+        by_key = {
+            (tr.producer, tr.producer_index, tr.consumer, tr.consumer_index): tr
+            for tr in result.trace.transfers
+        }
+        assert len(by_key) == len(result.trace.transfers)
+        assert len(by_key) == len(paper_schedule.communications)
+        for op in paper_schedule.communications:
+            transfer = by_key[(op.producer, op.producer_index, op.consumer, op.consumer_index)]
+            assert transfer.start == pytest.approx(op.start)
+            assert transfer.arrival == pytest.approx(op.arrival)
+            assert transfer.medium == op.medium
+            assert transfer.data_size == pytest.approx(op.data_size)
+            assert (transfer.source, transfer.target) == (op.source, op.target)
+
+    def test_contention_delays_transfers_past_the_analytic_start(self, paper_schedule):
+        result = simulate(paper_schedule)  # default: contention on
+        by_key = {
+            (tr.producer, tr.producer_index, tr.consumer, tr.consumer_index): tr
+            for tr in result.trace.transfers
+        }
+        delayed = 0
+        for op in paper_schedule.communications:
+            transfer = by_key[(op.producer, op.producer_index, op.consumer, op.consumer_index)]
+            assert transfer.start >= op.start - 1e-9
+            delayed += transfer.start > op.start + 1e-9
+        assert delayed > 0  # the bus serialises at least one pair
+
+    def test_transfers_recorded_even_without_events(self, paper_schedule):
+        result = simulate(paper_schedule, SimulationOptions(record_events=False))
+        assert result.trace.events == []
+        assert result.trace.transfers
+
+    def test_transfers_unrolled_per_repetition(self, paper_schedule):
+        result = simulate(paper_schedule, SimulationOptions(hyper_periods=3))
+        per_rep = len(paper_schedule.communications)
+        assert len(result.trace.transfers) == 3 * per_rep
+        assert {tr.repetition for tr in result.trace.transfers} == {0, 1, 2}
+
+
+class TestDeterminism:
+    """Satellite pin: repeated ``simulate`` calls with the same options are
+    bit-identical, down to every recorded event, interval and memory sample."""
+
+    def test_repeated_simulate_is_bit_identical(self, paper_schedule):
+        options = SimulationOptions(hyper_periods=2)
+        first = simulate(paper_schedule, options)
+        second = simulate(paper_schedule, options)
+        assert first.to_dict() == second.to_dict()
+
+    def test_default_options_are_shared_and_frozen(self, paper_schedule):
+        first = simulate(paper_schedule)
+        second = simulate(paper_schedule)
+        assert first.options is second.options  # hoisted module-level default
+        with pytest.raises((AttributeError, TypeError)):
+            first.options.hyper_periods = 5
+
+    def test_independent_schedule_builds_replay_identically(self):
+        """Two separately constructed (equal) schedules replay identically —
+        no hidden per-object state leaks into the trace."""
+        first = simulate(paper_initial_schedule(), SimulationOptions(hyper_periods=2))
+        second = simulate(
+            paper_initial_schedule(paper_task_graph(), paper_architecture()),
+            SimulationOptions(hyper_periods=2),
+        )
+        assert first.to_dict() == second.to_dict()
+
+    def test_replay_entry_point_is_contention_free(self, paper_schedule):
+        result = replay(paper_schedule)
+        assert result.options.hyper_periods == 2
+        assert not result.options.medium_contention
+        assert result.to_dict() == replay(paper_schedule).to_dict()
+
+    def test_balanced_schedule_deterministic_with_contention(self, paper_schedule):
+        balanced = balance_schedule(paper_schedule).balanced_schedule
+        options = SimulationOptions(hyper_periods=2, medium_contention=True)
+        assert simulate(balanced, options).to_dict() == simulate(balanced, options).to_dict()
 
 
 class TestViolationDetection:
