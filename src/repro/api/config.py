@@ -22,12 +22,11 @@ rejected so stale manifests fail loudly instead of silently degrading.
 from __future__ import annotations
 
 import dataclasses
-import math
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from repro.errors import ConfigurationError
-from repro.workloads.spec import GraphShape, WorkloadSpec
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
     "PIPELINE_SCHEMA",
@@ -47,37 +46,16 @@ _WORKLOAD_KINDS = ("spec", "paper_example", "provided")
 
 
 def _spec_to_dict(spec: WorkloadSpec) -> dict[str, Any]:
-    data = dataclasses.asdict(spec)
-    data["shape"] = spec.shape.value
-    data["memory_range"] = list(spec.memory_range)
-    data["data_size_range"] = list(spec.data_size_range)
-    # Strict JSON has no Infinity token: the unconstrained capacity (the
-    # default) serialises as null and round-trips back to inf below.
-    if math.isinf(spec.memory_capacity):
-        data["memory_capacity"] = None
-    return data
+    return spec.to_dict()
 
 
 def _spec_from_dict(data: Mapping[str, Any]) -> WorkloadSpec:
-    known = {f.name for f in dataclasses.fields(WorkloadSpec)}
-    unknown = sorted(set(data) - known)
-    if unknown:
-        raise ConfigurationError(f"Unknown workload-spec key(s) {unknown}")
-    kwargs = dict(data)
-    if "shape" in kwargs:
-        try:
-            kwargs["shape"] = GraphShape(kwargs["shape"])
-        except ValueError:
-            raise ConfigurationError(
-                f"Unknown graph shape {kwargs['shape']!r}; expected one of "
-                f"{[s.value for s in GraphShape]}"
-            ) from None
-    for key in ("memory_range", "data_size_range"):
-        if key in kwargs:
-            kwargs[key] = tuple(kwargs[key])
-    if kwargs.get("memory_capacity", ...) is None:
-        kwargs["memory_capacity"] = math.inf
-    return WorkloadSpec(**kwargs)
+    # The spec owns its serialisation; config-level consumers keep seeing
+    # ConfigurationError for malformed payloads.
+    try:
+        return WorkloadSpec.from_dict(data)
+    except WorkloadError as error:
+        raise ConfigurationError(str(error)) from None
 
 
 def _check_keys(data: Mapping[str, Any], allowed: tuple[str, ...], stage: str) -> None:

@@ -211,13 +211,4 @@ class BenchArtifact:
     @classmethod
     def load(cls, path: str | Path) -> "BenchArtifact":
         """Read an artifact back from disk."""
-        path = Path(path)
-        try:
-            data = json.loads(path.read_text())
-        except OSError as error:
-            raise ConfigurationError(f"Cannot read bench artifact {path}: {error}") from None
-        except json.JSONDecodeError as error:
-            raise ConfigurationError(
-                f"Bench artifact {path} is not valid JSON: {error}"
-            ) from None
-        return cls.from_dict(data)
+        return cls.from_dict(jsonio.read_json(path, kind="bench artifact"))

@@ -43,9 +43,17 @@ prints the :class:`~repro.api.RunResult` report (or its JSON form):
     exits non-zero on any simulator/model contradiction (the CI
     conformance gate).
 
+``repro-lb hunt --objective NAME [--budget tiny|quick|full] [--seed N]``
+    Adversarial scenario search: mutate workload-spec parameters (simulated
+    annealing + a genetic refinement loop) to maximise a registered badness
+    objective, shrink every find with the delta-debugging minimiser, and
+    emit a ``repro-search/1`` artifact; ``--freeze`` merges the survivors
+    into the frozen ``regression/*`` scenario registry the sweep and
+    conformance gates replay.
+
 ``repro-lb list``
-    Print the registered balancers, cost policies, scenarios, experiments
-    and campaign presets.
+    Print the registered balancers, cost policies, scenarios, hunt
+    objectives, experiments and campaign presets.
 
 ``example``, ``random``, ``run`` and ``experiment`` accept ``--json`` to emit
 machine-readable output instead of the ASCII report.
@@ -54,7 +62,6 @@ machine-readable output instead of the ASCII report.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -81,6 +88,14 @@ from repro.scenarios import (
     scenario_info,
 )
 from repro.scheduling.heuristic import PlacementPolicy
+from repro.search import (
+    BUDGETS,
+    SearchOptions,
+    available_objectives,
+    freeze_counterexamples,
+    objective_info,
+    run_hunt,
+)
 from repro.workloads.spec import GraphShape, WorkloadSpec
 
 __all__ = ["main", "build_parser"]
@@ -373,24 +388,107 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable output"
     )
 
+    hunt = subparsers.add_parser(
+        "hunt",
+        help="adversarial scenario search (repro-search/1 artifacts)",
+        description="Mutate workload-spec parameters to maximise a badness "
+        "objective, minimise every counterexample found, and optionally "
+        "freeze the survivors as permanent regression/* scenarios.",
+    )
+    hunt.add_argument(
+        "--objective",
+        required=True,
+        choices=list(available_objectives()),
+        help="registered badness objective to maximise",
+    )
+    hunt.add_argument(
+        "--budget",
+        choices=sorted(BUDGETS),
+        default="tiny",
+        help="named evaluation budget (default: tiny)",
+    )
+    hunt.add_argument(
+        "--evaluations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="explicit evaluation budget (overrides --budget)",
+    )
+    hunt.add_argument(
+        "--seed", type=int, default=0, help="root seed of the hunt (default: 0)"
+    )
+    hunt.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="firing threshold (default: the objective's registered default)",
+    )
+    hunt.add_argument(
+        "--max-survivors",
+        type=int,
+        default=5,
+        help="counterexamples kept after minimisation and dedup (default: 5)",
+    )
+    hunt.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="freeze survivors as found, skipping the delta-debugging minimiser",
+    )
+    hunt.add_argument(
+        "--freeze",
+        action="store_true",
+        help="merge the survivors into the frozen regression-scenario registry",
+    )
+    hunt.add_argument(
+        "--registry",
+        metavar="PATH",
+        help="regression registry file --freeze writes "
+        "(default: the packaged regression.json)",
+    )
+    hunt.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the artifact here (a directory gets HUNT_<timestamp>.json)",
+    )
+    hunt.add_argument(
+        "--json", action="store_true", help="print the artifact JSON to stdout"
+    )
+
     subparsers.add_parser(
         "list",
-        help="list registered balancers, policies, scenarios, experiments and presets",
+        help="list registered balancers, policies, scenarios, objectives, "
+        "experiments and presets",
     )
     return parser
 
 
 def _load_pipeline_config(path: Path, verb: str) -> PipelineConfig | int:
-    """Load a serialised pipeline config, or return the error exit code."""
+    """Load a serialised pipeline config, or return the error exit code.
+
+    Every failure mode — unreadable file, malformed JSON, a payload that is
+    not an object, schema/validation rejection — exits cleanly (code 2) with
+    the offending path named, instead of surfacing a traceback.
+    """
     try:
-        data = json.loads(path.read_text())
-    except OSError as error:
-        print(f"repro-lb {verb}: error: cannot read {path}: {error}", file=sys.stderr)
+        data = jsonio.read_json(path, kind="pipeline config")
+    except ConfigurationError as error:
+        print(f"repro-lb {verb}: error: {error}", file=sys.stderr)
         return 2
-    except json.JSONDecodeError as error:
-        print(f"repro-lb {verb}: error: {path} is not valid JSON: {error}", file=sys.stderr)
+    if not isinstance(data, dict):
+        print(
+            f"repro-lb {verb}: error: pipeline config {path} must be a JSON "
+            f"object, got {type(data).__name__}",
+            file=sys.stderr,
+        )
         return 2
-    return PipelineConfig.from_dict(data)
+    try:
+        return PipelineConfig.from_dict(data)
+    except ReproError as error:
+        print(
+            f"repro-lb {verb}: error: invalid pipeline config {path}: {error}",
+            file=sys.stderr,
+        )
+        return 2
 
 
 def _emit(result, as_json: bool) -> int:
@@ -641,6 +739,34 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_hunt(args: argparse.Namespace) -> int:
+    options = SearchOptions(
+        objective=args.objective,
+        budget=args.budget,
+        evaluations=args.evaluations,
+        seed=args.seed,
+        threshold=args.threshold,
+        max_survivors=args.max_survivors,
+        minimize=not args.no_minimize,
+    )
+    artifact = run_hunt(options)
+    written = artifact.save(args.output) if args.output else None
+    frozen = ()
+    if args.freeze and artifact.counterexamples:
+        frozen = freeze_counterexamples(artifact, args.registry)
+    if args.json:
+        print(jsonio.dumps(artifact.to_dict()))
+    else:
+        print(artifact.render())
+        if written is not None:
+            print(f"artifact written to {written}")
+        for entry in frozen:
+            print(f"frozen: {entry.name}")
+        if args.freeze and artifact.counterexamples and not frozen:
+            print("nothing frozen: every survivor is already in the registry")
+    return 0
+
+
 def _run_list(_args: argparse.Namespace) -> int:
     print("balancers:")
     for name in available_balancers():
@@ -658,6 +784,10 @@ def _run_list(_args: argparse.Namespace) -> int:
     print("scenarios (see 'repro-lb sweep'):")
     for name in available_scenarios():
         print(f"  {name:<20} {scenario_info(name).title}")
+    print()
+    print("hunt objectives (see 'repro-lb hunt'):")
+    for name in available_objectives():
+        print(f"  {name:<24} {objective_info(name).title}")
     print()
     print("experiments:")
     for name in sorted(ALL_EXPERIMENTS):
@@ -685,6 +815,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench": _run_bench,
         "sweep": _run_sweep,
         "conform": _run_conform,
+        "hunt": _run_hunt,
         "list": _run_list,
     }
     handler = handlers.get(args.command)

@@ -29,7 +29,9 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
-__all__ = ["sanitize", "dumps", "write_text_atomic", "write_json_atomic"]
+from repro.errors import ConfigurationError
+
+__all__ = ["sanitize", "dumps", "read_json", "write_text_atomic", "write_json_atomic"]
 
 
 def sanitize(value: Any) -> Any:
@@ -50,6 +52,27 @@ def sanitize(value: Any) -> Any:
 def dumps(payload: Any, *, indent: int | None = 2, sort_keys: bool = True) -> str:
     """Serialise ``payload`` as strict JSON (non-finite floats become ``null``)."""
     return json.dumps(sanitize(payload), indent=indent, sort_keys=sort_keys, allow_nan=False)
+
+
+def read_json(path: str | Path, *, kind: str = "JSON file") -> Any:
+    """Read ``path`` as JSON, mapping every failure to a clean error.
+
+    Unreadable files and malformed JSON both raise
+    :class:`~repro.errors.ConfigurationError` naming the offending path (and,
+    for parse errors, the line/column), so CLI verbs and artifact loaders
+    exit cleanly instead of dumping a ``json`` traceback at the user.
+    ``kind`` labels the payload in the message (``"pipeline config"``,
+    ``"bench artifact"``, ...).
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ConfigurationError(f"Cannot read {kind} {path}: {error}") from None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"{kind} {path} is not valid JSON: {error}") from None
 
 
 def write_text_atomic(path: str | Path, text: str) -> Path:

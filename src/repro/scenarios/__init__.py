@@ -5,7 +5,10 @@
 * :mod:`~repro.scenarios.families` — the registered families (importing this
   package registers them);
 * :mod:`~repro.scenarios.sweep` — the differential sweep harness and its
-  ``repro-sweep/1`` artifact (CLI front-end: ``repro-lb sweep``).
+  ``repro-sweep/1`` artifact (CLI front-end: ``repro-lb sweep``);
+* :mod:`~repro.scenarios.regression` — frozen ``regression/*`` counter-
+  examples mined by ``repro-lb hunt`` (importing this package registers
+  them alongside the synthetic families).
 """
 
 from repro.scenarios import families as _families  # noqa: F401 - registers the families
@@ -17,10 +20,21 @@ from repro.scenarios.registry import (
     grid_fingerprint,
     grid_specs,
     register_scenario,
+    register_scenario_spec,
     scenario_info,
     scenario_scale,
     workload_digest,
 )
+from repro.scenarios.regression import (
+    REGRESSION_SCHEMA,
+    FrozenScenario,
+    frozen_info,
+    frozen_names,
+    load_frozen,
+    register_frozen,
+)
+
+register_frozen()  # the packaged regression.json, if any
 from repro.scenarios.sweep import (
     NEVER_WORSE_BALANCERS,
     SWEEP_SCHEMA,
@@ -34,18 +48,25 @@ from repro.scenarios.sweep import (
 
 __all__ = [
     "NEVER_WORSE_BALANCERS",
+    "REGRESSION_SCHEMA",
     "SCENARIO_PRESETS",
     "SWEEP_SCHEMA",
+    "FrozenScenario",
     "ScenarioScale",
     "ScenarioSpec",
     "SweepArtifact",
     "SweepCell",
     "available_scenarios",
     "execute_cell",
+    "frozen_info",
+    "frozen_names",
     "grid_fingerprint",
     "grid_specs",
+    "load_frozen",
     "plan_sweep",
+    "register_frozen",
     "register_scenario",
+    "register_scenario_spec",
     "run_sweep",
     "scenario_info",
     "scenario_scale",

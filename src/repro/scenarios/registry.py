@@ -40,6 +40,7 @@ __all__ = [
     "grid_fingerprint",
     "grid_specs",
     "register_scenario",
+    "register_scenario_spec",
     "scenario_info",
     "scenario_scale",
     "workload_digest",
@@ -87,7 +88,8 @@ def _root_seed(name: str) -> int:
 class ScenarioSpec:
     """One registered workload family."""
 
-    #: Registry key (filesystem- and label-safe).
+    #: Registry key (label-safe; frozen regression scenarios use the
+    #: ``regression/`` prefix).
     name: str
     #: One-line title shown by ``repro-lb list``.
     title: str
@@ -96,12 +98,28 @@ class ScenarioSpec:
     tags: tuple[str, ...]
     #: Family body: turn a grid scale into the family's (seed-less) spec.
     builder: Callable[[ScenarioScale], WorkloadSpec]
+    #: Frozen regression scenarios pin one exact workload (parameters *and*
+    #: seed): the builder ignores the grid scale, no seed is stamped, and the
+    #: family exposes exactly one grid cell per preset.
+    frozen: bool = False
+
+    def cell_count(self, preset: str) -> int:
+        """Seed indices this family contributes to the ``preset`` grid."""
+        scale = scenario_scale(preset)
+        return 1 if self.frozen else scale.seeds
 
     def workload_spec(self, preset: str, index: int) -> WorkloadSpec:
         """Concrete workload spec of grid cell ``(self, preset, index)``."""
         if index < 0:
             raise ConfigurationError(f"Seed index must be non-negative, got {index}")
         scale = scenario_scale(preset)
+        if self.frozen:
+            if index >= 1:
+                raise ConfigurationError(
+                    f"Frozen scenario {self.name!r} pins exactly one workload; "
+                    f"seed index {index} does not exist"
+                )
+            return self.builder(scale)
         seed = derive_seed(_root_seed(self.name), index)
         return self.builder(scale).with_updates(
             seed=seed, label=f"{self.name}-{preset}-i{index}"
@@ -115,6 +133,14 @@ class ScenarioSpec:
 _REGISTRY: dict[str, ScenarioSpec] = {}
 
 
+def register_scenario_spec(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register a fully built :class:`ScenarioSpec` (the frozen-scenario path)."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"Scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
 def register_scenario(
     name: str, title: str, description: str, tags: tuple[str, ...] = ()
 ) -> Callable[[Callable[[ScenarioScale], WorkloadSpec]], Callable[[ScenarioScale], WorkloadSpec]]:
@@ -123,10 +149,10 @@ def register_scenario(
     def decorator(
         builder: Callable[[ScenarioScale], WorkloadSpec],
     ) -> Callable[[ScenarioScale], WorkloadSpec]:
-        if name in _REGISTRY:
-            raise ConfigurationError(f"Scenario {name!r} is already registered")
-        _REGISTRY[name] = ScenarioSpec(
-            name=name, title=title, description=description, tags=tags, builder=builder
+        register_scenario_spec(
+            ScenarioSpec(
+                name=name, title=title, description=description, tags=tags, builder=builder
+            )
         )
         return builder
 
@@ -151,12 +177,16 @@ def scenario_info(name: str) -> ScenarioSpec:
 def grid_specs(
     preset: str, scenarios: tuple[str, ...] | None = None
 ) -> Iterator[tuple[ScenarioSpec, int, WorkloadSpec]]:
-    """Enumerate the ``scenario x seed-index`` grid of ``preset``, in name order."""
-    scale = scenario_scale(preset)
+    """Enumerate the ``scenario x seed-index`` grid of ``preset``, in name order.
+
+    Frozen regression scenarios contribute exactly one cell each (their
+    workload is pinned, so extra seed indices would replay the same problem).
+    """
+    scenario_scale(preset)
     names = available_scenarios() if scenarios is None else scenarios
     for name in names:
         spec = scenario_info(name)
-        for index in range(scale.seeds):
+        for index in range(spec.cell_count(preset)):
             yield spec, index, spec.workload_spec(preset, index)
 
 

@@ -1,0 +1,182 @@
+"""Frozen ``regression/*`` scenarios mined by the adversarial search driver.
+
+Every counterexample the hunt loop (:mod:`repro.search`) finds, minimises
+and decides to keep is *frozen* here: one entry of the versioned
+``repro-regression/1`` registry file (``regression.json``, shipped inside
+the package) pinning the exact :class:`~repro.workloads.spec.WorkloadSpec`
+— parameters **and** seed — together with the objective it tripped, the
+measured score/evidence and the full ``repro-search/1`` provenance record
+(seed chain, mutation lineage, score history, minimiser trace).
+
+Importing :mod:`repro.scenarios` registers each entry as a frozen
+:class:`~repro.scenarios.registry.ScenarioSpec` (one grid cell per preset,
+no seed stamping), so the differential sweep and the conformance gate cover
+every frozen counterexample forever, automatically — a scenario found by
+the hunt once is a permanent regression test from then on.  The golden test
+layer (``tests/test_regression_scenarios.py``) additionally replays each
+entry through its objective and pins the recorded verdict field for field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro import jsonio
+from repro.errors import ConfigurationError
+from repro.scenarios.registry import ScenarioScale, ScenarioSpec, register_scenario_spec
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "REGRESSION_SCHEMA",
+    "REGRESSION_PREFIX",
+    "REGISTRY_PATH",
+    "FrozenScenario",
+    "load_frozen",
+    "register_frozen",
+    "frozen_names",
+]
+
+#: Version tag of the frozen-scenario registry file.
+REGRESSION_SCHEMA = "repro-regression/1"
+
+#: Registry-name prefix of every frozen scenario.
+REGRESSION_PREFIX = "regression/"
+
+#: The packaged registry the sweep/conformance gates pick up automatically.
+REGISTRY_PATH = Path(__file__).with_name("regression.json")
+
+
+@dataclass(frozen=True, slots=True)
+class FrozenScenario:
+    """One frozen counterexample (an entry of ``regression.json``)."""
+
+    #: Registry key (``regression/<objective>-<fingerprint8>``).
+    name: str
+    #: Search objective the workload trips (:mod:`repro.search.objectives`).
+    objective: str
+    title: str
+    #: Objective score measured when the counterexample was frozen.
+    score: float
+    #: Firing threshold the hunt ran with.
+    threshold: float
+    #: Structural fingerprint of the generated workload
+    #: (:func:`~repro.scenarios.registry.workload_digest`) — the dedup key.
+    fingerprint: str
+    #: The pinned workload (parameters *and* seed).
+    spec: WorkloadSpec
+    #: Objective evidence at freeze time (pinned field-for-field by the
+    #: golden regression test).
+    evidence: dict[str, Any]
+    #: Full ``repro-search/1`` counterexample record (seed chain, lineage,
+    #: score history, minimiser trace).
+    provenance: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "objective": self.objective,
+            "title": self.title,
+            "score": float(self.score),
+            "threshold": float(self.threshold),
+            "fingerprint": self.fingerprint,
+            "spec": self.spec.to_dict(),
+            "evidence": dict(self.evidence),
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FrozenScenario":
+        missing = [key for key in ("name", "objective", "spec") if key not in data]
+        if missing:
+            raise ConfigurationError(
+                f"Frozen scenario entry is missing required key(s) {missing}"
+            )
+        name = str(data["name"])
+        if not name.startswith(REGRESSION_PREFIX):
+            raise ConfigurationError(
+                f"Frozen scenario {name!r} must be named {REGRESSION_PREFIX}..."
+            )
+        return cls(
+            name=name,
+            objective=str(data["objective"]),
+            title=str(data.get("title", "")),
+            score=float(data.get("score", 0.0)),
+            threshold=float(data.get("threshold", 0.0)),
+            fingerprint=str(data.get("fingerprint", "")),
+            spec=WorkloadSpec.from_dict(data["spec"]),
+            evidence=dict(data.get("evidence") or {}),
+            provenance=dict(data.get("provenance") or {}),
+        )
+
+    def scenario_spec(self) -> ScenarioSpec:
+        """The frozen registry entry (builder ignores the grid scale)."""
+        pinned = self.spec
+
+        def _builder(scale: ScenarioScale) -> WorkloadSpec:  # noqa: ARG001 - pinned
+            return pinned
+
+        return ScenarioSpec(
+            name=self.name,
+            title=self.title or f"frozen counterexample of objective {self.objective!r}",
+            description=(
+                f"mined by repro-lb hunt (objective {self.objective}, score "
+                f"{self.score:g} >= threshold {self.threshold:g}); pinned workload "
+                f"fingerprint {self.fingerprint}"
+            ),
+            tags=("regression", self.objective),
+            builder=_builder,
+            frozen=True,
+        )
+
+
+def load_frozen(path: str | Path | None = None) -> tuple[FrozenScenario, ...]:
+    """Parse a frozen-scenario registry file (missing file = empty registry)."""
+    path = REGISTRY_PATH if path is None else Path(path)
+    if not path.exists():
+        return ()
+    data = jsonio.read_json(path, kind="regression registry")
+    schema = data.get("schema", REGRESSION_SCHEMA) if isinstance(data, dict) else None
+    if schema != REGRESSION_SCHEMA:
+        raise ConfigurationError(
+            f"Unsupported regression-registry schema {schema!r} in {path}; this "
+            f"build reads {REGRESSION_SCHEMA!r}"
+        )
+    entries = [FrozenScenario.from_dict(entry) for entry in data.get("scenarios") or []]
+    names = [entry.name for entry in entries]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ConfigurationError(
+            f"Regression registry {path} contains duplicate scenario name(s) "
+            f"{duplicates}"
+        )
+    return tuple(entries)
+
+
+_REGISTERED: dict[str, FrozenScenario] = {}
+
+
+def register_frozen(path: str | Path | None = None) -> tuple[str, ...]:
+    """Register every frozen scenario of ``path`` into the scenario registry."""
+    registered: list[str] = []
+    for entry in load_frozen(path):
+        register_scenario_spec(entry.scenario_spec())
+        _REGISTERED[entry.name] = entry
+        registered.append(entry.name)
+    return tuple(registered)
+
+
+def frozen_names() -> tuple[str, ...]:
+    """Names of the frozen scenarios registered in this process, sorted."""
+    return tuple(sorted(_REGISTERED))
+
+
+def frozen_info(name: str) -> FrozenScenario:
+    """The frozen entry registered under ``name``."""
+    try:
+        return _REGISTERED[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown frozen scenario {name!r}; registered: {list(frozen_names())}"
+        ) from None

@@ -140,7 +140,7 @@ def plan_sweep(
     from repro.api.balancers import available_balancers, balancer_info
     from repro.scenarios.registry import available_scenarios, scenario_info, scenario_scale
 
-    scale = scenario_scale(preset)
+    scenario_scale(preset)
     scenario_names = available_scenarios() if scenarios is None else tuple(scenarios)
     balancer_names = available_balancers() if balancers is None else tuple(balancers)
     for name in scenario_names:
@@ -161,7 +161,7 @@ def plan_sweep(
     cells: list[SweepCell] = []
     paper_cells = 0
     for scenario in scenario_names:
-        for index in range(scale.seeds):
+        for index in range(scenario_info(scenario).cell_count(preset)):
             for balancer in balancer_names:
                 oracle = False
                 if balancer == "paper" and oracle_stride:
@@ -442,16 +442,7 @@ class SweepArtifact:
     @classmethod
     def load(cls, path: str | Path) -> "SweepArtifact":
         """Read an artifact back from disk."""
-        path = Path(path)
-        try:
-            data = json.loads(path.read_text())
-        except OSError as error:
-            raise ConfigurationError(f"Cannot read sweep artifact {path}: {error}") from None
-        except json.JSONDecodeError as error:
-            raise ConfigurationError(
-                f"Sweep artifact {path} is not valid JSON: {error}"
-            ) from None
-        return cls.from_dict(data)
+        return cls.from_dict(jsonio.read_json(path, kind="sweep artifact"))
 
     def render(self) -> str:
         """Per-scenario summary table plus the findings (what the CLI prints)."""

@@ -1,0 +1,56 @@
+"""Adversarial scenario search: hunt, minimise and freeze counterexamples.
+
+The subsystem mines the workload parameter space for instances that make
+the implementation look worst — infeasible paper-heuristic outcomes,
+near-bound Theorem-2 ratios, simulation/model divergences, wall-time
+blowups — then shrinks each find with a delta-debugging minimiser and
+freezes the keepers as permanent ``regression/*`` scenarios the sweep and
+conformance gates replay forever.
+
+* :mod:`~repro.search.objectives` — the pluggable badness objectives;
+* :mod:`~repro.search.mutate` — the bounded spec parameter space and its
+  mutation/crossover operators;
+* :mod:`~repro.search.driver` — the budgeted SA + GA hunt loop
+  (CLI front-end: ``repro-lb hunt``);
+* :mod:`~repro.search.minimize` — spec-level delta debugging;
+* :mod:`~repro.search.artifact` — the ``repro-search/1`` artifact;
+* :mod:`~repro.search.freeze` — merging survivors into the
+  ``repro-regression/1`` registry of :mod:`repro.scenarios`.
+"""
+
+from repro.search.artifact import SEARCH_SCHEMA, SearchArtifact
+from repro.search.driver import BUDGETS, SEARCH_SEED_STREAM, SearchOptions, run_hunt
+from repro.search.freeze import freeze_counterexamples
+from repro.search.minimize import MinimizeResult, minimize_spec, spec_size
+from repro.search.mutate import ParamSpace, crossover_specs, initial_spec, mutate_spec
+from repro.search.objectives import (
+    ObjectiveResult,
+    ObjectiveSpec,
+    available_objectives,
+    evaluate_objective,
+    objective_info,
+    register_objective,
+)
+
+__all__ = [
+    "BUDGETS",
+    "SEARCH_SCHEMA",
+    "SEARCH_SEED_STREAM",
+    "MinimizeResult",
+    "ObjectiveResult",
+    "ObjectiveSpec",
+    "ParamSpace",
+    "SearchArtifact",
+    "SearchOptions",
+    "available_objectives",
+    "crossover_specs",
+    "evaluate_objective",
+    "freeze_counterexamples",
+    "initial_spec",
+    "minimize_spec",
+    "mutate_spec",
+    "objective_info",
+    "register_objective",
+    "run_hunt",
+    "spec_size",
+]

@@ -1,0 +1,167 @@
+"""The versioned ``repro-search/1`` artifact of one hunt invocation.
+
+Mirrors the other artifact layers (``repro-bench/1``, ``repro-sweep/1``):
+a strict-JSON, atomically written record of everything the hunt did —
+objective, budget, the full seed chain, one history entry per objective
+evaluation (phase, score, mutation ops, acceptance), and every surviving
+counterexample with its minimisation trace and lineage.
+
+Determinism contract: two hunts with the same objective, budget and seed
+produce identical :meth:`SearchArtifact.canonical_dict` payloads — the
+canonical form excludes only the wall-clock fields (``created``,
+``seconds``) and the host ``environment`` fingerprint.  The CI hunt-smoke
+job runs the driver twice and diffs the canonical forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro import jsonio
+from repro.bench.artifact import environment_fingerprint
+from repro.errors import ConfigurationError
+
+__all__ = ["SEARCH_SCHEMA", "SearchArtifact"]
+
+#: Version tag stamped into every serialised search artifact.
+SEARCH_SCHEMA = "repro-search/1"
+
+
+@dataclass(slots=True)
+class SearchArtifact:
+    """One serialisable hunt invocation (schema ``repro-search/1``)."""
+
+    objective: str
+    #: Budget name (``tiny``/``quick``/``full``) or ``"custom"``.
+    budget: str
+    #: Root seed of the hunt's seed chain.
+    seed: int
+    #: Firing threshold the hunt ran with.
+    threshold: float
+    #: UTC creation time, ISO-8601.
+    created: str
+    #: Options echo (evaluation budget, SA fraction, survivor cap, ...).
+    options: dict[str, Any] = field(default_factory=dict)
+    #: Derived sub-seeds, by consumer (``init``/``sa``/``ga``).
+    seed_chain: dict[str, Any] = field(default_factory=dict)
+    #: One record per objective evaluation, in order.
+    history: list[dict[str, Any]] = field(default_factory=list)
+    #: Surviving counterexamples (minimised, deduplicated, score-sorted).
+    counterexamples: list[dict[str, Any]] = field(default_factory=list)
+    #: Objective evaluations spent, by phase (search vs minimisation).
+    evaluations: dict[str, int] = field(default_factory=dict)
+    best_score: float = 0.0
+    #: Wall-clock seconds of the whole hunt (excluded from canonical form).
+    seconds: float = 0.0
+    environment: dict[str, Any] = field(default_factory=environment_fingerprint)
+    schema: str = SEARCH_SCHEMA
+
+    @classmethod
+    def now(cls, **kwargs: Any) -> "SearchArtifact":
+        """Artifact stamped with the current UTC time."""
+        created = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+        return cls(created=created, **kwargs)
+
+    @property
+    def found(self) -> bool:
+        """``True`` when the hunt surfaced at least one counterexample."""
+        return bool(self.counterexamples)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "objective": self.objective,
+            "budget": self.budget,
+            "seed": self.seed,
+            "threshold": float(self.threshold),
+            "created": self.created,
+            "options": dict(self.options),
+            "seed_chain": dict(self.seed_chain),
+            "evaluations": dict(self.evaluations),
+            "best_score": float(self.best_score),
+            "found": self.found,
+            "history": [dict(entry) for entry in self.history],
+            "counterexamples": [dict(entry) for entry in self.counterexamples],
+            "seconds": float(self.seconds),
+            "environment": dict(self.environment),
+        }
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """The deterministic subset of :meth:`to_dict` (the CI diff target)."""
+        data = self.to_dict()
+        for volatile in ("created", "seconds", "environment"):
+            data.pop(volatile, None)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchArtifact":
+        schema = data.get("schema", SEARCH_SCHEMA)
+        if schema != SEARCH_SCHEMA:
+            raise ConfigurationError(
+                f"Unsupported search-artifact schema {schema!r}; this build reads "
+                f"{SEARCH_SCHEMA!r}"
+            )
+        return cls(
+            objective=str(data.get("objective", "")),
+            budget=str(data.get("budget", "")),
+            seed=int(data.get("seed", 0)),
+            threshold=float(data.get("threshold", 0.0)),
+            created=str(data.get("created", "")),
+            options=dict(data.get("options") or {}),
+            seed_chain=dict(data.get("seed_chain") or {}),
+            history=[dict(entry) for entry in data.get("history") or []],
+            counterexamples=[dict(entry) for entry in data.get("counterexamples") or []],
+            evaluations={k: int(v) for k, v in (data.get("evaluations") or {}).items()},
+            best_score=float(data.get("best_score", 0.0)),
+            seconds=float(data.get("seconds", 0.0)),
+            environment=dict(data.get("environment") or {}),
+            schema=schema,
+        )
+
+    def save(self, target: str | Path) -> Path:
+        """Write the artifact (atomically, as strict JSON).
+
+        A directory target receives the conventional ``HUNT_<timestamp>.json``
+        name; any other target is treated as the exact file path.
+        """
+        target = Path(target)
+        try:
+            if target.is_dir() or not target.suffix:
+                target.mkdir(parents=True, exist_ok=True)
+                stamp = self.created.replace("-", "").replace(":", "")
+                target = target / f"HUNT_{stamp}.json"
+            else:
+                target.parent.mkdir(parents=True, exist_ok=True)
+            jsonio.write_json_atomic(target, self.to_dict())
+        except OSError as error:
+            raise ConfigurationError(
+                f"Cannot write search artifact to {target}: {error}"
+            ) from None
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SearchArtifact":
+        """Read an artifact back from disk."""
+        return cls.from_dict(jsonio.read_json(path, kind="search artifact"))
+
+    def render(self) -> str:
+        """Hunt summary plus one line per counterexample (what the CLI prints)."""
+        spent = sum(self.evaluations.values())
+        lines = [
+            f"hunt objective={self.objective} budget={self.budget} seed={self.seed}",
+            f"  evaluations: {spent} "
+            + " ".join(f"{k}={v}" for k, v in sorted(self.evaluations.items())),
+            f"  best score: {self.best_score:g} (threshold {self.threshold:g})",
+            f"  counterexamples: {len(self.counterexamples)}",
+        ]
+        for entry in self.counterexamples:
+            spec = entry.get("spec") or {}
+            lines.append(
+                f"    {entry.get('fingerprint', '?')[:8]} score={entry.get('score', 0):g} "
+                f"N={spec.get('task_count', '?')} M={spec.get('processor_count', '?')} "
+                f"seed={spec.get('seed', '?')} shape={spec.get('shape', '?')}"
+            )
+        return "\n".join(lines)

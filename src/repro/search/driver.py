@@ -1,0 +1,406 @@
+"""The hunt driver: simulated annealing + a small genetic refinement loop.
+
+:func:`run_hunt` maximises one registered badness objective over the bounded
+:class:`~repro.search.mutate.ParamSpace`:
+
+1. **Simulated annealing** (the bulk of the budget): a single chain of
+   1–2-op mutations with geometric cooling — uphill moves always accepted,
+   downhill moves with probability ``exp(Δ/T)``.  SA is the explorer; its
+   reseed mutations also walk the sampling-noise axis.
+2. **Genetic refinement** (the remainder): a small population seeded from
+   the best specs SA visited, evolved with the exact operator set of the
+   GA baseline — tournament selection, uniform crossover, mutation,
+   elitism — whose hyper-parameters ride in the same
+   :class:`~repro.baselines.genetic.GeneticOptions` dataclass the baseline
+   validates.  The GA is the exploiter: it recombines independently
+   discovered bad regions.
+
+Every candidate whose score reaches the firing threshold is a survivor;
+survivors are shrunk by the delta-debugging minimiser
+(:mod:`repro.search.minimize`), re-confirmed, deduplicated by structural
+workload fingerprint and ranked by score into the ``repro-search/1``
+artifact.  All randomness flows from one root seed through the dedicated
+``hunt`` seed stream of :func:`~repro.workloads.seeding.derive_seed`, so a
+hunt is one pure function of ``(objective, budget, seed)`` — the CI smoke
+job diffs two runs' canonical artifacts byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.baselines.genetic import GeneticOptions
+from repro.errors import ConfigurationError, WorkloadError
+from repro.scenarios.registry import workload_digest
+from repro.search.artifact import SearchArtifact
+from repro.search.minimize import minimize_spec, spec_size
+from repro.search.mutate import ParamSpace, crossover_specs, initial_spec, mutate_spec
+from repro.search.objectives import evaluate_objective, objective_info
+from repro.workloads.generator import generate_workload
+from repro.workloads.seeding import derive_seed
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["BUDGETS", "SEARCH_SEED_STREAM", "SearchOptions", "run_hunt"]
+
+#: Seed-stream namespace of the hunt (spawn key ``(stream, index)``), disjoint
+#: by construction from the plain ``(index,)`` keys of the scenario grids.
+SEARCH_SEED_STREAM = 0x48554E54  # "HUNT"
+
+#: Named evaluation budgets (objective evaluations spent searching; the
+#: minimiser and the final confirmation re-runs budget separately).
+BUDGETS: dict[str, int] = {"tiny": 40, "quick": 120, "full": 500}
+
+#: Cap on the lineage depth recorded per counterexample (provenance, not data).
+_MAX_LINEAGE = 50
+
+
+@dataclass(frozen=True, slots=True)
+class SearchOptions:
+    """One hunt invocation."""
+
+    objective: str
+    #: Named budget (``tiny``/``quick``/``full``).
+    budget: str = "tiny"
+    #: Explicit evaluation budget (overrides ``budget`` when given).
+    evaluations: int | None = None
+    #: Root seed of the hunt's seed chain.
+    seed: int = 0
+    #: Firing threshold (``None`` = the objective's registered default).
+    threshold: float | None = None
+    #: Counterexamples kept after minimisation + dedup.
+    max_survivors: int = 5
+    minimize: bool = True
+    #: Minimiser evaluation budget, per survivor.
+    minimize_evaluations: int = 60
+    #: Fraction of the search budget the SA phase burns (the GA gets the rest).
+    sa_fraction: float = 0.6
+    space: ParamSpace = ParamSpace()
+
+    def resolved_evaluations(self) -> int:
+        if self.evaluations is not None:
+            if self.evaluations < 1:
+                raise ConfigurationError(
+                    f"evaluations must be >= 1, got {self.evaluations}"
+                )
+            return self.evaluations
+        try:
+            return BUDGETS[self.budget]
+        except KeyError:
+            raise ConfigurationError(
+                f"Unknown hunt budget {self.budget!r}; expected one of "
+                f"{sorted(BUDGETS)} (or an explicit evaluation count)"
+            ) from None
+
+    def validate(self) -> None:
+        objective_info(self.objective)
+        self.resolved_evaluations()
+        if not 0.0 <= self.sa_fraction <= 1.0:
+            raise ConfigurationError(
+                f"sa_fraction must be in [0, 1], got {self.sa_fraction}"
+            )
+        if self.max_survivors < 1:
+            raise ConfigurationError(
+                f"max_survivors must be >= 1, got {self.max_survivors}"
+            )
+        if self.minimize_evaluations < 0:
+            raise ConfigurationError(
+                f"minimize_evaluations must be >= 0, got {self.minimize_evaluations}"
+            )
+
+
+class _Hunt:
+    """Mutable state of one hunt (specs, history, lineage)."""
+
+    def __init__(self, options: SearchOptions, threshold: float) -> None:
+        self.options = options
+        self.threshold = threshold
+        self.history: list[dict[str, Any]] = []
+        #: Evaluation index -> the spec it evaluated (lineage + survivors).
+        self.specs: dict[int, WorkloadSpec] = {}
+        #: Evaluation indices whose score reached the threshold.
+        self.fired: list[int] = []
+
+    def evaluate(
+        self,
+        spec: WorkloadSpec,
+        *,
+        phase: str,
+        parent: int | None,
+        ops: list[dict[str, Any]],
+    ) -> tuple[int, float]:
+        """Run the objective on ``spec``, appending one history record."""
+        result = evaluate_objective(self.options.objective, spec)
+        evaluation = len(self.history)
+        fired = result.status == "ok" and result.score >= self.threshold
+        self.history.append(
+            {
+                "evaluation": evaluation,
+                "phase": phase,
+                "parent": parent,
+                "ops": ops,
+                "score": float(result.score),
+                "status": result.status,
+                "fired": fired,
+            }
+        )
+        self.specs[evaluation] = spec
+        if fired:
+            self.fired.append(evaluation)
+        return evaluation, float(result.score)
+
+    def lineage(self, evaluation: int) -> list[dict[str, Any]]:
+        """Ancestor chain of one evaluation (root first, depth-capped)."""
+        chain: list[dict[str, Any]] = []
+        cursor: int | None = evaluation
+        while cursor is not None and len(chain) < _MAX_LINEAGE:
+            entry = self.history[cursor]
+            chain.append(
+                {
+                    "evaluation": entry["evaluation"],
+                    "phase": entry["phase"],
+                    "ops": entry["ops"],
+                    "score": entry["score"],
+                }
+            )
+            cursor = entry["parent"]
+        chain.reverse()
+        return chain
+
+
+def _anneal(hunt: _Hunt, rng: np.random.Generator, evaluations: int) -> None:
+    """The SA phase: one chain, geometric cooling."""
+    options = hunt.options
+    start = initial_spec(options.space, rng, seed=int(rng.integers(0, 2**32)))
+    current_eval, current_score = hunt.evaluate(
+        start, phase="init", parent=None, ops=[]
+    )
+    budget = evaluations - 1  # the initial evaluation came out of the budget
+    if budget <= 0:
+        return
+    t_start = max(0.2 * max(hunt.threshold, 1e-6), 1e-3)
+    t_end = t_start * 0.01
+    for step in range(budget):
+        temperature = t_start * (t_end / t_start) ** (step / max(budget - 1, 1))
+        candidate, ops = mutate_spec(hunt.specs[current_eval], options.space, rng)
+        evaluation, score = hunt.evaluate(
+            candidate, phase="sa", parent=current_eval, ops=ops
+        )
+        delta = score - current_score
+        accepted = delta > 0 or rng.random() < math.exp(
+            min(delta / temperature, 0.0)
+        )
+        hunt.history[evaluation]["accepted"] = bool(accepted)
+        if accepted:
+            current_eval, current_score = evaluation, score
+
+
+def _refine(hunt: _Hunt, rng: np.random.Generator, evaluations: int) -> None:
+    """The GA phase: evolve a small population seeded from SA's best specs."""
+    options = hunt.options
+    population_size = min(6, max(2, evaluations // 2))
+    ga = GeneticOptions(
+        population_size=population_size,
+        generations=max(1, math.ceil(evaluations / population_size)),
+        crossover_rate=0.9,
+        mutation_rate=0.5,
+        tournament_size=3,
+        elite_count=min(2, population_size - 1),
+        seed=0,  # unused: the hunt owns the generator
+    )
+    ga.validate()
+
+    def tournament(population: list[tuple[int, float]]) -> tuple[int, float]:
+        contenders = rng.integers(0, len(population), size=ga.tournament_size)
+        return max(
+            (population[int(i)] for i in contenders),
+            key=lambda item: (item[1], -item[0]),
+        )
+
+    # Seed the population with the best evaluations so far (score-sorted,
+    # evaluation order as the deterministic tie-break).
+    ranked = sorted(
+        hunt.history, key=lambda entry: (-entry["score"], entry["evaluation"])
+    )
+    population: list[tuple[int, float]] = [
+        (entry["evaluation"], entry["score"]) for entry in ranked[:population_size]
+    ]
+    spent = 0
+    for _generation in range(ga.generations):
+        if spent >= evaluations:
+            break
+        children: list[tuple[int, float]] = []
+        while len(children) < ga.population_size and spent < evaluations:
+            mother = tournament(population)
+            father = tournament(population)
+            ops: list[dict[str, Any]] = []
+            if rng.random() < ga.crossover_rate and mother[0] != father[0]:
+                child = crossover_specs(
+                    hunt.specs[mother[0]], hunt.specs[father[0]], rng
+                )
+                ops.append({"op": "crossover", "with": father[0]})
+            else:
+                child = hunt.specs[mother[0]]
+            if rng.random() < ga.mutation_rate or not ops:
+                child, mutation_ops = mutate_spec(child, options.space, rng)
+                ops.extend(mutation_ops)
+            evaluation, score = hunt.evaluate(
+                child, phase="ga", parent=mother[0], ops=ops
+            )
+            children.append((evaluation, score))
+            spent += 1
+        merged = sorted(
+            population + children, key=lambda item: (-item[1], item[0])
+        )
+        elites = merged[: ga.elite_count]
+        population = (elites + children)[: ga.population_size] or population
+
+
+def _collect(hunt: _Hunt) -> tuple[list[dict[str, Any]], dict[str, int]]:
+    """Minimise, confirm, deduplicate and rank the firing evaluations."""
+    options = hunt.options
+    minimize_spent = 0
+    confirm_spent = 0
+    seen_fingerprints: set[str] = set()
+    survivors: list[dict[str, Any]] = []
+    # Best firing evaluations first; keep a margin over the cap so dedup
+    # after minimisation can still fill it.
+    ranked = sorted(
+        hunt.fired, key=lambda e: (-hunt.history[e]["score"], e)
+    )[: options.max_survivors * 3]
+    for evaluation in ranked:
+        parent_spec = hunt.specs[evaluation]
+        search_score = hunt.history[evaluation]["score"]
+        minimize_record: dict[str, Any] | None = None
+        final_spec = parent_spec
+        if options.minimize and options.minimize_evaluations:
+
+            def fires(candidate: WorkloadSpec) -> tuple[bool, float]:
+                result = evaluate_objective(options.objective, candidate)
+                return (
+                    result.status == "ok" and result.score >= hunt.threshold,
+                    result.score,
+                )
+
+            reduction = minimize_spec(
+                parent_spec, fires, max_evaluations=options.minimize_evaluations
+            )
+            minimize_spent += reduction.evaluations
+            final_spec = reduction.spec
+            minimize_record = {
+                "evaluations": reduction.evaluations,
+                "trace": reduction.trace,
+                "from_size": list(spec_size(parent_spec)),
+                "to_size": list(spec_size(final_spec)),
+                "from_spec": parent_spec.to_dict(),
+            }
+        confirmation = evaluate_objective(options.objective, final_spec)
+        confirm_spent += 1
+        if not (
+            confirmation.status == "ok" and confirmation.score >= hunt.threshold
+        ):
+            # The minimiser never keeps a non-firing reduction, so only a
+            # flaky objective (wall time) can land here; drop it loudly in
+            # the history rather than freeze a non-reproducing spec.
+            hunt.history.append(
+                {
+                    "evaluation": len(hunt.history),
+                    "phase": "confirm",
+                    "parent": evaluation,
+                    "ops": [],
+                    "score": float(confirmation.score),
+                    "status": confirmation.status,
+                    "fired": False,
+                }
+            )
+            continue
+        try:
+            fingerprint = workload_digest(generate_workload(final_spec))
+        except WorkloadError:
+            # Every registered objective generates the workload, so a spec
+            # that fired cannot normally be ungeneratable; guard anyway so a
+            # future objective skipping generation cannot crash the hunt.
+            continue
+        if fingerprint in seen_fingerprints:
+            continue
+        seen_fingerprints.add(fingerprint)
+        survivors.append(
+            {
+                "score": float(confirmation.score),
+                "threshold": float(hunt.threshold),
+                "fingerprint": fingerprint,
+                "spec": final_spec.to_dict(),
+                "evidence": confirmation.evidence,
+                "provenance": {
+                    "objective": options.objective,
+                    "found_at_evaluation": evaluation,
+                    "phase": hunt.history[evaluation]["phase"],
+                    "search_score": float(search_score),
+                    "lineage": hunt.lineage(evaluation),
+                    "minimize": minimize_record,
+                },
+            }
+        )
+        if len(survivors) >= options.max_survivors:
+            break
+    survivors.sort(key=lambda entry: (-entry["score"], entry["fingerprint"]))
+    return survivors, {"minimize": minimize_spent, "confirm": confirm_spent}
+
+
+def run_hunt(options: SearchOptions) -> SearchArtifact:
+    """Run one budgeted hunt and return its ``repro-search/1`` artifact."""
+    options.validate()
+    objective = objective_info(options.objective)
+    threshold = (
+        objective.threshold if options.threshold is None else options.threshold
+    )
+    total = options.resolved_evaluations()
+    sa_budget = max(1, round(total * options.sa_fraction)) if total else 0
+    sa_budget = min(sa_budget, total)
+
+    seed_chain = {
+        "root": options.seed,
+        "stream": SEARCH_SEED_STREAM,
+        "init": derive_seed(options.seed, 0, stream=SEARCH_SEED_STREAM),
+        "sa": derive_seed(options.seed, 1, stream=SEARCH_SEED_STREAM),
+        "ga": derive_seed(options.seed, 2, stream=SEARCH_SEED_STREAM),
+    }
+    started = time.perf_counter()
+    hunt = _Hunt(options, threshold)
+
+    sa_rng = np.random.default_rng([seed_chain["init"], seed_chain["sa"]])
+    _anneal(hunt, sa_rng, sa_budget)
+    remaining = total - len(hunt.history)
+    if remaining > 0:
+        _refine(hunt, np.random.default_rng(seed_chain["ga"]), remaining)
+
+    search_spent = len(hunt.history)
+    counterexamples, aux_spent = _collect(hunt)
+    best_score = max(
+        (entry["score"] for entry in hunt.history if entry["status"] == "ok"),
+        default=0.0,
+    )
+    return SearchArtifact.now(
+        objective=options.objective,
+        budget=options.budget if options.evaluations is None else "custom",
+        seed=options.seed,
+        threshold=float(threshold),
+        options={
+            "evaluations": total,
+            "sa_evaluations": sa_budget,
+            "sa_fraction": options.sa_fraction,
+            "max_survivors": options.max_survivors,
+            "minimize": options.minimize,
+            "minimize_evaluations": options.minimize_evaluations,
+        },
+        seed_chain=seed_chain,
+        history=hunt.history,
+        counterexamples=counterexamples,
+        evaluations={"search": search_spent, **aux_spent},
+        best_score=float(best_score),
+        seconds=time.perf_counter() - started,
+    )

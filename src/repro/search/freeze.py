@@ -1,0 +1,92 @@
+"""Freeze hunted counterexamples into the ``regression/*`` scenario registry.
+
+:func:`freeze_counterexamples` merges the survivors of a ``repro-search/1``
+artifact into a ``repro-regression/1`` registry file (by default the
+``regression.json`` shipped inside :mod:`repro.scenarios`).  Names are
+``regression/<objective>-<fingerprint8>``; entries already present — by name
+*or* by structural fingerprint — are skipped, so re-running a hunt never
+duplicates a frozen scenario.  Once committed, the frozen entries register
+on import and every sweep/conformance gate replays them automatically.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import jsonio
+from repro.errors import ConfigurationError
+from repro.scenarios.regression import (
+    REGISTRY_PATH,
+    REGRESSION_PREFIX,
+    REGRESSION_SCHEMA,
+    FrozenScenario,
+    load_frozen,
+)
+from repro.search.artifact import SearchArtifact
+from repro.search.objectives import objective_info
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["freeze_counterexamples"]
+
+
+def freeze_counterexamples(
+    artifact: SearchArtifact,
+    path: str | Path | None = None,
+    *,
+    limit: int | None = None,
+) -> tuple[FrozenScenario, ...]:
+    """Merge the artifact's counterexamples into a regression registry file.
+
+    Returns the entries actually added (skipping any already frozen by name
+    or fingerprint).  The registry file is rewritten atomically, sorted by
+    name, whenever at least one entry is added.
+    """
+    path = REGISTRY_PATH if path is None else Path(path)
+    objective = objective_info(artifact.objective)
+    existing = load_frozen(path)
+    known_names = {entry.name for entry in existing}
+    known_fingerprints = {entry.fingerprint for entry in existing}
+
+    added: list[FrozenScenario] = []
+    for entry in artifact.counterexamples[: limit if limit is not None else None]:
+        fingerprint = str(entry.get("fingerprint", ""))
+        if not fingerprint:
+            raise ConfigurationError(
+                "Counterexample entry has no fingerprint; re-run the hunt with "
+                "a current driver"
+            )
+        short = fingerprint[:8]
+        name = f"{REGRESSION_PREFIX}{artifact.objective}-{short}"
+        if name in known_names or fingerprint in known_fingerprints:
+            continue
+        spec = WorkloadSpec.from_dict(entry["spec"]).with_updates(
+            label=f"regression-{artifact.objective}-{short}"
+        )
+        frozen = FrozenScenario(
+            name=name,
+            objective=artifact.objective,
+            title=f"hunted: {objective.title}",
+            score=float(entry.get("score", 0.0)),
+            threshold=float(entry.get("threshold", artifact.threshold)),
+            fingerprint=fingerprint,
+            spec=spec,
+            evidence=dict(entry.get("evidence") or {}),
+            provenance=dict(entry.get("provenance") or {}),
+        )
+        known_names.add(name)
+        known_fingerprints.add(fingerprint)
+        added.append(frozen)
+
+    if added:
+        merged = sorted(list(existing) + added, key=lambda entry: entry.name)
+        payload = {
+            "schema": REGRESSION_SCHEMA,
+            "scenarios": [entry.to_dict() for entry in merged],
+        }
+        try:
+            jsonio.write_json_atomic(path, payload)
+        except OSError as error:
+            raise ConfigurationError(
+                f"Cannot write regression registry to {path}: {error}"
+            ) from None
+    return tuple(added)

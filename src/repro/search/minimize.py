@@ -1,0 +1,129 @@
+"""Delta-debugging minimiser for counterexample workload specs.
+
+A survivor of the hunt is a *spec*, so minimisation is spec-level delta
+debugging: greedily reduce one parameter at a time — fewer tasks (dropping
+tasks), fewer processors, a flatter period ladder (rounding periods), lower
+utilisation (rounding WCETs, which the generators derive from utilisation),
+sparser graphs — keeping a reduction only while the objective still fires.
+Passes repeat to a fixpoint (or an evaluation budget), so the frozen
+regression scenario is the smallest spec on the reduction lattice that still
+reproduces the finding.
+
+Every pass proposes values *strictly smaller* than the current one, so the
+minimised spec is never larger than its parent on any component of
+:func:`spec_size` — the property the hypothesis suite pins.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["MinimizeResult", "minimize_spec", "spec_size"]
+
+#: Smallest utilisation a reduction may reach (the generators reject 0).
+_MIN_UTILIZATION = 0.05
+
+
+def spec_size(spec: WorkloadSpec) -> tuple[float, ...]:
+    """Size vector of a spec; minimisation only ever decreases components."""
+    return (
+        spec.task_count,
+        spec.processor_count,
+        spec.period_levels,
+        spec.period_ratio,
+        spec.base_period,
+        round(spec.utilization, 9),
+        round(spec.edge_probability, 9),
+    )
+
+
+def _floor_to_grid(value: float, grid: float, minimum: float) -> float:
+    return max(math.floor(value / grid) * grid, minimum)
+
+
+def _candidates(spec: WorkloadSpec) -> list[tuple[str, Any]]:
+    """Reduction proposals, most aggressive first per field.
+
+    ``task_count`` reduction drops tasks; ``utilization`` reduction rounds
+    the WCETs the generator derives from it; ``base_period``/``period_*``
+    reductions round and flatten the period ladder; ``edge_probability``
+    reduction drops dependence edges.
+    """
+    proposals: list[tuple[str, Any]] = []
+    for target in sorted({1, 2, spec.task_count // 2, spec.task_count - 1}):
+        if 1 <= target < spec.task_count:
+            proposals.append(("task_count", target))
+    for target in range(1, spec.processor_count):
+        proposals.append(("processor_count", target))
+    for target in range(1, spec.period_levels):
+        proposals.append(("period_levels", target))
+    if spec.period_ratio > 2:
+        proposals.append(("period_ratio", 2))
+    for target in (10, 20):
+        if target < spec.base_period:
+            proposals.append(("base_period", target))
+    for grid in (0.1, 0.05):
+        target = _floor_to_grid(spec.utilization, grid, _MIN_UTILIZATION)
+        if target < spec.utilization - 1e-12:
+            proposals.append(("utilization", round(target, 9)))
+    for target in (0.0, _floor_to_grid(spec.edge_probability, 0.1, 0.0)):
+        if target < spec.edge_probability - 1e-12:
+            proposals.append(("edge_probability", round(target, 9)))
+    return proposals
+
+
+@dataclass(slots=True)
+class MinimizeResult:
+    """Outcome of one minimisation run."""
+
+    spec: WorkloadSpec
+    #: Objective evaluations the minimiser spent.
+    evaluations: int
+    #: Every attempted reduction: field, from, to, kept?, score.
+    trace: list[dict[str, Any]] = field(default_factory=list)
+
+
+def minimize_spec(
+    spec: WorkloadSpec,
+    fires: Callable[[WorkloadSpec], tuple[bool, float]],
+    *,
+    max_evaluations: int = 80,
+) -> MinimizeResult:
+    """Greedily shrink ``spec`` while ``fires`` keeps returning ``True``.
+
+    ``fires`` evaluates the objective on a candidate and returns
+    ``(still_fires, score)``.  The input spec is assumed to fire (callers
+    check before minimising); the result is the fixpoint of the reduction
+    passes within the evaluation budget.
+    """
+    current = spec
+    evaluations = 0
+    trace: list[dict[str, Any]] = []
+    improved = True
+    while improved and evaluations < max_evaluations:
+        improved = False
+        for field_name, target in _candidates(current):
+            if evaluations >= max_evaluations:
+                break
+            candidate = current.with_updates(**{field_name: target})
+            fired, score = fires(candidate)
+            evaluations += 1
+            trace.append(
+                {
+                    "field": field_name,
+                    "from": getattr(current, field_name),
+                    "to": target,
+                    "kept": bool(fired),
+                    "score": float(score),
+                }
+            )
+            if fired:
+                current = candidate
+                improved = True
+                break  # restart the pass list from the shrunk spec
+    return MinimizeResult(spec=current, evaluations=evaluations, trace=trace)

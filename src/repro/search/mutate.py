@@ -1,0 +1,161 @@
+"""Mutation and crossover operators over the ``WorkloadSpec`` parameter space.
+
+The search treats a :class:`~repro.workloads.spec.WorkloadSpec` as a point
+in a bounded parameter space (:class:`ParamSpace`): integers walk in small
+steps, floats take truncated-gaussian steps, the graph shape flips uniformly
+and the workload *seed itself* is a searchable parameter (a ``reseed``
+mutation redraws it from the search's own seed chain, so the hunt explores
+both parameter space and sampling noise).  Every operator clamps back into
+the space, so any mutated spec validates.
+
+The bounds are deliberately small-instance: ``approx_ratio`` needs branch
+and bound to solve the optimum exactly, and minimised counterexamples should
+be small enough to eyeball.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.workloads.spec import GraphShape, WorkloadSpec
+
+__all__ = ["ParamSpace", "initial_spec", "mutate_spec", "crossover_specs"]
+
+
+@dataclass(frozen=True, slots=True)
+class ParamSpace:
+    """Bounds of the searchable region (inclusive)."""
+
+    task_count: tuple[int, int] = (3, 24)
+    processor_count: tuple[int, int] = (2, 4)
+    utilization: tuple[float, float] = (0.05, 0.85)
+    base_period: tuple[int, int] = (10, 60)
+    period_levels: tuple[int, int] = (1, 4)
+    period_ratio: tuple[int, int] = (2, 4)
+    edge_probability: tuple[float, float] = (0.0, 1.0)
+    memory_low: tuple[float, float] = (0.5, 8.0)
+    memory_high: tuple[float, float] = (1.0, 20.0)
+    shapes: tuple[GraphShape, ...] = tuple(GraphShape)
+
+    def clamp_int(self, name: str, value: int) -> int:
+        low, high = getattr(self, name)
+        return int(min(max(value, low), high))
+
+    def clamp_float(self, name: str, value: float) -> float:
+        low, high = getattr(self, name)
+        return float(min(max(value, low), high))
+
+
+def initial_spec(space: ParamSpace, rng: np.random.Generator, seed: int) -> WorkloadSpec:
+    """Search starting point: mid-space defaults with a drawn workload seed."""
+    return WorkloadSpec(
+        task_count=space.clamp_int("task_count", 10),
+        processor_count=space.clamp_int("processor_count", 2),
+        utilization=space.clamp_float("utilization", 0.30),
+        base_period=space.clamp_int("base_period", 20),
+        period_levels=space.clamp_int("period_levels", 2),
+        period_ratio=space.clamp_int("period_ratio", 2),
+        edge_probability=space.clamp_float("edge_probability", 0.35),
+        shape=GraphShape.LAYERED,
+        seed=int(seed),
+    )
+
+
+#: Mutable field names, by kind (memory_range and shape/seed are special-cased).
+_INT_FIELDS = ("task_count", "processor_count", "base_period", "period_levels", "period_ratio")
+_FLOAT_FIELDS = ("utilization", "edge_probability")
+#: Relative float step (fraction of the bound width) and integer step sizes.
+_FLOAT_SIGMA = 0.15
+_INT_STEPS = {"task_count": 3, "processor_count": 1, "base_period": 10, "period_levels": 1, "period_ratio": 1}
+
+#: Every mutation op the proposer can draw.
+MUTATION_OPS: tuple[str, ...] = _INT_FIELDS + _FLOAT_FIELDS + ("memory_range", "shape", "reseed")
+
+
+def _apply_op(
+    spec: WorkloadSpec, op: str, space: ParamSpace, rng: np.random.Generator
+) -> WorkloadSpec:
+    if op in _INT_FIELDS:
+        step = int(rng.integers(1, _INT_STEPS[op] + 1)) * (1 if rng.random() < 0.5 else -1)
+        return spec.with_updates(**{op: space.clamp_int(op, getattr(spec, op) + step)})
+    if op in _FLOAT_FIELDS:
+        low, high = getattr(space, op)
+        # Heavy-tailed proposal: mostly local gaussian steps, with an
+        # occasional uniform redraw so the chain can cross the whole range
+        # within a tiny budget.
+        if rng.random() < 0.2:
+            return spec.with_updates(**{op: float(rng.uniform(low, high))})
+        step = float(rng.normal(0.0, _FLOAT_SIGMA * (high - low)))
+        return spec.with_updates(**{op: space.clamp_float(op, getattr(spec, op) + step)})
+    if op == "memory_range":
+        low = space.clamp_float("memory_low", spec.memory_range[0] + float(rng.normal(0.0, 1.0)))
+        high = space.clamp_float("memory_high", spec.memory_range[1] + float(rng.normal(0.0, 2.0)))
+        return spec.with_updates(memory_range=(min(low, high), max(low, high)))
+    if op == "shape":
+        return spec.with_updates(shape=space.shapes[int(rng.integers(len(space.shapes)))])
+    if op == "reseed":
+        return spec.with_updates(seed=int(rng.integers(0, 2**32)))
+    raise ValueError(f"unknown mutation op {op!r}")
+
+
+def mutate_spec(
+    spec: WorkloadSpec, space: ParamSpace, rng: np.random.Generator
+) -> tuple[WorkloadSpec, list[dict[str, Any]]]:
+    """One mutation proposal: 1–2 random ops, returned with their trace.
+
+    The trace records each applied op and the field values it produced, so
+    survivor provenance can replay the lineage.
+    """
+    ops: list[dict[str, Any]] = []
+    for _ in range(int(rng.integers(1, 3))):
+        op = MUTATION_OPS[int(rng.integers(len(MUTATION_OPS)))]
+        mutated = _apply_op(spec, op, space, rng)
+        changed = {
+            f: getattr(mutated, f)
+            for f in ("task_count", "processor_count", "utilization", "base_period",
+                      "period_levels", "period_ratio", "edge_probability",
+                      "memory_range", "shape", "seed")
+            if getattr(mutated, f) != getattr(spec, f)
+        }
+        ops.append(
+            {
+                "op": op,
+                "changed": {
+                    k: (v.value if isinstance(v, GraphShape) else
+                        list(v) if isinstance(v, tuple) else v)
+                    for k, v in changed.items()
+                },
+            }
+        )
+        spec = mutated
+    spec.validate()
+    return spec, ops
+
+
+#: Fields the uniform crossover mixes gene-by-gene.
+_CROSSOVER_FIELDS = (
+    "task_count", "processor_count", "utilization", "base_period",
+    "period_levels", "period_ratio", "edge_probability", "memory_range",
+    "shape", "seed",
+)
+
+
+def crossover_specs(
+    a: WorkloadSpec, b: WorkloadSpec, rng: np.random.Generator
+) -> WorkloadSpec:
+    """Uniform crossover (the GA operator of :mod:`repro.baselines.genetic`,
+    lifted from assignment genes to spec fields)."""
+    child = a
+    picks = rng.random(len(_CROSSOVER_FIELDS)) < 0.5
+    updates = {
+        field: getattr(b, field)
+        for field, take_b in zip(_CROSSOVER_FIELDS, picks)
+        if take_b and getattr(a, field) != getattr(b, field)
+    }
+    if updates:
+        child = a.with_updates(**updates)
+    child.validate()
+    return child

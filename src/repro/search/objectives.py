@@ -1,0 +1,340 @@
+"""Pluggable *badness* objectives of the adversarial scenario search.
+
+An objective maps a candidate :class:`~repro.workloads.spec.WorkloadSpec`
+to a real-valued **score** — higher is worse for the implementation under
+test — plus structured evidence.  The hunt driver (:mod:`repro.search.driver`)
+maximises the score; a candidate whose score reaches the objective's firing
+threshold is a **counterexample** worth minimising and freezing.
+
+Registered objectives
+---------------------
+``paper_infeasible``
+    The paper heuristic returns an infeasible schedule on an instance where
+    a baseline succeeds (``no_balancing`` keeps the feasible-by-construction
+    initial schedule, so any schedulable instance is a baseline success).
+    The retry ladder makes this impossible by design — any firing is a bug.
+    Score: violation count of the paper-balanced schedule.
+``approx_ratio``
+    Worst measured greedy-vs-optimal memory ratio (Theorem 2) on instances
+    small enough for :func:`~repro.baselines.branch_and_bound
+    .optimal_min_max_partition` to solve exactly.  Score: ``ω / ω_opt`` of
+    the blocks of the real initial schedule.  The Theorem-2 bound
+    ``2 − 1/M`` caps how bad this can get; the hunt looks for instances
+    that approach it.
+``conformance_divergence``
+    The discrete-event replay of the paper-balanced schedule contradicts
+    the analytical model (the PR-5 oracle).  Score: divergence count of the
+    ``repro-conformance/1`` report.  Any firing is a bug.
+``walltime_blowup``
+    Balancing wall time, normalised by a size model fitted to the nominal
+    cost of the paper heuristic (quadratic in the block count).  Score:
+    measured/model ratio.  Noisy by nature — scores are evidence for
+    triage, not golden values.
+``planted``
+    Smoke-test objective with a known optimum: score ``1 − edge_probability``,
+    firing at sparse graphs (``edge_probability <= 0.1``).  The CI hunt-smoke
+    job uses it to assert the driver actually walks the parameter space.
+
+Objectives never raise for unschedulable draws: an initial-scheduling
+:class:`~repro.errors.InfeasibleError` becomes status ``"unschedulable"``
+with score 0 (the search treats it as a dead end, not a crash).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.api.config import (
+    BalanceStage,
+    PipelineConfig,
+    ReportStage,
+    VerifyStage,
+    WorkloadStage,
+)
+from repro.api.pipeline import Pipeline, RunResult
+from repro.errors import ConfigurationError, InfeasibleError, WorkloadError
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "ObjectiveResult",
+    "ObjectiveSpec",
+    "available_objectives",
+    "evaluate_objective",
+    "objective_info",
+    "register_objective",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectiveResult:
+    """Score + evidence of one objective evaluation."""
+
+    #: Badness score (higher = worse for the implementation; to maximise).
+    score: float
+    #: Structured evidence backing the score (JSON-safe).
+    evidence: dict[str, Any]
+    #: ``"ok"`` | ``"unschedulable"`` (initial scheduling infeasible) |
+    #: ``"invalid"`` (spec outside the generators' valid region) — the
+    #: non-``ok`` statuses score 0: dead ends, not errors.
+    status: str = "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "score": float(self.score),
+            "status": self.status,
+            "evidence": dict(self.evidence),
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectiveSpec:
+    """One registered badness objective."""
+
+    name: str
+    title: str
+    description: str
+    #: Default firing threshold: a score ``>= threshold`` is a counterexample.
+    threshold: float
+    evaluate: Callable[[WorkloadSpec], ObjectiveResult]
+
+
+_REGISTRY: dict[str, ObjectiveSpec] = {}
+
+
+def register_objective(
+    name: str, title: str, description: str, threshold: float
+) -> Callable[[Callable[[WorkloadSpec], ObjectiveResult]], Callable[[WorkloadSpec], ObjectiveResult]]:
+    """Register an objective under ``name`` (decorator form)."""
+
+    def decorator(
+        evaluate: Callable[[WorkloadSpec], ObjectiveResult],
+    ) -> Callable[[WorkloadSpec], ObjectiveResult]:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"Objective {name!r} is already registered")
+        _REGISTRY[name] = ObjectiveSpec(
+            name=name,
+            title=title,
+            description=description,
+            threshold=threshold,
+            evaluate=evaluate,
+        )
+        return evaluate
+
+    return decorator
+
+
+def available_objectives() -> tuple[str, ...]:
+    """Registered objective names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def objective_info(name: str) -> ObjectiveSpec:
+    """Registry entry of ``name`` (raises :class:`ConfigurationError` if absent)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown objective {name!r}; registered: {list(available_objectives())}"
+        ) from None
+
+
+def evaluate_objective(name: str, spec: WorkloadSpec) -> ObjectiveResult:
+    """Evaluate objective ``name`` on ``spec``.
+
+    Dead ends score 0 instead of raising: an unschedulable draw (initial
+    scheduling infeasible) gets status ``"unschedulable"``; a spec outside
+    the generators' valid region (for example too few tasks for the
+    sensor-fusion shape, which mutation and minimisation can both propose)
+    gets status ``"invalid"``.
+    """
+    objective = objective_info(name)
+    try:
+        return objective.evaluate(spec)
+    except InfeasibleError as error:
+        return ObjectiveResult(
+            score=0.0,
+            status="unschedulable",
+            evidence={"detail": str(error)},
+        )
+    except WorkloadError as error:
+        return ObjectiveResult(
+            score=0.0,
+            status="invalid",
+            evidence={"detail": str(error)},
+        )
+
+
+# ---------------------------------------------------------------------------
+# shared pipeline plumbing
+
+
+def _paper_config(spec: WorkloadSpec, *, conformance: bool = False) -> PipelineConfig:
+    """Paper-heuristic pipeline config of a candidate spec (reports off)."""
+    return PipelineConfig(
+        workload=WorkloadStage(kind="spec", spec=spec),
+        balance=BalanceStage(balancer="paper", params={"policy": "ratio"}),
+        verify=VerifyStage(enabled=True, conformance=conformance),
+        report=ReportStage(enabled=False),
+        label=spec.label or "hunt",
+    )
+
+
+def _run_paper(spec: WorkloadSpec, *, conformance: bool = False) -> RunResult:
+    return Pipeline(_paper_config(spec, conformance=conformance)).run()
+
+
+# ---------------------------------------------------------------------------
+# registered objectives
+
+
+@register_objective(
+    "paper_infeasible",
+    "paper heuristic infeasible where a baseline succeeds",
+    "violation count of the paper-balanced schedule on schedulable instances "
+    "(no_balancing keeps the feasible initial schedule, so any schedulable "
+    "instance is a baseline success); the retry ladder makes any firing a bug",
+    threshold=1.0,
+)
+def _paper_infeasible(spec: WorkloadSpec) -> ObjectiveResult:
+    result = _run_paper(spec)
+    violations = list(result.violations)
+    score = 0.0 if result.feasible else float(len(violations))
+    return ObjectiveResult(
+        score=score,
+        evidence={
+            "paper_feasible": bool(result.feasible),
+            "baseline": "no_balancing",
+            "baseline_feasible": True,
+            "violations": violations[:10],
+            "safety_level": result.safety_level,
+        },
+    )
+
+
+@register_objective(
+    "approx_ratio",
+    "worst greedy-vs-optimal memory ratio (Theorem 2)",
+    "omega / omega_opt of the blocks of the real initial schedule, with the "
+    "optimum solved exactly by branch and bound on small instances; the paper "
+    "bounds this by 2 - 1/M",
+    threshold=1.30,
+)
+def _approx_ratio(spec: WorkloadSpec) -> ObjectiveResult:
+    from repro.analysis.approximation import measure_greedy_ratio
+    from repro.core.blocks import BlockBuildOptions, build_blocks
+    from repro.scheduling.heuristic import schedule_application
+    from repro.workloads.generator import generate_workload
+
+    workload = generate_workload(spec)
+    schedule = schedule_application(workload.graph, workload.architecture)
+    blocks = list(build_blocks(schedule, BlockBuildOptions()))
+    memories = [block.memory for block in blocks]
+    sample = measure_greedy_ratio(
+        memories, len(workload.architecture), node_limit=500_000
+    )
+    # An inexact optimum cannot certify a ratio — score it as a dead end.
+    score = sample.ratio if sample.exact else 0.0
+    return ObjectiveResult(
+        score=score,
+        evidence={
+            "ratio": float(sample.ratio),
+            "bound": float(sample.bound),
+            "within_bound": bool(sample.within_bound),
+            "exact": bool(sample.exact),
+            "block_count": int(sample.block_count),
+            "processor_count": int(sample.processor_count),
+            "greedy_max_memory": float(sample.greedy_max_memory),
+            "optimal_max_memory": float(sample.optimal_max_memory),
+        },
+    )
+
+
+@register_objective(
+    "conformance_divergence",
+    "discrete-event replay contradicts the analytical model",
+    "divergence count of the repro-conformance/1 report of the paper-balanced "
+    "schedule (the PR-5 oracle); any firing is a bug",
+    threshold=1.0,
+)
+def _conformance_divergence(spec: WorkloadSpec) -> ObjectiveResult:
+    result = _run_paper(spec, conformance=True)
+    report = result.conformance or {}
+    consistent = bool(report.get("consistent", True))
+    divergences = int(report.get("divergences", 0))
+    score = 0.0 if consistent else float(max(divergences, 1))
+    return ObjectiveResult(
+        score=score,
+        evidence={
+            "consistent": consistent,
+            "conforms": bool(report.get("conforms", False)),
+            "divergences": divergences,
+            "first_divergence": report.get("first_divergence"),
+            "paper_feasible": bool(result.feasible),
+        },
+    )
+
+
+#: Size model of the nominal balancing cost: a small constant plus a
+#: quadratic block-count term (the heuristic sorts blocks and scans
+#: processors per block; the conflict engine adds per-interval work).
+_WALLTIME_BASE_SECONDS = 2e-3
+_WALLTIME_PER_BLOCK2_SECONDS = 1e-5
+
+
+@register_objective(
+    "walltime_blowup",
+    "balancing wall time far above the size-normalised model",
+    "measured balance-stage seconds divided by a quadratic-in-blocks cost "
+    "model; noisy by nature (wall time), so scores are triage evidence, not "
+    "golden values",
+    threshold=25.0,
+)
+def _walltime_blowup(spec: WorkloadSpec) -> ObjectiveResult:
+    started = time.perf_counter()
+    result = _run_paper(spec)
+    total = time.perf_counter() - started
+    balance_seconds = float(result.timings.get("balance", 0.0))
+    block_count = len(result.trace) or spec.task_count
+    model_seconds = (
+        _WALLTIME_BASE_SECONDS + _WALLTIME_PER_BLOCK2_SECONDS * block_count**2
+    )
+    score = balance_seconds / model_seconds
+    return ObjectiveResult(
+        score=score,
+        evidence={
+            "balance_seconds": balance_seconds,
+            "model_seconds": model_seconds,
+            "total_seconds": total,
+            "block_count": int(block_count),
+            "task_count": int(spec.task_count),
+            "processor_count": int(spec.processor_count),
+        },
+    )
+
+
+@register_objective(
+    "planted",
+    "planted smoke-test objective (known optimum)",
+    "score 1 - edge_probability: fires on sparse graphs (edge_probability "
+    "<= 0.1); the CI hunt-smoke job uses it to assert the driver walks the "
+    "parameter space to a known region",
+    threshold=0.9,
+)
+def _planted(spec: WorkloadSpec) -> ObjectiveResult:
+    from repro.workloads.generator import generate_workload
+
+    # Generating keeps the objective honest: a survivor must be a real
+    # workload (invalid parameter corners become score-0 dead ends exactly
+    # as they do for the pipeline-backed objectives).
+    workload = generate_workload(spec)
+    score = 1.0 - float(spec.edge_probability)
+    return ObjectiveResult(
+        score=score,
+        evidence={
+            "edge_probability": float(spec.edge_probability),
+            "edge_count": len(workload.graph.dependences),
+        },
+    )

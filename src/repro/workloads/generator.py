@@ -40,6 +40,11 @@ def generate_many(
     :func:`~repro.workloads.seeding.derive_seed`, giving every grid cell an
     independent random stream that is reproducible regardless of worker
     count or execution order.
+
+    Duplicate explicit seeds are rejected loudly: two grid cells silently
+    sharing a random stream would masquerade as independent samples (and a
+    search-driven seed chain accidentally replaying a grid seed would be
+    indistinguishable from the grid cell it shadows).
     """
     if (seeds is None) == (count is None):
         raise WorkloadError("generate_many takes exactly one of 'seeds' or 'count'")
@@ -47,6 +52,15 @@ def generate_many(
         if count < 0:
             raise WorkloadError("count must be non-negative")
         seeds = spawn_seeds(spec.seed, count)
+    else:
+        seeds = [int(seed) for seed in seeds]
+        duplicates = sorted({seed for seed in seeds if seeds.count(seed) > 1})
+        if duplicates:
+            raise WorkloadError(
+                f"generate_many received duplicate seed(s) {duplicates}: each grid "
+                "cell needs its own random stream (derive distinct seeds with "
+                "repro.workloads.seeding.derive_seed)"
+            )
     return [generate_workload(spec.with_updates(seed=int(seed))) for seed in seeds]
 
 

@@ -14,26 +14,63 @@ child is addressed *by key* (``spawn_key=(index,)``), so the mapping
 cell's seed at any time and every execution of the grid sees the same
 workloads.  Child seeds are folded to 32 bits so they stay exactly
 representable in JSON artifacts and config echoes.
+
+Consumers other than the scenario grids (the adversarial search driver's
+seed chains, for example) must pass a ``stream`` namespace: their children
+are addressed by ``spawn_key=(stream, index)``, a key that can never equal a
+grid key (the keys differ in length), so a search chain rooted at the same
+integer as a grid family still draws disjoint streams.  Malformed keys —
+negative roots, indices or streams, which :class:`~numpy.random.SeedSequence`
+would reject with an opaque ``ValueError`` deep inside numpy — are rejected
+loudly here with a :class:`~repro.errors.WorkloadError` naming the offending
+value.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.errors import WorkloadError
+
 __all__ = ["derive_seed", "spawn_seeds"]
 
 
-def derive_seed(root_seed: int, index: int) -> int:
+def _check_key(name: str, value: int) -> int:
+    """Validate one spawn-key component (non-negative integer)."""
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise WorkloadError(f"{name} must be an integer, got {value!r}") from None
+    if value < 0:
+        raise WorkloadError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def derive_seed(root_seed: int, index: int, *, stream: int | None = None) -> int:
     """Seed of child ``index`` of ``root_seed`` (order- and worker-independent).
 
     Equivalent to ``SeedSequence(root_seed).spawn(index + 1)[index]`` but
     stateless: the child is constructed directly from its spawn key, so
     deriving seed 7 never requires (or disturbs) seeds 0–6.
+
+    ``stream`` opens an independent namespace of chains: the child is
+    addressed by ``spawn_key=(stream, index)`` instead of ``(index,)``, so a
+    streamed chain never collides with the plain grid chain of the same root
+    (nor with another stream).  The scenario grids use the plain chain; any
+    other seed consumer must claim a stream.
     """
-    sequence = np.random.SeedSequence(int(root_seed), spawn_key=(int(index),))
+    root_seed = _check_key("root_seed", root_seed)
+    index = _check_key("index", index)
+    if stream is None:
+        spawn_key: tuple[int, ...] = (index,)
+    else:
+        spawn_key = (_check_key("stream", stream), index)
+    sequence = np.random.SeedSequence(root_seed, spawn_key=spawn_key)
     return int(sequence.generate_state(1, dtype=np.uint32)[0])
 
 
-def spawn_seeds(root_seed: int, count: int) -> list[int]:
+def spawn_seeds(root_seed: int, count: int, *, stream: int | None = None) -> list[int]:
     """The first ``count`` derived seeds of ``root_seed``."""
-    return [derive_seed(root_seed, index) for index in range(count)]
+    if count < 0:
+        raise WorkloadError(f"count must be non-negative, got {count}")
+    return [derive_seed(root_seed, index, stream=stream) for index in range(count)]

@@ -10,10 +10,11 @@ produced them, so experiment tables can always state their parameters.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import math
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -101,6 +102,44 @@ class WorkloadSpec:
     def with_updates(self, **changes: Any) -> "WorkloadSpec":
         """Copy of the spec with the given fields replaced."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe serialisation (round-trippable through :meth:`from_dict`).
+
+        The unconstrained memory capacity (the ``inf`` default) serialises as
+        ``null`` — strict JSON has no ``Infinity`` token — and round-trips
+        back to ``inf``.
+        """
+        data = dataclasses.asdict(self)
+        data["shape"] = self.shape.value
+        data["memory_range"] = list(self.memory_range)
+        data["data_size_range"] = list(self.data_size_range)
+        if math.isinf(self.memory_capacity):
+            data["memory_capacity"] = None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        """Rebuild a spec from its serialised form (unknown keys rejected)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise WorkloadError(f"Unknown workload-spec key(s) {unknown}")
+        kwargs = dict(data)
+        if "shape" in kwargs:
+            try:
+                kwargs["shape"] = GraphShape(kwargs["shape"])
+            except ValueError:
+                raise WorkloadError(
+                    f"Unknown graph shape {kwargs['shape']!r}; expected one of "
+                    f"{[s.value for s in GraphShape]}"
+                ) from None
+        for key in ("memory_range", "data_size_range"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        if kwargs.get("memory_capacity", ...) is None:
+            kwargs["memory_capacity"] = math.inf
+        return cls(**kwargs)
 
     def rng(self) -> np.random.Generator:
         """Seeded random generator for this spec."""

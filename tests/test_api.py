@@ -365,8 +365,11 @@ class TestCliRunConfig:
         assert payload["metrics"]["makespan_after"] == 14.0
 
     def test_run_config_missing_file(self, tmp_path, capsys):
-        assert main(["run", "--config", str(tmp_path / "nope.json")]) == 2
-        assert "cannot read" in capsys.readouterr().err
+        missing = tmp_path / "nope.json"
+        assert main(["run", "--config", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "Cannot read pipeline config" in err
+        assert str(missing) in err
 
     def test_run_config_invalid_json(self, tmp_path, capsys):
         path = tmp_path / "broken.json"

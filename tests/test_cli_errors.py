@@ -1,0 +1,146 @@
+"""Every CLI verb must exit cleanly on malformed input — no tracebacks.
+
+The contract tested here: a bad ``--config`` (or any other bad artifact
+path / option value) exits with code 2 and a one-line stderr message naming
+the offending path, for every verb that accepts one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CONFIG_VERBS = ("run", "conform")
+
+
+def _invoke(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured
+
+
+@pytest.mark.parametrize("verb", CONFIG_VERBS)
+class TestMalformedConfig:
+    def test_missing_file_names_the_path(self, verb, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        code, captured = _invoke(capsys, verb, "--config", str(missing))
+        assert code == 2
+        assert f"repro-lb {verb}: error:" in captured.err
+        assert str(missing) in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_invalid_json_names_the_path(self, verb, tmp_path, capsys):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json]")
+        code, captured = _invoke(capsys, verb, "--config", str(bad))
+        assert code == 2
+        assert str(bad) in captured.err
+
+    def test_non_object_payload_rejected(self, verb, tmp_path, capsys):
+        bad = tmp_path / "list.json"
+        bad.write_text("[1, 2, 3]")
+        code, captured = _invoke(capsys, verb, "--config", str(bad))
+        assert code == 2
+        assert str(bad) in captured.err
+        assert "JSON object" in captured.err
+        assert "list" in captured.err
+
+    def test_wrong_schema_rejected(self, verb, tmp_path, capsys):
+        bad = tmp_path / "schema.json"
+        bad.write_text(json.dumps({"schema": "repro-pipeline/99"}))
+        code, captured = _invoke(capsys, verb, "--config", str(bad))
+        assert code == 2
+        assert "invalid pipeline config" in captured.err
+        assert str(bad) in captured.err
+
+    def test_validation_error_rejected(self, verb, tmp_path, capsys):
+        # Schema accepted, but the payload fails semantic validation.
+        bad = tmp_path / "invalid.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-pipeline/1",
+                    "workload": {"kind": "synthetic", "spec": {"task_count": 0}},
+                }
+            )
+        )
+        code, captured = _invoke(capsys, verb, "--config", str(bad))
+        assert code == 2
+        assert "invalid pipeline config" in captured.err
+        assert str(bad) in captured.err
+
+
+class TestConformSpecificErrors:
+    def test_config_and_paper_are_mutually_exclusive(self, tmp_path, capsys):
+        config = tmp_path / "c.json"
+        config.write_text("{}")
+        code, captured = _invoke(
+            capsys, "conform", "--config", str(config), "--paper"
+        )
+        assert code == 2
+        assert "mutually exclusive" in captured.err
+
+
+class TestBenchCompareErrors:
+    def test_missing_baseline_names_the_path(self, tmp_path, capsys):
+        missing = tmp_path / "baseline.json"
+        code, captured = _invoke(
+            capsys, "bench", "compare", str(missing), str(missing)
+        )
+        assert code == 2
+        assert str(missing) in captured.err
+
+    def test_malformed_artifact_names_the_path(self, tmp_path, capsys):
+        bad = tmp_path / "bench.json"
+        bad.write_text("}{")
+        code, captured = _invoke(capsys, "bench", "compare", str(bad), str(bad))
+        assert code == 2
+        assert str(bad) in captured.err
+
+
+class TestHuntErrors:
+    def test_unknown_objective_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["hunt", "--objective", "nope"])
+        assert excinfo.value.code == 2
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["hunt", "--objective", "planted", "--evaluations", "0"],
+            ["hunt", "--objective", "planted", "--max-survivors", "0"],
+        ],
+        ids=["zero-evaluations", "zero-survivors"],
+    )
+    def test_invalid_options_exit_cleanly(self, argv, capsys):
+        code, captured = _invoke(capsys, *argv)
+        assert code == 2
+        assert "repro-lb hunt: error:" in captured.err
+
+
+class TestSweepErrors:
+    def test_negative_oracle_stride_exits_cleanly(self, capsys):
+        code, captured = _invoke(capsys, "sweep", "--oracle-stride", "-1")
+        assert code == 2
+        assert "repro-lb sweep: error:" in captured.err
+        assert "oracle_stride" in captured.err
+
+
+class TestCampaignErrors:
+    def test_unknown_jobs_count_exits_cleanly(self, tmp_path, capsys):
+        code, captured = _invoke(
+            capsys,
+            "campaign",
+            "E1",
+            "--preset",
+            "tiny",
+            "--jobs",
+            "0",
+            "--output",
+            str(tmp_path / "camp"),
+        )
+        assert code == 2
+        assert "repro-lb campaign: error:" in captured.err

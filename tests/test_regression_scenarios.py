@@ -1,0 +1,101 @@
+"""Golden replay of the frozen ``regression/*`` scenarios.
+
+Every counterexample the hunt froze must keep reproducing: the objective
+evidence is pinned field for field, the structural fingerprint must match,
+and the spec must survive the full pipeline + conformance replay without
+findings.  A diff here means generator/balancer behaviour drifted on a spec
+the search once proved interesting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    SweepCell,
+    available_scenarios,
+    execute_cell,
+    frozen_names,
+    load_frozen,
+    scenario_info,
+    workload_digest,
+)
+from repro.search import evaluate_objective, objective_info
+from repro.workloads.generator import generate_workload
+
+FROZEN = load_frozen()
+
+#: The exemplar hunted into the packaged registry: an 8-task/3-processor
+#: layered workload whose greedy memory balance lands at 1.4518x the optimum
+#: — well inside the Theorem 2 bound of 2 - 1/3, but the worst ratio the
+#: full-budget hunt surfaced.
+EXEMPLAR = "regression/approx_ratio-b8481bdf"
+
+
+def test_packaged_registry_is_loaded_and_registered():
+    names = [entry.name for entry in FROZEN]
+    assert EXEMPLAR in names
+    assert frozen_names() == tuple(sorted(names))
+    registered = available_scenarios()
+    for name in names:
+        assert name in registered
+        assert scenario_info(name).frozen
+
+
+@pytest.mark.parametrize("entry", FROZEN, ids=lambda entry: entry.name)
+class TestFrozenReplay:
+    def test_objective_evidence_is_pinned_field_for_field(self, entry):
+        replay = evaluate_objective(entry.objective, entry.spec)
+        assert replay.status == "ok"
+        assert replay.score == pytest.approx(entry.score, rel=1e-12)
+        assert replay.score >= entry.threshold
+        assert set(replay.evidence) == set(entry.evidence)
+        for key, pinned in entry.evidence.items():
+            observed = replay.evidence[key]
+            if isinstance(pinned, float):
+                assert observed == pytest.approx(pinned, rel=1e-12), key
+            else:
+                assert observed == pinned, key
+
+    def test_structural_fingerprint_is_stable(self, entry):
+        assert workload_digest(generate_workload(entry.spec)) == entry.fingerprint
+        assert entry.name.endswith(entry.fingerprint[:8])
+
+    def test_threshold_is_no_looser_than_the_objective_registry(self, entry):
+        # A hunt may tighten its firing threshold (the exemplar used 1.4),
+        # but a frozen entry below the registered default would be noise.
+        assert entry.threshold >= objective_info(entry.objective).threshold
+
+    @pytest.mark.parametrize("preset", ["tiny", "full"])
+    def test_frozen_grid_is_one_pinned_cell(self, entry, preset):
+        scenario = scenario_info(entry.name)
+        assert scenario.cell_count(preset) == 1
+        assert scenario.workload_spec(preset, 0) == entry.spec
+
+    def test_pipeline_and_conformance_replay_stay_clean(self, entry):
+        record = execute_cell(
+            SweepCell(entry.name, 0, "paper", "tiny", oracle=True, conformance=True)
+        )
+        assert record["status"] == "ok", record.get("detail")
+        assert record["findings"] == []
+        assert record["feasible"] is True
+        assert record["seed"] == entry.spec.seed
+
+
+def test_exemplar_evidence_golden_values():
+    # Field-for-field golden pin of the packaged exemplar, independent of the
+    # registry file's own copy (so a silent registry rewrite also trips here).
+    entry = next(e for e in FROZEN if e.name == EXEMPLAR)
+    assert entry.objective == "approx_ratio"
+    assert entry.fingerprint == "b8481bdff591c73d"
+    assert entry.spec.task_count == 8
+    assert entry.spec.processor_count == 3
+    assert entry.score == pytest.approx(1.4518072289156627, rel=1e-12)
+    assert entry.evidence["ratio"] == pytest.approx(1.4518072289156627, rel=1e-12)
+    assert entry.evidence["bound"] == pytest.approx(5 / 3, rel=1e-12)
+    assert entry.evidence["greedy_max_memory"] == pytest.approx(24.1, rel=1e-12)
+    assert entry.evidence["optimal_max_memory"] == pytest.approx(16.6, rel=1e-12)
+    assert entry.evidence["within_bound"] is True
+    assert entry.evidence["exact"] is True
+    assert entry.provenance["objective"] == "approx_ratio"
+    assert entry.provenance["minimize"] is not None

@@ -1,0 +1,325 @@
+"""Tests of the adversarial scenario search (repro.search)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import regression as regression_module
+from repro.scenarios import registry as registry_module
+from repro.scenarios.regression import load_frozen, register_frozen
+from repro.search import (
+    BUDGETS,
+    SEARCH_SCHEMA,
+    ParamSpace,
+    SearchArtifact,
+    SearchOptions,
+    available_objectives,
+    evaluate_objective,
+    freeze_counterexamples,
+    minimize_spec,
+    mutate_spec,
+    objective_info,
+    run_hunt,
+    spec_size,
+)
+from repro.search.objectives import register_objective
+from repro.workloads.spec import GraphShape, WorkloadSpec
+
+import numpy as np
+
+
+@pytest.fixture()
+def isolated_registries(monkeypatch):
+    """Copy-on-write scenario/frozen registries so tests can register freely."""
+    monkeypatch.setattr(registry_module, "_REGISTRY", dict(registry_module._REGISTRY))
+    monkeypatch.setattr(
+        regression_module, "_REGISTERED", dict(regression_module._REGISTERED)
+    )
+
+
+class TestObjectiveRegistry:
+    def test_objectives_are_registered(self):
+        names = available_objectives()
+        assert names == tuple(sorted(names))
+        for expected in (
+            "approx_ratio",
+            "conformance_divergence",
+            "paper_infeasible",
+            "planted",
+            "walltime_blowup",
+        ):
+            assert expected in names
+            spec = objective_info(expected)
+            assert spec.threshold > 0
+            assert spec.title
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError):
+            objective_info("nope")
+        with pytest.raises(ConfigurationError):
+            evaluate_objective("nope", WorkloadSpec())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_objective("planted", "dup", "dup", threshold=1.0)(lambda spec: None)
+
+    def test_invalid_spec_is_a_dead_end_not_a_crash(self):
+        # sensor_fusion needs >= 6 tasks; the generator's rejection must
+        # score 0 instead of raising out of the search loop.
+        spec = WorkloadSpec(task_count=3, processor_count=2, shape=GraphShape.SENSOR_FUSION)
+        result = evaluate_objective("planted", spec)
+        assert result.status == "invalid"
+        assert result.score == 0.0
+
+    def test_planted_scores_edge_probability(self):
+        spec = WorkloadSpec(task_count=8, processor_count=2, edge_probability=0.25)
+        result = evaluate_objective("planted", spec)
+        assert result.status == "ok"
+        assert result.score == pytest.approx(0.75)
+        assert result.evidence["edge_probability"] == pytest.approx(0.25)
+
+    def test_approx_ratio_reports_theorem2_fields(self):
+        spec = WorkloadSpec(task_count=8, processor_count=2, seed=7)
+        result = evaluate_objective("approx_ratio", spec)
+        assert result.status == "ok"
+        evidence = result.evidence
+        assert evidence["bound"] == pytest.approx(1.5)
+        assert 1.0 <= evidence["ratio"] <= evidence["bound"] + 1e-6
+        assert evidence["exact"] is True
+
+
+class TestHuntDriver:
+    def test_hunt_is_deterministic(self):
+        # The acceptance contract: same (objective, budget, seed) in, same
+        # canonical artifact out — twice.
+        first = run_hunt(SearchOptions(objective="approx_ratio", budget="tiny", seed=0))
+        second = run_hunt(SearchOptions(objective="approx_ratio", budget="tiny", seed=0))
+        assert json.dumps(first.canonical_dict(), sort_keys=True) == json.dumps(
+            second.canonical_dict(), sort_keys=True
+        )
+
+    def test_planted_counterexample_found_and_minimised(self):
+        artifact = run_hunt(SearchOptions(objective="planted", budget="tiny", seed=1))
+        assert artifact.found
+        assert artifact.evaluations["search"] == BUDGETS["tiny"]
+        threshold = objective_info("planted").threshold
+        for entry in artifact.counterexamples:
+            assert entry["score"] >= threshold
+            # The minimiser drives edge_probability to the planted optimum.
+            assert entry["spec"]["edge_probability"] == pytest.approx(0.0)
+            minimize = entry["provenance"]["minimize"]
+            assert all(
+                after <= before
+                for before, after in zip(minimize["from_size"], minimize["to_size"])
+            )
+        fingerprints = [entry["fingerprint"] for entry in artifact.counterexamples]
+        assert len(set(fingerprints)) == len(fingerprints)
+        scores = [entry["score"] for entry in artifact.counterexamples]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_history_records_every_evaluation(self):
+        artifact = run_hunt(
+            SearchOptions(objective="planted", evaluations=12, seed=3, minimize=False)
+        )
+        assert artifact.budget == "custom"
+        search_entries = [e for e in artifact.history if e["phase"] in ("init", "sa", "ga")]
+        assert len(search_entries) == 12
+        assert [e["evaluation"] for e in artifact.history] == list(
+            range(len(artifact.history))
+        )
+        phases = {entry["phase"] for entry in artifact.history}
+        assert phases <= {"init", "sa", "ga", "confirm"}
+        assert artifact.seed_chain["root"] == 3
+        assert {"init", "sa", "ga"} <= set(artifact.seed_chain)
+
+    def test_option_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_hunt(SearchOptions(objective="nope"))
+        with pytest.raises(ConfigurationError):
+            run_hunt(SearchOptions(objective="planted", budget="huge"))
+        with pytest.raises(ConfigurationError):
+            run_hunt(SearchOptions(objective="planted", evaluations=0))
+        with pytest.raises(ConfigurationError):
+            run_hunt(SearchOptions(objective="planted", sa_fraction=1.5))
+        with pytest.raises(ConfigurationError):
+            run_hunt(SearchOptions(objective="planted", max_survivors=0))
+        with pytest.raises(ConfigurationError):
+            run_hunt(SearchOptions(objective="planted", minimize_evaluations=-1))
+
+    def test_threshold_override(self):
+        artifact = run_hunt(
+            SearchOptions(
+                objective="planted", evaluations=8, seed=0, threshold=0.5, minimize=False
+            )
+        )
+        assert artifact.threshold == pytest.approx(0.5)
+        for entry in artifact.counterexamples:
+            assert entry["score"] >= 0.5
+
+
+class TestMutation:
+    def test_mutations_stay_in_bounds_and_validate(self):
+        space = ParamSpace()
+        rng = np.random.default_rng(0)
+        spec = WorkloadSpec(task_count=10, processor_count=2)
+        for _ in range(200):
+            spec, ops = mutate_spec(spec, space, rng)
+            assert ops
+            spec.validate()
+            assert space.task_count[0] <= spec.task_count <= space.task_count[1]
+            assert space.utilization[0] <= spec.utilization <= space.utilization[1]
+            assert 0.0 <= spec.edge_probability <= 1.0
+
+
+class TestMinimizer:
+    def test_minimiser_reaches_the_predicate_boundary(self):
+        # fires iff task_count >= 5: single-step reductions exist all the way
+        # down, so the greedy fixpoint is exactly the boundary.
+        start = WorkloadSpec(task_count=20, processor_count=3, period_levels=3)
+
+        def fires(spec: WorkloadSpec):
+            return spec.task_count >= 5, float(spec.task_count)
+
+        result = minimize_spec(start, fires)
+        assert result.spec.task_count == 5
+        assert result.spec.processor_count == 1
+        assert result.spec.period_levels == 1
+        assert result.evaluations <= 80
+        assert all(
+            after <= before
+            for before, after in zip(spec_size(start), spec_size(result.spec))
+        )
+        assert any(not attempt["kept"] for attempt in result.trace)
+
+    def test_budget_is_respected(self):
+        start = WorkloadSpec(task_count=24, processor_count=4)
+        calls = []
+
+        def fires(spec: WorkloadSpec):
+            calls.append(spec)
+            return True, 1.0
+
+        result = minimize_spec(start, fires, max_evaluations=5)
+        assert result.evaluations == len(calls) == 5
+
+
+class TestArtifact:
+    def test_round_trip_and_canonical(self, tmp_path):
+        artifact = run_hunt(
+            SearchOptions(objective="planted", evaluations=10, seed=1, minimize=False)
+        )
+        path = artifact.save(tmp_path / "hunt.json")
+        parsed = json.loads(path.read_text(), parse_constant=pytest.fail)
+        assert parsed["schema"] == SEARCH_SCHEMA
+        reloaded = SearchArtifact.load(path)
+        assert reloaded.canonical_dict() == artifact.canonical_dict()
+        canonical = artifact.canonical_dict()
+        for volatile in ("created", "seconds", "environment"):
+            assert volatile not in canonical
+        target = artifact.save(tmp_path / "outdir")
+        assert target.name.startswith("HUNT_")
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchArtifact.from_dict({"schema": "repro-search/2"})
+
+
+class TestFreeze:
+    def _hunted(self):
+        artifact = run_hunt(SearchOptions(objective="planted", budget="tiny", seed=1))
+        assert artifact.found
+        return artifact
+
+    def test_freeze_round_trip(self, tmp_path, isolated_registries):
+        artifact = self._hunted()
+        registry = tmp_path / "regression.json"
+        added = freeze_counterexamples(artifact, registry, limit=1)
+        assert len(added) == 1
+        entry = added[0]
+        assert entry.name.startswith("regression/planted-")
+        loaded = load_frozen(registry)
+        assert [e.name for e in loaded] == [entry.name]
+        assert loaded[0].spec == entry.spec
+        assert loaded[0].evidence == entry.evidence
+
+        # Registration turns the entry into a one-cell frozen grid family.
+        names = register_frozen(registry)
+        assert names == (entry.name,)
+        scenario = registry_module.scenario_info(entry.name)
+        assert scenario.frozen
+        assert scenario.cell_count("tiny") == scenario.cell_count("full") == 1
+        assert scenario.workload_spec("tiny", 0) == entry.spec
+        with pytest.raises(ConfigurationError):
+            scenario.workload_spec("tiny", 1)
+
+    def test_freeze_is_idempotent(self, tmp_path):
+        artifact = self._hunted()
+        registry = tmp_path / "regression.json"
+        first = freeze_counterexamples(artifact, registry)
+        assert first
+        again = freeze_counterexamples(artifact, registry)
+        assert again == ()
+        assert len(load_frozen(registry)) == len(first)
+
+    def test_malformed_registry_rejected(self, tmp_path):
+        bad = tmp_path / "regression.json"
+        bad.write_text('{"schema": "repro-regression/9", "scenarios": []}')
+        with pytest.raises(ConfigurationError):
+            load_frozen(bad)
+        bad.write_text("not json")
+        with pytest.raises(ConfigurationError):
+            load_frozen(bad)
+        assert load_frozen(tmp_path / "missing.json") == ()
+
+
+class TestHuntCli:
+    def test_hunt_json_output(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "hunt",
+                "--objective",
+                "planted",
+                "--evaluations",
+                "10",
+                "--seed",
+                "1",
+                "--no-minimize",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == SEARCH_SCHEMA
+        assert payload["objective"] == "planted"
+
+    def test_hunt_writes_artifact_and_freezes(self, tmp_path, capsys, isolated_registries):
+        from repro.cli import main
+
+        registry = tmp_path / "regression.json"
+        out = tmp_path / "hunt.json"
+        code = main(
+            [
+                "hunt",
+                "--objective",
+                "planted",
+                "--budget",
+                "tiny",
+                "--seed",
+                "1",
+                "--freeze",
+                "--registry",
+                str(registry),
+                "--output",
+                str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "frozen: regression/planted-" in output
+        assert SearchArtifact.load(out).found
+        assert load_frozen(registry)

@@ -1,0 +1,96 @@
+"""Property tests of the counterexample minimiser (slow layer).
+
+The two contracts the hunt relies on:
+
+1. a minimised counterexample still trips its objective, and
+2. it is never larger than its parent on any ``spec_size`` component.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search import evaluate_objective, minimize_spec, objective_info, spec_size
+from repro.workloads.spec import GraphShape, WorkloadSpec
+
+pytestmark = pytest.mark.slow
+
+#: Specs drawn from the layered region of the search space (layered graphs
+#: are valid at every task count, so shrinking never leaves the generator's
+#: domain for structural reasons alone).
+firing_specs = st.builds(
+    WorkloadSpec,
+    task_count=st.integers(3, 24),
+    processor_count=st.integers(2, 4),
+    utilization=st.floats(0.1, 0.6),
+    base_period=st.sampled_from([10, 20, 40]),
+    period_levels=st.integers(1, 3),
+    period_ratio=st.integers(2, 3),
+    edge_probability=st.floats(0.0, 0.08),
+    shape=st.just(GraphShape.LAYERED),
+    seed=st.integers(0, 2**31 - 1),
+)
+
+
+def _objective_fires(name):
+    threshold = objective_info(name).threshold
+
+    def fires(spec: WorkloadSpec):
+        result = evaluate_objective(name, spec)
+        return result.status == "ok" and result.score >= threshold, result.score
+
+    return fires
+
+
+@given(spec=firing_specs)
+@settings(max_examples=30, deadline=None)
+def test_minimised_counterexample_still_fires(spec):
+    # edge_probability <= 0.08 keeps every drawn spec above the planted
+    # threshold (score = 1 - edge_probability >= 0.92 > 0.9), so the
+    # minimiser always starts from a firing parent — exactly the situation
+    # _collect() puts it in.
+    fires = _objective_fires("planted")
+    fired, _score = fires(spec)
+    assert fired
+    result = minimize_spec(spec, fires, max_evaluations=60)
+    still_fires, _ = fires(result.spec)
+    assert still_fires
+    result.spec.validate()
+
+
+@given(spec=firing_specs)
+@settings(max_examples=30, deadline=None)
+def test_minimised_spec_never_larger_than_parent(spec):
+    fires = _objective_fires("planted")
+    result = minimize_spec(spec, fires, max_evaluations=60)
+    assert all(
+        after <= before
+        for before, after in zip(spec_size(spec), spec_size(result.spec))
+    )
+    # Every kept step in the trace strictly reduced the field it touched.
+    for attempt in result.trace:
+        if attempt["kept"]:
+            assert attempt["to"] < attempt["from"]
+
+
+@given(
+    spec=firing_specs,
+    boundary=st.integers(1, 20),
+    budget=st.integers(1, 60),
+)
+@settings(max_examples=40, deadline=None)
+def test_minimiser_respects_budget_for_arbitrary_predicates(spec, boundary, budget):
+    calls = 0
+
+    def fires(candidate: WorkloadSpec):
+        nonlocal calls
+        calls += 1
+        return candidate.task_count >= boundary, float(candidate.task_count)
+
+    if spec.task_count < boundary:
+        return  # the parent contract requires a firing start
+    result = minimize_spec(spec, fires, max_evaluations=budget)
+    assert result.evaluations == calls <= budget
+    assert result.spec.task_count >= boundary

@@ -206,6 +206,33 @@ class TestSeedDerivation:
         assert derive_seed(1, 0) != derive_seed(2, 0)
         assert derive_seed(1, 0) != derive_seed(1, 1)
 
+    def test_streams_are_disjoint_namespaces(self):
+        from repro.workloads.seeding import derive_seed, spawn_seeds
+
+        # A streamed chain is addressed by a two-component spawn key, so it
+        # can never replay the plain grid chain of the same root — whatever
+        # the stream id — nor another stream.
+        plain = spawn_seeds(2008, 8)
+        streamed = spawn_seeds(2008, 8, stream=0)
+        assert plain != streamed
+        assert spawn_seeds(2008, 8, stream=1) != streamed
+        # Streams stay pure functions of (root, stream, index).
+        assert derive_seed(2008, 3, stream=7) == spawn_seeds(2008, 4, stream=7)[3]
+
+    def test_malformed_keys_rejected_loudly(self):
+        from repro.workloads.seeding import derive_seed, spawn_seeds
+
+        with pytest.raises(WorkloadError, match="root_seed"):
+            derive_seed(-1, 0)
+        with pytest.raises(WorkloadError, match="index"):
+            derive_seed(2008, -1)
+        with pytest.raises(WorkloadError, match="stream"):
+            derive_seed(2008, 0, stream=-5)
+        with pytest.raises(WorkloadError, match="index"):
+            derive_seed(2008, "three")
+        with pytest.raises(WorkloadError, match="count"):
+            spawn_seeds(2008, -2)
+
 
 class TestHighLevelGeneration:
     def test_generate_many_uses_seeds(self):
@@ -230,6 +257,15 @@ class TestHighLevelGeneration:
             generate_many(spec)
         with pytest.raises(WorkloadError):
             generate_many(spec, [1, 2], count=2)
+
+    def test_generate_many_rejects_duplicate_seeds(self):
+        # Duplicate explicit seeds would silently replay the same workload
+        # twice — fail loudly, naming every offender.
+        spec = WorkloadSpec(task_count=16, processor_count=2, shape=GraphShape.PIPELINE)
+        with pytest.raises(WorkloadError, match=r"duplicate seed\(s\) \[2\]"):
+            generate_many(spec, [1, 2, 2, 3])
+        with pytest.raises(WorkloadError, match=r"\[1, 2\]"):
+            generate_many(spec, [1, 1, 2, 2])
 
     def test_scheduled_workload_returns_feasible_schedule(self):
         from repro.scheduling import check_schedule
