@@ -22,9 +22,11 @@ rejected so stale manifests fail loudly instead of silently degrading.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro import jsonio
 from repro.errors import ConfigurationError, WorkloadError
 from repro.workloads.spec import WorkloadSpec
 
@@ -302,6 +304,27 @@ class PipelineConfig:
             report=ReportStage.from_dict(data.get("report") or {}),
             label=str(data.get("label", "")),
         )
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical strict-JSON serialisation of the config (UTF-8 bytes).
+
+        Compact separators, sorted keys, non-finite floats as ``null`` — the
+        same :mod:`repro.jsonio` rules every artifact writer uses, so two
+        equal configs always produce identical bytes whatever dict ordering
+        built them.
+        """
+        return jsonio.dumps(self.to_dict(), indent=None).encode("utf-8")
+
+    def fingerprint(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_bytes`.
+
+        The identity contract of the config: ``a == b`` implies
+        ``a.fingerprint() == b.fingerprint()``.  The balancing service keys
+        its result cache on it (identical configs return byte-identical
+        cached results) and the campaign runner uses it to dedupe identical
+        pipeline configs within one manifest batch.
+        """
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
 
     def with_conformance(self, *, hyper_periods: int | None = None) -> "PipelineConfig":
         """Copy of the config with the conformance oracle forced on.

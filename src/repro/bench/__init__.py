@@ -7,7 +7,10 @@
 * :mod:`~repro.bench.artifact` — the versioned ``BENCH_*.json`` artifact
   (schema ``repro-bench/1``);
 * :mod:`~repro.bench.compare` — baseline comparison returning structured
-  regressions (what the CI perf gate exits non-zero on).
+  regressions (what the CI perf gate exits non-zero on);
+* :mod:`~repro.bench.service` — the ``service`` tier
+  (``repro-lb bench service``): load-test the balancing service end to end
+  with concurrent clients over real sockets.
 """
 
 from repro.bench.artifact import (
@@ -25,6 +28,7 @@ from repro.bench.registry import (
     benchmark_info,
     register_benchmark,
 )
+from repro.bench.service import run_service_bench, service_workload_mix
 
 __all__ = [
     "BENCH_PRESETS",
@@ -41,4 +45,6 @@ __all__ = [
     "environment_fingerprint",
     "register_benchmark",
     "run_benchmarks",
+    "run_service_bench",
+    "service_workload_mix",
 ]

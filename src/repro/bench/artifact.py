@@ -211,4 +211,4 @@ class BenchArtifact:
     @classmethod
     def load(cls, path: str | Path) -> "BenchArtifact":
         """Read an artifact back from disk."""
-        return cls.from_dict(jsonio.read_json(path, kind="bench artifact"))
+        return cls.from_dict(jsonio.load_json_path(path, kind="bench artifact"))

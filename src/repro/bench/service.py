@@ -1,0 +1,218 @@
+"""The ``service`` bench tier: load-test the balancing service end to end.
+
+Unlike the solver benchmarks in :mod:`repro.bench.registry` (one function
+timed in-process), this tier measures the *service* — a real
+:class:`~repro.service.server.ServiceThread` driven by concurrent
+:class:`~repro.service.client.ServiceClient` threads over real sockets.  The
+workload mix rotates each client through a small pool of unique configs
+(client ``i`` starts at offset ``i``), so the run exercises both cold
+executions and repeated-config cache hits, and concurrent submissions give
+the micro-batcher real batches to coalesce.
+
+The outcome is the same versioned ``repro-bench/1`` artifact the perf gate
+already knows how to compare: one record named ``SVC`` under preset
+``"service"``, with throughput (requests/sec), nearest-rank p50/p99
+latency, cache hit rate, batch statistics, and the ``byte_identical``
+metric asserting the service/direct result contract of
+:mod:`repro.service.protocol` on every unique config in the mix.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from typing import Any
+
+from repro.api import Pipeline, PipelineConfig
+from repro.bench.artifact import BenchArtifact, BenchmarkRecord
+from repro.errors import ConfigurationError, ReproError
+from repro.service.client import ServiceClient, wait_until_ready
+from repro.service.protocol import canonical_result_bytes, deterministic_result_dict
+from repro.service.server import ServiceThread
+
+__all__ = ["SERVICE_BENCH_NAME", "service_workload_mix", "run_service_bench"]
+
+#: Record name of the service tier inside its ``repro-bench/1`` artifact.
+SERVICE_BENCH_NAME = "SVC"
+
+
+def service_workload_mix(
+    preset: str = "tiny", unique: int = 4
+) -> list[tuple[PipelineConfig, dict[str, Any]]]:
+    """Pick ``unique`` schedulable configs from the scenario grid.
+
+    Candidates come from :func:`~repro.scenarios.sweep.sweep_pipeline_configs`
+    (paper balancer only — the mix varies scenarios, not policies).  Each one
+    is validated by running the pipeline directly; unschedulable draws are
+    skipped rather than poisoning the bench with failures, and the direct
+    run's ``repro-run/1`` dict rides along as the byte-identity reference.
+    """
+    from repro.scenarios.sweep import sweep_pipeline_configs
+
+    if unique < 1:
+        raise ConfigurationError(f"unique must be >= 1, got {unique}")
+    mix: list[tuple[PipelineConfig, dict[str, Any]]] = []
+    seen: set[str] = set()
+    for config in sweep_pipeline_configs(preset, balancers=("paper",)):
+        fingerprint = config.fingerprint()
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        try:
+            reference = Pipeline(config).run().to_dict()
+        except ReproError:
+            continue
+        mix.append((config, reference))
+        if len(mix) >= unique:
+            break
+    if not mix:
+        raise ConfigurationError(
+            f"no schedulable configs found in sweep preset {preset!r}"
+        )
+    return mix
+
+
+def _nearest_rank(sorted_values: list[float], percentile: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    rank = math.ceil(percentile / 100.0 * len(sorted_values))
+    return sorted_values[max(rank, 1) - 1]
+
+
+def run_service_bench(
+    *,
+    clients: int = 8,
+    requests_per_client: int = 10,
+    unique: int = 4,
+    preset: str = "tiny",
+    jobs: int | None = None,
+    pool: str = "process",
+    max_batch: int = 16,
+    batch_window_ms: float = 5.0,
+) -> BenchArtifact:
+    """Run the service load test and return its ``repro-bench/1`` artifact.
+
+    Spins up one :class:`ServiceThread`, fires ``clients`` threads (each with
+    its own keep-alive :class:`ServiceClient` and a rotation offset into the
+    config mix), then folds wall-clock, per-request latencies, server stats
+    and the byte-identity probe into a single ``SVC`` record under preset
+    ``"service"`` — comparable by ``repro-lb bench compare`` like any other
+    bench artifact.
+    """
+    if clients < 1:
+        raise ConfigurationError(f"clients must be >= 1, got {clients}")
+    if requests_per_client < 1:
+        raise ConfigurationError(
+            f"requests_per_client must be >= 1, got {requests_per_client}"
+        )
+    mix = service_workload_mix(preset, unique)
+    configs = [config.to_dict() for config, _reference in mix]
+
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors = [0] * clients
+    barrier = threading.Barrier(clients + 1)
+
+    def drive(index: int, host: str, port: int) -> None:
+        with ServiceClient(host, port) as client:
+            barrier.wait()
+            for step in range(requests_per_client):
+                body = configs[(index + step) % len(configs)]
+                started = time.perf_counter()
+                try:
+                    job = client.submit(body, wait=True)
+                    if job.get("status") != "done":
+                        errors[index] += 1
+                except ReproError:
+                    errors[index] += 1
+                latencies[index].append(time.perf_counter() - started)
+
+    handle = ServiceThread(
+        pool=pool,
+        jobs=jobs,
+        max_batch=max_batch,
+        batch_window_ms=batch_window_ms,
+    )
+    with handle:
+        wait_until_ready(handle.host, handle.port)
+        threads = [
+            threading.Thread(
+                target=drive, args=(index, handle.host, handle.port), daemon=True
+            )
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        clock_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - clock_start
+
+        # Byte-identity probe: every cached result must match its direct-run
+        # reference after dropping the volatile wall-clock keys.
+        identical = 0
+        probed = 0
+        with ServiceClient(handle.host, handle.port) as client:
+            for config, reference in mix:
+                cached = client.cached_result(config.fingerprint())
+                if cached is None:
+                    continue
+                probed += 1
+                served = deterministic_result_dict(json.loads(cached))
+                direct = deterministic_result_dict(reference)
+                if canonical_result_bytes(served) == canonical_result_bytes(direct):
+                    identical += 1
+            stats = client.stats()
+
+    flat = sorted(second for bucket in latencies for second in bucket)
+    total_requests = len(flat)
+    total_errors = sum(errors)
+    cache = stats.get("cache", {})
+    batcher = stats.get("batcher", {})
+    record = BenchmarkRecord(
+        name=SERVICE_BENCH_NAME,
+        title=(
+            f"service load test: {clients} clients x {requests_per_client} requests, "
+            f"{len(mix)} unique configs ({pool} pool)"
+        ),
+        wall_times=[elapsed],
+        metrics={
+            "requests": float(total_requests),
+            "errors": float(total_errors),
+            "requests_per_sec": (total_requests / elapsed) if elapsed > 0 else 0.0,
+            "p50_ms": _nearest_rank(flat, 50.0) * 1000.0,
+            "p99_ms": _nearest_rank(flat, 99.0) * 1000.0,
+            "mean_ms": (sum(flat) / total_requests) * 1000.0,
+            "max_ms": flat[-1] * 1000.0,
+            "cache_hit_rate": float(cache.get("hit_rate", 0.0)),
+            "cache_hits": float(cache.get("hits", 0)),
+            "batches": float(batcher.get("batches", 0)),
+            "max_batch": float(batcher.get("max_batch", 0)),
+            "mean_batch": float(batcher.get("mean_batch", 0.0)),
+            "coalesced": float(batcher.get("coalesced", 0)),
+            "byte_identical": (identical / probed) if probed else 0.0,
+        },
+        passed=(total_errors == 0 and probed == identical and probed > 0),
+    )
+    return BenchArtifact.now(
+        preset="service",
+        config={
+            "tier": "service",
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "unique_configs": len(mix),
+            "workload_preset": preset,
+            "pool": pool,
+            "jobs": handle.service.workers if handle.service is not None else jobs,
+            "max_batch": max_batch,
+            "batch_window_ms": batch_window_ms,
+        },
+        records=[record],
+        notes=[
+            f"service tier: {total_requests} requests over {elapsed:.3f}s "
+            f"({total_requests / elapsed if elapsed else 0.0:.1f} req/s), "
+            f"cache hit rate {cache.get('hit_rate', 0.0):.3f}, "
+            f"byte_identical {record.metrics['byte_identical']:.3f}",
+        ],
+    )

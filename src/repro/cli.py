@@ -273,6 +273,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the comparison report as JSON"
     )
 
+    bench_service = bench_sub.add_parser(
+        "service",
+        help="load-test the balancing service (concurrent clients over sockets)",
+    )
+    bench_service.add_argument(
+        "--clients", type=int, default=8, help="concurrent client threads (default: 8)"
+    )
+    bench_service.add_argument(
+        "--requests",
+        type=int,
+        default=10,
+        help="requests per client (default: 10)",
+    )
+    bench_service.add_argument(
+        "--unique",
+        type=int,
+        default=4,
+        help="unique configs in the workload mix (default: 4)",
+    )
+    bench_service.add_argument(
+        "--workload-preset",
+        default="tiny",
+        help="scenario-sweep preset the mix draws from (default: tiny)",
+    )
+    bench_service.add_argument(
+        "--jobs", type=int, default=None, help="worker-pool width (default: auto)"
+    )
+    bench_service.add_argument(
+        "--pool",
+        choices=("process", "thread"),
+        default="process",
+        help="worker-pool kind (default: process)",
+    )
+    bench_service.add_argument(
+        "--max-batch", type=int, default=16, help="micro-batch size limit (default: 16)"
+    )
+    bench_service.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="micro-batch collection window in ms (default: 5)",
+    )
+    bench_service.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the artifact here (a directory gets BENCH_<timestamp>.json)",
+    )
+    bench_service.add_argument(
+        "--json", action="store_true", help="print the artifact JSON to stdout"
+    )
+
     sweep = subparsers.add_parser(
         "sweep", help="differential scenario sweep (repro-sweep/1 artifacts)"
     )
@@ -454,6 +505,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the artifact JSON to stdout"
     )
 
+    serve = subparsers.add_parser(
+        "serve", help="run the balancing service (HTTP, see DESIGN.md §11)"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="listen address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8420, help="listen port, 0 picks one (default: 8420)"
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, help="worker-pool width (default: auto)"
+    )
+    serve.add_argument(
+        "--pool",
+        choices=("process", "thread"),
+        default="process",
+        help="worker-pool kind (default: process)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16, help="micro-batch size limit (default: 16)"
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="micro-batch collection window in ms (default: 5)",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=256,
+        help="result-cache capacity in entries (default: 256)",
+    )
+
     subparsers.add_parser(
         "list",
         help="list registered balancers, policies, scenarios, objectives, "
@@ -467,19 +552,14 @@ def _load_pipeline_config(path: Path, verb: str) -> PipelineConfig | int:
 
     Every failure mode — unreadable file, malformed JSON, a payload that is
     not an object, schema/validation rejection — exits cleanly (code 2) with
-    the offending path named, instead of surfacing a traceback.
+    the offending path named, instead of surfacing a traceback.  The read and
+    object checks live in :func:`repro.jsonio.load_json_path`, shared with
+    every artifact loader.
     """
     try:
-        data = jsonio.read_json(path, kind="pipeline config")
+        data = jsonio.load_json_path(path, kind="pipeline config")
     except ConfigurationError as error:
         print(f"repro-lb {verb}: error: {error}", file=sys.stderr)
-        return 2
-    if not isinstance(data, dict):
-        print(
-            f"repro-lb {verb}: error: pipeline config {path} must be a JSON "
-            f"object, got {type(data).__name__}",
-            file=sys.stderr,
-        )
         return 2
     try:
         return PipelineConfig.from_dict(data)
@@ -613,6 +693,49 @@ def _run_bench(args: argparse.Namespace) -> int:
         failed = [record.name for record in artifact.records if record.passed is False]
         if failed:
             print(f"repro-lb bench: FAIL verdict in {failed}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.bench_command == "service":
+        from repro.bench.service import run_service_bench
+
+        artifact = run_service_bench(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            unique=args.unique,
+            preset=args.workload_preset,
+            jobs=args.jobs,
+            pool=args.pool,
+            max_batch=args.max_batch,
+            batch_window_ms=args.batch_window_ms,
+        )
+        written = artifact.save(args.output) if args.output else None
+        if args.json:
+            print(jsonio.dumps(artifact.to_dict()))
+        else:
+            record = artifact.records[0]
+            metrics = record.metrics
+            print(f"bench service: preset {artifact.preset} ({artifact.created})")
+            print(f"  {record.title}")
+            print(
+                f"  {metrics['requests']:.0f} requests in {record.best:.3f}s "
+                f"({metrics['requests_per_sec']:.1f} req/s), "
+                f"{metrics['errors']:.0f} error(s)"
+            )
+            print(
+                f"  latency p50 {metrics['p50_ms']:.2f}ms  p99 {metrics['p99_ms']:.2f}ms  "
+                f"max {metrics['max_ms']:.2f}ms"
+            )
+            print(
+                f"  cache hit rate {metrics['cache_hit_rate']:.3f}  "
+                f"batches {metrics['batches']:.0f} (max {metrics['max_batch']:.0f}, "
+                f"mean {metrics['mean_batch']:.2f})  coalesced {metrics['coalesced']:.0f}"
+            )
+            print(f"  byte_identical {metrics['byte_identical']:.3f}")
+            if written is not None:
+                print(f"artifact written to {written}")
+        if artifact.records[0].passed is False:
+            print("repro-lb bench service: FAIL verdict", file=sys.stderr)
             return 1
         return 0
 
@@ -802,6 +925,21 @@ def _run_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import BalancingService, run_service
+
+    service = BalancingService(
+        args.host,
+        args.port,
+        jobs=args.jobs,
+        pool=args.pool,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
+        cache_entries=args.cache_entries,
+    )
+    return run_service(service)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro-lb`` command."""
     parser = build_parser()
@@ -816,6 +954,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": _run_sweep,
         "conform": _run_conform,
         "hunt": _run_hunt,
+        "serve": _run_serve,
         "list": _run_list,
     }
     handler = handlers.get(args.command)

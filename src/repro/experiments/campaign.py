@@ -325,14 +325,24 @@ def plan_pipeline_campaign(
 
     Each config may be a :class:`~repro.api.PipelineConfig` or its dict form;
     run ids combine the batch index with the config label so a batch with
-    repeated labels stays unambiguous.
+    repeated labels stays unambiguous.  Identical configs — equal
+    :meth:`~repro.api.PipelineConfig.fingerprint` — collapse to the first
+    occurrence: a pipeline run is a pure function of its config, so a batch
+    that repeats a config (scenario grids with overlapping cells, retry
+    scripts concatenating lists) would only burn pool slots re-deriving the
+    same manifest.
     """
     from repro.api import PipelineConfig
 
     runs: list[CampaignRun] = []
+    seen: set[str] = set()
     for index, config in enumerate(configs):
         if not isinstance(config, PipelineConfig):
             config = PipelineConfig.from_dict(config)
+        fingerprint = config.fingerprint()
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
         raw_name = config.label or config.balance.balancer
         # Run ids become manifest filenames: keep them filesystem-safe
         # whatever the config label contains.

@@ -31,7 +31,14 @@ from typing import Any
 
 from repro.errors import ConfigurationError
 
-__all__ = ["sanitize", "dumps", "read_json", "write_text_atomic", "write_json_atomic"]
+__all__ = [
+    "sanitize",
+    "dumps",
+    "read_json",
+    "load_json_path",
+    "write_text_atomic",
+    "write_json_atomic",
+]
 
 
 def sanitize(value: Any) -> Any:
@@ -50,8 +57,20 @@ def sanitize(value: Any) -> Any:
 
 
 def dumps(payload: Any, *, indent: int | None = 2, sort_keys: bool = True) -> str:
-    """Serialise ``payload`` as strict JSON (non-finite floats become ``null``)."""
-    return json.dumps(sanitize(payload), indent=indent, sort_keys=sort_keys, allow_nan=False)
+    """Serialise ``payload`` as strict JSON (non-finite floats become ``null``).
+
+    ``indent=None`` selects the canonical single-line form with compact
+    separators — the byte representation config fingerprints and the service
+    result cache hash and store.
+    """
+    separators = (",", ":") if indent is None else None
+    return json.dumps(
+        sanitize(payload),
+        indent=indent,
+        sort_keys=sort_keys,
+        allow_nan=False,
+        separators=separators,
+    )
 
 
 def read_json(path: str | Path, *, kind: str = "JSON file") -> Any:
@@ -73,6 +92,26 @@ def read_json(path: str | Path, *, kind: str = "JSON file") -> Any:
         return json.loads(text)
     except json.JSONDecodeError as error:
         raise ConfigurationError(f"{kind} {path} is not valid JSON: {error}") from None
+
+
+def load_json_path(path: str | Path, *, kind: str = "JSON file") -> dict[str, Any]:
+    """Read ``path`` as a JSON *object*, mapping every failure to a clean error.
+
+    The shared front door of every artifact loader and CLI ``--config``
+    reader: unreadable files, malformed JSON and a payload that is not a JSON
+    object all raise :class:`~repro.errors.ConfigurationError` naming the
+    offending path, so each verb exits 2 with one consistent message instead
+    of re-implementing the check (the pre-consolidation copies drifted).
+    Every versioned artifact this project reads — pipeline configs, bench /
+    sweep / search artifacts, the regression registry — is a JSON object by
+    schema, so the object check lives here, next to the parse.
+    """
+    data = read_json(path, kind=kind)
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"{kind} {Path(path)} must be a JSON object, got {type(data).__name__}"
+        )
+    return data
 
 
 def write_text_atomic(path: str | Path, text: str) -> Path:

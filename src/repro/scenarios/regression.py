@@ -136,8 +136,8 @@ def load_frozen(path: str | Path | None = None) -> tuple[FrozenScenario, ...]:
     path = REGISTRY_PATH if path is None else Path(path)
     if not path.exists():
         return ()
-    data = jsonio.read_json(path, kind="regression registry")
-    schema = data.get("schema", REGRESSION_SCHEMA) if isinstance(data, dict) else None
+    data = jsonio.load_json_path(path, kind="regression registry")
+    schema = data.get("schema", REGRESSION_SCHEMA)
     if schema != REGRESSION_SCHEMA:
         raise ConfigurationError(
             f"Unsupported regression-registry schema {schema!r} in {path}; this "

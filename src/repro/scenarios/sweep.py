@@ -442,7 +442,7 @@ class SweepArtifact:
     @classmethod
     def load(cls, path: str | Path) -> "SweepArtifact":
         """Read an artifact back from disk."""
-        return cls.from_dict(jsonio.read_json(path, kind="sweep artifact"))
+        return cls.from_dict(jsonio.load_json_path(path, kind="sweep artifact"))
 
     def render(self) -> str:
         """Per-scenario summary table plus the findings (what the CLI prints)."""

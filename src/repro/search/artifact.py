@@ -145,7 +145,7 @@ class SearchArtifact:
     @classmethod
     def load(cls, path: str | Path) -> "SearchArtifact":
         """Read an artifact back from disk."""
-        return cls.from_dict(jsonio.read_json(path, kind="search artifact"))
+        return cls.from_dict(jsonio.load_json_path(path, kind="search artifact"))
 
     def render(self) -> str:
         """Hunt summary plus one line per counterexample (what the CLI prints)."""

@@ -1,0 +1,53 @@
+"""Balancing-as-a-service: the long-running HTTP layer over :mod:`repro.api`.
+
+The rest of the toolkit runs one :class:`~repro.api.PipelineConfig` per CLI
+invocation; this package keeps the pipeline resident and serves it over
+HTTP — the ROADMAP's "balancing-as-a-service" layer.  Stdlib only (asyncio,
+``http.client`` on the client side), structured into four pieces:
+
+* :mod:`repro.service.protocol` — the ``repro-service/1`` wire schema:
+  request/response envelopes, job states, and the canonical result-byte
+  contract the cache stores;
+* :mod:`repro.service.cache` — the LRU result cache keyed by
+  :meth:`~repro.api.PipelineConfig.fingerprint`, holding canonical
+  ``repro-run/1`` bytes so identical configs return byte-identical results;
+* :mod:`repro.service.batcher` — the request queue + micro-batcher that
+  coalesces concurrent submissions (single-flight per fingerprint) and fans
+  batches out across a bounded worker pool (the campaign runner's
+  process-pool machinery);
+* :mod:`repro.service.server` — the asyncio HTTP server itself
+  (``repro-lb serve``) plus :class:`ServiceThread`, the in-process harness
+  tests and the bench tier drive;
+* :mod:`repro.service.client` — the blocking stdlib client the tests, the
+  load-test bench tier and scripts use.
+
+See ``DESIGN.md`` §11 for the architecture and ``EXPERIMENTS.md`` for the
+load-test bench tier (``repro-lb bench service``).
+"""
+
+from repro.service.batcher import MicroBatcher, execute_config_payload
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceClient, ServiceClientError, wait_until_ready
+from repro.service.protocol import (
+    JOB_STATES,
+    SERVICE_SCHEMA,
+    canonical_result_bytes,
+    deterministic_result_dict,
+)
+from repro.service.server import BalancingService, ServiceThread, run_service
+
+__all__ = [
+    "JOB_STATES",
+    "SERVICE_SCHEMA",
+    "BalancingService",
+    "MicroBatcher",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceThread",
+    "canonical_result_bytes",
+    "deterministic_result_dict",
+    "execute_config_payload",
+    "run_service",
+    "wait_until_ready",
+]

@@ -1,0 +1,249 @@
+"""Request queue + micro-batcher over the campaign process-pool machinery.
+
+Balancing is CPU-bound, so the service never runs a pipeline on its event
+loop.  Submissions flow through three stages:
+
+1. **Single-flight coalescing** — concurrent submissions of one config
+   fingerprint share one pending execution; later waiters just await the
+   first one's future (the ``coalesced`` stat counts them).
+2. **Micro-batching** — the collector task drains the queue into batches of
+   up to ``max_batch`` submissions, waiting at most ``window_s`` for
+   stragglers, so a burst of concurrent clients is dispatched as one batch
+   instead of N wake-ups (batch sizes land in the stats the load-test bench
+   records).
+3. **Bounded fan-out** — each batch member becomes one
+   :func:`execute_config_payload` call on the executor (a
+   ``ProcessPoolExecutor`` by default), which reuses
+   :func:`repro.experiments.campaign.execute_run` — exactly the worker the
+   campaign runner fans out, returning the same never-raises manifest dict
+   with the ``repro-run/1`` artifact under ``run_result``.
+
+Everything except the executor call runs on the server's event loop, so the
+batcher needs no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Callable, Mapping
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.service.protocol import ServiceRequestError
+
+__all__ = ["MicroBatcher", "execute_config_payload"]
+
+
+def execute_config_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Worker-pool entry point: one pipeline config in, one manifest out.
+
+    Wraps the config as a pipeline :class:`~repro.experiments.campaign.CampaignRun`
+    and executes it through the campaign runner's own worker, so the service
+    and ``repro-lb campaign`` produce identical manifest dicts (``status``,
+    ``run_result``, ``error``/``traceback``, ``seconds``) and a failed run
+    returns a manifest instead of raising across the pool boundary.
+    """
+    from repro.experiments.campaign import CampaignRun, execute_run
+
+    fingerprint = str(payload.get("fingerprint", ""))
+    run = CampaignRun(
+        run_id=f"service-{fingerprint[:12] or 'adhoc'}",
+        experiment="pipeline",
+        preset="service",
+        pipeline=dict(payload["config"]),
+    )
+    return execute_run(run)
+
+
+@dataclass(slots=True)
+class _Pending:
+    """One queued execution (shared by every coalesced waiter)."""
+
+    fingerprint: str
+    config: dict[str, Any]
+    future: asyncio.Future
+    on_dispatch: Callable[[], None] | None = None
+    dispatch_callbacks: list[Callable[[], None]] = field(default_factory=list)
+
+
+class MicroBatcher:
+    """Coalesce, batch and fan out pipeline executions (see module docstring)."""
+
+    def __init__(
+        self,
+        executor: Executor,
+        *,
+        max_batch: int = 16,
+        window_s: float = 0.005,
+    ) -> None:
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if window_s < 0:
+            raise ConfigurationError(f"window_s must be non-negative, got {window_s}")
+        self._executor = executor
+        self._max_batch = max_batch
+        self._window = window_s
+        self._queue: asyncio.Queue[_Pending | None] = asyncio.Queue()
+        self._inflight: dict[str, _Pending] = {}
+        self._collector: asyncio.Task | None = None
+        self._closed = False
+        # Counters (event-loop only, no locks needed).
+        self._submitted = 0
+        self._coalesced = 0
+        self._batches = 0
+        self._dispatched = 0
+        self._max_batch_seen = 0
+        self._batched_total = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the collector task (call from inside the event loop)."""
+        if self._collector is None:
+            self._collector = asyncio.get_running_loop().create_task(self._collect())
+
+    async def submit(
+        self,
+        fingerprint: str,
+        config: Mapping[str, Any],
+        *,
+        on_dispatch: Callable[[], None] | None = None,
+    ) -> dict[str, Any]:
+        """Queue one execution and await its manifest dict.
+
+        A submission whose fingerprint is already pending coalesces onto the
+        in-flight execution instead of queueing a duplicate; ``on_dispatch``
+        (when given) fires once the execution is handed to the worker pool.
+        """
+        if self._closed:
+            raise ServiceRequestError("service is draining; not accepting work", 503)
+        self._submitted += 1
+        pending = self._inflight.get(fingerprint)
+        if pending is not None:
+            self._coalesced += 1
+            if on_dispatch is not None:
+                pending.dispatch_callbacks.append(on_dispatch)
+            return await asyncio.shield(pending.future)
+        pending = _Pending(
+            fingerprint=fingerprint,
+            config=dict(config),
+            future=asyncio.get_running_loop().create_future(),
+            on_dispatch=on_dispatch,
+        )
+        self._inflight[fingerprint] = pending
+        await self._queue.put(pending)
+        return await asyncio.shield(pending.future)
+
+    async def drain(self, poll_s: float = 0.01) -> None:
+        """Wait until the queue is empty and every in-flight execution resolved."""
+        while self._queue.qsize() > 0 or self._inflight:
+            await asyncio.sleep(poll_s)
+
+    async def stop(self, *, drain: bool = True) -> None:
+        """Stop the collector; with ``drain`` (default) finish queued work first.
+
+        Without ``drain``, still-queued submissions resolve to a ``failed``
+        manifest naming the shutdown (their waiters must not hang forever).
+        """
+        self._closed = True
+        if drain:
+            await self.drain()
+        await self._queue.put(None)
+        if self._collector is not None:
+            await self._collector
+            self._collector = None
+        # Fail whatever the collector never dispatched (drain=False path).
+        while not self._queue.empty():
+            leftover = self._queue.get_nowait()
+            if leftover is not None:
+                self._resolve(
+                    leftover,
+                    {"status": "failed", "error": "service shut down before execution"},
+                )
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot for ``/v1/stats`` and the load-test bench artifact."""
+        return {
+            "submitted": self._submitted,
+            "coalesced": self._coalesced,
+            "batches": self._batches,
+            "dispatched": self._dispatched,
+            "max_batch": self._max_batch_seen,
+            "mean_batch": (self._batched_total / self._batches) if self._batches else 0.0,
+            "queue_depth": self._queue.qsize(),
+            "in_flight": len(self._inflight),
+            "max_batch_limit": self._max_batch,
+            "window_s": self._window,
+        }
+
+    # ------------------------------------------------------------------
+    async def _collect(self) -> None:
+        """Drain the queue into batches and dispatch each one."""
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            head = await self._queue.get()
+            if head is None:
+                break
+            batch = [head]
+            deadline = loop.time() + self._window
+            while len(batch) < self._max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if item is None:
+                    stopping = True
+                    break
+                batch.append(item)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[_Pending]) -> None:
+        """Fan one batch out across the executor."""
+        loop = asyncio.get_running_loop()
+        self._batches += 1
+        self._batched_total += len(batch)
+        self._max_batch_seen = max(self._max_batch_seen, len(batch))
+        for pending in batch:
+            self._dispatched += 1
+            try:
+                task = loop.run_in_executor(
+                    self._executor,
+                    execute_config_payload,
+                    {"fingerprint": pending.fingerprint, "config": pending.config},
+                )
+            except RuntimeError as error:  # executor already shut down
+                self._resolve(
+                    pending, {"status": "failed", "error": f"executor rejected work: {error}"}
+                )
+                continue
+            for callback in (pending.on_dispatch, *pending.dispatch_callbacks):
+                if callback is not None:
+                    callback()
+            task.add_done_callback(
+                lambda done, pending=pending: self._finish(pending, done)
+            )
+
+    def _finish(self, pending: _Pending, task: asyncio.Future) -> None:
+        """Executor completion: resolve the shared future with the manifest."""
+        if task.cancelled():
+            manifest = {"status": "failed", "error": "execution cancelled"}
+        else:
+            error = task.exception()
+            if error is not None:
+                # execute_config_payload never raises; this is pool breakage
+                # (worker killed, pickling failure) — fail the one job, keep
+                # the service alive.
+                manifest = {"status": "failed", "error": f"{type(error).__name__}: {error}"}
+            else:
+                manifest = task.result()
+        self._resolve(pending, manifest)
+
+    def _resolve(self, pending: _Pending, manifest: dict[str, Any]) -> None:
+        self._inflight.pop(pending.fingerprint, None)
+        if not pending.future.done():
+            pending.future.set_result(manifest)

@@ -1,0 +1,87 @@
+"""The fingerprint-keyed LRU result cache.
+
+One entry per :meth:`~repro.api.PipelineConfig.fingerprint`: the canonical
+``repro-run/1`` bytes of the first successful execution (see
+:func:`repro.service.protocol.canonical_result_bytes`).  Storing *bytes*
+rather than dicts is the point — a hit returns exactly what was stored, so
+every response for one fingerprint is byte-identical, and the stored size
+is an honest memory figure for the stats endpoint.
+
+The cache is only ever touched from the server's event loop, so it carries
+no locking; :meth:`stats` is a plain snapshot.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded least-recently-used mapping of fingerprint to result bytes."""
+
+    __slots__ = ("_entries", "_max_entries", "_hits", "_misses", "_evictions", "_stored_bytes")
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(f"cache max_entries must be >= 1, got {max_entries}")
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._max_entries = max_entries
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._stored_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    def get(self, fingerprint: str) -> bytes | None:
+        """The stored bytes of ``fingerprint`` (recorded as a hit or miss)."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(fingerprint)
+        self._hits += 1
+        return entry
+
+    def peek(self, fingerprint: str) -> bytes | None:
+        """Like :meth:`get` but without touching recency or the hit counters."""
+        return self._entries.get(fingerprint)
+
+    def put(self, fingerprint: str, payload: bytes) -> None:
+        """Store ``payload`` under ``fingerprint``, evicting the LRU tail."""
+        if fingerprint in self._entries:
+            self._stored_bytes -= len(self._entries[fingerprint])
+            self._entries.move_to_end(fingerprint)
+        self._entries[fingerprint] = payload
+        self._stored_bytes += len(payload)
+        while len(self._entries) > self._max_entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._stored_bytes -= len(evicted)
+            self._evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """``hits / (hits + misses)`` (0.0 before the first lookup)."""
+        lookups = self._hits + self._misses
+        return self._hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot for the ``/v1/stats`` endpoint and the bench artifact."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self._max_entries,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "hit_rate": self.hit_rate,
+            "stored_bytes": self._stored_bytes,
+        }

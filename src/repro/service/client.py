@@ -1,0 +1,199 @@
+"""Blocking stdlib client for the balancing service.
+
+:class:`ServiceClient` wraps one keep-alive
+:class:`http.client.HTTPConnection` to a running
+:class:`~repro.service.server.BalancingService` — the tests, the load-test
+bench tier and scripts drive the service through it rather than hand-rolling
+sockets.  Transport failures and non-2xx responses surface as
+:class:`ServiceClientError` (with the server's structured error message when
+one was sent); :func:`wait_until_ready` polls ``/v1/health`` so callers can
+start a server process/thread and block until it accepts connections.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Mapping
+
+from repro.api import PipelineConfig
+from repro.errors import ReproError
+
+__all__ = ["ServiceClient", "ServiceClientError", "wait_until_ready"]
+
+
+class ServiceClientError(ReproError):
+    """A request that failed: transport error or non-2xx service response."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Keep-alive HTTP client for one service endpoint.
+
+    Usable as a context manager; safe to reuse across requests from a single
+    thread (the bench tier gives each client thread its own instance).  A
+    dropped keep-alive connection is transparently retried once on a fresh
+    connection before surfacing :class:`ServiceClientError`.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._connection
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+    def request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        """One round-trip; returns ``(status, body_bytes)``.
+
+        Retries exactly once on a dropped keep-alive connection; any other
+        transport failure raises :class:`ServiceClientError`.
+        """
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                return response.status, response.read()
+            except (http.client.HTTPException, ConnectionError, socket.timeout, OSError) as error:
+                self.close()
+                if attempt == 1:
+                    raise ServiceClientError(
+                        f"request {method} {path} to {self.host}:{self.port} failed: {error}"
+                    ) from error
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_json(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> dict[str, Any]:
+        status, payload = self.request(method, path, body)
+        try:
+            decoded = json.loads(payload)
+        except json.JSONDecodeError as error:
+            raise ServiceClientError(
+                f"{method} {path}: non-JSON response (HTTP {status})", status
+            ) from error
+        if status >= 400:
+            message = (
+                decoded.get("error", payload.decode("utf-8", "replace"))
+                if isinstance(decoded, dict)
+                else payload.decode("utf-8", "replace")
+            )
+            raise ServiceClientError(f"{method} {path}: {message}", status)
+        if not isinstance(decoded, dict):
+            raise ServiceClientError(
+                f"{method} {path}: expected a JSON object response", status
+            )
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """``GET /v1/health``."""
+        return self._request_json("GET", "/v1/health")
+
+    def stats(self) -> dict[str, Any]:
+        """``GET /v1/stats``."""
+        return self._request_json("GET", "/v1/stats")
+
+    def submit(
+        self, config: PipelineConfig | Mapping[str, Any], *, wait: bool = True
+    ) -> dict[str, Any]:
+        """``POST /v1/submit`` — run ``config``; the job payload comes back.
+
+        With ``wait`` (default) the response carries the finished job
+        including its embedded result; with ``wait=False`` it is the queued
+        job record to poll via :meth:`job` / :meth:`wait_for`.
+        """
+        config_dict = config.to_dict() if isinstance(config, PipelineConfig) else dict(config)
+        body = json.dumps({"config": config_dict, "wait": wait}).encode("utf-8")
+        return self._request_json("POST", "/v1/submit", body)
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """``GET /v1/jobs/<job_id>`` — one status poll."""
+        return self._request_json("GET", f"/v1/jobs/{job_id}")
+
+    def wait_for(
+        self, job_id: str, *, timeout_s: float = 60.0, poll_s: float = 0.02
+    ) -> dict[str, Any]:
+        """Poll :meth:`job` until it reaches a terminal state."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            payload = self.job(job_id)
+            if payload.get("status") in ("done", "failed"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceClientError(
+                    f"job {job_id} did not finish within {timeout_s}s "
+                    f"(last status: {payload.get('status')})"
+                )
+            time.sleep(poll_s)
+
+    def cached_result(self, fingerprint: str) -> bytes | None:
+        """``GET /v1/cache/<fingerprint>`` — the stored canonical bytes.
+
+        Returns the bytes **verbatim** (the byte-identity contract), or
+        ``None`` when the fingerprint is not cached.
+        """
+        status, payload = self.request("GET", f"/v1/cache/{fingerprint}")
+        if status == 404:
+            return None
+        if status != 200:
+            raise ServiceClientError(
+                f"GET /v1/cache/{fingerprint}: HTTP {status}", status
+            )
+        return payload
+
+
+def wait_until_ready(
+    host: str, port: int, *, timeout_s: float = 10.0, poll_s: float = 0.05
+) -> dict[str, Any]:
+    """Poll ``/v1/health`` until the service answers (or ``timeout_s`` expires).
+
+    Returns the first successful health payload — the hand-off barrier
+    between starting a server (thread or subprocess) and driving it.
+    """
+    deadline = time.monotonic() + timeout_s
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        client = ServiceClient(host, port, timeout_s=max(poll_s, 1.0))
+        try:
+            return client.health()
+        except ServiceClientError as error:
+            last_error = error
+            time.sleep(poll_s)
+        finally:
+            client.close()
+    raise ServiceClientError(
+        f"service at {host}:{port} not ready after {timeout_s}s: {last_error}"
+    )

@@ -1,0 +1,105 @@
+"""The ``repro-service/1`` wire schema and result-byte contract.
+
+Every payload the service emits is a JSON object stamped with
+``"schema": "repro-service/1"`` (except the raw cached-result endpoint,
+which returns stored ``repro-run/1`` bytes verbatim — see below).  The
+submit request body is either a serialised pipeline config itself or an
+envelope ``{"config": {...}, "wait": bool}``.
+
+**The canonical result-byte contract.**  A run's artifact is cached as
+``canonical_result_bytes(RunResult.to_dict())`` — the single-line
+sorted-key strict-JSON form of :mod:`repro.jsonio`.  Two properties follow:
+
+* a cache hit returns *exactly* the stored bytes, so every response for one
+  fingerprint is byte-identical to every other, and
+* because everything in a ``repro-run/1`` artifact except the wall-clock
+  ``timings`` is a pure function of the config, a cached result is
+  byte-identical to an independent ``Pipeline.run`` of the same config
+  after dropping the volatile keys — :func:`deterministic_result_dict`
+  states that comparison once, and the service bench tier asserts it on
+  every run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro import jsonio
+from repro.errors import ReproError
+
+__all__ = [
+    "SERVICE_SCHEMA",
+    "JOB_STATES",
+    "VOLATILE_RESULT_KEYS",
+    "ServiceRequestError",
+    "canonical_result_bytes",
+    "deterministic_result_dict",
+    "error_payload",
+    "parse_submit_payload",
+]
+
+#: Version tag stamped into every structured service response.
+SERVICE_SCHEMA = "repro-service/1"
+
+#: Lifecycle of a submitted job.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Top-level ``repro-run/1`` keys that are wall-clock measurements, not pure
+#: functions of the config.
+VOLATILE_RESULT_KEYS = ("timings",)
+
+
+class ServiceRequestError(ReproError):
+    """A request the service must answer with a structured 4xx, not a crash."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def canonical_result_bytes(result: Mapping[str, Any]) -> bytes:
+    """Canonical UTF-8 bytes of a ``repro-run/1`` dict (what the cache stores)."""
+    return jsonio.dumps(dict(result), indent=None).encode("utf-8")
+
+
+def deterministic_result_dict(result: Mapping[str, Any]) -> dict[str, Any]:
+    """Copy of a ``repro-run/1`` dict without its volatile (wall-clock) keys.
+
+    Two runs of one config must agree on this projection exactly; it is the
+    byte-identity comparison basis between a cached service result and a
+    direct :meth:`~repro.api.Pipeline.run`.
+    """
+    return {key: value for key, value in result.items() if key not in VOLATILE_RESULT_KEYS}
+
+
+def error_payload(message: str, status: int) -> dict[str, Any]:
+    """The structured body of every non-2xx response."""
+    return {"schema": SERVICE_SCHEMA, "error": str(message), "status": int(status)}
+
+
+def parse_submit_payload(payload: Any) -> tuple[dict[str, Any], bool]:
+    """Extract ``(config_dict, wait)`` from a submit request body.
+
+    Accepts the bare serialised pipeline config or the
+    ``{"config": {...}, "wait": bool}`` envelope; anything else raises
+    :class:`ServiceRequestError` (one 400, never a traceback).
+    """
+    if not isinstance(payload, dict):
+        raise ServiceRequestError(
+            f"submit body must be a JSON object, got {type(payload).__name__}"
+        )
+    if "config" in payload:
+        unknown = sorted(set(payload) - {"config", "wait"})
+        if unknown:
+            raise ServiceRequestError(f"unknown submit key(s) {unknown}")
+        config = payload["config"]
+        wait = payload.get("wait", True)
+        if not isinstance(wait, bool):
+            raise ServiceRequestError("submit key 'wait' must be a boolean")
+    else:
+        config, wait = payload, True
+    if not isinstance(config, dict):
+        raise ServiceRequestError(
+            f"pipeline config must be a JSON object, got {type(config).__name__}"
+        )
+    return config, wait

@@ -1,0 +1,675 @@
+"""The asyncio HTTP server: routes, job store, graceful drain.
+
+:class:`BalancingService` owns the four moving parts — listener, job store,
+:class:`~repro.service.batcher.MicroBatcher`, and
+:class:`~repro.service.cache.ResultCache` — and speaks a deliberately small
+slice of HTTP/1.1 (keep-alive, ``Content-Length`` bodies, JSON in and out;
+no chunked encoding, no TLS).  Endpoints:
+
+==============================  ====================================================
+``POST /v1/submit``             run a pipeline config; body is the config itself or
+                                ``{"config": {...}, "wait": bool}`` — ``wait`` true
+                                (default) blocks for the result, false returns 202
+                                with a job id to poll
+``GET /v1/jobs/<job_id>``       job status; embeds the result once done
+``GET /v1/cache/<fingerprint>`` the stored canonical ``repro-run/1`` bytes,
+                                returned **verbatim** (byte-identity contract)
+``GET /v1/health``              liveness + version
+``GET /v1/stats``               queue depth, batch sizes, cache hit rate,
+                                aggregated per-stage timings, request counters
+==============================  ====================================================
+
+Every malformed request maps to a structured 4xx via
+:class:`~repro.service.protocol.ServiceRequestError` — a client can never
+crash the server or a connection handler.  Graceful shutdown
+(:meth:`BalancingService.stop`) closes the listener, drains the queue and
+every in-flight request, then tears the worker pool down, so accepted work
+is never dropped.
+
+:class:`ServiceThread` runs the whole service on a private event loop in a
+daemon thread — the harness the tests, the load-test bench tier and the CI
+smoke job drive; :func:`run_service` is the blocking foreground runner
+behind ``repro-lb serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import signal
+import threading
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import jsonio
+from repro._version import __version__
+from repro.api import PipelineConfig
+from repro.errors import ConfigurationError, ReproError
+from repro.service.batcher import MicroBatcher
+from repro.service.cache import ResultCache
+from repro.service.protocol import (
+    SERVICE_SCHEMA,
+    ServiceRequestError,
+    canonical_result_bytes,
+    error_payload,
+)
+from repro.timing import StageTimer
+
+__all__ = ["BalancingService", "ServiceThread", "run_service"]
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+#: Worker-pool kinds the service can fan out on.
+_POOLS = ("process", "thread")
+
+
+@dataclass(slots=True)
+class _Job:
+    """One submitted execution tracked by the job store."""
+
+    job_id: str
+    fingerprint: str
+    label: str
+    state: str = "queued"
+    cached: bool = False
+    error: str = ""
+    #: Canonical ``repro-run/1`` bytes once done.
+    result_bytes: bytes | None = None
+    #: Worker-side wall seconds (from the execution manifest).
+    seconds: float | None = None
+    done_event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+
+class BalancingService:
+    """The long-running balancing server (see module docstring).
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    jobs:
+        Worker-pool width (default: ``min(4, cpu_count)``).
+    pool:
+        ``"process"`` (default; real CPU parallelism, the campaign pool) or
+        ``"thread"`` (cheaper startup — tests and tiny deployments).
+    max_batch, batch_window_ms:
+        Micro-batcher limits: at most ``max_batch`` submissions are collected
+        per batch, waiting at most ``batch_window_ms`` for stragglers.
+    cache_entries:
+        LRU capacity of the result cache.
+    max_body_bytes:
+        Largest accepted request body (413 above it).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        jobs: int | None = None,
+        pool: str = "process",
+        max_batch: int = 16,
+        batch_window_ms: float = 5.0,
+        cache_entries: int = 256,
+        max_body_bytes: int = 8 * 1024 * 1024,
+        max_jobs: int = 4096,
+    ) -> None:
+        if pool not in _POOLS:
+            raise ConfigurationError(f"Unknown pool kind {pool!r}; expected one of {_POOLS}")
+        if jobs is not None and jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if max_jobs < 1:
+            raise ConfigurationError(f"max_jobs must be >= 1, got {max_jobs}")
+        self.host = host
+        self.port = port
+        self.pool_kind = pool
+        self.workers = jobs if jobs is not None else min(4, os.cpu_count() or 1)
+        self._batch_window_s = batch_window_ms / 1000.0
+        self._max_batch = max_batch
+        self._cache = ResultCache(cache_entries)
+        self._max_body = max_body_bytes
+        self._max_jobs = max_jobs
+
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: Executor | None = None
+        self._batcher: MicroBatcher | None = None
+        self._jobs: dict[str, _Job] = {}
+        self._job_seq = itertools.count(1)
+        self._execute_tasks: set[asyncio.Task] = set()
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._active_requests = 0
+        self._draining = False
+        self._stopping = False
+        self._stopped: asyncio.Event | None = None
+        self._started_monotonic = 0.0
+
+        # Counters + the shared per-stage timer (pipeline stage seconds,
+        # aggregated across every execution the service ran).
+        self._stage_timer = StageTimer()
+        self._requests: dict[str, int] = {}
+        self._submits = 0
+        self._executions = 0
+        self._failures = 0
+        self._bad_requests = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Create the pool, start the batcher and bind the listener."""
+        if self._server is not None:
+            raise ConfigurationError("service is already started")
+        if self.pool_kind == "process":
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        else:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-service"
+            )
+        self._batcher = MicroBatcher(
+            self._executor, max_batch=self._max_batch, window_s=self._batch_window_s
+        )
+        self._batcher.start()
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
+
+    async def stop(self, *, drain: bool = True, drain_timeout_s: float = 60.0) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight work, tear down.
+
+        With ``drain`` (the default) every accepted submission finishes and
+        lands in the job store / cache before the pool is shut down; without
+        it, queued work resolves to ``failed`` manifests immediately.
+        """
+        if self._stopping:
+            if self._stopped is not None:
+                await self._stopped.wait()
+            return
+        self._stopping = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        assert self._batcher is not None
+        await self._batcher.stop(drain=drain)
+        if drain and self._execute_tasks:
+            await asyncio.gather(*list(self._execute_tasks), return_exceptions=True)
+        # Let handlers finish writing responses for requests already in
+        # flight (bounded: a stuck client must not wedge shutdown forever).
+        deadline = time.monotonic() + drain_timeout_s
+        while drain and self._active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._connections):
+            writer.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=drain, cancel_futures=not drain)
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def request_stop(self) -> None:
+        """Schedule a graceful stop from a signal handler / foreign thread."""
+        asyncio.get_running_loop().create_task(self.stop())
+
+    async def wait_stopped(self) -> None:
+        """Block until :meth:`stop` completed."""
+        assert self._stopped is not None, "service not started"
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    # Introspection (tests / the in-process harness)
+    # ------------------------------------------------------------------
+    def job_state(self, job_id: str) -> str | None:
+        """State of ``job_id`` (``None`` when unknown) — in-process probe."""
+        job = self._jobs.get(job_id)
+        return job.state if job is not None else None
+
+    def cached_bytes(self, fingerprint: str) -> bytes | None:
+        """Stored result bytes of ``fingerprint`` without touching hit stats."""
+        return self._cache.peek(fingerprint)
+
+    def stats(self) -> dict[str, Any]:
+        """The ``/v1/stats`` payload (also readable in-process)."""
+        states = {state: 0 for state in ("queued", "running", "done", "failed")}
+        for job in self._jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "schema": SERVICE_SCHEMA,
+            "kind": "stats",
+            "version": __version__,
+            "uptime_s": (
+                time.monotonic() - self._started_monotonic if self._started_monotonic else 0.0
+            ),
+            "pool": {"kind": self.pool_kind, "workers": self.workers},
+            "requests": dict(sorted(self._requests.items())),
+            "submits": self._submits,
+            "executions": self._executions,
+            "failures": self._failures,
+            "bad_requests": self._bad_requests,
+            "jobs": {**states, "total": len(self._jobs)},
+            "batcher": self._batcher.stats() if self._batcher is not None else {},
+            "cache": self._cache.stats(),
+            "stage_seconds": {
+                name: float(value) for name, value in sorted(self._stage_timer.timings.items())
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One keep-alive connection: read requests until EOF or error."""
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except ServiceRequestError as error:
+                    self._bad_requests += 1
+                    await self._write_response(
+                        writer, error.status, error_payload(str(error), error.status),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                self._active_requests += 1
+                try:
+                    try:
+                        status, payload, raw = await self._dispatch(method, path, body)
+                    except ServiceRequestError as error:
+                        self._bad_requests += 1
+                        status, payload, raw = error.status, error_payload(
+                            str(error), error.status
+                        ), None
+                    keep_alive = headers.get("connection", "").lower() != "close"
+                    await self._write_response(
+                        writer, status, payload, raw=raw, keep_alive=keep_alive
+                    )
+                finally:
+                    self._active_requests -= 1
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict[str, str], bytes] | None:
+        """Parse one request; ``None`` on clean EOF, 4xx on malformed input."""
+        try:
+            line = await reader.readline()
+        except ValueError:
+            raise ServiceRequestError("request line too long", 431) from None
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ServiceRequestError("malformed HTTP request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for _ in range(100):
+            try:
+                header_line = await reader.readline()
+            except ValueError:
+                raise ServiceRequestError("header line too long", 431) from None
+            if header_line in (b"\r\n", b"\n", b""):
+                break
+            decoded = header_line.decode("latin-1")
+            if ":" not in decoded:
+                raise ServiceRequestError("malformed HTTP header")
+            name, _, value = decoded.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise ServiceRequestError("too many headers", 431)
+        if "transfer-encoding" in headers:
+            raise ServiceRequestError("chunked request bodies are not supported", 501)
+        body = b""
+        length_text = headers.get("content-length")
+        if length_text is not None:
+            try:
+                length = int(length_text)
+            except ValueError:
+                raise ServiceRequestError("invalid Content-Length") from None
+            if length < 0:
+                raise ServiceRequestError("invalid Content-Length")
+            if length > self._max_body:
+                raise ServiceRequestError(
+                    f"request body exceeds {self._max_body} bytes", 413
+                )
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                return None
+        return method, target, headers, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict[str, Any] | None,
+        *,
+        raw: bytes | None = None,
+        keep_alive: bool = True,
+    ) -> None:
+        """Serialise and send one response (structured payload or raw bytes)."""
+        body = raw if raw is not None else jsonio.dumps(payload, indent=None).encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing + handlers
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict[str, Any] | None, bytes | None]:
+        """Route one request; returns ``(status, payload, raw_bytes)``."""
+        path = target.split("?", 1)[0]
+        route = path
+        for prefix in ("/v1/jobs/", "/v1/cache/"):
+            if path.startswith(prefix):
+                route = prefix + "*"
+        counter = f"{method} {route}"
+        self._requests[counter] = self._requests.get(counter, 0) + 1
+        if path == "/v1/health":
+            self._require_method(method, "GET")
+            return 200, {
+                "schema": SERVICE_SCHEMA,
+                "kind": "health",
+                "status": "draining" if self._draining else "ok",
+                "version": __version__,
+            }, None
+        if path == "/v1/stats":
+            self._require_method(method, "GET")
+            return 200, self.stats(), None
+        if path == "/v1/submit":
+            self._require_method(method, "POST")
+            return await self._handle_submit(body)
+        if path.startswith("/v1/jobs/"):
+            self._require_method(method, "GET")
+            return self._handle_job(path.removeprefix("/v1/jobs/"))
+        if path.startswith("/v1/cache/"):
+            self._require_method(method, "GET")
+            return self._handle_cache(path.removeprefix("/v1/cache/"))
+        raise ServiceRequestError(f"no such endpoint: {path}", 404)
+
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method != expected:
+            raise ServiceRequestError(f"method {method} not allowed (use {expected})", 405)
+
+    async def _handle_submit(
+        self, body: bytes
+    ) -> tuple[int, dict[str, Any] | None, bytes | None]:
+        from repro.service.protocol import parse_submit_payload
+
+        if self._draining:
+            raise ServiceRequestError("service is draining; not accepting work", 503)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceRequestError(f"request body is not valid JSON: {error}") from None
+        config_dict, wait = parse_submit_payload(payload)
+        try:
+            config = PipelineConfig.from_dict(config_dict)
+        except ReproError as error:
+            raise ServiceRequestError(f"invalid pipeline config: {error}", 422) from None
+        if config.workload.kind == "provided":
+            raise ServiceRequestError(
+                'workload kind "provided" needs in-memory objects; the service only '
+                "accepts fully declarative configs",
+                422,
+            )
+        self._submits += 1
+        fingerprint = config.fingerprint()
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            job = self._new_job(fingerprint, config.label, cached=True)
+            job.state = "done"
+            job.result_bytes = cached
+            job.done_event.set()
+            return 200, self._job_payload(job), None
+        job = self._new_job(fingerprint, config.label)
+        task = asyncio.get_running_loop().create_task(
+            self._execute(job, fingerprint, config_dict)
+        )
+        self._execute_tasks.add(task)
+        task.add_done_callback(self._execute_tasks.discard)
+        if not wait:
+            return 202, self._job_payload(job), None
+        await job.done_event.wait()
+        return (200 if job.state == "done" else 500), self._job_payload(job), None
+
+    def _handle_job(self, job_id: str) -> tuple[int, dict[str, Any] | None, bytes | None]:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceRequestError(f"no such job: {job_id}", 404)
+        return 200, self._job_payload(job), None
+
+    def _handle_cache(
+        self, fingerprint: str
+    ) -> tuple[int, dict[str, Any] | None, bytes | None]:
+        entry = self._cache.get(fingerprint)
+        if entry is None:
+            raise ServiceRequestError(f"no cached result for fingerprint {fingerprint}", 404)
+        # Byte-identity contract: the stored canonical bytes, verbatim.
+        return 200, None, entry
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _new_job(self, fingerprint: str, label: str, *, cached: bool = False) -> _Job:
+        job = _Job(
+            job_id=f"job-{next(self._job_seq):08d}",
+            fingerprint=fingerprint,
+            label=label,
+            cached=cached,
+        )
+        self._jobs[job.job_id] = job
+        self._prune_jobs()
+        return job
+
+    def _prune_jobs(self) -> None:
+        """Bound the job store: drop the oldest *finished* jobs past the cap."""
+        if len(self._jobs) <= self._max_jobs:
+            return
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self._max_jobs:
+                break
+            if self._jobs[job_id].finished:
+                del self._jobs[job_id]
+
+    async def _execute(self, job: _Job, fingerprint: str, config_dict: dict[str, Any]) -> None:
+        """Run one job through the batcher and settle the job record."""
+        assert self._batcher is not None
+
+        def mark_running() -> None:
+            if job.state == "queued":
+                job.state = "running"
+
+        try:
+            manifest = await self._batcher.submit(
+                fingerprint, config_dict, on_dispatch=mark_running
+            )
+        except ServiceRequestError as error:
+            manifest = {"status": "failed", "error": str(error)}
+        if manifest.get("status") == "ok":
+            result = manifest["run_result"]
+            payload = canonical_result_bytes(result)
+            self._cache.put(fingerprint, payload)
+            job.result_bytes = payload
+            job.seconds = manifest.get("seconds")
+            job.state = "done"
+            self._executions += 1
+            for stage, seconds in (result.get("timings") or {}).items():
+                timings = self._stage_timer.timings
+                timings[stage] = timings.get(stage, 0.0) + float(seconds)
+        else:
+            job.error = str(manifest.get("error", "execution failed"))
+            job.state = "failed"
+            self._failures += 1
+        job.done_event.set()
+
+    def _job_payload(self, job: _Job) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "schema": SERVICE_SCHEMA,
+            "kind": "job",
+            "job_id": job.job_id,
+            "status": job.state,
+            "fingerprint": job.fingerprint,
+            "label": job.label,
+            "cached": job.cached,
+        }
+        if job.seconds is not None:
+            payload["seconds"] = float(job.seconds)
+        if job.state == "failed":
+            payload["error"] = job.error
+        if job.state == "done" and job.result_bytes is not None:
+            payload["result"] = json.loads(job.result_bytes)
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Runners
+# ----------------------------------------------------------------------
+def run_service(service: BalancingService, *, banner: bool = True) -> int:
+    """Run ``service`` in the foreground until SIGINT/SIGTERM (the CLI verb)."""
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, service.request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - non-unix
+                pass
+        await service.start()
+        if banner:
+            print(
+                f"repro-lb serve: listening on http://{service.host}:{service.port} "
+                f"(pool={service.pool_kind}, workers={service.workers}) — Ctrl-C stops",
+                flush=True,
+            )
+        await service.wait_stopped()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        return 130
+    return 0
+
+
+class ServiceThread:
+    """Run a :class:`BalancingService` on a private loop in a daemon thread.
+
+    The in-process harness used by the tests, the load-test bench tier and
+    the CI smoke job::
+
+        with ServiceThread(pool="thread", jobs=2) as handle:
+            client = ServiceClient(handle.host, handle.port)
+            ...
+
+    ``stop`` (and context-manager exit) performs the graceful drain.
+    Construction kwargs are forwarded to :class:`BalancingService`.
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        self._kwargs = service_kwargs
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.service: BalancingService | None = None
+
+    @property
+    def host(self) -> str:
+        assert self.service is not None
+        return self.service.host
+
+    @property
+    def port(self) -> int:
+        assert self.service is not None
+        return self.service.port
+
+    def start(self) -> "ServiceThread":
+        if self._thread is not None:
+            raise ConfigurationError("service thread already started")
+        self._thread = threading.Thread(target=self._run, name="repro-service", daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self.service = BalancingService(**self._kwargs)
+        try:
+            self._loop.run_until_complete(self.service.start())
+        except BaseException as error:  # noqa: BLE001 - report startup failure to caller
+            self._startup_error = error
+            self._started.set()
+            self._loop.close()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def stop(self, *, drain: bool = True, timeout_s: float = 60.0) -> None:
+        """Gracefully stop the service and join the thread."""
+        if self._thread is None or self._loop is None or self.service is None:
+            return
+        if not self._loop.is_closed():
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.stop(drain=drain), self._loop
+            )
+            future.result(timeout=timeout_s)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout_s)
+        self._thread = None
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,381 @@
+"""Tests for the balancing service (``repro.service``) and its bench tier."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+
+import pytest
+
+from repro.api import Pipeline, PipelineConfig
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import plan_pipeline_campaign
+from repro.service import (
+    ResultCache,
+    ServiceClient,
+    ServiceClientError,
+    ServiceThread,
+    canonical_result_bytes,
+    deterministic_result_dict,
+    wait_until_ready,
+)
+from repro.service.protocol import ServiceRequestError, parse_submit_payload
+
+
+def config_with_label(label: str) -> PipelineConfig:
+    return PipelineConfig.from_dict(
+        {
+            "schema": "repro-pipeline/1",
+            "label": label,
+            "workload": {"kind": "paper_example"},
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def service_handle():
+    """One thread-pool service shared by the fast end-to-end tests."""
+    with ServiceThread(pool="thread", jobs=2) as handle:
+        wait_until_ready(handle.host, handle.port)
+        yield handle
+
+
+@pytest.fixture()
+def client(service_handle):
+    with ServiceClient(service_handle.host, service_handle.port) as instance:
+        yield instance
+
+
+# ----------------------------------------------------------------------
+# Fingerprints (satellite a)
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_fingerprint_is_sha256_of_canonical_bytes(self):
+        config = PipelineConfig.paper_example()
+        payload = config.canonical_bytes()
+        assert config.fingerprint() == hashlib.sha256(payload).hexdigest()
+
+    def test_canonical_bytes_are_compact_sorted_and_stable(self):
+        config = PipelineConfig.paper_example()
+        payload = config.canonical_bytes()
+        assert b"\n" not in payload
+        assert b": " not in payload and b", " not in payload
+        decoded = json.loads(payload)
+        assert decoded == config.to_dict()
+        assert payload == PipelineConfig.from_dict(decoded).canonical_bytes()
+
+    def test_equal_configs_share_a_fingerprint(self):
+        assert config_with_label("x").fingerprint() == config_with_label("x").fingerprint()
+        assert config_with_label("x").fingerprint() != config_with_label("y").fingerprint()
+
+    def test_campaign_planner_dedupes_identical_configs(self):
+        distinct = [config_with_label("a"), config_with_label("b")]
+        runs = plan_pipeline_campaign(distinct + [config_with_label("a")])
+        assert len(runs) == 2
+        assert [run.pipeline["label"] for run in runs] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_lru_eviction_and_stats(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", b"1")
+        cache.put("b", b"22")
+        assert cache.get("a") == b"1"  # refresh "a": "b" becomes LRU
+        cache.put("c", b"333")
+        assert cache.peek("b") is None
+        assert cache.peek("a") == b"1"
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        assert stats["stored_bytes"] == len(b"1") + len(b"333")
+
+    def test_hit_rate_counts_get_but_not_peek(self):
+        cache = ResultCache()
+        cache.put("a", b"1")
+        assert cache.get("missing") is None
+        assert cache.get("a") == b"1"
+        cache.peek("missing")
+        assert cache.hit_rate == 0.5
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigurationError, match="max_entries"):
+            ResultCache(max_entries=0)
+
+
+# ----------------------------------------------------------------------
+# Submit-payload parsing
+# ----------------------------------------------------------------------
+class TestParseSubmitPayload:
+    def test_bare_config_defaults_to_wait(self):
+        config, wait = parse_submit_payload({"schema": "repro-pipeline/1"})
+        assert wait is True and config == {"schema": "repro-pipeline/1"}
+
+    def test_envelope_form(self):
+        config, wait = parse_submit_payload({"config": {"x": 1}, "wait": False})
+        assert wait is False and config == {"x": 1}
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ([1, 2], "must be a JSON object"),
+            ({"config": 5}, "must be a JSON object"),
+            ({"config": {}, "bogus": 1}, "unknown submit key"),
+            ({"config": {}, "wait": "yes"}, "must be a boolean"),
+        ],
+    )
+    def test_malformed_payloads_raise_400(self, payload, match):
+        with pytest.raises(ServiceRequestError, match=match) as excinfo:
+            parse_submit_payload(payload)
+        assert excinfo.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# End-to-end over a real socket (satellite d)
+# ----------------------------------------------------------------------
+class TestServiceEndToEnd:
+    def test_health_and_stats(self, client):
+        health = client.health()
+        assert health["schema"] == "repro-service/1"
+        assert health["status"] == "ok"
+        stats = client.stats()
+        assert stats["pool"] == {"kind": "thread", "workers": 2}
+
+    def test_sync_submit_runs_the_pipeline(self, client):
+        config = PipelineConfig.paper_example()
+        job = client.submit(config)
+        assert job["status"] == "done"
+        assert job["result"]["metrics"]["makespan_after"] == 14.0
+        assert job["fingerprint"] == config.fingerprint()
+
+    def test_async_submit_poll_and_cache_fetch(self, client):
+        config = config_with_label("e2e-async")
+        queued = client.submit(config, wait=False)
+        assert queued["status"] in ("queued", "running", "done")
+        done = client.wait_for(queued["job_id"])
+        assert done["status"] == "done"
+        cached = client.cached_result(config.fingerprint())
+        assert cached is not None
+        assert json.loads(cached) == done["result"]
+
+    def test_cache_hit_is_byte_identical(self, client):
+        config = config_with_label("e2e-cache")
+        first = client.submit(config)
+        assert first["cached"] is False
+        raw_first = client.cached_result(config.fingerprint())
+        second = client.submit(config)
+        assert second["cached"] is True
+        raw_second = client.cached_result(config.fingerprint())
+        # The byte-identity contract: the cached endpoint returns the stored
+        # bytes verbatim, and a cache-hit submit embeds exactly that result.
+        assert raw_first == raw_second
+        assert second["result"] == json.loads(raw_first)
+
+    def test_cached_result_matches_direct_pipeline_run(self, client):
+        config = config_with_label("e2e-direct")
+        client.submit(config)
+        served = json.loads(client.cached_result(config.fingerprint()))
+        direct = Pipeline(config).run().to_dict()
+        assert canonical_result_bytes(
+            deterministic_result_dict(served)
+        ) == canonical_result_bytes(deterministic_result_dict(direct))
+
+    def test_unknown_job_and_fingerprint_are_404(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.job("job-99999999")
+        assert excinfo.value.status == 404
+        assert client.cached_result("0" * 64) is None
+
+    def test_malformed_submits_are_structured_4xx(self, client, service_handle):
+        status, body = client.request("POST", "/v1/submit", b"{not json")
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["schema"] == "repro-service/1" and "error" in payload
+
+        status, body = client.request(
+            "POST", "/v1/submit", json.dumps({"config": {}, "bogus": 1}).encode()
+        )
+        assert status == 400
+
+        bad_config = {"schema": "repro-pipeline/1", "workload": {"kind": "mystery"}}
+        status, body = client.request("POST", "/v1/submit", json.dumps(bad_config).encode())
+        assert status == 422
+        assert "invalid pipeline config" in json.loads(body)["error"]
+
+        status, _ = client.request("PUT", "/v1/submit", b"{}")
+        assert status == 405
+        status, _ = client.request("GET", "/v1/nope")
+        assert status == 404
+        # The server survived all of it.
+        assert client.health()["status"] == "ok"
+
+    def test_malformed_request_line_gets_400_not_a_crash(self, client, service_handle):
+        with socket.create_connection((service_handle.host, service_handle.port)) as raw:
+            raw.sendall(b"THIS IS NOT HTTP\r\n\r\n")
+            response = raw.recv(4096)
+        assert response.startswith(b"HTTP/1.1 400 ")
+        assert client.health()["status"] == "ok"
+
+    def test_oversized_body_is_413(self):
+        with ServiceThread(pool="thread", jobs=1, max_body_bytes=64) as handle:
+            wait_until_ready(handle.host, handle.port)
+            with ServiceClient(handle.host, handle.port) as client:
+                status, body = client.request("POST", "/v1/submit", b"x" * 65)
+                assert status == 413
+                assert json.loads(body)["status"] == 413
+
+
+class TestBatchingAndShutdown:
+    def test_concurrent_clients_get_micro_batched(self):
+        import threading
+
+        clients = 4
+        with ServiceThread(pool="thread", jobs=2, batch_window_ms=200.0) as handle:
+            wait_until_ready(handle.host, handle.port)
+            barrier = threading.Barrier(clients)
+            failures: list[Exception] = []
+
+            def drive(index: int) -> None:
+                try:
+                    with ServiceClient(handle.host, handle.port) as client:
+                        barrier.wait()
+                        job = client.submit(config_with_label(f"batch-{index}"))
+                        assert job["status"] == "done"
+                except Exception as error:  # pragma: no cover - surfaced below
+                    failures.append(error)
+
+            threads = [
+                threading.Thread(target=drive, args=(index,)) for index in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not failures
+            batcher = handle.service.stats()["batcher"]
+        assert batcher["dispatched"] == clients
+        # The 200ms window must have collected at least one real batch.
+        assert batcher["max_batch"] > 1
+
+    def test_graceful_shutdown_drains_in_flight_jobs(self):
+        handle = ServiceThread(pool="thread", jobs=2, batch_window_ms=200.0)
+        handle.start()
+        try:
+            wait_until_ready(handle.host, handle.port)
+            with ServiceClient(handle.host, handle.port) as client:
+                jobs = [
+                    client.submit(config_with_label(f"drain-{index}"), wait=False)
+                    for index in range(3)
+                ]
+                assert any(job["status"] != "done" for job in jobs)
+        finally:
+            # Stop while the batch window still holds the jobs: drain must
+            # finish them rather than dropping them.
+            handle.stop(drain=True)
+        service = handle.service
+        assert [service.job_state(job["job_id"]) for job in jobs] == ["done"] * 3
+        for job in jobs:
+            assert service.cached_bytes(job["fingerprint"]) is not None
+
+    def test_submits_after_drain_are_rejected_503(self):
+        with ServiceThread(pool="thread", jobs=1) as handle:
+            wait_until_ready(handle.host, handle.port)
+        # The context exit stopped the service; a fresh connection fails.
+        with pytest.raises(ServiceClientError):
+            ServiceClient(handle.host, handle.port, timeout_s=2.0).submit(
+                config_with_label("late")
+            )
+
+
+# ----------------------------------------------------------------------
+# Bench tier (satellite d + tentpole wiring)
+# ----------------------------------------------------------------------
+class TestServiceBench:
+    def test_bench_artifact_round_trip_and_compare(self, tmp_path):
+        from repro.bench import compare, run_service_bench
+        from repro.bench.artifact import BenchArtifact
+
+        artifact = run_service_bench(
+            clients=3, requests_per_client=3, unique=2, pool="thread", jobs=2
+        )
+        record = artifact.record("SVC")
+        assert artifact.preset == "service"
+        assert record is not None and record.passed is True
+        metrics = record.metrics
+        assert metrics["requests"] == 9.0
+        assert metrics["errors"] == 0.0
+        assert metrics["requests_per_sec"] > 0.0
+        assert 0.0 < metrics["p50_ms"] <= metrics["p99_ms"] <= metrics["max_ms"]
+        # Repeated-config mix: the cache must have served real hits, and the
+        # byte-identity probe must hold for every unique config.
+        assert metrics["cache_hit_rate"] > 0.0
+        assert metrics["byte_identical"] == 1.0
+
+        saved = artifact.save(tmp_path)
+        loaded = BenchArtifact.load(saved)
+        report = compare(loaded, artifact)
+        assert report.ok
+
+    def test_workload_mix_is_unique_and_schedulable(self):
+        from repro.bench.service import service_workload_mix
+
+        mix = service_workload_mix("tiny", unique=3)
+        assert 1 <= len(mix) <= 3
+        fingerprints = {config.fingerprint() for config, _reference in mix}
+        assert len(fingerprints) == len(mix)
+        for _config, reference in mix:
+            assert reference["schema"] == "repro-run/1"
+
+
+# ----------------------------------------------------------------------
+# CLI satellites (b, c)
+# ----------------------------------------------------------------------
+class TestCliSatellites:
+    def test_version_flag(self, capsys):
+        from repro._version import __version__
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-lb {__version__}"
+
+    def test_load_json_path_rejects_non_objects(self, tmp_path):
+        from repro.jsonio import load_json_path
+
+        target = tmp_path / "payload.json"
+        target.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError, match="must be a JSON object"):
+            load_json_path(target, kind="test payload")
+        with pytest.raises(ConfigurationError, match="missing.json"):
+            load_json_path(tmp_path / "missing.json")
+
+    def test_bench_service_cli_smoke(self, capsys, tmp_path):
+        from repro.cli import main
+
+        output = tmp_path / "BENCH_svc.json"
+        code = main(
+            [
+                "bench",
+                "service",
+                "--clients",
+                "2",
+                "--requests",
+                "2",
+                "--unique",
+                "1",
+                "--pool",
+                "thread",
+                "--jobs",
+                "1",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "bench service:" in printed and "cache hit rate" in printed
+        assert json.loads(output.read_text())["preset"] == "service"
