@@ -18,9 +18,8 @@ Run it with ``python examples/automotive_engine_control.py``.
 """
 
 from repro import Architecture, CommunicationModel, TaskGraph, schedule_application
-from repro.api import balance
+from repro.api import PlacementPolicy, SchedulerOptions, balance
 from repro.metrics import ScheduleReport, capacity_violations, compare_schedules
-from repro.scheduling import PlacementPolicy, SchedulerOptions
 
 
 def build_engine_management() -> TaskGraph:

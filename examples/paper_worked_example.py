@@ -9,7 +9,8 @@ execution time 15 -> 14, memory [16, 4, 4] -> [10, 6, 8]).
 Run it with ``python examples/paper_worked_example.py``.
 """
 
-from repro.core import CostPolicy, LoadBalancer, LoadBalancerOptions
+from repro.api import CostPolicy
+from repro.core import LoadBalancer, LoadBalancerOptions
 from repro.workloads.paper_example import (
     PAPER_EXPECTATIONS,
     paper_initial_schedule,

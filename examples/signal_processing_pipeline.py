@@ -12,9 +12,8 @@ the simulator.
 Run it with ``python examples/signal_processing_pipeline.py``.
 """
 
-from repro.api import balance
+from repro.api import PlacementPolicy, SchedulerOptions, balance
 from repro.metrics import ScheduleReport, compare_schedules
-from repro.scheduling import PlacementPolicy, SchedulerOptions
 from repro.simulation import SimulationOptions, simulate
 from repro.workloads import GraphShape, WorkloadSpec, scheduled_workload
 

@@ -1,6 +1,8 @@
 """Unified pipeline API: one Balancer protocol, a registry, structured runs.
 
-This package is the composable surface every front-end builds on:
+This package is the canonical top-level surface — examples, the CLI and the
+service import from here rather than reaching into ``repro.core`` /
+``repro.scheduling`` internals:
 
 * :mod:`repro.api.balancers` — the :class:`Balancer` protocol, the
   string-keyed registry adapting the paper heuristic and all six baselines,
@@ -8,7 +10,19 @@ This package is the composable surface every front-end builds on:
 * :mod:`repro.api.config` — the declarative, versioned
   :class:`PipelineConfig` (schema ``repro-pipeline/1``);
 * :mod:`repro.api.pipeline` — the :class:`Pipeline` facade and the
-  serialisable :class:`RunResult` artifact (schema ``repro-run/1``).
+  serialisable :class:`RunResult` artifact (schema ``repro-run/1``, or
+  ``repro-run/2`` for :meth:`Pipeline.rebalance` results carrying delta
+  provenance);
+* :mod:`repro.churn` (re-exported here) — the typed workload deltas
+  (:class:`AddTask`, :class:`RemoveTask`, :class:`WcetDrift`,
+  :class:`ProcessorLoss`), the :class:`ChurnTimeline` envelope and the
+  incremental repair entry points :meth:`Pipeline.rebalance` /
+  :func:`rebalance_run`.
+
+Frequently-needed pieces of the underlying layers are re-exported as part of
+the stable surface: :class:`CostPolicy` (the paper's cost definitions),
+:class:`PlacementPolicy` (initial-scheduler placement) and
+:class:`SchedulerOptions` (the initial scheduler's knobs).
 """
 
 from repro.api.balancers import (
@@ -30,26 +44,58 @@ from repro.api.config import (
     VerifyStage,
     WorkloadStage,
 )
-from repro.api.pipeline import RUN_SCHEMA, Pipeline, RunResult, run_pipeline
+from repro.api.pipeline import (
+    RUN_SCHEMA,
+    RUN_SCHEMA_V2,
+    Pipeline,
+    RunResult,
+    rebalance_run,
+    run_pipeline,
+)
+from repro.churn import (
+    DELTA_SCHEMA,
+    AddTask,
+    ChurnTimeline,
+    ProcessorLoss,
+    RemoveTask,
+    WcetDrift,
+    delta_from_dict,
+    timeline_from_payload,
+)
+from repro.core.cost import CostPolicy
+from repro.scheduling.heuristic import PlacementPolicy, SchedulerOptions
 
 __all__ = [
+    "DELTA_SCHEMA",
     "PIPELINE_SCHEMA",
     "RUN_SCHEMA",
+    "RUN_SCHEMA_V2",
+    "AddTask",
     "BalanceOutcome",
     "BalanceStage",
     "Balancer",
     "BalancerSpec",
+    "ChurnTimeline",
+    "CostPolicy",
     "Pipeline",
     "PipelineConfig",
+    "PlacementPolicy",
+    "ProcessorLoss",
+    "RemoveTask",
     "ReportStage",
     "RunResult",
     "ScheduleStage",
+    "SchedulerOptions",
     "VerifyStage",
+    "WcetDrift",
     "WorkloadStage",
     "available_balancers",
     "balance",
     "balancer_info",
+    "delta_from_dict",
     "get_balancer",
     "register_balancer",
+    "rebalance_run",
     "run_pipeline",
+    "timeline_from_payload",
 ]

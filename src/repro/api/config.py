@@ -283,12 +283,7 @@ class PipelineConfig:
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PipelineConfig":
         """Rebuild a config from its serialised form (strict: version-checked)."""
-        schema = data.get("schema", PIPELINE_SCHEMA)
-        if schema != PIPELINE_SCHEMA:
-            raise ConfigurationError(
-                f"Unsupported pipeline schema {schema!r}; this build reads "
-                f"{PIPELINE_SCHEMA!r}"
-            )
+        jsonio.check_artifact_schema(data, "repro-pipeline", 1, kind="pipeline config")
         _check_keys(
             data,
             ("schema", "label", "workload", "schedule", "balance", "verify", "report"),

@@ -8,17 +8,30 @@ echo and the rendered report, all serialisable through ``to_dict()`` /
 ``from_dict()`` (schema ``repro-run/1``).  The CLI prints
 ``RunResult.report`` verbatim; the campaign runner stores
 ``RunResult.to_dict()`` verbatim in its manifests.
+
+:meth:`Pipeline.rebalance` is the incremental entry point: given the prior
+:class:`RunResult` and a churn delta (:class:`~repro.churn.ChurnTimeline` or
+a single delta), it repairs the prior schedule in place via
+:func:`repro.churn.repair_schedule` instead of recomputing, falling back to
+the from-scratch pipeline when the repair cannot place a task — so a
+feasible post-delta workload always yields a feasible rebalance result.
+Rebalance results carry the ``repro-run/2`` envelope: everything of ``/1``
+plus a ``rebalance`` provenance block (prior config fingerprint, delta
+digest, repair stats).  ``Pipeline.run()`` keeps emitting byte-identical
+``repro-run/1`` artifacts — the service's cache byte-identity contract
+depends on it — and :meth:`RunResult.from_dict` reads both versions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
+from repro import jsonio
 from repro.api.balancers import BalanceOutcome, balance
 from repro.api.config import PipelineConfig
 from repro.core.result import LoadBalanceResult
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, InfeasibleError
 from repro.metrics.report import ScheduleReport, compare_schedules
 from repro.model.architecture import Architecture
 from repro.model.graph import TaskGraph
@@ -29,10 +42,15 @@ from repro.timing import StageTimer
 from repro.workloads.generator import generate_workload
 from repro.workloads.paper_example import paper_initial_schedule
 
-__all__ = ["RUN_SCHEMA", "RunResult", "Pipeline", "run_pipeline"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.churn.deltas import ChurnTimeline, Delta
 
-#: Version tag stamped into every serialised run result.
+__all__ = ["RUN_SCHEMA", "RUN_SCHEMA_V2", "RunResult", "Pipeline", "run_pipeline", "rebalance_run"]
+
+#: Version tag stamped into every serialised from-scratch run result.
 RUN_SCHEMA = "repro-run/1"
+#: Version tag of rebalance results (adds the ``rebalance`` provenance block).
+RUN_SCHEMA_V2 = "repro-run/2"
 
 
 @dataclass(slots=True)
@@ -63,6 +81,10 @@ class RunResult:
     #: ``repro-conformance/1`` report of the balanced schedule (``None`` when
     #: the conformance oracle was not enabled).
     conformance: dict[str, Any] | None = None
+    #: Delta provenance of a rebalance result (prior fingerprint, delta
+    #: digest, repair stats); ``None`` for from-scratch runs.  Present iff
+    #: the result is a ``repro-run/2`` envelope.
+    rebalance: dict[str, Any] | None = None
     schema: str = RUN_SCHEMA
     #: Runtime handles, not serialised.
     initial_schedule: Schedule | None = None
@@ -88,16 +110,20 @@ class RunResult:
         }
         if self.conformance is not None:
             data["conformance"] = dict(self.conformance)
+        if self.rebalance is not None:
+            data["rebalance"] = dict(self.rebalance)
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
-        """Rebuild a (schedule-less) run result from its serialised form."""
+        """Rebuild a (schedule-less) run result from its serialised form.
+
+        Accepts both the ``repro-run/1`` envelope and the ``repro-run/2``
+        extension (``/2`` adds the optional ``rebalance`` provenance block;
+        every ``/1`` field keeps its meaning unchanged).
+        """
+        jsonio.check_artifact_schema(data, "repro-run", 2, kind="run result")
         schema = data.get("schema", RUN_SCHEMA)
-        if schema != RUN_SCHEMA:
-            raise ConfigurationError(
-                f"Unsupported run-result schema {schema!r}; this build reads {RUN_SCHEMA!r}"
-            )
         return cls(
             label=str(data.get("label", "")),
             config=dict(data.get("config") or {}),
@@ -113,6 +139,9 @@ class RunResult:
             report=str(data.get("report", "")),
             conformance=(
                 dict(data["conformance"]) if data.get("conformance") is not None else None
+            ),
+            rebalance=(
+                dict(data["rebalance"]) if data.get("rebalance") is not None else None
             ),
             schema=schema,
         )
@@ -283,6 +312,176 @@ class Pipeline:
         )
 
     # ------------------------------------------------------------------
+    def rebalance(self, prior: RunResult, delta: "Delta | ChurnTimeline") -> RunResult:
+        """Incrementally rebalance ``prior`` under a churn ``delta``.
+
+        Applies the delta (a single delta or a :class:`ChurnTimeline`) to the
+        prior balanced schedule's workload, repairs the schedule in place via
+        :func:`repro.churn.repair_schedule` (conflict-engine
+        ``occupy``/``release``/``shift``), and assembles a ``repro-run/2``
+        result whose ``rebalance`` block records the prior config
+        fingerprint, the delta digest and the repair statistics.
+
+        When the repair cannot re-place a displaced task (or its result fails
+        verification) the method falls back to the full from-scratch pipeline
+        on the post-delta workload — so the feasibility verdict always agrees
+        with the from-scratch oracle: a workload the pipeline can balance is
+        never reported infeasible by ``rebalance``.
+
+        ``prior`` must carry its in-memory ``balanced_schedule`` (results
+        deserialised with :meth:`RunResult.from_dict` do not); re-run the
+        pipeline to obtain one.
+        """
+        from repro.churn.deltas import as_timeline
+        from repro.churn.repair import RepairStats, repair_schedule
+
+        if prior.balanced_schedule is None:
+            raise ConfigurationError(
+                "rebalance needs the prior result's in-memory balanced_schedule; "
+                "results loaded from disk are schedule-less — re-run the pipeline "
+                "on the prior config first"
+            )
+        timeline = as_timeline(delta)
+        config = self.config
+        timer = StageTimer()
+
+        with timer.stage("delta"):
+            graph, architecture = timeline.apply(
+                prior.balanced_schedule.graph, prior.balanced_schedule.architecture
+            )
+            workload_description = (
+                f"{graph.name or 'workload'} after {len(timeline)} delta(s): "
+                f"{len(graph)} tasks, {len(architecture)} processors, "
+                f"hyper-period {graph.hyper_period:g}"
+            )
+
+        stats: RepairStats
+        outcome: BalanceOutcome | None = None
+        schedule: Schedule | None = None
+        scratch_violations: list[str] = []
+        with timer.stage("repair"):
+            try:
+                schedule, stats = repair_schedule(
+                    prior.balanced_schedule, graph, architecture
+                )
+            except InfeasibleError as error:
+                stats = RepairStats(
+                    hyper_period_before=prior.balanced_schedule.graph.hyper_period,
+                    hyper_period_after=graph.hyper_period,
+                    fallback=True,
+                    fallback_reason=str(error),
+                )
+                try:
+                    initial = schedule_application(
+                        graph, architecture, self._scheduler_options()
+                    )
+                    outcome = balance(initial, config.balance.to_dict())
+                    schedule = outcome.schedule
+                except InfeasibleError as scratch_error:
+                    scratch_violations = [str(scratch_error)]
+                    schedule = None
+
+        feasible: bool | None
+        violations: list[str]
+        if schedule is None:
+            # Neither the repair nor the from-scratch pipeline could place
+            # the post-delta workload: report it as infeasible.
+            feasible = False
+            violations = scratch_violations
+        elif config.verify.enabled:
+            with timer.stage("verify"):
+                if outcome is not None and not config.verify.check_memory:
+                    feasible = outcome.feasible
+                    violations = list(outcome.violations)
+                else:
+                    verdict = check_schedule(
+                        schedule, check_memory=config.verify.check_memory
+                    )
+                    feasible = verdict.is_feasible
+                    violations = verdict.all_violations
+        else:
+            feasible = None
+            violations = []
+
+        conformance: dict[str, Any] | None = None
+        if schedule is not None and config.verify.conformance:
+            from repro.conformance import ConformanceOptions, check_conformance
+
+            with timer.stage("conformance"):
+                conformance = check_conformance(
+                    schedule,
+                    ConformanceOptions(
+                        hyper_periods=config.verify.conformance_hyper_periods
+                    ),
+                    label=f"{config.label or config.balance.balancer}+rebalance",
+                ).to_dict()
+
+        makespan_before = prior.balanced_schedule.makespan
+        metrics: dict[str, Any] = {
+            "makespan_before": float(makespan_before),
+            "makespan_after": float(schedule.makespan) if schedule is not None else None,
+            "total_gain": (
+                float(makespan_before - schedule.makespan) if schedule is not None else None
+            ),
+            "moves": stats.displaced,
+            "balancer_feasible": feasible if feasible is not None else schedule is not None,
+        }
+        if schedule is not None:
+            metrics["memory_after"] = {
+                k: float(v) for k, v in sorted(schedule.memory_by_processor().items())
+            }
+            metrics["balanced_report"] = ScheduleReport.of("rebalanced", schedule).to_dict()
+
+        report_text = ""
+        if config.report.enabled:
+            with timer.stage("report"):
+                mode = "from-scratch fallback" if stats.fallback else "incremental repair"
+                lines = [
+                    workload_description,
+                    f"rebalance via {mode}: {stats.survivors} survivor(s), "
+                    f"{stats.displaced} displaced, {stats.released} released, "
+                    f"{stats.occupied} occupied, {stats.shifted} shifted",
+                ]
+                if schedule is not None:
+                    lines.append(
+                        f"makespan {makespan_before:g} -> {schedule.makespan:g}"
+                    )
+                else:
+                    lines.append("post-delta workload is unschedulable")
+                report_text = "\n".join(lines)
+
+        provenance = {
+            "prior_fingerprint": PipelineConfig.from_dict(prior.config).fingerprint()
+            if prior.config
+            else None,
+            "prior_label": prior.label,
+            "delta_digest": timeline.digest(),
+            "delta": timeline.to_dict(),
+            "stats": stats.to_dict(),
+        }
+
+        return RunResult(
+            label=config.label,
+            config=config.to_dict(),
+            balancer=config.balance.balancer,
+            feasible=feasible,
+            violations=violations,
+            warnings=list(outcome.warnings) if outcome is not None else [],
+            safety_level=outcome.safety_level if outcome is not None else "paper",
+            metrics=metrics,
+            trace=[dict(entry) for entry in outcome.trace] if outcome is not None else [],
+            timings=timer.timings,
+            workload_description=workload_description,
+            report=report_text,
+            conformance=conformance,
+            rebalance=provenance,
+            schema=RUN_SCHEMA_V2,
+            initial_schedule=prior.balanced_schedule,
+            balanced_schedule=schedule,
+            outcome=outcome,
+        )
+
+    # ------------------------------------------------------------------
     def _scheduler_options(self) -> SchedulerOptions:
         try:
             policy = PlacementPolicy(self.config.schedule.policy)
@@ -375,3 +574,30 @@ def run_pipeline(
         architecture=architecture,
         initial_schedule=initial_schedule,
     ).run()
+
+
+def rebalance_run(
+    prior: RunResult,
+    delta: "Delta | ChurnTimeline",
+    *,
+    config: PipelineConfig | Mapping[str, Any] | None = None,
+) -> RunResult:
+    """Convenience: rebalance ``prior`` under ``delta``.
+
+    ``config`` defaults to the prior result's config echo; it only controls
+    the verify/conformance/report stages of the rebalance (the workload comes
+    from the prior schedule plus the delta, never from the config's workload
+    stage).
+    """
+    if config is None:
+        config = PipelineConfig.from_dict(prior.config)
+    elif not isinstance(config, PipelineConfig):
+        config = PipelineConfig.from_dict(config)
+    if config.workload.kind == "provided":
+        pipeline = Pipeline(
+            config,
+            initial_schedule=prior.initial_schedule or prior.balanced_schedule,
+        )
+    else:
+        pipeline = Pipeline(config)
+    return pipeline.rebalance(prior, delta)

@@ -10,7 +10,10 @@
   regressions (what the CI perf gate exits non-zero on);
 * :mod:`~repro.bench.service` — the ``service`` tier
   (``repro-lb bench service``): load-test the balancing service end to end
-  with concurrent clients over real sockets.
+  with concurrent clients over real sockets;
+* :mod:`~repro.bench.rebalance` — the ``rebalance`` tier
+  (``repro-lb bench rebalance``): pin the incremental-repair-vs-from-scratch
+  speedup of ``Pipeline.rebalance`` for single-task deltas.
 """
 
 from repro.bench.artifact import (
@@ -28,6 +31,7 @@ from repro.bench.registry import (
     benchmark_info,
     register_benchmark,
 )
+from repro.bench.rebalance import run_rebalance_bench
 from repro.bench.service import run_service_bench, service_workload_mix
 
 __all__ = [
@@ -45,6 +49,7 @@ __all__ = [
     "environment_fingerprint",
     "register_benchmark",
     "run_benchmarks",
+    "run_rebalance_bench",
     "run_service_bench",
     "service_workload_mix",
 ]

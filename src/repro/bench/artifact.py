@@ -162,12 +162,8 @@ class BenchArtifact:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "BenchArtifact":
+        jsonio.check_artifact_schema(data, "repro-bench", 1, kind="bench artifact")
         schema = data.get("schema", BENCH_SCHEMA)
-        if schema != BENCH_SCHEMA:
-            raise ConfigurationError(
-                f"Unsupported bench-artifact schema {schema!r}; this build reads "
-                f"{BENCH_SCHEMA!r}"
-            )
         return cls(
             preset=str(data.get("preset", "")),
             created=str(data.get("created", "")),
@@ -211,4 +207,6 @@ class BenchArtifact:
     @classmethod
     def load(cls, path: str | Path) -> "BenchArtifact":
         """Read an artifact back from disk."""
-        return cls.from_dict(jsonio.load_json_path(path, kind="bench artifact"))
+        return cls.from_dict(
+            jsonio.load_artifact(path, "repro-bench", 1, kind="bench artifact")
+        )

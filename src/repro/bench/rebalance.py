@@ -1,0 +1,183 @@
+"""The ``rebalance`` bench tier: incremental repair vs from-scratch rebuild.
+
+Pins the point of the churn pipeline: for a small delta against a large
+balanced schedule, :meth:`repro.api.Pipeline.rebalance` must be much
+cheaper than re-running the whole pipeline on the post-delta workload.
+
+The tier builds one large prior (N tasks on M processors, the paper
+balancer), generates ``deltas`` independent single-task arrivals against
+it, and times both paths per delta — the incremental repair and the
+from-scratch provided-kind pipeline on the identical post-delta workload —
+while cross-checking the feasibility verdicts.  The outcome is the usual
+``repro-bench/1`` artifact: one record named ``RBL`` under preset
+``"rebalance"`` whose ``passed`` verdict requires the speedup floor *and*
+full verdict agreement.  ``BENCH_rebalance_baseline.json`` in the repo
+root pins the measured ratio for ``repro-lb bench compare``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any
+
+from repro.api import Pipeline, PipelineConfig, RunResult
+from repro.api.config import ReportStage, VerifyStage, WorkloadStage
+from repro.bench.artifact import BenchArtifact, BenchmarkRecord
+from repro.churn.deltas import AddTask
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["REBALANCE_BENCH_NAME", "run_rebalance_bench"]
+
+#: Record name of the rebalance tier inside its ``repro-bench/1`` artifact.
+REBALANCE_BENCH_NAME = "RBL"
+
+#: The acceptance floor: incremental repair must be at least this much
+#: faster than the from-scratch pipeline for single-task deltas.
+SPEEDUP_FLOOR = 3.0
+
+
+def _arrival_deltas(
+    prior: RunResult, count: int, seed: int
+) -> list[AddTask]:
+    """``count`` independent single-task arrivals against the prior workload."""
+    graph = prior.balanced_schedule.graph
+    rng = random.Random(seed)
+    periods = graph.distinct_periods()
+    deltas = []
+    for index in range(count):
+        period = int(rng.choice(periods))
+        deltas.append(
+            AddTask(
+                name=f"bench_arrival{index}",
+                period=period,
+                wcet=round(max(0.01, rng.uniform(0.02, 0.06) * period), 2),
+            )
+        )
+    return deltas
+
+
+def run_rebalance_bench(
+    *,
+    task_count: int = 400,
+    processor_count: int = 8,
+    deltas: int = 8,
+    repeats: int = 2,
+    seed: int = 2008,
+    utilization: float = 0.30,
+) -> BenchArtifact:
+    """Run the rebalance-vs-scratch comparison and return its artifact.
+
+    ``wall_times`` holds the total incremental-repair seconds of each
+    measured repeat (one repeat = all ``deltas`` repaired once); the
+    from-scratch totals land in the metrics, and ``speedup`` is the ratio
+    of the best repeats.  ``passed`` requires ``speedup >= 3`` *and* verdict
+    agreement on every delta.
+    """
+    if deltas < 1:
+        raise ConfigurationError(f"deltas must be >= 1, got {deltas}")
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    spec = WorkloadSpec(
+        task_count=task_count,
+        processor_count=processor_count,
+        utilization=utilization,
+        seed=seed,
+        label=f"rebalance-bench-N{task_count}-M{processor_count}",
+    )
+    config = PipelineConfig.synthetic(spec)
+    pipeline = Pipeline(config)
+    prior = pipeline.run()
+    if not prior.feasible:
+        raise ConfigurationError(
+            f"rebalance bench prior (N={task_count}, M={processor_count}, "
+            f"seed={seed}) is not schedulable; pick another seed"
+        )
+    arrival_deltas = _arrival_deltas(prior, deltas, seed)
+
+    scratch_config = PipelineConfig(
+        workload=WorkloadStage(kind="provided"),
+        schedule=config.schedule,
+        balance=config.balance,
+        verify=VerifyStage(enabled=True, check_memory=False),
+        report=ReportStage(enabled=False),
+        label=f"{config.label}-scratch",
+    )
+
+    rebalance_totals: list[float] = []
+    scratch_totals: list[float] = []
+    agreements = 0
+    checked = 0
+    for repeat in range(repeats):
+        rebalance_total = 0.0
+        scratch_total = 0.0
+        for delta in arrival_deltas:
+            started = time.perf_counter()
+            repaired = pipeline.rebalance(prior, delta)
+            rebalance_total += time.perf_counter() - started
+
+            post_graph, post_architecture = delta.apply(
+                prior.balanced_schedule.graph, prior.balanced_schedule.architecture
+            )
+            started = time.perf_counter()
+            try:
+                scratch = Pipeline(
+                    scratch_config, graph=post_graph, architecture=post_architecture
+                ).run()
+                scratch_feasible = bool(scratch.feasible)
+            except InfeasibleError:
+                scratch_feasible = False
+            scratch_total += time.perf_counter() - started
+
+            if repeat == 0:
+                checked += 1
+                if bool(repaired.feasible) == scratch_feasible:
+                    agreements += 1
+        rebalance_totals.append(rebalance_total)
+        scratch_totals.append(scratch_total)
+
+    best_rebalance = min(rebalance_totals)
+    best_scratch = min(scratch_totals)
+    speedup = (best_scratch / best_rebalance) if best_rebalance > 0 else float("inf")
+    agreement = (agreements / checked) if checked else 0.0
+    record = BenchmarkRecord(
+        name=REBALANCE_BENCH_NAME,
+        title=(
+            f"incremental rebalance vs from-scratch: {deltas} single-task "
+            f"arrivals against N={task_count}/M={processor_count}"
+        ),
+        wall_times=rebalance_totals,
+        metrics={
+            "deltas": float(deltas),
+            "task_count": float(task_count),
+            "processor_count": float(processor_count),
+            "rebalance_seconds_best": best_rebalance,
+            "scratch_seconds_best": best_scratch,
+            "rebalance_ms_per_delta": best_rebalance / deltas * 1000.0,
+            "scratch_ms_per_delta": best_scratch / deltas * 1000.0,
+            "speedup": speedup,
+            "verdict_agreement": agreement,
+        },
+        passed=(speedup >= SPEEDUP_FLOOR and agreement == 1.0),
+    )
+    return BenchArtifact.now(
+        preset="rebalance",
+        config={
+            "tier": "rebalance",
+            "task_count": task_count,
+            "processor_count": processor_count,
+            "utilization": utilization,
+            "seed": seed,
+            "deltas": deltas,
+            "repeats": repeats,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+        records=[record],
+        notes=[
+            f"rebalance tier: {deltas} deltas, best repair "
+            f"{best_rebalance:.3f}s vs scratch {best_scratch:.3f}s "
+            f"(speedup {speedup:.1f}x, floor {SPEEDUP_FLOOR:g}x), "
+            f"verdict agreement {agreement:.3f}",
+        ],
+    )

@@ -1,0 +1,39 @@
+"""Online rebalancing under churn: typed workload deltas + incremental repair.
+
+The delta-first half of the API redesign: :mod:`repro.churn.deltas` defines
+the four delta kinds and the :class:`ChurnTimeline` envelope
+(``repro-delta/1``); :mod:`repro.churn.repair` repairs a prior schedule
+against the post-delta workload over the conflict engine's
+``occupy``/``release``/``shift`` primitives.  The user-facing entry point is
+:meth:`repro.api.Pipeline.rebalance`, which wraps both into a
+``repro-run/2`` result with delta provenance.
+"""
+
+from repro.churn.deltas import (
+    DELTA_SCHEMA,
+    AddTask,
+    ChurnTimeline,
+    Delta,
+    ProcessorLoss,
+    RemoveTask,
+    WcetDrift,
+    as_timeline,
+    delta_from_dict,
+    timeline_from_payload,
+)
+from repro.churn.repair import RepairStats, repair_schedule
+
+__all__ = [
+    "DELTA_SCHEMA",
+    "AddTask",
+    "RemoveTask",
+    "WcetDrift",
+    "ProcessorLoss",
+    "Delta",
+    "ChurnTimeline",
+    "as_timeline",
+    "delta_from_dict",
+    "RepairStats",
+    "repair_schedule",
+    "timeline_from_payload",
+]

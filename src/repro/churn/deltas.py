@@ -1,0 +1,308 @@
+"""Typed workload deltas and the ``ChurnTimeline`` composing them.
+
+The paper balances a *static* task set; production traffic means tasks
+arriving, leaving and drifting in WCET, and processors failing.  This module
+is the declarative half of the churn subsystem: four delta kinds —
+:class:`AddTask`, :class:`RemoveTask`, :class:`WcetDrift`,
+:class:`ProcessorLoss` — each a frozen value object that knows how to apply
+itself to a ``(TaskGraph, Architecture)`` pair, composing into a
+:class:`ChurnTimeline` (schema ``repro-delta/1``) with a canonical digest.
+
+Deltas are *workload* edits, not schedule edits: applying one yields the
+post-delta problem instance.  Repairing the prior schedule against that
+instance is the job of :mod:`repro.churn.repair`;
+:meth:`repro.api.Pipeline.rebalance` glues the two together and stamps the
+``(prior fingerprint, delta digest)`` provenance pair into the resulting
+``repro-run/2`` artifact — the same pair the balancing service keys its
+cache on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, ClassVar, Mapping
+
+from repro import jsonio
+from repro.errors import ConfigurationError
+from repro.model.architecture import Architecture, Medium
+from repro.model.graph import TaskGraph
+
+__all__ = [
+    "DELTA_SCHEMA",
+    "AddTask",
+    "RemoveTask",
+    "WcetDrift",
+    "ProcessorLoss",
+    "ChurnTimeline",
+    "delta_from_dict",
+]
+
+#: Version tag of a serialised churn timeline.
+DELTA_SCHEMA = "repro-delta/1"
+
+
+def _require_keys(data: Mapping[str, Any], allowed: tuple[str, ...], kind: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ConfigurationError(
+            f"Unknown {kind} delta key(s) {unknown}; supported: {sorted(allowed)}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AddTask:
+    """A new task arrives, optionally wired to existing tasks.
+
+    ``predecessors`` become edges ``p -> name`` and ``successors`` edges
+    ``name -> s``; endpoint periods must be harmonically related to
+    ``period`` (the model invariant every dependence carries).
+    """
+
+    kind: ClassVar[str] = "add_task"
+
+    name: str
+    period: int
+    wcet: float
+    memory: float = 0.0
+    data_size: float = 1.0
+    predecessors: tuple[str, ...] = ()
+    successors: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "period": int(self.period),
+            "wcet": float(self.wcet),
+            "memory": float(self.memory),
+            "data_size": float(self.data_size),
+            "predecessors": list(self.predecessors),
+            "successors": list(self.successors),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AddTask":
+        _require_keys(
+            data,
+            ("kind", "name", "period", "wcet", "memory", "data_size", "predecessors", "successors"),
+            cls.kind,
+        )
+        return cls(
+            name=str(data["name"]),
+            period=int(data["period"]),
+            wcet=float(data["wcet"]),
+            memory=float(data.get("memory", 0.0)),
+            data_size=float(data.get("data_size", 1.0)),
+            predecessors=tuple(data.get("predecessors") or ()),
+            successors=tuple(data.get("successors") or ()),
+        )
+
+    def apply(self, graph: TaskGraph, architecture: Architecture) -> tuple[TaskGraph, Architecture]:
+        if self.name in graph:
+            raise ConfigurationError(
+                f"AddTask: a task named {self.name!r} already exists in the workload"
+            )
+        new_graph = graph.copy()
+        new_graph.create_task(
+            self.name, self.period, self.wcet, memory=self.memory, data_size=self.data_size
+        )
+        for producer in self.predecessors:
+            new_graph.connect(producer, self.name)
+        for consumer in self.successors:
+            new_graph.connect(self.name, consumer)
+        return new_graph, architecture
+
+
+@dataclass(frozen=True, slots=True)
+class RemoveTask:
+    """A task departs; its incident dependences disappear with it."""
+
+    kind: ClassVar[str] = "remove_task"
+
+    name: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "name": self.name}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RemoveTask":
+        _require_keys(data, ("kind", "name"), cls.kind)
+        return cls(name=str(data["name"]))
+
+    def apply(self, graph: TaskGraph, architecture: Architecture) -> tuple[TaskGraph, Architecture]:
+        graph.task(self.name)  # raises ModelError when unknown
+        if len(graph) == 1:
+            raise ConfigurationError(
+                f"RemoveTask: cannot remove {self.name!r}, the workload's last task"
+            )
+        tasks = [task for task in graph if task.name != self.name]
+        dependences = [dep for dep in graph.dependences if self.name not in dep.key]
+        return TaskGraph(tasks, dependences, name=graph.name), architecture
+
+
+@dataclass(frozen=True, slots=True)
+class WcetDrift:
+    """A task's measured WCET drifts to a new value (still ≤ its period)."""
+
+    kind: ClassVar[str] = "wcet_drift"
+
+    name: str
+    wcet: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "wcet": float(self.wcet)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WcetDrift":
+        _require_keys(data, ("kind", "name", "wcet"), cls.kind)
+        return cls(name=str(data["name"]), wcet=float(data["wcet"]))
+
+    def apply(self, graph: TaskGraph, architecture: Architecture) -> tuple[TaskGraph, Architecture]:
+        drifted = graph.task(self.name).with_updates(wcet=self.wcet)
+        tasks = [drifted if task.name == self.name else task for task in graph]
+        return TaskGraph(tasks, graph.dependences, name=graph.name), architecture
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorLoss:
+    """A processor fails; its media memberships shrink accordingly."""
+
+    kind: ClassVar[str] = "processor_loss"
+
+    processor: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "processor": self.processor}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProcessorLoss":
+        _require_keys(data, ("kind", "processor"), cls.kind)
+        return cls(processor=str(data["processor"]))
+
+    def apply(self, graph: TaskGraph, architecture: Architecture) -> tuple[TaskGraph, Architecture]:
+        architecture.processor(self.processor)  # raises ArchitectureError when unknown
+        kept = [proc for proc in architecture if proc.name != self.processor]
+        if not kept:
+            raise ConfigurationError(
+                f"ProcessorLoss: cannot lose {self.processor!r}, the last processor"
+            )
+        media = []
+        for medium in architecture.media.values():
+            connects = tuple(n for n in medium.connects if n != self.processor)
+            if len(connects) >= 2:
+                media.append(Medium(medium.name, connects, metadata=dict(medium.metadata)))
+        return graph, Architecture(
+            kept, media, comm=architecture.comm, name=architecture.name
+        )
+
+
+#: Registered delta kinds, keyed by their ``kind`` tag.
+_DELTA_TYPES: dict[str, type] = {
+    AddTask.kind: AddTask,
+    RemoveTask.kind: RemoveTask,
+    WcetDrift.kind: WcetDrift,
+    ProcessorLoss.kind: ProcessorLoss,
+}
+
+Delta = AddTask | RemoveTask | WcetDrift | ProcessorLoss
+
+
+def delta_from_dict(data: Mapping[str, Any]) -> Delta:
+    """Rebuild one delta from its serialised form (dispatch on ``kind``)."""
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(f"Delta must be a JSON object, got {type(data).__name__}")
+    kind = data.get("kind")
+    delta_type = _DELTA_TYPES.get(kind)
+    if delta_type is None:
+        raise ConfigurationError(
+            f"Unknown delta kind {kind!r}; expected one of {sorted(_DELTA_TYPES)}"
+        )
+    return delta_type.from_dict(data)
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnTimeline:
+    """An ordered sequence of deltas (schema ``repro-delta/1``).
+
+    Applying a timeline folds every delta over the workload in order; the
+    canonical :meth:`digest` identifies the timeline the way a config
+    fingerprint identifies a pipeline — the service keys rebalance results on
+    the ``(prior fingerprint, delta digest)`` pair.
+    """
+
+    deltas: tuple[Delta, ...] = ()
+
+    def __post_init__(self) -> None:
+        for delta in self.deltas:
+            if type(delta) not in _DELTA_TYPES.values():
+                raise ConfigurationError(
+                    f"ChurnTimeline holds a non-delta entry {delta!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.deltas)
+
+    def __iter__(self):
+        return iter(self.deltas)
+
+    @classmethod
+    def of(cls, *deltas: Delta) -> "ChurnTimeline":
+        """Convenience variadic constructor."""
+        return cls(deltas=tuple(deltas))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": DELTA_SCHEMA,
+            "deltas": [delta.to_dict() for delta in self.deltas],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChurnTimeline":
+        jsonio.check_artifact_schema(data, "repro-delta", 1, kind="churn timeline")
+        unknown = sorted(set(data) - {"schema", "deltas"})
+        if unknown:
+            raise ConfigurationError(
+                f"Unknown churn-timeline key(s) {unknown}; supported: ['deltas', 'schema']"
+            )
+        return cls(deltas=tuple(delta_from_dict(entry) for entry in data.get("deltas") or ()))
+
+    def canonical_bytes(self) -> bytes:
+        """Canonical strict-JSON serialisation (same rules as config fingerprints)."""
+        return jsonio.dumps(self.to_dict(), indent=None).encode("utf-8")
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_bytes` (the cache-key half)."""
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+    def apply(
+        self, graph: TaskGraph, architecture: Architecture
+    ) -> tuple[TaskGraph, Architecture]:
+        """Fold every delta over the workload, in order."""
+        for delta in self.deltas:
+            graph, architecture = delta.apply(graph, architecture)
+        return graph, architecture
+
+
+def as_timeline(delta: "Delta | ChurnTimeline") -> ChurnTimeline:
+    """Coerce a single delta (or a timeline) into a :class:`ChurnTimeline`."""
+    if isinstance(delta, ChurnTimeline):
+        return delta
+    return ChurnTimeline.of(delta)
+
+
+def timeline_from_payload(data: Mapping[str, Any]) -> ChurnTimeline:
+    """A timeline from either wire form.
+
+    A dict with a ``kind`` is one serialised delta (wrapped into a
+    single-entry timeline); anything else must be a serialised
+    :class:`ChurnTimeline`.  This is what the service's rebalance endpoint
+    and the CLI ``--delta`` loader both accept.
+    """
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"Delta payload must be a JSON object, got {type(data).__name__}"
+        )
+    if "kind" in data:
+        return as_timeline(delta_from_dict(data))
+    return ChurnTimeline.from_dict(data)

@@ -1,0 +1,443 @@
+"""Incremental schedule repair over the conflict engine.
+
+Given the *prior* balanced schedule and the *post-delta* workload, repair the
+schedule in place instead of recomputing it from scratch:
+
+1. **Diff** — classify every task of the new graph as *survivor* (its prior
+   placement is provably still valid) or *displaced* (it must be re-placed).
+   A task survives iff its definition and incoming dependences are unchanged,
+   every processor hosting one of its prior instances survived, and either
+   the hyper-period is unchanged (its exact per-instance placements carry
+   over) or all of its instances sit on one processor (a single-processor
+   arithmetic sequence ``S + k·T`` occupies the same infinite timeline under
+   *any* hyper-period, so re-indexing it modulo the new hyper-period is
+   safe).  Multi-processor spreads — the paper's own worked example spreads
+   one task over three processors — are only kept verbatim; under a changed
+   hyper-period their modulo pattern would silently alias, so they are
+   displaced.  The displaced set is then closed under
+   :meth:`~repro.model.graph.TaskGraph.descendants`: a consumer of a
+   re-placed producer must be re-placed too (this closure is also what
+   displaces the existing consumers of an ``AddTask`` with successors).
+2. **Release** — seed a :class:`~repro.core.occupancy.ConflictEngine` over
+   the new hyper-period with the survivors' slots (``reside``), seed the
+   displaced tasks' stale prior slots and drop them (``reside`` +
+   ``release``) — the incremental bookkeeping the engine was built for.
+3. **Re-place** — walk the displaced tasks in topological order; for each,
+   find the earliest feasible first start per processor (data-arrival lower
+   bound from already-fixed producers, then the same clearing-shift sweep the
+   initial scheduler uses, but against the engine's live interval pieces),
+   pick by (start, load, processor order) and record the slots (``reside``).
+4. **Compact** — one left-shift pass in placement order: if a displaced task
+   can now start strictly earlier on its own processor (a later sibling's
+   placement never blocks an earlier start from relaxing), move its slots
+   with ``shift``.  Only-earlier moves keep every consumer's arrival bound
+   satisfied.
+5. **Commit** — stamp the final displaced patterns into the engine's *moved*
+   timeline (``occupy``), rebuild the full instance list, re-synthesise
+   communications and verify with the full feasibility checker; any
+   violation raises :class:`~repro.errors.InfeasibleError` so the caller
+   (``Pipeline.rebalance``) can fall back to the from-scratch pipeline.
+
+The function returns the repaired schedule plus a :class:`RepairStats`
+record (survivor/displaced counts, engine operation counts, hyper-periods)
+that ``Pipeline.rebalance`` embeds into the ``repro-run/2`` provenance
+envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.occupancy import ConflictEngine
+from repro.errors import InfeasibleError, SchedulingError
+from repro.model.architecture import Architecture
+from repro.model.graph import TaskGraph
+from repro.scheduling.communications import synthesize_communications
+from repro.scheduling.feasibility import check_schedule
+from repro.scheduling.periodic_intervals import EPSILON as _EPS
+from repro.scheduling.periodic_intervals import circular_overlap, clearing_shift
+from repro.scheduling.schedule import Schedule, ScheduledInstance
+from repro.scheduling.unrolling import instance_count, predecessors_of_instance
+
+__all__ = ["RepairStats", "repair_schedule"]
+
+
+@dataclass(slots=True)
+class RepairStats:
+    """Counters describing one incremental repair (part of ``repro-run/2``)."""
+
+    #: Tasks whose prior placement was kept verbatim.
+    survivors: int = 0
+    #: Tasks that had to be re-placed (after descendants closure).
+    displaced: int = 0
+    #: Stale resident slots dropped via ``ConflictEngine.release``.
+    released: int = 0
+    #: Slots committed to the moved timeline via ``ConflictEngine.occupy``.
+    occupied: int = 0
+    #: Displaced tasks moved earlier by the compaction ``shift`` pass.
+    shifted: int = 0
+    #: Hyper-period of the prior / post-delta workload.
+    hyper_period_before: int = 0
+    hyper_period_after: int = 0
+    #: ``True`` when the caller abandoned the repair and recomputed from
+    #: scratch (set by ``Pipeline.rebalance``, never by ``repair_schedule``).
+    fallback: bool = False
+    #: Reason of the fallback, when one happened.
+    fallback_reason: str | None = None
+    #: Names of the displaced tasks (bounded diagnostic payload).
+    displaced_tasks: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "survivors": self.survivors,
+            "displaced": self.displaced,
+            "released": self.released,
+            "occupied": self.occupied,
+            "shifted": self.shifted,
+            "hyper_period_before": self.hyper_period_before,
+            "hyper_period_after": self.hyper_period_after,
+            "fallback": self.fallback,
+            "fallback_reason": self.fallback_reason,
+            "displaced_tasks": sorted(self.displaced_tasks)[:50],
+        }
+
+
+def _incoming_signature(graph: TaskGraph, name: str) -> frozenset[tuple]:
+    """Hashable summary of a task's incoming dependences.
+
+    ``data_size`` may be ``None`` (meaning "inherit the producer's"), which
+    compares fine as-is.
+    """
+    return frozenset(
+        (dep.producer, dep.consumer, dep.data_size)
+        for dep in graph.in_dependences(name)
+    )
+
+
+def _classify(
+    prior: Schedule, graph: TaskGraph, architecture: Architecture
+) -> tuple[set[str], set[str]]:
+    """Split the new graph's tasks into (survivors, displaced)."""
+    old_graph = prior.graph
+    surviving_processors = set(architecture.processor_names)
+    same_hyper_period = graph.hyper_period == old_graph.hyper_period
+
+    displaced: set[str] = set()
+    for name in graph.task_names:
+        if name not in old_graph:
+            displaced.add(name)
+            continue
+        if graph.task(name) != old_graph.task(name):
+            displaced.add(name)
+            continue
+        if _incoming_signature(graph, name) != _incoming_signature(old_graph, name):
+            displaced.add(name)
+            continue
+        prior_instances = prior.instances_of(name)
+        processors = {si.processor for si in prior_instances}
+        if not processors or not processors <= surviving_processors:
+            displaced.add(name)
+            continue
+        if not same_hyper_period and len(processors) > 1:
+            # A multi-processor spread is only a valid steady-state pattern
+            # modulo the hyper-period it was built for.
+            displaced.add(name)
+
+    # Closure: re-placing a producer invalidates every consumer's arrival bound.
+    for name in tuple(displaced):
+        if name in graph:
+            displaced |= graph.descendants(name)
+
+    survivors = set(graph.task_names) - displaced
+    return survivors, displaced
+
+
+def _sweep_earliest_start(
+    lower_bound: float,
+    period: int,
+    wcet: float,
+    count: int,
+    intervals: list[tuple[float, float]],
+    hyper_period: int,
+) -> float | None:
+    """Earliest ``S >= lower_bound`` whose pattern clears ``intervals``.
+
+    Same clearing-shift sweep as the initial scheduler's
+    ``_earliest_start``: the steady-state pattern is invariant under a shift
+    of one period, so sweeping more than one period proves infeasibility.
+    """
+    if wcet <= _EPS:
+        return lower_bound
+    start = lower_bound
+    shifted = 0.0
+    max_iterations = 4 * (len(intervals) + 1) * (count + 1) + 16
+    for _iteration in range(max_iterations):
+        delta = 0.0
+        for index in range(count):
+            offset = (start + index * period) % hyper_period
+            for busy_offset, busy_length in intervals:
+                if circular_overlap(offset, wcet, busy_offset, busy_length, hyper_period):
+                    try:
+                        delta = clearing_shift(
+                            offset, wcet, busy_offset, busy_length, hyper_period
+                        )
+                    except SchedulingError:
+                        return None
+                    break
+            if delta > _EPS:
+                break
+        if delta <= _EPS:
+            return start
+        start += delta
+        shifted += delta
+        if shifted > period + _EPS:
+            return None
+    return None
+
+
+def repair_schedule(
+    prior: Schedule, graph: TaskGraph, architecture: Architecture
+) -> tuple[Schedule, RepairStats]:
+    """Repair ``prior`` against the post-delta ``(graph, architecture)``.
+
+    Returns the repaired schedule and its :class:`RepairStats`.  Raises
+    :class:`~repro.errors.InfeasibleError` when a displaced task cannot be
+    placed or the repaired schedule fails verification — the caller is
+    expected to fall back to the from-scratch pipeline in that case.
+    """
+    graph.validate()
+    hyper_period = graph.hyper_period
+    stats = RepairStats(
+        hyper_period_before=prior.graph.hyper_period,
+        hyper_period_after=hyper_period,
+    )
+
+    survivors, displaced = _classify(prior, graph, architecture)
+    stats.survivors = len(survivors)
+    stats.displaced = len(displaced)
+    stats.displaced_tasks = sorted(displaced)
+
+    engine = ConflictEngine(hyper_period, architecture.processor_names)
+
+    # Survivor slots become resident occupancy over the new hyper-period.
+    # ``first_start``/``processor`` of every settled task, for arrival bounds.
+    first_starts: dict[str, float] = {}
+    single_processor: dict[str, str] = {}
+    for name in survivors:
+        task = graph.task(name)
+        prior_instances = prior.instances_of(name)
+        first_starts[name] = prior_instances[0].start
+        processors = {si.processor for si in prior_instances}
+        if len(processors) == 1:
+            # Safe under any hyper-period: re-index the arithmetic sequence.
+            (processor,) = processors
+            single_processor[name] = processor
+            if task.wcet > _EPS:
+                for index in range(hyper_period // task.period):
+                    offset = (prior_instances[0].start + index * task.period) % hyper_period
+                    engine.reside(processor, offset, task.wcet, name)
+        else:
+            # Multi-processor spread: only classified as survivor when the
+            # hyper-period is unchanged, so per-instance slots carry over.
+            if task.wcet > _EPS:
+                for si in prior_instances:
+                    engine.reside(si.processor, si.start % hyper_period, task.wcet, name)
+
+    # Seed-and-release the displaced tasks' stale slots: this is the
+    # incremental bookkeeping path (the timeline tolerates the transient
+    # aliasing of a foreign-hyper-period pattern because add/remove net out).
+    for name in sorted(displaced):
+        if name not in prior.graph:
+            continue
+        for si in prior.instances_of(name):
+            if si.processor not in engine.resident or si.wcet <= _EPS:
+                continue
+            offset = si.start % hyper_period
+            engine.reside(si.processor, offset, si.wcet, name)
+            engine.release(si.processor, offset, si.wcet, name)
+            stats.released += 1
+
+    processor_names = architecture.processor_names
+    order_index = {name: i for i, name in enumerate(processor_names)}
+
+    def live_intervals(processor: str, exclude: str) -> list[tuple[float, float]]:
+        pieces = [
+            (s, e - s)
+            for s, e, owner in engine.moved[processor].intervals()
+        ]
+        pieces.extend(
+            (s, e - s)
+            for s, e, owner in engine.resident[processor].intervals()
+            if owner != exclude
+        )
+        return pieces
+
+    def load(processor: str) -> float:
+        return engine.moved[processor].busy_time + engine.resident[processor].busy_time
+
+    def producer_processor(name: str, index: int) -> str:
+        if name in single_processor:
+            return single_processor[name]
+        return prior.instance(name, index).processor
+
+    def arrival_lower_bound(name: str, target_processor: str) -> float:
+        # Producer processors are always settled here: survivors keep theirs
+        # and displaced producers precede their consumers in topological order.
+        task = graph.task(name)
+        count = hyper_period // task.period
+        bound = 0.0
+        for index in range(count):
+            for edge in predecessors_of_instance(graph, name, index):
+                producer_name, producer_index = edge.producer
+                producer_task = graph.task(producer_name)
+                producer_end = (
+                    first_starts[producer_name]
+                    + producer_index * producer_task.period
+                    + producer_task.wcet
+                )
+                source = producer_processor(producer_name, producer_index)
+                arrival = producer_end + architecture.comm_time(
+                    source, target_processor, edge.data_size
+                )
+                bound = max(bound, arrival - index * task.period)
+        return bound
+
+    # Re-place displaced tasks in topological order of the new graph.
+    placement_order = [name for name in graph.topological_order() if name in displaced]
+    for name in placement_order:
+        task = graph.task(name)
+        count = instance_count(graph, name)
+        candidates: dict[str, float] = {}
+        for candidate_processor in processor_names:
+            bound = arrival_lower_bound(name, candidate_processor)
+            start = _sweep_earliest_start(
+                bound,
+                task.period,
+                task.wcet,
+                count,
+                live_intervals(candidate_processor, exclude=name),
+                hyper_period,
+            )
+            if start is None:
+                continue
+            pattern = [
+                ((start + index * task.period) % hyper_period, task.wcet)
+                for index in range(count)
+            ]
+            if engine.compatible(
+                candidate_processor,
+                pattern,
+                include_resident=True,
+                exclude=frozenset({name}),
+            ):
+                candidates[candidate_processor] = start
+        if not candidates:
+            raise InfeasibleError(
+                f"Incremental repair cannot re-place task {name!r} on any processor",
+                detail=name,
+            )
+        chosen = min(
+            candidates, key=lambda p: (candidates[p], load(p), order_index[p])
+        )
+        start = candidates[chosen]
+        first_starts[name] = start
+        single_processor[name] = chosen
+        if task.wcet > _EPS:
+            for index in range(count):
+                engine.reside(chosen, (start + index * task.period) % hyper_period, task.wcet, name)
+
+    # Compaction: try to left-shift each displaced task on its own processor.
+    for name in placement_order:
+        task = graph.task(name)
+        if task.wcet <= _EPS:
+            continue
+        count = instance_count(graph, name)
+        processor = single_processor[name]
+        bound = arrival_lower_bound(name, processor)
+        current = first_starts[name]
+        if bound >= current - _EPS:
+            continue
+        start = _sweep_earliest_start(
+            bound,
+            task.period,
+            task.wcet,
+            count,
+            live_intervals(processor, exclude=name),
+            hyper_period,
+        )
+        if start is None or start >= current - _EPS:
+            continue
+        for index in range(count):
+            engine.shift(
+                processor,
+                (current + index * task.period) % hyper_period,
+                (start + index * task.period) % hyper_period,
+                task.wcet,
+                name,
+            )
+        first_starts[name] = start
+        stats.shifted += 1
+
+    # Commit the decided moves to the moved timeline (the engine's record of
+    # accepted placements) and materialise the instance list.
+    instances: list[ScheduledInstance] = []
+    for name in survivors:
+        task = graph.task(name)
+        if name in single_processor:
+            processor = single_processor[name]
+            for index in range(hyper_period // task.period):
+                instances.append(
+                    ScheduledInstance(
+                        task=name,
+                        index=index,
+                        processor=processor,
+                        start=first_starts[name] + index * task.period,
+                        wcet=task.wcet,
+                        memory=task.memory,
+                    )
+                )
+        else:
+            for si in prior.instances_of(name):
+                instances.append(
+                    ScheduledInstance(
+                        task=name,
+                        index=si.index,
+                        processor=si.processor,
+                        start=si.start,
+                        wcet=task.wcet,
+                        memory=task.memory,
+                    )
+                )
+    for name in placement_order:
+        task = graph.task(name)
+        processor = single_processor[name]
+        start = first_starts[name]
+        for index in range(instance_count(graph, name)):
+            offset = (start + index * task.period) % hyper_period
+            if task.wcet > _EPS:
+                engine.occupy(processor, offset, task.wcet, name)
+                stats.occupied += 1
+            instances.append(
+                ScheduledInstance(
+                    task=name,
+                    index=index,
+                    processor=processor,
+                    start=start + index * task.period,
+                    wcet=task.wcet,
+                    memory=task.memory,
+                )
+            )
+
+    schedule = Schedule(graph, architecture, instances, ())
+    schedule = schedule.with_instances(
+        schedule.instances, synthesize_communications(schedule)
+    )
+    report = check_schedule(schedule, check_memory=False)
+    if not report.is_feasible:
+        raise InfeasibleError(
+            "Incremental repair produced an infeasible schedule: "
+            + "; ".join(report.all_violations[:5]),
+            detail=report.all_violations,
+        )
+    return schedule, stats

@@ -22,11 +22,19 @@ prints the :class:`~repro.api.RunResult` report (or its JSON form):
     Fan one or more experiment sweeps out over a process pool, writing
     per-run JSON manifests and a campaign summary artifact (resumable).
 
-``repro-lb bench list | run | compare``
+``repro-lb bench list | run | compare | service | rebalance``
     The unified benchmark harness: list the registered benchmarks, run them
     under a bench preset (``tiny``/``paper``/``stress``) emitting a
-    ``repro-bench/1`` artifact, or compare two artifacts against a slowdown
-    tolerance (non-zero exit on regression — the CI perf gate).
+    ``repro-bench/1`` artifact, compare two artifacts against a slowdown
+    tolerance (non-zero exit on regression — the CI perf gate), load-test
+    the service, or pin the incremental-rebalance speedup.
+
+``repro-lb rebalance --config file.json --delta delta.json | --grid``
+    Incremental rebalancing under churn: repair a prior run against a
+    ``repro-delta/1`` delta (emitting a ``repro-run/2`` result), or replay
+    the churn scenario grid under the differential and conformance oracles
+    (``repro-churn/1`` artifact, non-zero exit on any finding — the CI
+    churn gate).
 
 ``repro-lb sweep [--preset ...] [--scenarios ...] [--balancers ...]``
     The differential sweep: run every registered balancer over the scenario
@@ -51,9 +59,11 @@ prints the :class:`~repro.api.RunResult` report (or its JSON form):
     into the frozen ``regression/*`` scenario registry the sweep and
     conformance gates replay.
 
-``repro-lb list``
-    Print the registered balancers, cost policies, scenarios, hunt
-    objectives, experiments and campaign presets.
+``repro-lb list [--json]``
+    Print every user-facing registry — balancers, cost/placement policies,
+    scenario and churn families, hunt objectives, experiments, campaign and
+    bench presets, benchmarks — through one uniform catalog (``--json``
+    emits it machine-readable).
 
 ``example``, ``random``, ``run`` and ``experiment`` accept ``--json`` to emit
 machine-readable output instead of the ASCII report.
@@ -68,7 +78,14 @@ from pathlib import Path
 
 from repro import jsonio
 from repro._version import __version__
-from repro.api import Pipeline, PipelineConfig, available_balancers, balancer_info
+from repro.api import (
+    CostPolicy,
+    Pipeline,
+    PipelineConfig,
+    PlacementPolicy,
+    available_balancers,
+    balancer_info,
+)
 from repro.bench import (
     BENCH_PRESETS,
     BenchArtifact,
@@ -77,17 +94,18 @@ from repro.bench import (
     compare as compare_artifacts,
     run_benchmarks,
 )
-from repro.core.cost import CostPolicy
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments import ALL_EXPERIMENTS, PRESET_NAMES, run_campaign
 from repro.experiments.campaign import experiment_result_dict
 from repro.scenarios import (
     SCENARIO_PRESETS,
+    available_churn_scenarios,
     available_scenarios,
+    churn_scenario_info,
+    run_churn_grid,
     run_sweep,
     scenario_info,
 )
-from repro.scheduling.heuristic import PlacementPolicy
 from repro.search import (
     BUDGETS,
     SearchOptions,
@@ -324,6 +342,98 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="print the artifact JSON to stdout"
     )
 
+    bench_rebalance = bench_sub.add_parser(
+        "rebalance",
+        help="pin the incremental-rebalance-vs-from-scratch speedup",
+    )
+    bench_rebalance.add_argument(
+        "--tasks", type=int, default=400, help="prior workload size (default: 400)"
+    )
+    bench_rebalance.add_argument(
+        "--processors", type=int, default=8, help="processor count (default: 8)"
+    )
+    bench_rebalance.add_argument(
+        "--deltas",
+        type=int,
+        default=8,
+        help="independent single-task arrivals timed per repeat (default: 8)",
+    )
+    bench_rebalance.add_argument(
+        "--repeats", type=int, default=2, help="measured repeats (default: 2)"
+    )
+    bench_rebalance.add_argument(
+        "--seed", type=int, default=2008, help="workload seed (default: 2008)"
+    )
+    bench_rebalance.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the artifact here (a directory gets BENCH_<timestamp>.json)",
+    )
+    bench_rebalance.add_argument(
+        "--json", action="store_true", help="print the artifact JSON to stdout"
+    )
+
+    rebalance = subparsers.add_parser(
+        "rebalance",
+        help="incremental rebalance under churn (repro-run/2 / repro-churn/1)",
+        description="Repair a balanced schedule against a workload delta "
+        "instead of recomputing it.  With --config and --delta, runs the "
+        "prior pipeline, applies the delta incrementally and prints the "
+        "repro-run/2 result.  With --grid, replays the whole churn scenario "
+        "grid under the differential (rebalance vs from-scratch) and "
+        "conformance oracles, exiting non-zero on any finding (the CI "
+        "churn gate).",
+    )
+    rebalance.add_argument(
+        "--config",
+        metavar="PATH",
+        help="prior pipeline config (repro-pipeline/1) the delta applies to",
+    )
+    rebalance.add_argument(
+        "--delta",
+        metavar="PATH",
+        help="repro-delta/1 file: one delta (a dict with a 'kind') or a timeline",
+    )
+    rebalance.add_argument(
+        "--grid",
+        action="store_true",
+        help="replay the churn scenario grid instead of a single config+delta",
+    )
+    rebalance.add_argument(
+        "--preset",
+        choices=sorted(SCENARIO_PRESETS),
+        default="tiny",
+        help="churn grid scale (default: tiny)",
+    )
+    rebalance.add_argument(
+        "--scenarios",
+        nargs="+",
+        metavar="NAME",
+        choices=list(available_churn_scenarios()),
+        help="churn families to replay (default: every registered family)",
+    )
+    rebalance.add_argument(
+        "--balancer",
+        choices=list(available_balancers()),
+        default="paper",
+        help="balancer of the prior pipeline (default: paper)",
+    )
+    rebalance.add_argument(
+        "--hyper-periods",
+        type=int,
+        default=2,
+        help="hyper-periods each conformance replay covers (default: 2)",
+    )
+    rebalance.add_argument(
+        "--output",
+        metavar="PATH",
+        help="grid mode: write the artifact here "
+        "(a directory gets CHURN_<timestamp>.json)",
+    )
+    rebalance.add_argument(
+        "--json", action="store_true", help="emit machine-readable output"
+    )
+
     sweep = subparsers.add_parser(
         "sweep", help="differential scenario sweep (repro-sweep/1 artifacts)"
     )
@@ -539,10 +649,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache capacity in entries (default: 256)",
     )
 
-    subparsers.add_parser(
+    list_cmd = subparsers.add_parser(
         "list",
-        help="list registered balancers, policies, scenarios, objectives, "
-        "experiments and presets",
+        help="list registered balancers, policies, scenarios, churn families, "
+        "objectives, experiments, benchmarks and presets",
+    )
+    list_cmd.add_argument(
+        "--json", action="store_true", help="emit the registry catalog as JSON"
     )
     return parser
 
@@ -739,6 +852,39 @@ def _run_bench(args: argparse.Namespace) -> int:
             return 1
         return 0
 
+    if args.bench_command == "rebalance":
+        from repro.bench.rebalance import run_rebalance_bench
+
+        artifact = run_rebalance_bench(
+            task_count=args.tasks,
+            processor_count=args.processors,
+            deltas=args.deltas,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        written = artifact.save(args.output) if args.output else None
+        if args.json:
+            print(jsonio.dumps(artifact.to_dict()))
+        else:
+            record = artifact.records[0]
+            metrics = record.metrics
+            print(f"bench rebalance: preset {artifact.preset} ({artifact.created})")
+            print(f"  {record.title}")
+            print(
+                f"  repair {metrics['rebalance_seconds_best']:.3f}s vs scratch "
+                f"{metrics['scratch_seconds_best']:.3f}s over {metrics['deltas']:.0f} "
+                f"delta(s) — speedup {metrics['speedup']:.1f}x "
+                f"({metrics['rebalance_ms_per_delta']:.1f}ms vs "
+                f"{metrics['scratch_ms_per_delta']:.1f}ms per delta)"
+            )
+            print(f"  verdict agreement {metrics['verdict_agreement']:.3f}")
+            if written is not None:
+                print(f"artifact written to {written}")
+        if artifact.records[0].passed is False:
+            print("repro-lb bench rebalance: FAIL verdict", file=sys.stderr)
+            return 1
+        return 0
+
     # compare
     report = compare_artifacts(
         BenchArtifact.load(args.baseline),
@@ -827,6 +973,65 @@ def _run_conform(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_rebalance(args: argparse.Namespace) -> int:
+    if args.grid:
+        if args.config or args.delta:
+            print(
+                "repro-lb rebalance: error: --grid is mutually exclusive with "
+                "--config/--delta",
+                file=sys.stderr,
+            )
+            return 2
+        artifact = run_churn_grid(
+            args.preset,
+            tuple(args.scenarios) if args.scenarios else None,
+            balancer=args.balancer,
+            conformance_hyper_periods=args.hyper_periods,
+        )
+        written = artifact.save(args.output) if args.output else None
+        if args.json:
+            print(jsonio.dumps(artifact.to_dict()))
+        else:
+            print(artifact.render())
+            if written is not None:
+                print(f"artifact written to {written}")
+        if not artifact.ok:
+            print(
+                f"repro-lb rebalance: {len(artifact.findings)} churn finding(s)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if not args.config or not args.delta:
+        print(
+            "repro-lb rebalance: error: needs --config and --delta (or --grid)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.churn import timeline_from_payload
+
+    config = _load_pipeline_config(Path(args.config), "rebalance")
+    if isinstance(config, int):
+        return config
+    try:
+        delta_data = jsonio.load_json_path(Path(args.delta), kind="delta")
+        timeline = timeline_from_payload(delta_data)
+    except ConfigurationError as error:
+        print(f"repro-lb rebalance: error: {error}", file=sys.stderr)
+        return 2
+    pipeline = Pipeline(config)
+    prior = pipeline.run()
+    if not prior.feasible:
+        print(
+            "repro-lb rebalance: error: the prior pipeline run is infeasible; "
+            "nothing to repair",
+            file=sys.stderr,
+        )
+        return 1
+    return _emit(pipeline.rebalance(prior, timeline), args.json)
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     artifact = run_sweep(
         args.preset,
@@ -890,38 +1095,72 @@ def _run_hunt(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_list(_args: argparse.Namespace) -> int:
-    print("balancers:")
-    for name in available_balancers():
-        spec = balancer_info(name)
-        print(f"  {name:<18} {spec.description}")
-        if spec.params:
-            print(f"  {'':<18} params: {', '.join(spec.params)}")
-    print()
-    print("cost policies (paper balancer):")
-    print("  " + ", ".join(policy.value for policy in CostPolicy))
-    print()
-    print("initial placement policies:")
-    print("  " + ", ".join(policy.value for policy in PlacementPolicy))
-    print()
-    print("scenarios (see 'repro-lb sweep'):")
-    for name in available_scenarios():
-        print(f"  {name:<20} {scenario_info(name).title}")
-    print()
-    print("hunt objectives (see 'repro-lb hunt'):")
-    for name in available_objectives():
-        print(f"  {name:<24} {objective_info(name).title}")
-    print()
-    print("experiments:")
-    for name in sorted(ALL_EXPERIMENTS):
+def _registry_catalog() -> dict[str, list[dict[str, str]]]:
+    """Every user-facing registry as one uniform ``section -> entries`` map.
+
+    Each entry is ``{"name": ..., "summary": ...}`` — the single source both
+    renderings of ``repro-lb list`` (text and ``--json``) walk, so a registry
+    added anywhere shows up in both by editing exactly one place.
+    """
+
+    def entries(names, summary) -> list[dict[str, str]]:
+        return [{"name": str(name), "summary": summary(name)} for name in names]
+
+    def experiment_summary(name: str) -> str:
         doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()
-        print(f"  {name:<4} {doc[0] if doc else ''}")
-    print()
-    print("campaign presets:")
-    print("  " + ", ".join(PRESET_NAMES))
-    print()
-    print("benchmarks (see 'repro-lb bench list'):")
-    print("  " + ", ".join(available_benchmarks()))
+        return doc[0] if doc else ""
+
+    return {
+        "balancers": entries(
+            available_balancers(),
+            lambda name: balancer_info(name).description
+            + (
+                f" (params: {', '.join(balancer_info(name).params)})"
+                if balancer_info(name).params
+                else ""
+            ),
+        ),
+        "cost policies (paper balancer)": entries(
+            (policy.value for policy in CostPolicy), lambda _name: ""
+        ),
+        "initial placement policies": entries(
+            (policy.value for policy in PlacementPolicy), lambda _name: ""
+        ),
+        "scenarios (see 'repro-lb sweep')": entries(
+            available_scenarios(), lambda name: scenario_info(name).title
+        ),
+        "churn scenarios (see 'repro-lb rebalance --grid')": entries(
+            available_churn_scenarios(), lambda name: churn_scenario_info(name).title
+        ),
+        "hunt objectives (see 'repro-lb hunt')": entries(
+            available_objectives(), lambda name: objective_info(name).title
+        ),
+        "experiments": entries(sorted(ALL_EXPERIMENTS), experiment_summary),
+        "campaign presets": entries(PRESET_NAMES, lambda _name: ""),
+        "benchmarks (see 'repro-lb bench list')": entries(
+            available_benchmarks(), lambda name: benchmark_info(name).title
+        ),
+        "bench presets": entries(
+            sorted(BENCH_PRESETS),
+            lambda name: f"maps to experiment preset {BENCH_PRESETS[name]!r}",
+        ),
+    }
+
+
+def _run_list(args: argparse.Namespace) -> int:
+    catalog = _registry_catalog()
+    if getattr(args, "json", False):
+        print(jsonio.dumps(catalog))
+        return 0
+    blocks = []
+    for section, items in catalog.items():
+        width = max((len(entry["name"]) for entry in items), default=0)
+        lines = [f"{section}:"]
+        lines.extend(
+            f"  {entry['name']:<{width}}  {entry['summary']}".rstrip() for entry in items
+        )
+        blocks.append("\n".join(lines))
+    print("\n\n".join(blocks))
     return 0
 
 
@@ -951,6 +1190,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "campaign": _run_campaign,
         "random": _run_random,
         "bench": _run_bench,
+        "rebalance": _run_rebalance,
         "sweep": _run_sweep,
         "conform": _run_conform,
         "hunt": _run_hunt,

@@ -59,6 +59,32 @@ class ConfigurationError(ReproError):
     """An option combination passed to the library does not make sense."""
 
 
+class ArtifactError(ConfigurationError):
+    """A persisted artifact failed loading or schema/version validation.
+
+    Raised by :func:`repro.jsonio.load_artifact` (and the per-artifact
+    ``from_dict`` loaders built on it) for every artifact failure mode:
+    unreadable file, malformed JSON, a payload that is not an object, a
+    missing/malformed ``schema`` tag, a foreign schema family, or a version
+    newer than the build can read.  Subclassing :class:`ConfigurationError`
+    keeps every existing ``except`` clause and the CLI's exit-2 mapping
+    working unchanged.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: object | None = None,
+        schema: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        #: Offending file, when the failure came from a disk load.
+        self.path = path
+        #: Offending schema tag, when the failure was a schema rejection.
+        self.schema = schema
+
+
 class WorkloadError(ReproError):
     """A workload generator received parameters it cannot honour."""
 

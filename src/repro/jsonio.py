@@ -29,13 +29,16 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
-from repro.errors import ConfigurationError
+from repro.errors import ArtifactError, ConfigurationError
 
 __all__ = [
     "sanitize",
     "dumps",
     "read_json",
     "load_json_path",
+    "parse_schema_tag",
+    "check_artifact_schema",
+    "load_artifact",
     "write_text_atomic",
     "write_json_atomic",
 ]
@@ -111,6 +114,88 @@ def load_json_path(path: str | Path, *, kind: str = "JSON file") -> dict[str, An
         raise ConfigurationError(
             f"{kind} {Path(path)} must be a JSON object, got {type(data).__name__}"
         )
+    return data
+
+
+def parse_schema_tag(tag: Any) -> tuple[str, int]:
+    """Split a ``repro-<family>/<version>`` schema tag into its parts.
+
+    Raises
+    ------
+    ArtifactError
+        When the tag is not a string of that exact shape.
+    """
+    if isinstance(tag, str):
+        family, sep, version = tag.partition("/")
+        if sep and family and version.isdigit():
+            return family, int(version)
+    raise ArtifactError(
+        f"Malformed schema tag {tag!r}; expected '<family>/<version>' "
+        "(e.g. 'repro-bench/1')",
+        schema=tag if isinstance(tag, str) else None,
+    )
+
+
+def check_artifact_schema(
+    data: Any,
+    family: str,
+    max_version: int,
+    *,
+    kind: str | None = None,
+    path: str | Path | None = None,
+) -> int:
+    """Validate the ``schema`` header of an artifact payload; return its version.
+
+    The one schema check every versioned-artifact loader shares: the payload
+    must be a JSON object whose ``schema`` tag belongs to ``family`` at a
+    version this build reads (``1 .. max_version``).  A missing tag defaults
+    to ``family/1`` — the convention every artifact writer has followed since
+    its first version.  Failures raise :class:`~repro.errors.ArtifactError`
+    (a :class:`ConfigurationError`), naming ``kind`` and, when known, the
+    offending ``path``.
+    """
+    kind = kind or f"{family} artifact"
+    where = f" in {Path(path)}" if path is not None else ""
+    if not isinstance(data, dict):
+        raise ArtifactError(
+            f"{kind}{where} must be a JSON object, got {type(data).__name__}",
+            path=path,
+        )
+    tag = data.get("schema", f"{family}/1")
+    got_family, version = parse_schema_tag(tag)
+    if got_family != family or not 1 <= version <= max_version:
+        raise ArtifactError(
+            f"Unsupported {kind} schema {tag!r}{where}; this build reads "
+            f"{family!r} versions 1..{max_version}",
+            path=path,
+            schema=tag,
+        )
+    return version
+
+
+def load_artifact(
+    path: str | Path,
+    family: str,
+    max_version: int,
+    *,
+    kind: str | None = None,
+) -> dict[str, Any]:
+    """Read a versioned artifact file and validate its ``schema`` header.
+
+    The consolidated front door of every artifact loader (bench, sweep,
+    search, regression registry, run results): read + object check
+    (:func:`load_json_path`) followed by :func:`check_artifact_schema`, with
+    every failure mode funnelled into one structured
+    :class:`~repro.errors.ArtifactError` naming the offending path.
+    """
+    kind = kind or f"{family} artifact"
+    try:
+        data = load_json_path(path, kind=kind)
+    except ArtifactError:
+        raise
+    except ConfigurationError as error:
+        raise ArtifactError(str(error), path=path) from None
+    check_artifact_schema(data, family, max_version, kind=kind, path=path)
     return data
 
 

@@ -8,7 +8,13 @@
   ``repro-sweep/1`` artifact (CLI front-end: ``repro-lb sweep``);
 * :mod:`~repro.scenarios.regression` — frozen ``regression/*`` counter-
   examples mined by ``repro-lb hunt`` (importing this package registers
-  them alongside the synthetic families).
+  them alongside the synthetic families);
+* :mod:`~repro.scenarios.churn` — churn families (arrival bursts, WCET
+  drift, processor loss) and the differential churn grid replaying
+  :meth:`repro.api.Pipeline.rebalance` against the from-scratch oracle
+  (CLI front-end: ``repro-lb rebalance --grid``).  Churn families live in
+  their own registry so the workload-scenario grid fingerprint is
+  unaffected.
 """
 
 from repro.scenarios import families as _families  # noqa: F401 - registers the families
@@ -45,27 +51,47 @@ from repro.scenarios.sweep import (
     run_sweep,
     sweep_pipeline_configs,
 )
+from repro.scenarios.churn import (
+    CHURN_SCHEMA,
+    ChurnGridArtifact,
+    ChurnScenarioSpec,
+    available_churn_scenarios,
+    churn_grid_cells,
+    churn_scenario_info,
+    execute_churn_cell,
+    register_churn_scenario,
+    run_churn_grid,
+)
 
 __all__ = [
+    "CHURN_SCHEMA",
     "NEVER_WORSE_BALANCERS",
     "REGRESSION_SCHEMA",
     "SCENARIO_PRESETS",
     "SWEEP_SCHEMA",
+    "ChurnGridArtifact",
+    "ChurnScenarioSpec",
     "FrozenScenario",
     "ScenarioScale",
     "ScenarioSpec",
     "SweepArtifact",
     "SweepCell",
+    "available_churn_scenarios",
     "available_scenarios",
+    "churn_grid_cells",
+    "churn_scenario_info",
     "execute_cell",
+    "execute_churn_cell",
     "frozen_info",
     "frozen_names",
     "grid_fingerprint",
     "grid_specs",
     "load_frozen",
     "plan_sweep",
+    "register_churn_scenario",
     "register_frozen",
     "register_scenario",
+    "run_churn_grid",
     "register_scenario_spec",
     "run_sweep",
     "scenario_info",

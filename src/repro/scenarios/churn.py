@@ -1,0 +1,574 @@
+"""Churn scenario families and the differential churn grid.
+
+Mirrors the workload-scenario registry (:mod:`repro.scenarios.registry`) for
+*churn*: each family pairs a base workload builder with a seeded delta-
+timeline builder, and the grid harness replays every cell through
+:meth:`repro.api.Pipeline.rebalance` with two oracles per delta step:
+
+* **differential** — the from-scratch pipeline on the post-delta workload
+  must reach the same feasibility verdict as the incremental rebalance;
+* **conformance** — the repaired schedule must replay through the discrete-
+  event simulator with zero divergences (PR 5's oracle).
+
+The rebalance-vs-scratch cost ratio is recorded as a metric datum (the
+paper heuristic re-optimises globally, the repair only re-places the
+displaced set, so parity is not a hard invariant the way the verdict is).
+
+Churn families live in their **own** registry so the workload-scenario
+grid fingerprint — pinned as a golden value by the test suite — stays
+untouched.  Results persist as ``repro-churn/1`` artifacts
+(``CHURN_<stamp>.json``), consumed by the CI ``churn-smoke`` job via
+``repro-lb rebalance --grid``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro import jsonio
+from repro.api.config import (
+    PipelineConfig,
+    ReportStage,
+    VerifyStage,
+    WorkloadStage,
+)
+from repro.api.pipeline import Pipeline, RunResult
+from repro.churn.deltas import (
+    AddTask,
+    ChurnTimeline,
+    ProcessorLoss,
+    RemoveTask,
+    WcetDrift,
+)
+from repro.errors import ConfigurationError, InfeasibleError, ReproError
+from repro.model.architecture import Architecture
+from repro.model.graph import TaskGraph
+from repro.scenarios.registry import ScenarioScale, _root_seed, scenario_scale
+from repro.workloads.seeding import derive_seed
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "CHURN_SCHEMA",
+    "ChurnScenarioSpec",
+    "ChurnGridArtifact",
+    "available_churn_scenarios",
+    "churn_scenario_info",
+    "churn_grid_cells",
+    "execute_churn_cell",
+    "run_churn_grid",
+    "register_churn_scenario",
+]
+
+#: Version tag of the churn-grid artifact.
+CHURN_SCHEMA = "repro-churn/1"
+
+#: Timeline builder: ``(balanced graph, architecture, rng) -> ChurnTimeline``.
+TimelineBuilder = Callable[[TaskGraph, Architecture, random.Random], ChurnTimeline]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnScenarioSpec:
+    """One registered churn family: base workload + seeded delta timeline."""
+
+    name: str
+    title: str
+    description: str
+    tags: tuple[str, ...]
+    #: Base workload of the cell (same contract as ``ScenarioSpec.builder``).
+    base: Callable[[ScenarioScale], WorkloadSpec]
+    #: Deltas to replay against the *balanced* prior schedule's workload.
+    timeline: TimelineBuilder
+
+    def workload_spec(self, preset: str, index: int) -> WorkloadSpec:
+        """Concrete base workload of grid cell ``(self, preset, index)``."""
+        if index < 0:
+            raise ConfigurationError(f"Seed index must be non-negative, got {index}")
+        scale = scenario_scale(preset)
+        seed = derive_seed(_root_seed(f"churn/{self.name}"), index)
+        return self.base(scale).with_updates(
+            seed=seed, label=f"churn-{self.name}-{preset}-i{index}"
+        )
+
+    def build_timeline(
+        self, graph: TaskGraph, architecture: Architecture, preset: str, index: int
+    ) -> ChurnTimeline:
+        """Deterministic delta timeline of grid cell ``(self, preset, index)``."""
+        rng = random.Random(derive_seed(_root_seed(f"churn-deltas/{self.name}"), index))
+        return self.timeline(graph, architecture, rng)
+
+
+_CHURN_REGISTRY: dict[str, ChurnScenarioSpec] = {}
+
+
+def register_churn_scenario(spec: ChurnScenarioSpec) -> ChurnScenarioSpec:
+    """Register a churn family (raises on duplicate names)."""
+    if spec.name in _CHURN_REGISTRY:
+        raise ConfigurationError(f"Churn scenario {spec.name!r} is already registered")
+    _CHURN_REGISTRY[spec.name] = spec
+    return spec
+
+
+def available_churn_scenarios() -> tuple[str, ...]:
+    """Registered churn family names, sorted."""
+    return tuple(sorted(_CHURN_REGISTRY))
+
+
+def churn_scenario_info(name: str) -> ChurnScenarioSpec:
+    """Registry entry of ``name`` (raises :class:`ConfigurationError` if absent)."""
+    try:
+        return _CHURN_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown churn scenario {name!r}; registered: "
+            f"{list(available_churn_scenarios())}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Built-in families
+# ----------------------------------------------------------------------
+def _fresh_name(graph: TaskGraph, rng: random.Random, prefix: str = "churn") -> str:
+    while True:
+        candidate = f"{prefix}{rng.randrange(1000)}"
+        if candidate not in graph:
+            return candidate
+
+
+def _existing_period(graph: TaskGraph, rng: random.Random) -> int:
+    return int(rng.choice(graph.distinct_periods()))
+
+
+def _small_wcet(period: int, rng: random.Random) -> float:
+    return round(max(0.01, rng.uniform(0.02, 0.08) * period), 2)
+
+
+def _arrival_burst(
+    graph: TaskGraph, architecture: Architecture, rng: random.Random
+) -> ChurnTimeline:
+    deltas = []
+    names = list(graph.task_names)
+    for _ in range(3):
+        period = _existing_period(graph, rng)
+        name = _fresh_name(graph, rng)
+        while any(d.name == name for d in deltas if isinstance(d, AddTask)):
+            name = f"{name}x"
+        predecessors: tuple[str, ...] = ()
+        if rng.random() < 0.5:
+            # Wire the newcomer below an existing task of the same period
+            # (harmonic by construction).
+            same_period = [n for n in names if graph.task(n).period == period]
+            if same_period:
+                predecessors = (rng.choice(same_period),)
+        deltas.append(
+            AddTask(
+                name=name,
+                period=period,
+                wcet=_small_wcet(period, rng),
+                predecessors=predecessors,
+            )
+        )
+    return ChurnTimeline.of(*deltas)
+
+
+def _departure_wave(
+    graph: TaskGraph, architecture: Architecture, rng: random.Random
+) -> ChurnTimeline:
+    count = min(2, len(graph) - 1)
+    victims = rng.sample(list(graph.task_names), count)
+    return ChurnTimeline.of(*(RemoveTask(name) for name in victims))
+
+
+def _wcet_drift(
+    graph: TaskGraph, architecture: Architecture, rng: random.Random
+) -> ChurnTimeline:
+    count = min(3, len(graph))
+    deltas = []
+    for name in rng.sample(list(graph.task_names), count):
+        task = graph.task(name)
+        drifted = round(
+            min(max(0.01, task.wcet * rng.uniform(0.6, 1.4)), float(task.period)), 3
+        )
+        deltas.append(WcetDrift(name=name, wcet=drifted))
+    return ChurnTimeline.of(*deltas)
+
+
+def _processor_loss(
+    graph: TaskGraph, architecture: Architecture, rng: random.Random
+) -> ChurnTimeline:
+    victim = rng.choice(list(architecture.processor_names))
+    return ChurnTimeline.of(ProcessorLoss(processor=victim))
+
+
+def _mixed_churn(
+    graph: TaskGraph, architecture: Architecture, rng: random.Random
+) -> ChurnTimeline:
+    period = _existing_period(graph, rng)
+    drifting = rng.choice(list(graph.task_names))
+    task = graph.task(drifting)
+    victims = [n for n in graph.task_names if n != drifting]
+    return ChurnTimeline.of(
+        AddTask(
+            name=_fresh_name(graph, rng),
+            period=period,
+            wcet=_small_wcet(period, rng),
+        ),
+        WcetDrift(
+            name=drifting,
+            wcet=round(min(max(0.01, task.wcet * 0.8), float(task.period)), 3),
+        ),
+        RemoveTask(name=rng.choice(victims)),
+    )
+
+
+def _base(scale: ScenarioScale, *, utilization: float = 0.30) -> WorkloadSpec:
+    return WorkloadSpec(
+        task_count=scale.task_count,
+        processor_count=scale.processor_count,
+        utilization=utilization,
+    )
+
+
+register_churn_scenario(
+    ChurnScenarioSpec(
+        name="arrival_burst",
+        title="burst of new task arrivals",
+        description="three new tasks arrive at existing rates, some wired below "
+        "same-period producers",
+        tags=("churn", "arrival"),
+        base=lambda scale: _base(scale),
+        timeline=_arrival_burst,
+    )
+)
+register_churn_scenario(
+    ChurnScenarioSpec(
+        name="departure_wave",
+        title="wave of task departures",
+        description="two random tasks leave the workload (edges disappear with them)",
+        tags=("churn", "departure"),
+        base=lambda scale: _base(scale),
+        timeline=_departure_wave,
+    )
+)
+register_churn_scenario(
+    ChurnScenarioSpec(
+        name="wcet_drift",
+        title="measured WCET drift",
+        description="three tasks drift to 0.6-1.4x their WCET (clamped to the period)",
+        tags=("churn", "drift"),
+        base=lambda scale: _base(scale),
+        timeline=_wcet_drift,
+    )
+)
+register_churn_scenario(
+    ChurnScenarioSpec(
+        name="processor_loss",
+        title="processor failure",
+        description="one processor fails; a low-utilization workload must fold "
+        "onto the survivors",
+        tags=("churn", "failure"),
+        base=lambda scale: _base(scale, utilization=0.10),
+        timeline=_processor_loss,
+    )
+)
+register_churn_scenario(
+    ChurnScenarioSpec(
+        name="mixed_churn",
+        title="mixed arrival + drift + departure",
+        description="one arrival, one WCET shrink and one departure, in sequence",
+        tags=("churn", "mixed"),
+        base=lambda scale: _base(scale),
+        timeline=_mixed_churn,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Grid harness
+# ----------------------------------------------------------------------
+def churn_grid_cells(
+    preset: str, scenarios: tuple[str, ...] | None = None
+) -> Iterator[tuple[ChurnScenarioSpec, int]]:
+    """Enumerate the ``family x seed-index`` churn grid of ``preset``."""
+    scale = scenario_scale(preset)
+    names = available_churn_scenarios() if scenarios is None else scenarios
+    for name in names:
+        spec = churn_scenario_info(name)
+        for index in range(scale.seeds):
+            yield spec, index
+
+
+def _scratch_verdict(
+    config: PipelineConfig, graph: TaskGraph, architecture: Architecture
+) -> tuple[bool, float | None]:
+    """Feasibility verdict + makespan of the from-scratch differential oracle."""
+    scratch_config = PipelineConfig(
+        workload=WorkloadStage(kind="provided"),
+        schedule=config.schedule,
+        balance=config.balance,
+        verify=VerifyStage(enabled=True, check_memory=False),
+        report=ReportStage(enabled=False),
+        label=f"{config.label}-scratch",
+    )
+    try:
+        result = Pipeline(scratch_config, graph=graph, architecture=architecture).run()
+    except InfeasibleError:
+        return False, None
+    makespan = result.metrics.get("makespan_after")
+    return bool(result.feasible), float(makespan) if makespan is not None else None
+
+
+def execute_churn_cell(
+    name: str,
+    preset: str,
+    index: int,
+    *,
+    balancer: str = "paper",
+    conformance_hyper_periods: int = 2,
+) -> dict[str, Any]:
+    """Replay one churn cell, one delta at a time, under both oracles.
+
+    Returns a JSON-safe record: per-step verdicts, repair stats, cost ratios
+    and the list of findings (empty = the cell is clean).  Execution errors
+    are captured as ``status: "error"`` records, never raised.
+    """
+    from repro.conformance import ConformanceOptions, check_conformance
+
+    spec = churn_scenario_info(name)
+    workload_spec = spec.workload_spec(preset, index)
+    record: dict[str, Any] = {
+        "scenario": name,
+        "preset": preset,
+        "index": index,
+        "seed": workload_spec.seed,
+        "status": "ok",
+        "steps": [],
+        "findings": [],
+    }
+    try:
+        config = PipelineConfig.synthetic(workload_spec, balancer=balancer)
+        pipeline = Pipeline(config)
+        try:
+            prior = pipeline.run()
+        except InfeasibleError:
+            prior = None
+        if prior is None or not prior.feasible:
+            record["status"] = "prior_infeasible"
+            return record
+        timeline = spec.build_timeline(
+            prior.balanced_schedule.graph,
+            prior.balanced_schedule.architecture,
+            preset,
+            index,
+        )
+        record["delta_digest"] = timeline.digest()
+        current: RunResult = prior
+        for position, delta in enumerate(timeline):
+            rebalanced = pipeline.rebalance(current, delta)
+            post_graph, post_architecture = delta.apply(
+                current.balanced_schedule.graph,
+                current.balanced_schedule.architecture,
+            )
+            scratch_feasible, scratch_makespan = _scratch_verdict(
+                config, post_graph, post_architecture
+            )
+            rebalance_feasible = bool(rebalanced.feasible)
+            step: dict[str, Any] = {
+                "position": position,
+                "delta": delta.to_dict(),
+                "rebalance_feasible": rebalance_feasible,
+                "scratch_feasible": scratch_feasible,
+                "fallback": rebalanced.rebalance["stats"]["fallback"],
+                "stats": rebalanced.rebalance["stats"],
+                "makespan_rebalance": rebalanced.metrics.get("makespan_after"),
+                "makespan_scratch": scratch_makespan,
+            }
+            if (
+                scratch_makespan
+                and rebalanced.metrics.get("makespan_after")
+                and scratch_makespan > 0
+            ):
+                step["cost_ratio"] = round(
+                    float(rebalanced.metrics["makespan_after"]) / scratch_makespan, 4
+                )
+            if rebalance_feasible != scratch_feasible:
+                record["findings"].append(
+                    f"{name}#{index} step {position}: verdict divergence — "
+                    f"rebalance={rebalance_feasible} scratch={scratch_feasible} "
+                    f"({delta.kind})"
+                )
+            if rebalance_feasible and rebalanced.balanced_schedule is not None:
+                report = check_conformance(
+                    rebalanced.balanced_schedule,
+                    ConformanceOptions(hyper_periods=conformance_hyper_periods),
+                    label=f"{name}#{index}@{position}",
+                )
+                step["conforms"] = report.conforms
+                step["divergences"] = report.divergences
+                if not report.conforms:
+                    record["findings"].append(
+                        f"{name}#{index} step {position}: conformance divergence — "
+                        f"{report.divergences} finding(s) ({delta.kind})"
+                    )
+            record["steps"].append(step)
+            if not rebalance_feasible:
+                # The workload became genuinely unschedulable (both oracles
+                # agree, or a finding was just recorded): stop the chain.
+                break
+            current = rebalanced
+    except ReproError as error:
+        record["status"] = "error"
+        record["error"] = f"{type(error).__name__}: {error}"
+        record["findings"].append(f"{name}#{index}: execution error — {error}")
+    return record
+
+
+@dataclass(slots=True)
+class ChurnGridArtifact:
+    """One churn-grid replay (schema ``repro-churn/1``)."""
+
+    preset: str
+    created: str
+    balancer: str = "paper"
+    scenarios: list[str] = field(default_factory=list)
+    cells: list[dict[str, Any]] = field(default_factory=list)
+    findings: list[str] = field(default_factory=list)
+    environment: dict[str, Any] = field(default_factory=dict)
+    schema: str = CHURN_SCHEMA
+
+    @classmethod
+    def now(cls, preset: str, **kwargs: Any) -> "ChurnGridArtifact":
+        created = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+        return cls(preset=preset, created=created, **kwargs)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no cell produced a finding."""
+        return not self.findings
+
+    @property
+    def counts(self) -> dict[str, int]:
+        steps = sum(len(cell.get("steps") or []) for cell in self.cells)
+        return {
+            "cells": len(self.cells),
+            "steps": steps,
+            "findings": len(self.findings),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "preset": self.preset,
+            "created": self.created,
+            "balancer": self.balancer,
+            "scenarios": list(self.scenarios),
+            "counts": self.counts,
+            "cells": [dict(cell) for cell in self.cells],
+            "findings": list(self.findings),
+            "environment": dict(self.environment),
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChurnGridArtifact":
+        jsonio.check_artifact_schema(data, "repro-churn", 1, kind="churn-grid artifact")
+        return cls(
+            preset=str(data.get("preset", "")),
+            created=str(data.get("created", "")),
+            balancer=str(data.get("balancer", "paper")),
+            scenarios=list(data.get("scenarios") or []),
+            cells=[dict(entry) for entry in data.get("cells") or []],
+            findings=list(data.get("findings") or []),
+            environment=dict(data.get("environment") or {}),
+            schema=str(data.get("schema", CHURN_SCHEMA)),
+        )
+
+    def save(self, target: str | Path) -> Path:
+        """Write the artifact (atomically, as strict JSON).
+
+        A directory target receives the conventional ``CHURN_<timestamp>.json``
+        name; any other target is treated as the exact file path.
+        """
+        target = Path(target)
+        try:
+            if target.is_dir() or not target.suffix:
+                target.mkdir(parents=True, exist_ok=True)
+                stamp = self.created.replace("-", "").replace(":", "")
+                target = target / f"CHURN_{stamp}.json"
+            else:
+                target.parent.mkdir(parents=True, exist_ok=True)
+            jsonio.write_json_atomic(target, self.to_dict())
+        except OSError as error:
+            raise ConfigurationError(
+                f"Cannot write churn-grid artifact to {target}: {error}"
+            ) from None
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChurnGridArtifact":
+        """Read an artifact back from disk."""
+        return cls.from_dict(
+            jsonio.load_artifact(path, "repro-churn", 1, kind="churn-grid artifact")
+        )
+
+    def render(self) -> str:
+        """Per-cell summary plus findings (what the CLI prints)."""
+        counts = self.counts
+        lines = [
+            f"churn grid preset={self.preset} balancer={self.balancer}: "
+            f"{counts['cells']} cell(s), {counts['steps']} delta step(s), "
+            f"{counts['findings']} finding(s)"
+        ]
+        for cell in self.cells:
+            steps = cell.get("steps") or []
+            fallbacks = sum(1 for s in steps if s.get("fallback"))
+            ratios = [s["cost_ratio"] for s in steps if s.get("cost_ratio")]
+            ratio_note = (
+                f" cost-ratio avg {sum(ratios) / len(ratios):.3f}" if ratios else ""
+            )
+            lines.append(
+                f"  {cell['scenario']}#{cell['index']}: {cell['status']}, "
+                f"{len(steps)} step(s), {fallbacks} fallback(s){ratio_note}"
+            )
+        if self.findings:
+            lines.append("findings:")
+            lines.extend(f"  - {finding}" for finding in self.findings)
+        else:
+            lines.append("all rebalance steps match the from-scratch oracle and conform")
+        return "\n".join(lines)
+
+
+def run_churn_grid(
+    preset: str,
+    scenarios: tuple[str, ...] | None = None,
+    *,
+    balancer: str = "paper",
+    conformance_hyper_periods: int = 2,
+) -> ChurnGridArtifact:
+    """Replay the full churn grid of ``preset`` and collect the artifact."""
+    from repro.bench.artifact import environment_fingerprint
+
+    names = available_churn_scenarios() if scenarios is None else tuple(scenarios)
+    for name in names:
+        churn_scenario_info(name)  # validate before running anything
+    artifact = ChurnGridArtifact.now(
+        preset=preset,
+        balancer=balancer,
+        scenarios=list(names),
+        environment=environment_fingerprint(),
+    )
+    for spec, index in churn_grid_cells(preset, names):
+        cell = execute_churn_cell(
+            spec.name,
+            preset,
+            index,
+            balancer=balancer,
+            conformance_hyper_periods=conformance_hyper_periods,
+        )
+        artifact.cells.append(cell)
+        artifact.findings.extend(cell["findings"])
+    return artifact

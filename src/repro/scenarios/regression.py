@@ -136,13 +136,7 @@ def load_frozen(path: str | Path | None = None) -> tuple[FrozenScenario, ...]:
     path = REGISTRY_PATH if path is None else Path(path)
     if not path.exists():
         return ()
-    data = jsonio.load_json_path(path, kind="regression registry")
-    schema = data.get("schema", REGRESSION_SCHEMA)
-    if schema != REGRESSION_SCHEMA:
-        raise ConfigurationError(
-            f"Unsupported regression-registry schema {schema!r} in {path}; this "
-            f"build reads {REGRESSION_SCHEMA!r}"
-        )
+    data = jsonio.load_artifact(path, "repro-regression", 1, kind="regression registry")
     entries = [FrozenScenario.from_dict(entry) for entry in data.get("scenarios") or []]
     names = [entry.name for entry in entries]
     duplicates = sorted({name for name in names if names.count(name) > 1})

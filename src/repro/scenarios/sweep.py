@@ -401,12 +401,8 @@ class SweepArtifact:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepArtifact":
+        jsonio.check_artifact_schema(data, "repro-sweep", 1, kind="sweep artifact")
         schema = data.get("schema", SWEEP_SCHEMA)
-        if schema != SWEEP_SCHEMA:
-            raise ConfigurationError(
-                f"Unsupported sweep-artifact schema {schema!r}; this build reads "
-                f"{SWEEP_SCHEMA!r}"
-            )
         return cls(
             preset=str(data.get("preset", "")),
             created=str(data.get("created", "")),
@@ -442,7 +438,9 @@ class SweepArtifact:
     @classmethod
     def load(cls, path: str | Path) -> "SweepArtifact":
         """Read an artifact back from disk."""
-        return cls.from_dict(jsonio.load_json_path(path, kind="sweep artifact"))
+        return cls.from_dict(
+            jsonio.load_artifact(path, "repro-sweep", 1, kind="sweep artifact")
+        )
 
     def render(self) -> str:
         """Per-scenario summary table plus the findings (what the CLI prints)."""

@@ -98,12 +98,8 @@ class SearchArtifact:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SearchArtifact":
+        jsonio.check_artifact_schema(data, "repro-search", 1, kind="search artifact")
         schema = data.get("schema", SEARCH_SCHEMA)
-        if schema != SEARCH_SCHEMA:
-            raise ConfigurationError(
-                f"Unsupported search-artifact schema {schema!r}; this build reads "
-                f"{SEARCH_SCHEMA!r}"
-            )
         return cls(
             objective=str(data.get("objective", "")),
             budget=str(data.get("budget", "")),
@@ -145,7 +141,9 @@ class SearchArtifact:
     @classmethod
     def load(cls, path: str | Path) -> "SearchArtifact":
         """Read an artifact back from disk."""
-        return cls.from_dict(jsonio.load_json_path(path, kind="search artifact"))
+        return cls.from_dict(
+            jsonio.load_artifact(path, "repro-search", 1, kind="search artifact")
+        )
 
     def render(self) -> str:
         """Hunt summary plus one line per counterexample (what the CLI prints)."""

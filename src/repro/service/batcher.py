@@ -44,7 +44,16 @@ def execute_config_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
     and ``repro-lb campaign`` produce identical manifest dicts (``status``,
     ``run_result``, ``error``/``traceback``, ``seconds``) and a failed run
     returns a manifest instead of raising across the pool boundary.
+
+    A body carrying a ``delta`` key is a rebalance submission (see
+    :func:`~repro.service.protocol.parse_rebalance_payload`): the worker runs
+    the prior pipeline, repairs it incrementally, and the ``repro-run/2``
+    artifact rides the same manifest shape — ``"delta"`` can never clash with
+    a pipeline-config key, which ``PipelineConfig.from_dict`` rejects anyway.
     """
+    body = payload["config"]
+    if isinstance(body, Mapping) and "delta" in body:
+        return _execute_rebalance_payload(payload)
     from repro.experiments.campaign import CampaignRun, execute_run
 
     fingerprint = str(payload.get("fingerprint", ""))
@@ -52,9 +61,52 @@ def execute_config_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
         run_id=f"service-{fingerprint[:12] or 'adhoc'}",
         experiment="pipeline",
         preset="service",
-        pipeline=dict(payload["config"]),
+        pipeline=dict(body),
     )
     return execute_run(run)
+
+
+def _execute_rebalance_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Worker half of ``POST /v1/rebalance``: prior run + incremental repair.
+
+    Same never-raises manifest contract as the campaign worker; the
+    ``run_result`` is the ``repro-run/2`` artifact with delta provenance.
+    """
+    import time
+    import traceback
+
+    from repro.api import Pipeline, PipelineConfig
+    from repro.churn import timeline_from_payload
+
+    started = time.perf_counter()
+    fingerprint = str(payload.get("fingerprint", ""))
+    body = payload["config"]
+    manifest: dict[str, Any] = {
+        "run_id": f"service-rebalance-{fingerprint[:12] or 'adhoc'}",
+        "experiment": "rebalance",
+        "preset": "service",
+    }
+    try:
+        config = PipelineConfig.from_dict(body["config"])
+        timeline = timeline_from_payload(body["delta"])
+        pipeline = Pipeline(config)
+        prior = pipeline.run()
+        result = pipeline.rebalance(prior, timeline)
+        manifest.update(
+            status="ok",
+            title=f"{config.label or manifest['run_id']}+rebalance",
+            passed=result.feasible,
+            run_result=result.to_dict(),
+        )
+    except Exception as error:  # noqa: BLE001 - a failed run must not kill the pool
+        manifest.update(
+            status="failed",
+            error=f"{type(error).__name__}: {error}",
+            traceback=traceback.format_exc(),
+            passed=False,
+        )
+    manifest["seconds"] = time.perf_counter() - started
+    return manifest
 
 
 @dataclass(slots=True)

@@ -139,6 +139,27 @@ class ServiceClient:
         body = json.dumps({"config": config_dict, "wait": wait}).encode("utf-8")
         return self._request_json("POST", "/v1/submit", body)
 
+    def rebalance(
+        self,
+        config: PipelineConfig | Mapping[str, Any],
+        delta: Any,
+        *,
+        wait: bool = True,
+    ) -> dict[str, Any]:
+        """``POST /v1/rebalance`` — incremental rebalance of ``config`` + ``delta``.
+
+        ``delta`` is one serialised ``repro-delta/1`` delta (a dict with a
+        ``kind``) or a whole timeline dict; objects with a ``to_dict`` (the
+        typed deltas and :class:`~repro.churn.ChurnTimeline`) are serialised
+        automatically.  Semantics of ``wait`` match :meth:`submit`.
+        """
+        config_dict = config.to_dict() if isinstance(config, PipelineConfig) else dict(config)
+        delta_dict = delta.to_dict() if hasattr(delta, "to_dict") else dict(delta)
+        body = json.dumps(
+            {"config": config_dict, "delta": delta_dict, "wait": wait}
+        ).encode("utf-8")
+        return self._request_json("POST", "/v1/rebalance", body)
+
     def job(self, job_id: str) -> dict[str, Any]:
         """``GET /v1/jobs/<job_id>`` — one status poll."""
         return self._request_json("GET", f"/v1/jobs/{job_id}")

@@ -22,6 +22,7 @@ sorted-key strict-JSON form of :mod:`repro.jsonio`.  Two properties follow:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Mapping
 
 from repro import jsonio
@@ -35,7 +36,9 @@ __all__ = [
     "canonical_result_bytes",
     "deterministic_result_dict",
     "error_payload",
+    "parse_rebalance_payload",
     "parse_submit_payload",
+    "rebalance_fingerprint",
 ]
 
 #: Version tag stamped into every structured service response.
@@ -103,3 +106,48 @@ def parse_submit_payload(payload: Any) -> tuple[dict[str, Any], bool]:
             f"pipeline config must be a JSON object, got {type(config).__name__}"
         )
     return config, wait
+
+
+def parse_rebalance_payload(payload: Any) -> tuple[dict[str, Any], dict[str, Any], bool]:
+    """Extract ``(config_dict, delta_dict, wait)`` from a rebalance request body.
+
+    The body is always the envelope ``{"config": {...}, "delta": {...},
+    "wait": bool}`` — the prior pipeline config plus either a single
+    ``repro-delta/1`` delta (a dict with a ``kind``) or a whole serialised
+    timeline.  Anything else raises :class:`ServiceRequestError`.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceRequestError(
+            f"rebalance body must be a JSON object, got {type(payload).__name__}"
+        )
+    unknown = sorted(set(payload) - {"config", "delta", "wait"})
+    if unknown:
+        raise ServiceRequestError(f"unknown rebalance key(s) {unknown}")
+    missing = sorted({"config", "delta"} - set(payload))
+    if missing:
+        raise ServiceRequestError(f"rebalance body is missing required key(s) {missing}")
+    wait = payload.get("wait", True)
+    if not isinstance(wait, bool):
+        raise ServiceRequestError("rebalance key 'wait' must be a boolean")
+    config, delta = payload["config"], payload["delta"]
+    if not isinstance(config, dict):
+        raise ServiceRequestError(
+            f"pipeline config must be a JSON object, got {type(config).__name__}"
+        )
+    if not isinstance(delta, dict):
+        raise ServiceRequestError(
+            f"delta must be a JSON object, got {type(delta).__name__}"
+        )
+    return config, delta, wait
+
+
+def rebalance_fingerprint(config_fingerprint: str, delta_digest: str) -> str:
+    """The composite cache key of one ``(prior config, delta timeline)`` pair.
+
+    Keys the same :class:`~repro.service.cache.ResultCache` / single-flight
+    machinery the submit path uses, so repeated rebalances of one pair
+    coalesce and hit the cache exactly like repeated submits of one config.
+    """
+    return hashlib.sha256(
+        f"rebalance:{config_fingerprint}:{delta_digest}".encode("utf-8")
+    ).hexdigest()

@@ -11,6 +11,11 @@ no chunked encoding, no TLS).  Endpoints:
                                 ``{"config": {...}, "wait": bool}`` — ``wait`` true
                                 (default) blocks for the result, false returns 202
                                 with a job id to poll
+``POST /v1/rebalance``          incremental rebalance: ``{"config": {...},
+                                "delta": {...}, "wait": bool}`` — the prior
+                                pipeline config plus a ``repro-delta/1`` delta
+                                or timeline; results cache under the composite
+                                (prior fingerprint, delta digest) key
 ``GET /v1/jobs/<job_id>``       job status; embeds the result once done
 ``GET /v1/cache/<fingerprint>`` the stored canonical ``repro-run/1`` bytes,
                                 returned **verbatim** (byte-identity contract)
@@ -423,6 +428,9 @@ class BalancingService:
         if path == "/v1/submit":
             self._require_method(method, "POST")
             return await self._handle_submit(body)
+        if path == "/v1/rebalance":
+            self._require_method(method, "POST")
+            return await self._handle_rebalance(body)
         if path.startswith("/v1/jobs/"):
             self._require_method(method, "GET")
             return self._handle_job(path.removeprefix("/v1/jobs/"))
@@ -470,6 +478,66 @@ class BalancingService:
         job = self._new_job(fingerprint, config.label)
         task = asyncio.get_running_loop().create_task(
             self._execute(job, fingerprint, config_dict)
+        )
+        self._execute_tasks.add(task)
+        task.add_done_callback(self._execute_tasks.discard)
+        if not wait:
+            return 202, self._job_payload(job), None
+        await job.done_event.wait()
+        return (200 if job.state == "done" else 500), self._job_payload(job), None
+
+    async def _handle_rebalance(
+        self, body: bytes
+    ) -> tuple[int, dict[str, Any] | None, bytes | None]:
+        """``POST /v1/rebalance``: prior config + delta, keyed compositely.
+
+        Reuses the submit path's whole machinery — job store, micro-batcher,
+        single-flight coalescing and result cache — under the composite
+        ``(prior fingerprint, delta digest)`` key, so repeated rebalances of
+        one pair are byte-identical cache hits exactly like repeated submits
+        of one config.
+        """
+        from repro.churn import timeline_from_payload
+        from repro.service.protocol import parse_rebalance_payload, rebalance_fingerprint
+
+        if self._draining:
+            raise ServiceRequestError("service is draining; not accepting work", 503)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServiceRequestError(f"request body is not valid JSON: {error}") from None
+        config_dict, delta_dict, wait = parse_rebalance_payload(payload)
+        try:
+            config = PipelineConfig.from_dict(config_dict)
+        except ReproError as error:
+            raise ServiceRequestError(f"invalid pipeline config: {error}", 422) from None
+        if config.workload.kind == "provided":
+            raise ServiceRequestError(
+                'workload kind "provided" needs in-memory objects; the service only '
+                "accepts fully declarative configs",
+                422,
+            )
+        try:
+            timeline = timeline_from_payload(delta_dict)
+        except ReproError as error:
+            raise ServiceRequestError(f"invalid delta: {error}", 422) from None
+        self._submits += 1
+        fingerprint = rebalance_fingerprint(config.fingerprint(), timeline.digest())
+        cached = self._cache.get(fingerprint)
+        label = f"{config.label}+rebalance" if config.label else "rebalance"
+        if cached is not None:
+            job = self._new_job(fingerprint, label, cached=True)
+            job.state = "done"
+            job.result_bytes = cached
+            job.done_event.set()
+            return 200, self._job_payload(job), None
+        job = self._new_job(fingerprint, label)
+        task = asyncio.get_running_loop().create_task(
+            self._execute(
+                job,
+                fingerprint,
+                {"config": config_dict, "delta": timeline.to_dict()},
+            )
         )
         self._execute_tasks.add(task)
         task.add_done_callback(self._execute_tasks.discard)

@@ -440,8 +440,21 @@ class TestCliJsonFlags:
         for name in EXPECTED_BALANCERS:
             assert name in output
         assert "E1" in output and "E8" in output
-        assert "tiny, quick, full" in output
+        for preset in ("tiny", "quick", "full"):
+            assert preset in output
         assert "lexicographic" in output
+        assert "churn scenarios" in output
+
+    def test_list_command_json_catalog(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert "balancers" in catalog
+        assert {"paper"} <= {entry["name"] for entry in catalog["balancers"]}
+        # Every section is the same shape: a list of {name, summary} rows.
+        for section, entries in catalog.items():
+            assert isinstance(section, str) and entries
+            for entry in entries:
+                assert set(entry) == {"name", "summary"}
 
 
 # ----------------------------------------------------------------------

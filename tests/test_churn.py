@@ -1,0 +1,486 @@
+"""Churn subsystem: typed deltas, ``Pipeline.rebalance`` and the churn grid.
+
+Four layers under test:
+
+* the delta value objects and :class:`ChurnTimeline` (round-trips, canonical
+  digests, apply semantics, strict-key rejection);
+* :meth:`Pipeline.rebalance` and the ``repro-run/2`` envelope (delta
+  provenance, empty-delta identity, v1 compatibility);
+* property-based agreement between incremental repair and the from-scratch
+  oracle on random workloads and delta sequences;
+* the churn scenario registry and :class:`ChurnGridArtifact`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    RUN_SCHEMA,
+    RUN_SCHEMA_V2,
+    AddTask,
+    ChurnTimeline,
+    Pipeline,
+    PipelineConfig,
+    ProcessorLoss,
+    RemoveTask,
+    ReportStage,
+    RunResult,
+    VerifyStage,
+    WcetDrift,
+    WorkloadStage,
+    delta_from_dict,
+    rebalance_run,
+    timeline_from_payload,
+)
+from repro.churn.deltas import DELTA_SCHEMA
+from repro.errors import ConfigurationError, InfeasibleError, ReproError
+from repro.model import Architecture, CommunicationModel, TaskGraph
+from repro.scenarios import (
+    CHURN_SCHEMA,
+    ChurnGridArtifact,
+    available_churn_scenarios,
+    churn_grid_cells,
+    churn_scenario_info,
+    execute_churn_cell,
+    run_churn_grid,
+)
+from repro.scenarios.registry import scenario_scale
+from repro.scheduling import check_schedule
+from repro.workloads.generator import generate_workload
+
+
+def small_graph() -> TaskGraph:
+    """Three harmonic tasks (periods 4/4/8) with one dependence edge."""
+    graph = TaskGraph(name="churn-fixture")
+    graph.create_task("a", period=4, wcet=1.0, memory=2.0)
+    graph.create_task("b", period=4, wcet=0.5, memory=1.0)
+    graph.create_task("c", period=8, wcet=1.0, memory=4.0)
+    graph.connect("a", "c")
+    return graph
+
+
+def small_architecture(processors: int = 2) -> Architecture:
+    return Architecture.homogeneous(processors, comm=CommunicationModel(latency=0.5))
+
+
+def provided_config(label: str = "churn-test") -> PipelineConfig:
+    """Provided-kind config with conformance-free verification (fast)."""
+    return PipelineConfig(
+        workload=WorkloadStage(kind="provided"),
+        verify=VerifyStage(enabled=True, check_memory=False),
+        report=ReportStage(enabled=False),
+        label=label,
+    )
+
+
+# ----------------------------------------------------------------------
+# Delta round-trips and strictness
+# ----------------------------------------------------------------------
+ALL_DELTAS = (
+    AddTask(name="n", period=4, wcet=0.5, memory=1.0, predecessors=("a",)),
+    RemoveTask(name="b"),
+    WcetDrift(name="a", wcet=1.5),
+    ProcessorLoss(processor="P2"),
+)
+
+
+class TestDeltaSerialisation:
+    @pytest.mark.parametrize("delta", ALL_DELTAS, ids=lambda d: d.kind)
+    def test_round_trip_preserves_equality(self, delta):
+        rebuilt = delta_from_dict(delta.to_dict())
+        assert rebuilt == delta
+        assert rebuilt.to_dict() == delta.to_dict()
+
+    @pytest.mark.parametrize("delta", ALL_DELTAS, ids=lambda d: d.kind)
+    def test_unknown_key_is_rejected(self, delta):
+        data = delta.to_dict()
+        data["surprise"] = 1
+        with pytest.raises(ConfigurationError, match="surprise"):
+            delta_from_dict(data)
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            delta_from_dict({"kind": "teleport_task", "name": "a"})
+
+    def test_non_mapping_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            delta_from_dict(["kind", "add_task"])
+
+
+class TestDeltaApply:
+    def test_add_task_extends_a_copy(self):
+        graph, architecture = small_graph(), small_architecture()
+        new_graph, new_arch = AddTask(
+            name="d", period=8, wcet=0.25, predecessors=("a",)
+        ).apply(graph, architecture)
+        assert "d" in new_graph and "d" not in graph
+        assert any(dep.key == ("a", "d") for dep in new_graph.dependences)
+        assert new_arch is architecture
+
+    def test_add_duplicate_name_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="already exists"):
+            AddTask(name="a", period=4, wcet=0.5).apply(
+                small_graph(), small_architecture()
+            )
+
+    def test_remove_task_drops_incident_dependences(self):
+        new_graph, _ = RemoveTask(name="a").apply(small_graph(), small_architecture())
+        assert "a" not in new_graph
+        assert all("a" not in dep.key for dep in new_graph.dependences)
+        assert len(new_graph) == 2
+
+    def test_remove_unknown_task_is_rejected(self):
+        with pytest.raises(ReproError):
+            RemoveTask(name="ghost").apply(small_graph(), small_architecture())
+
+    def test_remove_last_task_is_rejected(self):
+        solo = TaskGraph(name="solo")
+        solo.create_task("only", period=4, wcet=1.0)
+        with pytest.raises(ConfigurationError, match="last task"):
+            RemoveTask(name="only").apply(solo, small_architecture())
+
+    def test_wcet_drift_changes_only_the_target(self):
+        new_graph, _ = WcetDrift(name="a", wcet=2.0).apply(
+            small_graph(), small_architecture()
+        )
+        assert new_graph.task("a").wcet == 2.0
+        assert new_graph.task("b").wcet == 0.5
+
+    def test_processor_loss_shrinks_the_architecture(self):
+        architecture = small_architecture(3)
+        lost = architecture.processor_names[0]
+        _, new_arch = ProcessorLoss(processor=lost).apply(small_graph(), architecture)
+        assert lost not in new_arch.processor_names
+        assert len(new_arch.processor_names) == 2
+
+    def test_losing_the_last_processor_is_rejected(self):
+        architecture = small_architecture(1)
+        with pytest.raises(ConfigurationError, match="last processor"):
+            ProcessorLoss(processor=architecture.processor_names[0]).apply(
+                small_graph(), architecture
+            )
+
+
+class TestChurnTimeline:
+    def test_round_trip_and_schema(self):
+        timeline = ChurnTimeline.of(*ALL_DELTAS)
+        data = timeline.to_dict()
+        assert data["schema"] == DELTA_SCHEMA
+        assert ChurnTimeline.from_dict(data) == timeline
+
+    def test_digest_is_sha256_of_canonical_bytes(self):
+        timeline = ChurnTimeline.of(WcetDrift(name="a", wcet=1.5))
+        assert timeline.digest() == hashlib.sha256(timeline.canonical_bytes()).hexdigest()
+        assert timeline.digest() == ChurnTimeline.of(WcetDrift(name="a", wcet=1.5)).digest()
+        assert timeline.digest() != ChurnTimeline.of(WcetDrift(name="a", wcet=1.6)).digest()
+
+    def test_unknown_key_is_rejected(self):
+        data = ChurnTimeline().to_dict()
+        data["extra"] = []
+        with pytest.raises(ConfigurationError, match="extra"):
+            ChurnTimeline.from_dict(data)
+
+    def test_newer_schema_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema"):
+            ChurnTimeline.from_dict({"schema": "repro-delta/2", "deltas": []})
+
+    def test_apply_folds_in_order(self):
+        timeline = ChurnTimeline.of(
+            AddTask(name="d", period=4, wcet=0.25),
+            WcetDrift(name="d", wcet=0.75),  # drifts the task added one step before
+        )
+        new_graph, _ = timeline.apply(small_graph(), small_architecture())
+        assert new_graph.task("d").wcet == 0.75
+
+    def test_payload_accepts_single_delta_and_timeline_forms(self):
+        single = timeline_from_payload({"kind": "remove_task", "name": "b"})
+        assert single == ChurnTimeline.of(RemoveTask(name="b"))
+        whole = timeline_from_payload(ChurnTimeline.of(RemoveTask(name="b")).to_dict())
+        assert whole == single
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            timeline_from_payload([1, 2, 3])
+
+
+# ----------------------------------------------------------------------
+# Pipeline.rebalance and the repro-run/2 envelope
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def paper_prior() -> RunResult:
+    return Pipeline(PipelineConfig.paper_example()).run()
+
+
+class TestRebalance:
+    def test_empty_timeline_is_identity(self, paper_prior):
+        result = Pipeline(PipelineConfig.paper_example()).rebalance(
+            paper_prior, ChurnTimeline()
+        )
+        assert result.schema == RUN_SCHEMA_V2
+        assert result.feasible
+        assert result.balanced_schedule.makespan == pytest.approx(
+            paper_prior.balanced_schedule.makespan
+        )
+        stats = result.rebalance["stats"]
+        assert stats["displaced"] == 0
+
+    def test_add_task_carries_delta_provenance(self, paper_prior):
+        period = int(paper_prior.balanced_schedule.graph.distinct_periods()[0])
+        timeline = ChurnTimeline.of(
+            AddTask(name="newcomer", period=period, wcet=0.25)
+        )
+        result = Pipeline(PipelineConfig.paper_example()).rebalance(paper_prior, timeline)
+        assert result.schema == RUN_SCHEMA_V2
+        assert result.feasible
+        assert "newcomer" in result.balanced_schedule.graph
+        provenance = result.rebalance
+        assert set(provenance) == {
+            "prior_fingerprint",
+            "prior_label",
+            "delta_digest",
+            "delta",
+            "stats",
+        }
+        assert provenance["delta_digest"] == timeline.digest()
+        assert provenance["delta"] == timeline.to_dict()
+        assert provenance["prior_fingerprint"] == PipelineConfig.paper_example().fingerprint()
+        report = check_schedule(result.balanced_schedule, check_memory=False)
+        assert report.is_feasible, report.summary()
+
+    def test_single_delta_is_coerced_to_a_timeline(self, paper_prior):
+        task = paper_prior.balanced_schedule.graph.task_names[0]
+        result = rebalance_run(paper_prior, RemoveTask(name=task))
+        assert result.schema == RUN_SCHEMA_V2
+        assert result.rebalance["delta"]["deltas"][0]["kind"] == "remove_task"
+
+    def test_v2_round_trip_preserves_provenance(self, paper_prior):
+        result = rebalance_run(
+            paper_prior, WcetDrift(name=paper_prior.balanced_schedule.graph.task_names[0], wcet=0.5)
+        )
+        rebuilt = RunResult.from_dict(result.to_dict())
+        assert rebuilt.schema == RUN_SCHEMA_V2
+        assert rebuilt.rebalance == result.rebalance
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_v1_envelope_still_parses(self, paper_prior):
+        data = paper_prior.to_dict()
+        assert data["schema"] == RUN_SCHEMA
+        rebuilt = RunResult.from_dict(data)
+        assert rebuilt.schema == RUN_SCHEMA
+        assert rebuilt.rebalance is None
+
+    def test_future_run_schema_is_rejected(self, paper_prior):
+        data = paper_prior.to_dict()
+        data["schema"] = "repro-run/3"
+        with pytest.raises(ConfigurationError, match="schema"):
+            RunResult.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Property suite: incremental repair agrees with the from-scratch oracle
+# ----------------------------------------------------------------------
+@st.composite
+def small_applications(draw) -> TaskGraph:
+    """Random small multi-rate chains with harmonic periods (cf. test_properties)."""
+    base = draw(st.sampled_from([2, 4]))
+    levels = [base, base * 2, base * 4]
+    task_count = draw(st.integers(min_value=2, max_value=6))
+    graph = TaskGraph(name="hypothesis-churn")
+    names: list[str] = []
+    for index in range(task_count):
+        period = levels[min(index * len(levels) // task_count, len(levels) - 1)]
+        wcet = draw(
+            st.floats(min_value=0.1, max_value=period / 2, allow_nan=False, allow_infinity=False)
+        )
+        name = f"t{index}"
+        graph.create_task(name, period=period, wcet=round(wcet, 2), memory=1.0)
+        names.append(name)
+    for index in range(1, task_count):
+        producer = names[draw(st.integers(min_value=0, max_value=index - 1))]
+        graph.connect(producer, names[index])
+    return graph
+
+
+@st.composite
+def delta_timelines(draw, graph: TaskGraph) -> ChurnTimeline:
+    """1-3 random deltas valid against ``graph`` (applied sequentially)."""
+    deltas = []
+    names = list(graph.task_names)
+    count = draw(st.integers(min_value=1, max_value=3))
+    fresh = 0
+    for _ in range(count):
+        kind = draw(st.sampled_from(["add", "remove", "drift"]))
+        if kind == "remove" and len(names) > 1:
+            victim = names.pop(draw(st.integers(0, len(names) - 1)))
+            deltas.append(RemoveTask(name=victim))
+        elif kind == "drift":
+            target = draw(st.sampled_from(names))
+            period = graph.task(target).period if target in graph else 4
+            wcet = draw(st.floats(min_value=0.1, max_value=period / 2, allow_nan=False))
+            deltas.append(WcetDrift(name=target, wcet=round(wcet, 2)))
+        else:
+            period = int(draw(st.sampled_from(graph.distinct_periods())))
+            wcet = draw(st.floats(min_value=0.1, max_value=period / 4, allow_nan=False))
+            name = f"fresh{fresh}"
+            fresh += 1
+            deltas.append(AddTask(name=name, period=period, wcet=round(wcet, 2)))
+            names.append(name)
+    return ChurnTimeline.of(*deltas)
+
+
+_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+def _prior_or_none(graph: TaskGraph, architecture: Architecture) -> RunResult | None:
+    pipeline = Pipeline(provided_config(), graph=graph, architecture=architecture)
+    try:
+        prior = pipeline.run()
+    except InfeasibleError:
+        return None
+    return prior if prior.feasible else None
+
+
+def _scratch_feasible(graph: TaskGraph, architecture: Architecture) -> bool:
+    try:
+        result = Pipeline(
+            provided_config("scratch-oracle"), graph=graph, architecture=architecture
+        ).run()
+    except (InfeasibleError, ConfigurationError):
+        return False
+    return bool(result.feasible)
+
+
+@given(data=st.data(), graph=small_applications(), processors=st.integers(2, 3))
+@_settings
+def test_rebalance_agrees_with_scratch_oracle(data, graph, processors) -> None:
+    """The incremental verdict always matches a from-scratch pipeline's."""
+    architecture = small_architecture(processors)
+    prior = _prior_or_none(graph, architecture)
+    if prior is None:
+        return  # an unschedulable draw is not a failure of the library
+    timeline = data.draw(delta_timelines(graph))
+    try:
+        post_graph, post_arch = timeline.apply(
+            prior.balanced_schedule.graph, prior.balanced_schedule.architecture
+        )
+    except ReproError:
+        return  # invalid delta draw (e.g. drift target already removed)
+
+    rebalanced = Pipeline(
+        provided_config(), graph=graph, architecture=architecture
+    ).rebalance(prior, timeline)
+    assert rebalanced.schema == RUN_SCHEMA_V2
+    assert bool(rebalanced.feasible) == _scratch_feasible(post_graph, post_arch)
+    if rebalanced.feasible:
+        report = check_schedule(rebalanced.balanced_schedule, check_memory=False)
+        assert report.is_feasible, report.summary()
+        assert len(rebalanced.balanced_schedule) == post_graph.total_instances()
+
+
+@given(graph=small_applications(), processors=st.integers(2, 3), victim=st.integers(0, 5))
+@_settings
+def test_remove_only_deltas_never_hurt(graph, processors, victim) -> None:
+    """Removing load keeps feasibility and never increases the makespan."""
+    if len(graph) < 2:
+        return
+    architecture = small_architecture(processors)
+    prior = _prior_or_none(graph, architecture)
+    if prior is None:
+        return
+    name = graph.task_names[victim % len(graph)]
+    result = rebalance_run(prior, RemoveTask(name=name))
+    assert result.feasible
+    assert (
+        result.balanced_schedule.makespan
+        <= prior.balanced_schedule.makespan + 1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# Churn scenario registry and the grid artifact
+# ----------------------------------------------------------------------
+EXPECTED_FAMILIES = {
+    "arrival_burst",
+    "departure_wave",
+    "mixed_churn",
+    "processor_loss",
+    "wcet_drift",
+}
+
+
+class TestChurnScenarios:
+    def test_builtin_families_are_registered(self):
+        assert EXPECTED_FAMILIES <= set(available_churn_scenarios())
+        assert list(available_churn_scenarios()) == sorted(available_churn_scenarios())
+
+    def test_unknown_scenario_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="Unknown churn scenario"):
+            churn_scenario_info("rapture")
+
+    def test_workload_spec_is_deterministic_per_cell(self):
+        spec = churn_scenario_info("arrival_burst")
+        assert spec.workload_spec("tiny", 0) == spec.workload_spec("tiny", 0)
+        assert spec.workload_spec("tiny", 0).seed != spec.workload_spec("tiny", 1).seed
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            spec.workload_spec("tiny", -1)
+
+    def test_timeline_is_deterministic_per_cell(self):
+        spec = churn_scenario_info("wcet_drift")
+        workload = generate_workload(spec.workload_spec("tiny", 0))
+        first = spec.build_timeline(
+            workload.graph, workload.architecture, "tiny", 0
+        )
+        second = spec.build_timeline(
+            workload.graph, workload.architecture, "tiny", 0
+        )
+        assert first.digest() == second.digest()
+        assert len(first) > 0
+
+    def test_grid_cells_cover_every_family_and_seed(self):
+        cells = list(churn_grid_cells("tiny"))
+        scale = scenario_scale("tiny")
+        assert len(cells) == len(available_churn_scenarios()) * scale.seeds
+        assert {spec.name for spec, _ in cells} == set(available_churn_scenarios())
+
+    def test_execute_cell_smoke(self):
+        record = execute_churn_cell("departure_wave", "tiny", 0)
+        assert record["scenario"] == "departure_wave"
+        assert record["status"] in ("ok", "prior_infeasible")
+        assert record["findings"] == []
+        if record["status"] == "ok":
+            assert record["steps"]
+            for step in record["steps"]:
+                assert step["rebalance_feasible"] == step["scratch_feasible"]
+
+
+class TestChurnGridArtifact:
+    @pytest.fixture(scope="class")
+    def artifact(self) -> ChurnGridArtifact:
+        return run_churn_grid("tiny", ("processor_loss",))
+
+    def test_grid_run_is_clean(self, artifact):
+        assert artifact.ok, artifact.findings
+        assert artifact.schema == CHURN_SCHEMA
+        assert artifact.counts["cells"] == scenario_scale("tiny").seeds
+        assert "from-scratch oracle" in artifact.render()
+
+    def test_round_trip_and_save_load(self, artifact, tmp_path):
+        rebuilt = ChurnGridArtifact.from_dict(artifact.to_dict())
+        assert rebuilt.to_dict() == artifact.to_dict()
+        path = artifact.save(tmp_path / "grid.json")
+        assert ChurnGridArtifact.load(path).to_dict() == artifact.to_dict()
+        stamped = artifact.save(tmp_path)
+        assert stamped.name.startswith("CHURN_") and stamped.suffix == ".json"
+
+    def test_newer_schema_is_rejected(self, artifact):
+        data = artifact.to_dict()
+        data["schema"] = "repro-churn/9"
+        with pytest.raises(ConfigurationError, match="schema"):
+            ChurnGridArtifact.from_dict(data)

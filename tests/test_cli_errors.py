@@ -101,6 +101,59 @@ class TestBenchCompareErrors:
         assert str(bad) in captured.err
 
 
+class TestRebalanceErrors:
+    def test_grid_and_config_are_mutually_exclusive(self, tmp_path, capsys):
+        config = tmp_path / "c.json"
+        config.write_text("{}")
+        code, captured = _invoke(
+            capsys, "rebalance", "--grid", "--config", str(config)
+        )
+        assert code == 2
+        assert "mutually exclusive" in captured.err
+
+    def test_single_mode_needs_config_and_delta(self, tmp_path, capsys):
+        config = tmp_path / "c.json"
+        config.write_text("{}")
+        code, captured = _invoke(capsys, "rebalance", "--config", str(config))
+        assert code == 2
+        assert "--delta" in captured.err
+
+    def test_missing_delta_file_names_the_path(self, tmp_path, capsys):
+        config = tmp_path / "c.json"
+        config.write_text(
+            json.dumps(
+                {"schema": "repro-pipeline/1", "workload": {"kind": "paper_example"}}
+            )
+        )
+        missing = tmp_path / "delta.json"
+        code, captured = _invoke(
+            capsys, "rebalance", "--config", str(config), "--delta", str(missing)
+        )
+        assert code == 2
+        assert str(missing) in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_bad_delta_kind_exits_cleanly(self, tmp_path, capsys):
+        config = tmp_path / "c.json"
+        config.write_text(
+            json.dumps(
+                {"schema": "repro-pipeline/1", "workload": {"kind": "paper_example"}}
+            )
+        )
+        delta = tmp_path / "delta.json"
+        delta.write_text(json.dumps({"kind": "mystery"}))
+        code, captured = _invoke(
+            capsys, "rebalance", "--config", str(config), "--delta", str(delta)
+        )
+        assert code == 2
+        assert "Unknown delta kind" in captured.err
+
+    def test_unknown_churn_scenario_is_an_argparse_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["rebalance", "--grid", "--scenarios", "rapture"])
+        assert excinfo.value.code == 2
+
+
 class TestHuntErrors:
     def test_unknown_objective_is_an_argparse_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -8,7 +8,7 @@ import socket
 
 import pytest
 
-from repro.api import Pipeline, PipelineConfig
+from repro.api import ChurnTimeline, Pipeline, PipelineConfig, WcetDrift
 from repro.errors import ConfigurationError
 from repro.experiments.campaign import plan_pipeline_campaign
 from repro.service import (
@@ -20,7 +20,12 @@ from repro.service import (
     deterministic_result_dict,
     wait_until_ready,
 )
-from repro.service.protocol import ServiceRequestError, parse_submit_payload
+from repro.service.protocol import (
+    ServiceRequestError,
+    parse_rebalance_payload,
+    parse_submit_payload,
+    rebalance_fingerprint,
+)
 
 
 def config_with_label(label: str) -> PipelineConfig:
@@ -133,6 +138,42 @@ class TestParseSubmitPayload:
         assert excinfo.value.status == 400
 
 
+class TestParseRebalancePayload:
+    def test_envelope_form(self):
+        config, delta, wait = parse_rebalance_payload(
+            {"config": {"x": 1}, "delta": {"kind": "remove_task"}, "wait": False}
+        )
+        assert config == {"x": 1}
+        assert delta == {"kind": "remove_task"}
+        assert wait is False
+
+    def test_wait_defaults_to_true(self):
+        _, _, wait = parse_rebalance_payload({"config": {}, "delta": {}})
+        assert wait is True
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ("nope", "must be a JSON object"),
+            ({"config": {}, "delta": {}, "bogus": 1}, "unknown rebalance key"),
+            ({"config": {}}, "missing required key"),
+            ({"delta": {}}, "missing required key"),
+            ({"config": {}, "delta": {}, "wait": 1}, "must be a boolean"),
+            ({"config": 5, "delta": {}}, "pipeline config must be a JSON object"),
+            ({"config": {}, "delta": [1]}, "delta must be a JSON object"),
+        ],
+    )
+    def test_malformed_payloads_raise_400(self, payload, match):
+        with pytest.raises(ServiceRequestError, match=match) as excinfo:
+            parse_rebalance_payload(payload)
+        assert excinfo.value.status == 400
+
+    def test_composite_fingerprint_is_order_sensitive_sha256(self):
+        fp = rebalance_fingerprint("cf", "dd")
+        assert fp == hashlib.sha256(b"rebalance:cf:dd").hexdigest()
+        assert fp != rebalance_fingerprint("dd", "cf")
+
+
 # ----------------------------------------------------------------------
 # End-to-end over a real socket (satellite d)
 # ----------------------------------------------------------------------
@@ -210,6 +251,51 @@ class TestServiceEndToEnd:
         status, _ = client.request("GET", "/v1/nope")
         assert status == 404
         # The server survived all of it.
+        assert client.health()["status"] == "ok"
+
+    def test_rebalance_endpoint_runs_and_caches(self, client):
+        config = config_with_label("e2e-rebalance")
+        timeline = ChurnTimeline.of(WcetDrift(name="a", wcet=0.5))
+
+        first = client.rebalance(config, timeline)
+        assert first["status"] == "done"
+        assert first["cached"] is False
+        expected = rebalance_fingerprint(config.fingerprint(), timeline.digest())
+        assert first["fingerprint"] == expected
+        result = first["result"]
+        assert result["schema"] == "repro-run/2"
+        assert result["rebalance"]["delta_digest"] == timeline.digest()
+        assert result["rebalance"]["delta"] == timeline.to_dict()
+
+        # Same (config fingerprint, delta digest) pair -> composite cache hit.
+        second = client.rebalance(config, timeline)
+        assert second["cached"] is True
+        assert second["fingerprint"] == expected
+        assert second["result"] == result
+
+        # A single bare delta (dict with a "kind") is accepted as well.
+        single = client.rebalance(config, WcetDrift(name="a", wcet=0.5))
+        assert single["status"] == "done"
+        assert single["fingerprint"] == expected  # same one-entry timeline
+
+    def test_rebalance_rejects_bad_payloads(self, client):
+        config = config_with_label("e2e-rebalance-bad")
+
+        # Unknown delta kind is a 422 (valid envelope, invalid delta).
+        body = json.dumps(
+            {"config": config.to_dict(), "delta": {"kind": "mystery"}, "wait": True}
+        ).encode()
+        status, payload = client.request("POST", "/v1/rebalance", body)
+        assert status == 422
+        assert "delta" in json.loads(payload)["error"]
+
+        # Missing delta key is a 400 (malformed envelope).
+        body = json.dumps({"config": config.to_dict(), "wait": True}).encode()
+        status, _ = client.request("POST", "/v1/rebalance", body)
+        assert status == 400
+
+        status, _ = client.request("GET", "/v1/rebalance")
+        assert status == 405
         assert client.health()["status"] == "ok"
 
     def test_malformed_request_line_gets_400_not_a_crash(self, client, service_handle):
