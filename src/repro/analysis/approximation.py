@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.baselines.branch_and_bound import optimal_min_max_partition
 from repro.baselines.memory_balancer import greedy_min_memory
+from repro.epsilon import EPSILON
 from repro.errors import AnalysisError
 
 __all__ = [
@@ -31,7 +32,7 @@ __all__ = [
     "theorem2_bound",
 ]
 
-_EPS = 1e-9
+_EPS = EPSILON
 
 
 def theorem2_bound(processor_count: int) -> float:

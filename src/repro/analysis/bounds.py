@@ -22,10 +22,11 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.core.result import LoadBalanceResult
+from repro.epsilon import EPSILON
 
 __all__ = ["Theorem1Check", "check_theorem1", "Theorem1Campaign", "theorem1_campaign"]
 
-_EPS = 1e-9
+_EPS = EPSILON
 
 
 @dataclass(frozen=True, slots=True)

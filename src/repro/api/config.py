@@ -28,6 +28,7 @@ from typing import Any, Mapping
 
 from repro import jsonio
 from repro.errors import ConfigurationError, WorkloadError
+from repro.schemas import PIPELINE_SCHEMA
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
@@ -39,9 +40,6 @@ __all__ = [
     "ReportStage",
     "PipelineConfig",
 ]
-
-#: Version tag stamped into every serialised config.
-PIPELINE_SCHEMA = "repro-pipeline/1"
 
 #: Recognised workload kinds.
 _WORKLOAD_KINDS = ("spec", "paper_example", "provided")

@@ -38,6 +38,7 @@ from repro.model.graph import TaskGraph
 from repro.scheduling.feasibility import check_schedule
 from repro.scheduling.heuristic import PlacementPolicy, SchedulerOptions, schedule_application
 from repro.scheduling.schedule import Schedule
+from repro.schemas import RUN_SCHEMA, RUN_SCHEMA_V2
 from repro.timing import StageTimer
 from repro.workloads.generator import generate_workload
 from repro.workloads.paper_example import paper_initial_schedule
@@ -46,11 +47,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.churn.deltas import ChurnTimeline, Delta
 
 __all__ = ["RUN_SCHEMA", "RUN_SCHEMA_V2", "RunResult", "Pipeline", "run_pipeline", "rebalance_run"]
-
-#: Version tag stamped into every serialised from-scratch run result.
-RUN_SCHEMA = "repro-run/1"
-#: Version tag of rebalance results (adds the ``rebalance`` provenance block).
-RUN_SCHEMA_V2 = "repro-run/2"
 
 
 @dataclass(slots=True)

@@ -12,7 +12,6 @@ conventional ``BENCH_<timestamp>.json`` file the CI perf gate uploads and
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import sys
@@ -24,11 +23,9 @@ from typing import Any, Mapping
 from repro import jsonio
 from repro._version import __version__
 from repro.errors import ConfigurationError
+from repro.schemas import BENCH_SCHEMA
 
 __all__ = ["BENCH_SCHEMA", "BenchmarkRecord", "BenchArtifact", "environment_fingerprint"]
-
-#: Version tag stamped into every serialised bench artifact.
-BENCH_SCHEMA = "repro-bench/1"
 
 
 def environment_fingerprint() -> dict[str, Any]:

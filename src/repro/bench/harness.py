@@ -69,13 +69,13 @@ def run_benchmarks(
     specs = [benchmark_info(name) for name in selected]
 
     records: list[BenchmarkRecord] = []
-    for name, spec in zip(selected, specs):
+    for name, spec in zip(selected, specs, strict=True):
         for _ in range(warmup):
             spec.run(experiment_preset)
         wall_times: list[float] = []
         result = None
         for _ in range(repeats):
-            elapsed, result = measure(lambda: spec.run(experiment_preset))
+            elapsed, result = measure(lambda spec=spec: spec.run(experiment_preset))
             wall_times.append(elapsed)
         records.append(
             BenchmarkRecord(

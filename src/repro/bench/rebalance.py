@@ -19,19 +19,23 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Any
 
 from repro.api import Pipeline, PipelineConfig, RunResult
 from repro.api.config import ReportStage, VerifyStage, WorkloadStage
 from repro.bench.artifact import BenchArtifact, BenchmarkRecord
 from repro.churn.deltas import AddTask
 from repro.errors import ConfigurationError, InfeasibleError
+from repro.workloads.seeding import derive_seed
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["REBALANCE_BENCH_NAME", "run_rebalance_bench"]
 
 #: Record name of the rebalance tier inside its ``repro-bench/1`` artifact.
 REBALANCE_BENCH_NAME = "RBL"
+
+#: Seed stream claimed by the bench's arrival-delta generator (see
+#: :func:`repro.workloads.seeding.derive_seed`).
+REBALANCE_SEED_STREAM = 0x5242414C  # "RBAL"
 
 #: The acceptance floor: incremental repair must be at least this much
 #: faster than the from-scratch pipeline for single-task deltas.
@@ -43,7 +47,7 @@ def _arrival_deltas(
 ) -> list[AddTask]:
     """``count`` independent single-task arrivals against the prior workload."""
     graph = prior.balanced_schedule.graph
-    rng = random.Random(seed)
+    rng = random.Random(derive_seed(seed, 0, stream=REBALANCE_SEED_STREAM))
     periods = graph.distinct_periods()
     deltas = []
     for index in range(count):

@@ -20,6 +20,7 @@ cache on.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Any, ClassVar, Mapping
 
@@ -27,6 +28,7 @@ from repro import jsonio
 from repro.errors import ConfigurationError
 from repro.model.architecture import Architecture, Medium
 from repro.model.graph import TaskGraph
+from repro.schemas import DELTA_SCHEMA
 
 __all__ = [
     "DELTA_SCHEMA",
@@ -37,9 +39,6 @@ __all__ = [
     "ChurnTimeline",
     "delta_from_dict",
 ]
-
-#: Version tag of a serialised churn timeline.
-DELTA_SCHEMA = "repro-delta/1"
 
 
 def _require_keys(data: Mapping[str, Any], allowed: tuple[str, ...], kind: str) -> None:
@@ -197,15 +196,15 @@ class ProcessorLoss:
         )
 
 
+Delta = AddTask | RemoveTask | WcetDrift | ProcessorLoss
+
 #: Registered delta kinds, keyed by their ``kind`` tag.
-_DELTA_TYPES: dict[str, type] = {
+_DELTA_TYPES: dict[str, type[Delta]] = {
     AddTask.kind: AddTask,
     RemoveTask.kind: RemoveTask,
     WcetDrift.kind: WcetDrift,
     ProcessorLoss.kind: ProcessorLoss,
 }
-
-Delta = AddTask | RemoveTask | WcetDrift | ProcessorLoss
 
 
 def delta_from_dict(data: Mapping[str, Any]) -> Delta:
@@ -243,7 +242,7 @@ class ChurnTimeline:
     def __len__(self) -> int:
         return len(self.deltas)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Delta]:
         return iter(self.deltas)
 
     @classmethod

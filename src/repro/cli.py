@@ -59,11 +59,19 @@ prints the :class:`~repro.api.RunResult` report (or its JSON form):
     into the frozen ``regression/*`` scenario registry the sweep and
     conformance gates replay.
 
+``repro-lb lint PATH [PATH ...] [--rules a,b] [--output DIR] [--json]``
+    The invariant linter: run the registered AST rules (strict JSON via
+    jsonio, atomic writes, canonical EPSILON, seeded randomness, central
+    schema table, never-raises manifest shells, no wall-clock timing,
+    registry completeness) over Python sources and emit a ``repro-lint/1``
+    findings artifact (non-zero exit on any finding — the CI invariant
+    gate; the repo itself must stay clean).
+
 ``repro-lb list [--json]``
     Print every user-facing registry — balancers, cost/placement policies,
     scenario and churn families, hunt objectives, experiments, campaign and
-    bench presets, benchmarks — through one uniform catalog (``--json``
-    emits it machine-readable).
+    bench presets, benchmarks, lint rules, artifact schemas — through one
+    uniform catalog (``--json`` emits it machine-readable).
 
 ``example``, ``random``, ``run`` and ``experiment`` accept ``--json`` to emit
 machine-readable output instead of the ASCII report.
@@ -97,6 +105,9 @@ from repro.bench import (
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments import ALL_EXPERIMENTS, PRESET_NAMES, run_campaign
 from repro.experiments.campaign import experiment_result_dict
+from repro.lint import available_rules as available_lint_rules
+from repro.lint import lint_paths
+from repro.lint import rule_info as lint_rule_info
 from repro.scenarios import (
     SCENARIO_PRESETS,
     available_churn_scenarios,
@@ -106,6 +117,7 @@ from repro.scenarios import (
     run_sweep,
     scenario_info,
 )
+from repro.schemas import SCHEMA_TABLE
 from repro.search import (
     BUDGETS,
     SearchOptions,
@@ -649,6 +661,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache capacity in entries (default: 256)",
     )
 
+    lint = subparsers.add_parser(
+        "lint", help="check project invariants with the registered AST rules"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="Python files or directories to lint (e.g. src)",
+    )
+    lint.add_argument(
+        "--rules",
+        metavar="RULE[,RULE...]",
+        help="comma-separated subset of rules to run (default: all registered; "
+        "see 'repro-lb list')",
+    )
+    lint.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the repro-lint/1 artifact here (a directory gets "
+        "LINT_<timestamp>.json)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="print the artifact JSON to stdout"
+    )
+
     list_cmd = subparsers.add_parser(
         "list",
         help="list registered balancers, policies, scenarios, churn families, "
@@ -1095,6 +1132,21 @@ def _run_hunt(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    rules = None
+    if args.rules:
+        rules = tuple(name.strip() for name in args.rules.split(",") if name.strip())
+    artifact = lint_paths(args.paths, rules=rules)
+    if args.output:
+        target = artifact.save(args.output)
+        print(f"lint artifact written to {target}", file=sys.stderr)
+    if args.json:
+        print(artifact.dumps(), end="")
+    else:
+        print(artifact.render())
+    return 0 if artifact.ok else 1
+
+
 def _registry_catalog() -> dict[str, list[dict[str, str]]]:
     """Every user-facing registry as one uniform ``section -> entries`` map.
 
@@ -1144,6 +1196,13 @@ def _registry_catalog() -> dict[str, list[dict[str, str]]]:
             sorted(BENCH_PRESETS),
             lambda name: f"maps to experiment preset {BENCH_PRESETS[name]!r}",
         ),
+        "lint rules (see 'repro-lb lint')": entries(
+            available_lint_rules(), lambda name: lint_rule_info(name).title
+        ),
+        "artifact schemas": [
+            {"name": tag, "summary": f"owned by {module}"}
+            for tag, module in SCHEMA_TABLE.items()
+        ],
     }
 
 
@@ -1195,6 +1254,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "conform": _run_conform,
         "hunt": _run_hunt,
         "serve": _run_serve,
+        "lint": _run_lint,
         "list": _run_list,
     }
     handler = handlers.get(args.command)

@@ -66,6 +66,7 @@ from dataclasses import dataclass
 
 from repro.conformance.report import CheckResult, ConformanceReport
 from repro.core.occupancy import OccupancyTimeline
+from repro.epsilon import EPSILON
 from repro.errors import ConfigurationError
 from repro.metrics.memory import buffered_memory_bound
 from repro.scheduling.communications import synthesize_communications
@@ -86,7 +87,7 @@ class ConformanceOptions:
     hyper_periods: int = 2
     #: Numeric tolerance of every time/size comparison (the scheduling
     #: substrate's own resolution).
-    tolerance: float = 1e-9
+    tolerance: float = EPSILON
     #: Mismatches kept per check in the serialised report (the full count is
     #: always recorded in ``mismatch_count``).
     max_mismatches: int = 20

@@ -15,11 +15,9 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.errors import ConfigurationError
+from repro.schemas import CONFORMANCE_SCHEMA
 
 __all__ = ["CONFORMANCE_SCHEMA", "CheckResult", "ConformanceReport"]
-
-#: Version tag stamped into every serialised conformance report.
-CONFORMANCE_SCHEMA = "repro-conformance/1"
 
 #: Allowed per-check statuses.
 _STATUSES = ("pass", "fail", "skipped")

@@ -35,13 +35,14 @@ import enum
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from repro.epsilon import EPSILON
 from repro.errors import SchedulingError
 from repro.scheduling.schedule import Schedule, ScheduledInstance
 from repro.scheduling.unrolling import instance_edges
 
 __all__ = ["BlockCategory", "Block", "BlockBuildOptions", "build_blocks"]
 
-_EPS = 1e-9
+_EPS = EPSILON
 
 
 class BlockCategory(enum.IntEnum):

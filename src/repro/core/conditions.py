@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.core.blocks import Block
 from repro.core.occupancy import ConflictEngine
+from repro.epsilon import EPSILON
 from repro.scheduling.periodic_intervals import circular_overlap
 from repro.scheduling.unrolling import InstanceEdge
 
@@ -36,7 +37,7 @@ __all__ = [
     "steady_state_compatible",
 ]
 
-_EPS = 1e-9
+_EPS = EPSILON
 
 
 @dataclass(slots=True)

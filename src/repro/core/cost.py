@@ -47,6 +47,7 @@ from dataclasses import dataclass
 
 from repro.core.blocks import Block
 from repro.core.conditions import BalancingState, ProcessorState
+from repro.epsilon import EPSILON
 from repro.model.architecture import Architecture
 from repro.model.graph import TaskGraph
 from repro.scheduling.unrolling import predecessors_of_instance
@@ -60,7 +61,7 @@ __all__ = [
     "prepare_move_context",
 ]
 
-_EPS = 1e-9
+_EPS = EPSILON
 
 
 class CostPolicy(enum.Enum):

@@ -66,6 +66,7 @@ from repro.core.cost import (
     prepare_move_context,
 )
 from repro.core.result import CandidateReport, LoadBalanceResult, MoveDecision
+from repro.epsilon import EPSILON
 from repro.errors import ConfigurationError, SchedulingError
 from repro.scheduling.communications import synthesize_communications
 from repro.scheduling.feasibility import check_schedule
@@ -74,7 +75,7 @@ from repro.scheduling.unrolling import instance_edges
 
 __all__ = ["LoadBalancerOptions", "LoadBalancer", "balance_schedule"]
 
-_EPS = 1e-9
+_EPS = EPSILON
 
 
 @dataclass(frozen=True, slots=True)

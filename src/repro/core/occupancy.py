@@ -74,12 +74,12 @@ class OccupancyTimeline:
 
     def intervals(self) -> list[tuple[float, float, object]]:
         """Stored ``(start, end, owner)`` pieces in start order (for tests)."""
-        return list(zip(self._starts, self._ends, self._owners))
+        return list(zip(self._starts, self._ends, self._owners, strict=True))
 
     @property
     def busy_time(self) -> float:
         """Sum of piece lengths (double-counts overlapping pieces)."""
-        return sum(e - s for s, e in zip(self._starts, self._ends))
+        return sum(e - s for s, e in zip(self._starts, self._ends, strict=True))
 
     # ------------------------------------------------------------------
     # Updates

@@ -1,0 +1,28 @@
+"""The canonical numeric tolerance of the whole reproduction.
+
+PR 4's sweep shook out a real bug class: two modules spelling "the" epsilon
+as their own literals drifted apart (the clamp/wrap asymmetry in
+:func:`repro.scheduling.periodic_intervals.split_wrapping`), and a schedule
+accepted on one side of the boundary was rejected on the other.  The fix was
+one shared constant; this module is its dependency-free home, so *every*
+consumer — circular-interval arithmetic, the conflict engine, feasibility
+checking, memory accounting, the conformance oracle — can import it without
+creating an import cycle.
+
+``repro.lint``'s ``epsilon-literal`` rule enforces the discipline statically:
+the literal value of :data:`EPSILON` may appear in exactly one Python file —
+this one.  Everything else imports it.
+
+Tolerances that are *not* this resolution (e.g. the ``1e-12`` interval-overlap
+slack in :mod:`repro.scheduling.schedule`, or cost-model constants in the
+search objectives) are deliberately distinct values and stay local.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EPSILON"]
+
+#: Resolution of every steady-state time/size comparison: intervals shorter
+#: than this are empty everywhere, occupancy overlaps within it are not
+#: overlaps, and memory/utilisation headroom within it is not an overflow.
+EPSILON = 1e-9

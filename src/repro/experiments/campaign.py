@@ -57,6 +57,7 @@ from repro.experiments.runner import (
     run_e8_idle_fraction,
 )
 from repro.experiments.tables import ExperimentResult, build_table
+from repro.schemas import MANIFEST_SCHEMA
 
 __all__ = [
     "MANIFEST_SCHEMA",
@@ -69,10 +70,6 @@ __all__ = [
     "run_campaign",
     "run_pipeline_campaign",
 ]
-
-#: Version tag stamped into every manifest so downstream tooling can detect
-#: incompatible layout changes.
-MANIFEST_SCHEMA = "repro-campaign/1"
 
 #: Experiment id -> (runner, config class or ``None`` for config-less runners).
 _EXPERIMENTS: dict[str, tuple[object, type | None]] = {
@@ -443,7 +440,7 @@ def _execute_campaign(
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             manifests = list(pool.map(_execute_payload, payloads))
 
-    for run, manifest in zip(pending, manifests):
+    for run, manifest in zip(pending, manifests, strict=True):
         manifest_path = runs_dir / f"{run.run_id}.json"
         # Atomic + strict: a worker killed mid-write must never leave a
         # truncated manifest behind (it would poison --resume), and a manifest

@@ -16,6 +16,7 @@ from repro.analysis.bounds import check_theorem1, theorem1_campaign
 from repro.analysis.complexity import fit_complexity, measure_runtime
 from repro.api.balancers import BalanceOutcome, balance
 from repro.core.load_balancer import LoadBalancer
+from repro.epsilon import EPSILON
 from repro.experiments.configs import (
     AblationConfig,
     ComparisonConfig,
@@ -148,7 +149,7 @@ def run_e2_multirate_buffering(config: MultirateConfig | None = None) -> Experim
         )
         peak = result.memory.peak_buffer("P2")
         expected = ratio * config.data_size
-        match = abs(peak - expected) < 1e-9 and result.is_clean
+        match = abs(peak - expected) < EPSILON and result.is_clean
         all_match = all_match and match
         peaks[ratio] = peak
         rows.append([ratio, expected, peak, len(result.violations), "yes" if match else "NO"])
@@ -439,7 +440,7 @@ def run_e6_baseline_comparison(config: ComparisonConfig | None = None) -> Experi
             # check_schedule re-runs E6 used to do.
             bucket["feasible"].append(1.0 if outcome.feasible else 0.0)
             bucket["overflows"].append(
-                float(sum(1 for amount in usage.values() if amount > capacity + 1e-9))
+                float(sum(1 for amount in usage.values() if amount > capacity + EPSILON))
             )
 
     rows = []

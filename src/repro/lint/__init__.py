@@ -1,0 +1,44 @@
+"""AST-based invariant linter: the project's correctness contracts, enforced.
+
+Eight PRs of growth accumulated hard-won conventions — strict JSON only via
+:mod:`repro.jsonio`, atomic artifact writes, one shared
+:data:`~repro.epsilon.EPSILON`, randomness only through
+:func:`~repro.workloads.seeding.derive_seed` spawn keys, never-raises
+``execute_*`` manifest shells, versioned ``repro-*/N`` schema tags in the
+central :data:`~repro.schemas.SCHEMA_TABLE` — and every one of them could
+silently regress in the next PR (PR 4's bug batch was exactly this class of
+drift).  This subsystem institutionalises them the way :mod:`repro.bench`
+institutionalised performance: a string-keyed registry of AST rules
+(:mod:`~repro.lint.registry`, mirroring the balancer/bench/scenario
+registries), the checkers themselves (:mod:`~repro.lint.checks`), a walking
+engine with ``# repro-lint: disable=<rule>`` pragma support
+(:mod:`~repro.lint.engine`) and a versioned ``repro-lint/1`` findings
+artifact (:mod:`~repro.lint.artifact`) with stable fingerprints for
+cross-run diffing.
+
+``repro-lb lint src`` is the self-application gate: the repo must lint
+clean, and CI runs it next to ruff.  Importing this package registers the
+built-in rules.
+"""
+
+from repro.lint import checks as _checks  # noqa: F401 - registers the built-in rules
+from repro.lint.artifact import LintArtifact, LintFinding
+from repro.lint.engine import lint_paths
+from repro.lint.registry import (
+    LintRule,
+    available_rules,
+    get_rule,
+    register_rule,
+    rule_info,
+)
+
+__all__ = [
+    "LintArtifact",
+    "LintFinding",
+    "LintRule",
+    "available_rules",
+    "get_rule",
+    "lint_paths",
+    "register_rule",
+    "rule_info",
+]

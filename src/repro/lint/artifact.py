@@ -1,0 +1,178 @@
+"""The versioned ``repro-lint/1`` findings artifact.
+
+Same shape family as ``repro-bench/1``: a ``schema`` header, a UTC
+``created`` stamp, the configuration echo (roots scanned, rules run) and the
+result rows.  Every finding carries a stable *fingerprint* —
+``sha256(rule | path | message)`` truncated — that survives unrelated line
+drift, so two artifacts from different commits diff meaningfully (the
+cross-run gating workflow of the exemplar index).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro import jsonio
+from repro.errors import ConfigurationError
+from repro.schemas import LINT_SCHEMA
+
+__all__ = ["LintFinding", "LintArtifact"]
+
+
+def _fingerprint(rule: str, path: str, message: str) -> str:
+    digest = hashlib.sha256(f"{rule}|{path}|{message}".encode("utf-8")).hexdigest()
+    return digest[:12]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    #: Registry key of the rule that fired.
+    rule: str
+    #: Display path of the offending module (posix separators).
+    path: str
+    #: 1-based source line.
+    line: int
+    #: 0-based column.
+    col: int
+    #: Human-readable statement of the violation and the compliant spelling.
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-drift-stable identity: ``sha256(rule | path | message)``."""
+        return _fingerprint(self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": int(self.line),
+            "col": int(self.col),
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintFinding":
+        return cls(
+            rule=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+            message=str(data["message"]),
+        )
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}  {self.rule}  {self.message}"
+
+
+@dataclass(frozen=True)
+class LintArtifact:
+    """One lint run over a set of roots (schema ``repro-lint/1``)."""
+
+    #: Paths scanned, as given on the command line.
+    roots: tuple[str, ...]
+    #: Rule names that ran.
+    rules: tuple[str, ...]
+    #: Files parsed.
+    files: int
+    #: Violations, sorted by (path, line, rule).
+    findings: tuple[LintFinding, ...]
+    #: Per-rule counts of findings silenced by ``# repro-lint: disable=``.
+    suppressed: dict[str, int] = field(default_factory=dict)
+    #: UTC creation stamp.
+    created: str = ""
+    schema: str = LINT_SCHEMA
+
+    @classmethod
+    def now(cls, **kwargs: Any) -> "LintArtifact":
+        """Artifact stamped with the current UTC time."""
+        created = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+        return cls(created=created, **kwargs)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the scanned tree is clean."""
+        return not self.findings
+
+    @property
+    def counts(self) -> dict[str, int]:
+        return {
+            "files": int(self.files),
+            "findings": len(self.findings),
+            "suppressed": sum(self.suppressed.values()),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "created": self.created,
+            "roots": list(self.roots),
+            "rules": list(self.rules),
+            "files": int(self.files),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": {key: int(value) for key, value in sorted(self.suppressed.items())},
+            "counts": self.counts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintArtifact":
+        jsonio.check_artifact_schema(data, "repro-lint", 1, kind="lint artifact")
+        return cls(
+            roots=tuple(str(root) for root in data.get("roots") or ()),
+            rules=tuple(str(rule) for rule in data.get("rules") or ()),
+            files=int(data.get("files", 0)),
+            findings=tuple(
+                LintFinding.from_dict(entry) for entry in data.get("findings") or ()
+            ),
+            suppressed={
+                str(key): int(value)
+                for key, value in (data.get("suppressed") or {}).items()
+            },
+            created=str(data.get("created", "")),
+            schema=str(data.get("schema", LINT_SCHEMA)),
+        )
+
+    def dumps(self) -> str:
+        """Deterministic strict-JSON form (sorted keys, trailing newline)."""
+        return jsonio.dumps(self.to_dict()) + "\n"
+
+    def save(self, target: str | Path) -> Path:
+        """Write the artifact (a directory target gets ``LINT_<stamp>.json``)."""
+        target = Path(target)
+        try:
+            if target.is_dir() or not target.suffix:
+                target.mkdir(parents=True, exist_ok=True)
+                stamp = self.created.replace("-", "").replace(":", "")
+                target = target / f"LINT_{stamp}.json"
+            else:
+                target.parent.mkdir(parents=True, exist_ok=True)
+            jsonio.write_text_atomic(target, self.dumps())
+        except OSError as error:
+            raise ConfigurationError(
+                f"Cannot write lint artifact to {target}: {error}"
+            ) from None
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LintArtifact":
+        """Read an artifact back through the shared versioned-artifact loader."""
+        return cls.from_dict(
+            jsonio.load_artifact(path, "repro-lint", 1, kind="lint artifact")
+        )
+
+    def render(self) -> str:
+        """ASCII report of the run."""
+        counts = self.counts
+        lines = [
+            f"lint: {counts['findings']} finding(s) in {counts['files']} file(s) "
+            f"({len(self.rules)} rule(s); {counts['suppressed']} suppressed)"
+        ]
+        lines.extend(f"  {finding.render()}" for finding in self.findings)
+        return "\n".join(lines)

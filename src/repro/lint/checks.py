@@ -1,0 +1,400 @@
+"""The built-in invariant rules.
+
+Each checker encodes one convention this codebase learned the hard way
+(mostly in PR 4's drift-bug batch) and enforces it structurally over the
+AST.  Checkers are pure functions from one :class:`~repro.lint.context.ModuleSource`
+to findings; registration via :func:`~repro.lint.registry.register_rule` is
+what makes them visible to ``repro-lb lint`` and ``repro-lb list``.
+
+Modules that *implement* a contract are exempt from the rule that enforces
+it (``repro/jsonio.py`` may call :func:`json.dumps`; ``repro/schemas.py``
+may spell schema tags) — everything else goes through the front door or
+carries an explicit ``# repro-lint: disable=<rule>`` pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.epsilon import EPSILON
+from repro.lint.artifact import LintFinding
+from repro.lint.context import ModuleSource
+from repro.lint.registry import register_rule
+from repro.schemas import SCHEMA_TABLE
+
+__all__: list[str] = []
+
+_SCHEMA_TAG = re.compile(r"repro-[a-z_]+/[0-9]+")
+
+
+def _finding(source: ModuleSource, rule: str, node: ast.AST, message: str) -> LintFinding:
+    return LintFinding(
+        rule=rule,
+        path=source.rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def _call_name(node: ast.Call) -> str:
+    """Dotted name of a call target, best effort (``np.random.seed``)."""
+    parts: list[str] = []
+    target: ast.expr = node.func
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _contains_derive_seed(nodes: list[ast.expr]) -> bool:
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call) and _call_name(node).endswith("derive_seed"):
+                return True
+    return False
+
+
+def _module_all(tree: ast.Module) -> frozenset[str]:
+    names: set[str] = set()
+    for statement in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(statement, ast.Assign):
+            targets, value = statement.targets, statement.value
+        elif isinstance(statement, ast.AugAssign):
+            targets, value = [statement.target], statement.value
+        if value is None or not any(
+            isinstance(target, ast.Name) and target.id == "__all__" for target in targets
+        ):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    names.add(element.value)
+    return frozenset(names)
+
+
+@register_rule(
+    "raw-json",
+    "All JSON emission goes through repro.jsonio",
+    "json.dump/dumps/load bypass the strict-JSON contract (allow_nan=False, "
+    "non-finite sanitisation, sorted keys, schema checking). Serialise via "
+    "repro.jsonio.dumps / write_json_atomic and read artifacts via "
+    "load_json_path / load_artifact. json.loads on in-memory wire bytes is "
+    "allowed. Learned in PR 2 when NaN metrics produced unparseable artifacts.",
+    exempt=("repro/jsonio.py",),
+)
+def check_raw_json(source: ModuleSource) -> Iterator[LintFinding]:
+    replacements = {
+        "dump": "repro.jsonio.write_json_atomic",
+        "dumps": "repro.jsonio.dumps",
+        "load": "repro.jsonio.load_json_path",
+    }
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "json":
+            banned = sorted(
+                alias.name for alias in node.names if alias.name in replacements
+            )
+            if banned:
+                yield _finding(
+                    source,
+                    "raw-json",
+                    node,
+                    f"Importing {', '.join(banned)} from json bypasses the "
+                    "strict-JSON contract; use the repro.jsonio front door",
+                )
+        elif isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name.startswith("json.") and name[len("json.") :] in replacements:
+                verb = name[len("json.") :]
+                yield _finding(
+                    source,
+                    "raw-json",
+                    node,
+                    f"json.{verb}() bypasses the strict-JSON contract; "
+                    f"use {replacements[verb]}",
+                )
+
+
+@register_rule(
+    "atomic-write",
+    "Artifact files are written atomically",
+    "In-place writes (open(..., 'w'), Path.write_text) can leave truncated "
+    "artifacts behind a crash; repro.jsonio.write_text_atomic / "
+    "write_json_atomic stage a temp file and os.replace it. Learned in PR 3 "
+    "when an interrupted campaign left a half-written manifest that the "
+    "loader then rejected.",
+    exempt=("repro/jsonio.py",),
+)
+def check_atomic_write(source: ModuleSource) -> Iterator[LintFinding]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            attr = node.func.id
+        else:
+            continue
+        if attr == "write_text":
+            yield _finding(
+                source,
+                "atomic-write",
+                node,
+                ".write_text() writes in place; use repro.jsonio.write_text_atomic",
+            )
+            continue
+        if attr != "open":
+            continue
+        # Builtin open() takes the mode second; Path.open() takes it first.
+        mode_index = 1 if isinstance(node.func, ast.Name) else 0
+        mode: ast.expr | None = None
+        if len(node.args) > mode_index:
+            mode = node.args[mode_index]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and any(flag in mode.value for flag in ("w", "a", "x"))
+            and "b" not in mode.value
+        ):
+            yield _finding(
+                source,
+                "atomic-write",
+                node,
+                f"open(..., {mode.value!r}) writes in place; use "
+                "repro.jsonio.write_text_atomic / write_json_atomic",
+            )
+
+
+@register_rule(
+    "epsilon-literal",
+    "One canonical numeric tolerance",
+    "The feasibility tolerance 1e-9 lives in repro.epsilon.EPSILON; spelling "
+    "it as a literal invites per-module drift (PR 4 shipped a bound check "
+    "with a stale tolerance that disagreed with the balancer's). Other "
+    "magnitudes (1e-12 digest tolerances, 1e-6 solver gaps) are distinct "
+    "constants and stay local.",
+    exempt=("repro/epsilon.py",),
+)
+def check_epsilon_literal(source: ModuleSource) -> Iterator[LintFinding]:
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, float)
+            and node.value == EPSILON
+            and id(node) not in source.docstrings
+        ):
+            yield _finding(
+                source,
+                "epsilon-literal",
+                node,
+                "Tolerance literal duplicates the canonical value; "
+                "import EPSILON from repro.epsilon",
+            )
+
+
+@register_rule(
+    "seeded-random",
+    "All randomness is derived from the run seed",
+    "Global-RNG calls (random.random(), numpy.random.seed) and unseeded "
+    "generators break run reproducibility and cross-process determinism. "
+    "Construct generators from repro.workloads.seeding.derive_seed(root, "
+    "index, stream=...) spawn keys. Learned in PR 6 when worker-pool "
+    "ordering changed campaign results.",
+    exempt=("repro/workloads/seeding.py",),
+)
+def check_seeded_random(source: ModuleSource) -> Iterator[LintFinding]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        seed_args = list(node.args) + [keyword.value for keyword in node.keywords]
+        if name == "random.Random" or name.endswith(".Random") or name == "Random":
+            if not seed_args:
+                yield _finding(
+                    source,
+                    "seeded-random",
+                    node,
+                    "random.Random() without a seed is nondeterministic; "
+                    "seed it via derive_seed(...)",
+                )
+            elif not _contains_derive_seed(seed_args):
+                yield _finding(
+                    source,
+                    "seeded-random",
+                    node,
+                    "random.Random(...) seeded outside the spawn-key scheme; "
+                    "derive the seed via repro.workloads.seeding.derive_seed",
+                )
+        elif name.endswith("default_rng") and not seed_args:
+            yield _finding(
+                source,
+                "seeded-random",
+                node,
+                "default_rng() without a seed is nondeterministic; "
+                "pass derive_seed(...)",
+            )
+        elif name in ("np.random.seed", "numpy.random.seed", "random.seed"):
+            yield _finding(
+                source,
+                "seeded-random",
+                node,
+                f"{name}() mutates a global RNG; construct a local generator "
+                "seeded via derive_seed instead",
+            )
+        elif name.startswith("random.") and name.count(".") == 1:
+            yield _finding(
+                source,
+                "seeded-random",
+                node,
+                f"{name}() uses the shared global RNG; use a random.Random "
+                "seeded via derive_seed",
+            )
+
+
+@register_rule(
+    "schema-literal",
+    "Schema tags are spelled once, in repro.schemas",
+    "Every versioned artifact tag ('repro-<family>/<N>') must be the value "
+    "of a constant in repro.schemas, where SCHEMA_TABLE names its owning "
+    "module. A literal tag elsewhere either duplicates a constant (drift "
+    "risk) or mints a schema nobody registered (a typo'd tag round-trips "
+    "until a loader rejects it).",
+    exempt=("repro/schemas.py",),
+)
+def check_schema_literal(source: ModuleSource) -> Iterator[LintFinding]:
+    for node in ast.walk(source.tree):
+        if (
+            isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and _SCHEMA_TAG.fullmatch(node.value)
+            and id(node) not in source.docstrings
+        ):
+            if node.value in SCHEMA_TABLE:
+                message = (
+                    f"Schema tag {node.value!r} must be spelled via its "
+                    "constant in repro.schemas"
+                )
+            else:
+                message = (
+                    f"Schema tag {node.value!r} is not in the central "
+                    "repro.schemas.SCHEMA_TABLE"
+                )
+            yield _finding(source, "schema-literal", node, message)
+
+
+@register_rule(
+    "manifest-shell",
+    "execute_* shells never raise",
+    "Worker-pool entry points named execute_* return failed manifests "
+    "(status/error/traceback keys) instead of raising, so one bad run "
+    "cannot take down a campaign batch. The function body must carry a "
+    "top-level try/except. Learned in PR 5 when a single infeasible "
+    "scenario crashed a 200-run campaign.",
+)
+def check_manifest_shell(source: ModuleSource) -> Iterator[LintFinding]:
+    for statement in source.tree.body:
+        if not isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not statement.name.startswith("execute_"):
+            continue
+        if not any(isinstance(child, ast.Try) for child in statement.body):
+            yield _finding(
+                source,
+                "manifest-shell",
+                statement,
+                f"{statement.name}() is a manifest shell but has no top-level "
+                "try/except; it must return a failed manifest instead of raising",
+            )
+
+
+@register_rule(
+    "wall-clock",
+    "Timed paths use repro.timing",
+    "time.time() is wall-clock: NTP slews and DST make it jump, corrupting "
+    "measured durations. Durations come from repro.timing.measure "
+    "(perf_counter-based); artifact stamps come from datetime.now(timezone.utc).",
+    exempt=("repro/timing.py",),
+)
+def check_wall_clock(source: ModuleSource) -> Iterator[LintFinding]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            if any(alias.name == "time" for alias in node.names):
+                yield _finding(
+                    source,
+                    "wall-clock",
+                    node,
+                    "Importing time() from time bypasses repro.timing; "
+                    "use repro.timing.measure for durations",
+                )
+        elif isinstance(node, ast.Call) and _call_name(node) == "time.time":
+            yield _finding(
+                source,
+                "wall-clock",
+                node,
+                "time.time() is wall-clock and unsafe for durations; "
+                "use repro.timing.measure",
+            )
+
+
+@register_rule(
+    "registry-complete",
+    "Registry modules register everything they define",
+    "A module that calls register_* must not also define orphan "
+    "implementations: every module-level function there must be registered, "
+    "referenced, exported via __all__, or private. Catches the "
+    "half-migrated state where a new strategy is written but never "
+    "registered, so the CLI silently cannot reach it.",
+)
+def check_registry_complete(source: ModuleSource) -> Iterator[LintFinding]:
+    def registers(node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            return _call_name(node).split(".")[-1].startswith("register_")
+        return False
+
+    if not any(registers(node) for node in ast.walk(source.tree)):
+        return
+    exported = _module_all(source.tree)
+    definitions = [
+        statement
+        for statement in source.tree.body
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+    for definition in definitions:
+        if definition.name.startswith("_") or definition.name in exported:
+            continue
+        if any(registers(decorator) for decorator in definition.decorator_list):
+            continue
+        referenced = False
+        for statement in source.tree.body:
+            if statement is definition:
+                if any(
+                    isinstance(node, ast.Name) and node.id == definition.name
+                    for decorator in definition.decorator_list
+                    for node in ast.walk(decorator)
+                ):
+                    referenced = True
+                continue
+            if any(
+                isinstance(node, ast.Name) and node.id == definition.name
+                for node in ast.walk(statement)
+            ):
+                referenced = True
+                break
+        if not referenced:
+            yield _finding(
+                source,
+                "registry-complete",
+                definition,
+                f"{definition.name}() is defined in a registry module but "
+                "never registered or referenced; register it or add it to __all__",
+            )

@@ -1,0 +1,107 @@
+"""Parsed-module context handed to every lint rule.
+
+One :class:`ModuleSource` bundles everything a checker needs — the AST, the
+raw source lines, which string constants are docstrings (rules about literal
+*values* must not fire on prose), and the per-line
+``# repro-lint: disable=<rule>[,<rule>]`` pragmas the engine honours when
+filtering findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ModuleSource"]
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-, ]+)")
+
+
+def _docstring_nodes(tree: ast.Module) -> frozenset[int]:
+    """``id()`` of every Constant node sitting in a docstring position."""
+    found: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                found.add(id(body[0].value))
+    return frozenset(found)
+
+
+def _disables(lines: tuple[str, ...]) -> dict[int, frozenset[str]]:
+    """1-based line number -> rule names disabled on that line."""
+    table: dict[int, frozenset[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _PRAGMA.search(line)
+        if match:
+            names = {part.strip() for part in match.group(1).split(",")}
+            table[number] = frozenset(name for name in names if name)
+    return table
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """One Python module, parsed and indexed for the lint rules."""
+
+    #: Absolute path on disk.
+    path: Path
+    #: Display path (as scanned, posix separators) — carried by findings and
+    #: matched against rule exemption suffixes.
+    rel: str
+    #: Raw source text.
+    text: str
+    #: Parsed module.
+    tree: ast.Module
+    #: Source split into lines (1-based access via ``lines[n - 1]``).
+    lines: tuple[str, ...]
+    #: ``id()`` of every docstring Constant node.
+    docstrings: frozenset[int]
+    #: Per-line pragma suppressions.
+    disables: dict[int, frozenset[str]]
+
+    @classmethod
+    def parse(cls, path: Path, rel: str) -> "ModuleSource":
+        """Read and parse ``path``; every failure names the offending file.
+
+        Unreadable files and syntax errors raise
+        :class:`~repro.errors.ConfigurationError`, so ``repro-lb lint`` exits
+        2 with one clean message instead of a traceback (the
+        ``tests/test_cli_errors.py`` convention).
+        """
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            raise ConfigurationError(f"Cannot read {rel}: {error}") from None
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as error:
+            raise ConfigurationError(
+                f"Cannot lint {rel}: invalid Python syntax at line {error.lineno}"
+            ) from None
+        lines = tuple(text.splitlines())
+        return cls(
+            path=path,
+            rel=rel,
+            text=text,
+            tree=tree,
+            lines=lines,
+            docstrings=_docstring_nodes(tree),
+            disables=_disables(lines),
+        )
+
+    def matches(self, suffixes: tuple[str, ...]) -> bool:
+        """``True`` when the module's display path ends with any suffix."""
+        return any(self.rel.endswith(suffix) for suffix in suffixes)
+
+    def disabled_rules(self, line: int) -> frozenset[str]:
+        """Rules suppressed by a pragma on ``line`` (1-based)."""
+        return self.disables.get(line, frozenset())

@@ -1,0 +1,87 @@
+"""File discovery and the rule-driving loop behind ``repro-lb lint``.
+
+:func:`lint_paths` is the whole public surface: resolve the requested rules,
+walk the requested paths, parse each module once, run every applicable rule
+over it, honour ``# repro-lint: disable=`` pragmas, and return one
+``repro-lint/1`` artifact.  Path problems (missing, not ``.py``, no Python
+files, unparseable) raise :class:`~repro.errors.ConfigurationError` so the
+CLI exits 2 naming the offending path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.lint.artifact import LintArtifact, LintFinding
+from repro.lint.context import ModuleSource
+from repro.lint.registry import LintRule, available_rules, get_rule
+
+__all__ = ["lint_paths"]
+
+
+def _discover(roots: Sequence[str]) -> list[tuple[Path, str]]:
+    """``(absolute path, display path)`` for every Python file under roots."""
+    seen: set[Path] = set()
+    discovered: list[tuple[Path, str]] = []
+
+    def add(path: Path, rel: str) -> None:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            discovered.append((path, rel))
+
+    for root in roots:
+        path = Path(root)
+        if not path.exists():
+            raise ConfigurationError(f"Lint path does not exist: {root}")
+        if path.is_dir():
+            files = sorted(path.rglob("*.py"))
+            if not files:
+                raise ConfigurationError(f"No Python files under lint path: {root}")
+            for file in files:
+                add(file, (Path(root) / file.relative_to(path)).as_posix())
+        elif path.suffix == ".py":
+            add(path, Path(root).as_posix())
+        else:
+            raise ConfigurationError(f"Lint path is not a Python file: {root}")
+    return discovered
+
+
+def _resolve_rules(names: Sequence[str] | None) -> tuple[LintRule, ...]:
+    requested = tuple(names) if names else available_rules()
+    if not requested:
+        raise ConfigurationError("No lint rules requested")
+    return tuple(get_rule(name) for name in requested)
+
+
+def lint_paths(
+    paths: Sequence[str], *, rules: Sequence[str] | None = None
+) -> LintArtifact:
+    """Lint every Python file under ``paths`` with ``rules`` (default: all)."""
+    if not paths:
+        raise ConfigurationError("No lint paths given")
+    resolved_rules = _resolve_rules(rules)
+    modules = [ModuleSource.parse(path, rel) for path, rel in _discover(paths)]
+
+    findings: list[LintFinding] = []
+    suppressed: dict[str, int] = {}
+    for module in modules:
+        for rule in resolved_rules:
+            if module.matches(rule.exempt):
+                continue
+            for finding in rule.check(module):
+                if rule.name in module.disabled_rules(finding.line):
+                    suppressed[rule.name] = suppressed.get(rule.name, 0) + 1
+                else:
+                    findings.append(finding)
+
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.col, finding.rule))
+    return LintArtifact.now(
+        roots=tuple(str(path) for path in paths),
+        rules=tuple(rule.name for rule in resolved_rules),
+        files=len(modules),
+        findings=tuple(findings),
+        suppressed=suppressed,
+    )

@@ -1,0 +1,86 @@
+"""String-keyed registry of lint rules (mirrors the balancer registry).
+
+A rule is a named AST checker over one parsed module.  Registration follows
+the same pattern as :func:`repro.api.balancers.register_balancer`: a
+decorator stamps the checker into a module-level table, duplicate names are
+rejected loudly, and consumers enumerate/resolve rules only through the
+accessor functions — so ``repro-lb lint --rules`` and ``repro-lb list`` pick
+up a new rule by its registration alone.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.lint.artifact import LintFinding
+from repro.lint.context import ModuleSource
+
+__all__ = [
+    "LintRule",
+    "available_rules",
+    "get_rule",
+    "register_rule",
+    "rule_info",
+]
+
+#: Signature of every checker: one parsed module in, findings out.
+Checker = Callable[[ModuleSource], Iterable[LintFinding]]
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """One registered invariant rule."""
+
+    #: Registry key (``raw-json``, ``epsilon-literal``, ...) — also the id
+    #: carried by findings and accepted by ``# repro-lint: disable=``.
+    name: str
+    #: One-line summary for catalogs.
+    title: str
+    #: What the invariant is, which PR learned it, and how to comply.
+    description: str
+    #: The checker.
+    check: Checker
+    #: Path suffixes of modules the rule does not apply to (the module that
+    #: *implements* the contract is allowed to spell it out).
+    exempt: tuple[str, ...] = field(default=())
+
+
+_RULES: dict[str, LintRule] = {}
+
+
+def register_rule(
+    name: str, title: str, description: str, *, exempt: tuple[str, ...] = ()
+) -> Callable[[Checker], Checker]:
+    """Decorator registering ``checker`` under ``name``."""
+
+    def wrap(checker: Checker) -> Checker:
+        if name in _RULES:
+            raise ConfigurationError(f"Lint rule {name!r} is already registered")
+        _RULES[name] = LintRule(
+            name=name, title=title, description=description, check=checker, exempt=exempt
+        )
+        return checker
+
+    return wrap
+
+
+def available_rules() -> tuple[str, ...]:
+    """Registered rule names, sorted."""
+    return tuple(sorted(_RULES))
+
+
+def get_rule(name: str) -> LintRule:
+    """The rule registered under ``name``."""
+    try:
+        return _RULES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"Unknown lint rule {name!r}; registered: {list(available_rules())}"
+        ) from None
+
+
+def rule_info(name: str) -> LintRule:
+    """Alias of :func:`get_rule` (the catalog-accessor naming convention)."""
+    return get_rule(name)

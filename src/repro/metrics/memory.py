@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.epsilon import EPSILON
 from repro.scheduling.schedule import Schedule
 
 __all__ = [
@@ -83,7 +84,7 @@ def capacity_violations(schedule: Schedule, *, include_buffers: bool = False) ->
         for op in schedule.communications:
             usage[op.target] = usage.get(op.target, 0.0) + op.data_size
     return {
-        name: amount - capacity for name, amount in usage.items() if amount > capacity + 1e-9
+        name: amount - capacity for name, amount in usage.items() if amount > capacity + EPSILON
     }
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
+from repro.epsilon import EPSILON
 from repro.errors import ModelError
 from repro.model.graph import TaskGraph
 
@@ -153,4 +154,4 @@ class MemoryBreakdown:
 
     def fits(self, capacity: float) -> bool:
         """``True`` when the total demand fits within ``capacity``."""
-        return self.total <= capacity + 1e-9
+        return self.total <= capacity + EPSILON

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.epsilon import EPSILON
 from repro.model.architecture import Architecture
 from repro.model.graph import TaskGraph
 from repro.model.memory import edge_buffer_demand
@@ -90,7 +91,7 @@ def validate_problem(graph: TaskGraph, architecture: Architecture) -> ProblemRep
 
     processor_count = len(architecture)
     total_util = graph.total_utilization
-    if total_util > processor_count + 1e-9:
+    if total_util > processor_count + EPSILON:
         report.errors.append(
             f"Total utilisation {total_util:.3f} exceeds the number of processors "
             f"{processor_count}; no schedule can exist"
@@ -118,7 +119,7 @@ def validate_problem(graph: TaskGraph, architecture: Architecture) -> ProblemRep
                 )
         total_memory = graph.total_memory_per_hyper_period()
         aggregate = capacity * processor_count
-        if total_memory > aggregate + 1e-9:
+        if total_memory > aggregate + EPSILON:
             report.errors.append(
                 f"Total memory demand {total_memory} exceeds the aggregate capacity "
                 f"{aggregate} of the {processor_count} processors"

@@ -49,6 +49,7 @@ from repro.errors import ConfigurationError, InfeasibleError, ReproError
 from repro.model.architecture import Architecture
 from repro.model.graph import TaskGraph
 from repro.scenarios.registry import ScenarioScale, _root_seed, scenario_scale
+from repro.schemas import CHURN_SCHEMA
 from repro.workloads.seeding import derive_seed
 from repro.workloads.spec import WorkloadSpec
 
@@ -63,9 +64,6 @@ __all__ = [
     "run_churn_grid",
     "register_churn_scenario",
 ]
-
-#: Version tag of the churn-grid artifact.
-CHURN_SCHEMA = "repro-churn/1"
 
 #: Timeline builder: ``(balanced graph, architecture, rng) -> ChurnTimeline``.
 TimelineBuilder = Callable[[TaskGraph, Architecture, random.Random], ChurnTimeline]

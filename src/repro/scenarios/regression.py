@@ -26,6 +26,7 @@ from typing import Any, Mapping
 from repro import jsonio
 from repro.errors import ConfigurationError
 from repro.scenarios.registry import ScenarioScale, ScenarioSpec, register_scenario_spec
+from repro.schemas import REGRESSION_SCHEMA
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
@@ -36,10 +37,8 @@ __all__ = [
     "load_frozen",
     "register_frozen",
     "frozen_names",
+    "frozen_info",
 ]
-
-#: Version tag of the frozen-scenario registry file.
-REGRESSION_SCHEMA = "repro-regression/1"
 
 #: Registry-name prefix of every frozen scenario.
 REGRESSION_PREFIX = "regression/"

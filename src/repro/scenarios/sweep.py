@@ -76,6 +76,7 @@ from repro.bench.artifact import environment_fingerprint
 from repro.errors import ConfigurationError, InfeasibleError, SchedulingError
 from repro.scheduling.feasibility import check_schedule
 from repro.scheduling.periodic_intervals import EPSILON
+from repro.schemas import SWEEP_SCHEMA
 
 __all__ = [
     "SWEEP_SCHEMA",
@@ -87,9 +88,6 @@ __all__ = [
     "run_sweep",
     "sweep_pipeline_configs",
 ]
-
-#: Version tag stamped into every serialised sweep artifact.
-SWEEP_SCHEMA = "repro-sweep/1"
 
 #: Strategies guaranteed never to produce a worse makespan than the initial
 #: schedule: the paper heuristic (its retry ladder falls back to a no-op) and

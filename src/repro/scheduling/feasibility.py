@@ -163,7 +163,7 @@ def check_schedule(
                     pieces.append((begin, end, instance.label))
             pieces.sort()
             for (left_begin, left_end, left_label), (right_begin, right_end, right_label) in zip(
-                pieces, pieces[1:]
+                pieces, pieces[1:], strict=False
             ):
                 if right_begin < left_end - _EPS:
                     report.repeatability_violations.append(

@@ -36,6 +36,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.epsilon import EPSILON
 from repro.errors import InfeasibleError, SchedulingError
 from repro.model.architecture import Architecture
 from repro.model.graph import TaskGraph
@@ -46,7 +47,7 @@ from repro.scheduling.unrolling import instance_count, predecessors_of_instance
 
 __all__ = ["PlacementPolicy", "SchedulerOptions", "InitialScheduler", "schedule_application"]
 
-_EPS = 1e-9
+_EPS = EPSILON
 
 
 class PlacementPolicy(enum.Enum):

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.epsilon import EPSILON
 from repro.errors import SchedulingError
 
 __all__ = [
@@ -39,11 +40,11 @@ __all__ = [
 #: Resolution of the circular arithmetic: intervals shorter than this are
 #: treated as empty *everywhere* — :func:`circular_overlap` never reports a
 #: sub-epsilon intersection and :func:`split_wrapping` never emits a
-#: sub-epsilon piece.  The conflict engine and the feasibility checker import
-#: this same constant, so the clamp/wrap decision at the period boundary and
-#: the overlap tests always apply one rule.
-EPSILON = 1e-9
-
+#: sub-epsilon piece.  The canonical value lives in :mod:`repro.epsilon`
+#: (re-exported here for the historical import path); the conflict engine
+#: and the feasibility checker see this same constant, so the clamp/wrap
+#: decision at the period boundary and the overlap tests always apply one
+#: rule.
 _EPS = EPSILON
 
 

@@ -190,7 +190,7 @@ class ProcessorTimeline:
     def overlapping_pairs(self) -> list[tuple[ScheduledInstance, ScheduledInstance]]:
         """All pairs of instances that overlap in time (should be empty)."""
         pairs: list[tuple[ScheduledInstance, ScheduledInstance]] = []
-        for left, right in zip(self._instances, self._instances[1:]):
+        for left, right in zip(self._instances, self._instances[1:], strict=False):
             if left.overlaps(right):
                 pairs.append((left, right))
         return pairs

@@ -1,0 +1,78 @@
+"""Central table of every versioned artifact schema this project emits.
+
+Eight PRs of growth accumulated a dozen ``repro-<family>/<version>`` schema
+tags, each defined as a string literal in the module that owns the artifact.
+That convention had no guard: a new artifact could mint a tag nobody else
+knew about, and a typo'd tag (``"repro-bnech/1"``) would round-trip happily
+until a loader rejected it in production.  This module is the one place a
+schema tag may be spelled as a literal; every owning module imports its
+constant from here, and the ``schema-literal`` rule of :mod:`repro.lint`
+statically rejects any matching string literal anywhere else in ``src/``.
+
+Each table entry names the module that owns the schema — the module holding
+the paired ``to_dict``/``from_dict`` (or writer/loader) for that artifact —
+so the table doubles as the artifact catalog ``repro-lb list`` prints.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PIPELINE_SCHEMA",
+    "RUN_SCHEMA",
+    "RUN_SCHEMA_V2",
+    "MANIFEST_SCHEMA",
+    "BENCH_SCHEMA",
+    "SWEEP_SCHEMA",
+    "CONFORMANCE_SCHEMA",
+    "SEARCH_SCHEMA",
+    "REGRESSION_SCHEMA",
+    "DELTA_SCHEMA",
+    "CHURN_SCHEMA",
+    "SERVICE_SCHEMA",
+    "LINT_SCHEMA",
+    "SCHEMA_TABLE",
+]
+
+#: Declarative pipeline config (``PipelineConfig.to_dict``/``from_dict``).
+PIPELINE_SCHEMA = "repro-pipeline/1"
+#: Structured pipeline run result (``RunResult``).
+RUN_SCHEMA = "repro-run/1"
+#: Run result carrying rebalance provenance (prior fingerprint + delta digest).
+RUN_SCHEMA_V2 = "repro-run/2"
+#: Per-run campaign manifest written by the campaign worker pool.
+MANIFEST_SCHEMA = "repro-campaign/1"
+#: Benchmark-harness artifact (wall times, metrics, env fingerprint).
+BENCH_SCHEMA = "repro-bench/1"
+#: Differential scenario-sweep artifact (cells + findings).
+SWEEP_SCHEMA = "repro-sweep/1"
+#: Simulation-conformance report (replay vs analytical model).
+CONFORMANCE_SCHEMA = "repro-conformance/1"
+#: Adversarial-search artifact (counterexamples + lineage).
+SEARCH_SCHEMA = "repro-search/1"
+#: Frozen regression-scenario registry entry.
+REGRESSION_SCHEMA = "repro-regression/1"
+#: Serialised churn timeline (workload deltas).
+DELTA_SCHEMA = "repro-delta/1"
+#: Churn-grid artifact (per-step differential + conformance verdicts).
+CHURN_SCHEMA = "repro-churn/1"
+#: Service wire envelope (every JSON endpoint except the raw cache fetch).
+SERVICE_SCHEMA = "repro-service/1"
+#: Invariant-linter findings artifact (``repro-lb lint``).
+LINT_SCHEMA = "repro-lint/1"
+
+#: Tag -> owning module (where the paired ``to_dict``/``from_dict`` lives).
+SCHEMA_TABLE: dict[str, str] = {
+    PIPELINE_SCHEMA: "repro.api.config",
+    RUN_SCHEMA: "repro.api.pipeline",
+    RUN_SCHEMA_V2: "repro.api.pipeline",
+    MANIFEST_SCHEMA: "repro.experiments.campaign",
+    BENCH_SCHEMA: "repro.bench.artifact",
+    SWEEP_SCHEMA: "repro.scenarios.sweep",
+    CONFORMANCE_SCHEMA: "repro.conformance.report",
+    SEARCH_SCHEMA: "repro.search.artifact",
+    REGRESSION_SCHEMA: "repro.scenarios.regression",
+    DELTA_SCHEMA: "repro.churn.deltas",
+    CHURN_SCHEMA: "repro.scenarios.churn",
+    SERVICE_SCHEMA: "repro.service.protocol",
+    LINT_SCHEMA: "repro.lint.artifact",
+}

@@ -23,11 +23,9 @@ from typing import Any, Mapping
 from repro import jsonio
 from repro.bench.artifact import environment_fingerprint
 from repro.errors import ConfigurationError
+from repro.schemas import SEARCH_SCHEMA
 
 __all__ = ["SEARCH_SCHEMA", "SearchArtifact"]
-
-#: Version tag stamped into every serialised search artifact.
-SEARCH_SCHEMA = "repro-search/1"
 
 
 @dataclass(slots=True)

@@ -152,7 +152,7 @@ def crossover_specs(
     picks = rng.random(len(_CROSSOVER_FIELDS)) < 0.5
     updates = {
         field: getattr(b, field)
-        for field, take_b in zip(_CROSSOVER_FIELDS, picks)
+        for field, take_b in zip(_CROSSOVER_FIELDS, picks, strict=True)
         if take_b and getattr(a, field) != getattr(b, field)
     }
     if updates:

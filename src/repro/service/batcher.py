@@ -51,19 +51,33 @@ def execute_config_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
     artifact rides the same manifest shape — ``"delta"`` can never clash with
     a pipeline-config key, which ``PipelineConfig.from_dict`` rejects anyway.
     """
-    body = payload["config"]
-    if isinstance(body, Mapping) and "delta" in body:
-        return _execute_rebalance_payload(payload)
-    from repro.experiments.campaign import CampaignRun, execute_run
+    try:
+        body = payload["config"]
+        if isinstance(body, Mapping) and "delta" in body:
+            return _execute_rebalance_payload(payload)
+        from repro.experiments.campaign import CampaignRun, execute_run
 
-    fingerprint = str(payload.get("fingerprint", ""))
-    run = CampaignRun(
-        run_id=f"service-{fingerprint[:12] or 'adhoc'}",
-        experiment="pipeline",
-        preset="service",
-        pipeline=dict(body),
-    )
-    return execute_run(run)
+        fingerprint = str(payload.get("fingerprint", ""))
+        run = CampaignRun(
+            run_id=f"service-{fingerprint[:12] or 'adhoc'}",
+            experiment="pipeline",
+            preset="service",
+            pipeline=dict(body),
+        )
+        return execute_run(run)
+    except Exception as error:  # noqa: BLE001 - a failed run must not kill the pool
+        import traceback
+
+        return {
+            "run_id": "service-adhoc",
+            "experiment": "pipeline",
+            "preset": "service",
+            "status": "failed",
+            "error": f"{type(error).__name__}: {error}",
+            "traceback": traceback.format_exc(),
+            "passed": False,
+            "seconds": 0.0,
+        }
 
 
 def _execute_rebalance_payload(payload: Mapping[str, Any]) -> dict[str, Any]:

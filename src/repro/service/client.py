@@ -18,6 +18,7 @@ import socket
 import time
 from typing import Any, Mapping
 
+from repro import jsonio
 from repro.api import PipelineConfig
 from repro.errors import ReproError
 
@@ -136,7 +137,7 @@ class ServiceClient:
         job record to poll via :meth:`job` / :meth:`wait_for`.
         """
         config_dict = config.to_dict() if isinstance(config, PipelineConfig) else dict(config)
-        body = json.dumps({"config": config_dict, "wait": wait}).encode("utf-8")
+        body = jsonio.dumps({"config": config_dict, "wait": wait}, indent=None).encode("utf-8")
         return self._request_json("POST", "/v1/submit", body)
 
     def rebalance(
@@ -155,8 +156,8 @@ class ServiceClient:
         """
         config_dict = config.to_dict() if isinstance(config, PipelineConfig) else dict(config)
         delta_dict = delta.to_dict() if hasattr(delta, "to_dict") else dict(delta)
-        body = json.dumps(
-            {"config": config_dict, "delta": delta_dict, "wait": wait}
+        body = jsonio.dumps(
+            {"config": config_dict, "delta": delta_dict, "wait": wait}, indent=None
         ).encode("utf-8")
         return self._request_json("POST", "/v1/rebalance", body)
 

@@ -27,6 +27,7 @@ from typing import Any, Mapping
 
 from repro import jsonio
 from repro.errors import ReproError
+from repro.schemas import SERVICE_SCHEMA
 
 __all__ = [
     "SERVICE_SCHEMA",
@@ -40,9 +41,6 @@ __all__ = [
     "parse_submit_payload",
     "rebalance_fingerprint",
 ]
-
-#: Version tag stamped into every structured service response.
-SERVICE_SCHEMA = "repro-service/1"
 
 #: Lifecycle of a submitted job.
 JOB_STATES = ("queued", "running", "done", "failed")

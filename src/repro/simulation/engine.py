@@ -25,6 +25,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.epsilon import EPSILON
 from repro.errors import ConfigurationError
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.unrolling import predecessors_of_instance, unrolled_instances
@@ -36,7 +37,7 @@ from repro.simulation.trace import ExecutionRecord, SimulationTrace, TransferRec
 
 __all__ = ["SimulationOptions", "SimulationResult", "simulate", "replay"]
 
-_EPS = 1e-9
+_EPS = EPSILON
 
 
 @dataclass(frozen=True, slots=True)

@@ -11,10 +11,13 @@ bookkeeping of their own.
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, TypeVar
 
 __all__ = ["StageTimer", "measure"]
+
+T = TypeVar("T")
 
 
 class StageTimer:
@@ -55,7 +58,7 @@ class StageTimer:
         return self._timings.get(name, 0.0)
 
 
-def measure(fn) -> tuple[float, object]:
+def measure(fn: Callable[[], T]) -> tuple[float, T]:
     """Run ``fn()`` and return ``(elapsed_seconds, result)``.
 
     The bench harness's repeat loop uses this directly; it is the smallest

@@ -182,6 +182,46 @@ class TestSweepErrors:
         assert "oracle_stride" in captured.err
 
 
+class TestLintErrors:
+    def test_missing_path_exits_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "no-such-tree"
+        code, captured = _invoke(capsys, "lint", str(missing))
+        assert code == 2
+        assert "repro-lb lint: error:" in captured.err
+        assert str(missing) in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_non_python_file_exits_cleanly(self, tmp_path, capsys):
+        notes = tmp_path / "notes.txt"
+        notes.write_text("not python")
+        code, captured = _invoke(capsys, "lint", str(notes))
+        assert code == 2
+        assert str(notes) in captured.err
+
+    def test_directory_without_python_exits_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        code, captured = _invoke(capsys, "lint", str(empty))
+        assert code == 2
+        assert str(empty) in captured.err
+
+    def test_syntax_error_names_the_file(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def (:\n")
+        code, captured = _invoke(capsys, "lint", str(broken))
+        assert code == 2
+        assert str(broken) in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unknown_rule_exits_cleanly(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        code, captured = _invoke(capsys, "lint", str(clean), "--rules", "nope")
+        assert code == 2
+        assert "repro-lb lint: error:" in captured.err
+        assert "nope" in captured.err
+
+
 class TestCampaignErrors:
     def test_unknown_jobs_count_exits_cleanly(self, tmp_path, capsys):
         code, captured = _invoke(

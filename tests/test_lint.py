@@ -1,0 +1,297 @@
+"""The invariant linter: red fixtures per rule, the clean-tree gate, pragmas,
+artifact round-trips and the CLI verb.
+
+Each red fixture is the smallest module that violates exactly one rule; the
+test pins the rule id, file and line so a checker that drifts (fires on the
+wrong node, or stops firing) fails loudly.  The clean-tree gate is the
+self-application contract: ``src/`` must stay at zero findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ArtifactError, ConfigurationError
+from repro.lint import (
+    LintArtifact,
+    LintFinding,
+    available_rules,
+    get_rule,
+    lint_paths,
+    register_rule,
+    rule_info,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+EXPECTED_RULES = (
+    "atomic-write",
+    "epsilon-literal",
+    "manifest-shell",
+    "raw-json",
+    "registry-complete",
+    "schema-literal",
+    "seeded-random",
+    "wall-clock",
+)
+
+#: rule -> (fixture source, 1-based line of the expected finding).
+RED_FIXTURES: dict[str, tuple[str, int]] = {
+    "raw-json": ('import json\npayload = json.dumps({"a": 1})\n', 2),
+    "atomic-write": (
+        'from pathlib import Path\nPath("out.json").write_text("{}")\n',
+        2,
+    ),
+    "epsilon-literal": ("TOLERANCE = 1e-9\n", 1),
+    "seeded-random": ("import random\nvalue = random.random()\n", 2),
+    "schema-literal": ('TAG = "repro-bench/1"\n', 1),
+    "manifest-shell": ("def execute_thing(payload):\n    return payload\n", 1),
+    "wall-clock": ("import time\nstamp = time.time()\n", 2),
+    "registry-complete": (
+        "def register_thing(spec):\n"
+        "    pass\n"
+        "\n"
+        'register_thing("a")\n'
+        "\n"
+        "\n"
+        "def orphan_strategy():\n"
+        "    pass\n",
+        7,
+    ),
+}
+
+
+def _lint_source(tmp_path: Path, source: str, *, rules=None) -> LintArtifact:
+    target = tmp_path / "fixture.py"
+    target.write_text(source)
+    return lint_paths([str(target)], rules=rules)
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        assert available_rules() == EXPECTED_RULES
+
+    def test_rule_info_carries_title_and_description(self):
+        for name in available_rules():
+            rule = rule_info(name)
+            assert rule.name == name
+            assert rule.title
+            assert rule.description
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigurationError, match="nope"):
+            get_rule("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="raw-json"):
+            register_rule("raw-json", "dup", "dup")(lambda source: ())
+
+
+class TestRedFixtures:
+    @pytest.mark.parametrize("rule", sorted(RED_FIXTURES))
+    def test_rule_fires_at_the_expected_line(self, rule, tmp_path):
+        source, line = RED_FIXTURES[rule]
+        artifact = _lint_source(tmp_path, source, rules=[rule])
+        assert not artifact.ok
+        assert [(f.rule, f.line) for f in artifact.findings] == [(rule, line)]
+        finding = artifact.findings[0]
+        assert finding.path.endswith("fixture.py")
+        assert finding.message
+
+    @pytest.mark.parametrize("rule", sorted(RED_FIXTURES))
+    def test_all_rules_together_still_catch_it(self, rule, tmp_path):
+        source, line = RED_FIXTURES[rule]
+        artifact = _lint_source(tmp_path, source)
+        assert (rule, line) in [(f.rule, f.line) for f in artifact.findings]
+
+    def test_seeded_random_requires_derive_seed(self, tmp_path):
+        artifact = _lint_source(
+            tmp_path, "import random\nrng = random.Random(7)\n", rules=["seeded-random"]
+        )
+        assert [f.rule for f in artifact.findings] == ["seeded-random"]
+        assert "derive" in artifact.findings[0].message
+
+    def test_seeded_random_accepts_derived_seeds(self, tmp_path):
+        source = (
+            "import random\n"
+            "from repro.workloads.seeding import derive_seed\n"
+            "rng = random.Random(derive_seed(7, 0))\n"
+        )
+        assert _lint_source(tmp_path, source, rules=["seeded-random"]).ok
+
+    def test_schema_literal_distinguishes_unknown_tags(self, tmp_path):
+        artifact = _lint_source(
+            tmp_path, 'TAG = "repro-doesnotexist/3"\n', rules=["schema-literal"]
+        )
+        assert [f.rule for f in artifact.findings] == ["schema-literal"]
+        assert "not in the central" in artifact.findings[0].message
+
+    def test_schema_tags_in_docstrings_are_prose(self, tmp_path):
+        artifact = _lint_source(
+            tmp_path, '"""Writes repro-bench/1 artifacts."""\n', rules=["schema-literal"]
+        )
+        assert artifact.ok
+
+    def test_manifest_shell_accepts_wrapped_workers(self, tmp_path):
+        source = (
+            "def execute_thing(payload):\n"
+            "    try:\n"
+            "        return {'status': 'ok'}\n"
+            "    except Exception:\n"
+            "        return {'status': 'failed'}\n"
+        )
+        assert _lint_source(tmp_path, source, rules=["manifest-shell"]).ok
+
+    def test_raw_json_allows_loads(self, tmp_path):
+        assert _lint_source(
+            tmp_path, 'import json\ndata = json.loads("{}")\n', rules=["raw-json"]
+        ).ok
+
+
+class TestPragmas:
+    def test_disable_pragma_suppresses_and_is_counted(self, tmp_path):
+        source = "import time\nstamp = time.time()  # repro-lint: disable=wall-clock\n"
+        artifact = _lint_source(tmp_path, source, rules=["wall-clock"])
+        assert artifact.ok
+        assert artifact.suppressed == {"wall-clock": 1}
+        assert artifact.counts["suppressed"] == 1
+
+    def test_pragma_is_per_rule(self, tmp_path):
+        source = "import time\nstamp = time.time()  # repro-lint: disable=raw-json\n"
+        artifact = _lint_source(tmp_path, source, rules=["wall-clock"])
+        assert not artifact.ok
+
+    def test_pragma_accepts_comma_separated_rules(self, tmp_path):
+        source = (
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=raw-json, wall-clock\n"
+        )
+        assert _lint_source(tmp_path, source, rules=["wall-clock"]).ok
+
+
+class TestCleanTree:
+    def test_src_is_lint_clean(self):
+        artifact = lint_paths([str(SRC)])
+        assert artifact.findings == (), "\n" + artifact.render()
+        assert artifact.files > 100
+        assert artifact.rules == EXPECTED_RULES
+
+
+class TestArtifact:
+    def test_round_trip_through_disk(self, tmp_path):
+        artifact = _lint_source(tmp_path, "TOLERANCE = 1e-9\n")
+        target = artifact.save(tmp_path / "lint")
+        assert target.name.startswith("LINT_")
+        loaded = LintArtifact.load(target)
+        assert loaded.schema == "repro-lint/1"
+        assert loaded.findings == artifact.findings
+        assert loaded.counts == artifact.counts
+
+    def test_load_goes_through_the_schema_front_door(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "repro-bench/1"}))
+        with pytest.raises(ArtifactError, match="repro-lint"):
+            LintArtifact.load(bad)
+
+    def test_fingerprint_is_line_drift_stable(self):
+        first = LintFinding(rule="wall-clock", path="a.py", line=3, col=0, message="m")
+        moved = LintFinding(rule="wall-clock", path="a.py", line=90, col=4, message="m")
+        other = LintFinding(rule="wall-clock", path="b.py", line=3, col=0, message="m")
+        assert first.fingerprint == moved.fingerprint
+        assert first.fingerprint != other.fingerprint
+        assert first.to_dict()["fingerprint"] == first.fingerprint
+
+    def test_dumps_is_strict_sorted_json(self, tmp_path):
+        artifact = _lint_source(tmp_path, "TOLERANCE = 1e-9\n")
+        payload = json.loads(artifact.dumps())
+        assert payload["schema"] == "repro-lint/1"
+        assert payload["findings"][0]["rule"] == "epsilon-literal"
+        assert payload["counts"]["findings"] == 1
+
+
+class TestEngineErrors:
+    def test_missing_path_rejected(self):
+        with pytest.raises(ConfigurationError, match="does-not-exist"):
+            lint_paths(["does-not-exist"])
+
+    def test_non_python_file_rejected(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello")
+        with pytest.raises(ConfigurationError, match="notes.txt"):
+            lint_paths([str(target)])
+
+    def test_directory_without_python_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ConfigurationError, match="empty"):
+            lint_paths([str(empty)])
+
+    def test_syntax_error_names_the_file(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def (:\n")
+        with pytest.raises(ConfigurationError, match="broken.py"):
+            lint_paths([str(bad)])
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(ConfigurationError, match="No lint paths"):
+            lint_paths([])
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("VALUE = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_findings_exit_one_and_name_the_site(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("TOLERANCE = 1e-9\n")
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "epsilon-literal" in out
+        assert "dirty.py:1" in out
+
+    def test_json_emits_the_artifact(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nstamp = time.time()\n")
+        assert main(["lint", str(dirty), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-lint/1"
+        assert payload["findings"][0]["rule"] == "wall-clock"
+
+    def test_rules_subset_runs_only_those(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("TOLERANCE = 1e-9\nimport time\nstamp = time.time()\n")
+        assert main(["lint", str(dirty), "--rules", "wall-clock"]) == 1
+        payload_out = capsys.readouterr().out
+        assert "wall-clock" in payload_out
+        assert "epsilon-literal" not in payload_out
+
+    def test_output_writes_a_loadable_artifact(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("TOLERANCE = 1e-9\n")
+        out_dir = tmp_path / "artifacts"
+        assert main(["lint", str(dirty), "--output", str(out_dir)]) == 1
+        capsys.readouterr()
+        files = list(out_dir.glob("LINT_*.json"))
+        assert len(files) == 1
+        assert LintArtifact.load(files[0]).counts["findings"] == 1
+
+    def test_repo_gate_through_the_cli(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_rules_in_list_catalog(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        section = catalog["lint rules (see 'repro-lb lint')"]
+        assert [entry["name"] for entry in section] == list(EXPECTED_RULES)
+        schemas = catalog["artifact schemas"]
+        assert {"name": "repro-lint/1", "summary": "owned by repro.lint.artifact"} in schemas
