@@ -13,7 +13,10 @@
   with concurrent clients over real sockets;
 * :mod:`~repro.bench.rebalance` — the ``rebalance`` tier
   (``repro-lb bench rebalance``): pin the incremental-repair-vs-from-scratch
-  speedup of ``Pipeline.rebalance`` for single-task deltas.
+  speedup of ``Pipeline.rebalance`` for single-task deltas;
+* :mod:`~repro.bench.stress_xl` — the ``stress-xl`` tier
+  (``repro-lb bench stress-xl``): time-vs-N scaling curves of the balancer
+  on the flat-array kernels, gated on the fitted exponent.
 """
 
 from repro.bench.artifact import (
@@ -33,6 +36,11 @@ from repro.bench.registry import (
 )
 from repro.bench.rebalance import run_rebalance_bench
 from repro.bench.service import run_service_bench, service_workload_mix
+from repro.bench.stress_xl import (
+    XL_PRESETS,
+    fit_scaling_exponent,
+    run_stress_xl_bench,
+)
 
 __all__ = [
     "BENCH_PRESETS",
@@ -42,14 +50,17 @@ __all__ = [
     "BenchmarkSpec",
     "ComparisonReport",
     "RegressionEntry",
+    "XL_PRESETS",
     "available_benchmarks",
     "bench_script",
     "benchmark_info",
     "compare",
     "environment_fingerprint",
+    "fit_scaling_exponent",
     "register_benchmark",
     "run_benchmarks",
     "run_rebalance_bench",
     "run_service_bench",
+    "run_stress_xl_bench",
     "service_workload_mix",
 ]

@@ -21,6 +21,14 @@ Wall times are compared on the *best* (minimum) measured repeat — the
 noise-robust basis — and the tolerance is deliberately generous on CI
 runners (the perf gate ships 2.5×): the gate exists to catch a 3× slowdown
 in the heuristic, not 10% jitter.
+
+Records that carry a ``fit_exponent`` metric (the stress-xl scaling curve)
+are additionally gated on *shape*: the current exponent may exceed the
+baseline exponent by at most ``exponent_margin``.  The exponent is
+machine-independent where wall times are not — a slower CI runner shifts the
+whole curve up without bending it — so this check catches complexity
+regressions (an O(n²) path sneaking back in) that a generous wall-time
+tolerance would wave through.
 """
 
 from __future__ import annotations
@@ -71,6 +79,7 @@ class ComparisonReport:
     tolerance: float
     warn_fraction: float
     min_delta: float = 0.05
+    exponent_margin: float = 0.25
     entries: list[RegressionEntry] = field(default_factory=list)
 
     @property
@@ -119,6 +128,7 @@ class ComparisonReport:
             "tolerance": float(self.tolerance),
             "warn_fraction": float(self.warn_fraction),
             "min_delta": float(self.min_delta),
+            "exponent_margin": float(self.exponent_margin),
             "ok": self.ok,
             "entries": [entry.to_dict() for entry in self.entries],
         }
@@ -142,6 +152,7 @@ def compare(
     *,
     warn_fraction: float = 0.8,
     min_delta: float = 0.05,
+    exponent_margin: float = 0.25,
 ) -> ComparisonReport:
     """Classify every benchmark of ``current`` against ``baseline``.
 
@@ -154,6 +165,12 @@ def compare(
     benchmarks would otherwise turn scheduler jitter into gate failures.
     Verdict regressions (PASS flipping to FAIL) are exempt from the floor.
     Pass ``min_delta=0`` for strict ratio semantics.
+
+    When a baseline record carries a ``fit_exponent`` metric, the matching
+    current record must carry one too and may exceed the baseline exponent by
+    at most ``exponent_margin`` — the scaling-shape gate (see the module
+    docstring).  The exponent gate ignores the wall-time noise floor: it is a
+    dimensionless slope, not a duration.
     """
     if tolerance <= 1.0:
         raise ConfigurationError(f"tolerance must exceed 1.0, got {tolerance}")
@@ -163,6 +180,10 @@ def compare(
         )
     if min_delta < 0:
         raise ConfigurationError(f"min_delta must be non-negative, got {min_delta}")
+    if exponent_margin < 0:
+        raise ConfigurationError(
+            f"exponent_margin must be non-negative, got {exponent_margin}"
+        )
     baseline = _coerce(baseline, "baseline")
     current = _coerce(current, "current artifact")
     if baseline.preset != current.preset:
@@ -188,8 +209,21 @@ def compare(
         current_best = record.best
         ratio = current_best / baseline_best if baseline_best > 0 else float("inf")
         below_floor = (current_best - baseline_best) < min_delta
+        base_exponent = base_record.metrics.get("fit_exponent")
+        current_exponent = record.metrics.get("fit_exponent")
         if record.passed is False and base_record.passed is not False:
             status, detail = "fail", "experiment verdict regressed to FAIL"
+        elif base_exponent is not None and current_exponent is None:
+            status, detail = "fail", "scaling exponent missing from the current record"
+        elif (
+            base_exponent is not None
+            and current_exponent > base_exponent + exponent_margin
+        ):
+            status = "fail"
+            detail = (
+                f"scaling exponent {current_exponent:.3f} exceeds baseline "
+                f"{base_exponent:.3f} + margin {exponent_margin:g}"
+            )
         elif below_floor:
             status, detail = "pass", "" if ratio <= 1.0 else "below the min-delta noise floor"
         elif ratio > tolerance:
@@ -224,5 +258,6 @@ def compare(
         tolerance=float(tolerance),
         warn_fraction=float(warn_fraction),
         min_delta=float(min_delta),
+        exponent_margin=float(exponent_margin),
         entries=entries,
     )

@@ -300,6 +300,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute noise floor in seconds (default: 0.05; 0 disables it)",
     )
     bench_compare.add_argument(
+        "--exponent-margin",
+        type=float,
+        default=0.25,
+        help="allowed fit_exponent growth over the baseline for scaling-curve "
+        "records (default: 0.25)",
+    )
+    bench_compare.add_argument(
         "--json", action="store_true", help="print the comparison report as JSON"
     )
 
@@ -382,6 +389,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the artifact here (a directory gets BENCH_<timestamp>.json)",
     )
     bench_rebalance.add_argument(
+        "--json", action="store_true", help="print the artifact JSON to stdout"
+    )
+
+    bench_xl = bench_sub.add_parser(
+        "stress-xl",
+        help="time-vs-N scaling curve of the balancer on the array kernels",
+    )
+    bench_xl.add_argument(
+        "--preset",
+        choices=("smoke", "xl"),
+        default="smoke",
+        help="tier sizes: smoke = N in (200, 400, 800) (CI-sized), "
+        "xl = N in (1000, 5000, 20000) (default: smoke)",
+    )
+    bench_xl.add_argument(
+        "--repeats", type=int, default=2, help="balance repeats per N (default: 2)"
+    )
+    bench_xl.add_argument(
+        "--seed", type=int, default=2008, help="workload seed (default: 2008)"
+    )
+    bench_xl.add_argument(
+        "--engine",
+        choices=("array", "python"),
+        default="array",
+        help="occupancy engine to time (default: array)",
+    )
+    bench_xl.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the artifact here (a directory gets BENCH_<timestamp>.json)",
+    )
+    bench_xl.add_argument(
         "--json", action="store_true", help="print the artifact JSON to stdout"
     )
 
@@ -922,12 +961,53 @@ def _run_bench(args: argparse.Namespace) -> int:
             return 1
         return 0
 
+    if args.bench_command == "stress-xl":
+        from repro.bench.stress_xl import XL_CURVE_NAME, run_stress_xl_bench
+
+        artifact = run_stress_xl_bench(
+            preset=args.preset,
+            repeats=args.repeats,
+            seed=args.seed,
+            engine=args.engine,
+        )
+        written = artifact.save(args.output) if args.output else None
+        if args.json:
+            print(jsonio.dumps(artifact.to_dict()))
+        else:
+            print(f"bench stress-xl: preset {artifact.preset} ({artifact.created})")
+            for record in artifact.records:
+                if record.name == XL_CURVE_NAME:
+                    continue
+                metrics = record.metrics
+                print(
+                    f"  N={metrics['task_count']:>6.0f}  "
+                    f"schedule {metrics['schedule_seconds']:8.3f}s  "
+                    f"balance best {metrics['balance_seconds_best']:8.3f}s  "
+                    f"({metrics['block_count']:.0f} blocks, "
+                    f"{metrics['moved_blocks']:.0f} moved)"
+                )
+            curve = artifact.record(XL_CURVE_NAME)
+            assert curve is not None
+            print(
+                f"  curve: time ∝ N^{curve.metrics['fit_exponent']:.3f} "
+                f"(r²={curve.metrics['r_squared']:.3f}, "
+                f"ceiling {curve.metrics['exponent_ceiling']:g}) "
+                f"{'PASS' if curve.passed else 'FAIL'}"
+            )
+            if written is not None:
+                print(f"artifact written to {written}")
+        if any(record.passed is False for record in artifact.records):
+            print("repro-lb bench stress-xl: FAIL verdict", file=sys.stderr)
+            return 1
+        return 0
+
     # compare
     report = compare_artifacts(
         BenchArtifact.load(args.baseline),
         BenchArtifact.load(args.current),
         args.tolerance,
         min_delta=args.min_delta,
+        exponent_margin=args.exponent_margin,
     )
     if args.json:
         print(jsonio.dumps(report.to_dict()))

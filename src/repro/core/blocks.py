@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import enum
 from collections.abc import Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.epsilon import EPSILON
 from repro.errors import SchedulingError
@@ -75,6 +75,14 @@ class Block:
     processor: str
     members: tuple[ScheduledInstance, ...]
     category: BlockCategory
+    #: Cached aggregates (the members tuple is immutable, so they are fixed
+    #: at construction).  ``member_keys`` and ``start`` are on the balancer's
+    #: innermost candidate loop — recomputing the sort per access used to be
+    #: a top-3 profile entry at stress scale.
+    _member_keys: tuple[tuple[str, int], ...] = field(
+        init=False, repr=False, compare=False
+    )
+    _start: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.members:
@@ -85,13 +93,19 @@ class Block:
                 f"Block {self.id} members span processors {sorted(processors)}, "
                 f"expected only {self.processor!r}"
             )
+        object.__setattr__(
+            self,
+            "_member_keys",
+            tuple(m.key for m in sorted(self.members, key=lambda m: m.start)),
+        )
+        object.__setattr__(self, "_start", min(m.start for m in self.members))
 
     # -- aggregate attributes (paper: execution time / memory of a block are
     #    the sums over its tasks, its start time is its first task's start) --
     @property
     def start(self) -> float:
         """Start time of the first member (the block's start time)."""
-        return min(m.start for m in self.members)
+        return self._start
 
     @property
     def end(self) -> float:
@@ -115,8 +129,8 @@ class Block:
 
     @property
     def member_keys(self) -> tuple[tuple[str, int], ...]:
-        """``(task, index)`` keys of the members, in start order."""
-        return tuple(m.key for m in sorted(self.members, key=lambda m: m.start))
+        """``(task, index)`` keys of the members, in start order (cached)."""
+        return self._member_keys
 
     @property
     def tasks(self) -> tuple[str, ...]:

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core import kernels
 from repro.core.blocks import Block, BlockBuildOptions, build_blocks
 from repro.core.conditions import (
     BalancingState,
@@ -118,6 +119,18 @@ class LoadBalancerOptions:
     #: computation, raising :class:`~repro.errors.SchedulingError` on any
     #: divergence.  Slow; meant for the property-test layer.
     cross_check: bool = False
+    #: Conflict-engine implementation answering the steady-state queries:
+    #: ``"python"`` (per-object timelines) or ``"array"`` (flat numpy
+    #: kernels, see :mod:`repro.core.kernels`).  Both are exactly
+    #: equivalent; the default tracks :data:`repro.core.kernels.DEFAULT_ENGINE`
+    #: at options-construction time.
+    engine: str = field(default_factory=lambda: kernels.DEFAULT_ENGINE)
+    #: Sampling stride of the ``cross_check`` oracle: every ``stride``-th
+    #: cross-checked query runs the from-scratch comparison (1 = every
+    #: query).  The oracle is quadratic, so checking every query at N=5000
+    #: is intractable; a large prime stride keeps a run verifiable
+    #: end-to-end while still sampling moves across the whole run.
+    cross_check_stride: int = 1
 
     def __post_init__(self) -> None:
         """Reject contradictory flag combinations outright.
@@ -138,6 +151,21 @@ class LoadBalancerOptions:
                 "feasibility check the retry ladder can never trigger; pass "
                 "retry_until_feasible=False explicitly if verification is unwanted"
             )
+        if self.engine not in kernels.ENGINE_KINDS:
+            raise ConfigurationError(
+                f"Unknown conflict-engine kind {self.engine!r}; expected one of "
+                f"{kernels.ENGINE_KINDS}"
+            )
+        if self.cross_check_stride < 1:
+            raise ConfigurationError(
+                f"cross_check_stride must be >= 1, got {self.cross_check_stride}"
+            )
+        if self.cross_check_stride != 1 and not self.cross_check:
+            raise ConfigurationError(
+                "cross_check_stride requires cross_check: the stride only samples "
+                "the differential oracle, so setting it without the oracle is "
+                "silently ineffective"
+            )
 
 
 class LoadBalancer:
@@ -153,6 +181,8 @@ class LoadBalancer:
         #: ``(block id, sorted (current start, wcet) pairs, base offset)`` of
         #: the block being processed (see :meth:`_cache_block_pattern`).
         self._pattern_cache: tuple[int, list[tuple[float, float]], float] | None = None
+        #: Shared counter behind :meth:`_should_cross_check` (stride sampling).
+        self._cross_check_queries = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -239,15 +269,27 @@ class LoadBalancer:
         state.in_edges = {key: tuple(edges) for key, edges in in_edges.items()}
         self._wcet = {name: task.wcet for name, task in self.graph.tasks.items()}
         self._block_of_instance: dict[tuple[str, int], int] = {}
-        engine = state.attach_engine(self.architecture.processor_names)
+        engine = state.attach_engine(
+            self.architecture.processor_names, kind=self.options.engine
+        )
         hyper_period = state.hyper_period
+        self._cross_check_queries = 0
+        # Seed the resident timelines in bulk: one sorted build per processor
+        # instead of O(n²) repeated sorted-list insertion (the difference
+        # between seconds and minutes at stress-xl scale).
+        resident_seed: dict[str, list[tuple[float, float, object]]] = {
+            name: [] for name in self.architecture.processor_names
+        }
         for block in blocks:
             for key in block.member_keys:
                 self._block_of_instance[key] = block.id
                 _proc, start = state.position(key)
-                engine.reside(
-                    block.processor, start % hyper_period, self._wcet[key[0]], key[0]
+                resident_seed[block.processor].append(
+                    (start % hyper_period, self._wcet[key[0]], key[0])
                 )
+        for name, items in resident_seed.items():
+            if items:
+                engine.reside_bulk(name, items)
 
         decisions: list[MoveDecision] = []
         warnings: list[str] = []
@@ -330,7 +372,7 @@ class LoadBalancer:
                 (float((placement_start + current - base) % hyper_period), wcet)
                 for current, wcet in members
             ]
-            if self.options.cross_check:
+            if self.options.cross_check and self._should_cross_check():
                 fresh = block.circular_pattern(
                     placement_start, state.hyper_period, state.current
                 )
@@ -341,6 +383,18 @@ class LoadBalancer:
                     )
             return pattern
         return block.circular_pattern(placement_start, state.hyper_period, state.current)
+
+    def _should_cross_check(self) -> bool:
+        """Stride-sampled gate of the differential oracle.
+
+        Counts every query that *would* be cross-checked and fires on every
+        ``cross_check_stride``-th one (always, with the default stride of 1).
+        One shared counter covers the steady-state and pattern-cache check
+        sites, so a sampled run still probes both.
+        """
+        index = self._cross_check_queries
+        self._cross_check_queries = index + 1
+        return index % self.options.cross_check_stride == 0
 
     def _steady_ok(
         self,
@@ -363,7 +417,7 @@ class LoadBalancer:
         verdict = state.engine.compatible(
             target, pattern, include_resident=include_unmoved, exclude=exclude_tasks
         )
-        if self.options.cross_check:
+        if self.options.cross_check and self._should_cross_check():
             oracle = steady_state_compatible(
                 pattern,
                 self._reserved_patterns(
@@ -492,17 +546,29 @@ class LoadBalancer:
             )
             if name != block.processor
         ]
-        passing: list[str] = []
-        for name in ordered:
-            if self._steady_ok(
-                name,
-                pattern,
-                state,
-                unprocessed,
-                unprocessed_by_origin,
-                include_unmoved=True,
-            ):
-                passing.append(name)
+        # All M processors answered in one engine call; with cross_check on,
+        # each verdict is still validated (stride-sampled) against the
+        # from-scratch oracle through the usual per-target path.
+        assert state.engine is not None
+        verdicts = state.engine.compatible_batch(
+            ordered, pattern, include_resident=True
+        )
+        if self.options.cross_check:
+            for name in ordered:
+                per_target = self._steady_ok(
+                    name,
+                    pattern,
+                    state,
+                    unprocessed,
+                    unprocessed_by_origin,
+                    include_unmoved=True,
+                )
+                if per_target != verdicts[name]:
+                    raise SchedulingError(
+                        f"compatible_batch divergence on {name!r}: batch="
+                        f"{verdicts[name]}, per-target={per_target}"
+                    )
+        passing = [name for name in ordered if verdicts[name]]
         for name in passing:
             if evaluations[name].feasible:
                 return name

@@ -36,7 +36,7 @@ from collections.abc import Iterable
 
 from repro.errors import SchedulingError
 from repro.scheduling.periodic_intervals import EPSILON as _EPS
-from repro.scheduling.periodic_intervals import split_wrapping
+from repro.scheduling.periodic_intervals import normalize_pieces
 
 __all__ = ["OccupancyTimeline", "ConflictEngine"]
 
@@ -86,7 +86,7 @@ class OccupancyTimeline:
     # ------------------------------------------------------------------
     def add(self, offset: float, length: float, owner: object = None) -> None:
         """Insert the circular interval ``[offset, offset + length)``."""
-        for begin, end in split_wrapping(offset, length, self.period):
+        for begin, end in normalize_pieces(offset, length, self.period):
             index = bisect_left(self._starts, begin)
             self._starts.insert(index, begin)
             self._ends.insert(index, end)
@@ -98,8 +98,43 @@ class OccupancyTimeline:
                     break
                 self._prefix_max[j] = end
 
+    def extend(self, items: Iterable[tuple[float, float, object]]) -> None:
+        """Bulk-insert circular ``(offset, length, owner)`` intervals.
+
+        Equivalent to calling :meth:`add` per item but built in one pass:
+        all pieces (existing plus new) are merged with a single stable sort
+        by start and the prefix maximum is recomputed once.  Seeding a
+        timeline with ``n`` resident slots is ``O(n log n)`` this way instead
+        of the ``O(n²)`` of repeated sorted-list insertion — the difference
+        between seconds and minutes at stress-xl scale.
+        """
+        pieces = [
+            (begin, end, owner)
+            for offset, length, owner in items
+            for begin, end in normalize_pieces(offset, length, self.period)
+        ]
+        if not pieces:
+            return
+        merged = list(zip(self._starts, self._ends, self._owners, strict=True))
+        merged.extend(pieces)
+        merged.sort(key=lambda piece: piece[0])
+        self._starts = [piece[0] for piece in merged]
+        self._ends = [piece[1] for piece in merged]
+        self._owners = [piece[2] for piece in merged]
+        prefix: list[float] = []
+        running = float("-inf")
+        for end in self._ends:
+            running = max(running, end)
+            prefix.append(running)
+        self._prefix_max = prefix
+
     def remove(self, offset: float, length: float, owner: object = None) -> None:
         """Remove a previously added interval (same ``offset``/``length``/``owner``).
+
+        Start and end are matched within :data:`repro.epsilon.EPSILON` rather
+        than by exact float equality: ``shift()`` callers recompute offsets
+        through ``%``-arithmetic, which can land an ulp away from the value
+        originally stored.
 
         Raises
         ------
@@ -107,10 +142,10 @@ class OccupancyTimeline:
             When no matching piece is stored — a sign the caller's incremental
             bookkeeping diverged from the timeline's contents.
         """
-        for begin, end in split_wrapping(offset, length, self.period):
-            index = bisect_left(self._starts, begin)
-            while index < len(self._starts) and self._starts[index] == begin:
-                if self._ends[index] == end and self._owners[index] == owner:
+        for begin, end in normalize_pieces(offset, length, self.period):
+            index = bisect_left(self._starts, begin - _EPS)
+            while index < len(self._starts) and self._starts[index] <= begin + _EPS:
+                if abs(self._ends[index] - end) <= _EPS and self._owners[index] == owner:
                     break
                 index += 1
             else:
@@ -143,19 +178,12 @@ class OccupancyTimeline:
         """
         if length <= _EPS or not self._starts:
             return False
-        # Inline split_wrapping for the dominant non-wrapping case: the query
-        # loop runs once per steady-state candidate and the intermediate list
-        # allocation is measurable at E3 scale.  Semantics are identical.
-        period = self.period
-        if length >= period - _EPS:
-            pieces: tuple[tuple[float, float], ...] = ((0.0, period),)
-        else:
-            begin = offset % period
-            end = begin + length
-            if end <= period + _EPS:
-                pieces = ((begin, min(end, period)),)
-            else:
-                pieces = ((begin, period), (0.0, end - period))
+        # One canonical boundary rule for queries and stored pieces alike:
+        # normalize_pieces is the same tuple-returning helper split_wrapping
+        # wraps, so the query side cannot drift from the storage side at the
+        # period boundary (it used to hand-roll the clamp and disagree with
+        # split_wrapping on sub-epsilon wrap pieces).
+        pieces = normalize_pieces(offset, length, self.period)
         starts = self._starts
         ends = self._ends
         owners = self._owners
@@ -215,6 +243,12 @@ class ConflictEngine:
         """Record the current slot of a not-yet-processed instance."""
         self.resident[processor].add(offset, length, owner)
 
+    def reside_bulk(
+        self, processor: str, items: Iterable[tuple[float, float, object]]
+    ) -> None:
+        """Record many resident slots at once (initial-schedule seeding)."""
+        self.resident[processor].extend(items)
+
     def release(self, processor: str, offset: float, length: float, owner: object) -> None:
         """Drop a resident slot (its block is about to be processed)."""
         self.resident[processor].remove(offset, length, owner)
@@ -259,6 +293,28 @@ class ConflictEngine:
             if resident is not None and resident.overlaps(offset, length, exclude):
                 return False
         return True
+
+    def compatible_batch(
+        self,
+        processors: Iterable[str],
+        pattern: Iterable[tuple[float, float]],
+        *,
+        include_resident: bool = False,
+        exclude: frozenset = frozenset(),
+    ) -> dict[str, bool]:
+        """:meth:`compatible` over many processors (one verdict per name).
+
+        The python engine answers by looping; the array engine overrides this
+        with one vectorised sweep.  Keeping the method on both engines lets
+        the balancer's safe fallback stay engine-agnostic.
+        """
+        fixed = list(pattern)
+        return {
+            name: self.compatible(
+                name, fixed, include_resident=include_resident, exclude=exclude
+            )
+            for name in processors
+        }
 
     def moved_pattern(self, processor: str) -> list[tuple[float, float]]:
         """Linear pieces of the moved timeline (introspection/tests)."""

@@ -32,6 +32,7 @@ __all__ = [
     "EPSILON",
     "circular_overlap",
     "clearing_shift",
+    "normalize_pieces",
     "pattern_offsets",
     "split_wrapping",
     "patterns_conflict",
@@ -104,6 +105,39 @@ def pattern_offsets(
     return [float((first_start + k * task_period) % hyper_period) for k in range(count)]
 
 
+def normalize_pieces(
+    start: float, length: float, period: float
+) -> tuple[tuple[float, float], ...]:
+    """Canonical linear pieces of a circular interval, as a tuple.
+
+    The single normalisation rule shared by :func:`split_wrapping`, the
+    occupancy-timeline fast path and the flat-array kernels: an interval
+    crossing the period boundary always wraps, and any resulting piece
+    shorter than :data:`EPSILON` is dropped.  Returning a tuple keeps the
+    hot paths allocation-light (no intermediate list plus filter pass).
+    """
+    _check(period)
+    if length <= _EPS:
+        return ()
+    if length >= period - _EPS:
+        return ((0.0, float(period)),)
+    begin = start % period
+    end = begin + length
+    if end > period:
+        keep_first = period - begin > _EPS
+        keep_second = end - period > _EPS
+        if keep_first and keep_second:
+            return ((begin, float(period)), (0.0, end - period))
+        if keep_first:
+            return ((begin, float(period)),)
+        if keep_second:
+            return ((0.0, end - period),)
+        return ()
+    if end - begin > _EPS:
+        return ((begin, end),)
+    return ()
+
+
 def split_wrapping(start: float, length: float, period: float) -> list[tuple[float, float]]:
     """Normalise a circular interval into 1 or 2 linear ``[start, end)`` pieces in ``[0, period)``.
 
@@ -114,21 +148,9 @@ def split_wrapping(start: float, length: float, period: float) -> list[tuple[flo
     only create clamp-versus-wrap asymmetry at the boundary.  Previously an
     interval ending within ``EPSILON`` *past* the period was clamped while
     one ending just beyond wrapped, so the two sides of that knife edge were
-    normalised by different rules.
+    normalised by different rules.  Delegates to :func:`normalize_pieces`.
     """
-    _check(period)
-    if length <= _EPS:
-        return []
-    if length >= period - _EPS:
-        return [(0.0, float(period))]
-    begin = start % period
-    end = begin + length
-    if end > period:
-        pieces = [(begin, float(period)), (0.0, end - period)]
-    else:
-        pieces = [(begin, end)]
-    return [(piece_begin, piece_end) for piece_begin, piece_end in pieces
-            if piece_end - piece_begin > _EPS]
+    return list(normalize_pieces(start, length, period))
 
 
 def patterns_conflict(

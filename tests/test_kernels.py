@@ -1,0 +1,547 @@
+"""Property suite pinning the flat-array kernels to the Python engine.
+
+``repro.core.kernels`` re-implements the steady-state hot path on parallel
+numpy arrays; every speedup is only admissible because the answers are
+*identical* to the per-object Python engine.  This suite pins that claim:
+
+* ``normalize_pieces`` is the one canonical boundary rule — ``split_wrapping``
+  delegates to it and the ``overlaps`` fast path can no longer drift from it
+  (the inlined clamp used to disagree on sub-epsilon wrap pieces);
+* ``OccupancyTimeline.extend`` / ``ArrayTimeline.extend`` equal sequential
+  ``add`` (the O(n²)-seeding bugfix);
+* ``remove`` matches within EPSILON (the exact-float ulp bugfix);
+* ``ArrayTimeline`` mirrors ``OccupancyTimeline`` op-for-op over random
+  sequences, ``overlaps_batch`` equals per-object ``overlaps`` (wrap,
+  zero-length, full-period, owner exclusion);
+* ``clearing_shift_batch`` (dense *and* windowed) equals the scheduler's
+  pure-Python reference scan, including the inseparable-intervals error;
+* both conflict engines agree end to end, up to byte-identical E6/E7 tables.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import LoadBalancerOptions
+from repro.core import kernels
+from repro.core.kernels import (
+    ArrayConflictEngine,
+    ArrayTimeline,
+    clearing_shift_batch,
+    make_engine,
+)
+from repro.core.load_balancer import balance_schedule
+from repro.core.occupancy import ConflictEngine, OccupancyTimeline
+from repro.epsilon import EPSILON
+from repro.errors import ConfigurationError, SchedulingError
+from repro.experiments import (
+    AblationConfig,
+    ComparisonConfig,
+    run_e6_baseline_comparison,
+    run_e7_ablation,
+)
+from repro.scheduling.heuristic import SchedulerOptions, schedule_application
+from repro.scheduling.periodic_intervals import (
+    circular_overlap,
+    clearing_shift,
+    normalize_pieces,
+    split_wrapping,
+)
+from repro.workloads.generator import generate_workload
+from repro.workloads.spec import WorkloadSpec
+
+# Offsets that exercise the period boundary, sub-epsilon residues and plain
+# interior positions (period 10 in most scalar tests below).
+_BOUNDARY_OFFSETS = st.one_of(
+    st.floats(min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False),
+    st.sampled_from(
+        [0.0, 10.0, 10.0 - 1e-12, 10.0 + 1e-12, 9.999999999, 1e-12, 5.0 - 1e-10]
+    ),
+)
+_LENGTHS = st.one_of(
+    st.floats(min_value=0.0, max_value=12.0, allow_nan=False, allow_infinity=False),
+    st.sampled_from([0.0, 1e-12, EPSILON, 10.0, 10.0 - 1e-12, 9.999999999]),
+)
+
+
+# ----------------------------------------------------------------------
+# Satellite: one canonical normalisation rule
+# ----------------------------------------------------------------------
+class TestNormalizePieces:
+    @given(offset=_BOUNDARY_OFFSETS, length=_LENGTHS)
+    @settings(max_examples=300, deadline=None)
+    def test_split_wrapping_delegates(self, offset: float, length: float) -> None:
+        assert split_wrapping(offset, length, 10) == list(
+            normalize_pieces(offset, length, 10)
+        )
+
+    @given(
+        offset=_BOUNDARY_OFFSETS,
+        length=_LENGTHS,
+        stored=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=19.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=9.0, allow_nan=False),
+            ),
+            max_size=6,
+        ),
+    )
+    @settings(
+        max_examples=300, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_overlaps_fast_path_equals_split_wrapping_path(
+        self,
+        offset: float,
+        length: float,
+        stored: list[tuple[float, float]],
+    ) -> None:
+        """The query fast path answers exactly what the slow path would.
+
+        The slow reference normalises the query through ``split_wrapping``
+        and tests every stored piece linearly — the pre-refactor semantics
+        the inlined fast path once drifted away from at the period boundary.
+        """
+        timeline = OccupancyTimeline(10)
+        for piece_offset, piece_length in stored:
+            timeline.add(piece_offset, piece_length)
+
+        def slow(query_offset: float, query_length: float) -> bool:
+            if query_length <= EPSILON:
+                return False
+            for begin, end in split_wrapping(query_offset, query_length, 10):
+                for piece_start, piece_end, _owner in timeline.intervals():
+                    if piece_end > begin + EPSILON and piece_start < end - EPSILON:
+                        return True
+            return False
+
+        assert timeline.overlaps(offset, length) == slow(offset, length)
+
+
+# ----------------------------------------------------------------------
+# Satellite: bulk seeding equals sequential insertion
+# ----------------------------------------------------------------------
+def _canon(intervals: list[tuple[float, float, object]]):
+    """Intervals as a canonically ordered multiset.
+
+    Bulk ``extend`` (stable sort) and sequential ``add`` (``bisect_left``
+    insertion) order *equal-start* pieces differently; every query is
+    order-independent among ties, so equivalence is multiset equality.
+    """
+    return sorted(intervals, key=lambda piece: (piece[0], piece[1], str(piece[2])))
+
+
+class TestExtendBulk:
+    def _random_items(self, rng: random.Random, count: int):
+        return [
+            (rng.uniform(0, 30), rng.uniform(0, 12), rng.choice(["a", "b", None]))
+            for _ in range(count)
+        ]
+
+    @pytest.mark.parametrize("factory", [OccupancyTimeline, ArrayTimeline])
+    def test_extend_equals_sequential_add(self, factory) -> None:
+        rng = random.Random(1207)
+        for trial in range(25):
+            items = self._random_items(rng, rng.randrange(0, 20))
+            bulk, sequential = factory(15), factory(15)
+            bulk.extend(items)
+            for offset, length, owner in items:
+                sequential.add(offset, length, owner)
+            assert _canon(bulk.intervals()) == _canon(sequential.intervals()), f"trial {trial}"
+            assert bulk.busy_time == sequential.busy_time
+            for _query in range(20):
+                offset, length = rng.uniform(0, 30), rng.uniform(0, 10)
+                assert bulk.overlaps(offset, length) == sequential.overlaps(offset, length)
+
+    @pytest.mark.parametrize("factory", [OccupancyTimeline, ArrayTimeline])
+    def test_extend_into_populated_timeline(self, factory) -> None:
+        rng = random.Random(42)
+        bulk, sequential = factory(15), factory(15)
+        for offset, length, owner in self._random_items(rng, 10):
+            bulk.add(offset, length, owner)
+            sequential.add(offset, length, owner)
+        items = self._random_items(rng, 12)
+        bulk.extend(items)
+        for offset, length, owner in items:
+            sequential.add(offset, length, owner)
+        assert _canon(bulk.intervals()) == _canon(sequential.intervals())
+
+    @pytest.mark.parametrize("factory", [OccupancyTimeline, ArrayTimeline])
+    def test_empty_extend_is_a_no_op(self, factory) -> None:
+        timeline = factory(10)
+        timeline.add(1.0, 2.0, "a")
+        before = timeline.intervals()
+        timeline.extend([])
+        timeline.extend([(3.0, 0.0, "b")])  # zero-length normalises away
+        assert timeline.intervals() == before
+
+    def test_queries_after_extend(self) -> None:
+        """The rebuilt prefix maximum still answers queries correctly."""
+        rng = random.Random(7)
+        items = self._random_items(rng, 15)
+        for factory in (OccupancyTimeline, ArrayTimeline):
+            timeline = factory(20)
+            timeline.extend(items)
+            reference = OccupancyTimeline(20)
+            for offset, length, owner in items:
+                reference.add(offset, length, owner)
+            for _ in range(50):
+                offset, length = rng.uniform(0, 25), rng.uniform(0, 8)
+                assert timeline.overlaps(offset, length) == reference.overlaps(
+                    offset, length
+                )
+
+
+# ----------------------------------------------------------------------
+# Satellite: epsilon-matched removal (the exact-float ulp bugfix)
+# ----------------------------------------------------------------------
+class TestRemoveEpsilonMatched:
+    @pytest.mark.parametrize("factory", [OccupancyTimeline, ArrayTimeline])
+    def test_remove_matches_within_an_ulp(self, factory) -> None:
+        """``shift()`` recomputes offsets via %-arithmetic; the recomputed
+        value can land an ulp away from what was stored.  0.1 + 0.2 differs
+        from 0.3 by ~5.6e-17 — far below EPSILON, so removal must succeed."""
+        recomputed = 0.1 + 0.2
+        assert recomputed != 0.3 and abs(recomputed - 0.3) <= EPSILON
+        timeline = factory(10)
+        timeline.add(0.3, 2.0, "t")
+        timeline.remove(recomputed, 2.0, "t")
+        assert timeline.intervals() == []
+
+    @pytest.mark.parametrize("factory", [OccupancyTimeline, ArrayTimeline])
+    def test_remove_beyond_epsilon_diverges(self, factory) -> None:
+        timeline = factory(10)
+        timeline.add(0.3, 2.0, "t")
+        with pytest.raises(SchedulingError, match="bookkeeping diverged"):
+            timeline.remove(0.3 + 10 * EPSILON, 2.0, "t")
+
+    @pytest.mark.parametrize("factory", [OccupancyTimeline, ArrayTimeline])
+    def test_remove_requires_matching_owner(self, factory) -> None:
+        timeline = factory(10)
+        timeline.add(1.0, 2.0, "a")
+        with pytest.raises(SchedulingError, match="bookkeeping diverged"):
+            timeline.remove(1.0, 2.0, "b")
+        timeline.remove(1.0, 2.0, "a")
+        assert len(timeline) == 0
+
+    @pytest.mark.parametrize("factory", [OccupancyTimeline, ArrayTimeline])
+    def test_shift_round_trip_through_modulo_arithmetic(self, factory) -> None:
+        """The balancer's shift pattern: store x % H, remove (x + H) % H."""
+        period = 7
+        timeline = factory(period)
+        for k in range(1, 30):
+            offset = (0.1 * k) % period
+            timeline.add(offset, 0.05, f"t{k}")
+        for k in range(1, 30):
+            timeline.remove((0.1 * k + 3 * period) % period, 0.05, f"t{k}")
+        assert len(timeline) == 0
+
+
+# ----------------------------------------------------------------------
+# Tentpole: ArrayTimeline ≡ OccupancyTimeline
+# ----------------------------------------------------------------------
+class TestArrayTimelineEquivalence:
+    def test_random_operation_sequences(self) -> None:
+        rng = random.Random(2008)
+        owners = ["a", "b", "c", None]
+        for trial in range(60):
+            period = rng.choice([5, 10, 16])
+            python_timeline = OccupancyTimeline(period)
+            array_timeline = ArrayTimeline(period)
+            live: list[tuple[float, float, object]] = []
+            for _step in range(rng.randrange(1, 30)):
+                action = rng.random()
+                if action < 0.5 or not live:
+                    offset = rng.uniform(0, 2 * period)
+                    length = rng.choice(
+                        [0.0, rng.uniform(0, period / 3), period, rng.uniform(0, period)]
+                    )
+                    owner = rng.choice(owners)
+                    python_timeline.add(offset, length, owner)
+                    array_timeline.add(offset, length, owner)
+                    live.append((offset, length, owner))
+                elif action < 0.65:
+                    items = [
+                        (rng.uniform(0, period), rng.uniform(0, period / 2), rng.choice(owners))
+                        for _ in range(rng.randrange(0, 5))
+                    ]
+                    python_timeline.extend(items)
+                    array_timeline.extend(items)
+                    live.extend(items)
+                else:
+                    offset, length, owner = live.pop(rng.randrange(len(live)))
+                    python_timeline.remove(offset, length, owner)
+                    array_timeline.remove(offset, length, owner)
+                assert python_timeline.intervals() == array_timeline.intervals()
+                assert python_timeline.busy_time == array_timeline.busy_time
+                assert len(python_timeline) == len(array_timeline)
+                for _query in range(5):
+                    query = (rng.uniform(0, 2 * period), rng.uniform(0, period))
+                    exclude = frozenset(rng.sample(owners, rng.randrange(0, 3)))
+                    assert python_timeline.overlaps(*query, exclude) == array_timeline.overlaps(
+                        *query, exclude
+                    ), f"trial {trial} query {query} exclude {exclude}"
+
+    def test_overlaps_batch_equals_per_object_overlaps(self) -> None:
+        rng = random.Random(77)
+        owners = ["a", "b", None]
+        for _trial in range(40):
+            period = 12
+            python_timeline = OccupancyTimeline(period)
+            array_timeline = ArrayTimeline(period)
+            for _ in range(rng.randrange(0, 12)):
+                piece = (rng.uniform(0, 24), rng.uniform(0, 13), rng.choice(owners))
+                python_timeline.add(*piece)
+                array_timeline.add(*piece)
+            pattern = [
+                rng.choice(
+                    [
+                        (rng.uniform(0, 24), rng.uniform(0, 6)),  # interior
+                        (rng.uniform(8, 12), rng.uniform(4, 8)),  # wrapping
+                        (rng.uniform(0, 12), 0.0),  # zero length
+                        (rng.uniform(0, 12), float(period)),  # full period
+                    ]
+                )
+                for _ in range(rng.randrange(0, 8))
+            ]
+            exclude = frozenset(rng.sample(owners, rng.randrange(0, 3)))
+            batch = array_timeline.overlaps_batch(pattern, exclude)
+            assert batch.shape == (len(pattern),)
+            for j, (offset, length) in enumerate(pattern):
+                expected = python_timeline.overlaps(offset, length, exclude)
+                assert bool(batch[j]) == expected
+                assert array_timeline.overlaps(offset, length, exclude) == expected
+
+    def test_batch_on_empty_timeline_and_empty_pattern(self) -> None:
+        timeline = ArrayTimeline(10)
+        assert timeline.overlaps_batch([]).tolist() == []
+        assert timeline.overlaps_batch([(1.0, 2.0)]).tolist() == [False]
+        timeline.add(0.0, 10.0)
+        assert timeline.overlaps_batch([]).tolist() == []
+        assert not timeline.overlaps_pattern([(3.0, 0.0)])
+        assert timeline.overlaps_pattern([(3.0, 0.0), (1.0, 1.0)])
+
+    def test_unknown_excluded_owner_is_ignored(self) -> None:
+        timeline = ArrayTimeline(10)
+        timeline.add(1.0, 2.0, "a")
+        assert timeline.overlaps(1.0, 2.0, frozenset({"never-seen"}))
+        assert not timeline.overlaps(1.0, 2.0, frozenset({"a"}))
+
+
+# ----------------------------------------------------------------------
+# Tentpole: the scheduler's clearing-shift kernel
+# ----------------------------------------------------------------------
+def _reference_clearing_shift(
+    offsets: list[float],
+    length: float,
+    busy: list[tuple[float, float]],
+    period: float,
+) -> float:
+    """The scheduler's pure-Python first-conflict scan (row-major order)."""
+    for offset in offsets:
+        for busy_offset, busy_length in busy:
+            if circular_overlap(offset, length, busy_offset, busy_length, period):
+                return clearing_shift(offset, length, busy_offset, busy_length, period)
+    return 0.0
+
+
+class TestClearingShiftBatch:
+    @given(
+        offsets=st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=5
+        ),
+        length=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        busy=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+            ),
+            max_size=6,
+        ),
+    )
+    @settings(
+        max_examples=400, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    def test_dense_and_windowed_match_the_reference(
+        self,
+        offsets: list[float],
+        length: float,
+        busy: list[tuple[float, float]],
+    ) -> None:
+        period = 10.0
+        busy = sorted(busy)  # the kernel requires ascending stored starts
+        offset_arr = np.asarray(offsets, dtype=np.float64)
+        busy_starts = np.asarray([b[0] for b in busy], dtype=np.float64)
+        busy_lengths = np.asarray([b[1] for b in busy], dtype=np.float64)
+        max_busy = float(busy_lengths.max()) if busy else 0.0
+
+        def outcome(run):
+            try:
+                return ("ok", run())
+            except SchedulingError:
+                return ("raises", None)
+
+        expected = outcome(lambda: _reference_clearing_shift(offsets, length, busy, period))
+        dense = outcome(
+            lambda: clearing_shift_batch(
+                offset_arr, length, busy_starts, busy_lengths, period
+            )
+        )
+        windowed = outcome(
+            lambda: clearing_shift_batch(
+                offset_arr,
+                length,
+                busy_starts,
+                busy_lengths,
+                period,
+                max_busy_length=max_busy,
+            )
+        )
+        assert dense == expected
+        assert windowed == expected
+
+    def test_trivial_inputs(self) -> None:
+        empty = np.asarray([], dtype=np.float64)
+        some = np.asarray([1.0], dtype=np.float64)
+        assert clearing_shift_batch(some, 0.0, some, some, 10.0) == 0.0
+        assert clearing_shift_batch(empty, 1.0, some, some, 10.0) == 0.0
+        assert clearing_shift_batch(some, 1.0, empty, empty, 10.0) == 0.0
+
+    def test_inseparable_intervals_raise_like_the_scalar_helper(self) -> None:
+        offsets = np.asarray([0.0], dtype=np.float64)
+        busy_starts = np.asarray([1.0], dtype=np.float64)
+        busy_lengths = np.asarray([6.0], dtype=np.float64)
+        with pytest.raises(SchedulingError):
+            clearing_shift_batch(offsets, 6.0, busy_starts, busy_lengths, 10.0)
+        with pytest.raises(SchedulingError):
+            clearing_shift_batch(
+                offsets, 6.0, busy_starts, busy_lengths, 10.0, max_busy_length=6.0
+            )
+
+
+# ----------------------------------------------------------------------
+# Tentpole: engine parity, from single calls to whole experiments
+# ----------------------------------------------------------------------
+class TestEngineParity:
+    def test_make_engine_kinds(self) -> None:
+        assert isinstance(make_engine("python", 8, ["p0"]), ConflictEngine)
+        assert isinstance(make_engine("array", 8, ["p0"]), ArrayConflictEngine)
+        with pytest.raises(SchedulingError, match="Unknown conflict-engine kind"):
+            make_engine("fortran", 8, ["p0"])
+
+    def test_options_validate_engine_and_stride(self) -> None:
+        assert LoadBalancerOptions().engine == kernels.DEFAULT_ENGINE
+        with pytest.raises(ConfigurationError):
+            LoadBalancerOptions(engine="fortran")
+        with pytest.raises(ConfigurationError):
+            LoadBalancerOptions(cross_check_stride=0)
+        with pytest.raises(ConfigurationError):
+            LoadBalancerOptions(cross_check=False, cross_check_stride=7)
+        LoadBalancerOptions(cross_check=True, cross_check_stride=7)
+
+    def test_default_engine_is_read_at_construction_time(self, monkeypatch) -> None:
+        monkeypatch.setattr(kernels, "DEFAULT_ENGINE", "python")
+        assert LoadBalancerOptions().engine == "python"
+        monkeypatch.setattr(kernels, "DEFAULT_ENGINE", "array")
+        assert LoadBalancerOptions().engine == "array"
+
+    def test_conflict_engines_agree_on_random_drivers(self) -> None:
+        rng = random.Random(99)
+        processors = ["p0", "p1", "p2"]
+        for _trial in range(25):
+            python_engine = ConflictEngine(12, processors)
+            array_engine = ArrayConflictEngine(12, processors)
+            resident: list[tuple[str, float, float, str]] = []
+            for step in range(30):
+                processor = rng.choice(processors)
+                action = rng.random()
+                if action < 0.35:
+                    offset, length = rng.uniform(0, 12), rng.uniform(0, 3)
+                    python_engine.occupy(processor, offset, length)
+                    array_engine.occupy(processor, offset, length)
+                elif action < 0.6 or not resident:
+                    offset, length, owner = (
+                        rng.uniform(0, 12),
+                        rng.uniform(0, 3),
+                        f"t{step}",
+                    )
+                    python_engine.reside(processor, offset, length, owner)
+                    array_engine.reside(processor, offset, length, owner)
+                    resident.append((processor, offset, length, owner))
+                elif action < 0.8:
+                    processor, offset, length, owner = resident.pop(
+                        rng.randrange(len(resident))
+                    )
+                    python_engine.release(processor, offset, length, owner)
+                    array_engine.release(processor, offset, length, owner)
+                else:
+                    index = rng.randrange(len(resident))
+                    processor, offset, length, owner = resident[index]
+                    new_offset = rng.uniform(0, 12)
+                    python_engine.shift(processor, offset, new_offset, length, owner)
+                    array_engine.shift(processor, offset, new_offset, length, owner)
+                    resident[index] = (processor, new_offset, length, owner)
+                pattern = [
+                    (rng.uniform(0, 12), rng.uniform(0, 4))
+                    for _ in range(rng.randrange(0, 4))
+                ]
+                include = rng.random() < 0.5
+                exclude = frozenset(
+                    owner for _p, _o, _l, owner in rng.sample(resident, min(2, len(resident)))
+                )
+                assert python_engine.compatible_batch(
+                    processors, pattern, include_resident=include, exclude=exclude
+                ) == array_engine.compatible_batch(
+                    processors, pattern, include_resident=include, exclude=exclude
+                )
+            for name in processors:
+                assert python_engine.moved_pattern(name) == array_engine.moved_pattern(name)
+                assert python_engine.resident_pattern(name) == array_engine.resident_pattern(name)
+
+    def _balanced(self, engine: str):
+        spec = WorkloadSpec(
+            task_count=24,
+            processor_count=4,
+            utilization=0.35,
+            seed=1207,
+            label=f"kernel-parity-{engine}",
+        )
+        workload = generate_workload(spec)
+        schedule = schedule_application(
+            workload.graph, workload.architecture, SchedulerOptions()
+        )
+        return balance_schedule(
+            schedule,
+            LoadBalancerOptions(engine=engine, cross_check=True),
+        )
+
+    def test_whole_balancer_runs_identically_on_both_engines(self) -> None:
+        python_result = self._balanced("python")
+        array_result = self._balanced("array")
+        assert [
+            (d.block.id, d.chosen_processor, d.placement_start, d.gain)
+            for d in python_result.decisions
+        ] == [
+            (d.block.id, d.chosen_processor, d.placement_start, d.gain)
+            for d in array_result.decisions
+        ]
+        assert python_result.makespan_after == array_result.makespan_after
+        assert python_result.evaluations == array_result.evaluations
+
+    def test_e6_e7_tables_byte_identical_across_engines(self, monkeypatch) -> None:
+        """The acceptance bar of ISSUE 10: whole experiment tables must not
+        change by a single byte when the engine flips."""
+        e6_config = ComparisonConfig.tiny()
+        e7_config = AblationConfig.tiny()
+        monkeypatch.setattr(kernels, "DEFAULT_ENGINE", "array")
+        e6_array = run_e6_baseline_comparison(e6_config).table
+        e7_array = run_e7_ablation(e7_config).table
+        monkeypatch.setattr(kernels, "DEFAULT_ENGINE", "python")
+        e6_python = run_e6_baseline_comparison(e6_config).table
+        e7_python = run_e7_ablation(e7_config).table
+        assert e6_array == e6_python
+        assert e7_array == e7_python

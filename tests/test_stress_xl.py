@@ -1,0 +1,204 @@
+"""Tests of the ``stress-xl`` scaling tier and the exponent gate.
+
+The tier's contract: one ``XL-<N>`` record per tier point, an ``XL-curve``
+record carrying the fitted ``time ∝ N^exponent`` slope, and a ``compare()``
+that fails on *shape* — the current exponent exceeding the baseline's by more
+than ``exponent_margin`` — even when every wall time is inside the tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench import (
+    BenchArtifact,
+    BenchmarkRecord,
+    compare,
+    fit_scaling_exponent,
+    run_stress_xl_bench,
+)
+from repro.bench.stress_xl import EXPONENT_CEILING, XL_CURVE_NAME, XL_PRESETS
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.jsonio import dumps
+
+
+# ----------------------------------------------------------------------
+# The scaling fit
+# ----------------------------------------------------------------------
+class TestFitScalingExponent:
+    def test_recovers_a_known_power_law(self) -> None:
+        counts = [100, 200, 400, 800]
+        seconds = [0.004 * (n / 100) ** 1.5 for n in counts]
+        exponent, r_squared = fit_scaling_exponent(counts, seconds)
+        assert math.isclose(exponent, 1.5, abs_tol=1e-9)
+        assert math.isclose(r_squared, 1.0, abs_tol=1e-9)
+
+    def test_noisy_fit_reports_imperfect_r_squared(self) -> None:
+        exponent, r_squared = fit_scaling_exponent([100, 200, 400], [1.0, 1.6, 4.4])
+        assert 0.0 < r_squared < 1.0
+        assert 0.5 < exponent < 1.5
+
+    def test_needs_two_points(self) -> None:
+        with pytest.raises(ConfigurationError, match="two or more"):
+            fit_scaling_exponent([100], [1.0])
+        with pytest.raises(ConfigurationError, match="two or more"):
+            fit_scaling_exponent([100, 200], [1.0])
+
+    def test_needs_positive_times(self) -> None:
+        with pytest.raises(ConfigurationError, match="positive"):
+            fit_scaling_exponent([100, 200], [1.0, 0.0])
+
+
+# ----------------------------------------------------------------------
+# The tier runner (on a miniature preset so the test stays fast)
+# ----------------------------------------------------------------------
+class TestRunStressXl:
+    @pytest.fixture(scope="class")
+    def artifact(self) -> BenchArtifact:
+        XL_PRESETS["test-mini"] = (40, 80)
+        try:
+            return run_stress_xl_bench(preset="test-mini", repeats=1)
+        finally:
+            del XL_PRESETS["test-mini"]
+
+    def test_presets_are_sane(self) -> None:
+        assert set(XL_PRESETS) == {"smoke", "xl"}
+        for counts in XL_PRESETS.values():
+            assert list(counts) == sorted(counts) and len(counts) >= 2
+        assert max(XL_PRESETS["smoke"]) < min(XL_PRESETS["xl"])
+
+    def test_record_per_tier_point_plus_curve(self, artifact: BenchArtifact) -> None:
+        assert [record.name for record in artifact.records] == [
+            "XL-40",
+            "XL-80",
+            XL_CURVE_NAME,
+        ]
+        assert artifact.preset == "stress-xl-test-mini"
+        for record in artifact.records[:-1]:
+            assert record.passed is True
+            assert len(record.wall_times) == 1
+            for key in (
+                "task_count",
+                "schedule_seconds",
+                "balance_seconds_best",
+                "block_count",
+                "moved_blocks",
+                "evaluations",
+            ):
+                assert key in record.metrics
+
+    def test_curve_record_carries_the_fit(self, artifact: BenchArtifact) -> None:
+        curve = artifact.record(XL_CURVE_NAME)
+        assert curve is not None
+        assert curve.metrics["points"] == 2.0
+        assert curve.metrics["exponent_ceiling"] == EXPONENT_CEILING
+        assert math.isfinite(curve.metrics["fit_exponent"])
+        assert curve.passed == (curve.metrics["fit_exponent"] <= EXPONENT_CEILING)
+
+    def test_artifact_round_trips(self, artifact: BenchArtifact) -> None:
+        reloaded = BenchArtifact.from_dict(artifact.to_dict())
+        assert reloaded.record(XL_CURVE_NAME).metrics == artifact.record(
+            XL_CURVE_NAME
+        ).metrics
+        assert reloaded.config["tier"] == "stress-xl"
+
+    def test_unknown_preset_and_bad_repeats_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="Unknown stress-xl preset"):
+            run_stress_xl_bench(preset="galactic")
+        with pytest.raises(ConfigurationError, match="repeats"):
+            run_stress_xl_bench(repeats=0)
+
+
+# ----------------------------------------------------------------------
+# The exponent gate in compare()
+# ----------------------------------------------------------------------
+def _curve_artifact(exponent: float | None, best: float = 1.0) -> BenchArtifact:
+    metrics = {"fit_exponent": exponent} if exponent is not None else {}
+    return BenchArtifact.now(
+        preset="stress-xl-smoke",
+        config={},
+        records=[
+            BenchmarkRecord(
+                name=XL_CURVE_NAME,
+                title="curve",
+                wall_times=[best],
+                metrics=metrics,
+                passed=True,
+            )
+        ],
+    )
+
+
+class TestExponentGate:
+    def test_within_margin_passes(self) -> None:
+        report = compare(_curve_artifact(1.1), _curve_artifact(1.3), min_delta=10.0)
+        assert report.ok
+
+    def test_above_margin_fails_despite_the_noise_floor(self) -> None:
+        # best times are identical and below min_delta: only the exponent
+        # can fail this comparison — and it must.
+        report = compare(_curve_artifact(1.1), _curve_artifact(1.4), min_delta=10.0)
+        assert not report.ok
+        [entry] = report.regressions
+        assert "scaling exponent" in entry.detail
+
+    def test_missing_current_exponent_fails(self) -> None:
+        report = compare(_curve_artifact(1.1), _curve_artifact(None), min_delta=10.0)
+        assert not report.ok
+        assert "missing" in report.regressions[0].detail
+
+    def test_margin_is_configurable_and_serialised(self) -> None:
+        report = compare(
+            _curve_artifact(1.1),
+            _curve_artifact(1.5),
+            exponent_margin=0.5,
+            min_delta=10.0,
+        )
+        assert report.ok
+        assert report.to_dict()["exponent_margin"] == 0.5
+
+    def test_negative_margin_rejected(self) -> None:
+        with pytest.raises(ConfigurationError, match="exponent_margin"):
+            compare(_curve_artifact(1.1), _curve_artifact(1.1), exponent_margin=-0.1)
+
+    def test_verdict_regression_still_wins(self) -> None:
+        current = _curve_artifact(1.1)
+        current.records[0] = BenchmarkRecord(
+            name=XL_CURVE_NAME,
+            title="curve",
+            wall_times=[1.0],
+            metrics={"fit_exponent": 1.1},
+            passed=False,
+        )
+        report = compare(_curve_artifact(1.1), current, min_delta=10.0)
+        assert not report.ok
+        assert "verdict" in report.regressions[0].detail
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_bench_compare_exponent_margin_flag(self, capsys, tmp_path) -> None:
+        baseline = tmp_path / "baseline.json"
+        current = tmp_path / "current.json"
+        baseline.write_text(dumps(_curve_artifact(1.1).to_dict()))
+        current.write_text(dumps(_curve_artifact(1.5).to_dict()))
+        common = [
+            "bench",
+            "compare",
+            str(baseline),
+            str(current),
+            "--min-delta",
+            "10",
+        ]
+        assert cli_main(common) == 1
+        assert "scaling exponent" in capsys.readouterr().out
+        assert cli_main(common + ["--exponent-margin", "0.5"]) == 0
+
+    def test_bench_stress_xl_rejects_unknown_preset(self, capsys) -> None:
+        with pytest.raises(SystemExit):
+            cli_main(["bench", "stress-xl", "--preset", "galactic"])
